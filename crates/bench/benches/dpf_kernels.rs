@@ -1,0 +1,114 @@
+//! Criterion micro-benchmarks of the functional DPF kernels.
+//!
+//! These measure the host-side implementations (Gen, point Eval, the three
+//! full-domain strategies, fused vs. unfused matmul and the PRF primitives),
+//! complementing the modelled GPU numbers produced by the `repro` binary.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pir_dpf::{
+    eval_point, fused_eval_matmul, generate_keys, unfused_eval_matmul, DpfParams, EvalStrategy,
+    NullRecorder,
+};
+use pir_field::{Block128, Ring128, ShareMatrix};
+use pir_prf::{build_prf, GgmPrg, PrfKind};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn random_table(rng: &mut StdRng, rows: usize, lanes: usize) -> ShareMatrix {
+    let data: Vec<u32> = (0..rows * lanes).map(|_| rng.gen()).collect();
+    ShareMatrix::from_rows(rows, lanes, data)
+}
+
+/// Table 5 companion: raw PRF block throughput per primitive.
+fn bench_prfs(c: &mut Criterion) {
+    let mut group = c.benchmark_group("prf_block");
+    for kind in PrfKind::ALL {
+        let prf = build_prf(kind);
+        group.bench_function(BenchmarkId::from_parameter(format!("{kind:?}")), |b| {
+            let mut x = 0u128;
+            b.iter(|| {
+                x = x.wrapping_add(1);
+                std::hint::black_box(prf.eval_block(Block128::from_u128(x), 0))
+            });
+        });
+    }
+    group.finish();
+}
+
+/// Figure 3 companion: Gen vs single-point Eval vs full-domain Eval.
+fn bench_gen_vs_eval(c: &mut Criterion) {
+    let prg = GgmPrg::new(build_prf(PrfKind::SipHash));
+    let mut rng = StdRng::seed_from_u64(1);
+    let mut group = c.benchmark_group("gen_vs_eval");
+    for bits in [10u32, 14] {
+        let params = DpfParams::for_domain(1 << bits);
+        group.bench_function(BenchmarkId::new("gen", format!("2^{bits}")), |b| {
+            b.iter(|| generate_keys(&prg, &params, 7, Ring128::ONE, &mut rng))
+        });
+        let (key, _) = generate_keys(&prg, &params, 7, Ring128::ONE, &mut rng);
+        group.bench_function(BenchmarkId::new("eval_point", format!("2^{bits}")), |b| {
+            b.iter(|| eval_point(&prg, &key, 3))
+        });
+        let table = random_table(&mut rng, 1 << bits, 8);
+        group.bench_function(BenchmarkId::new("eval_full_fused", format!("2^{bits}")), |b| {
+            b.iter(|| {
+                fused_eval_matmul(&prg, &key, &table, EvalStrategy::memory_bounded_default(), &NullRecorder)
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Figure 6 / 13 companion: the three expansion strategies on the host.
+fn bench_strategies(c: &mut Criterion) {
+    let prg = GgmPrg::new(build_prf(PrfKind::SipHash));
+    let mut rng = StdRng::seed_from_u64(2);
+    let bits = 12u32;
+    let params = DpfParams::for_domain(1 << bits);
+    let (key, _) = generate_keys(&prg, &params, 11, Ring128::ONE, &mut rng);
+    let table = random_table(&mut rng, 1 << bits, 8);
+
+    let mut group = c.benchmark_group("strategies_2^12");
+    for strategy in [
+        EvalStrategy::BranchParallel,
+        EvalStrategy::LevelByLevel,
+        EvalStrategy::MemoryBounded { chunk: 128 },
+    ] {
+        group.bench_function(BenchmarkId::from_parameter(strategy.label()), |b| {
+            b.iter(|| fused_eval_matmul(&prg, &key, &table, strategy, &NullRecorder))
+        });
+    }
+    group.finish();
+}
+
+/// Figure 14 companion: fused vs unfused evaluation.
+fn bench_fusion(c: &mut Criterion) {
+    let prg = GgmPrg::new(build_prf(PrfKind::SipHash));
+    let mut rng = StdRng::seed_from_u64(3);
+    let bits = 12u32;
+    let params = DpfParams::for_domain(1 << bits);
+    let (key, _) = generate_keys(&prg, &params, 5, Ring128::ONE, &mut rng);
+
+    let mut group = c.benchmark_group("fusion_2^12");
+    for lanes in [16usize, 64, 256] {
+        let table = random_table(&mut rng, 1 << bits, lanes);
+        group.bench_function(BenchmarkId::new("fused", lanes * 4), |b| {
+            b.iter(|| {
+                fused_eval_matmul(&prg, &key, &table, EvalStrategy::memory_bounded_default(), &NullRecorder)
+            })
+        });
+        group.bench_function(BenchmarkId::new("unfused", lanes * 4), |b| {
+            b.iter(|| {
+                unfused_eval_matmul(&prg, &key, &table, EvalStrategy::memory_bounded_default(), &NullRecorder)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_prfs, bench_gen_vs_eval, bench_strategies, bench_fusion
+}
+criterion_main!(benches);

@@ -1,0 +1,76 @@
+//! Criterion benchmarks of the PIR protocol layer and the end-to-end system.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pir_core::{Application, PrivateInferenceSystem, SystemConfig};
+use pir_ml::datasets::{DatasetKind, DatasetScale, SyntheticDataset};
+use pir_prf::PrfKind;
+use pir_protocol::{
+    CodesignParams, CpuPirServer, FullTableMode, GpuPirServer, PirClient, PirServer, PirTable,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn table(entries: u64) -> PirTable {
+    PirTable::generate(entries, 64, |row, offset| (row as u8).wrapping_add(offset as u8))
+}
+
+/// Table 4 companion: single-query latency of the functional GPU and CPU
+/// servers on the host.
+fn bench_servers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pir_server_single_query");
+    for bits in [10u32, 13] {
+        let table = table(1 << bits);
+        let client = PirClient::new(table.schema(), PrfKind::SipHash);
+        let gpu = GpuPirServer::with_defaults(table.clone(), PrfKind::SipHash);
+        let cpu = CpuPirServer::new(table.clone(), PrfKind::SipHash, 4);
+        let mut rng = StdRng::seed_from_u64(1);
+        let query = client.query(3, &mut rng).to_server(0);
+
+        group.bench_function(BenchmarkId::new("gpu_sim", format!("2^{bits}")), |b| {
+            b.iter(|| gpu.answer(&query).unwrap())
+        });
+        group.bench_function(BenchmarkId::new("cpu_4t", format!("2^{bits}")), |b| {
+            b.iter(|| cpu.answer(&query).unwrap())
+        });
+    }
+    group.finish();
+}
+
+/// Figure 11 companion: one full private inference through the deployed
+/// system, with and without co-design.
+fn bench_end_to_end(c: &mut Criterion) {
+    let dataset = SyntheticDataset::generate(DatasetKind::MovieLens20M, DatasetScale::Small, 24, 7);
+    let app = Application::new(dataset, 3);
+    let plain = PrivateInferenceSystem::deploy(&app, SystemConfig::plain(PrfKind::SipHash, 4));
+    let codesign = PrivateInferenceSystem::deploy(
+        &app,
+        SystemConfig::with_codesign(
+            PrfKind::SipHash,
+            CodesignParams {
+                colocation_degree: 2,
+                hot_entries: 64,
+                q_hot: 4,
+                full_mode: FullTableMode::Pbr { bin_size: 128 },
+            },
+        ),
+    );
+    let session = app.test_workload().sessions[0].clone();
+
+    let mut group = c.benchmark_group("private_inference");
+    group.bench_function("plain_q4", |b| {
+        let mut rng = StdRng::seed_from_u64(11);
+        b.iter(|| plain.infer(&session, &mut rng).unwrap())
+    });
+    group.bench_function("codesign_pbr", |b| {
+        let mut rng = StdRng::seed_from_u64(12);
+        b.iter(|| codesign.infer(&session, &mut rng).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_servers, bench_end_to_end
+}
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Regenerate the paper's tables and figures.
+//!
+//! ```text
+//! cargo run -p bench --bin repro --release -- all
+//! cargo run -p bench --bin repro --release -- fig11 table4
+//! ```
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let requested: Vec<String> = if args.is_empty() {
+        vec!["all".to_string()]
+    } else {
+        args
+    };
+
+    for name in &requested {
+        let tables = bench::experiments::by_name(name);
+        if tables.is_empty() {
+            eprintln!(
+                "unknown experiment '{name}'; available: {} or 'all'",
+                bench::experiments::EXPERIMENT_NAMES.join(", ")
+            );
+            std::process::exit(1);
+        }
+        for table in tables {
+            println!("{table}");
+        }
+    }
+}

@@ -1,0 +1,85 @@
+//! One function per paper table/figure, each returning printable [`Table`]s.
+
+pub mod catalog;
+pub mod codesign;
+pub mod end_to_end;
+pub mod kernels;
+
+use crate::report::Table;
+
+/// Every experiment in the paper's evaluation, regenerated in order.
+#[must_use]
+pub fn all() -> Vec<Table> {
+    let mut tables = Vec::new();
+    tables.push(catalog::table1());
+    tables.push(catalog::table2());
+    tables.push(kernels::figure3());
+    tables.push(kernels::figure6());
+    tables.extend(kernels::figure8());
+    tables.extend(kernels::figure9());
+    tables.extend(end_to_end::figure11());
+    tables.push(end_to_end::figure12());
+    tables.extend(kernels::figure13());
+    tables.extend(kernels::figure14());
+    tables.push(kernels::figure15());
+    tables.extend(codesign::figure16());
+    tables.push(codesign::figure17());
+    tables.push(codesign::figure18_19_20());
+    tables.push(end_to_end::table3());
+    tables.push(kernels::table4());
+    tables.push(kernels::table5());
+    tables
+}
+
+/// Look up experiments by name (`fig3`, `table4`, ...); `all` returns everything.
+#[must_use]
+pub fn by_name(name: &str) -> Vec<Table> {
+    match name {
+        "table1" => vec![catalog::table1()],
+        "table2" => vec![catalog::table2()],
+        "fig3" => vec![kernels::figure3()],
+        "fig6" => vec![kernels::figure6()],
+        "fig8" => kernels::figure8(),
+        "fig9" => kernels::figure9(),
+        "fig11" => end_to_end::figure11(),
+        "fig12" => vec![end_to_end::figure12()],
+        "fig13" => kernels::figure13(),
+        "fig14" => kernels::figure14(),
+        "fig15" => vec![kernels::figure15()],
+        "fig16" => codesign::figure16(),
+        "fig17" => vec![codesign::figure17()],
+        "fig18" | "fig19" | "fig20" => vec![codesign::figure18_19_20()],
+        "table3" => vec![end_to_end::table3()],
+        "table4" => vec![kernels::table4()],
+        "table5" => vec![kernels::table5()],
+        "all" => all(),
+        _ => Vec::new(),
+    }
+}
+
+/// The names accepted by [`by_name`].
+pub const EXPERIMENT_NAMES: [&str; 17] = [
+    "table1", "table2", "fig3", "fig6", "fig8", "fig9", "fig11", "fig12", "fig13", "fig14",
+    "fig15", "fig16", "fig17", "fig18", "table3", "table4", "table5",
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_named_experiment_produces_output() {
+        for name in EXPERIMENT_NAMES {
+            let tables = by_name(name);
+            assert!(!tables.is_empty(), "{name} produced no tables");
+            for table in &tables {
+                assert!(!table.rows.is_empty(), "{name} produced an empty table");
+            }
+        }
+    }
+
+    #[test]
+    fn unknown_names_produce_nothing() {
+        assert!(by_name("fig99").is_empty());
+    }
+}

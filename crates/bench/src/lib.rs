@@ -1,0 +1,20 @@
+//! Benchmark and reproduction harness.
+//!
+//! Every table and figure in the paper's evaluation maps to a function in
+//! [`experiments`] that regenerates its data series from this repository's
+//! models and implementations. The `repro` binary prints them
+//! (`cargo run -p bench --bin repro --release -- all`), and the Criterion
+//! benches under `benches/` measure the functional kernels on the host.
+//!
+//! Absolute numbers differ from the paper (the GPU is simulated, the datasets
+//! are synthetic — see `DESIGN.md`), but each experiment preserves the
+//! relationships the paper demonstrates: who wins, by roughly what factor and
+//! where the crossovers are. `EXPERIMENTS.md` records paper-vs-measured for
+//! every experiment.
+
+#![forbid(unsafe_code)]
+
+pub mod experiments;
+pub mod report;
+
+pub use report::Table;

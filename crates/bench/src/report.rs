@@ -1,0 +1,116 @@
+//! Plain-text table rendering for the repro binary.
+
+/// A printable table: a title, column headers and string rows.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Table {
+    /// Experiment title, e.g. `"Figure 6: PRF calls and peak memory"`.
+    pub title: String,
+    /// Column headers.
+    pub columns: Vec<String>,
+    /// Data rows (already formatted).
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Create an empty table.
+    pub fn new(title: impl Into<String>, columns: &[&str]) -> Self {
+        Self {
+            title: title.into(),
+            columns: columns.iter().map(|c| (*c).to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row.
+    pub fn push_row(&mut self, row: Vec<String>) {
+        assert_eq!(row.len(), self.columns.len(), "row width must match header");
+        self.rows.push(row);
+    }
+
+    /// Render as aligned plain text.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.columns.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (width, cell) in widths.iter_mut().zip(row) {
+                *width = (*width).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&format!("== {} ==\n", self.title));
+        let header: Vec<String> = self
+            .columns
+            .iter()
+            .zip(&widths)
+            .map(|(c, w)| format!("{c:>w$}"))
+            .collect();
+        out.push_str(&header.join("  "));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()));
+        out.push('\n');
+        for row in &self.rows {
+            let line: Vec<String> = row
+                .iter()
+                .zip(&widths)
+                .map(|(c, w)| format!("{c:>w$}"))
+                .collect();
+            out.push_str(&line.join("  "));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl std::fmt::Display for Table {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.render())
+    }
+}
+
+/// Format a float with engineering-style precision.
+#[must_use]
+pub fn fmt_f64(value: f64) -> String {
+    if value == 0.0 {
+        "0".to_string()
+    } else if value.abs() >= 1000.0 {
+        format!("{value:.0}")
+    } else if value.abs() >= 10.0 {
+        format!("{value:.1}")
+    } else if value.abs() >= 0.01 {
+        format!("{value:.3}")
+    } else {
+        format!("{value:.2e}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned_rows() {
+        let mut table = Table::new("Demo", &["a", "long_column"]);
+        table.push_row(vec!["1".into(), "2".into()]);
+        table.push_row(vec!["100".into(), "20000".into()]);
+        let rendered = table.render();
+        assert!(rendered.contains("== Demo =="));
+        assert!(rendered.contains("long_column"));
+        assert_eq!(rendered.lines().count(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn mismatched_row_panics() {
+        let mut table = Table::new("Demo", &["a"]);
+        table.push_row(vec!["1".into(), "2".into()]);
+    }
+
+    #[test]
+    fn float_formatting() {
+        assert_eq!(fmt_f64(0.0), "0");
+        assert_eq!(fmt_f64(123456.0), "123456");
+        assert_eq!(fmt_f64(12.34), "12.3");
+        assert_eq!(fmt_f64(0.5), "0.500");
+        assert!(fmt_f64(0.00001).contains('e'));
+    }
+}

@@ -1,0 +1,200 @@
+//! Closed-form counter profiles for the evaluation strategies.
+//!
+//! The paper's Figure 6 compares the *number of PRF evaluations* and the
+//! *peak scratch memory* of the three parallelization strategies across table
+//! sizes up to 2^24 and beyond. Actually expanding a 2^24-leaf tree
+//! functionally just to count operations is wasteful, so this module provides
+//! closed-form profiles derived from the implementations in
+//! [`crate::strategy`]; unit tests cross-validate them against the
+//! instrumented implementations on small domains.
+
+use serde::{Deserialize, Serialize};
+
+use crate::strategy::EvalStrategy;
+
+/// Bytes per node state (seed + control bit), matching the implementation.
+const NODE_BYTES: u64 = 17;
+/// Bytes per materialized leaf share.
+const LEAF_BYTES: u64 = 16;
+
+/// Predicted cost profile of expanding one DPF (or a batch of them).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StrategyProfile {
+    /// Total PRF block evaluations.
+    pub prf_calls: u64,
+    /// Peak scratch bytes alive at any instant (excluding the table and any
+    /// materialized output vector).
+    pub peak_scratch_bytes: u64,
+    /// Additional bytes required if the full leaf vector is materialized
+    /// (the unfused pipeline).
+    pub materialized_output_bytes: u64,
+}
+
+impl StrategyProfile {
+    /// Profile for evaluating a batch of `batch` DPFs over a domain of
+    /// `2^domain_bits` leaves with `strategy`.
+    ///
+    /// Scratch scales linearly with the batch because every concurrent DPF
+    /// (one per thread block) owns its own working set.
+    #[must_use]
+    pub fn of(strategy: EvalStrategy, domain_bits: u32, batch: u64) -> Self {
+        let leaves = 1u64 << domain_bits;
+        let depth = u64::from(domain_bits);
+        let (prf_calls, peak_scratch_bytes) = match strategy {
+            EvalStrategy::BranchParallel => {
+                let chunk = leaves.min(256);
+                (leaves * depth, chunk * LEAF_BYTES)
+            }
+            EvalStrategy::LevelByLevel => {
+                let prf = 2 * leaves.saturating_sub(1);
+                // Final level: L node states plus L materialized leaf shares.
+                (prf, leaves * (NODE_BYTES + LEAF_BYTES))
+            }
+            EvalStrategy::MemoryBounded { chunk } => {
+                let chunk = (chunk.max(1).next_power_of_two() as u64).min(leaves);
+                let prf = 2 * leaves.saturating_sub(1);
+                let chunk_bits = chunk.trailing_zeros() as u64;
+                let path = depth.saturating_sub(chunk_bits) * NODE_BYTES;
+                (prf, chunk * (NODE_BYTES + LEAF_BYTES) + path)
+            }
+        };
+        Self {
+            prf_calls: prf_calls * batch,
+            peak_scratch_bytes: peak_scratch_bytes * batch,
+            materialized_output_bytes: leaves * LEAF_BYTES * batch,
+        }
+    }
+
+    /// The largest batch size whose scratch (plus resident table and outputs)
+    /// fits into `memory_budget_bytes`.
+    ///
+    /// This is the lever the paper pulls: the memory-bounded strategy's small
+    /// working set allows much larger batches on a 16 GB V100, which is where
+    /// its throughput advantage comes from (Figure 6 discussion, Figure 9a).
+    #[must_use]
+    pub fn max_batch_within(
+        strategy: EvalStrategy,
+        domain_bits: u32,
+        per_query_output_bytes: u64,
+        resident_bytes: u64,
+        memory_budget_bytes: u64,
+    ) -> u64 {
+        let per_query = Self::of(strategy, domain_bits, 1);
+        let per_query_bytes = per_query.peak_scratch_bytes + per_query_output_bytes;
+        if per_query_bytes == 0 {
+            return u64::MAX;
+        }
+        memory_budget_bytes
+            .saturating_sub(resident_bytes)
+            .checked_div(per_query_bytes)
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::recorder::CountingRecorder;
+    use crate::strategy::eval_full_domain_with;
+    use crate::{generate_keys, DpfParams};
+    use pir_field::Ring128;
+    use pir_prf::{build_prf, GgmPrg, PrfKind};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn measure(strategy: EvalStrategy, bits: u32) -> (u64, u64) {
+        let prg = GgmPrg::new(build_prf(PrfKind::SipHash));
+        let mut rng = StdRng::seed_from_u64(bits as u64);
+        let params = DpfParams::for_domain(1 << bits);
+        let (key, _) = generate_keys(&prg, &params, 3, Ring128::ONE, &mut rng);
+        let recorder = CountingRecorder::new();
+        eval_full_domain_with(&prg, &key, strategy, &recorder, &mut |_, _| {});
+        (recorder.prf_calls_total(), recorder.peak_bytes())
+    }
+
+    #[test]
+    fn prf_counts_match_measurements_exactly() {
+        for bits in [4u32, 8, 12] {
+            for strategy in [
+                EvalStrategy::BranchParallel,
+                EvalStrategy::LevelByLevel,
+                EvalStrategy::MemoryBounded { chunk: 64 },
+            ] {
+                let (measured_prf, _) = measure(strategy, bits);
+                let predicted = StrategyProfile::of(strategy, bits, 1);
+                assert_eq!(
+                    predicted.prf_calls, measured_prf,
+                    "{strategy:?} at 2^{bits}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn peak_memory_predictions_are_close() {
+        for bits in [8u32, 12] {
+            for strategy in [
+                EvalStrategy::BranchParallel,
+                EvalStrategy::LevelByLevel,
+                EvalStrategy::MemoryBounded { chunk: 64 },
+            ] {
+                let (_, measured_peak) = measure(strategy, bits);
+                let predicted = StrategyProfile::of(strategy, bits, 1).peak_scratch_bytes;
+                let ratio = predicted as f64 / measured_peak as f64;
+                assert!(
+                    (0.5..=2.0).contains(&ratio),
+                    "{strategy:?} at 2^{bits}: predicted {predicted}, measured {measured_peak}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn figure6_ordering_holds_at_scale() {
+        let bits = 24;
+        let branch = StrategyProfile::of(EvalStrategy::BranchParallel, bits, 1);
+        let level = StrategyProfile::of(EvalStrategy::LevelByLevel, bits, 1);
+        let bounded = StrategyProfile::of(EvalStrategy::MemoryBounded { chunk: 128 }, bits, 1);
+
+        // Compute: branch does log L more work than the others.
+        assert!(branch.prf_calls > 10 * level.prf_calls);
+        assert_eq!(level.prf_calls, bounded.prf_calls);
+        // Memory: level-by-level needs O(L); memory-bounded needs O(K + log L).
+        assert!(level.peak_scratch_bytes > 1_000 * bounded.peak_scratch_bytes);
+        assert!(bounded.peak_scratch_bytes < 10_000);
+    }
+
+    #[test]
+    fn memory_bounded_allows_much_larger_batches() {
+        let bits = 20;
+        let budget = 16u64 * 1024 * 1024 * 1024;
+        let table_bytes = (1u64 << bits) * 256;
+        let out = 256;
+        let level_batch = StrategyProfile::max_batch_within(
+            EvalStrategy::LevelByLevel,
+            bits,
+            out,
+            table_bytes,
+            budget,
+        );
+        let bounded_batch = StrategyProfile::max_batch_within(
+            EvalStrategy::MemoryBounded { chunk: 128 },
+            bits,
+            out,
+            table_bytes,
+            budget,
+        );
+        assert!(
+            bounded_batch > 100 * level_batch,
+            "bounded {bounded_batch} vs level {level_batch}"
+        );
+    }
+
+    #[test]
+    fn batch_scales_linearly() {
+        let single = StrategyProfile::of(EvalStrategy::LevelByLevel, 16, 1);
+        let batched = StrategyProfile::of(EvalStrategy::LevelByLevel, 16, 64);
+        assert_eq!(batched.prf_calls, 64 * single.prf_calls);
+        assert_eq!(batched.peak_scratch_bytes, 64 * single.peak_scratch_bytes);
+    }
+}

@@ -1,0 +1,377 @@
+//! Batched DPF execution on the simulated GPU (§3.2.1, §3.2.5).
+
+use std::sync::Mutex;
+
+use gpu_sim::{BlockContext, GpuExecutor, KernelReport, LaunchConfig};
+use pir_field::{LaneVector, ShareMatrix};
+use pir_prf::{GgmPrg, PrfKind};
+use serde::{Deserialize, Serialize};
+
+use crate::fusion::{fused_eval_matmul, fused_eval_matmul_subtree, unfused_eval_matmul};
+use crate::recorder::KernelRecorder;
+use crate::strategy::{EvalStrategy, Subtree};
+use crate::DpfKey;
+
+/// How queries are mapped onto the GPU grid.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum GridMapping {
+    /// One thread block per DPF key: the standard batched execution mode.
+    BlockPerQuery,
+    /// All blocks cooperate on one DPF at a time (cooperative groups), used
+    /// for very large tables where a single DPF saturates the device.
+    Cooperative {
+        /// `log2` of the number of subtrees the domain is split into (one
+        /// subtree per block).
+        split_bits: u32,
+    },
+}
+
+/// A batch of DPF queries to evaluate against one table.
+#[derive(Clone, Copy)]
+pub struct BatchEvalJob<'a> {
+    /// PRG (and therefore PRF) used by the servers.
+    pub prg: &'a GgmPrg,
+    /// PRF family, used to charge the right per-call cycle cost.
+    pub prf_kind: PrfKind,
+    /// Keys of the batched queries (all for the same party and domain).
+    pub keys: &'a [DpfKey],
+    /// The table the server multiplies against.
+    pub table: &'a ShareMatrix,
+    /// Expansion strategy.
+    pub strategy: EvalStrategy,
+    /// Whether to fuse the matrix multiplication into the expansion.
+    pub fused: bool,
+    /// Threads per block for the launch.
+    pub threads_per_block: u32,
+    /// Grid mapping (batched or cooperative).
+    pub mapping: GridMapping,
+}
+
+/// Results and performance report of a batched evaluation.
+#[derive(Clone, Debug)]
+pub struct BatchEvalOutput {
+    /// One answer share per input key, in order.
+    pub results: Vec<LaneVector>,
+    /// Merged kernel report (counters, occupancy, estimated time).
+    pub report: KernelReport,
+}
+
+impl BatchEvalOutput {
+    /// Queries per second implied by the report.
+    #[must_use]
+    pub fn throughput_qps(&self) -> f64 {
+        self.report.throughput_qps(self.results.len() as u64)
+    }
+
+    /// Estimated kernel latency in milliseconds.
+    #[must_use]
+    pub fn latency_ms(&self) -> f64 {
+        self.report.latency_ms()
+    }
+}
+
+impl<'a> BatchEvalJob<'a> {
+    /// Create a job with the defaults the paper uses: fused memory-bounded
+    /// expansion, 256 threads per block, block-per-query mapping.
+    #[must_use]
+    pub fn new(
+        prg: &'a GgmPrg,
+        prf_kind: PrfKind,
+        keys: &'a [DpfKey],
+        table: &'a ShareMatrix,
+    ) -> Self {
+        Self {
+            prg,
+            prf_kind,
+            keys,
+            table,
+            strategy: EvalStrategy::memory_bounded_default(),
+            fused: true,
+            threads_per_block: 256,
+            mapping: GridMapping::BlockPerQuery,
+        }
+    }
+
+    /// Builder-style: set the expansion strategy.
+    #[must_use]
+    pub fn with_strategy(mut self, strategy: EvalStrategy) -> Self {
+        self.strategy = strategy;
+        self
+    }
+
+    /// Builder-style: enable or disable operator fusion.
+    #[must_use]
+    pub fn with_fusion(mut self, fused: bool) -> Self {
+        self.fused = fused;
+        self
+    }
+
+    /// Builder-style: set the grid mapping.
+    #[must_use]
+    pub fn with_mapping(mut self, mapping: GridMapping) -> Self {
+        self.mapping = mapping;
+        self
+    }
+
+    /// Builder-style: set threads per block.
+    #[must_use]
+    pub fn with_threads_per_block(mut self, threads: u32) -> Self {
+        self.threads_per_block = threads;
+        self
+    }
+
+    /// Device memory that stays resident for the whole batch: the table, the
+    /// uploaded keys and the output buffer.
+    #[must_use]
+    pub fn resident_bytes(&self) -> u64 {
+        let keys: u64 = self.keys.iter().map(|k| k.size_bytes() as u64).sum();
+        let outputs = self.keys.len() as u64 * self.table.lanes_per_row() as u64 * 4;
+        self.table.size_bytes() as u64 + keys + outputs
+    }
+
+    /// Run the batch on the simulated GPU.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the batch is empty or any key addresses a domain larger than
+    /// the table.
+    pub fn run(&self, executor: &GpuExecutor) -> BatchEvalOutput {
+        assert!(!self.keys.is_empty(), "batch must contain at least one key");
+        match self.mapping {
+            GridMapping::BlockPerQuery => self.run_block_per_query(executor),
+            GridMapping::Cooperative { split_bits } => self.run_cooperative(executor, split_bits),
+        }
+    }
+
+    fn run_block_per_query(&self, executor: &GpuExecutor) -> BatchEvalOutput {
+        let batch = self.keys.len();
+        let config = LaunchConfig::linear(batch as u32, self.threads_per_block);
+        let slots: Vec<Mutex<Option<LaneVector>>> = (0..batch).map(|_| Mutex::new(None)).collect();
+        let cycles = self.prf_kind.gpu_cycles_per_block();
+
+        let report = executor.launch_with_resident_memory(
+            &format!("dpf_batch[{}]", self.strategy.label()),
+            config,
+            self.resident_bytes(),
+            |block: &BlockContext<'_>| {
+                let index = block.block_index() as usize;
+                if index >= batch {
+                    return;
+                }
+                let recorder = KernelRecorder::new(block, cycles);
+                // The key is streamed from global memory once per block.
+                block
+                    .counters()
+                    .record_global_read(self.keys[index].size_bytes() as u64);
+                let result = if self.fused {
+                    fused_eval_matmul(self.prg, &self.keys[index], self.table, self.strategy, &recorder)
+                } else {
+                    unfused_eval_matmul(self.prg, &self.keys[index], self.table, self.strategy, &recorder)
+                };
+                *slots[index].lock().expect("result slot poisoned") = Some(result);
+            },
+        );
+
+        let results = slots
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner()
+                    .expect("result slot poisoned")
+                    .expect("every block writes its slot")
+            })
+            .collect();
+        BatchEvalOutput { results, report }
+    }
+
+    fn run_cooperative(&self, executor: &GpuExecutor, split_bits: u32) -> BatchEvalOutput {
+        let cycles = self.prf_kind.gpu_cycles_per_block();
+        let mut results = Vec::with_capacity(self.keys.len());
+        let mut merged: Option<KernelReport> = None;
+
+        // Cooperative groups dedicate the whole device to one query at a time;
+        // a batch is processed as a sequence of cooperative launches.
+        for key in self.keys {
+            let split_bits = split_bits.min(key.depth());
+            let subtrees = Subtree::split(key, split_bits);
+            let blocks = subtrees.len() as u32;
+            let config =
+                LaunchConfig::linear(blocks, self.threads_per_block).with_cooperative(true);
+            let partials: Vec<Mutex<Option<LaneVector>>> =
+                (0..subtrees.len()).map(|_| Mutex::new(None)).collect();
+
+            let report = executor.launch_with_resident_memory(
+                &format!("dpf_coop[{}]", self.strategy.label()),
+                config,
+                self.resident_bytes(),
+                |block: &BlockContext<'_>| {
+                    let index = block.block_index() as usize;
+                    if index >= subtrees.len() {
+                        return;
+                    }
+                    let recorder = KernelRecorder::new(block, cycles);
+                    block.counters().record_global_read(key.size_bytes() as u64);
+                    let partial = fused_eval_matmul_subtree(
+                        self.prg,
+                        key,
+                        self.table,
+                        subtrees[index],
+                        self.strategy,
+                        &recorder,
+                    );
+                    // Grid-wide barrier before the cross-block reduction.
+                    if index == 0 {
+                        block.counters().record_grid_sync();
+                    }
+                    block
+                        .counters()
+                        .record_flops(self.table.lanes_per_row() as u64);
+                    *partials[index].lock().expect("partial slot poisoned") = Some(partial);
+                },
+            );
+
+            let mut answer = LaneVector::zeroed(self.table.lanes_per_row());
+            for partial in partials {
+                let partial = partial
+                    .into_inner()
+                    .expect("partial slot poisoned")
+                    .expect("every block writes its partial");
+                answer.add_assign_wrapping(&partial);
+            }
+            results.push(answer);
+            merged = Some(match merged {
+                None => report,
+                Some(previous) => previous.merged_with(&report),
+            });
+        }
+
+        BatchEvalOutput {
+            results,
+            report: merged.expect("batch is non-empty"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{generate_keys, DpfParams};
+    use gpu_sim::DeviceSpec;
+    use pir_field::{reconstruct_lanes, Ring128};
+    use pir_prf::build_prf;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn setup(
+        rows: usize,
+        lanes: usize,
+        batch: usize,
+        seed: u64,
+    ) -> (GgmPrg, ShareMatrix, Vec<u64>, Vec<DpfKey>, Vec<DpfKey>) {
+        let prg = GgmPrg::new(build_prf(PrfKind::SipHash));
+        let mut rng = StdRng::seed_from_u64(seed);
+        let data: Vec<u32> = (0..rows * lanes).map(|_| rng.gen()).collect();
+        let table = ShareMatrix::from_rows(rows, lanes, data);
+        let params = DpfParams::for_domain(rows as u64);
+        let mut targets = Vec::new();
+        let mut keys_a = Vec::new();
+        let mut keys_b = Vec::new();
+        for _ in 0..batch {
+            let target = rng.gen_range(0..rows as u64);
+            let (a, b) = generate_keys(&prg, &params, target, Ring128::ONE, &mut rng);
+            targets.push(target);
+            keys_a.push(a);
+            keys_b.push(b);
+        }
+        (prg, table, targets, keys_a, keys_b)
+    }
+
+    #[test]
+    fn batched_execution_answers_every_query() {
+        let (prg, table, targets, keys_a, keys_b) = setup(500, 8, 16, 51);
+        let executor = GpuExecutor::with_host_threads(DeviceSpec::v100(), 4);
+
+        let job_a = BatchEvalJob::new(&prg, PrfKind::SipHash, &keys_a, &table);
+        let job_b = BatchEvalJob::new(&prg, PrfKind::SipHash, &keys_b, &table);
+        let out_a = job_a.run(&executor);
+        let out_b = job_b.run(&executor);
+
+        assert_eq!(out_a.results.len(), 16);
+        for i in 0..16 {
+            let row = reconstruct_lanes(
+                &Vec::from(out_a.results[i].clone()),
+                &Vec::from(out_b.results[i].clone()),
+            );
+            assert_eq!(row, table.row(targets[i] as usize), "query {i}");
+        }
+        assert!(out_a.throughput_qps() > 0.0);
+        assert!(out_a.latency_ms() > 0.0);
+        assert_eq!(out_a.report.counters.prf_calls, out_b.report.counters.prf_calls);
+    }
+
+    #[test]
+    fn cooperative_mapping_matches_batched_results() {
+        let (prg, table, targets, keys_a, keys_b) = setup(256, 4, 3, 52);
+        let executor = GpuExecutor::with_host_threads(DeviceSpec::v100(), 4);
+
+        let coop = GridMapping::Cooperative { split_bits: 4 };
+        let out_a = BatchEvalJob::new(&prg, PrfKind::SipHash, &keys_a, &table)
+            .with_mapping(coop)
+            .run(&executor);
+        let out_b = BatchEvalJob::new(&prg, PrfKind::SipHash, &keys_b, &table)
+            .with_mapping(coop)
+            .run(&executor);
+        for i in 0..3 {
+            let row = reconstruct_lanes(
+                &Vec::from(out_a.results[i].clone()),
+                &Vec::from(out_b.results[i].clone()),
+            );
+            assert_eq!(row, table.row(targets[i] as usize), "query {i}");
+        }
+        // The cooperative report merges one launch per query.
+        assert!(out_a.report.counters.grid_syncs >= 3);
+    }
+
+    #[test]
+    fn unfused_matches_fused_results() {
+        let (prg, table, targets, keys_a, keys_b) = setup(128, 4, 4, 53);
+        let executor = GpuExecutor::with_host_threads(DeviceSpec::v100(), 2);
+        let fused = BatchEvalJob::new(&prg, PrfKind::Aes128, &keys_a, &table).run(&executor);
+        let unfused = BatchEvalJob::new(&prg, PrfKind::Aes128, &keys_a, &table)
+            .with_fusion(false)
+            .run(&executor);
+        assert_eq!(fused.results, unfused.results);
+        // Unfused needs more peak memory (materialized leaf vectors).
+        assert!(unfused.report.peak_memory_bytes > fused.report.peak_memory_bytes);
+
+        // And both still decode correctly against party B.
+        let out_b = BatchEvalJob::new(&prg, PrfKind::Aes128, &keys_b, &table).run(&executor);
+        let row = reconstruct_lanes(
+            &Vec::from(fused.results[0].clone()),
+            &Vec::from(out_b.results[0].clone()),
+        );
+        assert_eq!(row, table.row(targets[0] as usize));
+    }
+
+    #[test]
+    fn larger_batches_improve_throughput() {
+        let (prg, table, _targets, keys_a, _keys_b) = setup(1 << 12, 8, 64, 54);
+        let executor = GpuExecutor::with_host_threads(DeviceSpec::v100(), 4);
+        let small = BatchEvalJob::new(&prg, PrfKind::SipHash, &keys_a[..1], &table).run(&executor);
+        let large = BatchEvalJob::new(&prg, PrfKind::SipHash, &keys_a, &table).run(&executor);
+        assert!(
+            large.throughput_qps() > 5.0 * small.throughput_qps(),
+            "batch-64 {} qps should dwarf batch-1 {} qps",
+            large.throughput_qps(),
+            small.throughput_qps()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one key")]
+    fn empty_batch_panics() {
+        let (prg, table, _, _, _) = setup(64, 4, 1, 55);
+        let executor = GpuExecutor::with_host_threads(DeviceSpec::v100(), 1);
+        let keys: Vec<DpfKey> = Vec::new();
+        let _ = BatchEvalJob::new(&prg, PrfKind::SipHash, &keys, &table).run(&executor);
+    }
+}

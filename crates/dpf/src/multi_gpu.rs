@@ -1,0 +1,232 @@
+//! Multi-GPU sharding of a single DPF (§3.2.7).
+
+use gpu_sim::{BlockContext, GpuExecutor, KernelReport, LaunchConfig};
+use pir_field::{LaneVector, ShareMatrix};
+use pir_prf::{GgmPrg, PrfKind};
+
+use crate::fusion::fused_eval_matmul_subtree;
+use crate::recorder::KernelRecorder;
+use crate::strategy::{EvalStrategy, Subtree};
+use crate::DpfKey;
+
+/// Evaluate one DPF across several GPUs, each owning a contiguous slice of the
+/// table.
+///
+/// Because the final reduction (a sum of partial dot products) is linear, the
+/// domain can be split into one subtree per GPU; each device evaluates the DPF
+/// only on its slice (equivalent to a table of `L / N` entries) and the host
+/// sums the partial shares. Per the paper, this is embarrassingly parallel;
+/// the cost is that each GPU sees a smaller effective table, so deeper
+/// batching is needed to keep utilization up.
+pub struct MultiGpuEvalJob<'a> {
+    /// PRG shared by all devices.
+    pub prg: &'a GgmPrg,
+    /// PRF family for cost accounting.
+    pub prf_kind: PrfKind,
+    /// The key being evaluated (one query).
+    pub key: &'a DpfKey,
+    /// The full table; device `g` reads only rows in its subtree.
+    pub table: &'a ShareMatrix,
+    /// Expansion strategy used on every device.
+    pub strategy: EvalStrategy,
+    /// Blocks launched per device.
+    pub blocks_per_device: u32,
+    /// Threads per block.
+    pub threads_per_block: u32,
+}
+
+/// Result of a multi-GPU evaluation.
+#[derive(Clone, Debug)]
+pub struct MultiGpuOutput {
+    /// The answer share (sum of all devices' partial shares).
+    pub result: LaneVector,
+    /// Per-device kernel reports.
+    pub per_device: Vec<KernelReport>,
+    /// End-to-end estimated time: the slowest device plus the host reduction.
+    pub estimated_time_s: f64,
+}
+
+impl<'a> MultiGpuEvalJob<'a> {
+    /// Create a job with the paper's defaults.
+    #[must_use]
+    pub fn new(
+        prg: &'a GgmPrg,
+        prf_kind: PrfKind,
+        key: &'a DpfKey,
+        table: &'a ShareMatrix,
+    ) -> Self {
+        Self {
+            prg,
+            prf_kind,
+            key,
+            table,
+            strategy: EvalStrategy::memory_bounded_default(),
+            blocks_per_device: 320,
+            threads_per_block: 256,
+        }
+    }
+
+    /// Run the job on the provided executors (one per simulated GPU).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `executors` is empty or there are more devices than the
+    /// domain can be split into.
+    pub fn run(&self, executors: &[GpuExecutor]) -> MultiGpuOutput {
+        assert!(!executors.is_empty(), "need at least one device");
+        let device_count = executors.len();
+        let split_bits = (device_count as u64).next_power_of_two().trailing_zeros();
+        assert!(
+            split_bits <= self.key.depth(),
+            "cannot split a depth-{} tree across {device_count} devices",
+            self.key.depth()
+        );
+        let subtrees = Subtree::split(self.key, split_bits);
+        let cycles = self.prf_kind.gpu_cycles_per_block();
+
+        let mut per_device = Vec::with_capacity(device_count);
+        let mut result = LaneVector::zeroed(self.table.lanes_per_row());
+
+        for (device_index, executor) in executors.iter().enumerate() {
+            // Device g owns every subtree with index ≡ g (mod device_count).
+            let owned: Vec<Subtree> = subtrees
+                .iter()
+                .copied()
+                .skip(device_index)
+                .step_by(device_count)
+                .collect();
+            if owned.is_empty() {
+                continue;
+            }
+            let partial = std::sync::Mutex::new(LaneVector::zeroed(self.table.lanes_per_row()));
+            let rows_per_device = self.table.rows() as u64 / device_count as u64;
+            let resident = rows_per_device * self.table.lanes_per_row() as u64 * 4
+                + self.key.size_bytes() as u64;
+            let config = LaunchConfig::linear(
+                self.blocks_per_device.min(owned.len() as u32 * 8).max(1),
+                self.threads_per_block,
+            );
+
+            let report = executor.launch_with_resident_memory(
+                &format!("dpf_multi_gpu[{device_index}]"),
+                config,
+                resident,
+                |block: &BlockContext<'_>| {
+                    let recorder = KernelRecorder::new(block, cycles);
+                    // Blocks stripe over this device's subtrees.
+                    let mut local = LaneVector::zeroed(self.table.lanes_per_row());
+                    let mut handled_any = false;
+                    for (i, subtree) in owned.iter().enumerate() {
+                        if i as u64 % block.config().total_blocks() != block.block_index() {
+                            continue;
+                        }
+                        handled_any = true;
+                        let part = fused_eval_matmul_subtree(
+                            self.prg,
+                            self.key,
+                            self.table,
+                            *subtree,
+                            self.strategy,
+                            &recorder,
+                        );
+                        local.add_assign_wrapping(&part);
+                    }
+                    if handled_any {
+                        partial
+                            .lock()
+                            .expect("partial poisoned")
+                            .add_assign_wrapping(&local);
+                    }
+                },
+            );
+
+            result.add_assign_wrapping(&partial.into_inner().expect("partial poisoned"));
+            per_device.push(report);
+        }
+
+        // Devices run in parallel: end-to-end time is the slowest device plus a
+        // small host-side reduction of N partial vectors.
+        let slowest = per_device
+            .iter()
+            .map(|r| r.estimated_time_s)
+            .fold(0.0f64, f64::max);
+        let reduction_s = 1e-6 * device_count as f64;
+        MultiGpuOutput {
+            result,
+            per_device,
+            estimated_time_s: slowest + reduction_s,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fusion::fused_eval_matmul;
+    use crate::recorder::NullRecorder;
+    use crate::{generate_keys, DpfParams};
+    use gpu_sim::DeviceSpec;
+    use pir_field::{reconstruct_lanes, Ring128};
+    use pir_prf::build_prf;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn setup(rows: usize) -> (GgmPrg, ShareMatrix, DpfKey, DpfKey, u64) {
+        let prg = GgmPrg::new(build_prf(PrfKind::SipHash));
+        let mut rng = StdRng::seed_from_u64(61);
+        let lanes = 8;
+        let data: Vec<u32> = (0..rows * lanes).map(|_| rng.gen()).collect();
+        let table = ShareMatrix::from_rows(rows, lanes, data);
+        let params = DpfParams::for_domain(rows as u64);
+        let target = rng.gen_range(0..rows as u64);
+        let (a, b) = generate_keys(&prg, &params, target, Ring128::ONE, &mut rng);
+        (prg, table, a, b, target)
+    }
+
+    #[test]
+    fn multi_gpu_matches_single_device_answer() {
+        let (prg, table, key_a, key_b, target) = setup(1 << 10);
+        let executors: Vec<GpuExecutor> = (0..4)
+            .map(|_| GpuExecutor::with_host_threads(DeviceSpec::v100(), 2))
+            .collect();
+
+        let single =
+            fused_eval_matmul(&prg, &key_a, &table, EvalStrategy::default(), &NullRecorder);
+        let multi = MultiGpuEvalJob::new(&prg, PrfKind::SipHash, &key_a, &table).run(&executors);
+        assert_eq!(multi.result, single);
+        assert_eq!(multi.per_device.len(), 4);
+
+        // And it still reconstructs against party B evaluated however.
+        let other = MultiGpuEvalJob::new(&prg, PrfKind::SipHash, &key_b, &table).run(&executors);
+        let row = reconstruct_lanes(&Vec::from(multi.result), &Vec::from(other.result));
+        assert_eq!(row, table.row(target as usize));
+    }
+
+    #[test]
+    fn per_device_work_shrinks_with_more_devices() {
+        let (prg, table, key_a, _key_b, _) = setup(1 << 12);
+        let one: Vec<GpuExecutor> = vec![GpuExecutor::with_host_threads(DeviceSpec::v100(), 2)];
+        let four: Vec<GpuExecutor> = (0..4)
+            .map(|_| GpuExecutor::with_host_threads(DeviceSpec::v100(), 2))
+            .collect();
+        let job = MultiGpuEvalJob::new(&prg, PrfKind::SipHash, &key_a, &table);
+        let single = job.run(&one);
+        let multi = job.run(&four);
+        let single_prf = single.per_device[0].counters.prf_calls;
+        let multi_prf_max = multi
+            .per_device
+            .iter()
+            .map(|r| r.counters.prf_calls)
+            .max()
+            .unwrap();
+        assert!(multi_prf_max * 3 < single_prf, "{multi_prf_max} vs {single_prf}");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one device")]
+    fn empty_device_list_panics() {
+        let (prg, table, key_a, _key_b, _) = setup(64);
+        let executors: Vec<GpuExecutor> = Vec::new();
+        let _ = MultiGpuEvalJob::new(&prg, PrfKind::SipHash, &key_a, &table).run(&executors);
+    }
+}

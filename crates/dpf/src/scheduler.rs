@@ -1,0 +1,194 @@
+//! Batch- and table-size-aware scheduling (§3.2.5).
+
+use serde::{Deserialize, Serialize};
+
+use crate::analysis::StrategyProfile;
+use crate::batch::GridMapping;
+use crate::strategy::EvalStrategy;
+
+/// Tunable thresholds of the scheduler.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct SchedulerConfig {
+    /// Tables with at least `2^cooperative_threshold_bits` entries are served
+    /// one query at a time with cooperative groups (the paper uses 2^22).
+    pub cooperative_threshold_bits: u32,
+    /// Default memory-bounded chunk size `K` (the paper uses 128).
+    pub chunk: usize,
+    /// Threads per block.
+    pub threads_per_block: u32,
+    /// Device memory available for tables, keys, outputs and scratch.
+    pub memory_budget_bytes: u64,
+    /// Number of SMs on the target device (used to size cooperative splits).
+    pub num_sms: u32,
+}
+
+impl Default for SchedulerConfig {
+    fn default() -> Self {
+        Self {
+            cooperative_threshold_bits: 22,
+            chunk: 128,
+            threads_per_block: 256,
+            memory_budget_bytes: 16 * 1024 * 1024 * 1024,
+            num_sms: 80,
+        }
+    }
+}
+
+/// The execution plan the scheduler selects for a workload.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ExecutionPlan {
+    /// Expansion strategy to use.
+    pub strategy: EvalStrategy,
+    /// Grid mapping (batched vs. cooperative groups).
+    pub mapping: GridMapping,
+    /// Threads per block.
+    pub threads_per_block: u32,
+    /// Largest batch size that fits the memory budget (after the table and
+    /// per-query outputs are accounted for).
+    pub max_batch: u64,
+}
+
+/// Chooses strategy, mapping and batch size from the table and batch shape.
+///
+/// The decision procedure follows §3.2.5: very large tables (≥ 2^22 entries)
+/// expose enough parallelism in a single DPF, so the whole device cooperates
+/// on one query at a time, which minimizes latency without hurting
+/// throughput; smaller tables need batching (one block per query) to fill the
+/// GPU, and the memory-bounded strategy keeps per-query scratch small enough
+/// to batch deeply.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct Scheduler {
+    config: SchedulerConfig,
+}
+
+impl Scheduler {
+    /// Create a scheduler with the given thresholds.
+    #[must_use]
+    pub fn new(config: SchedulerConfig) -> Self {
+        Self { config }
+    }
+
+    /// The scheduler's configuration.
+    #[must_use]
+    pub fn config(&self) -> &SchedulerConfig {
+        &self.config
+    }
+
+    /// Plan execution for a table of `table_rows` entries of `entry_bytes`
+    /// each, with `requested_batch` queries available to batch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `table_rows` is zero.
+    #[must_use]
+    pub fn plan(&self, table_rows: u64, entry_bytes: u64, requested_batch: u64) -> ExecutionPlan {
+        assert!(table_rows > 0, "table must contain at least one row");
+        let domain_bits = if table_rows <= 1 {
+            0
+        } else {
+            64 - (table_rows - 1).leading_zeros()
+        };
+        let strategy = EvalStrategy::MemoryBounded {
+            chunk: self.config.chunk,
+        };
+
+        let table_bytes = table_rows * entry_bytes;
+        let per_query_output = entry_bytes;
+        let max_batch = StrategyProfile::max_batch_within(
+            strategy,
+            domain_bits,
+            per_query_output,
+            table_bytes,
+            self.config.memory_budget_bytes,
+        )
+        .max(1);
+
+        let cooperative = table_rows >= 1u64 << self.config.cooperative_threshold_bits;
+        let mapping = if cooperative {
+            // Enough subtrees to give every SM several blocks, but never deeper
+            // than the tree itself.
+            let split_bits = (self.config.num_sms.next_power_of_two().trailing_zeros() + 2)
+                .min(domain_bits);
+            GridMapping::Cooperative { split_bits }
+        } else {
+            GridMapping::BlockPerQuery
+        };
+
+        ExecutionPlan {
+            strategy,
+            mapping,
+            threads_per_block: self.config.threads_per_block,
+            max_batch: if cooperative {
+                requested_batch.max(1)
+            } else {
+                max_batch.min(requested_batch.max(1))
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_tables_use_batched_execution() {
+        let scheduler = Scheduler::default();
+        let plan = scheduler.plan(1 << 16, 256, 512);
+        assert_eq!(plan.mapping, GridMapping::BlockPerQuery);
+        assert_eq!(plan.max_batch, 512);
+        assert_eq!(plan.strategy, EvalStrategy::MemoryBounded { chunk: 128 });
+    }
+
+    #[test]
+    fn huge_tables_switch_to_cooperative_groups() {
+        let scheduler = Scheduler::default();
+        let plan = scheduler.plan(1 << 23, 256, 512);
+        match plan.mapping {
+            GridMapping::Cooperative { split_bits } => assert!(split_bits >= 7),
+            GridMapping::BlockPerQuery => panic!("expected cooperative mapping"),
+        }
+    }
+
+    #[test]
+    fn threshold_is_respected_exactly() {
+        let scheduler = Scheduler::default();
+        let below = scheduler.plan((1 << 22) - 1, 128, 64);
+        let at = scheduler.plan(1 << 22, 128, 64);
+        assert_eq!(below.mapping, GridMapping::BlockPerQuery);
+        assert!(matches!(at.mapping, GridMapping::Cooperative { .. }));
+    }
+
+    #[test]
+    fn memory_budget_limits_batch() {
+        let config = SchedulerConfig {
+            memory_budget_bytes: 64 * 1024 * 1024,
+            ..SchedulerConfig::default()
+        };
+        let scheduler = Scheduler::new(config);
+        // 2^20 rows of 32 bytes = 32 MB table; scratch per query ~4.5 KB.
+        let plan = scheduler.plan(1 << 20, 32, u64::MAX);
+        assert!(plan.max_batch >= 1);
+        assert!(plan.max_batch < 100_000);
+    }
+
+    #[test]
+    fn split_never_exceeds_tree_depth() {
+        let config = SchedulerConfig {
+            cooperative_threshold_bits: 2,
+            ..SchedulerConfig::default()
+        };
+        let scheduler = Scheduler::new(config);
+        let plan = scheduler.plan(16, 64, 1);
+        match plan.mapping {
+            GridMapping::Cooperative { split_bits } => assert!(split_bits <= 4),
+            GridMapping::BlockPerQuery => panic!("expected cooperative mapping"),
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one row")]
+    fn zero_rows_rejected() {
+        let _ = Scheduler::default().plan(0, 64, 1);
+    }
+}

@@ -1,0 +1,600 @@
+//! Full-domain expansion strategies (§3.2.2–§3.2.3 of the paper).
+
+use pir_field::Ring128;
+use pir_prf::GgmPrg;
+use serde::{Deserialize, Serialize};
+
+use crate::eval::{descend_both, descend_one, leaf_share, subtree_root_state, NodeState,
+    NODE_STATE_BYTES};
+use crate::recorder::Recorder;
+use crate::DpfKey;
+
+/// Bytes charged for one materialized leaf output (a 128-bit ring element).
+const LEAF_BYTES: u64 = 16;
+
+/// How a server expands a DPF over (a slice of) the table domain.
+///
+/// The three strategies trade computation against working-set memory exactly
+/// as the paper's Figure 6 describes:
+///
+/// | strategy | PRF calls | scratch memory |
+/// |---|---|---|
+/// | `BranchParallel` | `O(L log L)` (redundant re-walks) | `O(chunk)` |
+/// | `LevelByLevel` | `O(L)` | `O(L)` |
+/// | `MemoryBounded` | `O(L)` | `O(K + log L)` |
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum EvalStrategy {
+    /// Every leaf is computed independently by re-walking the path from the
+    /// (sub)tree root: optimal memory, `log L`-fold redundant computation.
+    BranchParallel,
+    /// Breadth-first expansion storing every node of the current level:
+    /// optimal computation, `O(L)` memory.
+    LevelByLevel,
+    /// The paper's memory-bounded tree traversal: depth-first over subtrees of
+    /// `chunk` leaves, each expanded level-by-level and consumed immediately.
+    MemoryBounded {
+        /// Number of leaves expanded (and handed to the consumer) at a time;
+        /// the paper's `K`, default 128.
+        chunk: usize,
+    },
+}
+
+impl EvalStrategy {
+    /// The paper's default memory-bounded configuration (`K = 128`).
+    #[must_use]
+    pub const fn memory_bounded_default() -> Self {
+        EvalStrategy::MemoryBounded { chunk: 128 }
+    }
+
+    /// Short label used in benchmark output.
+    #[must_use]
+    pub fn label(&self) -> String {
+        match self {
+            EvalStrategy::BranchParallel => "branch-parallel".to_string(),
+            EvalStrategy::LevelByLevel => "level-by-level".to_string(),
+            EvalStrategy::MemoryBounded { chunk } => format!("mem-bound(K={chunk})"),
+        }
+    }
+}
+
+impl Default for EvalStrategy {
+    fn default() -> Self {
+        Self::memory_bounded_default()
+    }
+}
+
+/// A subtree of the evaluation tree: the node reached by following the top
+/// `prefix_bits` bits of `prefix` from the root.
+///
+/// [`Subtree::root`] denotes the whole domain. Cooperative-groups blocks and
+/// multi-GPU shards evaluate disjoint non-root subtrees.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Subtree {
+    /// Path from the root, most-significant bit first.
+    pub prefix: u64,
+    /// Number of meaningful bits in `prefix`.
+    pub prefix_bits: u32,
+}
+
+impl Subtree {
+    /// The whole evaluation tree.
+    #[must_use]
+    pub const fn root() -> Self {
+        Self {
+            prefix: 0,
+            prefix_bits: 0,
+        }
+    }
+
+    /// Split the domain of `key` into `2^split_bits` equally sized subtrees.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `split_bits` exceeds the key depth.
+    #[must_use]
+    pub fn split(key: &DpfKey, split_bits: u32) -> Vec<Self> {
+        assert!(
+            split_bits <= key.depth(),
+            "cannot split a depth-{} tree into 2^{split_bits} subtrees",
+            key.depth()
+        );
+        (0..(1u64 << split_bits))
+            .map(|prefix| Self {
+                prefix,
+                prefix_bits: split_bits,
+            })
+            .collect()
+    }
+
+    /// Index of the first leaf covered by this subtree, in the padded domain.
+    #[must_use]
+    pub fn base_index(&self, key: &DpfKey) -> u64 {
+        self.prefix << (key.depth() - self.prefix_bits)
+    }
+
+    /// Number of (padded) leaves under this subtree.
+    #[must_use]
+    pub fn leaf_count(&self, key: &DpfKey) -> u64 {
+        1u64 << (key.depth() - self.prefix_bits)
+    }
+}
+
+impl Default for Subtree {
+    fn default() -> Self {
+        Self::root()
+    }
+}
+
+/// Expand `key` over `subtree` with the given strategy, streaming leaf shares
+/// to `visitor` as `(first_leaf_index, values)` chunks.
+///
+/// Leaf indices are global (padded-domain) indices; indices at or beyond
+/// `key.params.domain_size` are padding and are still reported (their
+/// reconstructed value is zero), callers that multiply against a table simply
+/// skip them.
+///
+/// This is the single implementation behind plain evaluation, fused
+/// evaluation and the simulated GPU kernels: the `recorder` observes PRF
+/// calls, scratch allocation and memory traffic so the same code produces
+/// both functional results and performance counters.
+pub fn eval_subtree_with<R, F>(
+    prg: &GgmPrg,
+    key: &DpfKey,
+    subtree: Subtree,
+    strategy: EvalStrategy,
+    recorder: &R,
+    visitor: &mut F,
+) where
+    R: Recorder,
+    F: FnMut(u64, &[Ring128]),
+{
+    let root = subtree_root_state(prg, key, subtree.prefix, subtree.prefix_bits, recorder);
+    let depth_below = key.depth() - subtree.prefix_bits;
+    let base_index = subtree.base_index(key);
+
+    match strategy {
+        EvalStrategy::BranchParallel => {
+            branch_parallel(prg, key, root, subtree, depth_below, base_index, recorder, visitor);
+        }
+        EvalStrategy::LevelByLevel => {
+            level_by_level(
+                prg,
+                key,
+                root,
+                subtree.prefix_bits,
+                depth_below,
+                base_index,
+                recorder,
+                visitor,
+            );
+        }
+        EvalStrategy::MemoryBounded { chunk } => {
+            let chunk = chunk.max(1).next_power_of_two();
+            memory_bounded(
+                prg,
+                key,
+                root,
+                subtree.prefix_bits,
+                depth_below,
+                base_index,
+                chunk,
+                recorder,
+                visitor,
+            );
+        }
+    }
+}
+
+/// Expand `key` over its whole domain, streaming leaf chunks to `visitor`.
+pub fn eval_full_domain_with<R, F>(
+    prg: &GgmPrg,
+    key: &DpfKey,
+    strategy: EvalStrategy,
+    recorder: &R,
+    visitor: &mut F,
+) where
+    R: Recorder,
+    F: FnMut(u64, &[Ring128]),
+{
+    eval_subtree_with(prg, key, Subtree::root(), strategy, recorder, visitor);
+}
+
+/// Expand `key` over its whole domain and materialize the leaf share vector
+/// (truncated to the real, unpadded domain size).
+#[must_use]
+pub fn eval_full_domain<R>(
+    prg: &GgmPrg,
+    key: &DpfKey,
+    strategy: EvalStrategy,
+    recorder: &R,
+) -> Vec<Ring128>
+where
+    R: Recorder,
+{
+    let domain = key.params.domain_size as usize;
+    let padded = key.params.padded_size();
+    recorder.alloc(padded * LEAF_BYTES);
+    recorder.global_write(padded * LEAF_BYTES);
+    let mut output = vec![Ring128::ZERO; domain];
+    eval_full_domain_with(prg, key, strategy, recorder, &mut |base, values| {
+        for (offset, value) in values.iter().enumerate() {
+            let index = base as usize + offset;
+            if index < domain {
+                output[index] = *value;
+            }
+        }
+    });
+    recorder.release(padded * LEAF_BYTES);
+    output
+}
+
+/// Branch-parallel: each leaf re-walks its path from the subtree root.
+#[allow(clippy::too_many_arguments)]
+fn branch_parallel<R, F>(
+    prg: &GgmPrg,
+    key: &DpfKey,
+    root: NodeState,
+    subtree: Subtree,
+    depth_below: u32,
+    base_index: u64,
+    recorder: &R,
+    visitor: &mut F,
+) where
+    R: Recorder,
+    F: FnMut(u64, &[Ring128]),
+{
+    let leaves = 1u64 << depth_below;
+    let chunk_len = (leaves as usize).min(256);
+    recorder.alloc(chunk_len as u64 * LEAF_BYTES);
+    let mut buffer = Vec::with_capacity(chunk_len);
+    let mut chunk_base = base_index;
+
+    for local in 0..leaves {
+        let mut state = root;
+        for level in 0..depth_below {
+            let right = (local >> (depth_below - 1 - level)) & 1 == 1;
+            state = descend_one(
+                prg,
+                key,
+                state,
+                (subtree.prefix_bits + level) as usize,
+                right,
+                recorder,
+            );
+        }
+        buffer.push(leaf_share(key, state));
+        recorder.arithmetic(1);
+        if buffer.len() == chunk_len {
+            visitor(chunk_base, &buffer);
+            chunk_base += buffer.len() as u64;
+            buffer.clear();
+        }
+    }
+    if !buffer.is_empty() {
+        visitor(chunk_base, &buffer);
+    }
+    recorder.release(chunk_len as u64 * LEAF_BYTES);
+}
+
+/// Level-by-level: materialize every node of each level.
+///
+/// `level_offset` is the absolute tree depth of `root` (0 when expanding from
+/// the real root), needed to pick the right correction words when expanding a
+/// subtree.
+#[allow(clippy::too_many_arguments)]
+fn level_by_level<R, F>(
+    prg: &GgmPrg,
+    key: &DpfKey,
+    root: NodeState,
+    level_offset: u32,
+    depth_below: u32,
+    base_index: u64,
+    recorder: &R,
+    visitor: &mut F,
+) where
+    R: Recorder,
+    F: FnMut(u64, &[Ring128]),
+{
+    let mut current = vec![root];
+    recorder.alloc(NODE_STATE_BYTES);
+
+    for level in 0..depth_below {
+        let next_len = current.len() as u64 * 2;
+        recorder.alloc(next_len * NODE_STATE_BYTES);
+        let mut next = Vec::with_capacity(next_len as usize);
+        for state in &current {
+            let (left, right) = descend_both(
+                prg,
+                key,
+                *state,
+                (level_offset + level) as usize,
+                recorder,
+            );
+            next.push(left);
+            next.push(right);
+        }
+        recorder.release(current.len() as u64 * NODE_STATE_BYTES);
+        current = next;
+    }
+
+    recorder.alloc(current.len() as u64 * LEAF_BYTES);
+    let values: Vec<Ring128> = current.iter().map(|state| leaf_share(key, *state)).collect();
+    recorder.arithmetic(values.len() as u64);
+    visitor(base_index, &values);
+    recorder.release(current.len() as u64 * LEAF_BYTES);
+    recorder.release(current.len() as u64 * NODE_STATE_BYTES);
+}
+
+/// Memory-bounded tree traversal: depth-first over `chunk`-leaf subtrees, each
+/// expanded level-by-level and consumed immediately.
+#[allow(clippy::too_many_arguments)]
+fn memory_bounded<R, F>(
+    prg: &GgmPrg,
+    key: &DpfKey,
+    root: NodeState,
+    prefix_bits: u32,
+    depth_below: u32,
+    base_index: u64,
+    chunk: usize,
+    recorder: &R,
+    visitor: &mut F,
+) where
+    R: Recorder,
+    F: FnMut(u64, &[Ring128]),
+{
+    let chunk_bits = (chunk as u64).trailing_zeros().min(depth_below);
+
+    // Recursive depth-first descent; the explicit recursion depth is bounded by
+    // 64 levels so the host stack is more than sufficient.
+    #[allow(clippy::too_many_arguments)]
+    fn descend<R, F>(
+        prg: &GgmPrg,
+        key: &DpfKey,
+        state: NodeState,
+        level: u32,
+        depth_below: u32,
+        chunk_bits: u32,
+        base_index: u64,
+        recorder: &R,
+        visitor: &mut F,
+    ) where
+        R: Recorder,
+        F: FnMut(u64, &[Ring128]),
+    {
+        let remaining = depth_below;
+        if remaining <= chunk_bits {
+            // Expand this subtree level-by-level (at most `chunk` leaves) and
+            // hand the chunk to the consumer.
+            level_by_level(
+                prg, key, state, level, remaining, base_index, recorder, visitor,
+            );
+            return;
+        }
+        recorder.alloc(NODE_STATE_BYTES);
+        let (left, right) = descend_both(prg, key, state, level as usize, recorder);
+        let half = 1u64 << (remaining - 1);
+        descend(
+            prg,
+            key,
+            left,
+            level + 1,
+            remaining - 1,
+            chunk_bits,
+            base_index,
+            recorder,
+            visitor,
+        );
+        descend(
+            prg,
+            key,
+            right,
+            level + 1,
+            remaining - 1,
+            chunk_bits,
+            base_index + half,
+            recorder,
+            visitor,
+        );
+        recorder.release(NODE_STATE_BYTES);
+    }
+
+    descend(
+        prg,
+        key,
+        root,
+        prefix_bits,
+        depth_below,
+        chunk_bits,
+        base_index,
+        recorder,
+        visitor,
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::recorder::{CountingRecorder, NullRecorder};
+    use crate::{eval_point, generate_keys, DpfParams};
+    use pir_prf::{build_prf, PrfKind};
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn prg() -> GgmPrg {
+        GgmPrg::new(build_prf(PrfKind::SipHash))
+    }
+
+    const STRATEGIES: [EvalStrategy; 4] = [
+        EvalStrategy::BranchParallel,
+        EvalStrategy::LevelByLevel,
+        EvalStrategy::MemoryBounded { chunk: 4 },
+        EvalStrategy::MemoryBounded { chunk: 128 },
+    ];
+
+    #[test]
+    fn full_domain_matches_point_eval_for_all_strategies() {
+        let prg = prg();
+        let mut rng = StdRng::seed_from_u64(31);
+        let params = DpfParams::for_domain(200); // non-power-of-two
+        let (a, b) = generate_keys(&prg, &params, 137, Ring128::ONE, &mut rng);
+
+        for strategy in STRATEGIES {
+            for key in [&a, &b] {
+                let full = eval_full_domain(&prg, key, strategy, &NullRecorder);
+                assert_eq!(full.len(), 200);
+                for j in (0..200u64).step_by(13) {
+                    assert_eq!(
+                        full[j as usize],
+                        eval_point(&prg, key, j),
+                        "strategy {strategy:?} index {j}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn strategies_reconstruct_the_point_function() {
+        let prg = prg();
+        let mut rng = StdRng::seed_from_u64(32);
+        let params = DpfParams::for_domain(128);
+        let (a, b) = generate_keys(&prg, &params, 77, Ring128::new(42), &mut rng);
+        for strategy in STRATEGIES {
+            let va = eval_full_domain(&prg, &a, strategy, &NullRecorder);
+            let vb = eval_full_domain(&prg, &b, strategy, &NullRecorder);
+            for j in 0..128usize {
+                let sum = va[j] + vb[j];
+                let expected = if j == 77 { Ring128::new(42) } else { Ring128::ZERO };
+                assert_eq!(sum, expected, "strategy {strategy:?} index {j}");
+            }
+        }
+    }
+
+    #[test]
+    fn subtree_split_covers_domain_exactly_once() {
+        let prg = prg();
+        let mut rng = StdRng::seed_from_u64(33);
+        let params = DpfParams::for_domain(256);
+        let (a, _) = generate_keys(&prg, &params, 5, Ring128::ONE, &mut rng);
+
+        let full = eval_full_domain(&prg, &a, EvalStrategy::LevelByLevel, &NullRecorder);
+        let mut stitched = vec![None; 256];
+        for subtree in Subtree::split(&a, 3) {
+            assert_eq!(subtree.leaf_count(&a), 32);
+            eval_subtree_with(
+                &prg,
+                &a,
+                subtree,
+                EvalStrategy::memory_bounded_default(),
+                &NullRecorder,
+                &mut |base, values| {
+                    for (offset, value) in values.iter().enumerate() {
+                        let slot = &mut stitched[base as usize + offset];
+                        assert!(slot.is_none(), "leaf visited twice");
+                        *slot = Some(*value);
+                    }
+                },
+            );
+        }
+        let stitched: Vec<Ring128> = stitched.into_iter().map(Option::unwrap).collect();
+        assert_eq!(stitched, full);
+    }
+
+    #[test]
+    fn branch_parallel_does_redundant_work() {
+        let prg = prg();
+        let mut rng = StdRng::seed_from_u64(34);
+        let params = DpfParams::for_domain(1 << 10);
+        let (a, _) = generate_keys(&prg, &params, 5, Ring128::ONE, &mut rng);
+
+        let branch = CountingRecorder::new();
+        let _ = eval_full_domain(&prg, &a, EvalStrategy::BranchParallel, &branch);
+        let level = CountingRecorder::new();
+        let _ = eval_full_domain(&prg, &a, EvalStrategy::LevelByLevel, &level);
+        let bounded = CountingRecorder::new();
+        let _ = eval_full_domain(&prg, &a, EvalStrategy::memory_bounded_default(), &bounded);
+
+        // Branch-parallel: L * log L = 10240 calls. Others: ~2L = 2046.
+        assert_eq!(branch.prf_calls_total(), 10 * 1024);
+        assert_eq!(level.prf_calls_total(), 2 * (1024 - 1));
+        assert_eq!(bounded.prf_calls_total(), 2 * (1024 - 1));
+    }
+
+    #[test]
+    fn memory_bounded_uses_far_less_scratch_than_level_by_level() {
+        let prg = prg();
+        let mut rng = StdRng::seed_from_u64(35);
+        let params = DpfParams::for_domain(1 << 12);
+        let (a, _) = generate_keys(&prg, &params, 9, Ring128::ONE, &mut rng);
+
+        // Compare scratch used by the streaming visitor path (no materialized
+        // output vector).
+        let level = CountingRecorder::new();
+        eval_full_domain_with(&prg, &a, EvalStrategy::LevelByLevel, &level, &mut |_, _| {});
+        let bounded = CountingRecorder::new();
+        eval_full_domain_with(
+            &prg,
+            &a,
+            EvalStrategy::MemoryBounded { chunk: 128 },
+            &bounded,
+            &mut |_, _| {},
+        );
+        let branch = CountingRecorder::new();
+        eval_full_domain_with(&prg, &a, EvalStrategy::BranchParallel, &branch, &mut |_, _| {});
+
+        assert!(
+            bounded.peak_bytes() * 8 < level.peak_bytes(),
+            "memory-bounded ({}) should be far below level-by-level ({})",
+            bounded.peak_bytes(),
+            level.peak_bytes()
+        );
+        assert!(branch.peak_bytes() <= bounded.peak_bytes() * 2);
+    }
+
+    #[test]
+    fn chunk_sizes_round_to_powers_of_two() {
+        let prg = prg();
+        let mut rng = StdRng::seed_from_u64(36);
+        let params = DpfParams::for_domain(64);
+        let (a, b) = generate_keys(&prg, &params, 3, Ring128::ONE, &mut rng);
+        for chunk in [1usize, 3, 5, 7, 60, 64, 1000] {
+            let va = eval_full_domain(&prg, &a, EvalStrategy::MemoryBounded { chunk }, &NullRecorder);
+            let vb = eval_full_domain(&prg, &b, EvalStrategy::MemoryBounded { chunk }, &NullRecorder);
+            assert_eq!(va[3] + vb[3], Ring128::ONE, "chunk {chunk}");
+        }
+    }
+
+    #[test]
+    fn labels_are_informative() {
+        assert_eq!(EvalStrategy::BranchParallel.label(), "branch-parallel");
+        assert_eq!(
+            EvalStrategy::MemoryBounded { chunk: 64 }.label(),
+            "mem-bound(K=64)"
+        );
+        assert_eq!(EvalStrategy::default(), EvalStrategy::MemoryBounded { chunk: 128 });
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+        #[test]
+        fn prop_full_domain_reconstruction(
+            domain in 2u64..300,
+            seed in any::<u64>(),
+        ) {
+            let prg = prg();
+            let mut rng = StdRng::seed_from_u64(seed);
+            let alpha = seed % domain;
+            let params = DpfParams::for_domain(domain);
+            let (a, b) = generate_keys(&prg, &params, alpha, Ring128::ONE, &mut rng);
+            for strategy in [EvalStrategy::LevelByLevel, EvalStrategy::MemoryBounded { chunk: 8 }] {
+                let va = eval_full_domain(&prg, &a, strategy, &NullRecorder);
+                let vb = eval_full_domain(&prg, &b, strategy, &NullRecorder);
+                for j in 0..domain as usize {
+                    let expected = if j as u64 == alpha { Ring128::ONE } else { Ring128::ZERO };
+                    prop_assert_eq!(va[j] + vb[j], expected);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,66 @@
+//! Arithmetic substrate for DPF-based private information retrieval.
+//!
+//! The DPF construction of Gilboa–Ishai (the one accelerated by the paper)
+//! manipulates three kinds of values:
+//!
+//! * [`Block128`] — 128-bit pseudorandom seeds flowing through the GGM tree.
+//! * [`Ring128`] / [`RingElement`] — additive shares in the ring `Z_{2^128}`
+//!   (the "conversion" of a leaf seed into a group element).
+//! * `u32` lanes — embedding-table payloads, additively shared in `Z_{2^32}`.
+//!
+//! The crate also provides [`share`] for splitting values into two additive
+//! shares, [`vector`] for share vectors (one-hot indicator shares), and
+//! [`matrix`] for the share-weighted matrix–vector products the PIR servers
+//! compute against the embedding table.
+//!
+//! # Example
+//!
+//! ```rust
+//! use pir_field::{Block128, Ring128};
+//!
+//! let a = Block128::from_u128(0xdead_beef);
+//! let b = Block128::from_u128(0x1234_5678);
+//! assert_eq!((a ^ b).as_u128(), 0xdead_beef ^ 0x1234_5678);
+//!
+//! let x = Ring128::new(u128::MAX);
+//! let y = Ring128::new(1);
+//! assert_eq!((x + y).value(), 0); // wraps mod 2^128
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod block;
+mod matrix;
+mod ring;
+mod share;
+mod vector;
+
+pub use block::Block128;
+pub use matrix::{matvec_accumulate, matvec_shares, ShareMatrix};
+pub use ring::{Ring128, RingElement};
+pub use share::{reconstruct_lanes, reconstruct_ring, share_lanes, share_ring, AdditiveShare};
+pub use vector::{IndicatorShares, LaneVector};
+
+/// Number of bytes in a 128-bit block.
+pub const BLOCK_BYTES: usize = 16;
+
+/// Number of bytes in one `u32` payload lane.
+pub const LANE_BYTES: usize = 4;
+
+/// Convert a byte length into the number of `u32` lanes required to hold it.
+///
+/// Entry sizes in the paper range from 64 B to 1 KiB; payloads are always
+/// padded up to a whole number of lanes.
+///
+/// # Example
+///
+/// ```rust
+/// assert_eq!(pir_field::lanes_for_bytes(128), 32);
+/// assert_eq!(pir_field::lanes_for_bytes(130), 33);
+/// assert_eq!(pir_field::lanes_for_bytes(0), 0);
+/// ```
+#[must_use]
+pub const fn lanes_for_bytes(bytes: usize) -> usize {
+    bytes.div_ceil(LANE_BYTES)
+}

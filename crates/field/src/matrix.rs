@@ -1,0 +1,241 @@
+//! Share-weighted matrix–vector products over embedding tables.
+
+use serde::{Deserialize, Serialize};
+
+use crate::{LaneVector, Ring128};
+
+/// A dense matrix of `u32` payload lanes: one row per table entry.
+///
+/// This is the in-memory layout the PIR servers multiply against the expanded
+/// DPF output. Rows are stored contiguously, which mirrors how the GPU kernel
+/// streams the table from global memory.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ShareMatrix {
+    rows: usize,
+    lanes_per_row: usize,
+    data: Vec<u32>,
+}
+
+impl ShareMatrix {
+    /// Create a zeroed matrix with `rows` rows of `lanes_per_row` lanes each.
+    #[must_use]
+    pub fn zeroed(rows: usize, lanes_per_row: usize) -> Self {
+        Self {
+            rows,
+            lanes_per_row,
+            data: vec![0; rows * lanes_per_row],
+        }
+    }
+
+    /// Build a matrix from a row-major lane buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != rows * lanes_per_row`.
+    #[must_use]
+    pub fn from_rows(rows: usize, lanes_per_row: usize, data: Vec<u32>) -> Self {
+        assert_eq!(
+            data.len(),
+            rows * lanes_per_row,
+            "row-major buffer has wrong length"
+        );
+        Self {
+            rows,
+            lanes_per_row,
+            data,
+        }
+    }
+
+    /// Number of rows (table entries).
+    #[must_use]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of `u32` lanes per row.
+    #[must_use]
+    pub fn lanes_per_row(&self) -> usize {
+        self.lanes_per_row
+    }
+
+    /// Total size of the table in bytes.
+    #[must_use]
+    pub fn size_bytes(&self) -> usize {
+        self.data.len() * 4
+    }
+
+    /// Borrow one row as a lane slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row >= rows`.
+    #[must_use]
+    pub fn row(&self, row: usize) -> &[u32] {
+        assert!(row < self.rows, "row {row} out of bounds ({})", self.rows);
+        let start = row * self.lanes_per_row;
+        &self.data[start..start + self.lanes_per_row]
+    }
+
+    /// Mutably borrow one row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row >= rows`.
+    pub fn row_mut(&mut self, row: usize) -> &mut [u32] {
+        assert!(row < self.rows, "row {row} out of bounds ({})", self.rows);
+        let start = row * self.lanes_per_row;
+        &mut self.data[start..start + self.lanes_per_row]
+    }
+
+    /// Overwrite one row from a lane slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slice length differs from `lanes_per_row` or the row is
+    /// out of bounds.
+    pub fn set_row(&mut self, row: usize, lanes: &[u32]) {
+        assert_eq!(lanes.len(), self.lanes_per_row, "row width mismatch");
+        self.row_mut(row).copy_from_slice(lanes);
+    }
+
+    /// Iterate over rows as lane slices.
+    pub fn iter_rows(&self) -> impl Iterator<Item = &[u32]> {
+        self.data.chunks(self.lanes_per_row)
+    }
+}
+
+/// Compute `weights × matrix` where `weights` are DPF output shares, yielding
+/// an additive share of the selected row.
+///
+/// Each weight is reduced to its low 32 bits before the wrapping multiply;
+/// correctness follows because the weights sum to `0` or `1` mod `2^128`.
+///
+/// # Panics
+///
+/// Panics if `weights.len() != matrix.rows()`.
+#[must_use]
+pub fn matvec_shares(weights: &[Ring128], matrix: &ShareMatrix) -> LaneVector {
+    assert_eq!(
+        weights.len(),
+        matrix.rows(),
+        "weight vector must have one entry per table row"
+    );
+    let mut acc = LaneVector::zeroed(matrix.lanes_per_row());
+    for (weight, row) in weights.iter().zip(matrix.iter_rows()) {
+        acc.add_scaled_assign(weight.to_lane(), row);
+    }
+    acc
+}
+
+/// Accumulate `weights[j] * matrix.row(base_row + j)` into `acc` for a chunk of
+/// rows, the primitive used by the fused DPF-matmul kernel.
+///
+/// # Panics
+///
+/// Panics if the chunk extends past the end of the matrix or `acc` width does
+/// not match the matrix.
+pub fn matvec_accumulate(
+    acc: &mut LaneVector,
+    weights: &[Ring128],
+    matrix: &ShareMatrix,
+    base_row: usize,
+) {
+    assert!(
+        base_row + weights.len() <= matrix.rows(),
+        "chunk [{base_row}, {}) exceeds table rows {}",
+        base_row + weights.len(),
+        matrix.rows()
+    );
+    assert_eq!(acc.len(), matrix.lanes_per_row(), "accumulator width mismatch");
+    for (offset, weight) in weights.iter().enumerate() {
+        acc.add_scaled_assign(weight.to_lane(), matrix.row(base_row + offset));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::IndicatorShares;
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_matrix(rng: &mut StdRng, rows: usize, lanes: usize) -> ShareMatrix {
+        let data: Vec<u32> = (0..rows * lanes).map(|_| rng.gen()).collect();
+        ShareMatrix::from_rows(rows, lanes, data)
+    }
+
+    #[test]
+    fn matvec_selects_row_via_indicator_shares() {
+        let mut rng = StdRng::seed_from_u64(21);
+        let matrix = random_matrix(&mut rng, 16, 8);
+        let target = 5;
+        let shares = IndicatorShares::for_index(target, 16, &mut rng);
+        let out0 = matvec_shares(&shares.share0, &matrix);
+        let out1 = matvec_shares(&shares.share1, &matrix);
+        let reconstructed: Vec<u32> = out0
+            .0
+            .iter()
+            .zip(&out1.0)
+            .map(|(a, b)| a.wrapping_add(*b))
+            .collect();
+        assert_eq!(reconstructed, matrix.row(target));
+    }
+
+    #[test]
+    fn chunked_accumulation_matches_full() {
+        let mut rng = StdRng::seed_from_u64(22);
+        let matrix = random_matrix(&mut rng, 32, 4);
+        let weights: Vec<Ring128> = (0..32).map(|_| Ring128::random(&mut rng)).collect();
+
+        let full = matvec_shares(&weights, &matrix);
+
+        let mut chunked = LaneVector::zeroed(4);
+        for chunk_start in (0..32).step_by(8) {
+            matvec_accumulate(
+                &mut chunked,
+                &weights[chunk_start..chunk_start + 8],
+                &matrix,
+                chunk_start,
+            );
+        }
+        assert_eq!(full, chunked);
+    }
+
+    #[test]
+    fn size_accounts_rows_and_lanes() {
+        let matrix = ShareMatrix::zeroed(10, 32);
+        assert_eq!(matrix.size_bytes(), 10 * 32 * 4);
+        assert_eq!(matrix.rows(), 10);
+        assert_eq!(matrix.lanes_per_row(), 32);
+    }
+
+    #[test]
+    #[should_panic(expected = "wrong length")]
+    fn from_rows_validates_length() {
+        let _ = ShareMatrix::from_rows(2, 3, vec![0; 5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn row_out_of_bounds_panics() {
+        let matrix = ShareMatrix::zeroed(2, 2);
+        let _ = matrix.row(2);
+    }
+
+    proptest! {
+        #[test]
+        fn matvec_linear_in_weights(seed in any::<u64>(), rows in 1usize..24, lanes in 1usize..8) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let matrix = random_matrix(&mut rng, rows, lanes);
+            let w1: Vec<Ring128> = (0..rows).map(|_| Ring128::random(&mut rng)).collect();
+            let w2: Vec<Ring128> = (0..rows).map(|_| Ring128::random(&mut rng)).collect();
+            let sum: Vec<Ring128> = w1.iter().zip(&w2).map(|(a, b)| *a + *b).collect();
+
+            let lhs = matvec_shares(&sum, &matrix);
+            let mut rhs = matvec_shares(&w1, &matrix);
+            rhs.add_assign_wrapping(&matvec_shares(&w2, &matrix));
+            prop_assert_eq!(lhs, rhs);
+        }
+    }
+}

@@ -1,0 +1,243 @@
+//! Wrapping ring arithmetic `Z_{2^128}` used for DPF output shares.
+
+use core::fmt;
+use core::iter::Sum;
+use core::ops::{Add, AddAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::Block128;
+
+/// An element of the ring `Z_{2^128}` (integers with wrapping arithmetic).
+///
+/// The DPF's final correction word and the leaf "conversion" both live in this
+/// ring: two evaluation shares sum to `1` at the target index and `0`
+/// everywhere else, with all additions performed mod `2^128`.
+///
+/// ```rust
+/// use pir_field::Ring128;
+/// let a = Ring128::new(u128::MAX);
+/// assert_eq!((a + Ring128::ONE).value(), 0);
+/// assert_eq!((-Ring128::ONE) + Ring128::ONE, Ring128::ZERO);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Default, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Ring128(u128);
+
+impl Ring128 {
+    /// The additive identity.
+    pub const ZERO: Self = Self(0);
+    /// The multiplicative identity.
+    pub const ONE: Self = Self(1);
+
+    /// Wrap a raw `u128` as a ring element.
+    #[must_use]
+    pub const fn new(value: u128) -> Self {
+        Self(value)
+    }
+
+    /// The raw `u128` value.
+    #[must_use]
+    pub const fn value(self) -> u128 {
+        self.0
+    }
+
+    /// Reduce the element to a `u32` lane (mod `2^32`).
+    ///
+    /// Payload arithmetic happens per-lane mod `2^32`; because `2^32`
+    /// divides `2^128`, shares that sum to `v` mod `2^128` also sum to
+    /// `v` mod `2^32`.
+    #[must_use]
+    pub const fn to_lane(self) -> u32 {
+        self.0 as u32
+    }
+
+    /// Sample a uniformly random ring element.
+    pub fn random<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        Self(rng.gen())
+    }
+
+    /// Wrapping addition.
+    #[must_use]
+    pub const fn wrapping_add(self, rhs: Self) -> Self {
+        Self(self.0.wrapping_add(rhs.0))
+    }
+
+    /// Wrapping subtraction.
+    #[must_use]
+    pub const fn wrapping_sub(self, rhs: Self) -> Self {
+        Self(self.0.wrapping_sub(rhs.0))
+    }
+
+    /// Wrapping multiplication.
+    #[must_use]
+    pub const fn wrapping_mul(self, rhs: Self) -> Self {
+        Self(self.0.wrapping_mul(rhs.0))
+    }
+
+    /// Wrapping negation.
+    #[must_use]
+    pub const fn wrapping_neg(self) -> Self {
+        Self(self.0.wrapping_neg())
+    }
+
+    /// Negate when `negate` is true; used for the `(-1)^party` sign in DPF
+    /// output computation, expressed branch-free.
+    #[must_use]
+    pub const fn negate_if(self, negate: bool) -> Self {
+        // mask == 0 or all-ones
+        let mask = (negate as u128).wrapping_neg();
+        // (x ^ mask) - mask  ==  x (mask=0)  or  -x (mask=all ones, two's complement)
+        Self((self.0 ^ mask).wrapping_sub(mask))
+    }
+}
+
+/// Convert a seed block into a ring element (the DPF `convert` map).
+impl From<Block128> for Ring128 {
+    fn from(block: Block128) -> Self {
+        Self(block.as_u128())
+    }
+}
+
+impl From<u128> for Ring128 {
+    fn from(value: u128) -> Self {
+        Self(value)
+    }
+}
+
+impl From<Ring128> for u128 {
+    fn from(value: Ring128) -> Self {
+        value.0
+    }
+}
+
+impl fmt::Debug for Ring128 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Ring128({})", self.0)
+    }
+}
+
+impl fmt::Display for Ring128 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(&self.0, f)
+    }
+}
+
+impl Add for Ring128 {
+    type Output = Self;
+    fn add(self, rhs: Self) -> Self {
+        self.wrapping_add(rhs)
+    }
+}
+
+impl AddAssign for Ring128 {
+    fn add_assign(&mut self, rhs: Self) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for Ring128 {
+    type Output = Self;
+    fn sub(self, rhs: Self) -> Self {
+        self.wrapping_sub(rhs)
+    }
+}
+
+impl SubAssign for Ring128 {
+    fn sub_assign(&mut self, rhs: Self) {
+        *self = *self - rhs;
+    }
+}
+
+impl Mul for Ring128 {
+    type Output = Self;
+    fn mul(self, rhs: Self) -> Self {
+        self.wrapping_mul(rhs)
+    }
+}
+
+impl MulAssign for Ring128 {
+    fn mul_assign(&mut self, rhs: Self) {
+        *self = *self * rhs;
+    }
+}
+
+impl Neg for Ring128 {
+    type Output = Self;
+    fn neg(self) -> Self {
+        self.wrapping_neg()
+    }
+}
+
+impl Sum for Ring128 {
+    fn sum<I: Iterator<Item = Self>>(iter: I) -> Self {
+        iter.fold(Self::ZERO, Add::add)
+    }
+}
+
+/// Alias kept for readability in DPF code: a ring element that carries a share.
+pub type RingElement = Ring128;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn wrap_around() {
+        assert_eq!((Ring128::new(u128::MAX) + Ring128::ONE), Ring128::ZERO);
+        assert_eq!((Ring128::ZERO - Ring128::ONE), Ring128::new(u128::MAX));
+    }
+
+    #[test]
+    fn negate_if_matches_neg() {
+        let x = Ring128::new(123_456_789);
+        assert_eq!(x.negate_if(false), x);
+        assert_eq!(x.negate_if(true), -x);
+        assert_eq!(Ring128::ZERO.negate_if(true), Ring128::ZERO);
+    }
+
+    #[test]
+    fn sum_iterator() {
+        let total: Ring128 = (0u128..10).map(Ring128::new).sum();
+        assert_eq!(total, Ring128::new(45));
+    }
+
+    #[test]
+    fn lane_reduction_is_low_bits() {
+        let x = Ring128::new((7u128 << 64) | 0xdead_beef);
+        assert_eq!(x.to_lane(), 0xdead_beef);
+    }
+
+    proptest! {
+        #[test]
+        fn addition_commutes(a in any::<u128>(), b in any::<u128>()) {
+            prop_assert_eq!(Ring128::new(a) + Ring128::new(b), Ring128::new(b) + Ring128::new(a));
+        }
+
+        #[test]
+        fn addition_associates(a in any::<u128>(), b in any::<u128>(), c in any::<u128>()) {
+            let (a, b, c) = (Ring128::new(a), Ring128::new(b), Ring128::new(c));
+            prop_assert_eq!((a + b) + c, a + (b + c));
+        }
+
+        #[test]
+        fn sub_is_add_neg(a in any::<u128>(), b in any::<u128>()) {
+            let (a, b) = (Ring128::new(a), Ring128::new(b));
+            prop_assert_eq!(a - b, a + (-b));
+        }
+
+        #[test]
+        fn negate_if_branch_free(a in any::<u128>(), flag in any::<bool>()) {
+            let x = Ring128::new(a);
+            let expected = if flag { -x } else { x };
+            prop_assert_eq!(x.negate_if(flag), expected);
+        }
+
+        #[test]
+        fn mul_distributes(a in any::<u128>(), b in any::<u128>(), c in any::<u128>()) {
+            let (a, b, c) = (Ring128::new(a), Ring128::new(b), Ring128::new(c));
+            prop_assert_eq!(a * (b + c), a * b + a * c);
+        }
+    }
+}

@@ -1,0 +1,138 @@
+//! Two-party additive secret sharing.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::Ring128;
+
+/// One party's additive share of a secret value.
+///
+/// The PIR protocol runs between two non-colluding servers; a secret `v` is
+/// split into `(v - r, r)` so that neither share alone reveals anything about
+/// `v`, but their sum reconstructs it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub struct AdditiveShare {
+    /// Which party holds this share (0 or 1).
+    pub party: u8,
+    /// The share value in `Z_{2^128}`.
+    pub value: Ring128,
+}
+
+impl AdditiveShare {
+    /// Construct a share held by `party`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `party` is not 0 or 1.
+    #[must_use]
+    pub fn new(party: u8, value: Ring128) -> Self {
+        assert!(party < 2, "two-party sharing only supports parties 0 and 1");
+        Self { party, value }
+    }
+}
+
+/// Split a ring element into two additive shares.
+///
+/// ```rust
+/// # use pir_field::{share_ring, reconstruct_ring, Ring128};
+/// # use rand::SeedableRng;
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let (a, b) = share_ring(Ring128::new(42), &mut rng);
+/// assert_eq!(reconstruct_ring(a, b), Ring128::new(42));
+/// ```
+pub fn share_ring<R: Rng + ?Sized>(value: Ring128, rng: &mut R) -> (AdditiveShare, AdditiveShare) {
+    let mask = Ring128::random(rng);
+    (
+        AdditiveShare::new(0, value - mask),
+        AdditiveShare::new(1, mask),
+    )
+}
+
+/// Reconstruct a ring element from its two shares.
+///
+/// # Panics
+///
+/// Panics if both shares belong to the same party (reconstruction would not
+/// correspond to the two-server protocol).
+#[must_use]
+pub fn reconstruct_ring(a: AdditiveShare, b: AdditiveShare) -> Ring128 {
+    assert_ne!(a.party, b.party, "shares must come from distinct parties");
+    a.value + b.value
+}
+
+/// Split a vector of `u32` lanes into two additive share vectors mod `2^32`.
+pub fn share_lanes<R: Rng + ?Sized>(lanes: &[u32], rng: &mut R) -> (Vec<u32>, Vec<u32>) {
+    let mask: Vec<u32> = (0..lanes.len()).map(|_| rng.gen()).collect();
+    let first = lanes
+        .iter()
+        .zip(&mask)
+        .map(|(v, m)| v.wrapping_sub(*m))
+        .collect();
+    (first, mask)
+}
+
+/// Reconstruct a lane vector from two additive share vectors.
+///
+/// # Panics
+///
+/// Panics if the two share vectors have different lengths.
+#[must_use]
+pub fn reconstruct_lanes(a: &[u32], b: &[u32]) -> Vec<u32> {
+    assert_eq!(a.len(), b.len(), "share vectors must have equal length");
+    a.iter().zip(b).map(|(x, y)| x.wrapping_add(*y)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn ring_share_roundtrip() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for value in [0u128, 1, u128::MAX, 77_777] {
+            let (a, b) = share_ring(Ring128::new(value), &mut rng);
+            assert_eq!(reconstruct_ring(a, b), Ring128::new(value));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "distinct parties")]
+    fn reconstruct_same_party_panics() {
+        let share = AdditiveShare::new(0, Ring128::ONE);
+        let _ = reconstruct_ring(share, share);
+    }
+
+    #[test]
+    #[should_panic(expected = "two-party")]
+    fn invalid_party_panics() {
+        let _ = AdditiveShare::new(2, Ring128::ONE);
+    }
+
+    #[test]
+    fn shares_are_not_the_secret() {
+        // With overwhelming probability a random mask differs from zero, so the
+        // first share should not equal the plain value.
+        let mut rng = StdRng::seed_from_u64(9);
+        let (a, _b) = share_ring(Ring128::new(5), &mut rng);
+        assert_ne!(a.value, Ring128::new(5));
+    }
+
+    proptest! {
+        #[test]
+        fn lane_share_roundtrip(values in proptest::collection::vec(any::<u32>(), 0..64), seed in any::<u64>()) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let (a, b) = share_lanes(&values, &mut rng);
+            prop_assert_eq!(reconstruct_lanes(&a, &b), values);
+        }
+
+        #[test]
+        fn ring_share_roundtrip_prop(value in any::<u128>(), seed in any::<u64>()) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let (a, b) = share_ring(Ring128::new(value), &mut rng);
+            prop_assert_eq!(reconstruct_ring(a, b), Ring128::new(value));
+        }
+    }
+}

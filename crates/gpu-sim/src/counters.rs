@@ -1,0 +1,197 @@
+//! Hardware event counters recorded while a kernel executes.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use serde::{Deserialize, Serialize};
+
+/// Thread-safe counters shared by every block of one kernel launch.
+///
+/// Simulated kernels record the events that determine real GPU performance:
+/// PRF evaluations (the dominant compute cost of DPF expansion), integer
+/// arithmetic, global/shared memory traffic and synchronisations. The
+/// [`crate::CostModel`] converts a [`CounterSnapshot`] into estimated
+/// execution time.
+#[derive(Debug, Default)]
+pub struct KernelCounters {
+    prf_calls: AtomicU64,
+    prf_cycles: AtomicU64,
+    flops: AtomicU64,
+    global_read_bytes: AtomicU64,
+    global_write_bytes: AtomicU64,
+    shared_bytes: AtomicU64,
+    block_syncs: AtomicU64,
+    grid_syncs: AtomicU64,
+}
+
+impl KernelCounters {
+    /// Create a zeroed counter set.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record `calls` PRF block evaluations costing `cycles_per_call` each.
+    pub fn record_prf_calls(&self, calls: u64, cycles_per_call: u64) {
+        self.prf_calls.fetch_add(calls, Ordering::Relaxed);
+        self.prf_cycles
+            .fetch_add(calls.saturating_mul(cycles_per_call), Ordering::Relaxed);
+    }
+
+    /// Record `ops` integer/floating point operations (1 cycle each).
+    pub fn record_flops(&self, ops: u64) {
+        self.flops.fetch_add(ops, Ordering::Relaxed);
+    }
+
+    /// Record a read of `bytes` from global (HBM) memory.
+    pub fn record_global_read(&self, bytes: u64) {
+        self.global_read_bytes.fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    /// Record a write of `bytes` to global (HBM) memory.
+    pub fn record_global_write(&self, bytes: u64) {
+        self.global_write_bytes.fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    /// Record `bytes` of shared-memory traffic.
+    pub fn record_shared(&self, bytes: u64) {
+        self.shared_bytes.fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    /// Record a `__syncthreads()`-style block barrier.
+    pub fn record_block_sync(&self) {
+        self.block_syncs.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record a cooperative-groups grid-wide barrier.
+    pub fn record_grid_sync(&self) {
+        self.grid_syncs.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Take an immutable snapshot of the counters.
+    #[must_use]
+    pub fn snapshot(&self) -> CounterSnapshot {
+        CounterSnapshot {
+            prf_calls: self.prf_calls.load(Ordering::Relaxed),
+            prf_cycles: self.prf_cycles.load(Ordering::Relaxed),
+            flops: self.flops.load(Ordering::Relaxed),
+            global_read_bytes: self.global_read_bytes.load(Ordering::Relaxed),
+            global_write_bytes: self.global_write_bytes.load(Ordering::Relaxed),
+            shared_bytes: self.shared_bytes.load(Ordering::Relaxed),
+            block_syncs: self.block_syncs.load(Ordering::Relaxed),
+            grid_syncs: self.grid_syncs.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A plain-data copy of [`KernelCounters`] taken after a launch completes.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CounterSnapshot {
+    /// Number of PRF block evaluations.
+    pub prf_calls: u64,
+    /// Total estimated GPU cycles spent in PRF evaluations.
+    pub prf_cycles: u64,
+    /// Non-PRF arithmetic operations.
+    pub flops: u64,
+    /// Bytes read from global memory.
+    pub global_read_bytes: u64,
+    /// Bytes written to global memory.
+    pub global_write_bytes: u64,
+    /// Bytes moved through shared memory.
+    pub shared_bytes: u64,
+    /// Block-level barriers executed.
+    pub block_syncs: u64,
+    /// Grid-level (cooperative) barriers executed.
+    pub grid_syncs: u64,
+}
+
+impl CounterSnapshot {
+    /// Total bytes of global memory traffic (reads + writes).
+    #[must_use]
+    pub fn global_bytes(&self) -> u64 {
+        self.global_read_bytes + self.global_write_bytes
+    }
+
+    /// Total compute cycles (PRF + other arithmetic).
+    #[must_use]
+    pub fn compute_cycles(&self) -> u64 {
+        self.prf_cycles + self.flops
+    }
+
+    /// Element-wise sum of two snapshots (for aggregating multi-kernel jobs).
+    #[must_use]
+    pub fn combined(&self, other: &Self) -> Self {
+        Self {
+            prf_calls: self.prf_calls + other.prf_calls,
+            prf_cycles: self.prf_cycles + other.prf_cycles,
+            flops: self.flops + other.flops,
+            global_read_bytes: self.global_read_bytes + other.global_read_bytes,
+            global_write_bytes: self.global_write_bytes + other.global_write_bytes,
+            shared_bytes: self.shared_bytes + other.shared_bytes,
+            block_syncs: self.block_syncs + other.block_syncs,
+            grid_syncs: self.grid_syncs + other.grid_syncs,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_accumulate() {
+        let counters = KernelCounters::new();
+        counters.record_prf_calls(10, 2000);
+        counters.record_prf_calls(5, 2000);
+        counters.record_flops(100);
+        counters.record_global_read(4096);
+        counters.record_global_write(1024);
+        counters.record_shared(512);
+        counters.record_block_sync();
+        counters.record_grid_sync();
+
+        let snap = counters.snapshot();
+        assert_eq!(snap.prf_calls, 15);
+        assert_eq!(snap.prf_cycles, 30_000);
+        assert_eq!(snap.flops, 100);
+        assert_eq!(snap.global_bytes(), 5120);
+        assert_eq!(snap.shared_bytes, 512);
+        assert_eq!(snap.block_syncs, 1);
+        assert_eq!(snap.grid_syncs, 1);
+        assert_eq!(snap.compute_cycles(), 30_100);
+    }
+
+    #[test]
+    fn combined_sums_fields() {
+        let a = CounterSnapshot {
+            prf_calls: 1,
+            prf_cycles: 10,
+            flops: 2,
+            global_read_bytes: 3,
+            global_write_bytes: 4,
+            shared_bytes: 5,
+            block_syncs: 6,
+            grid_syncs: 7,
+        };
+        let b = a;
+        let c = a.combined(&b);
+        assert_eq!(c.prf_calls, 2);
+        assert_eq!(c.global_bytes(), 14);
+        assert_eq!(c.grid_syncs, 14);
+    }
+
+    #[test]
+    fn concurrent_recording() {
+        let counters = KernelCounters::new();
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                scope.spawn(|| {
+                    for _ in 0..1000 {
+                        counters.record_prf_calls(1, 100);
+                    }
+                });
+            }
+        });
+        assert_eq!(counters.snapshot().prf_calls, 8000);
+        assert_eq!(counters.snapshot().prf_cycles, 800_000);
+    }
+}

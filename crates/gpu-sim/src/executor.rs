@@ -1,0 +1,200 @@
+//! Functional execution of kernels on a host thread pool.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+use crate::{
+    BlockContext, CostModel, DeviceSpec, Kernel, KernelCounters, KernelReport, LaunchConfig,
+    MemoryTracker, OccupancyEstimate,
+};
+
+/// Executes simulated kernels and produces [`KernelReport`]s.
+///
+/// Blocks of a launch are distributed over host worker threads with a simple
+/// work-stealing index; this parallelism only accelerates the *simulation*,
+/// the modelled GPU time comes from the cost model.
+#[derive(Debug)]
+pub struct GpuExecutor {
+    device: DeviceSpec,
+    cost_model: CostModel,
+    host_threads: usize,
+}
+
+impl GpuExecutor {
+    /// Create an executor for `device` using all available host cores for the
+    /// functional simulation.
+    #[must_use]
+    pub fn new(device: DeviceSpec) -> Self {
+        let host_threads = std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(4);
+        Self::with_host_threads(device, host_threads)
+    }
+
+    /// Create an executor with an explicit host thread count (useful for
+    /// deterministic tests).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `host_threads` is zero.
+    #[must_use]
+    pub fn with_host_threads(device: DeviceSpec, host_threads: usize) -> Self {
+        assert!(host_threads > 0, "need at least one host thread");
+        let cost_model = CostModel::new(device.clone());
+        Self {
+            device,
+            cost_model,
+            host_threads,
+        }
+    }
+
+    /// The simulated device.
+    #[must_use]
+    pub fn device(&self) -> &DeviceSpec {
+        &self.device
+    }
+
+    /// The executor's cost model.
+    #[must_use]
+    pub fn cost_model(&self) -> &CostModel {
+        &self.cost_model
+    }
+
+    /// Launch `kernel` with `config`, running every block functionally and
+    /// returning the combined report.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the launch geometry is invalid for the device (propagated
+    /// from [`OccupancyEstimate::estimate`]), mirroring a CUDA launch failure.
+    pub fn launch<K>(&self, name: &str, config: LaunchConfig, kernel: K) -> KernelReport
+    where
+        K: Kernel,
+    {
+        self.launch_with_resident_memory(name, config, 0, kernel)
+    }
+
+    /// Launch a kernel that keeps `resident_bytes` of device memory (the
+    /// embedding table, key buffers, output buffers) allocated for its whole
+    /// duration, in addition to whatever scratch the kernel tracks itself.
+    pub fn launch_with_resident_memory<K>(
+        &self,
+        name: &str,
+        config: LaunchConfig,
+        resident_bytes: u64,
+        kernel: K,
+    ) -> KernelReport
+    where
+        K: Kernel,
+    {
+        let occupancy = OccupancyEstimate::estimate(&self.device, &config);
+        let counters = KernelCounters::new();
+        let memory = MemoryTracker::new();
+        memory.set_resident(resident_bytes);
+
+        let total_blocks = config.total_blocks();
+        let next_block = AtomicU64::new(0);
+        let start = Instant::now();
+
+        let workers = self.host_threads.min(total_blocks.max(1) as usize);
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let block_index = next_block.fetch_add(1, Ordering::Relaxed);
+                    if block_index >= total_blocks {
+                        break;
+                    }
+                    let ctx = BlockContext::new(block_index, config, &counters, &memory);
+                    kernel.execute_block(&ctx);
+                });
+            }
+        });
+
+        let host_wall_time_s = start.elapsed().as_secs_f64();
+        let snapshot = counters.snapshot();
+        let time = self.cost_model.kernel_time(&snapshot, &occupancy);
+
+        KernelReport {
+            name: name.to_string(),
+            config,
+            counters: snapshot,
+            occupancy,
+            time,
+            estimated_time_s: time.total_s,
+            peak_memory_bytes: memory.peak(),
+            host_wall_time_s,
+        }
+    }
+}
+
+impl Default for GpuExecutor {
+    fn default() -> Self {
+        Self::new(DeviceSpec::v100())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64 as StdAtomicU64;
+
+    #[test]
+    fn every_block_executes_exactly_once() {
+        let executor = GpuExecutor::with_host_threads(DeviceSpec::v100(), 4);
+        let config = LaunchConfig::linear(257, 64);
+        let executed = StdAtomicU64::new(0);
+        let seen_mask: Vec<StdAtomicU64> = (0..257).map(|_| StdAtomicU64::new(0)).collect();
+
+        let report = executor.launch("count_blocks", config, |block: &BlockContext<'_>| {
+            executed.fetch_add(1, Ordering::Relaxed);
+            seen_mask[block.block_index() as usize].fetch_add(1, Ordering::Relaxed);
+            block.counters().record_flops(1);
+        });
+
+        assert_eq!(executed.load(Ordering::Relaxed), 257);
+        assert!(seen_mask.iter().all(|b| b.load(Ordering::Relaxed) == 1));
+        assert_eq!(report.counters.flops, 257);
+        assert!(report.estimated_time_s > 0.0);
+    }
+
+    #[test]
+    fn resident_memory_is_reported() {
+        let executor = GpuExecutor::with_host_threads(DeviceSpec::v100(), 2);
+        let report = executor.launch_with_resident_memory(
+            "resident",
+            LaunchConfig::linear(2, 32),
+            1_000_000,
+            |block: &BlockContext<'_>| {
+                block.memory().alloc(500);
+                block.memory().release(500);
+            },
+        );
+        assert!(report.peak_memory_bytes >= 1_000_000);
+        assert!(report.peak_memory_bytes <= 1_001_000);
+    }
+
+    #[test]
+    fn report_reflects_recorded_prf_work() {
+        let executor = GpuExecutor::with_host_threads(DeviceSpec::v100(), 2);
+        let report = executor.launch(
+            "prf_heavy",
+            LaunchConfig::linear(16, 128),
+            |block: &BlockContext<'_>| {
+                block.counters().record_prf_calls(1_000, 2_000);
+            },
+        );
+        assert_eq!(report.counters.prf_calls, 16_000);
+        assert_eq!(report.counters.prf_cycles, 32_000_000);
+        assert!(report.time.compute_s > 0.0);
+        assert!(report.utilization() > 0.0);
+    }
+
+    #[test]
+    fn bigger_grids_do_not_lower_utilization() {
+        let executor = GpuExecutor::with_host_threads(DeviceSpec::v100(), 2);
+        let small = executor.launch("small", LaunchConfig::linear(4, 256), |_: &BlockContext<'_>| {});
+        let large =
+            executor.launch("large", LaunchConfig::linear(640, 256), |_: &BlockContext<'_>| {});
+        assert!(large.utilization() >= small.utilization());
+    }
+}

@@ -1,0 +1,151 @@
+//! Kernel launch geometry.
+
+use serde::{Deserialize, Serialize};
+
+/// A three-dimensional extent, mirroring CUDA's `dim3`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Dim3 {
+    /// Extent along x.
+    pub x: u32,
+    /// Extent along y.
+    pub y: u32,
+    /// Extent along z.
+    pub z: u32,
+}
+
+impl Dim3 {
+    /// A one-dimensional extent.
+    #[must_use]
+    pub const fn linear(x: u32) -> Self {
+        Self { x, y: 1, z: 1 }
+    }
+
+    /// Total number of elements covered by the extent.
+    #[must_use]
+    pub const fn count(self) -> u64 {
+        self.x as u64 * self.y as u64 * self.z as u64
+    }
+}
+
+impl Default for Dim3 {
+    fn default() -> Self {
+        Self::linear(1)
+    }
+}
+
+impl From<u32> for Dim3 {
+    fn from(x: u32) -> Self {
+        Self::linear(x)
+    }
+}
+
+/// Parameters of one kernel launch.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct LaunchConfig {
+    /// Number of thread blocks in the grid.
+    pub grid: Dim3,
+    /// Number of threads per block.
+    pub block: Dim3,
+    /// Dynamic shared memory requested per block, in bytes.
+    pub shared_mem_per_block: u32,
+    /// Whether the launch uses cooperative groups (grid-wide sync allowed).
+    pub cooperative: bool,
+}
+
+impl LaunchConfig {
+    /// A one-dimensional launch of `blocks` blocks × `threads_per_block`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    #[must_use]
+    pub fn linear(blocks: u32, threads_per_block: u32) -> Self {
+        assert!(blocks > 0, "grid must contain at least one block");
+        assert!(threads_per_block > 0, "blocks must contain at least one thread");
+        Self {
+            grid: Dim3::linear(blocks),
+            block: Dim3::linear(threads_per_block),
+            shared_mem_per_block: 0,
+            cooperative: false,
+        }
+    }
+
+    /// Builder-style: set the dynamic shared memory per block.
+    #[must_use]
+    pub fn with_shared_mem(mut self, bytes: u32) -> Self {
+        self.shared_mem_per_block = bytes;
+        self
+    }
+
+    /// Builder-style: mark this as a cooperative-groups launch.
+    #[must_use]
+    pub fn with_cooperative(mut self, cooperative: bool) -> Self {
+        self.cooperative = cooperative;
+        self
+    }
+
+    /// Total number of blocks in the grid.
+    #[must_use]
+    pub fn total_blocks(&self) -> u64 {
+        self.grid.count()
+    }
+
+    /// Threads per block.
+    #[must_use]
+    pub fn threads_per_block(&self) -> u64 {
+        self.block.count()
+    }
+
+    /// Total threads across the whole grid.
+    #[must_use]
+    pub fn total_threads(&self) -> u64 {
+        self.total_blocks() * self.threads_per_block()
+    }
+}
+
+impl Default for LaunchConfig {
+    fn default() -> Self {
+        Self::linear(1, 32)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_counts() {
+        let config = LaunchConfig::linear(128, 256);
+        assert_eq!(config.total_blocks(), 128);
+        assert_eq!(config.threads_per_block(), 256);
+        assert_eq!(config.total_threads(), 128 * 256);
+    }
+
+    #[test]
+    fn builders_compose() {
+        let config = LaunchConfig::linear(4, 64)
+            .with_shared_mem(8192)
+            .with_cooperative(true);
+        assert_eq!(config.shared_mem_per_block, 8192);
+        assert!(config.cooperative);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one block")]
+    fn zero_blocks_rejected() {
+        let _ = LaunchConfig::linear(0, 32);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one thread")]
+    fn zero_threads_rejected() {
+        let _ = LaunchConfig::linear(1, 0);
+    }
+
+    #[test]
+    fn dim3_conversions() {
+        let d: Dim3 = 7u32.into();
+        assert_eq!(d.count(), 7);
+        assert_eq!(Dim3::default().count(), 1);
+    }
+}

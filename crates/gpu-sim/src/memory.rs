@@ -1,0 +1,123 @@
+//! Device-memory usage tracking.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Tracks simulated device-memory allocations and their high-water mark.
+///
+/// Peak working-set size is the axis of the paper's Figure 6 and Figure 8a:
+/// the level-by-level strategy needs `O(B·L)` intermediate storage while the
+/// memory-bounded traversal needs only `O(B·K·log L)`, and the peak directly
+/// limits the usable batch size on a 16 GB V100.
+#[derive(Debug, Default)]
+pub struct MemoryTracker {
+    current: AtomicU64,
+    peak: AtomicU64,
+    /// Bytes that are resident for the lifetime of the kernel (e.g. the
+    /// embedding table itself), included in `peak` but not in `current`
+    /// scratch churn.
+    resident: AtomicU64,
+}
+
+impl MemoryTracker {
+    /// Create an empty tracker.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register memory that stays allocated for the whole kernel (the table,
+    /// the key buffer, the output buffer).
+    pub fn set_resident(&self, bytes: u64) {
+        self.resident.store(bytes, Ordering::Relaxed);
+        self.bump_peak(self.current.load(Ordering::Relaxed) + bytes);
+    }
+
+    /// Allocate `bytes` of scratch memory.
+    pub fn alloc(&self, bytes: u64) {
+        let now = self.current.fetch_add(bytes, Ordering::Relaxed) + bytes;
+        self.bump_peak(now + self.resident.load(Ordering::Relaxed));
+    }
+
+    /// Release `bytes` of scratch memory previously allocated with [`Self::alloc`].
+    pub fn release(&self, bytes: u64) {
+        self.current
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |cur| {
+                Some(cur.saturating_sub(bytes))
+            })
+            .expect("fetch_update with Some never fails");
+    }
+
+    /// Currently allocated scratch bytes.
+    #[must_use]
+    pub fn current(&self) -> u64 {
+        self.current.load(Ordering::Relaxed)
+    }
+
+    /// Resident (whole-kernel) bytes.
+    #[must_use]
+    pub fn resident(&self) -> u64 {
+        self.resident.load(Ordering::Relaxed)
+    }
+
+    /// High-water mark of scratch + resident bytes.
+    #[must_use]
+    pub fn peak(&self) -> u64 {
+        self.peak.load(Ordering::Relaxed)
+    }
+
+    fn bump_peak(&self, candidate: u64) {
+        self.peak.fetch_max(candidate, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn peak_tracks_high_water_mark() {
+        let tracker = MemoryTracker::new();
+        tracker.alloc(100);
+        tracker.alloc(200);
+        tracker.release(250);
+        tracker.alloc(10);
+        assert_eq!(tracker.current(), 60);
+        assert_eq!(tracker.peak(), 300);
+    }
+
+    #[test]
+    fn resident_memory_counts_toward_peak() {
+        let tracker = MemoryTracker::new();
+        tracker.set_resident(1_000);
+        tracker.alloc(500);
+        assert_eq!(tracker.peak(), 1_500);
+        tracker.release(500);
+        assert_eq!(tracker.peak(), 1_500);
+        assert_eq!(tracker.resident(), 1_000);
+    }
+
+    #[test]
+    fn release_never_underflows() {
+        let tracker = MemoryTracker::new();
+        tracker.alloc(10);
+        tracker.release(100);
+        assert_eq!(tracker.current(), 0);
+    }
+
+    #[test]
+    fn concurrent_allocations() {
+        let tracker = MemoryTracker::new();
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    for _ in 0..100 {
+                        tracker.alloc(8);
+                        tracker.release(8);
+                    }
+                });
+            }
+        });
+        assert_eq!(tracker.current(), 0);
+        assert!(tracker.peak() >= 8);
+    }
+}

@@ -1,0 +1,173 @@
+//! Occupancy and utilization estimation.
+
+use serde::{Deserialize, Serialize};
+
+use crate::{DeviceSpec, LaunchConfig};
+
+/// Occupancy-derived utilization estimate for one kernel launch.
+///
+/// This is the quantity behind the paper's Figure 8b ("GPU utilization vs K")
+/// and Figure 9 ("batch size / table size vs utilization"): a launch that
+/// exposes too few blocks or too few threads per block cannot fill the V100's
+/// 80 SMs, and its throughput drops proportionally.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct OccupancyEstimate {
+    /// Blocks that can be resident on one SM simultaneously.
+    pub blocks_per_sm: u32,
+    /// Threads resident per SM (`blocks_per_sm × threads_per_block`, capped).
+    pub active_threads_per_sm: u32,
+    /// Fraction of the SM's thread slots that are occupied (0..1).
+    pub occupancy: f64,
+    /// Number of waves needed to run the whole grid.
+    pub waves: u64,
+    /// How fully the average wave uses the device (0..1); a grid smaller than
+    /// the SM count leaves SMs idle.
+    pub wave_efficiency: f64,
+    /// Overall achieved utilization: `occupancy × wave_efficiency` (0..1).
+    pub achieved_utilization: f64,
+}
+
+impl OccupancyEstimate {
+    /// Estimate occupancy for `config` on `device`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the launch requests more shared memory per block than the SM
+    /// provides, or more threads per block than fit on an SM (both would be
+    /// launch failures on real hardware).
+    #[must_use]
+    pub fn estimate(device: &DeviceSpec, config: &LaunchConfig) -> Self {
+        let threads_per_block = config.threads_per_block() as u32;
+        assert!(
+            threads_per_block <= device.max_threads_per_sm,
+            "threads per block ({threads_per_block}) exceeds SM capacity ({})",
+            device.max_threads_per_sm
+        );
+        if config.shared_mem_per_block > 0 {
+            assert!(
+                config.shared_mem_per_block <= device.shared_mem_per_sm,
+                "shared memory per block ({}) exceeds SM shared memory ({})",
+                config.shared_mem_per_block,
+                device.shared_mem_per_sm
+            );
+        }
+
+        // Round threads up to a whole number of warps: partially filled warps
+        // still consume a full warp's scheduling slot.
+        let warps_per_block = threads_per_block.div_ceil(device.warp_size);
+        let padded_threads = warps_per_block * device.warp_size;
+
+        let limit_by_threads = device.max_threads_per_sm / padded_threads.max(1);
+        let limit_by_blocks = device.max_blocks_per_sm;
+        let limit_by_shared = if config.shared_mem_per_block == 0 {
+            u32::MAX
+        } else {
+            device.shared_mem_per_sm / config.shared_mem_per_block
+        };
+        let blocks_per_sm = limit_by_threads
+            .min(limit_by_blocks)
+            .min(limit_by_shared)
+            .max(1);
+
+        let active_threads_per_sm =
+            (blocks_per_sm * padded_threads).min(device.max_threads_per_sm);
+        let occupancy = f64::from(active_threads_per_sm) / f64::from(device.max_threads_per_sm);
+
+        let total_blocks = config.total_blocks();
+        let blocks_per_wave = u64::from(blocks_per_sm) * u64::from(device.num_sms);
+        let waves = total_blocks.div_ceil(blocks_per_wave).max(1);
+        let wave_efficiency = total_blocks as f64 / (waves * blocks_per_wave) as f64;
+
+        // Cooperative launches are constrained to a single resident wave but
+        // coordinate all SMs on one problem; their wave efficiency is how many
+        // SMs receive at least one block.
+        let wave_efficiency = if config.cooperative {
+            (total_blocks as f64 / f64::from(device.num_sms)).min(1.0)
+        } else {
+            wave_efficiency
+        };
+
+        let achieved_utilization = (occupancy * wave_efficiency).clamp(0.0, 1.0);
+
+        Self {
+            blocks_per_sm,
+            active_threads_per_sm,
+            occupancy,
+            waves,
+            wave_efficiency,
+            achieved_utilization,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v100() -> DeviceSpec {
+        DeviceSpec::v100()
+    }
+
+    #[test]
+    fn full_grid_reaches_high_utilization() {
+        // 80 SMs × 8 blocks of 256 threads = 2048 threads/SM -> occupancy 1.0.
+        let config = LaunchConfig::linear(80 * 8, 256);
+        let est = OccupancyEstimate::estimate(&v100(), &config);
+        assert_eq!(est.blocks_per_sm, 8);
+        assert!((est.occupancy - 1.0).abs() < 1e-9);
+        assert!((est.achieved_utilization - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn tiny_grid_underutilizes() {
+        let config = LaunchConfig::linear(1, 256);
+        let est = OccupancyEstimate::estimate(&v100(), &config);
+        assert!(est.achieved_utilization < 0.02);
+    }
+
+    #[test]
+    fn larger_batches_increase_utilization_monotonically() {
+        // The shape of Figure 9a: more blocks -> more utilization, up to 1.0.
+        let mut last = 0.0;
+        for blocks in [1u32, 8, 40, 80, 320, 640] {
+            let est = OccupancyEstimate::estimate(&v100(), &LaunchConfig::linear(blocks, 256));
+            assert!(
+                est.achieved_utilization >= last - 1e-12,
+                "utilization decreased at {blocks} blocks"
+            );
+            last = est.achieved_utilization;
+        }
+        assert!(last > 0.9);
+    }
+
+    #[test]
+    fn shared_memory_limits_residency() {
+        let config = LaunchConfig::linear(640, 256).with_shared_mem(48 * 1024);
+        let est = OccupancyEstimate::estimate(&v100(), &config);
+        assert_eq!(est.blocks_per_sm, 2); // 96 KB / 48 KB
+        assert!(est.occupancy < 0.3);
+    }
+
+    #[test]
+    fn cooperative_launch_counts_sm_coverage() {
+        let config = LaunchConfig::linear(80, 256).with_cooperative(true);
+        let est = OccupancyEstimate::estimate(&v100(), &config);
+        assert!((est.wave_efficiency - 1.0).abs() < 1e-9);
+        let small = LaunchConfig::linear(8, 256).with_cooperative(true);
+        let est_small = OccupancyEstimate::estimate(&v100(), &small);
+        assert!((est_small.wave_efficiency - 0.1).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds SM capacity")]
+    fn too_many_threads_per_block_panics() {
+        let _ = OccupancyEstimate::estimate(&v100(), &LaunchConfig::linear(1, 4096));
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds SM shared memory")]
+    fn too_much_shared_memory_panics() {
+        let config = LaunchConfig::linear(1, 128).with_shared_mem(1024 * 1024);
+        let _ = OccupancyEstimate::estimate(&v100(), &config);
+    }
+}

@@ -1,0 +1,123 @@
+//! Zipf-distributed index sampling.
+//!
+//! Embedding-table accesses in recommendation and language workloads follow a
+//! power law (the paper cites Zipf's law when motivating the hot-table
+//! split); this sampler produces indices with `P(rank r) ∝ 1 / r^s`.
+
+use rand::Rng;
+
+/// A sampler over `0..n` with Zipf(`exponent`) probabilities, index 0 being
+/// the most popular.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ZipfSampler {
+    cumulative: Vec<f64>,
+}
+
+impl ZipfSampler {
+    /// Create a sampler over `n` items.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero or `exponent` is negative.
+    #[must_use]
+    pub fn new(n: u64, exponent: f64) -> Self {
+        assert!(n > 0, "need at least one item");
+        assert!(exponent >= 0.0, "exponent must be non-negative");
+        let mut cumulative = Vec::with_capacity(n as usize);
+        let mut total = 0.0;
+        for rank in 1..=n {
+            total += 1.0 / (rank as f64).powf(exponent);
+            cumulative.push(total);
+        }
+        for value in &mut cumulative {
+            *value /= total;
+        }
+        Self { cumulative }
+    }
+
+    /// Number of items.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.cumulative.len()
+    }
+
+    /// Whether the domain is empty (never true by construction).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.cumulative.is_empty()
+    }
+
+    /// Sample one index.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        let u: f64 = rng.gen();
+        match self
+            .cumulative
+            .binary_search_by(|probe| probe.partial_cmp(&u).expect("probabilities are finite"))
+        {
+            Ok(index) | Err(index) => index.min(self.cumulative.len() - 1) as u64,
+        }
+    }
+
+    /// Probability of sampling `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    #[must_use]
+    pub fn probability(&self, index: u64) -> f64 {
+        let index = index as usize;
+        assert!(index < self.cumulative.len(), "index out of range");
+        if index == 0 {
+            self.cumulative[0]
+        } else {
+            self.cumulative[index] - self.cumulative[index - 1]
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn probabilities_sum_to_one_and_decrease() {
+        let sampler = ZipfSampler::new(100, 1.0);
+        let total: f64 = (0..100).map(|i| sampler.probability(i)).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+        for i in 1..100 {
+            assert!(sampler.probability(i) <= sampler.probability(i - 1) + 1e-12);
+        }
+    }
+
+    #[test]
+    fn samples_follow_the_skew() {
+        let sampler = ZipfSampler::new(1000, 1.1);
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut counts = vec![0u64; 1000];
+        for _ in 0..20_000 {
+            counts[sampler.sample(&mut rng) as usize] += 1;
+        }
+        let top_100: u64 = counts[..100].iter().sum();
+        assert!(
+            top_100 > 10_000,
+            "top 10% of a Zipf(1.1) should draw most samples, got {top_100}"
+        );
+        assert!(counts.iter().all(|&c| c <= 20_000));
+    }
+
+    #[test]
+    fn uniform_when_exponent_is_zero() {
+        let sampler = ZipfSampler::new(4, 0.0);
+        for i in 0..4 {
+            assert!((sampler.probability(i) - 0.25).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one item")]
+    fn empty_domain_panics() {
+        let _ = ZipfSampler::new(0, 1.0);
+    }
+}

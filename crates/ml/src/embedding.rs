@@ -1,0 +1,200 @@
+//! Float embedding tables and their fixed-point PIR representation.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Fixed-point scale used when quantizing embeddings to bytes: values are
+/// stored as `round(value * 2^16)` in an `i32`, giving ~1e-5 resolution over
+/// the ±4 range typical of trained embeddings.
+const FIXED_POINT_SCALE: f32 = 65536.0;
+
+/// A dense embedding table: one `dimension`-wide float vector per index.
+///
+/// The *server* hosts the quantized byte form (via [`EmbeddingTable::to_entries`]);
+/// the *client* dequantizes retrieved rows back to floats before feeding the
+/// on-device model.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct EmbeddingTable {
+    dimension: usize,
+    values: Vec<f32>,
+}
+
+impl EmbeddingTable {
+    /// Create a table of `entries × dimension` zeros.
+    #[must_use]
+    pub fn zeros(entries: usize, dimension: usize) -> Self {
+        Self {
+            dimension,
+            values: vec![0.0; entries * dimension],
+        }
+    }
+
+    /// Create a table with small random entries (uniform in `[-0.5, 0.5]`).
+    pub fn random<R: Rng + ?Sized>(entries: usize, dimension: usize, rng: &mut R) -> Self {
+        let values = (0..entries * dimension)
+            .map(|_| rng.gen_range(-0.5..=0.5))
+            .collect();
+        Self { dimension, values }
+    }
+
+    /// Number of entries (rows).
+    #[must_use]
+    pub fn entries(&self) -> usize {
+        if self.dimension == 0 {
+            0
+        } else {
+            self.values.len() / self.dimension
+        }
+    }
+
+    /// Embedding dimensionality.
+    #[must_use]
+    pub fn dimension(&self) -> usize {
+        self.dimension
+    }
+
+    /// Bytes per entry in the quantized PIR representation.
+    #[must_use]
+    pub fn entry_bytes(&self) -> usize {
+        self.dimension * 4
+    }
+
+    /// Borrow one embedding vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of bounds.
+    #[must_use]
+    pub fn row(&self, index: usize) -> &[f32] {
+        assert!(index < self.entries(), "embedding {index} out of bounds");
+        &self.values[index * self.dimension..(index + 1) * self.dimension]
+    }
+
+    /// Mutably borrow one embedding vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of bounds.
+    pub fn row_mut(&mut self, index: usize) -> &mut [f32] {
+        assert!(index < self.entries(), "embedding {index} out of bounds");
+        &mut self.values[index * self.dimension..(index + 1) * self.dimension]
+    }
+
+    /// Mean-pool a set of embeddings (the standard sparse-feature pooling in
+    /// recommendation models). Missing (dropped) indices are simply skipped,
+    /// which is exactly how dropped PIR queries degrade the model input.
+    #[must_use]
+    pub fn mean_pool(&self, indices: &[usize]) -> Vec<f32> {
+        let mut pooled = vec![0.0f32; self.dimension];
+        let mut count = 0usize;
+        for &index in indices {
+            if index >= self.entries() {
+                continue;
+            }
+            for (acc, v) in pooled.iter_mut().zip(self.row(index)) {
+                *acc += v;
+            }
+            count += 1;
+        }
+        if count > 0 {
+            for value in &mut pooled {
+                *value /= count as f32;
+            }
+        }
+        pooled
+    }
+
+    /// Quantize the whole table into byte entries suitable for a PIR server.
+    #[must_use]
+    pub fn to_entries(&self) -> Vec<Vec<u8>> {
+        (0..self.entries()).map(|i| self.entry_to_bytes(i)).collect()
+    }
+
+    /// Quantize one entry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of bounds.
+    #[must_use]
+    pub fn entry_to_bytes(&self, index: usize) -> Vec<u8> {
+        self.row(index)
+            .iter()
+            .flat_map(|&v| ((v * FIXED_POINT_SCALE).round() as i32).to_le_bytes())
+            .collect()
+    }
+
+    /// Dequantize a retrieved byte entry back into floats.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the byte length is not a multiple of 4.
+    #[must_use]
+    pub fn bytes_to_vector(bytes: &[u8]) -> Vec<f32> {
+        assert!(bytes.len() % 4 == 0, "quantized entries are 4-byte aligned");
+        bytes
+            .chunks_exact(4)
+            .map(|chunk| {
+                let raw = i32::from_le_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]);
+                raw as f32 / FIXED_POINT_SCALE
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn quantization_roundtrips_within_tolerance() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let table = EmbeddingTable::random(32, 16, &mut rng);
+        for index in 0..32 {
+            let bytes = table.entry_to_bytes(index);
+            assert_eq!(bytes.len(), table.entry_bytes());
+            let back = EmbeddingTable::bytes_to_vector(&bytes);
+            for (a, b) in table.row(index).iter().zip(&back) {
+                assert!((a - b).abs() < 1e-4, "{a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn mean_pool_averages_present_rows() {
+        let mut table = EmbeddingTable::zeros(4, 2);
+        table.row_mut(0).copy_from_slice(&[1.0, 2.0]);
+        table.row_mut(1).copy_from_slice(&[3.0, 4.0]);
+        let pooled = table.mean_pool(&[0, 1]);
+        assert_eq!(pooled, vec![2.0, 3.0]);
+        // Out-of-range (dropped) indices are skipped.
+        let partial = table.mean_pool(&[0, 99]);
+        assert_eq!(partial, vec![1.0, 2.0]);
+        // Pooling nothing yields zeros.
+        assert_eq!(table.mean_pool(&[]), vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn dimensions_are_consistent() {
+        let table = EmbeddingTable::zeros(10, 8);
+        assert_eq!(table.entries(), 10);
+        assert_eq!(table.dimension(), 8);
+        assert_eq!(table.entry_bytes(), 32);
+        assert_eq!(table.to_entries().len(), 10);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_quantization_error_is_bounded(values in proptest::collection::vec(-4.0f32..4.0, 1..32)) {
+            let dimension = values.len();
+            let mut table = EmbeddingTable::zeros(1, dimension);
+            table.row_mut(0).copy_from_slice(&values);
+            let back = EmbeddingTable::bytes_to_vector(&table.entry_to_bytes(0));
+            for (a, b) in values.iter().zip(&back) {
+                prop_assert!((a - b).abs() < 1e-4);
+            }
+        }
+    }
+}

@@ -1,0 +1,173 @@
+//! Model-quality metrics used by the paper's evaluation.
+
+/// Area under the ROC curve for binary predictions.
+///
+/// Computed with the rank-statistic formulation (equivalent to the
+/// probability that a random positive example is scored above a random
+/// negative example); ties receive half credit.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length, are empty, or contain only one
+/// class (AUC is undefined in that case).
+#[must_use]
+pub fn roc_auc(scores: &[f32], labels: &[bool]) -> f64 {
+    assert_eq!(scores.len(), labels.len(), "one label per score required");
+    assert!(!scores.is_empty(), "AUC of an empty set is undefined");
+    let positives = labels.iter().filter(|l| **l).count();
+    let negatives = labels.len() - positives;
+    assert!(
+        positives > 0 && negatives > 0,
+        "AUC requires both positive and negative examples"
+    );
+
+    let mut order: Vec<usize> = (0..scores.len()).collect();
+    order.sort_by(|&a, &b| scores[a].partial_cmp(&scores[b]).expect("scores are finite"));
+
+    // Assign average ranks to ties, then use the Mann–Whitney U statistic.
+    let mut rank_sum_positive = 0.0f64;
+    let mut i = 0;
+    while i < order.len() {
+        let mut j = i;
+        while j + 1 < order.len() && scores[order[j + 1]] == scores[order[i]] {
+            j += 1;
+        }
+        let average_rank = (i + j) as f64 / 2.0 + 1.0;
+        for &index in &order[i..=j] {
+            if labels[index] {
+                rank_sum_positive += average_rank;
+            }
+        }
+        i = j + 1;
+    }
+    let u = rank_sum_positive - (positives as f64 * (positives as f64 + 1.0)) / 2.0;
+    u / (positives as f64 * negatives as f64)
+}
+
+/// Binary cross-entropy (log loss), averaged over examples.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length or are empty.
+#[must_use]
+pub fn log_loss(scores: &[f32], labels: &[bool]) -> f64 {
+    assert_eq!(scores.len(), labels.len(), "one label per score required");
+    assert!(!scores.is_empty(), "log loss of an empty set is undefined");
+    let eps = 1e-7f64;
+    let total: f64 = scores
+        .iter()
+        .zip(labels)
+        .map(|(&p, &y)| {
+            let p = (f64::from(p)).clamp(eps, 1.0 - eps);
+            if y {
+                -p.ln()
+            } else {
+                -(1.0 - p).ln()
+            }
+        })
+        .sum();
+    total / scores.len() as f64
+}
+
+/// Classification accuracy at a 0.5 threshold.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length or are empty.
+#[must_use]
+pub fn accuracy(scores: &[f32], labels: &[bool]) -> f64 {
+    assert_eq!(scores.len(), labels.len(), "one label per score required");
+    assert!(!scores.is_empty(), "accuracy of an empty set is undefined");
+    let correct = scores
+        .iter()
+        .zip(labels)
+        .filter(|(&p, &y)| (p >= 0.5) == y)
+        .count();
+    correct as f64 / scores.len() as f64
+}
+
+/// Perplexity from an average per-token negative log-likelihood (natural log).
+#[must_use]
+pub fn perplexity(mean_nll_nats: f64) -> f64 {
+    mean_nll_nats.exp()
+}
+
+/// Perplexity computed directly from per-token probabilities.
+///
+/// # Panics
+///
+/// Panics if `token_probabilities` is empty.
+#[must_use]
+pub fn perplexity_from_probabilities(token_probabilities: &[f32]) -> f64 {
+    assert!(
+        !token_probabilities.is_empty(),
+        "perplexity of an empty sequence is undefined"
+    );
+    let mean_nll = token_probabilities
+        .iter()
+        .map(|&p| -f64::from(p.max(1e-12)).ln())
+        .sum::<f64>()
+        / token_probabilities.len() as f64;
+    perplexity(mean_nll)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_ranking_gives_auc_one() {
+        let scores = [0.9, 0.8, 0.2, 0.1];
+        let labels = [true, true, false, false];
+        assert!((roc_auc(&scores, &labels) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn reversed_ranking_gives_auc_zero() {
+        let scores = [0.1, 0.2, 0.8, 0.9];
+        let labels = [true, true, false, false];
+        assert!(roc_auc(&scores, &labels).abs() < 1e-9);
+    }
+
+    #[test]
+    fn constant_scores_give_auc_half() {
+        let scores = [0.5, 0.5, 0.5, 0.5];
+        let labels = [true, false, true, false];
+        assert!((roc_auc(&scores, &labels) - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn auc_is_threshold_free() {
+        // Scaling scores monotonically must not change AUC.
+        let scores = [0.9f32, 0.7, 0.6, 0.3, 0.2];
+        let scaled: Vec<f32> = scores.iter().map(|s| s * 0.1 + 0.01).collect();
+        let labels = [true, false, true, false, false];
+        assert!((roc_auc(&scores, &labels) - roc_auc(&scaled, &labels)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn log_loss_prefers_confident_correct_predictions() {
+        let labels = [true, false];
+        assert!(log_loss(&[0.9, 0.1], &labels) < log_loss(&[0.6, 0.4], &labels));
+        assert!(log_loss(&[0.6, 0.4], &labels) < log_loss(&[0.4, 0.6], &labels));
+    }
+
+    #[test]
+    fn accuracy_counts_threshold_hits() {
+        let labels = [true, false, true, false];
+        assert!((accuracy(&[0.9, 0.1, 0.4, 0.6], &labels) - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn perplexity_of_uniform_distribution_is_vocab_size() {
+        let probabilities = vec![1.0 / 64.0; 100];
+        assert!((perplexity_from_probabilities(&probabilities) - 64.0).abs() < 1e-3);
+        assert!((perplexity(0.0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "both positive and negative")]
+    fn auc_single_class_panics() {
+        let _ = roc_auc(&[0.5, 0.6], &[true, true]);
+    }
+}

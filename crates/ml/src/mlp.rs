@@ -1,0 +1,260 @@
+//! The 2-layer MLP click-through-rate model used for the recommendation
+//! workloads (the paper's MovieLens / Taobao models are 2-layer MLPs fed by
+//! pooled embedding features).
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::tensor::{dot, relu, sigmoid, Matrix};
+
+/// Hyper-parameters of the MLP.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct MlpConfig {
+    /// Input feature dimension (pooled embeddings + dense features).
+    pub input_dim: usize,
+    /// Hidden layer width.
+    pub hidden_dim: usize,
+    /// SGD learning rate.
+    pub learning_rate: f32,
+}
+
+impl Default for MlpConfig {
+    fn default() -> Self {
+        Self {
+            input_dim: 32,
+            hidden_dim: 64,
+            learning_rate: 0.05,
+        }
+    }
+}
+
+/// A 2-layer MLP with a ReLU hidden layer and a sigmoid output, trained with
+/// SGD on binary cross-entropy.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct MlpModel {
+    config: MlpConfig,
+    w1: Matrix,
+    b1: Vec<f32>,
+    w2: Vec<f32>,
+    b2: f32,
+}
+
+impl MlpModel {
+    /// Initialize with small random weights.
+    pub fn new<R: Rng + ?Sized>(config: MlpConfig, rng: &mut R) -> Self {
+        let scale1 = 1.0 / (config.input_dim as f32).sqrt();
+        let scale2 = 1.0 / (config.hidden_dim as f32).sqrt();
+        Self {
+            config,
+            w1: Matrix::random(config.hidden_dim, config.input_dim, scale1, rng),
+            b1: vec![0.0; config.hidden_dim],
+            w2: (0..config.hidden_dim)
+                .map(|_| rng.gen_range(-scale2..=scale2))
+                .collect(),
+            b2: 0.0,
+        }
+    }
+
+    /// The model's configuration.
+    #[must_use]
+    pub fn config(&self) -> MlpConfig {
+        self.config
+    }
+
+    /// Total trainable parameters.
+    #[must_use]
+    pub fn parameter_count(&self) -> usize {
+        self.w1.parameter_count() + self.b1.len() + self.w2.len() + 1
+    }
+
+    /// Approximate size in bytes of the on-device model (f32 parameters).
+    #[must_use]
+    pub fn size_bytes(&self) -> usize {
+        self.parameter_count() * 4
+    }
+
+    fn hidden(&self, input: &[f32]) -> (Vec<f32>, Vec<f32>) {
+        let pre: Vec<f32> = self
+            .w1
+            .matvec(input)
+            .iter()
+            .zip(&self.b1)
+            .map(|(z, b)| z + b)
+            .collect();
+        let post = pre.iter().map(|&z| relu(z)).collect();
+        (pre, post)
+    }
+
+    /// Predicted click probability for one input vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the input length does not match `config.input_dim`.
+    #[must_use]
+    pub fn predict(&self, input: &[f32]) -> f32 {
+        assert_eq!(input.len(), self.config.input_dim, "input width mismatch");
+        let (_, hidden) = self.hidden(input);
+        sigmoid(dot(&hidden, &self.w2) + self.b2)
+    }
+
+    /// One SGD step on a single example; returns the example's log loss.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the input length does not match `config.input_dim`.
+    pub fn train_step(&mut self, input: &[f32], label: bool) -> f32 {
+        assert_eq!(input.len(), self.config.input_dim, "input width mismatch");
+        let (pre, hidden) = self.hidden(input);
+        let probability = sigmoid(dot(&hidden, &self.w2) + self.b2);
+        let target = if label { 1.0 } else { 0.0 };
+        let d_logit = probability - target;
+        let lr = self.config.learning_rate;
+
+        // Output layer gradients.
+        let d_hidden: Vec<f32> = self.w2.iter().map(|w| w * d_logit).collect();
+        for (w, h) in self.w2.iter_mut().zip(&hidden) {
+            *w -= lr * d_logit * h;
+        }
+        self.b2 -= lr * d_logit;
+
+        // Hidden layer gradients through the ReLU.
+        let d_pre: Vec<f32> = d_hidden
+            .iter()
+            .zip(&pre)
+            .map(|(d, &z)| if z > 0.0 { *d } else { 0.0 })
+            .collect();
+        self.w1.sgd_rank_one(&d_pre, input, lr);
+        for (b, d) in self.b1.iter_mut().zip(&d_pre) {
+            *b -= lr * d;
+        }
+
+        let eps = 1e-7;
+        let p = probability.clamp(eps, 1.0 - eps);
+        if label {
+            -p.ln()
+        } else {
+            -(1.0 - p).ln()
+        }
+    }
+
+    /// Train for `epochs` passes over `(input, label)` examples, returning the
+    /// mean loss of the final epoch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `examples` is empty.
+    pub fn train(&mut self, examples: &[(Vec<f32>, bool)], epochs: usize) -> f32 {
+        assert!(!examples.is_empty(), "cannot train on an empty dataset");
+        let mut last_epoch_loss = 0.0;
+        for _ in 0..epochs {
+            last_epoch_loss = 0.0;
+            for (input, label) in examples {
+                last_epoch_loss += self.train_step(input, *label);
+            }
+            last_epoch_loss /= examples.len() as f32;
+        }
+        last_epoch_loss
+    }
+
+    /// Score a batch of inputs.
+    #[must_use]
+    pub fn predict_batch(&self, inputs: &[Vec<f32>]) -> Vec<f32> {
+        inputs.iter().map(|input| self.predict(input)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::roc_auc;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// A linearly separable synthetic task: label = (w·x > 0).
+    fn synthetic_dataset(n: usize, dim: usize, seed: u64) -> Vec<(Vec<f32>, bool)> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let weights: Vec<f32> = (0..dim).map(|_| rng.gen_range(-1.0..=1.0)).collect();
+        (0..n)
+            .map(|_| {
+                let x: Vec<f32> = (0..dim).map(|_| rng.gen_range(-1.0..=1.0)).collect();
+                let label = dot(&x, &weights) + rng.gen_range(-0.2..0.2) > 0.0;
+                (x, label)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn training_improves_auc_over_chance() {
+        let config = MlpConfig {
+            input_dim: 16,
+            hidden_dim: 32,
+            learning_rate: 0.1,
+        };
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut model = MlpModel::new(config, &mut rng);
+        let all = synthetic_dataset(1100, 16, 1);
+        let (train, test) = all.split_at(800);
+        let (train, test) = (train.to_vec(), test.to_vec());
+
+        let untrained_scores: Vec<f32> = test.iter().map(|(x, _)| model.predict(x)).collect();
+        let labels: Vec<bool> = test.iter().map(|(_, y)| *y).collect();
+        let untrained_auc = roc_auc(&untrained_scores, &labels);
+
+        let final_loss = model.train(&train, 5);
+        let trained_scores: Vec<f32> = test.iter().map(|(x, _)| model.predict(x)).collect();
+        let trained_auc = roc_auc(&trained_scores, &labels);
+
+        assert!(final_loss < 0.6, "final loss {final_loss}");
+        assert!(trained_auc > 0.85, "trained AUC {trained_auc}");
+        assert!(trained_auc > untrained_auc);
+    }
+
+    #[test]
+    fn loss_decreases_during_training() {
+        let config = MlpConfig {
+            input_dim: 8,
+            hidden_dim: 16,
+            learning_rate: 0.1,
+        };
+        let mut rng = StdRng::seed_from_u64(12);
+        let mut model = MlpModel::new(config, &mut rng);
+        let data = synthetic_dataset(400, 8, 3);
+        let early = model.train(&data, 1);
+        let late = model.train(&data, 5);
+        assert!(late < early, "loss should decrease: {early} -> {late}");
+    }
+
+    #[test]
+    fn predictions_are_probabilities() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let model = MlpModel::new(MlpConfig::default(), &mut rng);
+        let input = vec![0.3; 32];
+        let p = model.predict(&input);
+        assert!((0.0..=1.0).contains(&p));
+        assert_eq!(model.predict_batch(&[input.clone(), input]).len(), 2);
+    }
+
+    #[test]
+    fn model_is_small_enough_for_devices() {
+        let mut rng = StdRng::seed_from_u64(14);
+        let model = MlpModel::new(
+            MlpConfig {
+                input_dim: 64,
+                hidden_dim: 128,
+                learning_rate: 0.05,
+            },
+            &mut rng,
+        );
+        // The paper's on-device models are a few MB; this one is far smaller.
+        assert!(model.size_bytes() < 1_000_000);
+        assert!(model.parameter_count() > 1_000);
+    }
+
+    #[test]
+    #[should_panic(expected = "input width mismatch")]
+    fn wrong_input_width_panics() {
+        let mut rng = StdRng::seed_from_u64(15);
+        let model = MlpModel::new(MlpConfig::default(), &mut rng);
+        let _ = model.predict(&[0.0; 3]);
+    }
+}

@@ -1,0 +1,247 @@
+//! Minimal dense linear algebra for the on-device models.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A row-major dense `f32` matrix.
+///
+/// Sized for the small on-device models the paper runs (a few hundred
+/// thousand parameters); no attempt is made at cache blocking or SIMD.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f32>,
+}
+
+impl Matrix {
+    /// A zero matrix.
+    #[must_use]
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// A matrix with entries drawn uniformly from `[-scale, scale]` (Xavier
+    /// style when `scale = 1/sqrt(cols)`).
+    pub fn random<R: Rng + ?Sized>(rows: usize, cols: usize, scale: f32, rng: &mut R) -> Self {
+        let data = (0..rows * cols)
+            .map(|_| rng.gen_range(-scale..=scale))
+            .collect();
+        Self { rows, cols, data }
+    }
+
+    /// Build from a row-major buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != rows * cols`.
+    #[must_use]
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Self {
+        assert_eq!(data.len(), rows * cols, "buffer does not match dimensions");
+        Self { rows, cols, data }
+    }
+
+    /// Number of rows.
+    #[must_use]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[must_use]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Borrow one row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` is out of bounds.
+    #[must_use]
+    pub fn row(&self, row: usize) -> &[f32] {
+        assert!(row < self.rows, "row {row} out of bounds");
+        &self.data[row * self.cols..(row + 1) * self.cols]
+    }
+
+    /// Mutably borrow one row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` is out of bounds.
+    pub fn row_mut(&mut self, row: usize) -> &mut [f32] {
+        assert!(row < self.rows, "row {row} out of bounds");
+        &mut self.data[row * self.cols..(row + 1) * self.cols]
+    }
+
+    /// Element access.
+    #[must_use]
+    pub fn get(&self, row: usize, col: usize) -> f32 {
+        self.data[row * self.cols + col]
+    }
+
+    /// Element update.
+    pub fn set(&mut self, row: usize, col: usize, value: f32) {
+        self.data[row * self.cols + col] = value;
+    }
+
+    /// `y = W · x` for a column vector `x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != cols`.
+    #[must_use]
+    pub fn matvec(&self, x: &[f32]) -> Vec<f32> {
+        assert_eq!(x.len(), self.cols, "vector length must equal matrix cols");
+        self.data
+            .chunks(self.cols)
+            .map(|row| dot(row, x))
+            .collect()
+    }
+
+    /// `y = Wᵀ · x` for a column vector `x` (used in backprop).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != rows`.
+    #[must_use]
+    pub fn matvec_transposed(&self, x: &[f32]) -> Vec<f32> {
+        assert_eq!(x.len(), self.rows, "vector length must equal matrix rows");
+        let mut out = vec![0.0; self.cols];
+        for (row_index, row) in self.data.chunks(self.cols).enumerate() {
+            let scale = x[row_index];
+            for (o, w) in out.iter_mut().zip(row) {
+                *o += scale * w;
+            }
+        }
+        out
+    }
+
+    /// Rank-one SGD update: `W -= lr · g xᵀ`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `g.len() != rows` or `x.len() != cols`.
+    pub fn sgd_rank_one(&mut self, g: &[f32], x: &[f32], lr: f32) {
+        assert_eq!(g.len(), self.rows, "gradient length must equal rows");
+        assert_eq!(x.len(), self.cols, "input length must equal cols");
+        for (row_index, row) in self.data.chunks_mut(self.cols).enumerate() {
+            let scale = lr * g[row_index];
+            if scale == 0.0 {
+                continue;
+            }
+            for (w, xv) in row.iter_mut().zip(x) {
+                *w -= scale * xv;
+            }
+        }
+    }
+
+    /// Total number of parameters.
+    #[must_use]
+    pub fn parameter_count(&self) -> usize {
+        self.data.len()
+    }
+}
+
+/// Dot product of two equal-length slices.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length.
+#[must_use]
+pub fn dot(a: &[f32], b: &[f32]) -> f32 {
+    assert_eq!(a.len(), b.len(), "dot product needs equal lengths");
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+/// Numerically stable logistic sigmoid.
+#[must_use]
+pub fn sigmoid(x: f32) -> f32 {
+    if x >= 0.0 {
+        1.0 / (1.0 + (-x).exp())
+    } else {
+        let e = x.exp();
+        e / (1.0 + e)
+    }
+}
+
+/// Hyperbolic tangent (re-exported for symmetry with [`sigmoid`]).
+#[must_use]
+pub fn tanh(x: f32) -> f32 {
+    x.tanh()
+}
+
+/// Rectified linear unit.
+#[must_use]
+pub fn relu(x: f32) -> f32 {
+    x.max(0.0)
+}
+
+/// In-place softmax over a logit vector; returns the probabilities.
+#[must_use]
+pub fn softmax(logits: &[f32]) -> Vec<f32> {
+    let max = logits.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+    let exps: Vec<f32> = logits.iter().map(|l| (l - max).exp()).collect();
+    let sum: f32 = exps.iter().sum();
+    exps.into_iter().map(|e| e / sum).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn matvec_matches_manual_computation() {
+        let m = Matrix::from_vec(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        assert_eq!(m.matvec(&[1.0, 0.0, -1.0]), vec![-2.0, -2.0]);
+        assert_eq!(m.matvec_transposed(&[1.0, 1.0]), vec![5.0, 7.0, 9.0]);
+    }
+
+    #[test]
+    fn sgd_rank_one_reduces_loss_direction() {
+        let mut m = Matrix::zeros(1, 2);
+        m.sgd_rank_one(&[1.0], &[0.5, -0.5], 0.1);
+        assert!((m.get(0, 0) - -0.05).abs() < 1e-6);
+        assert!((m.get(0, 1) - 0.05).abs() < 1e-6);
+    }
+
+    #[test]
+    fn activations_behave() {
+        assert!((sigmoid(0.0) - 0.5).abs() < 1e-6);
+        assert!(sigmoid(20.0) > 0.999);
+        assert!(sigmoid(-20.0) < 0.001);
+        assert_eq!(relu(-1.0), 0.0);
+        assert_eq!(relu(2.0), 2.0);
+        assert!((tanh(0.0)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn softmax_sums_to_one_and_orders_correctly() {
+        let p = softmax(&[1.0, 2.0, 3.0]);
+        assert!((p.iter().sum::<f32>() - 1.0).abs() < 1e-5);
+        assert!(p[2] > p[1] && p[1] > p[0]);
+        // Stability with large logits.
+        let q = softmax(&[1000.0, 1000.0]);
+        assert!((q[0] - 0.5).abs() < 1e-5);
+    }
+
+    #[test]
+    fn random_matrix_respects_scale() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let m = Matrix::random(10, 10, 0.1, &mut rng);
+        assert!(m.data.iter().all(|v| v.abs() <= 0.1));
+        assert_eq!(m.parameter_count(), 100);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal lengths")]
+    fn dot_length_mismatch_panics() {
+        let _ = dot(&[1.0], &[1.0, 2.0]);
+    }
+}

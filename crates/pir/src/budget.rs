@@ -1,0 +1,94 @@
+//! Communication and latency budgets for an inference.
+
+use serde::{Deserialize, Serialize};
+
+/// The per-inference budget a deployment imposes on the PIR subsystem.
+///
+/// The paper evaluates all systems under a default budget of 300 KB of
+/// communication and 300 ms of latency, and studies tighter budgets
+/// (100 KB / 50 ms) where the ML co-design matters most (Figures 18–20).
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Budget {
+    /// Maximum bytes exchanged with both servers per inference.
+    pub max_communication_bytes: u64,
+    /// Maximum added latency in milliseconds per inference.
+    pub max_latency_ms: f64,
+}
+
+impl Budget {
+    /// The paper's default evaluation budget: 300 KB, 300 ms.
+    #[must_use]
+    pub const fn paper_default() -> Self {
+        Self {
+            max_communication_bytes: 300 * 1000,
+            max_latency_ms: 300.0,
+        }
+    }
+
+    /// The tight budget used in Figures 18–20 (left): 100 KB, 50 ms.
+    #[must_use]
+    pub const fn tight() -> Self {
+        Self {
+            max_communication_bytes: 100 * 1000,
+            max_latency_ms: 50.0,
+        }
+    }
+
+    /// The relaxed budget used in Figures 18–20 (right): 300 KB, 200 ms.
+    #[must_use]
+    pub const fn relaxed() -> Self {
+        Self {
+            max_communication_bytes: 300 * 1000,
+            max_latency_ms: 200.0,
+        }
+    }
+
+    /// Whether a configuration with the given cost fits the budget.
+    #[must_use]
+    pub fn admits(&self, communication_bytes: u64, latency_ms: f64) -> bool {
+        communication_bytes <= self.max_communication_bytes && latency_ms <= self.max_latency_ms
+    }
+
+    /// Short label used in benchmark output, e.g. `"comm=300KB,lat=300ms"`.
+    #[must_use]
+    pub fn label(&self) -> String {
+        format!(
+            "comm={}KB,lat={}ms",
+            self.max_communication_bytes / 1000,
+            self.max_latency_ms
+        )
+    }
+}
+
+impl Default for Budget {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_match_the_paper() {
+        assert_eq!(Budget::paper_default().max_communication_bytes, 300_000);
+        assert_eq!(Budget::tight().max_latency_ms, 50.0);
+        assert_eq!(Budget::relaxed().max_latency_ms, 200.0);
+        assert_eq!(Budget::default(), Budget::paper_default());
+    }
+
+    #[test]
+    fn admits_checks_both_axes() {
+        let budget = Budget::tight();
+        assert!(budget.admits(99_000, 49.0));
+        assert!(!budget.admits(101_000, 10.0));
+        assert!(!budget.admits(10_000, 51.0));
+        assert!(budget.admits(100_000, 50.0));
+    }
+
+    #[test]
+    fn label_is_readable() {
+        assert_eq!(Budget::paper_default().label(), "comm=300KB,lat=300ms");
+    }
+}

@@ -1,0 +1,228 @@
+//! The client side of the two-server PIR protocol.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use pir_dpf::{generate_keys, DpfParams};
+use pir_field::{reconstruct_lanes, Ring128};
+use pir_prf::{build_prf, GgmPrg, PrfKind};
+use rand::Rng;
+
+use crate::error::PirError;
+use crate::message::{PirQuery, PirResponse};
+use crate::table::TableSchema;
+
+/// A handle returned together with each query, carrying the bookkeeping the
+/// client needs to interpret responses (communication accounting and the
+/// schema the query targeted).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct QueryHandle {
+    /// The query identifier.
+    pub query_id: u64,
+    /// Bytes uploaded per server.
+    pub upload_bytes_per_server: usize,
+}
+
+/// The client: generates DPF keys (`Gen`) and reconstructs answers.
+///
+/// `Gen` runs in `O(log L)` PRG expansions, cheap enough for a phone-class
+/// CPU (paper Figure 3); all the heavy lifting happens on the servers.
+#[derive(Debug)]
+pub struct PirClient {
+    schema: TableSchema,
+    params: DpfParams,
+    prg: GgmPrg,
+    prf_kind: PrfKind,
+    next_query_id: AtomicU64,
+}
+
+impl PirClient {
+    /// Create a client for a table with the given schema, using `prf_kind`
+    /// for the DPF PRG (must match the servers).
+    #[must_use]
+    pub fn new(schema: TableSchema, prf_kind: PrfKind) -> Self {
+        Self {
+            schema,
+            params: DpfParams::for_domain(schema.entries),
+            prg: GgmPrg::new(build_prf(prf_kind)),
+            prf_kind,
+            next_query_id: AtomicU64::new(0),
+        }
+    }
+
+    /// The table schema this client queries.
+    #[must_use]
+    pub fn schema(&self) -> TableSchema {
+        self.schema
+    }
+
+    /// The PRF family used for key generation.
+    #[must_use]
+    pub fn prf_kind(&self) -> PrfKind {
+        self.prf_kind
+    }
+
+    /// Generate a query for `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is outside the table (the index is client-private,
+    /// so an out-of-range request is a local programming error, not a
+    /// protocol error).
+    #[must_use]
+    pub fn query<R: Rng + ?Sized>(&self, index: u64, rng: &mut R) -> PirQuery {
+        assert!(
+            index < self.schema.entries,
+            "index {index} out of range for table of {} entries",
+            self.schema.entries
+        );
+        let (key0, key1) = generate_keys(&self.prg, &self.params, index, Ring128::ONE, rng);
+        PirQuery {
+            query_id: self.next_query_id.fetch_add(1, Ordering::Relaxed),
+            schema: self.schema,
+            key0,
+            key1,
+        }
+    }
+
+    /// Generate a dummy query for a uniformly random index.
+    ///
+    /// Dummy queries pad a user's request count up to the fixed per-inference
+    /// budget so the number of *real* lookups leaks nothing (§4.2).
+    #[must_use]
+    pub fn dummy_query<R: Rng + ?Sized>(&self, rng: &mut R) -> PirQuery {
+        let index = rng.gen_range(0..self.schema.entries);
+        self.query(index, rng)
+    }
+
+    /// Combine the two servers' responses into the entry's lanes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PirError::ResponseMismatch`] if the responses belong to
+    /// different queries, come from the same server, or have inconsistent
+    /// lengths.
+    pub fn reconstruct_lanes(
+        &self,
+        query: &PirQuery,
+        response0: &PirResponse,
+        response1: &PirResponse,
+    ) -> Result<Vec<u32>, PirError> {
+        if response0.query_id != query.query_id || response1.query_id != query.query_id {
+            return Err(PirError::ResponseMismatch(format!(
+                "expected query {} but got {} and {}",
+                query.query_id, response0.query_id, response1.query_id
+            )));
+        }
+        if response0.party == response1.party {
+            return Err(PirError::ResponseMismatch(format!(
+                "both responses come from server {}",
+                response0.party
+            )));
+        }
+        if response0.share.len() != response1.share.len() {
+            return Err(PirError::ResponseMismatch(format!(
+                "share lengths differ: {} vs {}",
+                response0.share.len(),
+                response1.share.len()
+            )));
+        }
+        Ok(reconstruct_lanes(&response0.share, &response1.share))
+    }
+
+    /// Combine the two servers' responses into the entry's exact bytes.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the same mismatch errors as [`Self::reconstruct_lanes`].
+    pub fn reconstruct(
+        &self,
+        query: &PirQuery,
+        response0: &PirResponse,
+        response1: &PirResponse,
+    ) -> Result<Vec<u8>, PirError> {
+        let lanes = self.reconstruct_lanes(query, response0, response1)?;
+        let mut bytes: Vec<u8> = lanes.iter().flat_map(|lane| lane.to_le_bytes()).collect();
+        bytes.truncate(self.schema.entry_bytes);
+        Ok(bytes)
+    }
+
+    /// Estimated client-side key-generation cost in PRF calls (4 per tree
+    /// level: both parties expand both children), used by the end-to-end
+    /// latency model.
+    #[must_use]
+    pub fn gen_prf_calls(&self) -> u64 {
+        4 * u64::from(self.params.domain_bits)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn schema() -> TableSchema {
+        TableSchema::new(512, 12)
+    }
+
+    #[test]
+    fn query_ids_are_unique_and_increasing() {
+        let client = PirClient::new(schema(), PrfKind::SipHash);
+        let mut rng = StdRng::seed_from_u64(1);
+        let a = client.query(0, &mut rng);
+        let b = client.query(1, &mut rng);
+        let c = client.dummy_query(&mut rng);
+        assert!(a.query_id < b.query_id && b.query_id < c.query_id);
+    }
+
+    #[test]
+    fn reconstruct_rejects_mismatched_responses() {
+        let client = PirClient::new(schema(), PrfKind::SipHash);
+        let mut rng = StdRng::seed_from_u64(2);
+        let query = client.query(3, &mut rng);
+        let other = client.query(4, &mut rng);
+
+        let r0 = PirResponse {
+            query_id: query.query_id,
+            party: 0,
+            share: vec![0; 3],
+        };
+        let r_other = PirResponse {
+            query_id: other.query_id,
+            party: 1,
+            share: vec![0; 3],
+        };
+        assert!(matches!(
+            client.reconstruct_lanes(&query, &r0, &r_other),
+            Err(PirError::ResponseMismatch(_))
+        ));
+
+        let same_party = PirResponse {
+            query_id: query.query_id,
+            party: 0,
+            share: vec![0; 3],
+        };
+        assert!(client.reconstruct_lanes(&query, &r0, &same_party).is_err());
+
+        let short = PirResponse {
+            query_id: query.query_id,
+            party: 1,
+            share: vec![0; 2],
+        };
+        assert!(client.reconstruct_lanes(&query, &r0, &short).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_query_panics() {
+        let client = PirClient::new(schema(), PrfKind::SipHash);
+        let mut rng = StdRng::seed_from_u64(3);
+        let _ = client.query(512, &mut rng);
+    }
+
+    #[test]
+    fn gen_cost_is_logarithmic() {
+        let client = PirClient::new(TableSchema::new(1 << 20, 128), PrfKind::Aes128);
+        assert_eq!(client.gen_prf_calls(), 80);
+    }
+}

@@ -1,0 +1,72 @@
+//! Error type for the PIR protocol layer.
+
+use std::fmt;
+
+/// Errors returned by PIR clients and servers.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum PirError {
+    /// The query addresses an index outside the table.
+    IndexOutOfRange {
+        /// Requested index.
+        index: u64,
+        /// Number of entries in the table.
+        table_size: u64,
+    },
+    /// The query's domain parameters do not match the table the server holds.
+    SchemaMismatch {
+        /// What the query was generated for.
+        expected: String,
+        /// What the server holds.
+        actual: String,
+    },
+    /// The two responses being combined do not belong to the same query.
+    ResponseMismatch(String),
+    /// A batch request violates the protocol's fixed query budget.
+    BudgetViolation(String),
+}
+
+impl fmt::Display for PirError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PirError::IndexOutOfRange { index, table_size } => {
+                write!(f, "index {index} out of range for table of {table_size} entries")
+            }
+            PirError::SchemaMismatch { expected, actual } => {
+                write!(f, "schema mismatch: query built for {expected}, server holds {actual}")
+            }
+            PirError::ResponseMismatch(msg) => write!(f, "responses do not match: {msg}"),
+            PirError::BudgetViolation(msg) => write!(f, "query budget violated: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for PirError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_render_lowercase_messages() {
+        let err = PirError::IndexOutOfRange {
+            index: 10,
+            table_size: 5,
+        };
+        let text = err.to_string();
+        assert!(text.contains("10"));
+        assert!(text.contains('5'));
+
+        let err = PirError::SchemaMismatch {
+            expected: "a".into(),
+            actual: "b".into(),
+        };
+        assert!(err.to_string().contains("schema mismatch"));
+        assert!(!format!("{err:?}").is_empty());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<PirError>();
+    }
+}

@@ -1,0 +1,155 @@
+//! The naive secret-shared-indicator PIR baseline (§3.1 "Naive PIR").
+//!
+//! The client uploads full-length random vectors `r1, r2` with
+//! `r1 + r2 = I(i)`; each server returns `r × T`. Functionally identical to
+//! DPF-PIR but with `O(L)` upload per query — implemented here as the
+//! reference point that motivates DPFs and as a cross-check oracle in tests.
+
+use pir_field::{matvec_shares, IndicatorShares, Ring128};
+use rand::Rng;
+
+use crate::error::PirError;
+use crate::table::PirTable;
+
+/// Naive-PIR helper bundling a table with its query/answer operations.
+#[derive(Clone, Debug)]
+pub struct NaivePir {
+    table: PirTable,
+}
+
+/// A naive query: the explicit share of the indicator vector for one server.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct NaiveQuery {
+    /// One share of the indicator vector (length = table entries).
+    pub share: Vec<Ring128>,
+}
+
+impl NaiveQuery {
+    /// Upload size in bytes: 16 bytes per table entry — this is the `O(L)`
+    /// cost the DPF avoids.
+    #[must_use]
+    pub fn size_bytes(&self) -> usize {
+        self.share.len() * 16
+    }
+}
+
+impl NaivePir {
+    /// Wrap a table.
+    #[must_use]
+    pub fn new(table: PirTable) -> Self {
+        Self { table }
+    }
+
+    /// Generate the pair of naive queries for `index`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PirError::IndexOutOfRange`] if `index` is outside the table.
+    pub fn query<R: Rng + ?Sized>(
+        &self,
+        index: u64,
+        rng: &mut R,
+    ) -> Result<(NaiveQuery, NaiveQuery), PirError> {
+        if index >= self.table.entries() {
+            return Err(PirError::IndexOutOfRange {
+                index,
+                table_size: self.table.entries(),
+            });
+        }
+        let shares =
+            IndicatorShares::for_index(index as usize, self.table.entries() as usize, rng);
+        Ok((
+            NaiveQuery {
+                share: shares.share0,
+            },
+            NaiveQuery {
+                share: shares.share1,
+            },
+        ))
+    }
+
+    /// Server-side answer: multiply the share vector into the table.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the query length does not match the table.
+    #[must_use]
+    pub fn answer(&self, query: &NaiveQuery) -> Vec<u32> {
+        matvec_shares(&query.share, self.table.matrix()).into()
+    }
+
+    /// Client-side reconstruction of the entry bytes from the two answers.
+    #[must_use]
+    pub fn reconstruct(&self, answer0: &[u32], answer1: &[u32]) -> Vec<u8> {
+        let lanes = pir_field::reconstruct_lanes(answer0, answer1);
+        self.table.lanes_to_entry_bytes(&lanes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn naive_pir_roundtrip() {
+        let table = PirTable::generate(50, 12, |row, offset| (row * 7 + offset as u64) as u8);
+        let pir = NaivePir::new(table.clone());
+        let mut rng = StdRng::seed_from_u64(91);
+        for index in [0u64, 13, 49] {
+            let (q0, q1) = pir.query(index, &mut rng).unwrap();
+            let a0 = pir.answer(&q0);
+            let a1 = pir.answer(&q1);
+            assert_eq!(pir.reconstruct(&a0, &a1), table.entry(index));
+        }
+    }
+
+    #[test]
+    fn communication_is_linear_in_table_size() {
+        let table = PirTable::generate(1024, 8, |_, _| 0);
+        let pir = NaivePir::new(table);
+        let mut rng = StdRng::seed_from_u64(92);
+        let (q0, _q1) = pir.query(0, &mut rng).unwrap();
+        assert_eq!(q0.size_bytes(), 1024 * 16);
+    }
+
+    #[test]
+    fn out_of_range_is_an_error() {
+        let table = PirTable::generate(10, 4, |_, _| 0);
+        let pir = NaivePir::new(table);
+        let mut rng = StdRng::seed_from_u64(93);
+        assert!(matches!(
+            pir.query(10, &mut rng),
+            Err(PirError::IndexOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn naive_and_dpf_pir_agree() {
+        use crate::client::PirClient;
+        use crate::server::{GpuPirServer, PirServer};
+        use pir_prf::PrfKind;
+
+        let table = PirTable::generate(128, 16, |row, offset| (row ^ offset as u64) as u8);
+        let naive = NaivePir::new(table.clone());
+        let client = PirClient::new(table.schema(), PrfKind::SipHash);
+        let s0 = GpuPirServer::with_defaults(table.clone(), PrfKind::SipHash);
+        let s1 = GpuPirServer::with_defaults(table.clone(), PrfKind::SipHash);
+        let mut rng = StdRng::seed_from_u64(94);
+
+        let index = 77;
+        let (nq0, nq1) = naive.query(index, &mut rng).unwrap();
+        let naive_result = naive.reconstruct(&naive.answer(&nq0), &naive.answer(&nq1));
+
+        let query = client.query(index, &mut rng);
+        let r0 = s0.answer(&query.to_server(0)).unwrap();
+        let r1 = s1.answer(&query.to_server(1)).unwrap();
+        let dpf_result = client.reconstruct(&query, &r0, &r1).unwrap();
+
+        assert_eq!(naive_result, dpf_result);
+        assert_eq!(naive_result, table.entry(index));
+        // And the DPF query is much smaller.
+        assert!(query.upload_bytes_per_server() * 10 < nq0.size_bytes());
+    }
+}

@@ -1,0 +1,232 @@
+//! The GPU-accelerated PIR server (the paper's contribution).
+
+use parking_lot::Mutex;
+
+use gpu_sim::{DeviceSpec, GpuExecutor, KernelReport};
+use pir_dpf::{BatchEvalJob, Scheduler, SchedulerConfig};
+use pir_prf::{build_prf, GgmPrg, PrfKind};
+
+use crate::error::PirError;
+use crate::message::{PirResponse, ServerQuery};
+use crate::server::{check_schema, PirServer, ServerMetrics};
+use crate::table::{PirTable, TableSchema};
+
+/// A PIR server that evaluates DPFs on the (simulated) GPU.
+///
+/// Every batch of queries is planned by the batch/table-size-aware
+/// [`Scheduler`] (§3.2.5), evaluated with the fused memory-bounded kernel
+/// (§3.2.3–§3.2.4), and accounted in the server's [`ServerMetrics`].
+pub struct GpuPirServer {
+    table: PirTable,
+    prg: GgmPrg,
+    prf_kind: PrfKind,
+    executor: GpuExecutor,
+    scheduler: Scheduler,
+    metrics: Mutex<ServerMetrics>,
+    last_report: Mutex<Option<KernelReport>>,
+}
+
+impl GpuPirServer {
+    /// Create a server on a specific device with a specific scheduler.
+    #[must_use]
+    pub fn new(
+        table: PirTable,
+        prf_kind: PrfKind,
+        device: DeviceSpec,
+        scheduler_config: SchedulerConfig,
+    ) -> Self {
+        Self {
+            table,
+            prg: GgmPrg::new(build_prf(prf_kind)),
+            prf_kind,
+            executor: GpuExecutor::new(device),
+            scheduler: Scheduler::new(scheduler_config),
+            metrics: Mutex::new(ServerMetrics::default()),
+            last_report: Mutex::new(None),
+        }
+    }
+
+    /// Create a server with the paper's defaults: a V100 and the default
+    /// scheduler thresholds.
+    #[must_use]
+    pub fn with_defaults(table: PirTable, prf_kind: PrfKind) -> Self {
+        Self::new(table, prf_kind, DeviceSpec::v100(), SchedulerConfig::default())
+    }
+
+    /// The PRF family this server evaluates.
+    #[must_use]
+    pub fn prf_kind(&self) -> PrfKind {
+        self.prf_kind
+    }
+
+    /// The table served by this server.
+    #[must_use]
+    pub fn table(&self) -> &PirTable {
+        &self.table
+    }
+
+    /// The kernel report of the most recent batch (None before any batch).
+    #[must_use]
+    pub fn last_report(&self) -> Option<KernelReport> {
+        self.last_report.lock().clone()
+    }
+
+    /// Answer a batch and also return the kernel report for benchmarking.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PirError::SchemaMismatch`] if any query targets a different
+    /// table shape.
+    pub fn answer_batch_with_report(
+        &self,
+        queries: &[ServerQuery],
+    ) -> Result<(Vec<PirResponse>, KernelReport), PirError> {
+        assert!(!queries.is_empty(), "batch must contain at least one query");
+        for query in queries {
+            check_schema(self.table.schema(), query)?;
+        }
+
+        let plan = self.scheduler.plan(
+            self.table.entries(),
+            self.table.entry_bytes() as u64,
+            queries.len() as u64,
+        );
+        let keys: Vec<_> = queries.iter().map(|q| q.key.clone()).collect();
+        let job = BatchEvalJob::new(&self.prg, self.prf_kind, &keys, self.table.matrix())
+            .with_strategy(plan.strategy)
+            .with_mapping(plan.mapping)
+            .with_threads_per_block(plan.threads_per_block);
+        let output = job.run(&self.executor);
+
+        let responses: Vec<PirResponse> = queries
+            .iter()
+            .zip(output.results)
+            .map(|(query, share)| PirResponse {
+                query_id: query.query_id,
+                party: query.party(),
+                share: share.into(),
+            })
+            .collect();
+
+        let bytes_in: u64 = queries.iter().map(|q| q.size_bytes() as u64).sum();
+        let bytes_out: u64 = responses.iter().map(|r| r.size_bytes() as u64).sum();
+        self.metrics.lock().record_batch(
+            queries.len() as u64,
+            output.report.counters.prf_calls,
+            output.report.estimated_time_s,
+            bytes_in,
+            bytes_out,
+        );
+        *self.last_report.lock() = Some(output.report.clone());
+        Ok((responses, output.report))
+    }
+}
+
+impl PirServer for GpuPirServer {
+    fn schema(&self) -> TableSchema {
+        self.table.schema()
+    }
+
+    fn answer(&self, query: &ServerQuery) -> Result<PirResponse, PirError> {
+        let (mut responses, _) = self.answer_batch_with_report(std::slice::from_ref(query))?;
+        Ok(responses.remove(0))
+    }
+
+    fn answer_batch(&self, queries: &[ServerQuery]) -> Result<Vec<PirResponse>, PirError> {
+        let (responses, _) = self.answer_batch_with_report(queries)?;
+        Ok(responses)
+    }
+
+    fn metrics(&self) -> ServerMetrics {
+        *self.metrics.lock()
+    }
+}
+
+impl std::fmt::Debug for GpuPirServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("GpuPirServer")
+            .field("table", &self.table.schema().describe())
+            .field("prf", &self.prf_kind)
+            .field("device", &self.executor.device().name)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::PirClient;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn table() -> PirTable {
+        PirTable::generate(300, 16, |row, offset| (row as u8).wrapping_mul(3).wrapping_add(offset as u8))
+    }
+
+    #[test]
+    fn single_query_roundtrip() {
+        let table = table();
+        let client = PirClient::new(table.schema(), PrfKind::SipHash);
+        let s0 = GpuPirServer::with_defaults(table.clone(), PrfKind::SipHash);
+        let s1 = GpuPirServer::with_defaults(table.clone(), PrfKind::SipHash);
+        let mut rng = StdRng::seed_from_u64(71);
+
+        for index in [0u64, 1, 137, 299] {
+            let query = client.query(index, &mut rng);
+            let r0 = s0.answer(&query.to_server(0)).unwrap();
+            let r1 = s1.answer(&query.to_server(1)).unwrap();
+            let bytes = client.reconstruct(&query, &r0, &r1).unwrap();
+            assert_eq!(bytes, table.entry(index), "index {index}");
+        }
+        assert_eq!(s0.metrics().queries_served, 4);
+        assert!(s0.metrics().busy_time_s > 0.0);
+        assert!(s0.last_report().is_some());
+    }
+
+    #[test]
+    fn batched_queries_roundtrip() {
+        let table = table();
+        let client = PirClient::new(table.schema(), PrfKind::SipHash);
+        let s0 = GpuPirServer::with_defaults(table.clone(), PrfKind::SipHash);
+        let s1 = GpuPirServer::with_defaults(table.clone(), PrfKind::SipHash);
+        let mut rng = StdRng::seed_from_u64(72);
+
+        let indices: Vec<u64> = vec![5, 9, 200, 299, 0, 123, 77, 31];
+        let queries: Vec<_> = indices.iter().map(|i| client.query(*i, &mut rng)).collect();
+        let to0: Vec<_> = queries.iter().map(|q| q.to_server(0)).collect();
+        let to1: Vec<_> = queries.iter().map(|q| q.to_server(1)).collect();
+
+        let (r0, report) = s0.answer_batch_with_report(&to0).unwrap();
+        let r1 = s1.answer_batch(&to1).unwrap();
+        assert!(report.estimated_time_s > 0.0);
+        for (i, index) in indices.iter().enumerate() {
+            let bytes = client.reconstruct(&queries[i], &r0[i], &r1[i]).unwrap();
+            assert_eq!(bytes, table.entry(*index));
+        }
+        assert!(s0.metrics().bytes_in > 0);
+        assert!(s0.metrics().bytes_out > 0);
+        assert!(s0.metrics().average_qps() > 0.0);
+    }
+
+    #[test]
+    fn schema_mismatch_is_rejected() {
+        let table = table();
+        let other_schema = TableSchema::new(1024, 16);
+        let client = PirClient::new(other_schema, PrfKind::SipHash);
+        let server = GpuPirServer::with_defaults(table, PrfKind::SipHash);
+        let mut rng = StdRng::seed_from_u64(73);
+        let query = client.query(3, &mut rng);
+        assert!(matches!(
+            server.answer(&query.to_server(0)),
+            Err(PirError::SchemaMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn works_as_trait_object() {
+        let table = table();
+        let server: Box<dyn PirServer> =
+            Box::new(GpuPirServer::with_defaults(table.clone(), PrfKind::SipHash));
+        assert_eq!(server.schema(), table.schema());
+    }
+}

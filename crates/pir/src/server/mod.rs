@@ -1,0 +1,117 @@
+//! PIR servers: the GPU-accelerated implementation and the CPU baseline.
+
+mod cpu;
+mod gpu;
+
+pub use cpu::{CpuBatchTiming, CpuPirServer};
+pub use gpu::GpuPirServer;
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::PirError;
+use crate::message::{PirResponse, ServerQuery};
+use crate::table::TableSchema;
+
+/// Running totals a server keeps about the work it has done.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct ServerMetrics {
+    /// Queries answered so far.
+    pub queries_served: u64,
+    /// PRF block evaluations performed.
+    pub prf_calls: u64,
+    /// Estimated device-busy seconds (modelled time, not host wall time).
+    pub busy_time_s: f64,
+    /// Bytes received from clients.
+    pub bytes_in: u64,
+    /// Bytes returned to clients.
+    pub bytes_out: u64,
+}
+
+impl ServerMetrics {
+    /// Average sustained throughput in queries per second.
+    #[must_use]
+    pub fn average_qps(&self) -> f64 {
+        if self.busy_time_s <= 0.0 {
+            return 0.0;
+        }
+        self.queries_served as f64 / self.busy_time_s
+    }
+
+    pub(crate) fn record_batch(
+        &mut self,
+        queries: u64,
+        prf_calls: u64,
+        busy_time_s: f64,
+        bytes_in: u64,
+        bytes_out: u64,
+    ) {
+        self.queries_served += queries;
+        self.prf_calls += prf_calls;
+        self.busy_time_s += busy_time_s;
+        self.bytes_in += bytes_in;
+        self.bytes_out += bytes_out;
+    }
+}
+
+/// Behaviour common to both server implementations.
+///
+/// The trait is object-safe so higher layers (the batch-PIR router, the
+/// end-to-end system) can mix CPU and GPU servers behind `dyn PirServer`.
+pub trait PirServer: Send + Sync {
+    /// The schema of the table this server holds.
+    fn schema(&self) -> TableSchema;
+
+    /// Answer a single query.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PirError::SchemaMismatch`] if the query was generated for a
+    /// different table shape.
+    fn answer(&self, query: &ServerQuery) -> Result<PirResponse, PirError>;
+
+    /// Answer a batch of queries (the server is free to batch them onto the
+    /// device however it likes).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PirError::SchemaMismatch`] if any query targets a different
+    /// table shape.
+    fn answer_batch(&self, queries: &[ServerQuery]) -> Result<Vec<PirResponse>, PirError> {
+        queries.iter().map(|query| self.answer(query)).collect()
+    }
+
+    /// Metrics accumulated since the server was created.
+    fn metrics(&self) -> ServerMetrics;
+}
+
+pub(crate) fn check_schema(expected: TableSchema, query: &ServerQuery) -> Result<(), PirError> {
+    if query.schema != expected || query.key.params.domain_size != expected.entries {
+        return Err(PirError::SchemaMismatch {
+            expected: query.schema.describe(),
+            actual: expected.describe(),
+        });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn metrics_accumulate_and_average() {
+        let mut metrics = ServerMetrics::default();
+        metrics.record_batch(10, 1000, 0.5, 100, 200);
+        metrics.record_batch(10, 1000, 0.5, 100, 200);
+        assert_eq!(metrics.queries_served, 20);
+        assert_eq!(metrics.prf_calls, 2000);
+        assert!((metrics.average_qps() - 20.0).abs() < 1e-9);
+        assert_eq!(metrics.bytes_in, 200);
+        assert_eq!(metrics.bytes_out, 400);
+    }
+
+    #[test]
+    fn empty_metrics_have_zero_qps() {
+        assert_eq!(ServerMetrics::default().average_qps(), 0.0);
+    }
+}

@@ -1,0 +1,237 @@
+//! The server-side embedding table as seen by the PIR layer.
+
+use pir_field::{lanes_for_bytes, LaneVector, ShareMatrix};
+use serde::{Deserialize, Serialize};
+
+/// Shape of a PIR table: how many entries, how wide each entry is.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct TableSchema {
+    /// Number of entries (rows).
+    pub entries: u64,
+    /// Size of one entry in bytes.
+    pub entry_bytes: usize,
+}
+
+impl TableSchema {
+    /// Create a schema.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    #[must_use]
+    pub fn new(entries: u64, entry_bytes: usize) -> Self {
+        assert!(entries > 0, "table must contain at least one entry");
+        assert!(entry_bytes > 0, "entries must be at least one byte");
+        Self {
+            entries,
+            entry_bytes,
+        }
+    }
+
+    /// Number of `u32` lanes per entry after padding.
+    #[must_use]
+    pub fn lanes_per_entry(&self) -> usize {
+        lanes_for_bytes(self.entry_bytes)
+    }
+
+    /// Total table size in bytes (padded to whole lanes).
+    #[must_use]
+    pub fn size_bytes(&self) -> u64 {
+        self.entries * self.lanes_per_entry() as u64 * 4
+    }
+
+    /// Human-readable description used in error messages.
+    #[must_use]
+    pub fn describe(&self) -> String {
+        format!("{} entries × {} B", self.entries, self.entry_bytes)
+    }
+}
+
+/// An embedding table replicated on both PIR servers.
+///
+/// Entries are stored as padded `u32` lanes (the representation the DPF output
+/// is multiplied against); [`PirTable::entry_bytes`] remembers the original
+/// width so reconstructed rows can be truncated back to exact byte length.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct PirTable {
+    schema: TableSchema,
+    matrix: ShareMatrix,
+}
+
+impl PirTable {
+    /// Build a table from raw entry byte strings.
+    ///
+    /// All entries must have the same length.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries` is empty, any entry is empty, or entries disagree
+    /// in length.
+    #[must_use]
+    pub fn from_entries(entries: &[Vec<u8>]) -> Self {
+        assert!(!entries.is_empty(), "table must contain at least one entry");
+        let entry_bytes = entries[0].len();
+        assert!(entry_bytes > 0, "entries must be at least one byte");
+        assert!(
+            entries.iter().all(|e| e.len() == entry_bytes),
+            "all entries must have the same length"
+        );
+        let schema = TableSchema::new(entries.len() as u64, entry_bytes);
+        let lanes = schema.lanes_per_entry();
+        let mut data = Vec::with_capacity(entries.len() * lanes);
+        for entry in entries {
+            data.extend(LaneVector::from_bytes(entry).0);
+        }
+        let matrix = ShareMatrix::from_rows(entries.len(), lanes, data);
+        Self { schema, matrix }
+    }
+
+    /// Build a table of `entries` rows of `entry_bytes` each, filled by
+    /// `fill(row, byte_offset) -> byte`. Useful for generating large synthetic
+    /// tables without materializing intermediate `Vec<Vec<u8>>`s.
+    #[must_use]
+    pub fn generate<F>(entries: u64, entry_bytes: usize, mut fill: F) -> Self
+    where
+        F: FnMut(u64, usize) -> u8,
+    {
+        let schema = TableSchema::new(entries, entry_bytes);
+        let lanes = schema.lanes_per_entry();
+        let mut data = Vec::with_capacity(entries as usize * lanes);
+        let mut buffer = vec![0u8; entry_bytes];
+        for row in 0..entries {
+            for (offset, byte) in buffer.iter_mut().enumerate() {
+                *byte = fill(row, offset);
+            }
+            data.extend(LaneVector::from_bytes(&buffer).0);
+        }
+        let matrix = ShareMatrix::from_rows(entries as usize, lanes, data);
+        Self { schema, matrix }
+    }
+
+    /// The table's schema.
+    #[must_use]
+    pub fn schema(&self) -> TableSchema {
+        self.schema
+    }
+
+    /// Number of entries.
+    #[must_use]
+    pub fn entries(&self) -> u64 {
+        self.schema.entries
+    }
+
+    /// Entry width in bytes.
+    #[must_use]
+    pub fn entry_bytes(&self) -> usize {
+        self.schema.entry_bytes
+    }
+
+    /// Total size in bytes.
+    #[must_use]
+    pub fn size_bytes(&self) -> u64 {
+        self.schema.size_bytes()
+    }
+
+    /// The underlying lane matrix multiplied by DPF outputs.
+    #[must_use]
+    pub fn matrix(&self) -> &ShareMatrix {
+        &self.matrix
+    }
+
+    /// Read one entry in plain bytes (server-side only; used by tests and by
+    /// the non-private baseline).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    #[must_use]
+    pub fn entry(&self, index: u64) -> Vec<u8> {
+        assert!(index < self.entries(), "entry {index} out of range");
+        let lanes = LaneVector(self.matrix.row(index as usize).to_vec());
+        let mut bytes = lanes.to_bytes();
+        bytes.truncate(self.schema.entry_bytes);
+        bytes
+    }
+
+    /// Convert a reconstructed lane vector into the entry's exact bytes.
+    #[must_use]
+    pub fn lanes_to_entry_bytes(&self, lanes: &[u32]) -> Vec<u8> {
+        let mut bytes = LaneVector(lanes.to_vec()).to_bytes();
+        bytes.truncate(self.schema.entry_bytes);
+        bytes
+    }
+
+    /// Overwrite one entry (model refresh without re-indexing, §4.2 "Changes
+    /// to Embedding Table": value updates are transparent to clients).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the index is out of range or the payload width differs from
+    /// the schema.
+    pub fn update_entry(&mut self, index: u64, bytes: &[u8]) {
+        assert!(index < self.entries(), "entry {index} out of range");
+        assert_eq!(bytes.len(), self.schema.entry_bytes, "entry width mismatch");
+        let lanes = LaneVector::from_bytes(bytes);
+        self.matrix.set_row(index as usize, &lanes.0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_entries_roundtrips() {
+        let entries: Vec<Vec<u8>> = (0..10u8).map(|i| vec![i; 7]).collect();
+        let table = PirTable::from_entries(&entries);
+        assert_eq!(table.entries(), 10);
+        assert_eq!(table.entry_bytes(), 7);
+        assert_eq!(table.schema().lanes_per_entry(), 2);
+        for (i, entry) in entries.iter().enumerate() {
+            assert_eq!(&table.entry(i as u64), entry);
+        }
+    }
+
+    #[test]
+    fn generate_matches_fill_function() {
+        let table = PirTable::generate(16, 4, |row, offset| (row as u8).wrapping_add(offset as u8));
+        assert_eq!(table.entry(3), vec![3, 4, 5, 6]);
+        assert_eq!(table.size_bytes(), 16 * 4);
+    }
+
+    #[test]
+    fn update_entry_changes_only_that_row() {
+        let mut table = PirTable::generate(4, 4, |row, _| row as u8);
+        table.update_entry(2, &[9, 9, 9, 9]);
+        assert_eq!(table.entry(2), vec![9, 9, 9, 9]);
+        assert_eq!(table.entry(1), vec![1, 1, 1, 1]);
+    }
+
+    #[test]
+    fn lanes_to_entry_bytes_truncates_padding() {
+        let entries = vec![vec![1u8, 2, 3, 4, 5]];
+        let table = PirTable::from_entries(&entries);
+        let lanes = table.matrix().row(0).to_vec();
+        assert_eq!(table.lanes_to_entry_bytes(&lanes), vec![1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "same length")]
+    fn mismatched_entry_lengths_panic() {
+        let _ = PirTable::from_entries(&[vec![1, 2], vec![1]]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one entry")]
+    fn empty_table_panics() {
+        let _ = PirTable::from_entries(&[]);
+    }
+
+    #[test]
+    fn schema_describe_is_readable() {
+        let schema = TableSchema::new(100, 128);
+        assert_eq!(schema.describe(), "100 entries × 128 B");
+        assert_eq!(schema.lanes_per_entry(), 32);
+        assert_eq!(schema.size_bytes(), 100 * 128);
+    }
+}

@@ -1,0 +1,252 @@
+//! Portable software AES-128 used as the default PRF.
+//!
+//! CPUs accelerate AES with AES-NI, which is why the CPU DPF baseline uses it;
+//! GPUs have no such hardware so AES must be computed in software with S-box
+//! lookups (the paper's §3.2.6). This module is a straightforward, table-free
+//! byte-oriented implementation of the FIPS-197 cipher: it favours clarity and
+//! portability over raw speed, because in this reproduction the *performance*
+//! of each PRF on the GPU is captured by the cost model
+//! ([`crate::PrfKind::gpu_cycles_per_block`]), while this code provides the
+//! *functional* behaviour.
+
+use pir_field::Block128;
+
+use crate::{Prf, PrfKind};
+
+/// AES S-box.
+const SBOX: [u8; 256] = [
+    0x63, 0x7c, 0x77, 0x7b, 0xf2, 0x6b, 0x6f, 0xc5, 0x30, 0x01, 0x67, 0x2b, 0xfe, 0xd7, 0xab,
+    0x76, 0xca, 0x82, 0xc9, 0x7d, 0xfa, 0x59, 0x47, 0xf0, 0xad, 0xd4, 0xa2, 0xaf, 0x9c, 0xa4,
+    0x72, 0xc0, 0xb7, 0xfd, 0x93, 0x26, 0x36, 0x3f, 0xf7, 0xcc, 0x34, 0xa5, 0xe5, 0xf1, 0x71,
+    0xd8, 0x31, 0x15, 0x04, 0xc7, 0x23, 0xc3, 0x18, 0x96, 0x05, 0x9a, 0x07, 0x12, 0x80, 0xe2,
+    0xeb, 0x27, 0xb2, 0x75, 0x09, 0x83, 0x2c, 0x1a, 0x1b, 0x6e, 0x5a, 0xa0, 0x52, 0x3b, 0xd6,
+    0xb3, 0x29, 0xe3, 0x2f, 0x84, 0x53, 0xd1, 0x00, 0xed, 0x20, 0xfc, 0xb1, 0x5b, 0x6a, 0xcb,
+    0xbe, 0x39, 0x4a, 0x4c, 0x58, 0xcf, 0xd0, 0xef, 0xaa, 0xfb, 0x43, 0x4d, 0x33, 0x85, 0x45,
+    0xf9, 0x02, 0x7f, 0x50, 0x3c, 0x9f, 0xa8, 0x51, 0xa3, 0x40, 0x8f, 0x92, 0x9d, 0x38, 0xf5,
+    0xbc, 0xb6, 0xda, 0x21, 0x10, 0xff, 0xf3, 0xd2, 0xcd, 0x0c, 0x13, 0xec, 0x5f, 0x97, 0x44,
+    0x17, 0xc4, 0xa7, 0x7e, 0x3d, 0x64, 0x5d, 0x19, 0x73, 0x60, 0x81, 0x4f, 0xdc, 0x22, 0x2a,
+    0x90, 0x88, 0x46, 0xee, 0xb8, 0x14, 0xde, 0x5e, 0x0b, 0xdb, 0xe0, 0x32, 0x3a, 0x0a, 0x49,
+    0x06, 0x24, 0x5c, 0xc2, 0xd3, 0xac, 0x62, 0x91, 0x95, 0xe4, 0x79, 0xe7, 0xc8, 0x37, 0x6d,
+    0x8d, 0xd5, 0x4e, 0xa9, 0x6c, 0x56, 0xf4, 0xea, 0x65, 0x7a, 0xae, 0x08, 0xba, 0x78, 0x25,
+    0x2e, 0x1c, 0xa6, 0xb4, 0xc6, 0xe8, 0xdd, 0x74, 0x1f, 0x4b, 0xbd, 0x8b, 0x8a, 0x70, 0x3e,
+    0xb5, 0x66, 0x48, 0x03, 0xf6, 0x0e, 0x61, 0x35, 0x57, 0xb9, 0x86, 0xc1, 0x1d, 0x9e, 0xe1,
+    0xf8, 0x98, 0x11, 0x69, 0xd9, 0x8e, 0x94, 0x9b, 0x1e, 0x87, 0xe9, 0xce, 0x55, 0x28, 0xdf,
+    0x8c, 0xa1, 0x89, 0x0d, 0xbf, 0xe6, 0x42, 0x68, 0x41, 0x99, 0x2d, 0x0f, 0xb0, 0x54, 0xbb,
+    0x16,
+];
+
+/// Round constants for key expansion.
+const RCON: [u8; 10] = [0x01, 0x02, 0x04, 0x08, 0x10, 0x20, 0x40, 0x80, 0x1b, 0x36];
+
+const ROUNDS: usize = 10;
+const BLOCK: usize = 16;
+
+/// Multiply a byte by `x` in GF(2^8) (the `xtime` operation from FIPS-197).
+#[inline]
+fn xtime(byte: u8) -> u8 {
+    let shifted = byte << 1;
+    if byte & 0x80 != 0 {
+        shifted ^ 0x1b
+    } else {
+        shifted
+    }
+}
+
+/// An expanded AES-128 key schedule.
+#[derive(Clone)]
+pub struct Aes128 {
+    round_keys: [[u8; BLOCK]; ROUNDS + 1],
+}
+
+impl Aes128 {
+    /// Expand a 128-bit key into the 11 round keys.
+    #[must_use]
+    pub fn new(key: [u8; BLOCK]) -> Self {
+        let mut words = [[0u8; 4]; 4 * (ROUNDS + 1)];
+        for (i, word) in words.iter_mut().take(4).enumerate() {
+            word.copy_from_slice(&key[4 * i..4 * i + 4]);
+        }
+        for i in 4..4 * (ROUNDS + 1) {
+            let mut temp = words[i - 1];
+            if i % 4 == 0 {
+                temp.rotate_left(1);
+                for byte in &mut temp {
+                    *byte = SBOX[*byte as usize];
+                }
+                temp[0] ^= RCON[i / 4 - 1];
+            }
+            for j in 0..4 {
+                words[i][j] = words[i - 4][j] ^ temp[j];
+            }
+        }
+        let mut round_keys = [[0u8; BLOCK]; ROUNDS + 1];
+        for (round, round_key) in round_keys.iter_mut().enumerate() {
+            for word in 0..4 {
+                round_key[4 * word..4 * word + 4].copy_from_slice(&words[4 * round + word]);
+            }
+        }
+        Self { round_keys }
+    }
+
+    /// Encrypt a single 16-byte block.
+    #[must_use]
+    pub fn encrypt_block(&self, plaintext: [u8; BLOCK]) -> [u8; BLOCK] {
+        let mut state = plaintext;
+        add_round_key(&mut state, &self.round_keys[0]);
+        for round in 1..ROUNDS {
+            sub_bytes(&mut state);
+            shift_rows(&mut state);
+            mix_columns(&mut state);
+            add_round_key(&mut state, &self.round_keys[round]);
+        }
+        sub_bytes(&mut state);
+        shift_rows(&mut state);
+        add_round_key(&mut state, &self.round_keys[ROUNDS]);
+        state
+    }
+}
+
+fn add_round_key(state: &mut [u8; BLOCK], round_key: &[u8; BLOCK]) {
+    for (s, k) in state.iter_mut().zip(round_key) {
+        *s ^= k;
+    }
+}
+
+fn sub_bytes(state: &mut [u8; BLOCK]) {
+    for byte in state.iter_mut() {
+        *byte = SBOX[*byte as usize];
+    }
+}
+
+/// State is column-major: byte `state[c*4 + r]` is row `r`, column `c`.
+fn shift_rows(state: &mut [u8; BLOCK]) {
+    let copy = *state;
+    for row in 1..4 {
+        for col in 0..4 {
+            state[col * 4 + row] = copy[((col + row) % 4) * 4 + row];
+        }
+    }
+}
+
+fn mix_columns(state: &mut [u8; BLOCK]) {
+    for col in 0..4 {
+        let a = [
+            state[col * 4],
+            state[col * 4 + 1],
+            state[col * 4 + 2],
+            state[col * 4 + 3],
+        ];
+        let b = [xtime(a[0]), xtime(a[1]), xtime(a[2]), xtime(a[3])];
+        state[col * 4] = b[0] ^ a[1] ^ b[1] ^ a[2] ^ a[3];
+        state[col * 4 + 1] = a[0] ^ b[1] ^ a[2] ^ b[2] ^ a[3];
+        state[col * 4 + 2] = a[0] ^ a[1] ^ b[2] ^ a[3] ^ b[3];
+        state[col * 4 + 3] = a[0] ^ b[0] ^ a[1] ^ a[2] ^ b[3];
+    }
+}
+
+/// AES-128 in a counter-mode-style PRF construction.
+///
+/// The PRF evaluates `AES_k(input ⊕ encode(tweak))`, i.e. a fixed-key block
+/// cipher applied to a tweaked input — the construction used by fixed-key AES
+/// DPF implementations.
+pub struct Aes128Prf {
+    cipher: Aes128,
+}
+
+impl Aes128Prf {
+    /// Build a PRF around an explicit 128-bit key.
+    #[must_use]
+    pub fn new(key: [u8; BLOCK]) -> Self {
+        Self {
+            cipher: Aes128::new(key),
+        }
+    }
+
+    /// Build a PRF with the crate's fixed public key.
+    #[must_use]
+    pub fn with_fixed_key() -> Self {
+        Self::new(*b"gpu-pir-aes-key!")
+    }
+}
+
+impl Prf for Aes128Prf {
+    fn kind(&self) -> PrfKind {
+        PrfKind::Aes128
+    }
+
+    fn eval_block(&self, input: Block128, tweak: u64) -> Block128 {
+        let tweaked = input ^ Block128::from_halves(tweak, tweak.rotate_left(32) ^ 0xa5a5_a5a5);
+        Block128::from_le_bytes(self.cipher.encrypt_block(tweaked.to_le_bytes()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// FIPS-197 Appendix C.1 test vector.
+    #[test]
+    fn fips197_vector() {
+        let key: [u8; 16] = [
+            0x00, 0x01, 0x02, 0x03, 0x04, 0x05, 0x06, 0x07, 0x08, 0x09, 0x0a, 0x0b, 0x0c, 0x0d,
+            0x0e, 0x0f,
+        ];
+        let plaintext: [u8; 16] = [
+            0x00, 0x11, 0x22, 0x33, 0x44, 0x55, 0x66, 0x77, 0x88, 0x99, 0xaa, 0xbb, 0xcc, 0xdd,
+            0xee, 0xff,
+        ];
+        let expected: [u8; 16] = [
+            0x69, 0xc4, 0xe0, 0xd8, 0x6a, 0x7b, 0x04, 0x30, 0xd8, 0xcd, 0xb7, 0x80, 0x70, 0xb4,
+            0xc5, 0x5a,
+        ];
+        let cipher = Aes128::new(key);
+        assert_eq!(cipher.encrypt_block(plaintext), expected);
+    }
+
+    /// FIPS-197 Appendix A.1 key expansion spot checks.
+    #[test]
+    fn key_expansion_matches_reference() {
+        let key: [u8; 16] = [
+            0x2b, 0x7e, 0x15, 0x16, 0x28, 0xae, 0xd2, 0xa6, 0xab, 0xf7, 0x15, 0x88, 0x09, 0xcf,
+            0x4f, 0x3c,
+        ];
+        let cipher = Aes128::new(key);
+        // w[4..8] from the FIPS-197 walkthrough: a0fafe17 88542cb1 23a33939 2a6c7605
+        assert_eq!(
+            cipher.round_keys[1],
+            [
+                0xa0, 0xfa, 0xfe, 0x17, 0x88, 0x54, 0x2c, 0xb1, 0x23, 0xa3, 0x39, 0x39, 0x2a,
+                0x6c, 0x76, 0x05
+            ]
+        );
+        // Final round key w[40..44]: d014f9a8 c9ee2589 e13f0cc8 b6630ca6
+        assert_eq!(
+            cipher.round_keys[10],
+            [
+                0xd0, 0x14, 0xf9, 0xa8, 0xc9, 0xee, 0x25, 0x89, 0xe1, 0x3f, 0x0c, 0xc8, 0xb6,
+                0x63, 0x0c, 0xa6
+            ]
+        );
+    }
+
+    #[test]
+    fn prf_is_deterministic_and_tweaked() {
+        let prf = Aes128Prf::with_fixed_key();
+        let x = Block128::from_u128(99);
+        assert_eq!(prf.eval_block(x, 3), prf.eval_block(x, 3));
+        assert_ne!(prf.eval_block(x, 3), prf.eval_block(x, 4));
+        assert_ne!(
+            prf.eval_block(x, 3),
+            prf.eval_block(Block128::from_u128(100), 3)
+        );
+        assert_eq!(prf.kind(), PrfKind::Aes128);
+    }
+
+    #[test]
+    fn different_keys_give_different_outputs() {
+        let a = Aes128Prf::new([0u8; 16]);
+        let b = Aes128Prf::new([1u8; 16]);
+        let x = Block128::from_u128(7);
+        assert_ne!(a.eval_block(x, 0), b.eval_block(x, 0));
+    }
+}

@@ -1,0 +1,128 @@
+//! ChaCha20 block function used as a GPU-friendly PRF.
+//!
+//! ChaCha20 is built from 32-bit add/rotate/xor operations with no table
+//! lookups, which maps well onto GPU ALUs — the paper reports a ~3.8×
+//! throughput improvement over software AES on a V100 (Table 5).
+
+use pir_field::Block128;
+
+use crate::{Prf, PrfKind};
+
+/// The ChaCha20 state constants ("expand 32-byte k").
+const CONSTANTS: [u32; 4] = [0x6170_7865, 0x3320_646e, 0x7962_2d32, 0x6b20_6574];
+
+#[inline]
+fn quarter_round(state: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(16);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(12);
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(8);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(7);
+}
+
+/// Run the full ChaCha20 block function (20 rounds) and return the 64-byte
+/// keystream block.
+#[must_use]
+pub fn chacha20_block(key: &[u32; 8], counter: u32, nonce: &[u32; 3]) -> [u32; 16] {
+    let mut state = [0u32; 16];
+    state[..4].copy_from_slice(&CONSTANTS);
+    state[4..12].copy_from_slice(key);
+    state[12] = counter;
+    state[13..16].copy_from_slice(nonce);
+
+    let initial = state;
+    for _ in 0..10 {
+        // Column rounds.
+        quarter_round(&mut state, 0, 4, 8, 12);
+        quarter_round(&mut state, 1, 5, 9, 13);
+        quarter_round(&mut state, 2, 6, 10, 14);
+        quarter_round(&mut state, 3, 7, 11, 15);
+        // Diagonal rounds.
+        quarter_round(&mut state, 0, 5, 10, 15);
+        quarter_round(&mut state, 1, 6, 11, 12);
+        quarter_round(&mut state, 2, 7, 8, 13);
+        quarter_round(&mut state, 3, 4, 9, 14);
+    }
+    for (word, init) in state.iter_mut().zip(&initial) {
+        *word = word.wrapping_add(*init);
+    }
+    state
+}
+
+/// ChaCha20 used as a PRF: the 128-bit input fills half of the key, the tweak
+/// becomes the nonce, and the first 128 bits of keystream are the output.
+pub struct ChaCha20Prf {
+    key_high: [u32; 4],
+}
+
+impl ChaCha20Prf {
+    /// Build a PRF with an explicit 128-bit key half (the other half is the
+    /// per-call input).
+    #[must_use]
+    pub fn new(key_high: [u32; 4]) -> Self {
+        Self { key_high }
+    }
+
+    /// Build a PRF with the crate's fixed public key.
+    #[must_use]
+    pub fn with_fixed_key() -> Self {
+        Self::new([0x6770_7521, 0x7069_7221, 0x6368_6163, 0x6861_3230])
+    }
+}
+
+impl Prf for ChaCha20Prf {
+    fn kind(&self) -> PrfKind {
+        PrfKind::Chacha20
+    }
+
+    fn eval_block(&self, input: Block128, tweak: u64) -> Block128 {
+        let bytes = input.to_le_bytes();
+        let mut key = [0u32; 8];
+        for (i, chunk) in bytes.chunks_exact(4).enumerate() {
+            key[i] = u32::from_le_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]);
+        }
+        key[4..8].copy_from_slice(&self.key_high);
+        let nonce = [tweak as u32, (tweak >> 32) as u32, 0x5049_5221];
+        let out = chacha20_block(&key, 0, &nonce);
+        Block128::from_halves(
+            (out[0] as u64) | ((out[1] as u64) << 32),
+            (out[2] as u64) | ((out[3] as u64) << 32),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// RFC 7539 §2.3.2 block function test vector.
+    #[test]
+    fn rfc7539_block_vector() {
+        let key: [u32; 8] = [
+            0x0302_0100, 0x0706_0504, 0x0b0a_0908, 0x0f0e_0d0c, 0x1312_1110, 0x1716_1514,
+            0x1b1a_1918, 0x1f1e_1d1c,
+        ];
+        let nonce: [u32; 3] = [0x0900_0000, 0x4a00_0000, 0x0000_0000];
+        let counter = 1;
+        let out = chacha20_block(&key, counter, &nonce);
+        let expected: [u32; 16] = [
+            0xe4e7_f110, 0x1559_3bd1, 0x1fdd_0f50, 0xc471_20a3, 0xc7f4_d1c7, 0x0368_c033,
+            0x9aaa_2204, 0x4e6c_d4c3, 0x4664_82d2, 0x09aa_9f07, 0x05d7_c214, 0xa202_8bd9,
+            0xd19c_12b5, 0xb94e_16de, 0xe883_d0cb, 0x4e3c_50a2,
+        ];
+        assert_eq!(out, expected);
+    }
+
+    #[test]
+    fn prf_properties() {
+        let prf = ChaCha20Prf::with_fixed_key();
+        let x = Block128::from_u128(0xabcd);
+        assert_eq!(prf.eval_block(x, 1), prf.eval_block(x, 1));
+        assert_ne!(prf.eval_block(x, 1), prf.eval_block(x, 2));
+        assert_ne!(prf.eval_block(x, 1), prf.eval_block(Block128::from_u128(1), 1));
+        assert_eq!(prf.kind(), PrfKind::Chacha20);
+    }
+}

@@ -1,0 +1,139 @@
+//! The length-doubling PRG that drives GGM-tree expansion.
+
+use std::sync::Arc;
+
+use pir_field::Block128;
+
+use crate::Prf;
+
+/// The result of expanding one tree node into its two children.
+///
+/// Each child carries a 127-bit seed (least-significant bit cleared) plus a
+/// one-bit control flag, exactly the `(s_L, t_L, s_R, t_R)` tuple of the
+/// Gilboa–Ishai DPF.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PrgExpansion {
+    /// Left child seed (LSB cleared).
+    pub seed_left: Block128,
+    /// Right child seed (LSB cleared).
+    pub seed_right: Block128,
+    /// Left control bit.
+    pub t_left: bool,
+    /// Right control bit.
+    pub t_right: bool,
+}
+
+/// A GGM-style length-doubling PRG built from a [`Prf`] with a
+/// Matyas–Meyer–Oseas feed-forward (`G_i(s) = PRF(s, i) ⊕ s`).
+///
+/// The feed-forward makes the expansion one-way even if the underlying
+/// primitive is used with a fixed, public key, matching how fixed-key AES is
+/// used by production DPF implementations.
+#[derive(Clone)]
+pub struct GgmPrg {
+    prf: Arc<dyn Prf>,
+}
+
+/// Tweak used to derive the left child.
+const LEFT_TWEAK: u64 = 0;
+/// Tweak used to derive the right child.
+const RIGHT_TWEAK: u64 = 1;
+
+impl GgmPrg {
+    /// Build a PRG from the given PRF.
+    #[must_use]
+    pub fn new(prf: Arc<dyn Prf>) -> Self {
+        Self { prf }
+    }
+
+    /// Access the underlying PRF (e.g. to read its call counter).
+    #[must_use]
+    pub fn prf(&self) -> &Arc<dyn Prf> {
+        &self.prf
+    }
+
+    /// Expand a node seed into its two children.
+    ///
+    /// Each expansion costs exactly two PRF block evaluations — one per child
+    /// — which is the unit the paper's Figure 6 counts.
+    #[must_use]
+    pub fn expand(&self, seed: Block128) -> PrgExpansion {
+        let left = self.prf.eval_block(seed, LEFT_TWEAK) ^ seed;
+        let right = self.prf.eval_block(seed, RIGHT_TWEAK) ^ seed;
+        PrgExpansion {
+            seed_left: left.with_cleared_lsb(),
+            seed_right: right.with_cleared_lsb(),
+            t_left: left.lsb(),
+            t_right: right.lsb(),
+        }
+    }
+
+    /// Expand only one child (used by the single-point `Eval`); costs one PRF
+    /// block evaluation.
+    #[must_use]
+    pub fn expand_one(&self, seed: Block128, right: bool) -> (Block128, bool) {
+        let tweak = if right { RIGHT_TWEAK } else { LEFT_TWEAK };
+        let out = self.prf.eval_block(seed, tweak) ^ seed;
+        (out.with_cleared_lsb(), out.lsb())
+    }
+}
+
+impl std::fmt::Debug for GgmPrg {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("GgmPrg").field("prf", &self.prf.kind()).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{build_prf, PrfKind};
+
+    #[test]
+    fn expansion_is_deterministic() {
+        for kind in PrfKind::ALL {
+            let prg = GgmPrg::new(build_prf(kind));
+            let seed = Block128::from_u128(0x42);
+            assert_eq!(prg.expand(seed), prg.expand(seed), "{kind}");
+        }
+    }
+
+    #[test]
+    fn children_differ_from_each_other_and_parent() {
+        let prg = GgmPrg::new(build_prf(PrfKind::Aes128));
+        let seed = Block128::from_u128(0x1357_9bdf);
+        let out = prg.expand(seed);
+        assert_ne!(out.seed_left, out.seed_right);
+        assert_ne!(out.seed_left, seed);
+        assert_ne!(out.seed_right, seed);
+    }
+
+    #[test]
+    fn children_have_cleared_lsb() {
+        let prg = GgmPrg::new(build_prf(PrfKind::Chacha20));
+        for i in 0..64u128 {
+            let out = prg.expand(Block128::from_u128(i));
+            assert!(!out.seed_left.lsb());
+            assert!(!out.seed_right.lsb());
+        }
+    }
+
+    #[test]
+    fn expand_one_matches_expand() {
+        let prg = GgmPrg::new(build_prf(PrfKind::SipHash));
+        let seed = Block128::from_u128(0xdead);
+        let both = prg.expand(seed);
+        assert_eq!(prg.expand_one(seed, false), (both.seed_left, both.t_left));
+        assert_eq!(prg.expand_one(seed, true), (both.seed_right, both.t_right));
+    }
+
+    #[test]
+    fn expand_counts_two_prf_calls() {
+        let counting = crate::build_counting_prf(PrfKind::SipHash);
+        let prg = GgmPrg::new(counting.clone() as Arc<dyn Prf>);
+        let _ = prg.expand(Block128::from_u128(5));
+        assert_eq!(counting.calls(), 2);
+        let _ = prg.expand_one(Block128::from_u128(5), true);
+        assert_eq!(counting.calls(), 3);
+    }
+}

@@ -1,0 +1,60 @@
+//! Sweep the PIR + ML co-design space and print the chosen operating points.
+//!
+//! ```text
+//! cargo run --example codesign_tuning --release
+//! ```
+//!
+//! Reproduces the selection loop behind the paper's Figure 11 for one
+//! application: sweep co-location / hot-table / batch-PIR parameters on the
+//! training workload, keep the configurations whose predicted model quality
+//! and communication fit the budget, and report the throughput of the best
+//! configuration with and without co-design.
+
+use gpu_pir_repro::pir_core::{Application, CodesignOptimizer, QualityTarget};
+use gpu_pir_repro::pir_ml::datasets::{DatasetKind, DatasetScale, SyntheticDataset};
+use gpu_pir_repro::pir_prf::PrfKind;
+use gpu_pir_repro::pir_protocol::{Budget, CodesignSpace};
+
+fn main() {
+    let dataset = SyntheticDataset::generate(DatasetKind::MovieLens20M, DatasetScale::Small, 60, 5);
+    let app = Application::new(dataset, 9);
+    println!(
+        "Tuning {} ({} entries, ~{:.0} lookups/inference) under a {} budget\n",
+        app.kind(),
+        app.dataset().table_entries,
+        app.avg_queries_per_inference(),
+        Budget::paper_default().label()
+    );
+
+    let optimizer = CodesignOptimizer::new(Budget::paper_default()).with_space(CodesignSpace {
+        colocation_degrees: vec![0, 1, 2, 4],
+        hot_fractions: vec![0.0, 0.1, 0.2],
+        q_hot_options: vec![4, 8],
+        bin_sizes: vec![64, 256, 1024],
+        q_full_options: vec![1, 2, 4],
+    });
+
+    for target in QualityTarget::ALL {
+        println!("--- {} ---", target.label());
+        for point in [
+            optimizer.cpu_baseline(&app, target),
+            optimizer.gpu_plain(&app, PrfKind::Aes128, target),
+            optimizer.gpu_codesign(&app, PrfKind::Aes128, target),
+            optimizer.gpu_codesign(&app, PrfKind::Chacha20, target),
+        ]
+        .into_iter()
+        .flatten()
+        {
+            println!(
+                "{:<36} {:>10.0} QPS  latency {:>7.1} ms  quality {:>7.4}  drop {:>5.1}%  comm {:>6.1} KB",
+                point.system,
+                point.qps,
+                point.latency_ms,
+                point.quality,
+                point.point.drop_rate * 100.0,
+                point.point.communication_bytes_per_inference / 1e3,
+            );
+        }
+        println!();
+    }
+}

@@ -1,0 +1,14 @@
+//! Umbrella crate for the GPU-PIR reproduction workspace.
+//!
+//! This crate re-exports the public API of every member crate so the
+//! runnable examples under `examples/` and the integration tests under
+//! `tests/` can use a single, convenient namespace. Library users should
+//! depend on the individual crates (`pir-core`, `pir-dpf`, ...) directly.
+
+pub use gpu_sim;
+pub use pir_core;
+pub use pir_dpf;
+pub use pir_field;
+pub use pir_ml;
+pub use pir_prf;
+pub use pir_protocol;
