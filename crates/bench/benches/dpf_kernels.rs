@@ -50,11 +50,20 @@ fn bench_gen_vs_eval(c: &mut Criterion) {
             b.iter(|| eval_point(&prg, &key, 3))
         });
         let table = random_table(&mut rng, 1 << bits, 8);
-        group.bench_function(BenchmarkId::new("eval_full_fused", format!("2^{bits}")), |b| {
-            b.iter(|| {
-                fused_eval_matmul(&prg, &key, &table, EvalStrategy::memory_bounded_default(), &NullRecorder)
-            })
-        });
+        group.bench_function(
+            BenchmarkId::new("eval_full_fused", format!("2^{bits}")),
+            |b| {
+                b.iter(|| {
+                    fused_eval_matmul(
+                        &prg,
+                        &key,
+                        &table,
+                        EvalStrategy::memory_bounded_default(),
+                        &NullRecorder,
+                    )
+                })
+            },
+        );
     }
     group.finish();
 }
@@ -94,12 +103,24 @@ fn bench_fusion(c: &mut Criterion) {
         let table = random_table(&mut rng, 1 << bits, lanes);
         group.bench_function(BenchmarkId::new("fused", lanes * 4), |b| {
             b.iter(|| {
-                fused_eval_matmul(&prg, &key, &table, EvalStrategy::memory_bounded_default(), &NullRecorder)
+                fused_eval_matmul(
+                    &prg,
+                    &key,
+                    &table,
+                    EvalStrategy::memory_bounded_default(),
+                    &NullRecorder,
+                )
             })
         });
         group.bench_function(BenchmarkId::new("unfused", lanes * 4), |b| {
             b.iter(|| {
-                unfused_eval_matmul(&prg, &key, &table, EvalStrategy::memory_bounded_default(), &NullRecorder)
+                unfused_eval_matmul(
+                    &prg,
+                    &key,
+                    &table,
+                    EvalStrategy::memory_bounded_default(),
+                    &NullRecorder,
+                )
             })
         });
     }

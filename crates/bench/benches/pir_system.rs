@@ -11,7 +11,9 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 fn table(entries: u64) -> PirTable {
-    PirTable::generate(entries, 64, |row, offset| (row as u8).wrapping_add(offset as u8))
+    PirTable::generate(entries, 64, |row, offset| {
+        (row as u8).wrapping_add(offset as u8)
+    })
 }
 
 /// Table 4 companion: single-query latency of the functional GPU and CPU

@@ -1,0 +1,85 @@
+//! Criterion benchmark of the serving runtime's dynamic batch former.
+//!
+//! Measures the host-side cost of pushing waves of concurrent queries
+//! through admission → key generation → batch formation → simulated device →
+//! reconstruction, at different wave widths. Wider waves amortize the
+//! (simulated) kernel launches over bigger batches, so per-query time should
+//! fall as width grows.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pir_prf::PrfKind;
+use pir_protocol::PirTable;
+use pir_serve::{PirServeRuntime, ServeConfig, TableConfig};
+
+fn runtime_with_table(shards: usize) -> PirServeRuntime {
+    let runtime = PirServeRuntime::new(
+        ServeConfig::builder()
+            .queue_capacity(4096)
+            .per_tenant_quota(4096)
+            .seed(17)
+            .build()
+            .expect("valid config"),
+    );
+    let table = PirTable::generate(1 << 12, 32, |row, offset| {
+        (row as u8).wrapping_add(offset as u8)
+    });
+    let config = TableConfig::builder()
+        .prf_kind(PrfKind::SipHash)
+        .shards(shards)
+        .max_batch(64)
+        .max_wait(Duration::from_micros(500))
+        .build()
+        .expect("valid table config");
+    runtime
+        .register_table("bench", table, config)
+        .expect("register");
+    runtime
+}
+
+/// One wave: submit `width` queries, then await them all.
+fn run_wave(runtime: &PirServeRuntime, width: usize) {
+    let handle = runtime.handle();
+    let pending: Vec<_> = (0..width)
+        .map(|i| {
+            handle
+                .query("bench", "bench-tenant", (i as u64 * 97) % (1 << 12))
+                .expect("admitted")
+        })
+        .collect();
+    for query in pending {
+        query.wait().expect("answered");
+    }
+}
+
+fn bench_batch_former(c: &mut Criterion) {
+    let mut group = c.benchmark_group("serve_wave");
+    for width in [1usize, 8, 64] {
+        let runtime = runtime_with_table(1);
+        group.bench_function(BenchmarkId::new("width", width), |b| {
+            b.iter(|| run_wave(&runtime, width))
+        });
+        runtime.shutdown();
+    }
+    group.finish();
+}
+
+fn bench_sharded_serving(c: &mut Criterion) {
+    let mut group = c.benchmark_group("serve_sharded_wave32");
+    for shards in [1usize, 4] {
+        let runtime = runtime_with_table(shards);
+        group.bench_function(BenchmarkId::new("shards", shards), |b| {
+            b.iter(|| run_wave(&runtime, 32))
+        });
+        runtime.shutdown();
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_batch_former, bench_sharded_serving
+}
+criterion_main!(benches);

@@ -31,7 +31,11 @@ fn candidates(app: &Application) -> (Vec<CodesignPoint>, Vec<CodesignPoint>) {
     let without: Vec<CodesignPoint> = [1usize, 2, 4, 8, 16, 24, 32, 48, 64, 96]
         .iter()
         .map(|&q| search.evaluate(&CodesignParams::plain(q)))
-        .chain([64u64, 256, 1024].iter().map(|&b| search.evaluate(&CodesignParams::batch_pir(b))))
+        .chain(
+            [64u64, 256, 1024]
+                .iter()
+                .map(|&b| search.evaluate(&CodesignParams::batch_pir(b))),
+        )
         .collect();
     let with = search.sweep(&sweep_space());
     (without, with)
@@ -51,11 +55,21 @@ fn quality_ok(app: &Application, point: &CodesignPoint) -> bool {
 pub fn figure16() -> Vec<Table> {
     let mut computation = Table::new(
         "Figure 16a: computation (PRFs/inference) to reach Acc-relaxed, comm <= 300KB",
-        &["application", "without co-design", "with co-design", "improvement"],
+        &[
+            "application",
+            "without co-design",
+            "with co-design",
+            "improvement",
+        ],
     );
     let mut communication = Table::new(
         "Figure 16b: communication (KB/inference) to reach Acc-relaxed, bounded computation",
-        &["application", "without co-design", "with co-design", "improvement"],
+        &[
+            "application",
+            "without co-design",
+            "with co-design",
+            "improvement",
+        ],
     );
     let budget = Budget::paper_default();
     for app in &applications() {
@@ -69,7 +83,9 @@ pub fn figure16() -> Vec<Table> {
             points
                 .iter()
                 .filter(|p| quality_ok(app, p))
-                .filter(|p| p.communication_bytes_per_inference <= budget.max_communication_bytes as f64)
+                .filter(|p| {
+                    p.communication_bytes_per_inference <= budget.max_communication_bytes as f64
+                })
                 .map(|p| p.prf_calls_per_inference)
                 .fold(f64::INFINITY, f64::min)
         };
@@ -154,7 +170,9 @@ pub fn figure18_19_20() -> Table {
                 let mut best_qps = 0.0f64;
                 let mut best_quality = f64::NAN;
                 for point in points.iter() {
-                    if point.communication_bytes_per_inference > budget.max_communication_bytes as f64 {
+                    if point.communication_bytes_per_inference
+                        > budget.max_communication_bytes as f64
+                    {
                         continue;
                     }
                     // Compare at equal model quality (the Acc-relaxed bar), as
@@ -162,8 +180,7 @@ pub fn figure18_19_20() -> Table {
                     if !quality_ok(app, point) {
                         continue;
                     }
-                    let throughput =
-                        model.best_for_point(point, app.schema().entry_bytes, &budget);
+                    let throughput = model.best_for_point(point, app.schema().entry_bytes, &budget);
                     if throughput.qps > best_qps {
                         best_qps = throughput.qps;
                         best_quality = app.quality().quality_at(point.drop_rate.clamp(0.0, 1.0));

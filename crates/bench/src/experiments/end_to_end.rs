@@ -35,7 +35,10 @@ pub fn figure11() -> Vec<Table> {
     let mut tables = Vec::new();
     for target in QualityTarget::ALL {
         let mut table = Table::new(
-            format!("Figure 11 ({}): throughput normalized to the CPU baseline", target.label()),
+            format!(
+                "Figure 11 ({}): throughput normalized to the CPU baseline",
+                target.label()
+            ),
             &["application", "system", "QPS", "normalized"],
         );
         for app in &applications() {
@@ -60,7 +63,14 @@ pub fn figure11() -> Vec<Table> {
 pub fn figure12() -> Table {
     let mut table = Table::new(
         "Figure 12: end-to-end latency breakdown (ms)",
-        &["application", "gen", "network", "pir", "on-device DNN", "total"],
+        &[
+            "application",
+            "gen",
+            "network",
+            "pir",
+            "on-device DNN",
+            "total",
+        ],
     );
     let optimizer = optimizer();
     let latency = LatencyModel::paper_default();
@@ -69,8 +79,8 @@ pub fn figure12() -> Table {
         else {
             continue;
         };
-        let queries = point.point.params.q_hot as u64
-            + app.avg_queries_per_inference().ceil() as u64;
+        let queries =
+            point.point.params.q_hot as u64 + app.avg_queries_per_inference().ceil() as u64;
         let domain_bits = 64 - (app.schema().entries.max(2) - 1).leading_zeros();
         let upload = (point.point.communication_bytes_per_inference / 4.0) as u64;
         let download = (point.point.communication_bytes_per_inference / 4.0) as u64;
@@ -148,7 +158,10 @@ mod tests {
         assert!(!table.rows.is_empty());
         for row in &table.rows {
             let total: f64 = row[5].parse().unwrap();
-            assert!(total < 500.0, "end-to-end latency {total} ms exceeds the ~500 ms SLA");
+            assert!(
+                total < 500.0,
+                "end-to-end latency {total} ms exceeds the ~500 ms SLA"
+            );
         }
     }
 

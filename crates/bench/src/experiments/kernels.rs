@@ -27,7 +27,13 @@ fn eval_profile(bits: u32) -> (f64, f64) {
 pub fn figure3() -> Table {
     let mut table = Table::new(
         "Figure 3: Gen vs Eval cost (AES-128)",
-        &["table size", "Gen PRF calls", "Gen ms (client)", "Eval PRF calls", "Eval ms (GPU)"],
+        &[
+            "table size",
+            "Gen PRF calls",
+            "Gen ms (client)",
+            "Eval PRF calls",
+            "Eval ms (GPU)",
+        ],
     );
     let latency = LatencyModel::paper_default();
     let gpu = GpuThroughputModel::v100(PrfKind::Aes128);
@@ -79,7 +85,13 @@ pub fn figure6() -> Table {
 pub fn figure8() -> Vec<Table> {
     let mut memory = Table::new(
         "Figure 8a: memory-bounded traversal peak memory vs table size (batch=512)",
-        &["table size", "K=32 (MB)", "K=128 (MB)", "K=1024 (MB)", "level-by-level (MB)"],
+        &[
+            "table size",
+            "K=32 (MB)",
+            "K=128 (MB)",
+            "K=1024 (MB)",
+            "level-by-level (MB)",
+        ],
     );
     for bits in [16u32, 20, 24] {
         let row: Vec<String> = std::iter::once(format!("2^{bits}"))
@@ -91,7 +103,8 @@ pub fn figure8() -> Vec<Table> {
                 )
             }))
             .chain(std::iter::once(fmt_f64(
-                StrategyProfile::of(EvalStrategy::LevelByLevel, bits, 512).peak_scratch_bytes as f64
+                StrategyProfile::of(EvalStrategy::LevelByLevel, bits, 512).peak_scratch_bytes
+                    as f64
                     / 1e6,
             )))
             .collect();
@@ -139,8 +152,8 @@ pub fn figure9() -> Vec<Table> {
     for bits in [14u32, 18, 20, 22, 24, 26] {
         let (prf_calls, bytes) = eval_profile(bits);
         let coop = gpu.at_batch(prf_calls, bytes, 1);
-        let single_block =
-            OccupancyEstimate::estimate(&device, &LaunchConfig::linear(1, 256)).achieved_utilization;
+        let single_block = OccupancyEstimate::estimate(&device, &LaunchConfig::linear(1, 256))
+            .achieved_utilization;
         size_table.push_row(vec![
             format!("2^{bits}"),
             format!("{:.2}", coop.utilization),
@@ -248,8 +261,7 @@ pub fn figure14() -> Vec<Table> {
         // Unfused runs a second kernel that writes, then re-reads, the full
         // 16-byte-per-leaf output of every query in the batch — none of that
         // traffic is amortized across the batch — plus a second launch.
-        let extra_traffic_s =
-            leaves * 32.0 * batch as f64 / device.bandwidth_bytes_per_second();
+        let extra_traffic_s = leaves * 32.0 * batch as f64 / device.bandwidth_bytes_per_second();
         let extra_launch_s = device.launch_overhead_us * 1e-6;
         let unfused_latency_ms = fused.latency_ms + (extra_traffic_s + extra_launch_s) * 1e3;
         let unfused_qps = batch as f64 / (unfused_latency_ms / 1e3);
@@ -277,7 +289,8 @@ fn gpu_vs_cpu_rows(bits_list: &[u32]) -> Vec<(u32, f64, f64, f64, f64, f64, f64)
         .iter()
         .map(|&bits| {
             let (prf_calls, bytes) = eval_profile(bits);
-            let gpu = GpuThroughputModel::v100(PrfKind::Aes128).best_within(prf_calls, bytes, &budget);
+            let gpu =
+                GpuThroughputModel::v100(PrfKind::Aes128).best_within(prf_calls, bytes, &budget);
             let cpu1 = CpuBaselineModel::xeon(1, PrfKind::Aes128);
             let cpu32 = CpuBaselineModel::xeon(32, PrfKind::Aes128);
             (
@@ -298,11 +311,15 @@ fn gpu_vs_cpu_rows(bits_list: &[u32]) -> Vec<(u32, f64, f64, f64, f64, f64, f64)
 pub fn figure15() -> Table {
     let mut table = Table::new(
         "Figure 15: GPU vs CPU DPF throughput (AES-128, kq/s)",
-        &["table size", "GPU kq/s", "CPU 1-thread kq/s", "CPU 32-thread kq/s", "GPU/32-thread"],
+        &[
+            "table size",
+            "GPU kq/s",
+            "CPU 1-thread kq/s",
+            "CPU 32-thread kq/s",
+            "GPU/32-thread",
+        ],
     );
-    for (bits, gpu_qps, _, cpu1_qps, _, cpu32_qps, _) in
-        gpu_vs_cpu_rows(&[14, 16, 18, 20, 22])
-    {
+    for (bits, gpu_qps, _, cpu1_qps, _, cpu32_qps, _) in gpu_vs_cpu_rows(&[14, 16, 18, 20, 22]) {
         table.push_row(vec![
             format!("2^{bits}"),
             fmt_f64(gpu_qps / 1e3),
@@ -400,7 +417,11 @@ mod tests {
         let (prf_calls, bytes) = eval_profile(20);
         let qps: Vec<f64> = PrfKind::ALL
             .iter()
-            .map(|&k| GpuThroughputModel::v100(k).at_batch(prf_calls, bytes, 512).qps)
+            .map(|&k| {
+                GpuThroughputModel::v100(k)
+                    .at_batch(prf_calls, bytes, 512)
+                    .qps
+            })
             .collect();
         // Order in PrfKind::ALL: AES, SHA, ChaCha, SipHash, Highway.
         assert!(qps[3] > qps[2] && qps[2] > qps[4] && qps[4] > qps[0] && qps[0] > qps[1]);

@@ -4,17 +4,19 @@ pub mod catalog;
 pub mod codesign;
 pub mod end_to_end;
 pub mod kernels;
+pub mod serving;
 
 use crate::report::Table;
 
 /// Every experiment in the paper's evaluation, regenerated in order.
 #[must_use]
 pub fn all() -> Vec<Table> {
-    let mut tables = Vec::new();
-    tables.push(catalog::table1());
-    tables.push(catalog::table2());
-    tables.push(kernels::figure3());
-    tables.push(kernels::figure6());
+    let mut tables = vec![
+        catalog::table1(),
+        catalog::table2(),
+        kernels::figure3(),
+        kernels::figure6(),
+    ];
     tables.extend(kernels::figure8());
     tables.extend(kernels::figure9());
     tables.extend(end_to_end::figure11());
@@ -28,6 +30,7 @@ pub fn all() -> Vec<Table> {
     tables.push(end_to_end::table3());
     tables.push(kernels::table4());
     tables.push(kernels::table5());
+    tables.push(serving::serving_throughput());
     tables
 }
 
@@ -52,15 +55,16 @@ pub fn by_name(name: &str) -> Vec<Table> {
         "table3" => vec![end_to_end::table3()],
         "table4" => vec![kernels::table4()],
         "table5" => vec![kernels::table5()],
+        "serving" => vec![serving::serving_throughput()],
         "all" => all(),
         _ => Vec::new(),
     }
 }
 
 /// The names accepted by [`by_name`].
-pub const EXPERIMENT_NAMES: [&str; 17] = [
+pub const EXPERIMENT_NAMES: [&str; 18] = [
     "table1", "table2", "fig3", "fig6", "fig8", "fig9", "fig11", "fig12", "fig13", "fig14",
-    "fig15", "fig16", "fig17", "fig18", "table3", "table4", "table5",
+    "fig15", "fig16", "fig17", "fig18", "table3", "table4", "table5", "serving",
 ];
 
 #[cfg(test)]

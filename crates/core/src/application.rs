@@ -39,7 +39,12 @@ impl Application {
     pub fn paper_suite(scale: DatasetScale, inferences: usize, seed: u64) -> Vec<Self> {
         DatasetKind::ALL
             .iter()
-            .map(|&kind| Self::new(SyntheticDataset::generate(kind, scale, inferences, seed), seed))
+            .map(|&kind| {
+                Self::new(
+                    SyntheticDataset::generate(kind, scale, inferences, seed),
+                    seed,
+                )
+            })
             .collect()
     }
 
@@ -110,7 +115,8 @@ mod tests {
 
     #[test]
     fn application_tables_are_consistent() {
-        let dataset = SyntheticDataset::generate(DatasetKind::MovieLens20M, DatasetScale::Small, 16, 1);
+        let dataset =
+            SyntheticDataset::generate(DatasetKind::MovieLens20M, DatasetScale::Small, 16, 1);
         let app = Application::new(dataset, 7);
         assert_eq!(app.pir_table().entries(), app.dataset().table_entries);
         assert_eq!(

@@ -91,19 +91,26 @@ impl CodesignOptimizer {
         app.quality().quality_at(point.drop_rate.clamp(0.0, 1.0))
     }
 
-    fn meets_target(&self, app: &Application, point: &CodesignPoint, target: QualityTarget) -> bool {
+    fn meets_target(
+        &self,
+        app: &Application,
+        point: &CodesignPoint,
+        target: QualityTarget,
+    ) -> bool {
         let quality = self.quality_of(app, point);
         match target {
-            QualityTarget::Eco => app
-                .quality()
-                .metric
-                .relative_degradation(quality, app.quality().baseline)
-                <= 1e-4,
-            QualityTarget::Relaxed => app
-                .quality()
-                .metric
-                .relative_degradation(quality, app.quality().baseline)
-                <= app.relaxed_tolerance(),
+            QualityTarget::Eco => {
+                app.quality()
+                    .metric
+                    .relative_degradation(quality, app.quality().baseline)
+                    <= 1e-4
+            }
+            QualityTarget::Relaxed => {
+                app.quality()
+                    .metric
+                    .relative_degradation(quality, app.quality().baseline)
+                    <= app.relaxed_tolerance()
+            }
         }
     }
 
@@ -228,7 +235,11 @@ impl CodesignOptimizer {
         let search = CodesignSearch::new(app.schema(), prf, sessions);
         let mut candidates = search.sweep(&self.space);
         // The plain configurations are always available too.
-        candidates.extend(self.baseline_candidates(app).iter().map(|p| search.evaluate(p)));
+        candidates.extend(
+            self.baseline_candidates(app)
+                .iter()
+                .map(|p| search.evaluate(p)),
+        );
         let label = if prf == PrfKind::Chacha20 {
             "GPU + Co-design + Chacha20 (Ours)"
         } else {
@@ -270,7 +281,10 @@ mod tests {
     use pir_ml::datasets::{DatasetKind, DatasetScale, SyntheticDataset};
 
     fn app(kind: DatasetKind) -> Application {
-        Application::new(SyntheticDataset::generate(kind, DatasetScale::Small, 60, 5), 9)
+        Application::new(
+            SyntheticDataset::generate(kind, DatasetScale::Small, 60, 5),
+            9,
+        )
     }
 
     fn small_space() -> CodesignSpace {
@@ -298,7 +312,12 @@ mod tests {
             .gpu_codesign(&app, PrfKind::Chacha20, QualityTarget::Relaxed)
             .expect("codesign point exists");
 
-        assert!(gpu.qps > 5.0 * cpu.qps, "gpu {} vs cpu {}", gpu.qps, cpu.qps);
+        assert!(
+            gpu.qps > 5.0 * cpu.qps,
+            "gpu {} vs cpu {}",
+            gpu.qps,
+            cpu.qps
+        );
         assert!(
             codesign.qps >= gpu.qps,
             "codesign {} should not be worse than plain gpu {}",
@@ -307,11 +326,12 @@ mod tests {
         );
         // All selected points satisfy the quality constraint.
         for point in [&cpu, &gpu, &codesign] {
-            assert!(app
-                .quality()
-                .metric
-                .relative_degradation(point.quality, app.quality().baseline)
-                <= app.relaxed_tolerance() + 1e-9);
+            assert!(
+                app.quality()
+                    .metric
+                    .relative_degradation(point.quality, app.quality().baseline)
+                    <= app.relaxed_tolerance() + 1e-9
+            );
             assert!(point.latency_ms <= optimizer.budget().max_latency_ms);
         }
     }

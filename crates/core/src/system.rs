@@ -84,6 +84,7 @@ impl InferenceOutcome {
     }
 }
 
+#[allow(clippy::large_enum_variant)] // one long-lived instance per deployment
 enum FullTableAccess {
     PerQuery {
         client: PirClient,
@@ -305,7 +306,8 @@ impl PrivateInferenceSystem {
                         outcome.download_bytes += response.size_bytes() as u64;
                     }
                     for (slot, &group) in full_groups.iter().enumerate().take(*q_full) {
-                        let lanes = client.reconstruct_lanes(&queries[slot], &r0[slot], &r1[slot])?;
+                        let lanes =
+                            client.reconstruct_lanes(&queries[slot], &r0[slot], &r1[slot])?;
                         let bytes = self.serving_entry_bytes(&lanes);
                         served_group_rows.insert(group, bytes);
                     }
@@ -427,7 +429,11 @@ mod tests {
         let outcome = system.infer(&requested, &mut rng).unwrap();
 
         assert_eq!(outcome.embeddings.len() + outcome.dropped.len(), 4);
-        assert_eq!(outcome.embeddings.len(), 4, "q_full=6 serves all 4 requests");
+        assert_eq!(
+            outcome.embeddings.len(),
+            4,
+            "q_full=6 serves all 4 requests"
+        );
         check_retrieved_embeddings(&app, &outcome);
         assert!(outcome.upload_bytes > 0);
         assert!(outcome.download_bytes > 0);
@@ -461,8 +467,10 @@ mod tests {
             q_hot: 4,
             full_mode: FullTableMode::Pbr { bin_size: 128 },
         };
-        let system =
-            PrivateInferenceSystem::deploy(&app, SystemConfig::with_codesign(PrfKind::SipHash, params));
+        let system = PrivateInferenceSystem::deploy(
+            &app,
+            SystemConfig::with_codesign(PrfKind::SipHash, params),
+        );
         let mut rng = StdRng::seed_from_u64(3);
 
         // Use a real test session from the workload.

@@ -64,7 +64,7 @@ impl GpuThroughputModel {
         const LEAVES_PER_LANE_FOR_FULL_UTILIZATION: f64 = 32.0;
         let total_work = leaves_per_query * batch as f64;
         let needed = self.device.total_cores() as f64 * LEAVES_PER_LANE_FOR_FULL_UTILIZATION;
-        (total_work / needed).min(1.0).max(1e-4)
+        (total_work / needed).clamp(1e-4, 1.0)
     }
 
     /// Throughput at one specific batch size.
@@ -79,8 +79,8 @@ impl GpuThroughputModel {
         let utilization = self.utilization(leaves_per_query, batch);
         let prf_cycles =
             prf_calls_per_inference * batch as f64 * self.prf.gpu_cycles_per_block() as f64;
-        let effective_ops = self.device.peak_ops_per_second() * self.device.issue_efficiency
-            * utilization;
+        let effective_ops =
+            self.device.peak_ops_per_second() * self.device.issue_efficiency * utilization;
         let compute_s = prf_cycles / effective_ops;
         // Batched queries against the same table amortize most of the table
         // traffic: the server multiplies the DPF outputs against the table as
@@ -125,9 +125,13 @@ impl GpuThroughputModel {
     /// Convenience: throughput of a co-design operating point, using the
     /// point's PRF-call count and its table traffic.
     #[must_use]
-    pub fn best_for_point(&self, point: &CodesignPoint, entry_bytes: usize, budget: &Budget) -> ThroughputPoint {
-        let group_bytes =
-            entry_bytes as f64 * (point.params.colocation_degree + 1) as f64;
+    pub fn best_for_point(
+        &self,
+        point: &CodesignPoint,
+        entry_bytes: usize,
+        budget: &Budget,
+    ) -> ThroughputPoint {
+        let group_bytes = entry_bytes as f64 * (point.params.colocation_degree + 1) as f64;
         let bytes_per_inference = point.full_table_rows as f64 * group_bytes
             + point.hot_entries as f64 * group_bytes * point.params.q_hot as f64;
         self.best_within(point.prf_calls_per_inference, bytes_per_inference, budget)
@@ -246,10 +250,16 @@ mod tests {
     #[test]
     fn chacha_outperforms_aes_on_gpu() {
         let (prf, bytes) = one_query_1m();
-        let aes = GpuThroughputModel::v100(PrfKind::Aes128)
-            .best_within(prf, bytes, &Budget::paper_default());
-        let chacha = GpuThroughputModel::v100(PrfKind::Chacha20)
-            .best_within(prf, bytes, &Budget::paper_default());
+        let aes = GpuThroughputModel::v100(PrfKind::Aes128).best_within(
+            prf,
+            bytes,
+            &Budget::paper_default(),
+        );
+        let chacha = GpuThroughputModel::v100(PrfKind::Chacha20).best_within(
+            prf,
+            bytes,
+            &Budget::paper_default(),
+        );
         let ratio = chacha.qps / aes.qps;
         assert!(
             (2.0..=6.0).contains(&ratio),
@@ -261,8 +271,16 @@ mod tests {
     fn smaller_tables_serve_many_more_queries() {
         let gpu = GpuThroughputModel::v100(PrfKind::Aes128);
         let budget = Budget::paper_default();
-        let small = gpu.best_within(2.0 * ((1u64 << 14) - 1) as f64, (1u64 << 14) as f64 * 256.0, &budget);
-        let large = gpu.best_within(2.0 * ((1u64 << 22) - 1) as f64, (1u64 << 22) as f64 * 256.0, &budget);
+        let small = gpu.best_within(
+            2.0 * ((1u64 << 14) - 1) as f64,
+            (1u64 << 14) as f64 * 256.0,
+            &budget,
+        );
+        let large = gpu.best_within(
+            2.0 * ((1u64 << 22) - 1) as f64,
+            (1u64 << 22) as f64 * 256.0,
+            &budget,
+        );
         assert!(small.qps > 50.0 * large.qps);
     }
 }

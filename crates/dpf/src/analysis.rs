@@ -38,30 +38,38 @@ impl StrategyProfile {
     /// (one per thread block) owns its own working set.
     #[must_use]
     pub fn of(strategy: EvalStrategy, domain_bits: u32, batch: u64) -> Self {
-        let leaves = 1u64 << domain_bits;
+        // All arithmetic saturates: the profile feeds memory-budget division,
+        // where "more bytes than u64 can hold" and u64::MAX behave the same
+        // (the batch floor of 1), and a 2^63-leaf domain must not panic.
+        let leaves = 1u64.checked_shl(domain_bits).unwrap_or(u64::MAX);
         let depth = u64::from(domain_bits);
         let (prf_calls, peak_scratch_bytes) = match strategy {
             EvalStrategy::BranchParallel => {
                 let chunk = leaves.min(256);
-                (leaves * depth, chunk * LEAF_BYTES)
+                (leaves.saturating_mul(depth), chunk * LEAF_BYTES)
             }
             EvalStrategy::LevelByLevel => {
-                let prf = 2 * leaves.saturating_sub(1);
+                let prf = 2u64.saturating_mul(leaves.saturating_sub(1));
                 // Final level: L node states plus L materialized leaf shares.
-                (prf, leaves * (NODE_BYTES + LEAF_BYTES))
+                (prf, leaves.saturating_mul(NODE_BYTES + LEAF_BYTES))
             }
             EvalStrategy::MemoryBounded { chunk } => {
                 let chunk = (chunk.max(1).next_power_of_two() as u64).min(leaves);
-                let prf = 2 * leaves.saturating_sub(1);
+                let prf = 2u64.saturating_mul(leaves.saturating_sub(1));
                 let chunk_bits = chunk.trailing_zeros() as u64;
                 let path = depth.saturating_sub(chunk_bits) * NODE_BYTES;
-                (prf, chunk * (NODE_BYTES + LEAF_BYTES) + path)
+                (
+                    prf,
+                    chunk
+                        .saturating_mul(NODE_BYTES + LEAF_BYTES)
+                        .saturating_add(path),
+                )
             }
         };
         Self {
-            prf_calls: prf_calls * batch,
-            peak_scratch_bytes: peak_scratch_bytes * batch,
-            materialized_output_bytes: leaves * LEAF_BYTES * batch,
+            prf_calls: prf_calls.saturating_mul(batch),
+            peak_scratch_bytes: peak_scratch_bytes.saturating_mul(batch),
+            materialized_output_bytes: leaves.saturating_mul(LEAF_BYTES).saturating_mul(batch),
         }
     }
 
@@ -80,7 +88,9 @@ impl StrategyProfile {
         memory_budget_bytes: u64,
     ) -> u64 {
         let per_query = Self::of(strategy, domain_bits, 1);
-        let per_query_bytes = per_query.peak_scratch_bytes + per_query_output_bytes;
+        let per_query_bytes = per_query
+            .peak_scratch_bytes
+            .saturating_add(per_query_output_bytes);
         if per_query_bytes == 0 {
             return u64::MAX;
         }

@@ -120,6 +120,21 @@ impl<'a> BatchEvalJob<'a> {
         self
     }
 
+    /// Builder-style: apply an [`ExecutionPlan`](crate::ExecutionPlan)
+    /// chosen by the [`Scheduler`](crate::Scheduler).
+    ///
+    /// This is the submission path for *externally formed* batches: a serving
+    /// layer that accumulates concurrent queries (rather than receiving one
+    /// pre-built batch) plans once per batch and hands the plan here, so
+    /// every knob the scheduler chose — strategy, grid mapping, threads per
+    /// block — is applied atomically instead of field by field.
+    #[must_use]
+    pub fn with_plan(self, plan: &crate::ExecutionPlan) -> Self {
+        self.with_strategy(plan.strategy)
+            .with_mapping(plan.mapping)
+            .with_threads_per_block(plan.threads_per_block)
+    }
+
     /// Device memory that stays resident for the whole batch: the table, the
     /// uploaded keys and the output buffer.
     #[must_use]
@@ -164,9 +179,21 @@ impl<'a> BatchEvalJob<'a> {
                     .counters()
                     .record_global_read(self.keys[index].size_bytes() as u64);
                 let result = if self.fused {
-                    fused_eval_matmul(self.prg, &self.keys[index], self.table, self.strategy, &recorder)
+                    fused_eval_matmul(
+                        self.prg,
+                        &self.keys[index],
+                        self.table,
+                        self.strategy,
+                        &recorder,
+                    )
                 } else {
-                    unfused_eval_matmul(self.prg, &self.keys[index], self.table, self.strategy, &recorder)
+                    unfused_eval_matmul(
+                        self.prg,
+                        &self.keys[index],
+                        self.table,
+                        self.strategy,
+                        &recorder,
+                    )
                 };
                 *slots[index].lock().expect("result slot poisoned") = Some(result);
             },
@@ -286,6 +313,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::needless_range_loop)] // index i addresses three parallel arrays
     fn batched_execution_answers_every_query() {
         let (prg, table, targets, keys_a, keys_b) = setup(500, 8, 16, 51);
         let executor = GpuExecutor::with_host_threads(DeviceSpec::v100(), 4);
@@ -305,10 +333,14 @@ mod tests {
         }
         assert!(out_a.throughput_qps() > 0.0);
         assert!(out_a.latency_ms() > 0.0);
-        assert_eq!(out_a.report.counters.prf_calls, out_b.report.counters.prf_calls);
+        assert_eq!(
+            out_a.report.counters.prf_calls,
+            out_b.report.counters.prf_calls
+        );
     }
 
     #[test]
+    #[allow(clippy::needless_range_loop)] // index i addresses three parallel arrays
     fn cooperative_mapping_matches_batched_results() {
         let (prg, table, targets, keys_a, keys_b) = setup(256, 4, 3, 52);
         let executor = GpuExecutor::with_host_threads(DeviceSpec::v100(), 4);

@@ -166,7 +166,11 @@ mod tests {
             let (a, b) = generate_keys(&prg, &params, alpha, Ring128::ONE, &mut rng);
             for j in 0..16u64 {
                 let sum = eval_point(&prg, &a, j) + eval_point(&prg, &b, j);
-                let expected = if j == alpha { Ring128::ONE } else { Ring128::ZERO };
+                let expected = if j == alpha {
+                    Ring128::ONE
+                } else {
+                    Ring128::ZERO
+                };
                 assert_eq!(sum, expected, "alpha={alpha} j={j}");
             }
         }
@@ -208,7 +212,10 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(8);
         let params = DpfParams::for_domain(1);
         let (a, b) = generate_keys(&prg, &params, 0, Ring128::ONE, &mut rng);
-        assert_eq!(eval_point(&prg, &a, 0) + eval_point(&prg, &b, 0), Ring128::ONE);
+        assert_eq!(
+            eval_point(&prg, &a, 0) + eval_point(&prg, &b, 0),
+            Ring128::ONE
+        );
     }
 
     #[test]

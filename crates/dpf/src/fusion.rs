@@ -70,15 +70,22 @@ where
     recorder.alloc(row_bytes);
     let mut acc = LaneVector::zeroed(lanes);
 
-    eval_subtree_with(prg, key, subtree, strategy, recorder, &mut |base, values| {
-        if base >= rows {
-            return; // padded leaves beyond the real table
-        }
-        let usable = ((rows - base) as usize).min(values.len());
-        recorder.global_read(usable as u64 * row_bytes);
-        recorder.arithmetic(usable as u64 * lanes as u64);
-        matvec_accumulate(&mut acc, &values[..usable], table, base as usize);
-    });
+    eval_subtree_with(
+        prg,
+        key,
+        subtree,
+        strategy,
+        recorder,
+        &mut |base, values| {
+            if base >= rows {
+                return; // padded leaves beyond the real table
+            }
+            let usable = ((rows - base) as usize).min(values.len());
+            recorder.global_read(usable as u64 * row_bytes);
+            recorder.arithmetic(usable as u64 * lanes as u64);
+            matvec_accumulate(&mut acc, &values[..usable], table, base as usize);
+        },
+    );
 
     // The accumulator is written back to global memory once.
     recorder.global_write(row_bytes);

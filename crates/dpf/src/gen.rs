@@ -87,8 +87,7 @@ pub fn generate_keys<R: Rng + ?Sized>(
     }
 
     // Final correction word: make the two leaf conversions sum to beta.
-    let final_cw =
-        (beta - Ring128::from(seed_a) + Ring128::from(seed_b)).negate_if(t_b);
+    let final_cw = (beta - Ring128::from(seed_a) + Ring128::from(seed_b)).negate_if(t_b);
 
     let key_a = DpfKey {
         party: 0,

@@ -85,7 +85,7 @@ impl DpfKey {
     /// per-query communication (e.g. Table 4's "Bytes" column).
     ///
     /// Layout: 16-byte root seed, 17 bytes per level (16-byte seed correction
-    /// + 1 byte carrying the two control-bit corrections), 16-byte final
+    /// plus 1 byte carrying the two control-bit corrections), 16-byte final
     /// correction word and 1 byte of header (party + depth).
     #[must_use]
     pub fn size_bytes(&self) -> usize {

@@ -60,7 +60,9 @@ pub use eval::{eval_point, eval_subtree_root};
 pub use fusion::{fused_eval_matmul, unfused_eval_matmul};
 pub use gen::generate_keys;
 pub use key::{CorrectionWord, DpfKey, DpfParams};
-pub use multi_gpu::{MultiGpuEvalJob, MultiGpuOutput};
+pub use multi_gpu::{MultiGpuBatchEvalJob, MultiGpuBatchOutput, MultiGpuEvalJob, MultiGpuOutput};
 pub use recorder::{CountingRecorder, KernelRecorder, NullRecorder, Recorder};
-pub use scheduler::{ExecutionPlan, Scheduler, SchedulerConfig};
-pub use strategy::{eval_full_domain, eval_full_domain_with, eval_subtree_with, EvalStrategy, Subtree};
+pub use scheduler::{ExecutionPlan, Scheduler, SchedulerConfig, SchedulerConfigError};
+pub use strategy::{
+    eval_full_domain, eval_full_domain_with, eval_subtree_with, EvalStrategy, Subtree,
+};

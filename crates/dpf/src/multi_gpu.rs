@@ -159,6 +159,205 @@ impl<'a> MultiGpuEvalJob<'a> {
     }
 }
 
+/// Evaluate a *batch* of DPFs across several GPUs.
+///
+/// The single-key [`MultiGpuEvalJob`] dedicates the whole multi-GPU complex
+/// to one query; a serving layer that has already coalesced many concurrent
+/// queries wants the transpose: every device holds its slice of the table
+/// permanently (tables larger than one device's memory are the reason to
+/// shard at all) and evaluates *every* query of the batch against that slice.
+/// Each (query, owned-subtree) pair becomes one unit of block work, the
+/// device-level partial shares are summed on the host, and the end-to-end
+/// time is the slowest device plus the reduction — the same
+/// embarrassingly-parallel decomposition as §3.2.7, amortized over a batch.
+pub struct MultiGpuBatchEvalJob<'a> {
+    /// PRG shared by all devices.
+    pub prg: &'a GgmPrg,
+    /// PRF family for cost accounting.
+    pub prf_kind: PrfKind,
+    /// Keys of the batched queries (all for the same party and domain).
+    pub keys: &'a [DpfKey],
+    /// The full table; device `g` reads only rows in its subtrees.
+    pub table: &'a ShareMatrix,
+    /// Expansion strategy used on every device.
+    pub strategy: EvalStrategy,
+    /// Blocks launched per device.
+    pub blocks_per_device: u32,
+    /// Threads per block.
+    pub threads_per_block: u32,
+}
+
+/// Result of a multi-GPU batched evaluation.
+#[derive(Clone, Debug)]
+pub struct MultiGpuBatchOutput {
+    /// One answer share per input key, in order.
+    pub results: Vec<LaneVector>,
+    /// Per-device kernel reports.
+    pub per_device: Vec<KernelReport>,
+    /// End-to-end estimated time: the slowest device plus the host reduction.
+    pub estimated_time_s: f64,
+}
+
+impl MultiGpuBatchOutput {
+    /// Total PRF evaluations across all devices.
+    #[must_use]
+    pub fn total_prf_calls(&self) -> u64 {
+        self.per_device.iter().map(|r| r.counters.prf_calls).sum()
+    }
+
+    /// Queries per second implied by the slowest device.
+    #[must_use]
+    pub fn throughput_qps(&self) -> f64 {
+        if self.estimated_time_s <= 0.0 {
+            return 0.0;
+        }
+        self.results.len() as f64 / self.estimated_time_s
+    }
+}
+
+impl<'a> MultiGpuBatchEvalJob<'a> {
+    /// Create a job with the paper's defaults.
+    #[must_use]
+    pub fn new(
+        prg: &'a GgmPrg,
+        prf_kind: PrfKind,
+        keys: &'a [DpfKey],
+        table: &'a ShareMatrix,
+    ) -> Self {
+        Self {
+            prg,
+            prf_kind,
+            keys,
+            table,
+            strategy: EvalStrategy::memory_bounded_default(),
+            blocks_per_device: 320,
+            threads_per_block: 256,
+        }
+    }
+
+    /// Builder-style: set the expansion strategy.
+    #[must_use]
+    pub fn with_strategy(mut self, strategy: EvalStrategy) -> Self {
+        self.strategy = strategy;
+        self
+    }
+
+    /// Builder-style: set threads per block.
+    #[must_use]
+    pub fn with_threads_per_block(mut self, threads: u32) -> Self {
+        self.threads_per_block = threads;
+        self
+    }
+
+    /// Run the batch on the provided executors (one per simulated GPU).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the batch or the executor list is empty, or there are more
+    /// devices than the domain can be split into.
+    pub fn run(&self, executors: &[GpuExecutor]) -> MultiGpuBatchOutput {
+        assert!(!self.keys.is_empty(), "batch must contain at least one key");
+        assert!(!executors.is_empty(), "need at least one device");
+        let device_count = executors.len();
+        let depth = self.keys[0].depth();
+        let split_bits = (device_count as u64).next_power_of_two().trailing_zeros();
+        assert!(
+            split_bits <= depth,
+            "cannot split a depth-{depth} tree across {device_count} devices"
+        );
+        let cycles = self.prf_kind.gpu_cycles_per_block();
+        let lanes = self.table.lanes_per_row();
+
+        // One subtree list per key; all keys share the same domain, so every
+        // list has the same length and device `g` owns the same subtree
+        // *indices* (≡ g mod device_count) for every key.
+        let subtrees_per_key: Vec<Vec<Subtree>> = self
+            .keys
+            .iter()
+            .map(|key| Subtree::split(key, split_bits))
+            .collect();
+        let subtree_count = subtrees_per_key[0].len();
+
+        let key_bytes: u64 = self.keys.iter().map(|k| k.size_bytes() as u64).sum();
+        let mut per_device = Vec::with_capacity(device_count);
+        let mut results = vec![LaneVector::zeroed(lanes); self.keys.len()];
+
+        for (device_index, executor) in executors.iter().enumerate() {
+            let owned_indices: Vec<usize> = (0..subtree_count)
+                .skip(device_index)
+                .step_by(device_count)
+                .collect();
+            if owned_indices.is_empty() {
+                continue;
+            }
+            // Flattened (key × owned-subtree) work items, striped over blocks.
+            let work_items = self.keys.len() * owned_indices.len();
+            let partials: Vec<std::sync::Mutex<LaneVector>> = (0..self.keys.len())
+                .map(|_| std::sync::Mutex::new(LaneVector::zeroed(lanes)))
+                .collect();
+            let rows_per_device = (self.table.rows() as u64 / device_count as u64).max(1);
+            let resident = rows_per_device * lanes as u64 * 4
+                + key_bytes
+                + self.keys.len() as u64 * lanes as u64 * 4;
+            let config = LaunchConfig::linear(
+                self.blocks_per_device.min(work_items as u32).max(1),
+                self.threads_per_block,
+            );
+
+            let report = executor.launch_with_resident_memory(
+                &format!("dpf_multi_gpu_batch[{device_index}]"),
+                config,
+                resident,
+                |block: &BlockContext<'_>| {
+                    let recorder = KernelRecorder::new(block, cycles);
+                    let total_blocks = block.config().total_blocks();
+                    for item in 0..work_items {
+                        if item as u64 % total_blocks != block.block_index() {
+                            continue;
+                        }
+                        let key_index = item / owned_indices.len();
+                        let subtree =
+                            subtrees_per_key[key_index][owned_indices[item % owned_indices.len()]];
+                        block
+                            .counters()
+                            .record_global_read(self.keys[key_index].size_bytes() as u64);
+                        let part = fused_eval_matmul_subtree(
+                            self.prg,
+                            &self.keys[key_index],
+                            self.table,
+                            subtree,
+                            self.strategy,
+                            &recorder,
+                        );
+                        partials[key_index]
+                            .lock()
+                            .expect("partial poisoned")
+                            .add_assign_wrapping(&part);
+                    }
+                },
+            );
+
+            for (result, partial) in results.iter_mut().zip(partials) {
+                result.add_assign_wrapping(&partial.into_inner().expect("partial poisoned"));
+            }
+            per_device.push(report);
+        }
+
+        // Devices run in parallel: end-to-end time is the slowest device plus
+        // a host-side reduction of N partial vectors per query.
+        let slowest = per_device
+            .iter()
+            .map(|r| r.estimated_time_s)
+            .fold(0.0f64, f64::max);
+        let reduction_s = 1e-6 * device_count as f64 * self.keys.len() as f64;
+        MultiGpuBatchOutput {
+            results,
+            per_device,
+            estimated_time_s: slowest + reduction_s,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -219,7 +418,10 @@ mod tests {
             .map(|r| r.counters.prf_calls)
             .max()
             .unwrap();
-        assert!(multi_prf_max * 3 < single_prf, "{multi_prf_max} vs {single_prf}");
+        assert!(
+            multi_prf_max * 3 < single_prf,
+            "{multi_prf_max} vs {single_prf}"
+        );
     }
 
     #[test]
@@ -228,5 +430,83 @@ mod tests {
         let (prg, table, key_a, _key_b, _) = setup(64);
         let executors: Vec<GpuExecutor> = Vec::new();
         let _ = MultiGpuEvalJob::new(&prg, PrfKind::SipHash, &key_a, &table).run(&executors);
+    }
+
+    fn batch_setup(
+        rows: usize,
+        batch: usize,
+    ) -> (GgmPrg, ShareMatrix, Vec<u64>, Vec<DpfKey>, Vec<DpfKey>) {
+        let prg = GgmPrg::new(build_prf(PrfKind::SipHash));
+        let mut rng = StdRng::seed_from_u64(77);
+        let lanes = 4;
+        let data: Vec<u32> = (0..rows * lanes).map(|_| rng.gen()).collect();
+        let table = ShareMatrix::from_rows(rows, lanes, data);
+        let params = DpfParams::for_domain(rows as u64);
+        let mut targets = Vec::new();
+        let mut keys_a = Vec::new();
+        let mut keys_b = Vec::new();
+        for _ in 0..batch {
+            let target = rng.gen_range(0..rows as u64);
+            let (a, b) = generate_keys(&prg, &params, target, Ring128::ONE, &mut rng);
+            targets.push(target);
+            keys_a.push(a);
+            keys_b.push(b);
+        }
+        (prg, table, targets, keys_a, keys_b)
+    }
+
+    #[test]
+    #[allow(clippy::needless_range_loop)] // index i addresses three parallel arrays
+    fn batched_multi_gpu_reconstructs_every_query() {
+        let (prg, table, targets, keys_a, keys_b) = batch_setup(1 << 9, 7);
+        let executors: Vec<GpuExecutor> = (0..3)
+            .map(|_| GpuExecutor::with_host_threads(DeviceSpec::v100(), 2))
+            .collect();
+        let out_a =
+            MultiGpuBatchEvalJob::new(&prg, PrfKind::SipHash, &keys_a, &table).run(&executors);
+        let out_b =
+            MultiGpuBatchEvalJob::new(&prg, PrfKind::SipHash, &keys_b, &table).run(&executors);
+        assert_eq!(out_a.results.len(), 7);
+        assert_eq!(out_a.per_device.len(), 3);
+        for i in 0..7 {
+            let row = reconstruct_lanes(
+                &Vec::from(out_a.results[i].clone()),
+                &Vec::from(out_b.results[i].clone()),
+            );
+            assert_eq!(row, table.row(targets[i] as usize), "query {i}");
+        }
+        assert!(out_a.total_prf_calls() > 0);
+        assert!(out_a.throughput_qps() > 0.0);
+    }
+
+    #[test]
+    fn batched_multi_gpu_matches_single_device_batch() {
+        let (prg, table, _targets, keys_a, _keys_b) = batch_setup(1 << 8, 5);
+        let one: Vec<GpuExecutor> = vec![GpuExecutor::with_host_threads(DeviceSpec::v100(), 2)];
+        let four: Vec<GpuExecutor> = (0..4)
+            .map(|_| GpuExecutor::with_host_threads(DeviceSpec::v100(), 2))
+            .collect();
+        let job = MultiGpuBatchEvalJob::new(&prg, PrfKind::SipHash, &keys_a, &table);
+        let single = job.run(&one);
+        let multi = job.run(&four);
+        assert_eq!(single.results, multi.results);
+        // Per-device work shrinks when the batch is spread across devices.
+        let single_prf = single.per_device[0].counters.prf_calls;
+        let multi_prf_max = multi
+            .per_device
+            .iter()
+            .map(|r| r.counters.prf_calls)
+            .max()
+            .unwrap();
+        assert!(multi_prf_max < single_prf);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one key")]
+    fn empty_batch_multi_gpu_panics() {
+        let (prg, table, _key_a, _key_b, _) = setup(64);
+        let executors = vec![GpuExecutor::with_host_threads(DeviceSpec::v100(), 1)];
+        let keys: Vec<DpfKey> = Vec::new();
+        let _ = MultiGpuBatchEvalJob::new(&prg, PrfKind::SipHash, &keys, &table).run(&executors);
     }
 }

@@ -122,7 +122,8 @@ impl Recorder for CountingRecorder {
     }
 
     fn arithmetic(&self, ops: u64) {
-        self.ops.fetch_add(ops, std::sync::atomic::Ordering::Relaxed);
+        self.ops
+            .fetch_add(ops, std::sync::atomic::Ordering::Relaxed);
     }
 }
 

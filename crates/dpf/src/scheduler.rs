@@ -1,10 +1,62 @@
 //! Batch- and table-size-aware scheduling (§3.2.5).
 
+use std::fmt;
+
 use serde::{Deserialize, Serialize};
 
 use crate::analysis::StrategyProfile;
 use crate::batch::GridMapping;
 use crate::strategy::EvalStrategy;
+
+/// A [`SchedulerConfig`] that cannot produce a valid execution plan.
+///
+/// Returned by [`SchedulerConfig::validate`] / [`Scheduler::try_new`] so a
+/// misconfigured deployment is rejected at construction time with a typed
+/// error instead of panicking (or silently wedging) deep inside `plan`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SchedulerConfigError {
+    /// `num_sms` was zero: cooperative splits would launch zero blocks.
+    ZeroSms,
+    /// `chunk` was zero: the memory-bounded strategy needs at least one leaf
+    /// per chunk.
+    ZeroChunk,
+    /// `threads_per_block` was zero: every launch would be empty.
+    ZeroThreadsPerBlock,
+    /// `memory_budget_bytes` was zero: no table fits.
+    ZeroMemoryBudget,
+    /// `cooperative_threshold_bits` does not fit a 64-bit domain.
+    ThresholdTooLarge {
+        /// The rejected threshold.
+        bits: u32,
+    },
+}
+
+impl fmt::Display for SchedulerConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::ZeroSms => write!(f, "scheduler config rejected: num_sms must be nonzero"),
+            Self::ZeroChunk => write!(f, "scheduler config rejected: chunk must be nonzero"),
+            Self::ZeroThreadsPerBlock => {
+                write!(
+                    f,
+                    "scheduler config rejected: threads_per_block must be nonzero"
+                )
+            }
+            Self::ZeroMemoryBudget => {
+                write!(
+                    f,
+                    "scheduler config rejected: memory_budget_bytes must be nonzero"
+                )
+            }
+            Self::ThresholdTooLarge { bits } => write!(
+                f,
+                "scheduler config rejected: cooperative_threshold_bits = {bits} exceeds 63"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SchedulerConfigError {}
 
 /// Tunable thresholds of the scheduler.
 #[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
@@ -22,13 +74,49 @@ pub struct SchedulerConfig {
     pub num_sms: u32,
 }
 
+impl SchedulerConfig {
+    /// The V100 memory budget the paper assumes (16 GiB), computed with
+    /// checked arithmetic so a future edit cannot silently wrap.
+    const DEFAULT_MEMORY_BUDGET: u64 = match 16u64.checked_mul(1024 * 1024 * 1024) {
+        Some(bytes) => bytes,
+        None => unreachable!(),
+    };
+
+    /// Check the configuration for values that would make every plan
+    /// degenerate.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`SchedulerConfigError`] found.
+    pub fn validate(&self) -> Result<(), SchedulerConfigError> {
+        if self.num_sms == 0 {
+            return Err(SchedulerConfigError::ZeroSms);
+        }
+        if self.chunk == 0 {
+            return Err(SchedulerConfigError::ZeroChunk);
+        }
+        if self.threads_per_block == 0 {
+            return Err(SchedulerConfigError::ZeroThreadsPerBlock);
+        }
+        if self.memory_budget_bytes == 0 {
+            return Err(SchedulerConfigError::ZeroMemoryBudget);
+        }
+        if self.cooperative_threshold_bits > 63 {
+            return Err(SchedulerConfigError::ThresholdTooLarge {
+                bits: self.cooperative_threshold_bits,
+            });
+        }
+        Ok(())
+    }
+}
+
 impl Default for SchedulerConfig {
     fn default() -> Self {
         Self {
             cooperative_threshold_bits: 22,
             chunk: 128,
             threads_per_block: 256,
-            memory_budget_bytes: 16 * 1024 * 1024 * 1024,
+            memory_budget_bytes: Self::DEFAULT_MEMORY_BUDGET,
             num_sms: 80,
         }
     }
@@ -63,9 +151,27 @@ pub struct Scheduler {
 
 impl Scheduler {
     /// Create a scheduler with the given thresholds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid (see
+    /// [`SchedulerConfig::validate`]); use [`Scheduler::try_new`] to handle
+    /// the error instead.
     #[must_use]
     pub fn new(config: SchedulerConfig) -> Self {
-        Self { config }
+        Self::try_new(config).expect("invalid scheduler config")
+    }
+
+    /// Create a scheduler, rejecting degenerate configurations with a typed
+    /// error.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SchedulerConfigError`] for zero-SM, zero-chunk,
+    /// zero-thread or zero-memory configurations.
+    pub fn try_new(config: SchedulerConfig) -> Result<Self, SchedulerConfigError> {
+        config.validate()?;
+        Ok(Self { config })
     }
 
     /// The scheduler's configuration.
@@ -92,7 +198,10 @@ impl Scheduler {
             chunk: self.config.chunk,
         };
 
-        let table_bytes = table_rows * entry_bytes;
+        // Saturate rather than overflow for pathological table shapes (u64
+        // rows × u64-wide entries can exceed 2^64); a saturated size simply
+        // pins max_batch at its floor of 1.
+        let table_bytes = table_rows.saturating_mul(entry_bytes);
         let per_query_output = entry_bytes;
         let max_batch = StrategyProfile::max_batch_within(
             strategy,
@@ -107,8 +216,8 @@ impl Scheduler {
         let mapping = if cooperative {
             // Enough subtrees to give every SM several blocks, but never deeper
             // than the tree itself.
-            let split_bits = (self.config.num_sms.next_power_of_two().trailing_zeros() + 2)
-                .min(domain_bits);
+            let split_bits =
+                (self.config.num_sms.next_power_of_two().trailing_zeros() + 2).min(domain_bits);
             GridMapping::Cooperative { split_bits }
         } else {
             GridMapping::BlockPerQuery
@@ -190,5 +299,68 @@ mod tests {
     #[should_panic(expected = "at least one row")]
     fn zero_rows_rejected() {
         let _ = Scheduler::default().plan(0, 64, 1);
+    }
+
+    #[test]
+    fn degenerate_configs_are_rejected_with_typed_errors() {
+        let cases = [
+            (
+                SchedulerConfig {
+                    num_sms: 0,
+                    ..SchedulerConfig::default()
+                },
+                SchedulerConfigError::ZeroSms,
+            ),
+            (
+                SchedulerConfig {
+                    chunk: 0,
+                    ..SchedulerConfig::default()
+                },
+                SchedulerConfigError::ZeroChunk,
+            ),
+            (
+                SchedulerConfig {
+                    threads_per_block: 0,
+                    ..SchedulerConfig::default()
+                },
+                SchedulerConfigError::ZeroThreadsPerBlock,
+            ),
+            (
+                SchedulerConfig {
+                    memory_budget_bytes: 0,
+                    ..SchedulerConfig::default()
+                },
+                SchedulerConfigError::ZeroMemoryBudget,
+            ),
+            (
+                SchedulerConfig {
+                    cooperative_threshold_bits: 64,
+                    ..SchedulerConfig::default()
+                },
+                SchedulerConfigError::ThresholdTooLarge { bits: 64 },
+            ),
+        ];
+        for (config, expected) in cases {
+            assert_eq!(Scheduler::try_new(config).unwrap_err(), expected);
+            assert!(!expected.to_string().is_empty());
+        }
+        assert!(Scheduler::try_new(SchedulerConfig::default()).is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid scheduler config")]
+    fn new_panics_eagerly_on_invalid_config() {
+        let _ = Scheduler::new(SchedulerConfig {
+            chunk: 0,
+            ..SchedulerConfig::default()
+        });
+    }
+
+    #[test]
+    fn pathological_table_sizes_saturate_instead_of_overflowing() {
+        let scheduler = Scheduler::default();
+        // u64::MAX rows × 1 KiB entries would overflow table_rows * entry_bytes.
+        let plan = scheduler.plan(u64::MAX / 2, 1024, 32);
+        assert!(plan.max_batch >= 1);
     }
 }

@@ -4,8 +4,9 @@ use pir_field::Ring128;
 use pir_prf::GgmPrg;
 use serde::{Deserialize, Serialize};
 
-use crate::eval::{descend_both, descend_one, leaf_share, subtree_root_state, NodeState,
-    NODE_STATE_BYTES};
+use crate::eval::{
+    descend_both, descend_one, leaf_share, subtree_root_state, NodeState, NODE_STATE_BYTES,
+};
 use crate::recorder::Recorder;
 use crate::DpfKey;
 
@@ -154,7 +155,16 @@ pub fn eval_subtree_with<R, F>(
 
     match strategy {
         EvalStrategy::BranchParallel => {
-            branch_parallel(prg, key, root, subtree, depth_below, base_index, recorder, visitor);
+            branch_parallel(
+                prg,
+                key,
+                root,
+                subtree,
+                depth_below,
+                base_index,
+                recorder,
+                visitor,
+            );
         }
         EvalStrategy::LevelByLevel => {
             level_by_level(
@@ -303,13 +313,8 @@ fn level_by_level<R, F>(
         recorder.alloc(next_len * NODE_STATE_BYTES);
         let mut next = Vec::with_capacity(next_len as usize);
         for state in &current {
-            let (left, right) = descend_both(
-                prg,
-                key,
-                *state,
-                (level_offset + level) as usize,
-                recorder,
-            );
+            let (left, right) =
+                descend_both(prg, key, *state, (level_offset + level) as usize, recorder);
             next.push(left);
             next.push(right);
         }
@@ -318,7 +323,10 @@ fn level_by_level<R, F>(
     }
 
     recorder.alloc(current.len() as u64 * LEAF_BYTES);
-    let values: Vec<Ring128> = current.iter().map(|state| leaf_share(key, *state)).collect();
+    let values: Vec<Ring128> = current
+        .iter()
+        .map(|state| leaf_share(key, *state))
+        .collect();
     recorder.arithmetic(values.len() as u64);
     visitor(base_index, &values);
     recorder.release(current.len() as u64 * LEAF_BYTES);
@@ -465,7 +473,11 @@ mod tests {
             let vb = eval_full_domain(&prg, &b, strategy, &NullRecorder);
             for j in 0..128usize {
                 let sum = va[j] + vb[j];
-                let expected = if j == 77 { Ring128::new(42) } else { Ring128::ZERO };
+                let expected = if j == 77 {
+                    Ring128::new(42)
+                } else {
+                    Ring128::ZERO
+                };
                 assert_eq!(sum, expected, "strategy {strategy:?} index {j}");
             }
         }
@@ -541,7 +553,13 @@ mod tests {
             &mut |_, _| {},
         );
         let branch = CountingRecorder::new();
-        eval_full_domain_with(&prg, &a, EvalStrategy::BranchParallel, &branch, &mut |_, _| {});
+        eval_full_domain_with(
+            &prg,
+            &a,
+            EvalStrategy::BranchParallel,
+            &branch,
+            &mut |_, _| {},
+        );
 
         assert!(
             bounded.peak_bytes() * 8 < level.peak_bytes(),
@@ -559,8 +577,18 @@ mod tests {
         let params = DpfParams::for_domain(64);
         let (a, b) = generate_keys(&prg, &params, 3, Ring128::ONE, &mut rng);
         for chunk in [1usize, 3, 5, 7, 60, 64, 1000] {
-            let va = eval_full_domain(&prg, &a, EvalStrategy::MemoryBounded { chunk }, &NullRecorder);
-            let vb = eval_full_domain(&prg, &b, EvalStrategy::MemoryBounded { chunk }, &NullRecorder);
+            let va = eval_full_domain(
+                &prg,
+                &a,
+                EvalStrategy::MemoryBounded { chunk },
+                &NullRecorder,
+            );
+            let vb = eval_full_domain(
+                &prg,
+                &b,
+                EvalStrategy::MemoryBounded { chunk },
+                &NullRecorder,
+            );
             assert_eq!(va[3] + vb[3], Ring128::ONE, "chunk {chunk}");
         }
     }
@@ -572,7 +600,10 @@ mod tests {
             EvalStrategy::MemoryBounded { chunk: 64 }.label(),
             "mem-bound(K=64)"
         );
-        assert_eq!(EvalStrategy::default(), EvalStrategy::MemoryBounded { chunk: 128 });
+        assert_eq!(
+            EvalStrategy::default(),
+            EvalStrategy::MemoryBounded { chunk: 128 }
+        );
     }
 
     proptest! {

@@ -146,7 +146,11 @@ pub fn matvec_accumulate(
         base_row + weights.len(),
         matrix.rows()
     );
-    assert_eq!(acc.len(), matrix.lanes_per_row(), "accumulator width mismatch");
+    assert_eq!(
+        acc.len(),
+        matrix.lanes_per_row(),
+        "accumulator width mismatch"
+    );
     for (offset, weight) in weights.iter().enumerate() {
         acc.add_scaled_assign(weight.to_lane(), matrix.row(base_row + offset));
     }

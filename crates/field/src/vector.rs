@@ -29,7 +29,11 @@ impl IndicatorShares {
         let share1: Vec<Ring128> = (0..len).map(|_| Ring128::random(rng)).collect();
         let share0 = (0..len)
             .map(|j| {
-                let target = if j == index { Ring128::ONE } else { Ring128::ZERO };
+                let target = if j == index {
+                    Ring128::ONE
+                } else {
+                    Ring128::ZERO
+                };
                 target - share1[j]
             })
             .collect();

@@ -56,8 +56,8 @@ impl CostModel {
         counters: &CounterSnapshot,
         occupancy: &OccupancyEstimate,
     ) -> TimeBreakdown {
-        let sync_cycles = counters.block_syncs * BLOCK_SYNC_CYCLES
-            + counters.grid_syncs * GRID_SYNC_CYCLES;
+        let sync_cycles =
+            counters.block_syncs * BLOCK_SYNC_CYCLES + counters.grid_syncs * GRID_SYNC_CYCLES;
         let compute_cycles = counters.compute_cycles() + sync_cycles;
 
         let effective_ops = self.device.peak_ops_per_second()
@@ -65,8 +65,7 @@ impl CostModel {
             * occupancy.achieved_utilization.max(1e-6);
         let compute_s = compute_cycles as f64 / effective_ops;
 
-        let memory_s =
-            counters.global_bytes() as f64 / self.device.bandwidth_bytes_per_second();
+        let memory_s = counters.global_bytes() as f64 / self.device.bandwidth_bytes_per_second();
 
         let launch_overhead_s = self.device.launch_overhead_us * 1e-6;
         let total_s = compute_s.max(memory_s) + launch_overhead_s;
@@ -141,6 +140,7 @@ impl Default for CpuCostModel {
 }
 
 #[cfg(test)]
+#[allow(clippy::field_reassign_with_default)] // counters are built up field by field
 mod tests {
     use super::*;
     use crate::{CpuSpec, LaunchConfig};

@@ -192,9 +192,16 @@ mod tests {
     #[test]
     fn bigger_grids_do_not_lower_utilization() {
         let executor = GpuExecutor::with_host_threads(DeviceSpec::v100(), 2);
-        let small = executor.launch("small", LaunchConfig::linear(4, 256), |_: &BlockContext<'_>| {});
-        let large =
-            executor.launch("large", LaunchConfig::linear(640, 256), |_: &BlockContext<'_>| {});
+        let small = executor.launch(
+            "small",
+            LaunchConfig::linear(4, 256),
+            |_: &BlockContext<'_>| {},
+        );
+        let large = executor.launch(
+            "large",
+            LaunchConfig::linear(640, 256),
+            |_: &BlockContext<'_>| {},
+        );
         assert!(large.utilization() >= small.utilization());
     }
 }

@@ -61,7 +61,10 @@ impl LaunchConfig {
     #[must_use]
     pub fn linear(blocks: u32, threads_per_block: u32) -> Self {
         assert!(blocks > 0, "grid must contain at least one block");
-        assert!(threads_per_block > 0, "blocks must contain at least one thread");
+        assert!(
+            threads_per_block > 0,
+            "blocks must contain at least one thread"
+        );
         Self {
             grid: Dim3::linear(blocks),
             block: Dim3::linear(threads_per_block),

@@ -59,18 +59,16 @@ impl OccupancyEstimate {
 
         let limit_by_threads = device.max_threads_per_sm / padded_threads.max(1);
         let limit_by_blocks = device.max_blocks_per_sm;
-        let limit_by_shared = if config.shared_mem_per_block == 0 {
-            u32::MAX
-        } else {
-            device.shared_mem_per_sm / config.shared_mem_per_block
-        };
+        let limit_by_shared = device
+            .shared_mem_per_sm
+            .checked_div(config.shared_mem_per_block)
+            .unwrap_or(u32::MAX);
         let blocks_per_sm = limit_by_threads
             .min(limit_by_blocks)
             .min(limit_by_shared)
             .max(1);
 
-        let active_threads_per_sm =
-            (blocks_per_sm * padded_threads).min(device.max_threads_per_sm);
+        let active_threads_per_sm = (blocks_per_sm * padded_threads).min(device.max_threads_per_sm);
         let occupancy = f64::from(active_threads_per_sm) / f64::from(device.max_threads_per_sm);
 
         let total_blocks = config.total_blocks();

@@ -109,7 +109,14 @@ mod tests {
             .filter(|e| e.fits_on_device())
             .map(|e| e.application)
             .collect();
-        assert_eq!(fitting, vec!["Taobao Rec.", "WikiText2 (Language Model)", "Movielens-20M Rec."]);
+        assert_eq!(
+            fitting,
+            vec![
+                "Taobao Rec.",
+                "WikiText2 (Language Model)",
+                "Movielens-20M Rec."
+            ]
+        );
     }
 
     #[test]

@@ -182,7 +182,8 @@ mod tests {
         assert_eq!(taobao.table_entries, 900_000);
         assert_eq!(taobao.entry_bytes, 128);
 
-        let wikitext = SyntheticDataset::generate(DatasetKind::WikiText2, DatasetScale::Paper, 8, 2);
+        let wikitext =
+            SyntheticDataset::generate(DatasetKind::WikiText2, DatasetScale::Paper, 8, 2);
         assert_eq!(wikitext.table_entries, 131_000);
         assert_eq!(wikitext.entry_bytes, 512);
     }
@@ -195,7 +196,8 @@ mod tests {
         let q = movielens.avg_queries_per_inference();
         assert!((50.0..=90.0).contains(&q), "movielens q/inf {q}");
 
-        let taobao = SyntheticDataset::generate(DatasetKind::TaobaoAds, DatasetScale::Small, 200, 3);
+        let taobao =
+            SyntheticDataset::generate(DatasetKind::TaobaoAds, DatasetScale::Small, 200, 3);
         // The paper reports ~2.68 lookups per Taobao inference.
         let q = taobao.avg_queries_per_inference();
         assert!((1.5..=4.5).contains(&q), "taobao q/inf {q}");
@@ -208,7 +210,8 @@ mod tests {
 
     #[test]
     fn access_patterns_are_skewed() {
-        let dataset = SyntheticDataset::generate(DatasetKind::TaobaoAds, DatasetScale::Small, 300, 4);
+        let dataset =
+            SyntheticDataset::generate(DatasetKind::TaobaoAds, DatasetScale::Small, 300, 4);
         let top_tenth = (dataset.table_entries / 10) as usize;
         let coverage = dataset.train_workload.coverage_of_top(top_tenth);
         assert!(

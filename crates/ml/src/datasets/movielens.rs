@@ -36,7 +36,11 @@ pub(super) fn generate(scale: DatasetScale, inferences: usize, seed: u64) -> Syn
                     if rng.gen_bool(0.7) {
                         // Snap the candidate into one of the favourite genres,
                         // preserving its popularity rank within the cluster.
-                        let target_cluster = if rng.gen_bool(0.5) { favourite_a } else { favourite_b };
+                        let target_cluster = if rng.gen_bool(0.5) {
+                            favourite_a
+                        } else {
+                            favourite_b
+                        };
                         let base = candidate - (candidate % CLUSTERS);
                         (base + target_cluster).min(table_entries - 1)
                     } else {

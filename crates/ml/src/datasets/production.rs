@@ -79,13 +79,12 @@ impl ProductionProfile {
         let stats = Self::table2()[0];
         let entries = (stats.entries / scale_divisor).max(1024);
         let sampler = ZipfSampler::new(entries, 1.1);
-        let mut rng = StdRng::seed_from_u64(seed ^ 0x70726f_64);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x7072_6f64);
 
         let sessions = (0..inferences)
             .map(|_| {
-                let lookups = (stats.avg_queries_per_inference
-                    * rng.gen_range(0.5..1.5))
-                .round() as usize;
+                let lookups =
+                    (stats.avg_queries_per_inference * rng.gen_range(0.5..1.5)).round() as usize;
                 let mut session = Vec::new();
                 for _ in 0..lookups {
                     if rng.gen_bool(Self::CACHE_MISS_RATE * 10.0) {
@@ -108,7 +107,11 @@ mod tests {
         let rows = ProductionProfile::table2();
         assert_eq!(rows.len(), 5);
         // Largest tables are the 20M-entry ones at 2.68 GB.
-        let largest = rows.iter().map(ProductionTableStats::table_bytes).max().unwrap();
+        let largest = rows
+            .iter()
+            .map(ProductionTableStats::table_bytes)
+            .max()
+            .unwrap();
         assert_eq!(largest, 20_000_000 * 144);
         assert!((rows[1].avg_queries_per_inference - 47.3).abs() < 1e-9);
         // All are far too big for a client device.

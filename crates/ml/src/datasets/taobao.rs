@@ -77,6 +77,9 @@ mod tests {
         let coverage = dataset
             .train_workload
             .coverage_of_top((dataset.table_entries / 20) as usize);
-        assert!(coverage > 0.5, "top 5% should cover most accesses, got {coverage:.2}");
+        assert!(
+            coverage > 0.5,
+            "top 5% should cover most accesses, got {coverage:.2}"
+        );
     }
 }

@@ -40,11 +40,7 @@ impl EmbeddingTable {
     /// Number of entries (rows).
     #[must_use]
     pub fn entries(&self) -> usize {
-        if self.dimension == 0 {
-            0
-        } else {
-            self.values.len() / self.dimension
-        }
+        self.values.len().checked_div(self.dimension).unwrap_or(0)
     }
 
     /// Embedding dimensionality.
@@ -107,7 +103,9 @@ impl EmbeddingTable {
     /// Quantize the whole table into byte entries suitable for a PIR server.
     #[must_use]
     pub fn to_entries(&self) -> Vec<Vec<u8>> {
-        (0..self.entries()).map(|i| self.entry_to_bytes(i)).collect()
+        (0..self.entries())
+            .map(|i| self.entry_to_bytes(i))
+            .collect()
     }
 
     /// Quantize one entry.
@@ -130,7 +128,10 @@ impl EmbeddingTable {
     /// Panics if the byte length is not a multiple of 4.
     #[must_use]
     pub fn bytes_to_vector(bytes: &[u8]) -> Vec<f32> {
-        assert!(bytes.len() % 4 == 0, "quantized entries are 4-byte aligned");
+        assert!(
+            bytes.len().is_multiple_of(4),
+            "quantized entries are 4-byte aligned"
+        );
         bytes
             .chunks_exact(4)
             .map(|chunk| {

@@ -70,6 +70,18 @@ pub struct LstmLanguageModel {
     output_bias: Vec<f32>,
 }
 
+/// Intermediate activations of one LSTM step: `(h, c, i, f, g, o, z)`,
+/// kept for the backward pass.
+type StepState = (
+    Vec<f32>,
+    Vec<f32>,
+    Vec<f32>,
+    Vec<f32>,
+    Vec<f32>,
+    Vec<f32>,
+    Vec<f32>,
+);
+
 impl LstmLanguageModel {
     /// Initialize with small random weights.
     pub fn new<R: Rng + ?Sized>(config: LstmConfig, rng: &mut R) -> Self {
@@ -127,13 +139,7 @@ impl LstmLanguageModel {
         }
     }
 
-    fn step(
-        &self,
-        token: usize,
-        dropped: bool,
-        h_prev: &[f32],
-        c_prev: &[f32],
-    ) -> (Vec<f32>, Vec<f32>, Vec<f32>, Vec<f32>, Vec<f32>, Vec<f32>, Vec<f32>) {
+    fn step(&self, token: usize, dropped: bool, h_prev: &[f32], c_prev: &[f32]) -> StepState {
         let hidden = self.config.hidden_dim;
         let x = self.input_vector(token, dropped);
         let mut z = Vec::with_capacity(x.len() + h_prev.len());
@@ -148,8 +154,14 @@ impl LstmLanguageModel {
             .map(|(v, b)| v + b)
             .collect();
         let i: Vec<f32> = pre[..hidden].iter().map(|&v| sigmoid(v)).collect();
-        let f: Vec<f32> = pre[hidden..2 * hidden].iter().map(|&v| sigmoid(v)).collect();
-        let g: Vec<f32> = pre[2 * hidden..3 * hidden].iter().map(|&v| v.tanh()).collect();
+        let f: Vec<f32> = pre[hidden..2 * hidden]
+            .iter()
+            .map(|&v| sigmoid(v))
+            .collect();
+        let g: Vec<f32> = pre[2 * hidden..3 * hidden]
+            .iter()
+            .map(|&v| v.tanh())
+            .collect();
         let o: Vec<f32> = pre[3 * hidden..].iter().map(|&v| sigmoid(v)).collect();
         let c: Vec<f32> = (0..hidden)
             .map(|k| f[k] * c_prev[k] + i[k] * g[k])
@@ -289,8 +301,7 @@ impl LstmLanguageModel {
             for (acc, extra) in dh.iter_mut().zip(&dh_next) {
                 *acc += extra;
             }
-            self.output_weights
-                .sgd_rank_one(&d_logits, &cache.h, lr);
+            self.output_weights.sgd_rank_one(&d_logits, &cache.h, lr);
             for (b, d) in self.output_bias.iter_mut().zip(&d_logits) {
                 *b -= lr * clamp(*d);
             }
@@ -417,7 +428,10 @@ mod tests {
         // Uniform guessing gives ppl = vocab_size (50); the structure is
         // learnable so training should land far below that and improve on the
         // untrained model.
-        assert!(after < before, "ppl should improve: {before:.1} -> {after:.1}");
+        assert!(
+            after < before,
+            "ppl should improve: {before:.1} -> {after:.1}"
+        );
         assert!(after < 30.0, "trained ppl {after:.1} too high");
     }
 

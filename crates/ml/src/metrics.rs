@@ -22,7 +22,11 @@ pub fn roc_auc(scores: &[f32], labels: &[bool]) -> f64 {
     );
 
     let mut order: Vec<usize> = (0..scores.len()).collect();
-    order.sort_by(|&a, &b| scores[a].partial_cmp(&scores[b]).expect("scores are finite"));
+    order.sort_by(|&a, &b| {
+        scores[a]
+            .partial_cmp(&scores[b])
+            .expect("scores are finite")
+    });
 
     // Assign average ranks to ties, then use the Mann–Whitney U statistic.
     let mut rank_sum_positive = 0.0f64;

@@ -146,7 +146,10 @@ impl QualityModel {
     /// Panics if `drop_rate` is outside `[0, 1]`.
     #[must_use]
     pub fn quality_at(&self, drop_rate: f64) -> f64 {
-        assert!((0.0..=1.0).contains(&drop_rate), "drop rate must be in [0, 1]");
+        assert!(
+            (0.0..=1.0).contains(&drop_rate),
+            "drop rate must be in [0, 1]"
+        );
         let delta = self.span * drop_rate.powf(self.shape);
         match self.metric {
             QualityMetric::Auc => self.baseline - delta,

@@ -97,10 +97,7 @@ impl Matrix {
     #[must_use]
     pub fn matvec(&self, x: &[f32]) -> Vec<f32> {
         assert_eq!(x.len(), self.cols, "vector length must equal matrix cols");
-        self.data
-            .chunks(self.cols)
-            .map(|row| dot(row, x))
-            .collect()
+        self.data.chunks(self.cols).map(|row| dot(row, x)).collect()
     }
 
     /// `y = Wᵀ · x` for a column vector `x` (used in backprop).

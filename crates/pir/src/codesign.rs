@@ -183,11 +183,7 @@ impl<'a> CodesignSearch<'a> {
     ///
     /// Panics if there are no training sessions.
     #[must_use]
-    pub fn new(
-        schema: TableSchema,
-        prf_kind: PrfKind,
-        training_sessions: &'a [Vec<u64>],
-    ) -> Self {
+    pub fn new(schema: TableSchema, prf_kind: PrfKind, training_sessions: &'a [Vec<u64>]) -> Self {
         assert!(
             !training_sessions.is_empty(),
             "need at least one training session to evaluate co-design"

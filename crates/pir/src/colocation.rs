@@ -97,7 +97,9 @@ impl ColocationMap {
         }
 
         // Cover the remaining (never-observed or unpacked) indices.
-        let mut leftover: Vec<u64> = (0..table_entries).filter(|i| !assigned.contains(i)).collect();
+        let mut leftover: Vec<u64> = (0..table_entries)
+            .filter(|i| !assigned.contains(i))
+            .collect();
         leftover.sort_unstable();
         for chunk in leftover.chunks(group_size) {
             groups.push(chunk.to_vec());
@@ -314,7 +316,11 @@ mod tests {
         for index in 0..8u64 {
             let (group, _) = colocated.map().placement(index).unwrap();
             let wide = colocated.table().entry(group);
-            assert_eq!(colocated.extract(index, &wide), original.entry(index), "index {index}");
+            assert_eq!(
+                colocated.extract(index, &wide),
+                original.entry(index),
+                "index {index}"
+            );
         }
     }
 

@@ -29,10 +29,16 @@ impl fmt::Display for PirError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             PirError::IndexOutOfRange { index, table_size } => {
-                write!(f, "index {index} out of range for table of {table_size} entries")
+                write!(
+                    f,
+                    "index {index} out of range for table of {table_size} entries"
+                )
             }
             PirError::SchemaMismatch { expected, actual } => {
-                write!(f, "schema mismatch: query built for {expected}, server holds {actual}")
+                write!(
+                    f,
+                    "schema mismatch: query built for {expected}, server holds {actual}"
+                )
             }
             PirError::ResponseMismatch(msg) => write!(f, "responses do not match: {msg}"),
             PirError::BudgetViolation(msg) => write!(f, "query budget violated: {msg}"),

@@ -102,7 +102,8 @@ impl HotTableSplit {
         );
 
         let mut by_frequency: Vec<u64> = (0..full_table.entries()).collect();
-        by_frequency.sort_by_key(|&i| std::cmp::Reverse((frequencies[i as usize], std::cmp::Reverse(i))));
+        by_frequency
+            .sort_by_key(|&i| std::cmp::Reverse((frequencies[i as usize], std::cmp::Reverse(i))));
         by_frequency.truncate(config.hot_entries as usize);
 
         let hot_entries: Vec<Vec<u8>> = by_frequency.iter().map(|&i| full_table.entry(i)).collect();

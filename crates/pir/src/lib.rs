@@ -64,5 +64,7 @@ pub use hot_table::{HotTableConfig, HotTablePlan, HotTableSplit};
 pub use message::{PirQuery, PirResponse, ServerQuery};
 pub use naive::{NaivePir, NaiveQuery};
 pub use pbr::{BinAssignment, PbrClient, PbrConfig, PbrServer};
-pub use server::{CpuBatchTiming, CpuPirServer, GpuPirServer, PirServer, ServerMetrics};
+pub use server::{
+    CpuBatchTiming, CpuPirServer, GpuPirServer, PirServer, ServerMetrics, ShardedGpuServer,
+};
 pub use table::{PirTable, TableSchema};

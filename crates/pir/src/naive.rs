@@ -56,8 +56,7 @@ impl NaivePir {
                 table_size: self.table.entries(),
             });
         }
-        let shares =
-            IndicatorShares::for_index(index as usize, self.table.entries() as usize, rng);
+        let shares = IndicatorShares::for_index(index as usize, self.table.entries() as usize, rng);
         Ok((
             NaiveQuery {
                 share: shares.share0,

@@ -105,9 +105,9 @@ impl PbrClient {
         for bin in 0..bins {
             let (start, end) = config.bin_range(bin, schema.entries);
             let len = end - start;
-            bin_clients
-                .entry(len)
-                .or_insert_with(|| PirClient::new(TableSchema::new(len, schema.entry_bytes), prf_kind));
+            bin_clients.entry(len).or_insert_with(|| {
+                PirClient::new(TableSchema::new(len, schema.entry_bytes), prf_kind)
+            });
         }
         Self {
             schema,
@@ -147,8 +147,7 @@ impl PbrClient {
                 self.schema.entries
             );
             let bin = self.config.bin_of(index);
-            if let std::collections::btree_map::Entry::Vacant(slot) = assignment.served.entry(bin)
-            {
+            if let std::collections::btree_map::Entry::Vacant(slot) = assignment.served.entry(bin) {
                 slot.insert(index);
             } else {
                 assignment.dropped.push(index);
@@ -312,7 +311,11 @@ mod tests {
 
     #[test]
     fn assignment_drops_conflicts_only() {
-        let client = PbrClient::new(TableSchema::new(100, 8), PbrConfig::new(10), PrfKind::SipHash);
+        let client = PbrClient::new(
+            TableSchema::new(100, 8),
+            PbrConfig::new(10),
+            PrfKind::SipHash,
+        );
         let assignment = client.assign(&[5, 15, 17, 95, 3]);
         // 5 and 3 share bin 0: 3 is dropped. 15 and 17 share bin 1: 17 dropped.
         assert_eq!(assignment.served[&0], 5);
@@ -360,7 +363,11 @@ mod tests {
     fn query_count_is_independent_of_request_count() {
         // The privacy invariant: one query per bin no matter how many (or few)
         // real lookups the user needs.
-        let client = PbrClient::new(TableSchema::new(64, 4), PbrConfig::new(16), PrfKind::SipHash);
+        let client = PbrClient::new(
+            TableSchema::new(64, 4),
+            PbrConfig::new(16),
+            PrfKind::SipHash,
+        );
         let mut rng = StdRng::seed_from_u64(102);
         let few = client.queries(&client.assign(&[1]), &mut rng);
         let many = client.queries(&client.assign(&[1, 2, 3, 20, 40, 63]), &mut rng);

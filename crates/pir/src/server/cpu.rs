@@ -254,7 +254,10 @@ mod tests {
         let one = CpuPirServer::new(table.clone(), PrfKind::Aes128, 1);
         let many = CpuPirServer::new(table, PrfKind::Aes128, 32);
         let speedup = one.modeled_query_time_s() / many.modeled_query_time_s();
-        assert!(speedup > 4.0, "expected a multi-thread speedup, got {speedup:.2}");
+        assert!(
+            speedup > 4.0,
+            "expected a multi-thread speedup, got {speedup:.2}"
+        );
     }
 
     #[test]

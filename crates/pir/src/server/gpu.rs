@@ -8,7 +8,7 @@ use pir_prf::{build_prf, GgmPrg, PrfKind};
 
 use crate::error::PirError;
 use crate::message::{PirResponse, ServerQuery};
-use crate::server::{check_schema, PirServer, ServerMetrics};
+use crate::server::{check_schema, responses_from_shares, PirServer, ServerMetrics};
 use crate::table::{PirTable, TableSchema};
 
 /// A PIR server that evaluates DPFs on the (simulated) GPU.
@@ -50,7 +50,12 @@ impl GpuPirServer {
     /// scheduler thresholds.
     #[must_use]
     pub fn with_defaults(table: PirTable, prf_kind: PrfKind) -> Self {
-        Self::new(table, prf_kind, DeviceSpec::v100(), SchedulerConfig::default())
+        Self::new(
+            table,
+            prf_kind,
+            DeviceSpec::v100(),
+            SchedulerConfig::default(),
+        )
     }
 
     /// The PRF family this server evaluates.
@@ -93,20 +98,10 @@ impl GpuPirServer {
         );
         let keys: Vec<_> = queries.iter().map(|q| q.key.clone()).collect();
         let job = BatchEvalJob::new(&self.prg, self.prf_kind, &keys, self.table.matrix())
-            .with_strategy(plan.strategy)
-            .with_mapping(plan.mapping)
-            .with_threads_per_block(plan.threads_per_block);
+            .with_plan(&plan);
         let output = job.run(&self.executor);
 
-        let responses: Vec<PirResponse> = queries
-            .iter()
-            .zip(output.results)
-            .map(|(query, share)| PirResponse {
-                query_id: query.query_id,
-                party: query.party(),
-                share: share.into(),
-            })
-            .collect();
+        let responses = responses_from_shares(queries, output.results);
 
         let bytes_in: u64 = queries.iter().map(|q| q.size_bytes() as u64).sum();
         let bytes_out: u64 = responses.iter().map(|r| r.size_bytes() as u64).sum();
@@ -160,7 +155,9 @@ mod tests {
     use rand::SeedableRng;
 
     fn table() -> PirTable {
-        PirTable::generate(300, 16, |row, offset| (row as u8).wrapping_mul(3).wrapping_add(offset as u8))
+        PirTable::generate(300, 16, |row, offset| {
+            (row as u8).wrapping_mul(3).wrapping_add(offset as u8)
+        })
     }
 
     #[test]

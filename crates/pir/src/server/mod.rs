@@ -2,10 +2,13 @@
 
 mod cpu;
 mod gpu;
+mod sharded;
 
 pub use cpu::{CpuBatchTiming, CpuPirServer};
 pub use gpu::GpuPirServer;
+pub use sharded::ShardedGpuServer;
 
+use pir_field::LaneVector;
 use serde::{Deserialize, Serialize};
 
 use crate::error::PirError;
@@ -82,6 +85,29 @@ pub trait PirServer: Send + Sync {
 
     /// Metrics accumulated since the server was created.
     fn metrics(&self) -> ServerMetrics;
+}
+
+/// Assemble wire responses from evaluated answer shares.
+///
+/// This is the single answer path shared by every GPU-backed server —
+/// single-device batches, sharded multi-device batches and the serving
+/// runtime's externally-formed batches all produce `(queries, shares)` pairs
+/// in matching order and go through here, so response framing can never
+/// drift between server flavours.
+pub(crate) fn responses_from_shares(
+    queries: &[ServerQuery],
+    shares: Vec<LaneVector>,
+) -> Vec<PirResponse> {
+    debug_assert_eq!(queries.len(), shares.len());
+    queries
+        .iter()
+        .zip(shares)
+        .map(|(query, share)| PirResponse {
+            query_id: query.query_id,
+            party: query.party(),
+            share: share.into(),
+        })
+        .collect()
 }
 
 pub(crate) fn check_schema(expected: TableSchema, query: &ServerQuery) -> Result<(), PirError> {

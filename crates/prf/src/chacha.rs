@@ -102,16 +102,35 @@ mod tests {
     #[test]
     fn rfc7539_block_vector() {
         let key: [u32; 8] = [
-            0x0302_0100, 0x0706_0504, 0x0b0a_0908, 0x0f0e_0d0c, 0x1312_1110, 0x1716_1514,
-            0x1b1a_1918, 0x1f1e_1d1c,
+            0x0302_0100,
+            0x0706_0504,
+            0x0b0a_0908,
+            0x0f0e_0d0c,
+            0x1312_1110,
+            0x1716_1514,
+            0x1b1a_1918,
+            0x1f1e_1d1c,
         ];
         let nonce: [u32; 3] = [0x0900_0000, 0x4a00_0000, 0x0000_0000];
         let counter = 1;
         let out = chacha20_block(&key, counter, &nonce);
         let expected: [u32; 16] = [
-            0xe4e7_f110, 0x1559_3bd1, 0x1fdd_0f50, 0xc471_20a3, 0xc7f4_d1c7, 0x0368_c033,
-            0x9aaa_2204, 0x4e6c_d4c3, 0x4664_82d2, 0x09aa_9f07, 0x05d7_c214, 0xa202_8bd9,
-            0xd19c_12b5, 0xb94e_16de, 0xe883_d0cb, 0x4e3c_50a2,
+            0xe4e7_f110,
+            0x1559_3bd1,
+            0x1fdd_0f50,
+            0xc471_20a3,
+            0xc7f4_d1c7,
+            0x0368_c033,
+            0x9aaa_2204,
+            0x4e6c_d4c3,
+            0x4664_82d2,
+            0x09aa_9f07,
+            0x05d7_c214,
+            0xa202_8bd9,
+            0xd19c_12b5,
+            0xb94e_16de,
+            0xe883_d0cb,
+            0x4e3c_50a2,
         ];
         assert_eq!(out, expected);
     }
@@ -122,7 +141,10 @@ mod tests {
         let x = Block128::from_u128(0xabcd);
         assert_eq!(prf.eval_block(x, 1), prf.eval_block(x, 1));
         assert_ne!(prf.eval_block(x, 1), prf.eval_block(x, 2));
-        assert_ne!(prf.eval_block(x, 1), prf.eval_block(Block128::from_u128(1), 1));
+        assert_ne!(
+            prf.eval_block(x, 1),
+            prf.eval_block(Block128::from_u128(1), 1)
+        );
         assert_eq!(prf.kind(), PrfKind::Chacha20);
     }
 }

@@ -26,9 +26,9 @@ struct HighwayState {
 
 const INIT0: [u64; 4] = [
     0xdbe6_d5d5_fe4c_ce2f,
-    0xa4093_822_299f_31d0,
+    0xa409_3822_299f_31d0,
     0x1319_8a2e_0370_7344,
-    0x2434_4a40_93822_299,
+    0x2434_4a40_9382_2299,
 ];
 const INIT1: [u64; 4] = [
     0x4528_21e6_38d0_1377,
@@ -63,8 +63,8 @@ impl HighwayState {
     }
 
     fn update(&mut self, packet: &[u64; 4]) {
-        for i in 0..4 {
-            self.v1[i] = self.v1[i].wrapping_add(packet[i].wrapping_add(self.mul0[i]));
+        for (i, &lane) in packet.iter().enumerate() {
+            self.v1[i] = self.v1[i].wrapping_add(lane.wrapping_add(self.mul0[i]));
             self.mul0[i] ^= (self.v1[i] & 0xffff_ffff).wrapping_mul(self.v0[i] >> 32);
             self.v0[i] = self.v0[i].wrapping_add(self.mul1[i]);
             self.mul1[i] ^= (self.v0[i] & 0xffff_ffff).wrapping_mul(self.v1[i] >> 32);
@@ -132,7 +132,12 @@ impl Prf for HighwayPrf {
 
     fn eval_block(&self, input: Block128, tweak: u64) -> Block128 {
         let (low, high) = input.halves();
-        let packet = [low, high, tweak, tweak.rotate_left(29) ^ 0x9e37_79b9_7f4a_7c15];
+        let packet = [
+            low,
+            high,
+            tweak,
+            tweak.rotate_left(29) ^ 0x9e37_79b9_7f4a_7c15,
+        ];
         let mut state = HighwayState::new(&self.key);
         state.update(&packet);
         let (out_low, out_high) = state.finalize128();

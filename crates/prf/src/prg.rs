@@ -80,7 +80,9 @@ impl GgmPrg {
 
 impl std::fmt::Debug for GgmPrg {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("GgmPrg").field("prf", &self.prf.kind()).finish()
+        f.debug_struct("GgmPrg")
+            .field("prf", &self.prf.kind())
+            .finish()
     }
 }
 

@@ -107,7 +107,11 @@ impl Prf for SipHashPrf {
         message[..16].copy_from_slice(&input.to_le_bytes());
         message[16..].copy_from_slice(&tweak.to_le_bytes());
         let low = siphash24(self.k0, self.k1, &message);
-        let high = siphash24(self.k0 ^ 0x6868_6868_6868_6868, self.k1.rotate_left(17), &message);
+        let high = siphash24(
+            self.k0 ^ 0x6868_6868_6868_6868,
+            self.k1.rotate_left(17),
+            &message,
+        );
         Block128::from_halves(low, high)
     }
 }

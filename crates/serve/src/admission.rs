@@ -1,0 +1,123 @@
+//! Per-tenant admission control.
+//!
+//! Tenants are identified by opaque string ids; each may have at most
+//! `per_tenant_quota` queries in flight. The quota is enforced *before* key
+//! generation, so an overloaded tenant costs the runtime nothing but a map
+//! lookup — the shed signal ([`ServeError::QuotaExceeded`]) is the
+//! backpressure mechanism multi-tenant deployments use to keep one noisy
+//! tenant from starving the rest of the batch budget.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::config::AdmissionPolicy;
+use crate::error::ServeError;
+
+#[derive(Debug)]
+pub(crate) struct Admission {
+    policy: AdmissionPolicy,
+    in_flight: Mutex<HashMap<String, usize>>,
+}
+
+impl Admission {
+    pub(crate) fn new(policy: AdmissionPolicy) -> Self {
+        Self {
+            policy,
+            in_flight: Mutex::new(HashMap::new()),
+        }
+    }
+
+    pub(crate) fn policy(&self) -> AdmissionPolicy {
+        self.policy
+    }
+
+    /// Admit one query for `tenant`, returning a guard that releases the
+    /// slot when dropped (i.e. when the query completes or is abandoned).
+    pub(crate) fn admit(self: &Arc<Self>, tenant: &str) -> Result<InFlightGuard, ServeError> {
+        let mut in_flight = self.in_flight.lock();
+        let count = in_flight.entry(tenant.to_string()).or_insert(0);
+        if *count >= self.policy.per_tenant_quota {
+            return Err(ServeError::QuotaExceeded {
+                tenant: tenant.to_string(),
+                in_flight: *count,
+                quota: self.policy.per_tenant_quota,
+            });
+        }
+        *count += 1;
+        Ok(InFlightGuard {
+            admission: Arc::clone(self),
+            tenant: tenant.to_string(),
+        })
+    }
+
+    #[cfg(test)]
+    pub(crate) fn in_flight(&self, tenant: &str) -> usize {
+        self.in_flight.lock().get(tenant).copied().unwrap_or(0)
+    }
+
+    fn release(&self, tenant: &str) {
+        let mut in_flight = self.in_flight.lock();
+        if let Some(count) = in_flight.get_mut(tenant) {
+            *count = count.saturating_sub(1);
+            if *count == 0 {
+                in_flight.remove(tenant);
+            }
+        }
+    }
+}
+
+/// RAII slot in a tenant's quota.
+#[derive(Debug)]
+pub(crate) struct InFlightGuard {
+    admission: Arc<Admission>,
+    tenant: String,
+}
+
+impl Drop for InFlightGuard {
+    fn drop(&mut self) {
+        self.admission.release(&self.tenant);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn admission(quota: usize) -> Arc<Admission> {
+        Arc::new(Admission::new(AdmissionPolicy {
+            queue_capacity: 16,
+            per_tenant_quota: quota,
+        }))
+    }
+
+    #[test]
+    fn quota_is_enforced_per_tenant() {
+        let admission = admission(2);
+        let _a1 = admission.admit("alice").unwrap();
+        let _a2 = admission.admit("alice").unwrap();
+        assert!(matches!(
+            admission.admit("alice"),
+            Err(ServeError::QuotaExceeded {
+                in_flight: 2,
+                quota: 2,
+                ..
+            })
+        ));
+        // Other tenants are unaffected.
+        let _b1 = admission.admit("bob").unwrap();
+        assert_eq!(admission.in_flight("alice"), 2);
+        assert_eq!(admission.in_flight("bob"), 1);
+    }
+
+    #[test]
+    fn guards_release_on_drop() {
+        let admission = admission(1);
+        let guard = admission.admit("carol").unwrap();
+        assert!(admission.admit("carol").is_err());
+        drop(guard);
+        assert_eq!(admission.in_flight("carol"), 0);
+        let _again = admission.admit("carol").unwrap();
+    }
+}

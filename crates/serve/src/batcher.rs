@@ -1,0 +1,139 @@
+//! The dynamic batch former: one worker per (table, server) pair.
+//!
+//! Each worker drains its bounded queue under a *max-batch-size /
+//! max-wait-time* policy — the same two-knob formation rule production
+//! inference servers use — and submits the whole batch to its server replica
+//! in one call, where the scheduler turns it into a single
+//! [`pir_dpf::ExecutionPlan`] (strategy, grid mapping, threads per block) and
+//! launches it as one simulated kernel. Concurrent client queries therefore
+//! amortize kernel launches exactly as §3.2.1/§3.2.5 prescribe, without any
+//! client coordinating with any other.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use crate::registry::{HostedTable, PendingEntry};
+
+/// Run one batch former until its queue is closed *and* drained.
+///
+/// Shutdown is graceful by construction: closing the queue stops new
+/// arrivals, but every already-admitted query is still formed into a final
+/// batch and answered, preserving the exactly-once answer guarantee.
+pub(crate) fn run_batch_former(table: Arc<HostedTable>, party: usize) {
+    let policy = table.config.batch;
+    let queue = &table.queues[party];
+
+    loop {
+        // Phase 1: wait for the first arrival (or shutdown).
+        let batch: Vec<PendingEntry> = {
+            let mut state = queue.state.lock();
+            while state.entries.is_empty() && !state.closed {
+                queue.arrived.wait(&mut state);
+            }
+            if state.entries.is_empty() && state.closed {
+                return;
+            }
+
+            // Phase 2: give the batch up to `max_wait` (measured from the
+            // *oldest* entry, so no query waits longer than the policy says)
+            // to reach `max_batch`.
+            let oldest = state.entries.front().expect("non-empty").enqueued_at;
+            let deadline = oldest + policy.max_wait;
+            while state.entries.len() < policy.max_batch && !state.closed {
+                let Some(remaining) = deadline.checked_duration_since(Instant::now()) else {
+                    break;
+                };
+                if queue.arrived.wait_for(&mut state, remaining).timed_out() {
+                    break;
+                }
+            }
+
+            let take = state.entries.len().min(policy.max_batch);
+            state.entries.drain(..take).collect()
+        };
+
+        // Phase 3: submit the formed batch as one execution plan, off the
+        // queue lock so new arrivals keep queueing during the launch.
+        let queries: Vec<_> = batch.iter().map(|entry| entry.query.clone()).collect();
+        let drained_at = Instant::now();
+        table.stats.record_batch(batch.len());
+        {
+            let mut queue_wait = table.stats.queue_wait.lock();
+            for entry in &batch {
+                let waited = drained_at.saturating_duration_since(entry.enqueued_at);
+                queue_wait.record_ms(waited.as_secs_f64() * 1e3);
+            }
+        }
+
+        match table.servers[party].answer_batch(&queries) {
+            Ok(responses) => {
+                for (entry, response) in batch.into_iter().zip(responses) {
+                    entry.responder.send(Ok(response));
+                }
+            }
+            Err(err) => {
+                for entry in batch {
+                    entry.responder.send(Err(err.clone().into()));
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::TableConfig;
+    use crate::oneshot;
+    use crate::registry::PendingEntry;
+    use pir_protocol::PirTable;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use std::sync::atomic::Ordering;
+    use std::time::Duration;
+
+    #[test]
+    fn former_coalesces_queued_entries_into_one_batch() {
+        let table = PirTable::generate(128, 8, |row, _| row as u8);
+        let config = TableConfig::builder()
+            .prf_kind(pir_prf::PrfKind::SipHash)
+            .max_batch(8)
+            .max_wait(Duration::from_millis(20))
+            .build()
+            .unwrap();
+        let hosted = Arc::new(HostedTable::build("t", table, config).expect("valid table"));
+        let mut rng = StdRng::seed_from_u64(5);
+
+        // Queue 5 entries for party 0 *before* the worker starts, so they
+        // must come out as one batch of 5.
+        let mut receivers = Vec::new();
+        {
+            let mut state = hosted.queues[0].state.lock();
+            for index in 0..5u64 {
+                let query = hosted.client.query(index, &mut rng);
+                let (tx, rx) = oneshot::channel();
+                state.entries.push_back(PendingEntry {
+                    query: query.to_server(0),
+                    enqueued_at: Instant::now(),
+                    responder: tx,
+                });
+                receivers.push(rx);
+            }
+        }
+        hosted.queues[0].close(); // run one batch, then exit
+
+        let worker = {
+            let hosted = Arc::clone(&hosted);
+            std::thread::spawn(move || run_batch_former(hosted, 0))
+        };
+        worker.join().unwrap();
+
+        for rx in receivers {
+            assert!(oneshot::block_on(rx).unwrap().is_ok());
+        }
+        assert_eq!(hosted.stats.batches.load(Ordering::Relaxed), 1);
+        assert_eq!(hosted.stats.batched_queries.load(Ordering::Relaxed), 5);
+        assert_eq!(hosted.stats.max_batch.load(Ordering::Relaxed), 5);
+        assert_eq!(hosted.stats.queue_wait.lock().count(), 5);
+    }
+}

@@ -1,0 +1,288 @@
+//! Configuration surface of the serving runtime.
+//!
+//! Follows the builder idiom (`TableConfig::builder().….build()?`) so every
+//! knob has a paper-derived default and invalid combinations are rejected
+//! with a typed [`ServeError::InvalidConfig`] at build time, never at serve
+//! time.
+
+use std::time::Duration;
+
+use pir_dpf::SchedulerConfig;
+use pir_prf::PrfKind;
+
+use crate::error::ServeError;
+
+/// When a forming batch is submitted to the device (§3.2.5's premise: the
+/// GPU only pays off when kernel launches are amortized over many queries).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BatchPolicy {
+    /// Submit as soon as this many queries have accumulated.
+    pub max_batch: usize,
+    /// Submit at the latest this long after the *oldest* queued query
+    /// arrived, even if the batch is still small.
+    pub max_wait: Duration,
+}
+
+impl Default for BatchPolicy {
+    fn default() -> Self {
+        Self {
+            max_batch: 64,
+            max_wait: Duration::from_millis(2),
+        }
+    }
+}
+
+/// Bounded-queue and per-tenant admission limits.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct AdmissionPolicy {
+    /// Maximum queries queued per (table, server) pair; arrivals beyond this
+    /// are shed with [`ServeError::QueueFull`].
+    pub queue_capacity: usize,
+    /// Maximum in-flight queries per tenant; arrivals beyond this are shed
+    /// with [`ServeError::QuotaExceeded`].
+    pub per_tenant_quota: usize,
+}
+
+impl Default for AdmissionPolicy {
+    fn default() -> Self {
+        Self {
+            queue_capacity: 4096,
+            per_tenant_quota: 256,
+        }
+    }
+}
+
+/// Per-table serving configuration: protocol parameters plus batching.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TableConfig {
+    /// PRF family used by this table's clients and servers.
+    pub prf_kind: PrfKind,
+    /// Number of simulated devices each server replica shards the table
+    /// across (1 = single V100).
+    pub shards: usize,
+    /// Scheduler thresholds applied per shard.
+    pub scheduler: SchedulerConfig,
+    /// Batch-formation policy for this table's two batch formers.
+    pub batch: BatchPolicy,
+}
+
+impl TableConfig {
+    /// Start building a config from the defaults.
+    #[must_use]
+    pub fn builder() -> TableConfigBuilder {
+        TableConfigBuilder::default()
+    }
+}
+
+impl Default for TableConfig {
+    fn default() -> Self {
+        Self {
+            prf_kind: PrfKind::Chacha20,
+            shards: 1,
+            scheduler: SchedulerConfig::default(),
+            batch: BatchPolicy::default(),
+        }
+    }
+}
+
+/// Fluent builder for [`TableConfig`].
+#[derive(Clone, Debug, Default)]
+pub struct TableConfigBuilder {
+    config: TableConfig,
+}
+
+impl TableConfigBuilder {
+    /// Set the PRF family (default ChaCha20, the GPU-friendly choice of
+    /// §3.2.6).
+    #[must_use]
+    pub fn prf_kind(mut self, prf_kind: PrfKind) -> Self {
+        self.config.prf_kind = prf_kind;
+        self
+    }
+
+    /// Shard each server replica across this many simulated devices.
+    #[must_use]
+    pub fn shards(mut self, shards: usize) -> Self {
+        self.config.shards = shards;
+        self
+    }
+
+    /// Override the per-shard scheduler thresholds.
+    #[must_use]
+    pub fn scheduler(mut self, scheduler: SchedulerConfig) -> Self {
+        self.config.scheduler = scheduler;
+        self
+    }
+
+    /// Submit batches at this size.
+    #[must_use]
+    pub fn max_batch(mut self, max_batch: usize) -> Self {
+        self.config.batch.max_batch = max_batch;
+        self
+    }
+
+    /// Submit batches at the latest this long after the oldest arrival.
+    #[must_use]
+    pub fn max_wait(mut self, max_wait: Duration) -> Self {
+        self.config.batch.max_wait = max_wait;
+        self
+    }
+
+    /// Validate and produce the config.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::InvalidConfig`] for zero shards, a zero batch
+    /// size, or a scheduler config the planner would reject.
+    pub fn build(self) -> Result<TableConfig, ServeError> {
+        if self.config.shards == 0 {
+            return Err(ServeError::InvalidConfig(
+                "shards must be at least 1".into(),
+            ));
+        }
+        if self.config.batch.max_batch == 0 {
+            return Err(ServeError::InvalidConfig(
+                "max_batch must be at least 1".into(),
+            ));
+        }
+        self.config
+            .scheduler
+            .validate()
+            .map_err(|err| ServeError::InvalidConfig(err.to_string()))?;
+        Ok(self.config)
+    }
+}
+
+/// Runtime-wide configuration.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ServeConfig {
+    /// Admission limits shared by all tables.
+    pub admission: AdmissionPolicy,
+    /// Seed of the runtime's query-key RNG (deterministic runs for tests and
+    /// experiments).
+    pub seed: u64,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            admission: AdmissionPolicy::default(),
+            seed: 0x5e21_9e0d,
+        }
+    }
+}
+
+impl ServeConfig {
+    /// Start building a runtime config from the defaults.
+    #[must_use]
+    pub fn builder() -> ServeConfigBuilder {
+        ServeConfigBuilder::default()
+    }
+}
+
+/// Fluent builder for [`ServeConfig`].
+#[derive(Clone, Debug, Default)]
+pub struct ServeConfigBuilder {
+    config: ServeConfig,
+}
+
+impl ServeConfigBuilder {
+    /// Bound each (table, server) queue at this depth.
+    #[must_use]
+    pub fn queue_capacity(mut self, capacity: usize) -> Self {
+        self.config.admission.queue_capacity = capacity;
+        self
+    }
+
+    /// Bound each tenant at this many in-flight queries.
+    #[must_use]
+    pub fn per_tenant_quota(mut self, quota: usize) -> Self {
+        self.config.admission.per_tenant_quota = quota;
+        self
+    }
+
+    /// Seed the runtime's key-generation RNG.
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.config.seed = seed;
+        self
+    }
+
+    /// Validate and produce the config.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::InvalidConfig`] for zero queue capacity or a
+    /// zero tenant quota.
+    pub fn build(self) -> Result<ServeConfig, ServeError> {
+        if self.config.admission.queue_capacity == 0 {
+            return Err(ServeError::InvalidConfig(
+                "queue_capacity must be at least 1".into(),
+            ));
+        }
+        if self.config.admission.per_tenant_quota == 0 {
+            return Err(ServeError::InvalidConfig(
+                "per_tenant_quota must be at least 1".into(),
+            ));
+        }
+        Ok(self.config)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builders_apply_defaults_and_overrides() {
+        let config = TableConfig::builder()
+            .prf_kind(PrfKind::SipHash)
+            .shards(4)
+            .max_batch(16)
+            .max_wait(Duration::from_millis(5))
+            .build()
+            .unwrap();
+        assert_eq!(config.prf_kind, PrfKind::SipHash);
+        assert_eq!(config.shards, 4);
+        assert_eq!(config.batch.max_batch, 16);
+        assert_eq!(config.batch.max_wait, Duration::from_millis(5));
+
+        let serve = ServeConfig::builder()
+            .queue_capacity(100)
+            .per_tenant_quota(10)
+            .seed(7)
+            .build()
+            .unwrap();
+        assert_eq!(serve.admission.queue_capacity, 100);
+        assert_eq!(serve.admission.per_tenant_quota, 10);
+        assert_eq!(serve.seed, 7);
+    }
+
+    #[test]
+    fn invalid_configs_are_rejected() {
+        assert!(matches!(
+            TableConfig::builder().shards(0).build(),
+            Err(ServeError::InvalidConfig(_))
+        ));
+        assert!(matches!(
+            TableConfig::builder().max_batch(0).build(),
+            Err(ServeError::InvalidConfig(_))
+        ));
+        let bad_scheduler = SchedulerConfig {
+            chunk: 0,
+            ..SchedulerConfig::default()
+        };
+        assert!(matches!(
+            TableConfig::builder().scheduler(bad_scheduler).build(),
+            Err(ServeError::InvalidConfig(_))
+        ));
+        assert!(matches!(
+            ServeConfig::builder().queue_capacity(0).build(),
+            Err(ServeError::InvalidConfig(_))
+        ));
+        assert!(matches!(
+            ServeConfig::builder().per_tenant_quota(0).build(),
+            Err(ServeError::InvalidConfig(_))
+        ));
+    }
+}

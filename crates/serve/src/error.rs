@@ -1,0 +1,145 @@
+//! Typed errors of the serving runtime.
+
+use std::fmt;
+
+use pir_protocol::PirError;
+
+/// Errors surfaced by the serving runtime to its clients.
+///
+/// Admission failures ([`ServeError::QueueFull`], [`ServeError::QuotaExceeded`])
+/// are *load-shedding signals*, not bugs: a well-behaved client backs off and
+/// retries. The remaining variants indicate misuse (unknown table names,
+/// invalid configs) or an underlying protocol failure.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ServeError {
+    /// No table with this name is registered.
+    UnknownTable(String),
+    /// A table with this name is already registered.
+    TableExists(String),
+    /// The per-(table, server) admission queue is at capacity; the query was
+    /// shed before key generation.
+    QueueFull {
+        /// The table whose queue rejected the query.
+        table: String,
+        /// Queue depth at rejection time.
+        depth: usize,
+    },
+    /// The tenant has reached its in-flight query quota.
+    QuotaExceeded {
+        /// The tenant that was rejected.
+        tenant: String,
+        /// Queries the tenant currently has in flight.
+        in_flight: usize,
+        /// The tenant's quota.
+        quota: usize,
+    },
+    /// The requested index is outside the table.
+    IndexOutOfRange {
+        /// Requested index.
+        index: u64,
+        /// Number of entries in the table.
+        entries: u64,
+    },
+    /// The runtime is shutting down; no new queries are admitted and queued
+    /// queries may be drained with this error.
+    ShuttingDown,
+    /// A configuration was rejected at build time.
+    InvalidConfig(String),
+    /// The underlying PIR protocol layer failed (indicates a bug or a
+    /// misconfigured deployment rather than load).
+    Protocol(PirError),
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::UnknownTable(name) => write!(f, "unknown table '{name}'"),
+            Self::TableExists(name) => write!(f, "table '{name}' is already registered"),
+            Self::QueueFull { table, depth } => {
+                write!(
+                    f,
+                    "queue for table '{table}' is full ({depth} queued); shed"
+                )
+            }
+            Self::QuotaExceeded {
+                tenant,
+                in_flight,
+                quota,
+            } => write!(
+                f,
+                "tenant '{tenant}' exceeded its quota ({in_flight} in flight, quota {quota})"
+            ),
+            Self::IndexOutOfRange { index, entries } => {
+                write!(
+                    f,
+                    "index {index} out of range for table of {entries} entries"
+                )
+            }
+            Self::ShuttingDown => write!(f, "runtime is shutting down"),
+            Self::InvalidConfig(message) => write!(f, "invalid config: {message}"),
+            Self::Protocol(err) => write!(f, "protocol error: {err}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Protocol(err) => Some(err),
+            _ => None,
+        }
+    }
+}
+
+impl From<PirError> for ServeError {
+    fn from(err: PirError) -> Self {
+        Self::Protocol(err)
+    }
+}
+
+impl ServeError {
+    /// Whether the error is a load-shedding signal (retry later) rather than
+    /// a hard failure.
+    #[must_use]
+    pub fn is_shed(&self) -> bool {
+        matches!(
+            self,
+            Self::QueueFull { .. } | Self::QuotaExceeded { .. } | Self::ShuttingDown
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shed_classification() {
+        assert!(ServeError::QueueFull {
+            table: "t".into(),
+            depth: 8
+        }
+        .is_shed());
+        assert!(ServeError::QuotaExceeded {
+            tenant: "a".into(),
+            in_flight: 3,
+            quota: 3
+        }
+        .is_shed());
+        assert!(ServeError::ShuttingDown.is_shed());
+        assert!(!ServeError::UnknownTable("x".into()).is_shed());
+        assert!(!ServeError::Protocol(PirError::ResponseMismatch("m".into())).is_shed());
+    }
+
+    #[test]
+    fn messages_render() {
+        let err = ServeError::QueueFull {
+            table: "emb".into(),
+            depth: 128,
+        };
+        assert!(err.to_string().contains("emb"));
+        assert!(err.to_string().contains("128"));
+        let err: ServeError = PirError::ResponseMismatch("boom".into()).into();
+        assert!(err.to_string().contains("boom"));
+    }
+}

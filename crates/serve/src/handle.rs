@@ -1,0 +1,219 @@
+//! The client API: [`ServeHandle`] to submit queries, [`PendingQuery`] to
+//! await them.
+
+use std::future::Future;
+use std::pin::Pin;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::task::{Context, Poll};
+use std::time::Instant;
+
+use pir_protocol::{PirQuery, PirResponse};
+
+use crate::admission::InFlightGuard;
+use crate::error::ServeError;
+use crate::oneshot::{self, Receiver};
+use crate::registry::{HostedTable, PendingEntry};
+use crate::runtime::RuntimeInner;
+use crate::stats::StatsSnapshot;
+
+/// A clonable, thread-safe handle for submitting queries to the runtime.
+///
+/// Handles stay valid across runtime shutdown: submissions after shutdown
+/// shed with [`ServeError::ShuttingDown`].
+#[derive(Clone)]
+pub struct ServeHandle {
+    pub(crate) inner: Arc<RuntimeInner>,
+}
+
+impl ServeHandle {
+    /// Submit one private lookup of `index` in `table` on behalf of
+    /// `tenant`.
+    ///
+    /// On success the query has been admitted: its keys are generated and
+    /// its two server projections are queued at the table's two batch
+    /// formers. Await (or [`PendingQuery::wait`]) the returned future for
+    /// the reconstructed row.
+    ///
+    /// # Errors
+    ///
+    /// * [`ServeError::UnknownTable`] — no such table.
+    /// * [`ServeError::IndexOutOfRange`] — index outside the table.
+    /// * [`ServeError::QuotaExceeded`] / [`ServeError::QueueFull`] /
+    ///   [`ServeError::ShuttingDown`] — backpressure; retry later.
+    pub fn query(&self, table: &str, tenant: &str, index: u64) -> Result<PendingQuery, ServeError> {
+        if self.inner.shutting_down.load(Ordering::SeqCst) {
+            return Err(ServeError::ShuttingDown);
+        }
+        let hosted = self.inner.registry.get(table)?;
+        if index >= hosted.table.entries() {
+            return Err(ServeError::IndexOutOfRange {
+                index,
+                entries: hosted.table.entries(),
+            });
+        }
+
+        let guard = match self.inner.admission.admit(tenant) {
+            Ok(guard) => guard,
+            Err(err) => {
+                hosted.stats.shed.fetch_add(1, Ordering::Relaxed);
+                return Err(err);
+            }
+        };
+
+        // Key generation is the dominant client-side cost; give every query
+        // its own deterministic RNG stream so concurrent submitters never
+        // serialize on a shared generator.
+        let mut rng = self.inner.query_rng();
+        let query = hosted.client.query(index, &mut rng);
+        let submitted_at = Instant::now();
+        let (tx0, rx0) = oneshot::channel();
+        let (tx1, rx1) = oneshot::channel();
+        let enqueued = hosted.enqueue_pair(
+            self.inner.admission.policy().queue_capacity,
+            PendingEntry {
+                query: query.to_server(0),
+                enqueued_at: submitted_at,
+                responder: tx0,
+            },
+            PendingEntry {
+                query: query.to_server(1),
+                enqueued_at: submitted_at,
+                responder: tx1,
+            },
+        );
+        if let Err(err) = enqueued {
+            hosted.stats.shed.fetch_add(1, Ordering::Relaxed);
+            return Err(err);
+        }
+        hosted.stats.submitted.fetch_add(1, Ordering::Relaxed);
+
+        Ok(PendingQuery {
+            hosted,
+            query,
+            rx0: Some(rx0),
+            rx1: Some(rx1),
+            response0: None,
+            response1: None,
+            submitted_at,
+            _guard: guard,
+        })
+    }
+
+    /// Names of the registered tables.
+    #[must_use]
+    pub fn table_names(&self) -> Vec<String> {
+        self.inner.registry.names()
+    }
+
+    /// A point-in-time statistics snapshot across all tables.
+    #[must_use]
+    pub fn stats(&self) -> StatsSnapshot {
+        self.inner.stats_snapshot()
+    }
+}
+
+/// An admitted query: a [`Future`] resolving to the reconstructed row.
+///
+/// Dropping the future abandons the query (its responses are discarded when
+/// they arrive) and releases the tenant's quota slot.
+pub struct PendingQuery {
+    hosted: Arc<HostedTable>,
+    query: PirQuery,
+    rx0: Option<Receiver<Result<PirResponse, ServeError>>>,
+    rx1: Option<Receiver<Result<PirResponse, ServeError>>>,
+    response0: Option<PirResponse>,
+    response1: Option<PirResponse>,
+    submitted_at: Instant,
+    _guard: InFlightGuard,
+}
+
+impl std::fmt::Debug for PendingQuery {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PendingQuery")
+            .field("table", &self.hosted.name)
+            .field("query_id", &self.query.query_id)
+            .field("have_response0", &self.response0.is_some())
+            .field("have_response1", &self.response1.is_some())
+            .finish()
+    }
+}
+
+impl PendingQuery {
+    /// The query id assigned by the table's client.
+    #[must_use]
+    pub fn query_id(&self) -> u64 {
+        self.query.query_id
+    }
+
+    /// Block the current thread until the row is reconstructed.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the same errors as polling the future.
+    pub fn wait(self) -> Result<Vec<u8>, ServeError> {
+        oneshot::block_on(self)
+    }
+
+    fn poll_side(
+        rx: &mut Option<Receiver<Result<PirResponse, ServeError>>>,
+        slot: &mut Option<PirResponse>,
+        cx: &mut Context<'_>,
+    ) -> Result<(), Option<ServeError>> {
+        if slot.is_some() {
+            return Ok(());
+        }
+        let receiver = rx.as_mut().expect("receiver live until slot filled");
+        match Pin::new(receiver).poll(cx) {
+            Poll::Pending => Err(None),
+            Poll::Ready(Err(oneshot::Canceled)) => Err(Some(ServeError::ShuttingDown)),
+            Poll::Ready(Ok(Err(err))) => Err(Some(err)),
+            Poll::Ready(Ok(Ok(response))) => {
+                *slot = Some(response);
+                *rx = None;
+                Ok(())
+            }
+        }
+    }
+}
+
+impl Future for PendingQuery {
+    type Output = Result<Vec<u8>, ServeError>;
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+        let this = self.get_mut();
+
+        // Poll *both* sides even if the first is pending, so each registers
+        // its waker and either server can wake this future.
+        let side0 = Self::poll_side(&mut this.rx0, &mut this.response0, cx);
+        let side1 = Self::poll_side(&mut this.rx1, &mut this.response1, cx);
+        for side in [&side0, &side1] {
+            if let Err(Some(err)) = side {
+                this.hosted.stats.failed.fetch_add(1, Ordering::Relaxed);
+                return Poll::Ready(Err(err.clone()));
+            }
+        }
+        if side0.is_err() || side1.is_err() {
+            return Poll::Pending;
+        }
+
+        let response0 = this.response0.take().expect("side 0 resolved");
+        let response1 = this.response1.take().expect("side 1 resolved");
+        let outcome = this
+            .hosted
+            .client
+            .reconstruct(&this.query, &response0, &response1)
+            .map_err(ServeError::from);
+        match &outcome {
+            Ok(_) => {
+                this.hosted.stats.answered.fetch_add(1, Ordering::Relaxed);
+                let elapsed_ms = this.submitted_at.elapsed().as_secs_f64() * 1e3;
+                this.hosted.stats.e2e.lock().record_ms(elapsed_ms);
+            }
+            Err(_) => {
+                this.hosted.stats.failed.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        Poll::Ready(outcome)
+    }
+}

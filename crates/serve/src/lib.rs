@@ -1,0 +1,75 @@
+//! `pir-serve` — an async, multi-tenant PIR serving runtime with dynamic
+//! batching and device sharding.
+//!
+//! The paper's central systems observation (§3.2.1, §3.2.5) is that DPF-based
+//! PIR only reaches practical throughput when many queries are *batched* onto
+//! the GPU: a single Eval cannot fill the device for realistic table sizes,
+//! so the scheduler maps one query per thread block and amortizes the kernel
+//! launch over the whole batch. The protocol crates expose that machinery to
+//! callers who already *have* a batch in hand — but a deployed service
+//! receives queries one at a time, from thousands of independent clients.
+//! This crate closes that gap with the batching-as-a-service shape production
+//! inference servers use:
+//!
+//! * **[`PirServeRuntime`]** hosts many named tables (a *table registry*),
+//!   each with its own PRF family, scheduler thresholds and — for tables
+//!   larger than one device — sharding across several simulated `gpu_sim`
+//!   devices via [`pir_protocol::ShardedGpuServer`].
+//! * A **dynamic batch former** per (table, server) pair collects in-flight
+//!   queries under a *max-batch-size / max-wait-time* policy and submits each
+//!   formed batch through the §3.2.5 scheduler as one
+//!   [`pir_dpf::ExecutionPlan`], so concurrent requests amortize kernel
+//!   launches exactly as the paper prescribes without coordinating with each
+//!   other.
+//! * An **admission/backpressure layer** — bounded per-(table, server) queues
+//!   and per-tenant in-flight quotas — sheds load with typed
+//!   [`ServeError`]s instead of letting latency collapse.
+//! * **Telemetry** ([`StatsSnapshot`]) exports queue depth, batch occupancy
+//!   and p50/p99 latency built on [`pir_core::LatencyHistogram`].
+//! * **[`ServeHandle`]** is the clonable client API: `query(table, tenant,
+//!   index)` admits a lookup and returns a [`PendingQuery`] — a plain
+//!   [`std::future::Future`] — which either resolves on the caller's
+//!   executor or synchronously via [`PendingQuery::wait`] /
+//!   [`block_on`].
+//!
+//! # Example
+//!
+//! ```rust
+//! use pir_protocol::PirTable;
+//! use pir_serve::{PirServeRuntime, ServeConfig, TableConfig};
+//!
+//! let runtime = PirServeRuntime::new(ServeConfig::default());
+//! let table = PirTable::generate(1 << 10, 16, |row, offset| (row as u8) ^ (offset as u8));
+//! runtime
+//!     .register_table("embeddings", table.clone(), TableConfig::default())
+//!     .unwrap();
+//!
+//! let handle = runtime.handle();
+//! let row = handle.query("embeddings", "tenant-0", 42).unwrap().wait().unwrap();
+//! assert_eq!(row, table.entry(42));
+//!
+//! let stats = runtime.stats();
+//! assert_eq!(stats.answered(), 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod admission;
+mod batcher;
+pub mod config;
+pub mod error;
+mod handle;
+mod oneshot;
+mod registry;
+mod runtime;
+pub mod stats;
+
+pub use config::{
+    AdmissionPolicy, BatchPolicy, ServeConfig, ServeConfigBuilder, TableConfig, TableConfigBuilder,
+};
+pub use error::ServeError;
+pub use handle::{PendingQuery, ServeHandle};
+pub use oneshot::block_on;
+pub use runtime::PirServeRuntime;
+pub use stats::{StatsSnapshot, TableStatsSnapshot};

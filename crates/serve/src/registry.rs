@@ -1,0 +1,275 @@
+//! The table registry: many named tables, each with its own protocol
+//! parameters, device sharding and batch-formation queues.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Instant;
+
+use parking_lot::{Condvar, Mutex, RwLock};
+use pir_protocol::{
+    GpuPirServer, PirClient, PirResponse, PirServer, PirTable, ServerQuery, ShardedGpuServer,
+};
+
+use crate::config::TableConfig;
+use crate::error::ServeError;
+use crate::oneshot;
+use crate::stats::TableStats;
+
+/// One query waiting in a batch former's queue.
+pub(crate) struct PendingEntry {
+    pub query: ServerQuery,
+    pub enqueued_at: Instant,
+    pub responder: oneshot::Sender<Result<PirResponse, ServeError>>,
+}
+
+#[derive(Default)]
+pub(crate) struct QueueState {
+    pub entries: std::collections::VecDeque<PendingEntry>,
+    pub closed: bool,
+}
+
+/// The bounded queue feeding one (table, server) batch former.
+#[derive(Default)]
+pub(crate) struct BatchQueue {
+    pub state: Mutex<QueueState>,
+    pub arrived: Condvar,
+}
+
+impl BatchQueue {
+    pub(crate) fn depth(&self) -> usize {
+        self.state.lock().entries.len()
+    }
+
+    pub(crate) fn close(&self) {
+        self.state.lock().closed = true;
+        self.arrived.notify_all();
+    }
+}
+
+/// A table hosted by the runtime: client state, two non-colluding server
+/// replicas (possibly sharded over several devices) and their batch queues.
+pub(crate) struct HostedTable {
+    pub name: String,
+    pub config: TableConfig,
+    pub table: PirTable,
+    pub client: PirClient,
+    pub servers: [Box<dyn PirServer>; 2],
+    pub queues: [BatchQueue; 2],
+    pub stats: TableStats,
+}
+
+impl HostedTable {
+    pub(crate) fn build(
+        name: &str,
+        table: PirTable,
+        config: TableConfig,
+    ) -> Result<Self, ServeError> {
+        // The shard decomposition needs one subtree per device; reject
+        // configs the DPF domain cannot satisfy with a typed error instead
+        // of panicking inside the server constructor.
+        // Must match DpfParams::for_domain: a 1-entry table has a depth-0
+        // tree and therefore admits exactly one shard.
+        let split_bits = (config.shards as u64).next_power_of_two().trailing_zeros();
+        let domain_bits = if table.entries() <= 1 {
+            0
+        } else {
+            64 - (table.entries() - 1).leading_zeros()
+        };
+        if split_bits > domain_bits {
+            return Err(ServeError::InvalidConfig(format!(
+                "cannot shard a table of {} entries across {} devices",
+                table.entries(),
+                config.shards
+            )));
+        }
+        let make_server = || -> Box<dyn PirServer> {
+            if config.shards > 1 {
+                Box::new(ShardedGpuServer::with_v100_shards(
+                    table.clone(),
+                    config.prf_kind,
+                    config.shards,
+                ))
+            } else {
+                Box::new(GpuPirServer::new(
+                    table.clone(),
+                    config.prf_kind,
+                    gpu_sim::DeviceSpec::v100(),
+                    config.scheduler,
+                ))
+            }
+        };
+        Ok(Self {
+            name: name.to_string(),
+            client: PirClient::new(table.schema(), config.prf_kind),
+            servers: [make_server(), make_server()],
+            queues: [BatchQueue::default(), BatchQueue::default()],
+            stats: TableStats::default(),
+            config,
+            table,
+        })
+    }
+
+    /// Atomically enqueue the two server projections of one query, or shed.
+    ///
+    /// Both queue locks are taken in a fixed order so concurrent enqueuers
+    /// cannot deadlock, and capacity is checked on both before either push —
+    /// a query is either fully admitted or not admitted at all.
+    pub(crate) fn enqueue_pair(
+        &self,
+        capacity: usize,
+        to0: PendingEntry,
+        to1: PendingEntry,
+    ) -> Result<(), ServeError> {
+        let mut q0 = self.queues[0].state.lock();
+        let mut q1 = self.queues[1].state.lock();
+        if q0.closed || q1.closed {
+            return Err(ServeError::ShuttingDown);
+        }
+        let depth = q0.entries.len().max(q1.entries.len());
+        if depth >= capacity {
+            return Err(ServeError::QueueFull {
+                table: self.name.clone(),
+                depth,
+            });
+        }
+        q0.entries.push_back(to0);
+        q1.entries.push_back(to1);
+        drop(q0);
+        drop(q1);
+        self.queues[0].arrived.notify_one();
+        self.queues[1].arrived.notify_one();
+        Ok(())
+    }
+}
+
+/// The runtime's collection of hosted tables.
+#[derive(Default)]
+pub(crate) struct TableRegistry {
+    tables: RwLock<HashMap<String, Arc<HostedTable>>>,
+}
+
+impl TableRegistry {
+    pub(crate) fn insert(&self, hosted: Arc<HostedTable>) -> Result<(), ServeError> {
+        let mut tables = self.tables.write();
+        if tables.contains_key(&hosted.name) {
+            return Err(ServeError::TableExists(hosted.name.clone()));
+        }
+        tables.insert(hosted.name.clone(), hosted);
+        Ok(())
+    }
+
+    pub(crate) fn get(&self, name: &str) -> Result<Arc<HostedTable>, ServeError> {
+        self.tables
+            .read()
+            .get(name)
+            .cloned()
+            .ok_or_else(|| ServeError::UnknownTable(name.to_string()))
+    }
+
+    pub(crate) fn names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.tables.read().keys().cloned().collect();
+        names.sort();
+        names
+    }
+
+    pub(crate) fn all(&self) -> Vec<Arc<HostedTable>> {
+        let mut all: Vec<Arc<HostedTable>> = self.tables.read().values().cloned().collect();
+        all.sort_by(|a, b| a.name.cmp(&b.name));
+        all
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pir_prf::PrfKind;
+
+    fn hosted(name: &str) -> Arc<HostedTable> {
+        let table = PirTable::generate(64, 8, |row, _| row as u8);
+        Arc::new(HostedTable::build(name, table, TableConfig::default()).expect("valid table"))
+    }
+
+    #[test]
+    fn registry_inserts_and_rejects_duplicates() {
+        let registry = TableRegistry::default();
+        registry.insert(hosted("users")).unwrap();
+        registry.insert(hosted("items")).unwrap();
+        assert_eq!(registry.names(), vec!["items", "users"]);
+        assert!(matches!(
+            registry.insert(hosted("users")),
+            Err(ServeError::TableExists(_))
+        ));
+        assert!(registry.get("users").is_ok());
+        assert!(matches!(
+            registry.get("ghosts"),
+            Err(ServeError::UnknownTable(_))
+        ));
+    }
+
+    #[test]
+    fn sharded_tables_get_sharded_servers() {
+        let table = PirTable::generate(256, 8, |row, _| row as u8);
+        let config = TableConfig::builder()
+            .prf_kind(PrfKind::SipHash)
+            .shards(4)
+            .build()
+            .unwrap();
+        let hosted = HostedTable::build("big", table, config).expect("valid table");
+        // Both replicas serve the same schema through the trait.
+        assert_eq!(hosted.servers[0].schema(), hosted.servers[1].schema());
+        assert_eq!(hosted.servers[0].schema().entries, 256);
+    }
+
+    fn entry(hosted: &HostedTable, party: u8) -> PendingEntry {
+        let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(1);
+        let query = hosted.client.query(3, &mut rng);
+        let (tx, _rx) = oneshot::channel();
+        PendingEntry {
+            query: query.to_server(party),
+            enqueued_at: Instant::now(),
+            responder: tx,
+        }
+    }
+
+    #[test]
+    fn enqueue_respects_capacity() {
+        let hosted = hosted("capped");
+        hosted
+            .enqueue_pair(1, entry(&hosted, 0), entry(&hosted, 1))
+            .unwrap();
+        let err = hosted
+            .enqueue_pair(1, entry(&hosted, 0), entry(&hosted, 1))
+            .unwrap_err();
+        assert!(matches!(err, ServeError::QueueFull { depth: 1, .. }));
+        assert_eq!(hosted.queues[0].depth(), 1);
+        assert_eq!(hosted.queues[1].depth(), 1);
+    }
+
+    #[test]
+    fn oversharded_tables_are_rejected_with_typed_error() {
+        let table = PirTable::generate(4, 8, |row, _| row as u8);
+        let config = TableConfig::builder().shards(64).build().unwrap();
+        let err = match HostedTable::build("tiny", table, config) {
+            Err(err) => err,
+            Ok(_) => panic!("oversharded table must be rejected"),
+        };
+        assert!(matches!(err, ServeError::InvalidConfig(_)));
+        assert!(err.to_string().contains("4 entries"));
+
+        // A 1-entry table has a depth-0 DPF tree: even 2 shards must be
+        // rejected here rather than panicking on the first query.
+        let singleton = PirTable::generate(1, 8, |row, _| row as u8);
+        let config = TableConfig::builder().shards(2).build().unwrap();
+        assert!(HostedTable::build("one", singleton, config).is_err());
+    }
+
+    #[test]
+    fn closed_queues_shed_with_shutting_down() {
+        let hosted = hosted("closing");
+        hosted.queues[0].close();
+        let err = hosted
+            .enqueue_pair(8, entry(&hosted, 0), entry(&hosted, 1))
+            .unwrap_err();
+        assert_eq!(err, ServeError::ShuttingDown);
+    }
+}

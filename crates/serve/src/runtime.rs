@@ -1,0 +1,365 @@
+//! The serving runtime: owns the registry, the batch-former workers and the
+//! shared admission/telemetry state.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use parking_lot::Mutex;
+use pir_protocol::PirTable;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::admission::Admission;
+use crate::batcher::run_batch_former;
+use crate::config::{ServeConfig, TableConfig};
+use crate::error::ServeError;
+use crate::handle::ServeHandle;
+use crate::registry::{HostedTable, TableRegistry};
+use crate::stats::{StatsSnapshot, TableStatsSnapshot};
+
+pub(crate) struct RuntimeInner {
+    pub registry: TableRegistry,
+    pub admission: Arc<Admission>,
+    pub seed: u64,
+    pub rng_streams: AtomicU64,
+    pub shutting_down: AtomicBool,
+}
+
+impl RuntimeInner {
+    /// A deterministic, per-query RNG: stream `n` of the runtime seed.
+    ///
+    /// Lock-free so concurrent submitters can generate DPF keys in
+    /// parallel; `StdRng::seed_from_u64` already SplitMix-expands the
+    /// combined value, so consecutive streams are uncorrelated.
+    pub(crate) fn query_rng(&self) -> StdRng {
+        let stream = self.rng_streams.fetch_add(1, Ordering::Relaxed);
+        StdRng::seed_from_u64(self.seed ^ stream.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+    }
+
+    pub(crate) fn stats_snapshot(&self) -> StatsSnapshot {
+        let tables = self
+            .registry
+            .all()
+            .into_iter()
+            .map(|hosted| {
+                let stats = &hosted.stats;
+                // One sort per histogram for both quantiles, and the locks
+                // (contended by the batch formers and the answer path) are
+                // released before assembling the snapshot.
+                let (queue_quantiles, e2e_quantiles, e2e_mean) = {
+                    let queue_wait = stats.queue_wait.lock();
+                    let e2e = stats.e2e.lock();
+                    (
+                        queue_wait.quantiles_ms(&[0.50, 0.99]),
+                        e2e.quantiles_ms(&[0.50, 0.99]),
+                        e2e.mean_ms(),
+                    )
+                };
+                TableStatsSnapshot {
+                    table: hosted.name.clone(),
+                    submitted: stats.submitted.load(Ordering::Relaxed),
+                    answered: stats.answered.load(Ordering::Relaxed),
+                    shed: stats.shed.load(Ordering::Relaxed),
+                    failed: stats.failed.load(Ordering::Relaxed),
+                    batches: stats.batches.load(Ordering::Relaxed),
+                    batched_queries: stats.batched_queries.load(Ordering::Relaxed),
+                    max_batch: stats.max_batch.load(Ordering::Relaxed),
+                    queue_depths: [hosted.queues[0].depth(), hosted.queues[1].depth()],
+                    queue_p50_ms: queue_quantiles[0],
+                    queue_p99_ms: queue_quantiles[1],
+                    e2e_p50_ms: e2e_quantiles[0],
+                    e2e_p99_ms: e2e_quantiles[1],
+                    e2e_mean_ms: e2e_mean,
+                }
+            })
+            .collect();
+        StatsSnapshot { tables }
+    }
+}
+
+/// The multi-tenant serving runtime.
+///
+/// Owns every hosted table plus two batch-former worker threads per table
+/// (one per non-colluding server). Dropping the runtime shuts it down
+/// gracefully: queues close, already-admitted queries are answered, workers
+/// exit.
+pub struct PirServeRuntime {
+    inner: Arc<RuntimeInner>,
+    workers: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl PirServeRuntime {
+    /// Create an empty runtime.
+    #[must_use]
+    pub fn new(config: ServeConfig) -> Self {
+        Self {
+            inner: Arc::new(RuntimeInner {
+                admission: Arc::new(Admission::new(config.admission)),
+                registry: TableRegistry::default(),
+                seed: config.seed,
+                rng_streams: AtomicU64::new(0),
+                shutting_down: AtomicBool::new(false),
+            }),
+            workers: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Create a runtime with default configuration.
+    #[must_use]
+    pub fn with_defaults() -> Self {
+        Self::new(ServeConfig::default())
+    }
+
+    /// Register a table and start its two batch formers.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::TableExists`] for duplicate names and
+    /// [`ServeError::ShuttingDown`] after shutdown has begun.
+    pub fn register_table(
+        &self,
+        name: &str,
+        table: PirTable,
+        config: TableConfig,
+    ) -> Result<(), ServeError> {
+        // The workers lock brackets flag check + registry insert + spawn so a
+        // concurrent shutdown (which takes the same lock before closing
+        // queues) either sees this table fully registered or rejects us —
+        // never a spawned worker whose queue nobody will ever close.
+        let mut workers = self.workers.lock();
+        if self.inner.shutting_down.load(Ordering::SeqCst) {
+            return Err(ServeError::ShuttingDown);
+        }
+        let hosted = Arc::new(HostedTable::build(name, table, config)?);
+        self.inner.registry.insert(Arc::clone(&hosted))?;
+
+        for party in 0..2 {
+            let hosted = Arc::clone(&hosted);
+            workers.push(
+                std::thread::Builder::new()
+                    .name(format!("batcher-{name}-{party}"))
+                    .spawn(move || run_batch_former(hosted, party))
+                    .expect("spawn batch former"),
+            );
+        }
+        Ok(())
+    }
+
+    /// A clonable client handle.
+    #[must_use]
+    pub fn handle(&self) -> ServeHandle {
+        ServeHandle {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+
+    /// A point-in-time statistics snapshot.
+    #[must_use]
+    pub fn stats(&self) -> StatsSnapshot {
+        self.inner.stats_snapshot()
+    }
+
+    /// Shut down gracefully: stop admitting, answer everything already
+    /// queued, join the workers. Idempotent.
+    pub fn shutdown(&self) {
+        self.inner.shutting_down.store(true, Ordering::SeqCst);
+        let workers = {
+            // Taken *after* the flag is set: an in-flight register_table
+            // either completed under this lock (its queues get closed
+            // below) or will observe the flag and bail.
+            let mut workers = self.workers.lock();
+            for hosted in self.inner.registry.all() {
+                hosted.queues[0].close();
+                hosted.queues[1].close();
+            }
+            std::mem::take(&mut *workers)
+        };
+        for worker in workers {
+            let _ = worker.join();
+        }
+    }
+}
+
+impl Drop for PirServeRuntime {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+impl std::fmt::Debug for PirServeRuntime {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PirServeRuntime")
+            .field("tables", &self.inner.registry.names())
+            .field(
+                "shutting_down",
+                &self.inner.shutting_down.load(Ordering::Relaxed),
+            )
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::TableConfig;
+    use pir_prf::PrfKind;
+    use std::time::Duration;
+
+    fn runtime_with_table(name: &str, entries: u64) -> PirServeRuntime {
+        let runtime = PirServeRuntime::new(ServeConfig::builder().seed(11).build().unwrap());
+        let table = PirTable::generate(entries, 12, |row, offset| {
+            (row as u8).wrapping_mul(5).wrapping_add(offset as u8)
+        });
+        let config = TableConfig::builder()
+            .prf_kind(PrfKind::SipHash)
+            .max_batch(16)
+            .max_wait(Duration::from_millis(1))
+            .build()
+            .unwrap();
+        runtime.register_table(name, table, config).unwrap();
+        runtime
+    }
+
+    #[test]
+    fn roundtrip_through_the_runtime() {
+        let runtime = runtime_with_table("emb", 200);
+        let handle = runtime.handle();
+        let expected = |row: u64| {
+            (0..12)
+                .map(|offset| (row as u8).wrapping_mul(5).wrapping_add(offset as u8))
+                .collect::<Vec<u8>>()
+        };
+        for index in [0u64, 7, 199] {
+            let row = handle
+                .query("emb", "tenant-a", index)
+                .unwrap()
+                .wait()
+                .unwrap();
+            assert_eq!(row, expected(index), "index {index}");
+        }
+        let stats = runtime.stats();
+        assert_eq!(stats.answered(), 3);
+        let table = stats.table("emb").unwrap();
+        assert_eq!(table.submitted, 3);
+        assert!(table.e2e_p50_ms.is_some());
+        assert!(table.queue_p99_ms.is_some());
+    }
+
+    #[test]
+    fn unknown_tables_and_bad_indices_are_typed_errors() {
+        let runtime = runtime_with_table("emb", 50);
+        let handle = runtime.handle();
+        assert!(matches!(
+            handle.query("nope", "t", 0),
+            Err(ServeError::UnknownTable(_))
+        ));
+        assert!(matches!(
+            handle.query("emb", "t", 50),
+            Err(ServeError::IndexOutOfRange {
+                index: 50,
+                entries: 50
+            })
+        ));
+    }
+
+    #[test]
+    fn shutdown_is_graceful_and_idempotent() {
+        let runtime = runtime_with_table("emb", 64);
+        let handle = runtime.handle();
+        let pending = handle.query("emb", "t", 5).unwrap();
+        runtime.shutdown();
+        // The already-admitted query was still answered.
+        assert!(pending.wait().is_ok());
+        // New submissions shed.
+        assert_eq!(
+            handle.query("emb", "t", 6).unwrap_err(),
+            ServeError::ShuttingDown
+        );
+        runtime.shutdown();
+    }
+
+    #[test]
+    fn tenant_quota_sheds_excess_load() {
+        let runtime = PirServeRuntime::new(
+            ServeConfig::builder()
+                .per_tenant_quota(2)
+                .seed(3)
+                .build()
+                .unwrap(),
+        );
+        let table = PirTable::generate(64, 8, |row, _| row as u8);
+        // A long max_wait so the in-flight queries stay queued while we
+        // exceed the quota.
+        let config = TableConfig::builder()
+            .prf_kind(PrfKind::SipHash)
+            .max_batch(1024)
+            .max_wait(Duration::from_millis(250))
+            .build()
+            .unwrap();
+        runtime.register_table("emb", table, config).unwrap();
+        let handle = runtime.handle();
+
+        let q1 = handle.query("emb", "greedy", 1).unwrap();
+        let q2 = handle.query("emb", "greedy", 2).unwrap();
+        assert!(matches!(
+            handle.query("emb", "greedy", 3),
+            Err(ServeError::QuotaExceeded { quota: 2, .. })
+        ));
+        // A different tenant is still admitted.
+        let q3 = handle.query("emb", "patient", 3).unwrap();
+        assert!(q1.wait().is_ok());
+        // Completed queries release quota.
+        let q4 = handle.query("emb", "greedy", 4).unwrap();
+        for q in [q2, q3, q4] {
+            assert!(q.wait().is_ok());
+        }
+        let stats = runtime.stats();
+        assert_eq!(stats.table("emb").unwrap().shed, 1);
+    }
+
+    #[test]
+    fn queue_capacity_sheds_excess_load() {
+        let runtime = PirServeRuntime::new(
+            ServeConfig::builder()
+                .queue_capacity(2)
+                .per_tenant_quota(1000)
+                .seed(4)
+                .build()
+                .unwrap(),
+        );
+        let table = PirTable::generate(64, 8, |row, _| row as u8);
+        let config = TableConfig::builder()
+            .prf_kind(PrfKind::SipHash)
+            .max_batch(1024)
+            .max_wait(Duration::from_millis(250))
+            .build()
+            .unwrap();
+        runtime.register_table("emb", table, config).unwrap();
+        let handle = runtime.handle();
+
+        let q1 = handle.query("emb", "t", 1).unwrap();
+        let q2 = handle.query("emb", "t", 2).unwrap();
+        let shed = loop {
+            // The workers may drain the queue between submissions; keep
+            // pushing until the bounded queue rejects one.
+            match handle.query("emb", "t", 3) {
+                Err(err) => break err,
+                Ok(q) => assert!(q.wait().is_ok()),
+            }
+        };
+        assert!(matches!(shed, ServeError::QueueFull { .. }));
+        assert!(q1.wait().is_ok());
+        assert!(q2.wait().is_ok());
+    }
+
+    #[test]
+    fn duplicate_registration_is_rejected() {
+        let runtime = runtime_with_table("emb", 64);
+        let table = PirTable::generate(64, 8, |row, _| row as u8);
+        assert!(matches!(
+            runtime.register_table("emb", table, TableConfig::default()),
+            Err(ServeError::TableExists(_))
+        ));
+    }
+}

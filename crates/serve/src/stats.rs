@@ -1,0 +1,168 @@
+//! Serving telemetry: queue depth, batch occupancy and latency quantiles.
+//!
+//! Counters are updated lock-free from the hot paths; latency samples go
+//! through [`pir_core::LatencyHistogram`] behind a mutex (one lock per
+//! answered query, far off the device critical path).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use parking_lot::Mutex;
+use pir_core::LatencyHistogram;
+
+/// Internal, shared per-table statistics.
+#[derive(Debug, Default)]
+pub(crate) struct TableStats {
+    pub submitted: AtomicU64,
+    pub answered: AtomicU64,
+    pub shed: AtomicU64,
+    pub failed: AtomicU64,
+    pub batches: AtomicU64,
+    pub batched_queries: AtomicU64,
+    pub max_batch: AtomicU64,
+    pub queue_wait: Mutex<LatencyHistogram>,
+    pub e2e: Mutex<LatencyHistogram>,
+}
+
+impl TableStats {
+    pub(crate) fn record_batch(&self, size: usize) {
+        self.batches.fetch_add(1, Ordering::Relaxed);
+        self.batched_queries
+            .fetch_add(size as u64, Ordering::Relaxed);
+        self.max_batch.fetch_max(size as u64, Ordering::Relaxed);
+    }
+}
+
+/// Point-in-time statistics of one hosted table.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct TableStatsSnapshot {
+    /// Table name.
+    pub table: String,
+    /// Queries admitted past the backpressure layer.
+    pub submitted: u64,
+    /// Queries fully answered (both shares delivered and reconstructed).
+    pub answered: u64,
+    /// Queries shed by backpressure (queue full / quota / shutdown).
+    pub shed: u64,
+    /// Queries failed by the protocol layer.
+    pub failed: u64,
+    /// Device batches submitted across both servers.
+    pub batches: u64,
+    /// Queries carried by those batches.
+    pub batched_queries: u64,
+    /// Largest single batch observed.
+    pub max_batch: u64,
+    /// Current depth of the two (table, server) queues.
+    pub queue_depths: [usize; 2],
+    /// Median time a query waited in the batch former, in milliseconds.
+    pub queue_p50_ms: Option<f64>,
+    /// 99th-percentile batch-former wait, in milliseconds.
+    pub queue_p99_ms: Option<f64>,
+    /// Median end-to-end (submit → reconstructed) latency, in milliseconds.
+    pub e2e_p50_ms: Option<f64>,
+    /// 99th-percentile end-to-end latency, in milliseconds.
+    pub e2e_p99_ms: Option<f64>,
+    /// Mean end-to-end latency, in milliseconds.
+    pub e2e_mean_ms: Option<f64>,
+}
+
+impl TableStatsSnapshot {
+    /// Mean queries per device batch — the dynamic batcher's whole purpose
+    /// is to push this above 1 under concurrent load (§3.2.1).
+    #[must_use]
+    pub fn batch_occupancy(&self) -> f64 {
+        if self.batches == 0 {
+            return 0.0;
+        }
+        self.batched_queries as f64 / self.batches as f64
+    }
+}
+
+/// Point-in-time statistics of the whole runtime.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct StatsSnapshot {
+    /// One entry per hosted table.
+    pub tables: Vec<TableStatsSnapshot>,
+}
+
+impl StatsSnapshot {
+    /// Total queries answered across tables.
+    #[must_use]
+    pub fn answered(&self) -> u64 {
+        self.tables.iter().map(|t| t.answered).sum()
+    }
+
+    /// Total queries shed across tables.
+    #[must_use]
+    pub fn shed(&self) -> u64 {
+        self.tables.iter().map(|t| t.shed).sum()
+    }
+
+    /// Queries-per-batch across every device batch in the runtime.
+    #[must_use]
+    pub fn batch_occupancy(&self) -> f64 {
+        let batches: u64 = self.tables.iter().map(|t| t.batches).sum();
+        if batches == 0 {
+            return 0.0;
+        }
+        let queries: u64 = self.tables.iter().map(|t| t.batched_queries).sum();
+        queries as f64 / batches as f64
+    }
+
+    /// Look up one table's snapshot by name.
+    #[must_use]
+    pub fn table(&self, name: &str) -> Option<&TableStatsSnapshot> {
+        self.tables.iter().find(|t| t.table == name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn occupancy_is_queries_per_batch() {
+        let stats = TableStats::default();
+        stats.record_batch(10);
+        stats.record_batch(30);
+        assert_eq!(stats.batches.load(Ordering::Relaxed), 2);
+        assert_eq!(stats.batched_queries.load(Ordering::Relaxed), 40);
+        assert_eq!(stats.max_batch.load(Ordering::Relaxed), 30);
+
+        let snapshot = TableStatsSnapshot {
+            batches: 2,
+            batched_queries: 40,
+            ..TableStatsSnapshot::default()
+        };
+        assert!((snapshot.batch_occupancy() - 20.0).abs() < 1e-9);
+        assert_eq!(TableStatsSnapshot::default().batch_occupancy(), 0.0);
+    }
+
+    #[test]
+    fn runtime_snapshot_aggregates() {
+        let snapshot = StatsSnapshot {
+            tables: vec![
+                TableStatsSnapshot {
+                    table: "a".into(),
+                    answered: 10,
+                    shed: 1,
+                    batches: 2,
+                    batched_queries: 10,
+                    ..TableStatsSnapshot::default()
+                },
+                TableStatsSnapshot {
+                    table: "b".into(),
+                    answered: 20,
+                    shed: 3,
+                    batches: 3,
+                    batched_queries: 30,
+                    ..TableStatsSnapshot::default()
+                },
+            ],
+        };
+        assert_eq!(snapshot.answered(), 30);
+        assert_eq!(snapshot.shed(), 4);
+        assert!((snapshot.batch_occupancy() - 8.0).abs() < 1e-9);
+        assert!(snapshot.table("a").is_some());
+        assert!(snapshot.table("missing").is_none());
+    }
+}

@@ -1,0 +1,197 @@
+//! Property tests of the dynamic batch former, as required by the serving
+//! runtime's contract:
+//!
+//! (a) every admitted query is answered exactly once,
+//! (b) no device batch exceeds the configured maximum size,
+//! (c) reconstruction still yields the correct row under batching.
+
+use std::time::Duration;
+
+use pir_protocol::PirTable;
+use pir_serve::{PirServeRuntime, ServeConfig, ServeError, TableConfig};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn fill(row: u64, offset: usize) -> u8 {
+    (row as u8).wrapping_mul(31).wrapping_add(offset as u8)
+}
+
+fn expected_row(row: u64, entry_bytes: usize) -> Vec<u8> {
+    (0..entry_bytes).map(|offset| fill(row, offset)).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    #[test]
+    fn batching_preserves_exactly_once_and_correctness(
+        entries in 16u64..256,
+        entry_bytes in 4usize..24,
+        max_batch in 1usize..24,
+        query_count in 8usize..48,
+        seed in any::<u64>(),
+    ) {
+        let runtime = PirServeRuntime::new(
+            ServeConfig::builder().seed(seed).build().expect("valid config"),
+        );
+        let table = PirTable::generate(entries, entry_bytes, fill);
+        let config = TableConfig::builder()
+            .prf_kind(pir_prf::PrfKind::SipHash)
+            .max_batch(max_batch)
+            .max_wait(Duration::from_millis(1))
+            .build()
+            .expect("valid table config");
+        runtime.register_table("t", table, config).expect("register");
+        let handle = runtime.handle();
+
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xb47c4_u64);
+        let mut pending = Vec::new();
+        let mut indices = Vec::new();
+        for i in 0..query_count {
+            let index = rng.gen_range(0..entries);
+            let tenant = format!("tenant-{}", i % 3);
+            indices.push(index);
+            pending.push(handle.query("t", &tenant, index).expect("admitted"));
+        }
+
+        // (c) every reconstruction is the correct row, under whatever batch
+        // shapes the former happened to pick.
+        for (index, query) in indices.into_iter().zip(pending) {
+            let row = query.wait().expect("answered");
+            prop_assert_eq!(row, expected_row(index, entry_bytes));
+        }
+
+        let stats = runtime.stats();
+        let table_stats = stats.table("t").expect("stats for t");
+        // (a) exactly once: all admitted queries answered, none shed/failed,
+        // and each query crossed each of the two servers exactly once.
+        prop_assert_eq!(table_stats.submitted, query_count as u64);
+        prop_assert_eq!(table_stats.answered, query_count as u64);
+        prop_assert_eq!(table_stats.shed, 0);
+        prop_assert_eq!(table_stats.failed, 0);
+        prop_assert_eq!(table_stats.batched_queries, 2 * query_count as u64);
+        // (b) the former never exceeded the configured batch bound.
+        prop_assert!(
+            table_stats.max_batch <= max_batch as u64,
+            "observed batch {} > configured {}",
+            table_stats.max_batch,
+            max_batch
+        );
+        runtime.shutdown();
+    }
+}
+
+#[test]
+fn concurrent_submitters_still_get_exactly_once_answers() {
+    let runtime = PirServeRuntime::new(ServeConfig::builder().seed(99).build().unwrap());
+    let entries = 512u64;
+    let entry_bytes = 16usize;
+    let table = PirTable::generate(entries, entry_bytes, fill);
+    let config = TableConfig::builder()
+        .prf_kind(pir_prf::PrfKind::SipHash)
+        .max_batch(32)
+        .max_wait(Duration::from_millis(2))
+        .build()
+        .unwrap();
+    runtime.register_table("t", table, config).unwrap();
+
+    let threads = 8;
+    let per_thread = 25;
+    let mut joins = Vec::new();
+    for t in 0..threads {
+        let handle = runtime.handle();
+        joins.push(std::thread::spawn(move || {
+            let mut rng = StdRng::seed_from_u64(1000 + t);
+            for _ in 0..per_thread {
+                let index = rng.gen_range(0..entries);
+                let row = handle
+                    .query("t", &format!("tenant-{t}"), index)
+                    .expect("admitted")
+                    .wait()
+                    .expect("answered");
+                assert_eq!(row, expected_row(index, entry_bytes));
+            }
+        }));
+    }
+    for join in joins {
+        join.join().unwrap();
+    }
+
+    let stats = runtime.stats();
+    let table_stats = stats.table("t").unwrap();
+    assert_eq!(table_stats.answered, threads * per_thread);
+    assert_eq!(table_stats.failed, 0);
+    assert_eq!(table_stats.batched_queries, 2 * threads * per_thread);
+    assert!(table_stats.max_batch <= 32);
+}
+
+#[test]
+fn sharded_tables_serve_correct_rows_under_batching() {
+    let runtime = PirServeRuntime::new(ServeConfig::builder().seed(5).build().unwrap());
+    let entries = 1024u64;
+    let entry_bytes = 12usize;
+    let table = PirTable::generate(entries, entry_bytes, fill);
+    let config = TableConfig::builder()
+        .prf_kind(pir_prf::PrfKind::SipHash)
+        .shards(4)
+        .max_batch(16)
+        .max_wait(Duration::from_millis(1))
+        .build()
+        .unwrap();
+    runtime.register_table("big", table, config).unwrap();
+    let handle = runtime.handle();
+
+    let mut rng = StdRng::seed_from_u64(6);
+    let pending: Vec<_> = (0..40)
+        .map(|_| {
+            let index = rng.gen_range(0..entries);
+            (index, handle.query("big", "tenant", index).unwrap())
+        })
+        .collect();
+    for (index, query) in pending {
+        assert_eq!(query.wait().unwrap(), expected_row(index, entry_bytes));
+    }
+}
+
+#[test]
+fn shed_queries_are_not_answered_and_not_counted_as_answered() {
+    let runtime = PirServeRuntime::new(
+        ServeConfig::builder()
+            .per_tenant_quota(4)
+            .seed(8)
+            .build()
+            .unwrap(),
+    );
+    let table = PirTable::generate(64, 8, fill);
+    let config = TableConfig::builder()
+        .prf_kind(pir_prf::PrfKind::SipHash)
+        .max_batch(64)
+        .max_wait(Duration::from_millis(100))
+        .build()
+        .unwrap();
+    runtime.register_table("t", table, config).unwrap();
+    let handle = runtime.handle();
+
+    let mut admitted = Vec::new();
+    let mut shed = 0u64;
+    for index in 0..12u64 {
+        match handle.query("t", "one-tenant", index % 64) {
+            Ok(pending) => admitted.push(pending),
+            Err(err) => {
+                assert!(err.is_shed(), "unexpected error {err}");
+                assert!(matches!(err, ServeError::QuotaExceeded { .. }));
+                shed += 1;
+            }
+        }
+    }
+    assert!(shed > 0, "quota of 4 must shed some of 12 rapid queries");
+    let admitted_count = admitted.len() as u64;
+    for pending in admitted {
+        assert!(pending.wait().is_ok());
+    }
+    let stats = runtime.stats();
+    let table_stats = stats.table("t").unwrap();
+    assert_eq!(table_stats.answered, admitted_count);
+    assert_eq!(table_stats.shed, shed);
+}

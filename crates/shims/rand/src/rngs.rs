@@ -1,0 +1,58 @@
+//! Concrete RNG implementations.
+
+use crate::{RngCore, SeedableRng};
+
+/// A deterministic, fast RNG with the same interface as `rand::rngs::StdRng`.
+///
+/// Internally xoshiro256++ (Blackman–Vigna). Not cryptographically secure —
+/// this workspace only uses it for test vectors and simulation noise.
+#[derive(Clone, Debug)]
+pub struct StdRng {
+    s: [u64; 4],
+}
+
+impl StdRng {
+    fn from_state(s: [u64; 4]) -> Self {
+        // The all-zero state is a fixed point; nudge it.
+        if s == [0, 0, 0, 0] {
+            Self {
+                s: [0x9E37_79B9_7F4A_7C15, 1, 2, 3],
+            }
+        } else {
+            Self { s }
+        }
+    }
+}
+
+impl SeedableRng for StdRng {
+    type Seed = [u8; 32];
+
+    fn from_seed(seed: Self::Seed) -> Self {
+        let mut s = [0u64; 4];
+        for (i, word) in s.iter_mut().enumerate() {
+            let mut bytes = [0u8; 8];
+            bytes.copy_from_slice(&seed[i * 8..(i + 1) * 8]);
+            *word = u64::from_le_bytes(bytes);
+        }
+        Self::from_state(s)
+    }
+}
+
+impl RngCore for StdRng {
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let s = &mut self.s;
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+}

@@ -1,0 +1,26 @@
+//! Offline stand-in for `serde`'s derive macros.
+//!
+//! The build environment has no crates.io access, and nothing in this
+//! workspace actually serializes data yet — the `#[derive(Serialize,
+//! Deserialize)]` annotations across the crates only declare intent for a
+//! future wire format. This shim keeps those annotations compiling by
+//! providing derive macros that expand to nothing (and accept, and ignore,
+//! any `#[serde(...)]` helper attributes).
+//!
+//! When a real serialization format lands, replace this crate with the real
+//! `serde` + `serde_derive` in the workspace manifest; no source changes to
+//! the other crates should be needed.
+
+use proc_macro::TokenStream;
+
+/// No-op replacement for `serde::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op replacement for `serde::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -56,7 +56,11 @@ fn main() {
         let compromised = row[probe / 8] & (1 << (probe % 8)) != 0;
         println!(
             "'{candidate}': {} (query: {} B up / {} B down per server, bucket hidden from servers)",
-            if compromised { "COMPROMISED" } else { "not found" },
+            if compromised {
+                "COMPROMISED"
+            } else {
+                "not found"
+            },
             query.upload_bytes_per_server(),
             r0.size_bytes()
         );

@@ -36,7 +36,11 @@ fn main() {
         },
         &mut rng,
     );
-    println!("Training a {}-parameter LSTM on {} sentences...", model.parameter_count(), train.len());
+    println!(
+        "Training a {}-parameter LSTM on {} sentences...",
+        model.parameter_count(),
+        train.len()
+    );
     model.train(&train, 2);
     let clean_ppl = model.evaluate_perplexity(&test);
     println!("Perplexity with every embedding lookup served: {clean_ppl:.1}");

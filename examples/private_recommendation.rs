@@ -56,7 +56,13 @@ fn main() {
     );
 
     // Run a few real inference sessions from the (held-out) test workload.
-    let sessions: Vec<Vec<u64>> = app.test_workload().sessions.iter().take(5).cloned().collect();
+    let sessions: Vec<Vec<u64>> = app
+        .test_workload()
+        .sessions
+        .iter()
+        .take(5)
+        .cloned()
+        .collect();
     for (i, session) in sessions.iter().enumerate() {
         let outcome = system.infer(session, &mut rng).expect("inference succeeds");
         // Pool whatever embeddings were retrieved (dropped ones are skipped,

@@ -42,15 +42,23 @@ fn main() {
     );
 
     // Each server answers independently; it only ever sees one DPF key.
-    let response0 = server0.answer(&query.to_server(0)).expect("server 0 answers");
-    let response1 = server1.answer(&query.to_server(1)).expect("server 1 answers");
+    let response0 = server0
+        .answer(&query.to_server(0))
+        .expect("server 0 answers");
+    let response1 = server1
+        .answer(&query.to_server(1))
+        .expect("server 1 answers");
 
     // The client combines the two additive shares.
     let row = client
         .reconstruct(&query, &response0, &response1)
         .expect("shares combine");
     assert_eq!(row, table.entry(secret_index));
-    println!("Reconstructed entry {} correctly: {:02x?}...", secret_index, &row[..8]);
+    println!(
+        "Reconstructed entry {} correctly: {:02x?}...",
+        secret_index,
+        &row[..8]
+    );
 
     // The simulated V100 reports what the evaluation cost.
     let report = server0.last_report().expect("a kernel ran");

@@ -12,3 +12,4 @@ pub use pir_field;
 pub use pir_ml;
 pub use pir_prf;
 pub use pir_protocol;
+pub use pir_serve;

@@ -1,12 +1,16 @@
 //! Cross-crate integration tests: the full pipeline from dataset generation
 //! through key generation, simulated-GPU evaluation and reconstruction.
 
+use std::time::Duration;
+
 use gpu_pir_repro::pir_core::{Application, PrivateInferenceSystem, SystemConfig};
 use gpu_pir_repro::pir_ml::datasets::{DatasetKind, DatasetScale, SyntheticDataset};
 use gpu_pir_repro::pir_prf::PrfKind;
 use gpu_pir_repro::pir_protocol::{
     CodesignParams, CpuPirServer, FullTableMode, GpuPirServer, PirClient, PirServer, PirTable,
+    ShardedGpuServer,
 };
+use gpu_pir_repro::pir_serve::{PirServeRuntime, ServeConfig, TableConfig};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -24,7 +28,9 @@ fn reconstructed_matches_reference(app: &Application, system: &PrivateInferenceS
         let unique: std::collections::HashSet<u64> = session.iter().copied().collect();
         assert_eq!(
             outcome.embeddings.len() + outcome.dropped.len(),
-            unique.len().max(outcome.embeddings.len() + outcome.dropped.len())
+            unique
+                .len()
+                .max(outcome.embeddings.len() + outcome.dropped.len())
                 .min(unique.len() + outcome.dropped.len())
         );
     }
@@ -93,7 +99,9 @@ fn query_counts_do_not_depend_on_private_demand() {
     );
     let mut rng = StdRng::seed_from_u64(8);
     let light = system.infer(&[1], &mut rng).unwrap();
-    let heavy_indices: Vec<u64> = (0..40u64).map(|i| i * 13 % app.dataset().table_entries).collect();
+    let heavy_indices: Vec<u64> = (0..40u64)
+        .map(|i| i * 13 % app.dataset().table_entries)
+        .collect();
     let heavy = system.infer(&heavy_indices, &mut rng).unwrap();
     assert_eq!(light.queries_issued, heavy.queries_issued);
     assert_eq!(light.upload_bytes, heavy.upload_bytes);
@@ -113,8 +121,98 @@ fn cpu_and_gpu_servers_are_interchangeable_parties() {
         let query = client.query(index, &mut rng);
         let r0 = gpu.answer(&query.to_server(0)).unwrap();
         let r1 = cpu.answer(&query.to_server(1)).unwrap();
-        assert_eq!(client.reconstruct(&query, &r0, &r1).unwrap(), table.entry(index));
+        assert_eq!(
+            client.reconstruct(&query, &r0, &r1).unwrap(),
+            table.entry(index)
+        );
     }
     assert!(gpu.metrics().queries_served >= 5);
     assert!(cpu.metrics().queries_served >= 5);
+}
+
+#[test]
+fn sharded_and_single_device_servers_are_interchangeable_parties() {
+    // A table sharded across 4 simulated devices on one side and a single
+    // V100 on the other still reconstructs: sharding is server-local.
+    let table = PirTable::generate(1 << 10, 24, |row, offset| {
+        (row as u8).wrapping_add(offset as u8)
+    });
+    let client = PirClient::new(table.schema(), PrfKind::SipHash);
+    let sharded = ShardedGpuServer::with_v100_shards(table.clone(), PrfKind::SipHash, 4);
+    let single = GpuPirServer::with_defaults(table.clone(), PrfKind::SipHash);
+    let mut rng = StdRng::seed_from_u64(10);
+
+    for _ in 0..4 {
+        let index = rng.gen_range(0..table.entries());
+        let query = client.query(index, &mut rng);
+        let r0 = sharded.answer(&query.to_server(0)).unwrap();
+        let r1 = single.answer(&query.to_server(1)).unwrap();
+        assert_eq!(
+            client.reconstruct(&query, &r0, &r1).unwrap(),
+            table.entry(index)
+        );
+    }
+}
+
+#[test]
+fn serving_runtime_batches_concurrent_queries_across_tables() {
+    // End-to-end through the new serving layer: two hosted tables, many
+    // concurrent clients, every row must reconstruct and dynamic batching
+    // must demonstrably coalesce queries (occupancy > 1).
+    let runtime = PirServeRuntime::new(ServeConfig::builder().seed(42).build().unwrap());
+    let shapes: &[(&str, u64, usize)] = &[("users", 1 << 10, 16), ("items", 1 << 9, 8)];
+    for &(name, entries, entry_bytes) in shapes {
+        let table = PirTable::generate(entries, entry_bytes, |row, offset| {
+            (row as u8).wrapping_mul(13).wrapping_add(offset as u8)
+        });
+        let config = TableConfig::builder()
+            .prf_kind(PrfKind::SipHash)
+            .max_batch(32)
+            .max_wait(Duration::from_millis(3))
+            .build()
+            .unwrap();
+        runtime.register_table(name, table, config).unwrap();
+    }
+
+    let mut joins = Vec::new();
+    for client in 0..8u64 {
+        let handle = runtime.handle();
+        joins.push(std::thread::spawn(move || {
+            let mut rng = StdRng::seed_from_u64(100 + client);
+            for _ in 0..20 {
+                let (name, entries, entry_bytes) = if rng.gen_bool(0.5) {
+                    ("users", 1u64 << 10, 16usize)
+                } else {
+                    ("items", 1u64 << 9, 8usize)
+                };
+                let index = rng.gen_range(0..entries);
+                let row = handle
+                    .query(name, &format!("tenant-{}", client % 3), index)
+                    .unwrap()
+                    .wait()
+                    .unwrap();
+                let expected: Vec<u8> = (0..entry_bytes)
+                    .map(|offset| (index as u8).wrapping_mul(13).wrapping_add(offset as u8))
+                    .collect();
+                assert_eq!(row, expected, "row {index} of '{name}'");
+            }
+        }));
+    }
+    for join in joins {
+        join.join().unwrap();
+    }
+
+    let stats = runtime.stats();
+    assert_eq!(stats.answered(), 8 * 20);
+    assert_eq!(stats.shed(), 0);
+    assert!(
+        stats.batch_occupancy() > 1.0,
+        "8 concurrent clients must coalesce (occupancy {:.2})",
+        stats.batch_occupancy()
+    );
+    for table in &stats.tables {
+        assert!(table.e2e_p99_ms.is_some());
+        assert!(table.max_batch <= 32);
+    }
+    runtime.shutdown();
 }
