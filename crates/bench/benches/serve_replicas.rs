@@ -1,0 +1,82 @@
+//! Criterion benchmark of replica-pool dispatch in the serving runtime.
+//!
+//! Pushes a fixed wave of concurrent queries through one table while varying
+//! the per-party replica pool size. Formed batches fan out across idle
+//! replicas, so wall time per wave falls toward the host's available
+//! parallelism as the pool grows, and the *modeled* device makespan — which
+//! is independent of how many host cores drive the simulation — shrinks
+//! close to linearly; each group prints it after the timed runs.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pir_prf::PrfKind;
+use pir_protocol::PirTable;
+use pir_serve::{PirServeRuntime, ServeConfig, TableConfig};
+
+fn runtime_with_replicas(replicas: usize) -> PirServeRuntime {
+    let runtime = PirServeRuntime::new(
+        ServeConfig::builder()
+            .queue_capacity(4096)
+            .per_tenant_quota(4096)
+            .seed(29)
+            .build()
+            .expect("valid config"),
+    );
+    let table = PirTable::generate(1 << 12, 32, |row, offset| {
+        (row as u8).wrapping_add(offset as u8)
+    });
+    let config = TableConfig::builder()
+        .prf_kind(PrfKind::SipHash)
+        .replicas(replicas)
+        .max_batch(16)
+        .max_wait(Duration::from_micros(500))
+        .build()
+        .expect("valid table config");
+    runtime
+        .register_table("bench", table, config)
+        .expect("register");
+    runtime
+}
+
+/// One wave: submit `width` queries, then await them all.
+fn run_wave(runtime: &PirServeRuntime, width: usize) {
+    let handle = runtime.handle();
+    let pending: Vec<_> = (0..width)
+        .map(|i| {
+            handle
+                .query("bench", "bench-tenant", (i as u64 * 97) % (1 << 12))
+                .expect("admitted")
+        })
+        .collect();
+    for query in pending {
+        query.wait().expect("answered");
+    }
+}
+
+fn bench_replica_pools(c: &mut Criterion) {
+    let mut group = c.benchmark_group("serve_replicas_wave64");
+    for replicas in [1usize, 2, 4] {
+        let runtime = runtime_with_replicas(replicas);
+        group.bench_function(BenchmarkId::new("replicas", replicas), |b| {
+            b.iter(|| run_wave(&runtime, 64))
+        });
+        let stats = runtime.stats();
+        let snapshot = stats.table("bench").expect("stats");
+        println!(
+            "  replicas={replicas}: answered {} over modeled makespan {:.2} ms -> {:.0} q/s (device time)",
+            snapshot.answered,
+            snapshot.device_makespan_s() * 1e3,
+            snapshot.answered as f64 / snapshot.device_makespan_s().max(1e-12),
+        );
+        runtime.shutdown();
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_replica_pools
+}
+criterion_main!(benches);

@@ -9,6 +9,20 @@ use crate::recorder::KernelRecorder;
 use crate::strategy::{EvalStrategy, Subtree};
 use crate::DpfKey;
 
+/// Table rows resident on a device that owns `subtrees`, clamped to the real
+/// (unpadded) table: a subtree whose leaves all fall in the padded tail holds
+/// no rows at all.
+fn owned_rows(subtrees: &[Subtree], key: &DpfKey, table_rows: u64) -> u64 {
+    subtrees
+        .iter()
+        .map(|subtree| {
+            table_rows
+                .saturating_sub(subtree.base_index(key))
+                .min(subtree.leaf_count(key))
+        })
+        .sum()
+}
+
 /// Evaluate one DPF across several GPUs, each owning a contiguous slice of the
 /// table.
 ///
@@ -99,8 +113,13 @@ impl<'a> MultiGpuEvalJob<'a> {
                 continue;
             }
             let partial = std::sync::Mutex::new(LaneVector::zeroed(self.table.lanes_per_row()));
-            let rows_per_device = self.table.rows() as u64 / device_count as u64;
-            let resident = rows_per_device * self.table.lanes_per_row() as u64 * 4
+            // Residency follows the subtrees this device actually owns: with a
+            // non-power-of-two device count some devices own an extra subtree
+            // (3 devices -> 4 subtrees, device 0 owns two), so `rows /
+            // device_count` would undercount their table slice.
+            let resident = owned_rows(&owned, self.key, self.table.rows() as u64)
+                * self.table.lanes_per_row() as u64
+                * 4
                 + self.key.size_bytes() as u64;
             let config = LaunchConfig::linear(
                 self.blocks_per_device.min(owned.len() as u32 * 8).max(1),
@@ -295,8 +314,16 @@ impl<'a> MultiGpuBatchEvalJob<'a> {
             let partials: Vec<std::sync::Mutex<LaneVector>> = (0..self.keys.len())
                 .map(|_| std::sync::Mutex::new(LaneVector::zeroed(lanes)))
                 .collect();
-            let rows_per_device = (self.table.rows() as u64 / device_count as u64).max(1);
-            let resident = rows_per_device * lanes as u64 * 4
+            // Same ownership-aware residency rule as the single-key job: all
+            // keys share one domain, so the first key's subtree list gives the
+            // row spans this device holds.
+            let owned: Vec<Subtree> = owned_indices
+                .iter()
+                .map(|&index| subtrees_per_key[0][index])
+                .collect();
+            let resident = owned_rows(&owned, &self.keys[0], self.table.rows() as u64).max(1)
+                * lanes as u64
+                * 4
                 + key_bytes
                 + self.keys.len() as u64 * lanes as u64 * 4;
             let config = LaunchConfig::linear(
@@ -422,6 +449,48 @@ mod tests {
             multi_prf_max * 3 < single_prf,
             "{multi_prf_max} vs {single_prf}"
         );
+    }
+
+    #[test]
+    fn residency_reflects_owned_subtrees_for_non_power_of_two_devices() {
+        // 3 devices split a 2^10-row table into 4 subtrees; device 0 owns
+        // subtrees {0, 3} and must account rows for both (half the table),
+        // not rows/3.
+        let (prg, table, key_a, _key_b, _) = setup(1 << 10);
+        let executors: Vec<GpuExecutor> = (0..3)
+            .map(|_| GpuExecutor::with_host_threads(DeviceSpec::v100(), 1))
+            .collect();
+        let out = MultiGpuEvalJob::new(&prg, PrfKind::SipHash, &key_a, &table).run(&executors);
+
+        let row_bytes = table.lanes_per_row() as u64 * 4;
+        let half_table = (table.rows() as u64 / 2) * row_bytes;
+        assert!(
+            out.per_device[0].peak_memory_bytes >= half_table,
+            "device 0 owns two of four subtrees: peak {} must cover {half_table}",
+            out.per_device[0].peak_memory_bytes
+        );
+        // Devices 1 and 2 own one subtree each (a quarter of the table), so
+        // their residency stays below device 0's.
+        for report in &out.per_device[1..] {
+            assert!(report.peak_memory_bytes < out.per_device[0].peak_memory_bytes);
+        }
+
+        // The batch job applies the same ownership-aware accounting.
+        let keys = vec![key_a.clone()];
+        let batch =
+            MultiGpuBatchEvalJob::new(&prg, PrfKind::SipHash, &keys, &table).run(&executors);
+        assert!(batch.per_device[0].peak_memory_bytes >= half_table);
+    }
+
+    #[test]
+    fn owned_rows_clamps_to_real_table() {
+        let (_prg, _table, key_a, _key_b, _) = setup(1 << 6);
+        let subtrees = Subtree::split(&key_a, 2);
+        // The full split covers exactly the table.
+        assert_eq!(owned_rows(&subtrees, &key_a, 1 << 6), 1 << 6);
+        // A short table leaves the tail subtrees empty.
+        assert_eq!(owned_rows(&subtrees, &key_a, 40), 40);
+        assert_eq!(owned_rows(&subtrees[3..], &key_a, 40), 0);
     }
 
     #[test]

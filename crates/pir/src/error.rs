@@ -23,6 +23,14 @@ pub enum PirError {
     ResponseMismatch(String),
     /// A batch request violates the protocol's fixed query budget.
     BudgetViolation(String),
+    /// The table's DPF domain cannot be split across the requested number of
+    /// devices (more shards than subtrees, or zero devices).
+    InvalidSharding {
+        /// Entries in the table being sharded.
+        entries: u64,
+        /// Devices the caller asked to shard across.
+        devices: usize,
+    },
 }
 
 impl fmt::Display for PirError {
@@ -42,6 +50,12 @@ impl fmt::Display for PirError {
             }
             PirError::ResponseMismatch(msg) => write!(f, "responses do not match: {msg}"),
             PirError::BudgetViolation(msg) => write!(f, "query budget violated: {msg}"),
+            PirError::InvalidSharding { entries, devices } => {
+                write!(
+                    f,
+                    "cannot shard a table of {entries} entries across {devices} devices"
+                )
+            }
         }
     }
 }

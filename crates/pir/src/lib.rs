@@ -65,6 +65,7 @@ pub use message::{PirQuery, PirResponse, ServerQuery};
 pub use naive::{NaivePir, NaiveQuery};
 pub use pbr::{BinAssignment, PbrClient, PbrConfig, PbrServer};
 pub use server::{
-    CpuBatchTiming, CpuPirServer, GpuPirServer, PirServer, ServerMetrics, ShardedGpuServer,
+    build_replica, shard_split_bits, CpuBatchTiming, CpuPirServer, GpuPirServer, PirServer,
+    ServerMetrics, ShardedGpuServer,
 };
 pub use table::{PirTable, TableSchema};

@@ -8,12 +8,79 @@ pub use cpu::{CpuBatchTiming, CpuPirServer};
 pub use gpu::GpuPirServer;
 pub use sharded::ShardedGpuServer;
 
+use gpu_sim::DeviceSpec;
+use pir_dpf::SchedulerConfig;
 use pir_field::LaneVector;
+use pir_prf::PrfKind;
 use serde::{Deserialize, Serialize};
 
 use crate::error::PirError;
 use crate::message::{PirResponse, ServerQuery};
-use crate::table::TableSchema;
+use crate::table::{PirTable, TableSchema};
+
+/// Validate that a table of `entries` rows can be sharded across `devices`
+/// and return the number of prefix bits the DPF domain must be split on.
+///
+/// This is the single source of truth for the shard decomposition rule: the
+/// split needs one subtree per device, and — matching `DpfParams::for_domain`
+/// — a table of one entry has a depth-0 tree and therefore admits exactly
+/// one shard.
+///
+/// # Errors
+///
+/// Returns [`PirError::InvalidSharding`] if `devices` is zero or the domain
+/// is too shallow to be split that many ways.
+pub fn shard_split_bits(entries: u64, devices: usize) -> Result<u32, PirError> {
+    if devices == 0 {
+        return Err(PirError::InvalidSharding { entries, devices });
+    }
+    let split_bits = (devices as u64).next_power_of_two().trailing_zeros();
+    let domain_bits = if entries <= 1 {
+        0
+    } else {
+        64 - (entries - 1).leading_zeros()
+    };
+    if split_bits > domain_bits {
+        return Err(PirError::InvalidSharding { entries, devices });
+    }
+    Ok(split_bits)
+}
+
+/// Build one interchangeable GPU server replica for `table`: a single-device
+/// [`GpuPirServer`] when `shards == 1`, a [`ShardedGpuServer`] over `shards`
+/// V100s otherwise.
+///
+/// Serving layers that keep pools of identical replicas per party construct
+/// each member through this helper so the single/sharded split (and its
+/// validation) lives in one place.
+///
+/// # Errors
+///
+/// Returns [`PirError::InvalidSharding`] if the table cannot be split across
+/// `shards` devices.
+pub fn build_replica(
+    table: &PirTable,
+    prf_kind: PrfKind,
+    shards: usize,
+    scheduler: SchedulerConfig,
+) -> Result<Box<dyn PirServer>, PirError> {
+    shard_split_bits(table.entries(), shards)?;
+    if shards > 1 {
+        Ok(Box::new(ShardedGpuServer::new(
+            table.clone(),
+            prf_kind,
+            vec![DeviceSpec::v100(); shards],
+            scheduler,
+        )?))
+    } else {
+        Ok(Box::new(GpuPirServer::new(
+            table.clone(),
+            prf_kind,
+            DeviceSpec::v100(),
+            scheduler,
+        )))
+    }
+}
 
 /// Running totals a server keeps about the work it has done.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
@@ -139,5 +206,42 @@ mod tests {
     #[test]
     fn empty_metrics_have_zero_qps() {
         assert_eq!(ServerMetrics::default().average_qps(), 0.0);
+    }
+
+    #[test]
+    fn shard_split_bits_rounds_up_to_subtrees() {
+        // Non-power-of-two device counts need the next power of two of
+        // subtrees: 3 devices -> 4 subtrees -> 2 split bits.
+        assert_eq!(shard_split_bits(1 << 10, 1).unwrap(), 0);
+        assert_eq!(shard_split_bits(1 << 10, 2).unwrap(), 1);
+        assert_eq!(shard_split_bits(1 << 10, 3).unwrap(), 2);
+        assert_eq!(shard_split_bits(1 << 10, 5).unwrap(), 3);
+    }
+
+    #[test]
+    fn shard_split_bits_rejects_impossible_splits() {
+        assert!(matches!(
+            shard_split_bits(4, 64),
+            Err(PirError::InvalidSharding {
+                entries: 4,
+                devices: 64
+            })
+        ));
+        // A 1-entry table has a depth-0 tree: only one shard fits.
+        assert!(shard_split_bits(1, 1).is_ok());
+        assert!(shard_split_bits(1, 2).is_err());
+        assert!(shard_split_bits(16, 0).is_err());
+    }
+
+    #[test]
+    fn build_replica_picks_single_or_sharded() {
+        let table = PirTable::generate(256, 8, |row, _| row as u8);
+        let single =
+            build_replica(&table, PrfKind::SipHash, 1, SchedulerConfig::default()).unwrap();
+        let sharded =
+            build_replica(&table, PrfKind::SipHash, 3, SchedulerConfig::default()).unwrap();
+        assert_eq!(single.schema(), table.schema());
+        assert_eq!(sharded.schema(), table.schema());
+        assert!(build_replica(&table, PrfKind::SipHash, 512, SchedulerConfig::default()).is_err());
     }
 }

@@ -33,50 +33,44 @@ pub struct ShardedGpuServer {
 impl ShardedGpuServer {
     /// Create a server over an explicit list of devices.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `devices` is empty, if the table's domain cannot be split
-    /// into that many subtrees, or if the scheduler config is invalid.
-    #[must_use]
+    /// Returns [`PirError::InvalidSharding`] if `devices` is empty or the
+    /// table's domain cannot be split into that many subtrees, so serving
+    /// layers never have to pre-validate the decomposition themselves.
     pub fn new(
         table: PirTable,
         prf_kind: PrfKind,
         devices: Vec<DeviceSpec>,
         scheduler_config: SchedulerConfig,
-    ) -> Self {
-        assert!(!devices.is_empty(), "need at least one device");
-        // Must match DpfParams::for_domain: a 1-entry table has a depth-0
-        // tree and therefore admits exactly one shard.
-        let split_bits = (devices.len() as u64).next_power_of_two().trailing_zeros();
-        let domain_bits = if table.entries() <= 1 {
-            0
-        } else {
-            64 - (table.entries() - 1).leading_zeros()
-        };
-        assert!(
-            split_bits <= domain_bits,
-            "cannot shard a table of {} entries across {} devices",
-            table.entries(),
-            devices.len()
-        );
-        Self {
+    ) -> Result<Self, PirError> {
+        crate::server::shard_split_bits(table.entries(), devices.len())?;
+        Ok(Self {
             prg: GgmPrg::new(build_prf(prf_kind)),
             prf_kind,
             executors: devices.into_iter().map(GpuExecutor::new).collect(),
             scheduler: Scheduler::new(scheduler_config),
             metrics: Mutex::new(ServerMetrics::default()),
             table,
-        }
+        })
     }
 
     /// Create a server sharded across `shards` identical V100s with the
     /// default scheduler thresholds.
-    #[must_use]
-    pub fn with_v100_shards(table: PirTable, prf_kind: PrfKind, shards: usize) -> Self {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PirError::InvalidSharding`] if the table cannot be split
+    /// across `shards` devices.
+    pub fn with_v100_shards(
+        table: PirTable,
+        prf_kind: PrfKind,
+        shards: usize,
+    ) -> Result<Self, PirError> {
         Self::new(
             table,
             prf_kind,
-            vec![DeviceSpec::v100(); shards.max(1)],
+            vec![DeviceSpec::v100(); shards],
             SchedulerConfig::default(),
         )
     }
@@ -177,8 +171,8 @@ mod tests {
     fn sharded_batch_roundtrips() {
         let table = table();
         let client = PirClient::new(table.schema(), PrfKind::SipHash);
-        let s0 = ShardedGpuServer::with_v100_shards(table.clone(), PrfKind::SipHash, 4);
-        let s1 = ShardedGpuServer::with_v100_shards(table.clone(), PrfKind::SipHash, 4);
+        let s0 = ShardedGpuServer::with_v100_shards(table.clone(), PrfKind::SipHash, 4).unwrap();
+        let s1 = ShardedGpuServer::with_v100_shards(table.clone(), PrfKind::SipHash, 4).unwrap();
         assert_eq!(s0.shard_count(), 4);
         let mut rng = StdRng::seed_from_u64(91);
 
@@ -200,7 +194,8 @@ mod tests {
     fn sharded_answers_match_single_device_server() {
         let table = table();
         let client = PirClient::new(table.schema(), PrfKind::SipHash);
-        let sharded = ShardedGpuServer::with_v100_shards(table.clone(), PrfKind::SipHash, 2);
+        let sharded =
+            ShardedGpuServer::with_v100_shards(table.clone(), PrfKind::SipHash, 2).unwrap();
         let single = GpuPirServer::with_defaults(table.clone(), PrfKind::SipHash);
         let mut rng = StdRng::seed_from_u64(92);
 
@@ -212,7 +207,7 @@ mod tests {
 
     #[test]
     fn schema_mismatch_is_rejected() {
-        let server = ShardedGpuServer::with_v100_shards(table(), PrfKind::SipHash, 2);
+        let server = ShardedGpuServer::with_v100_shards(table(), PrfKind::SipHash, 2).unwrap();
         let other = PirClient::new(TableSchema::new(1024, 20), PrfKind::SipHash);
         let mut rng = StdRng::seed_from_u64(93);
         let query = other.query(3, &mut rng);
@@ -223,9 +218,51 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "cannot shard")]
-    fn too_many_shards_panic() {
+    fn too_many_shards_is_a_typed_error() {
         let tiny = PirTable::generate(4, 8, |row, _| row as u8);
-        let _ = ShardedGpuServer::with_v100_shards(tiny, PrfKind::SipHash, 64);
+        assert!(matches!(
+            ShardedGpuServer::with_v100_shards(tiny.clone(), PrfKind::SipHash, 64),
+            Err(PirError::InvalidSharding {
+                entries: 4,
+                devices: 64
+            })
+        ));
+        assert!(matches!(
+            ShardedGpuServer::new(
+                tiny,
+                PrfKind::SipHash,
+                Vec::new(),
+                SchedulerConfig::default()
+            ),
+            Err(PirError::InvalidSharding { devices: 0, .. })
+        ));
+    }
+
+    #[test]
+    fn non_power_of_two_shard_counts_reconstruct_end_to_end() {
+        // 3 devices -> 4 subtrees (device 0 owns two); 5 devices -> 8
+        // subtrees (devices 0..3 own two each). Every row must still
+        // reconstruct bit-exactly.
+        let table = table();
+        for shards in [3usize, 5] {
+            let client = PirClient::new(table.schema(), PrfKind::SipHash);
+            let s0 = ShardedGpuServer::with_v100_shards(table.clone(), PrfKind::SipHash, shards)
+                .unwrap();
+            let s1 = ShardedGpuServer::with_v100_shards(table.clone(), PrfKind::SipHash, shards)
+                .unwrap();
+            assert_eq!(s0.shard_count(), shards);
+            let mut rng = StdRng::seed_from_u64(94 + shards as u64);
+
+            let indices = [0u64, 1, 127, 128, 255, 256, 383, 384, 511];
+            let queries: Vec<_> = indices.iter().map(|i| client.query(*i, &mut rng)).collect();
+            let to0: Vec<_> = queries.iter().map(|q| q.to_server(0)).collect();
+            let to1: Vec<_> = queries.iter().map(|q| q.to_server(1)).collect();
+            let r0 = s0.answer_batch(&to0).unwrap();
+            let r1 = s1.answer_batch(&to1).unwrap();
+            for (i, index) in indices.iter().enumerate() {
+                let bytes = client.reconstruct(&queries[i], &r0[i], &r1[i]).unwrap();
+                assert_eq!(bytes, table.entry(*index), "{shards} shards, index {index}");
+            }
+        }
     }
 }

@@ -1,27 +1,42 @@
-//! The dynamic batch former: one worker per (table, server) pair.
+//! The dynamic batch former and replica dispatcher: one worker per (table,
+//! party, replica).
 //!
-//! Each worker drains its bounded queue under a *max-batch-size /
-//! max-wait-time* policy — the same two-knob formation rule production
-//! inference servers use — and submits the whole batch to its server replica
-//! in one call, where the scheduler turns it into a single
-//! [`pir_dpf::ExecutionPlan`] (strategy, grid mapping, threads per block) and
-//! launches it as one simulated kernel. Concurrent client queries therefore
-//! amortize kernel launches exactly as §3.2.1/§3.2.5 prescribe, without any
-//! client coordinating with any other.
+//! Each party's replicas drain one shared bounded queue under a
+//! *max-batch-size / max-wait-time* policy — the same two-knob formation rule
+//! production inference servers use — and submit each formed batch to their
+//! own server replica in one call, where the scheduler turns it into a single
+//! [`pir_dpf::ExecutionPlan`] and launches it as one simulated kernel.
+//! Because every replica worker competes for the same queue, a burst on a hot
+//! table naturally fans out: while replica 0 is inside `answer_batch`,
+//! replica 1's worker picks up the next formed batch instead of queueing
+//! behind it. Before launching, a worker leases the replica's devices from
+//! the runtime-wide [`DeviceBudget`](crate::budget::DeviceBudget), so
+//! cross-table load shares one fleet instead of statically partitioning it.
 
+use std::sync::atomic::Ordering;
 use std::sync::Arc;
 use std::time::Instant;
 
+use crate::budget::DeviceBudget;
 use crate::registry::{HostedTable, PendingEntry};
 
-/// Run one batch former until its queue is closed *and* drained.
+/// Run one replica's batch former until its party's queue is closed *and*
+/// drained.
 ///
 /// Shutdown is graceful by construction: closing the queue stops new
 /// arrivals, but every already-admitted query is still formed into a final
 /// batch and answered, preserving the exactly-once answer guarantee.
-pub(crate) fn run_batch_former(table: Arc<HostedTable>, party: usize) {
+/// Canceled entries are skipped at formation time — an abandoned query costs
+/// queue capacity only until the next drain, and device work never.
+pub(crate) fn run_batch_former(
+    table: Arc<HostedTable>,
+    party: usize,
+    replica: usize,
+    budget: Arc<DeviceBudget>,
+) {
     let policy = table.config.batch;
     let queue = &table.queues[party];
+    let slot = &table.pools[party][replica];
 
     loop {
         // Phase 1: wait for the first arrival (or shutdown).
@@ -48,12 +63,28 @@ pub(crate) fn run_batch_former(table: Arc<HostedTable>, party: usize) {
                 }
             }
 
-            let take = state.entries.len().min(policy.max_batch);
-            state.entries.drain(..take).collect()
+            // Canceled queries are discarded as they are popped — their
+            // responders close (nobody is listening) and they never reach
+            // the device — and they don't count toward `max_batch`, so
+            // heavy cancellation can't make formed batches run undersized.
+            let mut batch = Vec::new();
+            while batch.len() < policy.max_batch {
+                let Some(entry) = state.entries.pop_front() else {
+                    break;
+                };
+                if !entry.is_canceled() {
+                    batch.push(entry);
+                }
+            }
+            batch
         };
+        if batch.is_empty() {
+            continue;
+        }
 
         // Phase 3: submit the formed batch as one execution plan, off the
-        // queue lock so new arrivals keep queueing during the launch.
+        // queue lock so new arrivals keep queueing (and sibling replicas
+        // keep forming) during the launch.
         let queries: Vec<_> = batch.iter().map(|entry| entry.query.clone()).collect();
         let drained_at = Instant::now();
         table.stats.record_batch(batch.len());
@@ -65,7 +96,24 @@ pub(crate) fn run_batch_former(table: Arc<HostedTable>, party: usize) {
             }
         }
 
-        match table.servers[party].answer_batch(&queries) {
+        let lease = budget.acquire(table.config.shards);
+        table
+            .stats
+            .in_flight_batches
+            .fetch_add(1, Ordering::Relaxed);
+        let launched_at = Instant::now();
+        let outcome = slot.server.answer_batch(&queries);
+        slot.stats
+            .record_batch(batch.len() as u64, launched_at.elapsed());
+        table
+            .stats
+            .in_flight_batches
+            .fetch_sub(1, Ordering::Relaxed);
+        // The lease covers only the kernel launch: response delivery below
+        // must not hold devices that sibling replicas could be using.
+        drop(lease);
+
+        match outcome {
             Ok(responses) => {
                 for (entry, response) in batch.into_iter().zip(responses) {
                     entry.responder.send(Ok(response));
@@ -89,8 +137,30 @@ mod tests {
     use pir_protocol::PirTable;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
-    use std::sync::atomic::Ordering;
+    use std::sync::atomic::AtomicBool;
     use std::time::Duration;
+
+    fn pending(
+        hosted: &HostedTable,
+        index: u64,
+        rng: &mut StdRng,
+        canceled: bool,
+    ) -> (
+        PendingEntry,
+        oneshot::Receiver<Result<pir_protocol::PirResponse, crate::ServeError>>,
+    ) {
+        let query = hosted.client.query(index, rng);
+        let (tx, rx) = oneshot::channel();
+        (
+            PendingEntry {
+                query: query.to_server(0),
+                enqueued_at: Instant::now(),
+                responder: tx,
+                canceled: Arc::new(AtomicBool::new(canceled)),
+            },
+            rx,
+        )
+    }
 
     #[test]
     fn former_coalesces_queued_entries_into_one_batch() {
@@ -110,13 +180,8 @@ mod tests {
         {
             let mut state = hosted.queues[0].state.lock();
             for index in 0..5u64 {
-                let query = hosted.client.query(index, &mut rng);
-                let (tx, rx) = oneshot::channel();
-                state.entries.push_back(PendingEntry {
-                    query: query.to_server(0),
-                    enqueued_at: Instant::now(),
-                    responder: tx,
-                });
+                let (entry, rx) = pending(&hosted, index, &mut rng, false);
+                state.entries.push_back(entry);
                 receivers.push(rx);
             }
         }
@@ -124,7 +189,8 @@ mod tests {
 
         let worker = {
             let hosted = Arc::clone(&hosted);
-            std::thread::spawn(move || run_batch_former(hosted, 0))
+            let budget = Arc::new(DeviceBudget::new(None));
+            std::thread::spawn(move || run_batch_former(hosted, 0, 0, budget))
         };
         worker.join().unwrap();
 
@@ -135,5 +201,77 @@ mod tests {
         assert_eq!(hosted.stats.batched_queries.load(Ordering::Relaxed), 5);
         assert_eq!(hosted.stats.max_batch.load(Ordering::Relaxed), 5);
         assert_eq!(hosted.stats.queue_wait.lock().count(), 5);
+        // The replica that served the batch recorded its work.
+        assert_eq!(hosted.pools[0][0].stats.batches.load(Ordering::Relaxed), 1);
+        assert_eq!(hosted.pools[0][0].stats.queries.load(Ordering::Relaxed), 5);
+    }
+
+    #[test]
+    fn canceled_entries_are_skipped_at_formation() {
+        let table = PirTable::generate(128, 8, |row, _| row as u8);
+        let config = TableConfig::builder()
+            .prf_kind(pir_prf::PrfKind::SipHash)
+            .max_batch(8)
+            .max_wait(Duration::from_millis(1))
+            .build()
+            .unwrap();
+        let hosted = Arc::new(HostedTable::build("t", table, config).expect("valid table"));
+        let mut rng = StdRng::seed_from_u64(6);
+
+        let mut live = Vec::new();
+        {
+            let mut state = hosted.queues[0].state.lock();
+            for index in 0..6u64 {
+                let (entry, rx) = pending(&hosted, index, &mut rng, index % 2 == 0);
+                state.entries.push_back(entry);
+                if index % 2 != 0 {
+                    live.push(rx);
+                }
+            }
+        }
+        hosted.queues[0].close();
+
+        let worker = {
+            let hosted = Arc::clone(&hosted);
+            let budget = Arc::new(DeviceBudget::new(None));
+            std::thread::spawn(move || run_batch_former(hosted, 0, 0, budget))
+        };
+        worker.join().unwrap();
+
+        // Only the 3 live entries crossed the device.
+        assert_eq!(hosted.stats.batched_queries.load(Ordering::Relaxed), 3);
+        assert_eq!(hosted.pools[0][0].server.metrics().queries_served, 3);
+        for rx in live {
+            assert!(oneshot::block_on(rx).unwrap().is_ok());
+        }
+    }
+
+    #[test]
+    fn all_canceled_batch_launches_nothing() {
+        let table = PirTable::generate(64, 8, |row, _| row as u8);
+        let config = TableConfig::builder()
+            .prf_kind(pir_prf::PrfKind::SipHash)
+            .max_batch(4)
+            .max_wait(Duration::from_millis(1))
+            .build()
+            .unwrap();
+        let hosted = Arc::new(HostedTable::build("t", table, config).expect("valid table"));
+        let mut rng = StdRng::seed_from_u64(7);
+        {
+            let mut state = hosted.queues[0].state.lock();
+            for index in 0..4u64 {
+                let (entry, _rx) = pending(&hosted, index, &mut rng, true);
+                state.entries.push_back(entry);
+            }
+        }
+        hosted.queues[0].close();
+        let worker = {
+            let hosted = Arc::clone(&hosted);
+            let budget = Arc::new(DeviceBudget::new(None));
+            std::thread::spawn(move || run_batch_former(hosted, 0, 0, budget))
+        };
+        worker.join().unwrap();
+        assert_eq!(hosted.stats.batches.load(Ordering::Relaxed), 0);
+        assert_eq!(hosted.pools[0][0].server.metrics().queries_served, 0);
     }
 }

@@ -60,6 +60,11 @@ pub struct TableConfig {
     /// Number of simulated devices each server replica shards the table
     /// across (1 = single V100).
     pub shards: usize,
+    /// Number of interchangeable server replicas per party. Formed batches
+    /// are load-balanced across idle replicas, so a hot table's burst
+    /// traffic fans out over `replicas * shards` devices instead of
+    /// queueing behind a single kernel launch.
+    pub replicas: usize,
     /// Scheduler thresholds applied per shard.
     pub scheduler: SchedulerConfig,
     /// Batch-formation policy for this table's two batch formers.
@@ -79,6 +84,7 @@ impl Default for TableConfig {
         Self {
             prf_kind: PrfKind::Chacha20,
             shards: 1,
+            replicas: 1,
             scheduler: SchedulerConfig::default(),
             batch: BatchPolicy::default(),
         }
@@ -107,6 +113,13 @@ impl TableConfigBuilder {
         self
     }
 
+    /// Keep this many interchangeable server replicas per party.
+    #[must_use]
+    pub fn replicas(mut self, replicas: usize) -> Self {
+        self.config.replicas = replicas;
+        self
+    }
+
     /// Override the per-shard scheduler thresholds.
     #[must_use]
     pub fn scheduler(mut self, scheduler: SchedulerConfig) -> Self {
@@ -132,12 +145,17 @@ impl TableConfigBuilder {
     ///
     /// # Errors
     ///
-    /// Returns [`ServeError::InvalidConfig`] for zero shards, a zero batch
-    /// size, or a scheduler config the planner would reject.
+    /// Returns [`ServeError::InvalidConfig`] for zero shards, zero replicas,
+    /// a zero batch size, or a scheduler config the planner would reject.
     pub fn build(self) -> Result<TableConfig, ServeError> {
         if self.config.shards == 0 {
             return Err(ServeError::InvalidConfig(
                 "shards must be at least 1".into(),
+            ));
+        }
+        if self.config.replicas == 0 {
+            return Err(ServeError::InvalidConfig(
+                "replicas must be at least 1".into(),
             ));
         }
         if self.config.batch.max_batch == 0 {
@@ -158,6 +176,12 @@ impl TableConfigBuilder {
 pub struct ServeConfig {
     /// Admission limits shared by all tables.
     pub admission: AdmissionPolicy,
+    /// Total simulated devices the runtime's batch dispatch may occupy at
+    /// once, across every table and both parties (`None` = unbounded). Each
+    /// formed batch leases `shards` devices for the duration of its kernel
+    /// launch, so hot tables borrow fleet capacity that idle tables are not
+    /// using.
+    pub device_budget: Option<usize>,
     /// Seed of the runtime's query-key RNG (deterministic runs for tests and
     /// experiments).
     pub seed: u64,
@@ -167,6 +191,7 @@ impl Default for ServeConfig {
     fn default() -> Self {
         Self {
             admission: AdmissionPolicy::default(),
+            device_budget: None,
             seed: 0x5e21_9e0d,
         }
     }
@@ -201,6 +226,13 @@ impl ServeConfigBuilder {
         self
     }
 
+    /// Cap the simulated devices occupied by in-flight batches at once.
+    #[must_use]
+    pub fn device_budget(mut self, devices: usize) -> Self {
+        self.config.device_budget = Some(devices);
+        self
+    }
+
     /// Seed the runtime's key-generation RNG.
     #[must_use]
     pub fn seed(mut self, seed: u64) -> Self {
@@ -212,8 +244,8 @@ impl ServeConfigBuilder {
     ///
     /// # Errors
     ///
-    /// Returns [`ServeError::InvalidConfig`] for zero queue capacity or a
-    /// zero tenant quota.
+    /// Returns [`ServeError::InvalidConfig`] for zero queue capacity, a zero
+    /// tenant quota, or a zero device budget.
     pub fn build(self) -> Result<ServeConfig, ServeError> {
         if self.config.admission.queue_capacity == 0 {
             return Err(ServeError::InvalidConfig(
@@ -223,6 +255,11 @@ impl ServeConfigBuilder {
         if self.config.admission.per_tenant_quota == 0 {
             return Err(ServeError::InvalidConfig(
                 "per_tenant_quota must be at least 1".into(),
+            ));
+        }
+        if self.config.device_budget == Some(0) {
+            return Err(ServeError::InvalidConfig(
+                "device_budget must be at least 1 device (or unset)".into(),
             ));
         }
         Ok(self.config)
@@ -238,24 +275,30 @@ mod tests {
         let config = TableConfig::builder()
             .prf_kind(PrfKind::SipHash)
             .shards(4)
+            .replicas(3)
             .max_batch(16)
             .max_wait(Duration::from_millis(5))
             .build()
             .unwrap();
         assert_eq!(config.prf_kind, PrfKind::SipHash);
         assert_eq!(config.shards, 4);
+        assert_eq!(config.replicas, 3);
         assert_eq!(config.batch.max_batch, 16);
         assert_eq!(config.batch.max_wait, Duration::from_millis(5));
+        assert_eq!(TableConfig::default().replicas, 1);
 
         let serve = ServeConfig::builder()
             .queue_capacity(100)
             .per_tenant_quota(10)
+            .device_budget(12)
             .seed(7)
             .build()
             .unwrap();
         assert_eq!(serve.admission.queue_capacity, 100);
         assert_eq!(serve.admission.per_tenant_quota, 10);
+        assert_eq!(serve.device_budget, Some(12));
         assert_eq!(serve.seed, 7);
+        assert_eq!(ServeConfig::default().device_budget, None);
     }
 
     #[test]
@@ -277,11 +320,19 @@ mod tests {
             Err(ServeError::InvalidConfig(_))
         ));
         assert!(matches!(
+            TableConfig::builder().replicas(0).build(),
+            Err(ServeError::InvalidConfig(_))
+        ));
+        assert!(matches!(
             ServeConfig::builder().queue_capacity(0).build(),
             Err(ServeError::InvalidConfig(_))
         ));
         assert!(matches!(
             ServeConfig::builder().per_tenant_quota(0).build(),
+            Err(ServeError::InvalidConfig(_))
+        ));
+        assert!(matches!(
+            ServeConfig::builder().device_budget(0).build(),
             Err(ServeError::InvalidConfig(_))
         ));
     }

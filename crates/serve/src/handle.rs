@@ -3,7 +3,7 @@
 
 use std::future::Future;
 use std::pin::Pin;
-use std::sync::atomic::Ordering;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::task::{Context, Poll};
 use std::time::Instant;
@@ -31,9 +31,11 @@ impl ServeHandle {
     /// `tenant`.
     ///
     /// On success the query has been admitted: its keys are generated and
-    /// its two server projections are queued at the table's two batch
-    /// formers. Await (or [`PendingQuery::wait`]) the returned future for
-    /// the reconstructed row.
+    /// its two server projections are queued at the table's two per-party
+    /// dispatch queues. Await (or [`PendingQuery::wait`]) the returned
+    /// future for the reconstructed row. Dropping the future cancels the
+    /// query: its queued entries are skipped at batch formation and cost no
+    /// device work.
     ///
     /// # Errors
     ///
@@ -42,15 +44,18 @@ impl ServeHandle {
     /// * [`ServeError::QuotaExceeded`] / [`ServeError::QueueFull`] /
     ///   [`ServeError::ShuttingDown`] — backpressure; retry later.
     pub fn query(&self, table: &str, tenant: &str, index: u64) -> Result<PendingQuery, ServeError> {
-        if self.inner.shutting_down.load(Ordering::SeqCst) {
-            return Err(ServeError::ShuttingDown);
-        }
         let hosted = self.inner.registry.get(table)?;
         if index >= hosted.table.entries() {
             return Err(ServeError::IndexOutOfRange {
                 index,
                 entries: hosted.table.entries(),
             });
+        }
+        // Checked after table resolution so queries shed by a shutdown are
+        // attributed to their table's telemetry instead of vanishing.
+        if self.inner.shutting_down.load(Ordering::SeqCst) {
+            hosted.stats.shed.fetch_add(1, Ordering::Relaxed);
+            return Err(ServeError::ShuttingDown);
         }
 
         let guard = match self.inner.admission.admit(tenant) {
@@ -67,26 +72,33 @@ impl ServeHandle {
         let mut rng = self.inner.query_rng();
         let query = hosted.client.query(index, &mut rng);
         let submitted_at = Instant::now();
+        let canceled = Arc::new(AtomicBool::new(false));
         let (tx0, rx0) = oneshot::channel();
         let (tx1, rx1) = oneshot::channel();
+        // Counted *before* the entries become visible to the batch formers:
+        // a worker can answer within the enqueue call itself, and a stats
+        // snapshot must never transiently observe answered > submitted.
+        hosted.stats.submitted.fetch_add(1, Ordering::Relaxed);
         let enqueued = hosted.enqueue_pair(
             self.inner.admission.policy().queue_capacity,
             PendingEntry {
                 query: query.to_server(0),
                 enqueued_at: submitted_at,
                 responder: tx0,
+                canceled: Arc::clone(&canceled),
             },
             PendingEntry {
                 query: query.to_server(1),
                 enqueued_at: submitted_at,
                 responder: tx1,
+                canceled: Arc::clone(&canceled),
             },
         );
         if let Err(err) = enqueued {
+            hosted.stats.submitted.fetch_sub(1, Ordering::Relaxed);
             hosted.stats.shed.fetch_add(1, Ordering::Relaxed);
             return Err(err);
         }
-        hosted.stats.submitted.fetch_add(1, Ordering::Relaxed);
 
         Ok(PendingQuery {
             hosted,
@@ -96,6 +108,8 @@ impl ServeHandle {
             response0: None,
             response1: None,
             submitted_at,
+            canceled,
+            completed: false,
             _guard: guard,
         })
     }
@@ -115,8 +129,10 @@ impl ServeHandle {
 
 /// An admitted query: a [`Future`] resolving to the reconstructed row.
 ///
-/// Dropping the future abandons the query (its responses are discarded when
-/// they arrive) and releases the tenant's quota slot.
+/// Dropping the future *cancels* the query: the tenant's quota slot is
+/// released immediately and both queued server projections are marked
+/// canceled, so batch formation skips them and the abandoned query consumes
+/// no device work.
 pub struct PendingQuery {
     hosted: Arc<HostedTable>,
     query: PirQuery,
@@ -125,6 +141,8 @@ pub struct PendingQuery {
     response0: Option<PirResponse>,
     response1: Option<PirResponse>,
     submitted_at: Instant,
+    canceled: Arc<AtomicBool>,
+    completed: bool,
     _guard: InFlightGuard,
 }
 
@@ -177,6 +195,20 @@ impl PendingQuery {
     }
 }
 
+impl Drop for PendingQuery {
+    fn drop(&mut self) {
+        if self.completed {
+            return;
+        }
+        // Abandoned before resolution: flag both queued entries so batch
+        // formation discards them instead of spending device work, and count
+        // the cancellation so it doesn't vanish from telemetry. (The quota
+        // slot is released by the guard either way.)
+        self.canceled.store(true, Ordering::Release);
+        self.hosted.stats.canceled.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
 impl Future for PendingQuery {
     type Output = Result<Vec<u8>, ServeError>;
 
@@ -189,6 +221,11 @@ impl Future for PendingQuery {
         let side1 = Self::poll_side(&mut this.rx1, &mut this.response1, cx);
         for side in [&side0, &side1] {
             if let Err(Some(err)) = side {
+                this.completed = true;
+                // The sibling party's entry may still be queued; flag it so
+                // batch formation skips it instead of spending device work
+                // on a share this future will never combine.
+                this.canceled.store(true, Ordering::Release);
                 this.hosted.stats.failed.fetch_add(1, Ordering::Relaxed);
                 return Poll::Ready(Err(err.clone()));
             }
@@ -197,6 +234,7 @@ impl Future for PendingQuery {
             return Poll::Pending;
         }
 
+        this.completed = true;
         let response0 = this.response0.take().expect("side 0 resolved");
         let response1 = this.response1.take().expect("side 1 resolved");
         let outcome = this

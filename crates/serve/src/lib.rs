@@ -15,9 +15,16 @@
 //!   each with its own PRF family, scheduler thresholds and — for tables
 //!   larger than one device — sharding across several simulated `gpu_sim`
 //!   devices via [`pir_protocol::ShardedGpuServer`].
-//! * A **dynamic batch former** per (table, server) pair collects in-flight
-//!   queries under a *max-batch-size / max-wait-time* policy and submits each
-//!   formed batch through the §3.2.5 scheduler as one
+//! * Each party of a table owns a **pool of interchangeable server
+//!   replicas** (`TableConfig::replicas`): formed batches are load-balanced
+//!   across idle replicas, so one table's burst traffic fans out over
+//!   `replicas × shards` devices instead of queueing behind a single kernel
+//!   launch, and every launch leases its devices from a runtime-wide
+//!   **device budget** (`ServeConfig::device_budget`) so hot tables borrow
+//!   fleet capacity idle tables are not using.
+//! * A **dynamic batch former** per (table, party, replica) collects
+//!   in-flight queries under a *max-batch-size / max-wait-time* policy and
+//!   submits each formed batch through the §3.2.5 scheduler as one
 //!   [`pir_dpf::ExecutionPlan`], so concurrent requests amortize kernel
 //!   launches exactly as the paper prescribes without coordinating with each
 //!   other.
@@ -57,6 +64,7 @@
 
 mod admission;
 mod batcher;
+mod budget;
 pub mod config;
 pub mod error;
 mod handle;
@@ -72,4 +80,4 @@ pub use error::ServeError;
 pub use handle::{PendingQuery, ServeHandle};
 pub use oneshot::block_on;
 pub use runtime::PirServeRuntime;
-pub use stats::{StatsSnapshot, TableStatsSnapshot};
+pub use stats::{ReplicaStatsSnapshot, StatsSnapshot, TableStatsSnapshot};

@@ -1,25 +1,38 @@
 //! The table registry: many named tables, each with its own protocol
-//! parameters, device sharding and batch-formation queues.
+//! parameters, per-party replica pools and batch-formation queues.
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
 use parking_lot::{Condvar, Mutex, RwLock};
 use pir_protocol::{
-    GpuPirServer, PirClient, PirResponse, PirServer, PirTable, ServerQuery, ShardedGpuServer,
+    build_replica, shard_split_bits, PirClient, PirError, PirResponse, PirServer, PirTable,
+    ServerQuery,
 };
 
 use crate::config::TableConfig;
 use crate::error::ServeError;
 use crate::oneshot;
-use crate::stats::TableStats;
+use crate::stats::{ReplicaStats, TableStats};
 
 /// One query waiting in a batch former's queue.
 pub(crate) struct PendingEntry {
     pub query: ServerQuery,
     pub enqueued_at: Instant,
     pub responder: oneshot::Sender<Result<PirResponse, ServeError>>,
+    /// Shared with the submitter's `PendingQuery` (and the sibling entry at
+    /// the other party): set when the caller abandons the query, so batch
+    /// formation can skip it instead of spending device work on an answer
+    /// nobody will read.
+    pub canceled: Arc<AtomicBool>,
+}
+
+impl PendingEntry {
+    pub(crate) fn is_canceled(&self) -> bool {
+        self.canceled.load(Ordering::Acquire)
+    }
 }
 
 #[derive(Default)]
@@ -28,7 +41,7 @@ pub(crate) struct QueueState {
     pub closed: bool,
 }
 
-/// The bounded queue feeding one (table, server) batch former.
+/// The bounded queue feeding one party's batch formers.
 #[derive(Default)]
 pub(crate) struct BatchQueue {
     pub state: Mutex<QueueState>,
@@ -46,16 +59,28 @@ impl BatchQueue {
     }
 }
 
-/// A table hosted by the runtime: client state, two non-colluding server
-/// replicas (possibly sharded over several devices) and their batch queues.
+/// One interchangeable server replica in a party's pool, plus its dispatch
+/// telemetry.
+pub(crate) struct ReplicaSlot {
+    pub server: Box<dyn PirServer>,
+    pub stats: ReplicaStats,
+}
+
+/// A table hosted by the runtime: client state and, per non-colluding party,
+/// a pool of interchangeable server replicas (each possibly sharded over
+/// several devices) fed from one shared dispatch queue.
 pub(crate) struct HostedTable {
     pub name: String,
     pub config: TableConfig,
     pub table: PirTable,
     pub client: PirClient,
-    pub servers: [Box<dyn PirServer>; 2],
+    /// `pools[party][replica]`: every replica of a party holds the same
+    /// table and answers any batch, so formed batches go to whichever
+    /// replica is idle.
+    pub pools: [Vec<ReplicaSlot>; 2],
     pub queues: [BatchQueue; 2],
     pub stats: TableStats,
+    pub registered_at: Instant,
 }
 
 impl HostedTable {
@@ -64,46 +89,33 @@ impl HostedTable {
         table: PirTable,
         config: TableConfig,
     ) -> Result<Self, ServeError> {
-        // The shard decomposition needs one subtree per device; reject
-        // configs the DPF domain cannot satisfy with a typed error instead
-        // of panicking inside the server constructor.
-        // Must match DpfParams::for_domain: a 1-entry table has a depth-0
-        // tree and therefore admits exactly one shard.
-        let split_bits = (config.shards as u64).next_power_of_two().trailing_zeros();
-        let domain_bits = if table.entries() <= 1 {
-            0
-        } else {
-            64 - (table.entries() - 1).leading_zeros()
-        };
-        if split_bits > domain_bits {
-            return Err(ServeError::InvalidConfig(format!(
-                "cannot shard a table of {} entries across {} devices",
-                table.entries(),
-                config.shards
-            )));
-        }
-        let make_server = || -> Box<dyn PirServer> {
-            if config.shards > 1 {
-                Box::new(ShardedGpuServer::with_v100_shards(
-                    table.clone(),
-                    config.prf_kind,
-                    config.shards,
-                ))
-            } else {
-                Box::new(GpuPirServer::new(
-                    table.clone(),
-                    config.prf_kind,
-                    gpu_sim::DeviceSpec::v100(),
-                    config.scheduler,
-                ))
-            }
+        // Reject configs the DPF domain cannot satisfy with a typed error
+        // before any replica is constructed; `build_replica` re-checks, but
+        // failing early keeps partial pools from ever existing.
+        shard_split_bits(table.entries(), config.shards).map_err(invalid_sharding)?;
+        let make_pool = || -> Result<Vec<ReplicaSlot>, ServeError> {
+            (0..config.replicas)
+                .map(|_| {
+                    Ok(ReplicaSlot {
+                        server: build_replica(
+                            &table,
+                            config.prf_kind,
+                            config.shards,
+                            config.scheduler,
+                        )
+                        .map_err(invalid_sharding)?,
+                        stats: ReplicaStats::default(),
+                    })
+                })
+                .collect()
         };
         Ok(Self {
             name: name.to_string(),
             client: PirClient::new(table.schema(), config.prf_kind),
-            servers: [make_server(), make_server()],
+            pools: [make_pool()?, make_pool()?],
             queues: [BatchQueue::default(), BatchQueue::default()],
             stats: TableStats::default(),
+            registered_at: Instant::now(),
             config,
             table,
         })
@@ -140,6 +152,10 @@ impl HostedTable {
         self.queues[1].arrived.notify_one();
         Ok(())
     }
+}
+
+fn invalid_sharding(err: PirError) -> ServeError {
+    ServeError::InvalidConfig(err.to_string())
 }
 
 /// The runtime's collection of hosted tables.
@@ -215,9 +231,29 @@ mod tests {
             .build()
             .unwrap();
         let hosted = HostedTable::build("big", table, config).expect("valid table");
-        // Both replicas serve the same schema through the trait.
-        assert_eq!(hosted.servers[0].schema(), hosted.servers[1].schema());
-        assert_eq!(hosted.servers[0].schema().entries, 256);
+        // Both parties' replicas serve the same schema through the trait.
+        assert_eq!(
+            hosted.pools[0][0].server.schema(),
+            hosted.pools[1][0].server.schema()
+        );
+        assert_eq!(hosted.pools[0][0].server.schema().entries, 256);
+    }
+
+    #[test]
+    fn replica_pools_hold_interchangeable_servers() {
+        let table = PirTable::generate(128, 8, |row, _| row as u8);
+        let config = TableConfig::builder()
+            .prf_kind(PrfKind::SipHash)
+            .replicas(3)
+            .build()
+            .unwrap();
+        let hosted = HostedTable::build("pooled", table, config).expect("valid table");
+        for party in 0..2 {
+            assert_eq!(hosted.pools[party].len(), 3);
+            for slot in &hosted.pools[party] {
+                assert_eq!(slot.server.schema().entries, 128);
+            }
+        }
     }
 
     fn entry(hosted: &HostedTable, party: u8) -> PendingEntry {
@@ -228,6 +264,7 @@ mod tests {
             query: query.to_server(party),
             enqueued_at: Instant::now(),
             responder: tx,
+            canceled: Arc::new(AtomicBool::new(false)),
         }
     }
 

@@ -12,15 +12,17 @@ use rand::SeedableRng;
 
 use crate::admission::Admission;
 use crate::batcher::run_batch_former;
+use crate::budget::DeviceBudget;
 use crate::config::{ServeConfig, TableConfig};
 use crate::error::ServeError;
 use crate::handle::ServeHandle;
 use crate::registry::{HostedTable, TableRegistry};
-use crate::stats::{StatsSnapshot, TableStatsSnapshot};
+use crate::stats::{ReplicaStatsSnapshot, StatsSnapshot, TableStatsSnapshot};
 
 pub(crate) struct RuntimeInner {
     pub registry: TableRegistry,
     pub admission: Arc<Admission>,
+    pub budget: Arc<DeviceBudget>,
     pub seed: u64,
     pub rng_streams: AtomicU64,
     pub shutting_down: AtomicBool,
@@ -56,16 +58,39 @@ impl RuntimeInner {
                         e2e.mean_ms(),
                     )
                 };
+                let elapsed_s = hosted.registered_at.elapsed().as_secs_f64().max(1e-9);
+                let replicas = hosted
+                    .pools
+                    .iter()
+                    .enumerate()
+                    .flat_map(|(party, pool)| {
+                        pool.iter().enumerate().map(move |(replica, slot)| {
+                            let busy_ms = slot.stats.busy_us.load(Ordering::Relaxed) as f64 / 1e3;
+                            ReplicaStatsSnapshot {
+                                party,
+                                replica,
+                                batches: slot.stats.batches.load(Ordering::Relaxed),
+                                queries: slot.stats.queries.load(Ordering::Relaxed),
+                                busy_ms,
+                                device_busy_s: slot.server.metrics().busy_time_s,
+                                utilization: (busy_ms / 1e3 / elapsed_s).min(1.0),
+                            }
+                        })
+                    })
+                    .collect();
                 TableStatsSnapshot {
                     table: hosted.name.clone(),
                     submitted: stats.submitted.load(Ordering::Relaxed),
                     answered: stats.answered.load(Ordering::Relaxed),
                     shed: stats.shed.load(Ordering::Relaxed),
                     failed: stats.failed.load(Ordering::Relaxed),
+                    canceled: stats.canceled.load(Ordering::Relaxed),
                     batches: stats.batches.load(Ordering::Relaxed),
                     batched_queries: stats.batched_queries.load(Ordering::Relaxed),
                     max_batch: stats.max_batch.load(Ordering::Relaxed),
+                    in_flight_batches: stats.in_flight_batches.load(Ordering::Relaxed),
                     queue_depths: [hosted.queues[0].depth(), hosted.queues[1].depth()],
+                    replicas,
                     queue_p50_ms: queue_quantiles[0],
                     queue_p99_ms: queue_quantiles[1],
                     e2e_p50_ms: e2e_quantiles[0],
@@ -74,16 +99,21 @@ impl RuntimeInner {
                 }
             })
             .collect();
-        StatsSnapshot { tables }
+        StatsSnapshot {
+            tables,
+            devices_in_use: self.budget.devices_in_use(),
+            device_budget: self.budget.capacity(),
+        }
     }
 }
 
 /// The multi-tenant serving runtime.
 ///
-/// Owns every hosted table plus two batch-former worker threads per table
-/// (one per non-colluding server). Dropping the runtime shuts it down
-/// gracefully: queues close, already-admitted queries are answered, workers
-/// exit.
+/// Owns every hosted table plus one batch-former worker thread per (table,
+/// party, replica): each party's replica pool drains a shared dispatch
+/// queue, and every launch leases devices from the runtime-wide device
+/// budget. Dropping the runtime shuts it down gracefully: queues close,
+/// already-admitted queries are answered, workers exit.
 pub struct PirServeRuntime {
     inner: Arc<RuntimeInner>,
     workers: Mutex<Vec<JoinHandle<()>>>,
@@ -96,6 +126,7 @@ impl PirServeRuntime {
         Self {
             inner: Arc::new(RuntimeInner {
                 admission: Arc::new(Admission::new(config.admission)),
+                budget: Arc::new(DeviceBudget::new(config.device_budget)),
                 registry: TableRegistry::default(),
                 seed: config.seed,
                 rng_streams: AtomicU64::new(0),
@@ -111,18 +142,29 @@ impl PirServeRuntime {
         Self::new(ServeConfig::default())
     }
 
-    /// Register a table and start its two batch formers.
+    /// Register a table and start its batch formers (one per party per
+    /// replica).
     ///
     /// # Errors
     ///
-    /// Returns [`ServeError::TableExists`] for duplicate names and
-    /// [`ServeError::ShuttingDown`] after shutdown has begun.
+    /// Returns [`ServeError::TableExists`] for duplicate names,
+    /// [`ServeError::ShuttingDown`] after shutdown has begun, and
+    /// [`ServeError::InvalidConfig`] if one replica's batch needs more
+    /// devices than the whole device budget (it could never be dispatched).
     pub fn register_table(
         &self,
         name: &str,
         table: PirTable,
         config: TableConfig,
     ) -> Result<(), ServeError> {
+        if let Some(capacity) = self.inner.budget.capacity() {
+            if config.shards > capacity {
+                return Err(ServeError::InvalidConfig(format!(
+                    "a {}-shard replica can never fit the {capacity}-device budget",
+                    config.shards
+                )));
+            }
+        }
         // The workers lock brackets flag check + registry insert + spawn so a
         // concurrent shutdown (which takes the same lock before closing
         // queues) either sees this table fully registered or rejects us —
@@ -135,13 +177,16 @@ impl PirServeRuntime {
         self.inner.registry.insert(Arc::clone(&hosted))?;
 
         for party in 0..2 {
-            let hosted = Arc::clone(&hosted);
-            workers.push(
-                std::thread::Builder::new()
-                    .name(format!("batcher-{name}-{party}"))
-                    .spawn(move || run_batch_former(hosted, party))
-                    .expect("spawn batch former"),
-            );
+            for replica in 0..hosted.config.replicas {
+                let hosted = Arc::clone(&hosted);
+                let budget = Arc::clone(&self.inner.budget);
+                workers.push(
+                    std::thread::Builder::new()
+                        .name(format!("batcher-{name}-{party}-{replica}"))
+                        .spawn(move || run_batch_former(hosted, party, replica, budget))
+                        .expect("spawn batch former"),
+                );
+            }
         }
         Ok(())
     }
@@ -351,6 +396,127 @@ mod tests {
         assert!(matches!(shed, ServeError::QueueFull { .. }));
         assert!(q1.wait().is_ok());
         assert!(q2.wait().is_ok());
+    }
+
+    #[test]
+    fn replicated_tables_roundtrip_and_report_replica_stats() {
+        let runtime = PirServeRuntime::new(ServeConfig::builder().seed(21).build().unwrap());
+        let table = PirTable::generate(256, 8, |row, _| (row as u8).wrapping_mul(3));
+        let config = TableConfig::builder()
+            .prf_kind(PrfKind::SipHash)
+            .replicas(3)
+            .max_batch(4)
+            .max_wait(Duration::from_millis(1))
+            .build()
+            .unwrap();
+        runtime.register_table("emb", table, config).unwrap();
+        let handle = runtime.handle();
+
+        let pending: Vec<_> = (0..24u64)
+            .map(|i| {
+                (
+                    i * 10 % 256,
+                    handle.query("emb", "t", i * 10 % 256).unwrap(),
+                )
+            })
+            .collect();
+        for (index, query) in pending {
+            let row = query.wait().unwrap();
+            assert_eq!(row[0], (index as u8).wrapping_mul(3));
+        }
+
+        let stats = runtime.stats();
+        let snapshot = stats.table("emb").unwrap();
+        assert_eq!(snapshot.answered, 24);
+        assert_eq!(snapshot.submitted, 24);
+        // Three replicas per party are reported, and together they carried
+        // every (query, party) projection exactly once.
+        assert_eq!(snapshot.replicas.len(), 6);
+        let carried: u64 = snapshot.replicas.iter().map(|r| r.queries).sum();
+        assert_eq!(carried, 2 * 24);
+        assert_eq!(snapshot.batched_queries, 2 * 24);
+        assert_eq!(snapshot.in_flight_batches, 0);
+        runtime.shutdown();
+    }
+
+    #[test]
+    fn device_budget_is_enforced_and_reported() {
+        let runtime = PirServeRuntime::new(
+            ServeConfig::builder()
+                .device_budget(2)
+                .seed(13)
+                .build()
+                .unwrap(),
+        );
+        // A replica that spans 4 devices could never lease from a 2-device
+        // budget: rejected up front instead of deadlocking at dispatch.
+        let big = PirTable::generate(1024, 8, |row, _| row as u8);
+        let config = TableConfig::builder()
+            .prf_kind(PrfKind::SipHash)
+            .shards(4)
+            .build()
+            .unwrap();
+        assert!(matches!(
+            runtime.register_table("big", big, config),
+            Err(ServeError::InvalidConfig(_))
+        ));
+
+        // Two single-shard replicas fit (serially) and still answer
+        // everything.
+        let table = PirTable::generate(128, 8, |row, _| row as u8);
+        let config = TableConfig::builder()
+            .prf_kind(PrfKind::SipHash)
+            .replicas(2)
+            .max_batch(4)
+            .max_wait(Duration::from_millis(1))
+            .build()
+            .unwrap();
+        runtime.register_table("emb", table, config).unwrap();
+        let handle = runtime.handle();
+        let pending: Vec<_> = (0..16u64)
+            .map(|i| handle.query("emb", "t", i).unwrap())
+            .collect();
+        for query in pending {
+            assert!(query.wait().is_ok());
+        }
+        let stats = runtime.stats();
+        assert_eq!(stats.device_budget, Some(2));
+        assert_eq!(stats.devices_in_use, 0, "all leases returned");
+        assert_eq!(stats.table("emb").unwrap().answered, 16);
+        runtime.shutdown();
+    }
+
+    #[test]
+    fn canceled_queries_cost_no_device_work() {
+        let runtime = PirServeRuntime::new(ServeConfig::builder().seed(19).build().unwrap());
+        let table = PirTable::generate(64, 8, |row, _| row as u8);
+        // A long max_wait keeps the first query parked in the formers while
+        // we cancel it, so formation observes the canceled flag.
+        let config = TableConfig::builder()
+            .prf_kind(PrfKind::SipHash)
+            .max_batch(64)
+            .max_wait(Duration::from_millis(150))
+            .build()
+            .unwrap();
+        runtime.register_table("emb", table, config).unwrap();
+        let handle = runtime.handle();
+
+        let doomed = handle.query("emb", "t", 1).unwrap();
+        drop(doomed);
+        let answered = handle.query("emb", "t", 2).unwrap().wait().unwrap();
+        assert_eq!(answered[0], 2);
+
+        let stats = runtime.stats();
+        let snapshot = stats.table("emb").unwrap();
+        assert_eq!(snapshot.canceled, 1);
+        assert_eq!(snapshot.submitted, 2);
+        assert_eq!(snapshot.answered, 1);
+        // Only the surviving query crossed each party's device: the canceled
+        // one consumed no batch slot and no kernel work.
+        assert_eq!(snapshot.batched_queries, 2);
+        let device_queries: u64 = snapshot.replicas.iter().map(|r| r.queries).sum();
+        assert_eq!(device_queries, 2);
+        runtime.shutdown();
     }
 
     #[test]

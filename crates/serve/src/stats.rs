@@ -1,10 +1,12 @@
-//! Serving telemetry: queue depth, batch occupancy and latency quantiles.
+//! Serving telemetry: queue depth, batch occupancy, per-replica utilization
+//! and latency quantiles.
 //!
 //! Counters are updated lock-free from the hot paths; latency samples go
 //! through [`pir_core::LatencyHistogram`] behind a mutex (one lock per
 //! answered query, far off the device critical path).
 
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
 
 use parking_lot::Mutex;
 use pir_core::LatencyHistogram;
@@ -16,9 +18,11 @@ pub(crate) struct TableStats {
     pub answered: AtomicU64,
     pub shed: AtomicU64,
     pub failed: AtomicU64,
+    pub canceled: AtomicU64,
     pub batches: AtomicU64,
     pub batched_queries: AtomicU64,
     pub max_batch: AtomicU64,
+    pub in_flight_batches: AtomicU64,
     pub queue_wait: Mutex<LatencyHistogram>,
     pub e2e: Mutex<LatencyHistogram>,
 }
@@ -30,6 +34,45 @@ impl TableStats {
             .fetch_add(size as u64, Ordering::Relaxed);
         self.max_batch.fetch_max(size as u64, Ordering::Relaxed);
     }
+}
+
+/// Internal, shared per-replica dispatch statistics.
+#[derive(Debug, Default)]
+pub(crate) struct ReplicaStats {
+    pub batches: AtomicU64,
+    pub queries: AtomicU64,
+    /// Host microseconds spent inside `answer_batch` (drives utilization).
+    pub busy_us: AtomicU64,
+}
+
+impl ReplicaStats {
+    pub(crate) fn record_batch(&self, queries: u64, busy: Duration) {
+        self.batches.fetch_add(1, Ordering::Relaxed);
+        self.queries.fetch_add(queries, Ordering::Relaxed);
+        self.busy_us
+            .fetch_add(busy.as_micros() as u64, Ordering::Relaxed);
+    }
+}
+
+/// Point-in-time statistics of one server replica in a table's pool.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct ReplicaStatsSnapshot {
+    /// Which of the two non-colluding parties this replica serves.
+    pub party: usize,
+    /// Index within the party's replica pool.
+    pub replica: usize,
+    /// Device batches this replica answered.
+    pub batches: u64,
+    /// Queries carried by those batches.
+    pub queries: u64,
+    /// Host milliseconds spent inside `answer_batch`.
+    pub busy_ms: f64,
+    /// Modeled device-busy seconds (simulated kernel time, from the
+    /// replica's [`pir_protocol::ServerMetrics`]).
+    pub device_busy_s: f64,
+    /// Fraction of wall time since registration this replica spent answering
+    /// batches (0..1, host-measured).
+    pub utilization: f64,
 }
 
 /// Point-in-time statistics of one hosted table.
@@ -45,14 +88,21 @@ pub struct TableStatsSnapshot {
     pub shed: u64,
     /// Queries failed by the protocol layer.
     pub failed: u64,
-    /// Device batches submitted across both servers.
+    /// Queries canceled by their submitter before completion (their queued
+    /// entries are skipped at batch formation and cost no device work).
+    pub canceled: u64,
+    /// Device batches submitted across both parties' replica pools.
     pub batches: u64,
     /// Queries carried by those batches.
     pub batched_queries: u64,
     /// Largest single batch observed.
     pub max_batch: u64,
-    /// Current depth of the two (table, server) queues.
+    /// Batches currently executing on some replica's devices.
+    pub in_flight_batches: u64,
+    /// Current depth of the two per-party dispatch queues.
     pub queue_depths: [usize; 2],
+    /// One entry per (party, replica) in the table's pools.
+    pub replicas: Vec<ReplicaStatsSnapshot>,
     /// Median time a query waited in the batch former, in milliseconds.
     pub queue_p50_ms: Option<f64>,
     /// 99th-percentile batch-former wait, in milliseconds.
@@ -75,6 +125,18 @@ impl TableStatsSnapshot {
         }
         self.batched_queries as f64 / self.batches as f64
     }
+
+    /// Modeled serving makespan in device seconds: replicas answer batches
+    /// in parallel, so the table is done when its busiest replica is done.
+    /// The single-replica configuration degenerates to that replica's total
+    /// busy time — the quantity replica pools exist to divide.
+    #[must_use]
+    pub fn device_makespan_s(&self) -> f64 {
+        self.replicas
+            .iter()
+            .map(|r| r.device_busy_s)
+            .fold(0.0f64, f64::max)
+    }
 }
 
 /// Point-in-time statistics of the whole runtime.
@@ -82,6 +144,10 @@ impl TableStatsSnapshot {
 pub struct StatsSnapshot {
     /// One entry per hosted table.
     pub tables: Vec<TableStatsSnapshot>,
+    /// Simulated devices currently leased by in-flight batches.
+    pub devices_in_use: usize,
+    /// The runtime's device budget (`None` = unbounded fleet).
+    pub device_budget: Option<usize>,
 }
 
 impl StatsSnapshot {
@@ -138,6 +204,35 @@ mod tests {
     }
 
     #[test]
+    fn replica_stats_accumulate() {
+        let stats = ReplicaStats::default();
+        stats.record_batch(8, Duration::from_millis(3));
+        stats.record_batch(4, Duration::from_millis(2));
+        assert_eq!(stats.batches.load(Ordering::Relaxed), 2);
+        assert_eq!(stats.queries.load(Ordering::Relaxed), 12);
+        assert_eq!(stats.busy_us.load(Ordering::Relaxed), 5_000);
+    }
+
+    #[test]
+    fn device_makespan_is_busiest_replica() {
+        let snapshot = TableStatsSnapshot {
+            replicas: vec![
+                ReplicaStatsSnapshot {
+                    device_busy_s: 0.4,
+                    ..ReplicaStatsSnapshot::default()
+                },
+                ReplicaStatsSnapshot {
+                    device_busy_s: 0.9,
+                    ..ReplicaStatsSnapshot::default()
+                },
+            ],
+            ..TableStatsSnapshot::default()
+        };
+        assert!((snapshot.device_makespan_s() - 0.9).abs() < 1e-12);
+        assert_eq!(TableStatsSnapshot::default().device_makespan_s(), 0.0);
+    }
+
+    #[test]
     fn runtime_snapshot_aggregates() {
         let snapshot = StatsSnapshot {
             tables: vec![
@@ -158,6 +253,7 @@ mod tests {
                     ..TableStatsSnapshot::default()
                 },
             ],
+            ..StatsSnapshot::default()
         };
         assert_eq!(snapshot.answered(), 30);
         assert_eq!(snapshot.shed(), 4);

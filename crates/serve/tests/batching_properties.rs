@@ -80,6 +80,99 @@ proptest! {
         );
         runtime.shutdown();
     }
+
+    #[test]
+    fn replica_dispatch_answers_every_admitted_query_exactly_once(
+        replicas in 1usize..4,
+        max_batch in 1usize..16,
+        query_count in 8usize..40,
+        seed in any::<u64>(),
+    ) {
+        let entries = 128u64;
+        let entry_bytes = 8usize;
+        let runtime = PirServeRuntime::new(
+            ServeConfig::builder().seed(seed).build().expect("valid config"),
+        );
+        let table = PirTable::generate(entries, entry_bytes, fill);
+        let config = TableConfig::builder()
+            .prf_kind(pir_prf::PrfKind::SipHash)
+            .replicas(replicas)
+            .max_batch(max_batch)
+            .max_wait(Duration::from_millis(1))
+            .build()
+            .expect("valid table config");
+        runtime.register_table("t", table, config).expect("register");
+        let handle = runtime.handle();
+
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x51ce_u64);
+        let mut pending = Vec::new();
+        for i in 0..query_count {
+            let index = rng.gen_range(0..entries);
+            pending.push((index, handle.query("t", &format!("tenant-{}", i % 3), index).expect("admitted")));
+        }
+        for (index, query) in pending {
+            prop_assert_eq!(query.wait().expect("answered"), expected_row(index, entry_bytes));
+        }
+
+        let stats = runtime.stats();
+        let snapshot = stats.table("t").expect("stats for t");
+        // Exactly once, regardless of which replica served which batch:
+        // every query answered, and each of its two projections crossed
+        // exactly one replica's device.
+        prop_assert_eq!(snapshot.submitted, query_count as u64);
+        prop_assert_eq!(snapshot.answered, query_count as u64);
+        prop_assert_eq!(snapshot.failed, 0);
+        prop_assert_eq!(snapshot.batched_queries, 2 * query_count as u64);
+        prop_assert_eq!(snapshot.replicas.len(), 2 * replicas);
+        let per_replica: u64 = snapshot.replicas.iter().map(|r| r.queries).sum();
+        prop_assert_eq!(per_replica, 2 * query_count as u64);
+        for party in 0..2 {
+            let party_total: u64 = snapshot
+                .replicas
+                .iter()
+                .filter(|r| r.party == party)
+                .map(|r| r.queries)
+                .sum();
+            prop_assert_eq!(party_total, query_count as u64);
+        }
+        runtime.shutdown();
+    }
+}
+
+#[test]
+fn non_power_of_two_replicas_and_shards_reconstruct() {
+    // 3 replicas per party, each sharded across 3 devices (4 subtrees, one
+    // device owning two) — the awkwardest shape on both axes.
+    let runtime = PirServeRuntime::new(ServeConfig::builder().seed(23).build().unwrap());
+    let entries = 512u64;
+    let entry_bytes = 12usize;
+    let table = PirTable::generate(entries, entry_bytes, fill);
+    let config = TableConfig::builder()
+        .prf_kind(pir_prf::PrfKind::SipHash)
+        .shards(3)
+        .replicas(3)
+        .max_batch(8)
+        .max_wait(Duration::from_millis(1))
+        .build()
+        .unwrap();
+    runtime.register_table("odd", table, config).unwrap();
+    let handle = runtime.handle();
+
+    let mut rng = StdRng::seed_from_u64(24);
+    let pending: Vec<_> = (0..30)
+        .map(|_| {
+            let index = rng.gen_range(0..entries);
+            (index, handle.query("odd", "tenant", index).unwrap())
+        })
+        .collect();
+    for (index, query) in pending {
+        assert_eq!(query.wait().unwrap(), expected_row(index, entry_bytes));
+    }
+    let stats = runtime.stats();
+    let snapshot = stats.table("odd").unwrap();
+    assert_eq!(snapshot.answered, 30);
+    assert_eq!(snapshot.failed, 0);
+    assert_eq!(snapshot.replicas.len(), 6);
 }
 
 #[test]

@@ -138,7 +138,7 @@ fn sharded_and_single_device_servers_are_interchangeable_parties() {
         (row as u8).wrapping_add(offset as u8)
     });
     let client = PirClient::new(table.schema(), PrfKind::SipHash);
-    let sharded = ShardedGpuServer::with_v100_shards(table.clone(), PrfKind::SipHash, 4);
+    let sharded = ShardedGpuServer::with_v100_shards(table.clone(), PrfKind::SipHash, 4).unwrap();
     let single = GpuPirServer::with_defaults(table.clone(), PrfKind::SipHash);
     let mut rng = StdRng::seed_from_u64(10);
 
