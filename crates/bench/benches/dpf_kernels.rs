@@ -90,6 +90,34 @@ fn bench_strategies(c: &mut Criterion) {
     group.finish();
 }
 
+/// Host wall-clock cost of the serving hot loop: one full-domain fused
+/// expansion of a 2^16-entry table, per PRF family and strategy. This is the
+/// number the batched-PRF frontier engine is accountable to — the simulated
+/// GPU cycle model is unchanged by host-side layout, but every test, bench
+/// and the pir-serve runtime pay this wall-clock cost.
+fn bench_full_domain(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(4);
+    let bits = 16u32;
+    let params = DpfParams::for_domain(1 << bits);
+    let table = random_table(&mut rng, 1 << bits, 8);
+
+    let mut group = c.benchmark_group("full_domain_2^16");
+    for kind in [PrfKind::SipHash, PrfKind::Aes128] {
+        let prg = GgmPrg::new(build_prf(kind));
+        let (key, _) = generate_keys(&prg, &params, 1234, Ring128::ONE, &mut rng);
+        for strategy in [
+            EvalStrategy::LevelByLevel,
+            EvalStrategy::memory_bounded_default(),
+        ] {
+            group.bench_function(
+                BenchmarkId::new(format!("{kind:?}"), strategy.label()),
+                |b| b.iter(|| fused_eval_matmul(&prg, &key, &table, strategy, &NullRecorder)),
+            );
+        }
+    }
+    group.finish();
+}
+
 /// Figure 14 companion: fused vs unfused evaluation.
 fn bench_fusion(c: &mut Criterion) {
     let prg = GgmPrg::new(build_prf(PrfKind::SipHash));
@@ -130,6 +158,6 @@ fn bench_fusion(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10);
-    targets = bench_prfs, bench_gen_vs_eval, bench_strategies, bench_fusion
+    targets = bench_prfs, bench_gen_vs_eval, bench_strategies, bench_full_domain, bench_fusion
 }
 criterion_main!(benches);

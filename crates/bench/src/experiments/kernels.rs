@@ -71,7 +71,7 @@ pub fn figure6() -> Table {
             let profile = StrategyProfile::of(strategy, bits, batch);
             table.push_row(vec![
                 format!("2^{bits}"),
-                strategy.label(),
+                strategy.label().into_owned(),
                 fmt_f64(profile.prf_calls as f64),
                 fmt_f64(profile.peak_scratch_bytes as f64 / 1e6),
             ]);

@@ -1,9 +1,7 @@
 //! Batched DPF execution on the simulated GPU (§3.2.1, §3.2.5).
 
-use std::sync::Mutex;
-
 use gpu_sim::{BlockContext, GpuExecutor, KernelReport, LaunchConfig};
-use pir_field::{LaneVector, ShareMatrix};
+use pir_field::{AtomicLaneRows, LaneVector, ShareMatrix};
 use pir_prf::{GgmPrg, PrfKind};
 use serde::{Deserialize, Serialize};
 
@@ -161,11 +159,15 @@ impl<'a> BatchEvalJob<'a> {
     fn run_block_per_query(&self, executor: &GpuExecutor) -> BatchEvalOutput {
         let batch = self.keys.len();
         let config = LaunchConfig::linear(batch as u32, self.threads_per_block);
-        let slots: Vec<Mutex<Option<LaneVector>>> = (0..batch).map(|_| Mutex::new(None)).collect();
+        // Each block owns one preallocated output row; no result locking on
+        // the dispatch path.
+        let rows = AtomicLaneRows::new(batch, self.table.lanes_per_row());
         let cycles = self.prf_kind.gpu_cycles_per_block();
+        // The kernel name is composed once per job, not per launch.
+        let kernel_name = format!("dpf_batch[{}]", self.strategy.label());
 
         let report = executor.launch_with_resident_memory(
-            &format!("dpf_batch[{}]", self.strategy.label()),
+            &kernel_name,
             config,
             self.resident_bytes(),
             |block: &BlockContext<'_>| {
@@ -195,25 +197,23 @@ impl<'a> BatchEvalJob<'a> {
                         &recorder,
                     )
                 };
-                *slots[index].lock().expect("result slot poisoned") = Some(result);
+                rows.store_row(index, &result);
             },
         );
 
-        let results = slots
-            .into_iter()
-            .map(|slot| {
-                slot.into_inner()
-                    .expect("result slot poisoned")
-                    .expect("every block writes its slot")
-            })
-            .collect();
-        BatchEvalOutput { results, report }
+        BatchEvalOutput {
+            results: rows.into_lane_vectors(),
+            report,
+        }
     }
 
     fn run_cooperative(&self, executor: &GpuExecutor, split_bits: u32) -> BatchEvalOutput {
         let cycles = self.prf_kind.gpu_cycles_per_block();
+        let lanes = self.table.lanes_per_row();
         let mut results = Vec::with_capacity(self.keys.len());
         let mut merged: Option<KernelReport> = None;
+        // One launch per key, all sharing one kernel name built up front.
+        let kernel_name = format!("dpf_coop[{}]", self.strategy.label());
 
         // Cooperative groups dedicate the whole device to one query at a time;
         // a batch is processed as a sequence of cooperative launches.
@@ -223,11 +223,11 @@ impl<'a> BatchEvalJob<'a> {
             let blocks = subtrees.len() as u32;
             let config =
                 LaunchConfig::linear(blocks, self.threads_per_block).with_cooperative(true);
-            let partials: Vec<Mutex<Option<LaneVector>>> =
-                (0..subtrees.len()).map(|_| Mutex::new(None)).collect();
+            // One disjoint partial row per cooperating block.
+            let partials = AtomicLaneRows::new(subtrees.len(), lanes);
 
             let report = executor.launch_with_resident_memory(
-                &format!("dpf_coop[{}]", self.strategy.label()),
+                &kernel_name,
                 config,
                 self.resident_bytes(),
                 |block: &BlockContext<'_>| {
@@ -249,19 +249,13 @@ impl<'a> BatchEvalJob<'a> {
                     if index == 0 {
                         block.counters().record_grid_sync();
                     }
-                    block
-                        .counters()
-                        .record_flops(self.table.lanes_per_row() as u64);
-                    *partials[index].lock().expect("partial slot poisoned") = Some(partial);
+                    block.counters().record_flops(lanes as u64);
+                    partials.store_row(index, &partial);
                 },
             );
 
-            let mut answer = LaneVector::zeroed(self.table.lanes_per_row());
-            for partial in partials {
-                let partial = partial
-                    .into_inner()
-                    .expect("partial slot poisoned")
-                    .expect("every block writes its partial");
+            let mut answer = LaneVector::zeroed(lanes);
+            for partial in partials.into_lane_vectors() {
                 answer.add_assign_wrapping(&partial);
             }
             results.push(answer);
@@ -366,7 +360,9 @@ mod tests {
     #[test]
     fn unfused_matches_fused_results() {
         let (prg, table, targets, keys_a, keys_b) = setup(128, 4, 4, 53);
-        let executor = GpuExecutor::with_host_threads(DeviceSpec::v100(), 2);
+        // One host thread: peak-memory comparison below must not depend on
+        // how many simulated blocks happen to overlap on host workers.
+        let executor = GpuExecutor::with_host_threads(DeviceSpec::v100(), 1);
         let fused = BatchEvalJob::new(&prg, PrfKind::Aes128, &keys_a, &table).run(&executor);
         let unfused = BatchEvalJob::new(&prg, PrfKind::Aes128, &keys_a, &table)
             .with_fusion(false)

@@ -68,11 +68,12 @@ pub(crate) fn descend_both<R: Recorder>(
 }
 
 /// Convert a leaf state into this party's additive output share.
+///
+/// Branch-free: the control bit is pseudorandom, so a conditional add would
+/// mispredict on every other leaf of a full-domain expansion.
 pub(crate) fn leaf_share(key: &DpfKey, state: NodeState) -> Ring128 {
-    let mut value = Ring128::from(state.seed);
-    if state.t {
-        value += key.final_cw;
-    }
+    let mask = (state.t as u128).wrapping_neg();
+    let value = Ring128::from(state.seed) + Ring128::new(key.final_cw.value() & mask);
     value.negate_if(key.party == 1)
 }
 

@@ -50,6 +50,8 @@ pub mod fusion;
 pub mod gen;
 pub mod key;
 pub mod multi_gpu;
+#[cfg(test)]
+mod parity_tests;
 pub mod recorder;
 pub mod scheduler;
 pub mod strategy;

@@ -1,7 +1,7 @@
 //! Multi-GPU sharding of a single DPF (§3.2.7).
 
 use gpu_sim::{BlockContext, GpuExecutor, KernelReport, LaunchConfig};
-use pir_field::{LaneVector, ShareMatrix};
+use pir_field::{AtomicLaneRows, LaneVector, ShareMatrix};
 use pir_prf::{GgmPrg, PrfKind};
 
 use crate::fusion::fused_eval_matmul_subtree;
@@ -112,7 +112,9 @@ impl<'a> MultiGpuEvalJob<'a> {
             if owned.is_empty() {
                 continue;
             }
-            let partial = std::sync::Mutex::new(LaneVector::zeroed(self.table.lanes_per_row()));
+            // Blocks fold their local sums into one shared row with lock-free
+            // wrapping lane adds.
+            let partial = AtomicLaneRows::new(1, self.table.lanes_per_row());
             // Residency follows the subtrees this device actually owns: with a
             // non-power-of-two device count some devices own an extra subtree
             // (3 devices -> 4 subtrees, device 0 owns two), so `rows /
@@ -151,15 +153,12 @@ impl<'a> MultiGpuEvalJob<'a> {
                         local.add_assign_wrapping(&part);
                     }
                     if handled_any {
-                        partial
-                            .lock()
-                            .expect("partial poisoned")
-                            .add_assign_wrapping(&local);
+                        partial.add_row(0, &local);
                     }
                 },
             );
 
-            result.add_assign_wrapping(&partial.into_inner().expect("partial poisoned"));
+            result.add_assign_wrapping(&partial.row(0));
             per_device.push(report);
         }
 
@@ -311,9 +310,9 @@ impl<'a> MultiGpuBatchEvalJob<'a> {
             }
             // Flattened (key × owned-subtree) work items, striped over blocks.
             let work_items = self.keys.len() * owned_indices.len();
-            let partials: Vec<std::sync::Mutex<LaneVector>> = (0..self.keys.len())
-                .map(|_| std::sync::Mutex::new(LaneVector::zeroed(lanes)))
-                .collect();
+            // One partial row per key; blocks accumulate with lock-free
+            // wrapping lane adds instead of taking a mutex per work item.
+            let partials = AtomicLaneRows::new(self.keys.len(), lanes);
             // Same ownership-aware residency rule as the single-key job: all
             // keys share one domain, so the first key's subtree list gives the
             // row spans this device holds.
@@ -356,16 +355,13 @@ impl<'a> MultiGpuBatchEvalJob<'a> {
                             self.strategy,
                             &recorder,
                         );
-                        partials[key_index]
-                            .lock()
-                            .expect("partial poisoned")
-                            .add_assign_wrapping(&part);
+                        partials.add_row(key_index, &part);
                     }
                 },
             );
 
-            for (result, partial) in results.iter_mut().zip(partials) {
-                result.add_assign_wrapping(&partial.into_inner().expect("partial poisoned"));
+            for (result, partial) in results.iter_mut().zip(partials.into_lane_vectors()) {
+                result.add_assign_wrapping(&partial);
             }
             per_device.push(report);
         }

@@ -1,8 +1,19 @@
 //! Full-domain expansion strategies (§3.2.2–§3.2.3 of the paper).
+//!
+//! The level-synchronous strategies run on a **frontier engine**: the whole
+//! current tree level lives in one contiguous seed buffer (control bits packed
+//! 64-per-word), each level is expanded with two batched PRF sweeps
+//! ([`pir_prf::Prf::eval_blocks`]) into a second buffer, and the buffers
+//! ping-pong. This replaces per-node `NodeState` construction and per-node
+//! dynamic PRF dispatch with straight-line loops, while the recorder sees the
+//! exact same event totals as the per-node formulation — the simulated cost
+//! model is layout-independent by construction (the parity tests in
+//! `parity_tests` prove both properties against the scalar reference).
 
-use pir_field::Ring128;
-use pir_prf::GgmPrg;
+use pir_field::{Block128, Ring128};
+use pir_prf::{FrontierScratch, GgmPrg};
 use serde::{Deserialize, Serialize};
+use std::borrow::Cow;
 
 use crate::eval::{
     descend_both, descend_one, leaf_share, subtree_root_state, NodeState, NODE_STATE_BYTES,
@@ -47,13 +58,18 @@ impl EvalStrategy {
         EvalStrategy::MemoryBounded { chunk: 128 }
     }
 
-    /// Short label used in benchmark output.
+    /// Short label used in benchmark output and kernel names.
+    ///
+    /// Borrowed for the fixed strategies so hot launch paths can name their
+    /// kernels without allocating; only the parameterized `MemoryBounded`
+    /// label is formatted (and callers cache the kernel name per job, not per
+    /// launch).
     #[must_use]
-    pub fn label(&self) -> String {
+    pub fn label(&self) -> Cow<'static, str> {
         match self {
-            EvalStrategy::BranchParallel => "branch-parallel".to_string(),
-            EvalStrategy::LevelByLevel => "level-by-level".to_string(),
-            EvalStrategy::MemoryBounded { chunk } => format!("mem-bound(K={chunk})"),
+            EvalStrategy::BranchParallel => Cow::Borrowed("branch-parallel"),
+            EvalStrategy::LevelByLevel => Cow::Borrowed("level-by-level"),
+            EvalStrategy::MemoryBounded { chunk } => Cow::Owned(format!("mem-bound(K={chunk})")),
         }
     }
 }
@@ -167,6 +183,7 @@ pub fn eval_subtree_with<R, F>(
             );
         }
         EvalStrategy::LevelByLevel => {
+            let mut frontier = FrontierBuffers::with_leaf_capacity(1usize << depth_below);
             level_by_level(
                 prg,
                 key,
@@ -176,6 +193,7 @@ pub fn eval_subtree_with<R, F>(
                 base_index,
                 recorder,
                 visitor,
+                &mut frontier,
             );
         }
         EvalStrategy::MemoryBounded { chunk } => {
@@ -286,11 +304,60 @@ fn branch_parallel<R, F>(
     recorder.release(chunk_len as u64 * LEAF_BYTES);
 }
 
-/// Level-by-level: materialize every node of each level.
+/// Nodes expanded per PRF sweep inside one level: large enough to amortize
+/// per-sweep setup (key schedules, dispatch), small enough that the two raw
+/// sweep outputs (2 × 16 B per node) stay resident in L1 while the fused
+/// pass consumes them.
+const FRONTIER_TILE: usize = 256;
+
+/// Reusable buffers backing the frontier engine: ping-pong seed levels with
+/// packed control bits, the PRF scratch, and the materialized leaf chunk
+/// handed to the visitor.
+///
+/// One instance serves a whole expansion job — `MemoryBounded` reuses it
+/// across every chunk of a `fused_eval_matmul` call, so the hot loop performs
+/// no allocation after the first chunk.
+#[derive(Default)]
+struct FrontierBuffers {
+    /// Seeds of the current level (the frontier).
+    seeds: Vec<Block128>,
+    /// Seeds of the next level (swap target).
+    next_seeds: Vec<Block128>,
+    /// Control bits of the current level, packed 64 per word.
+    t_bits: Vec<u64>,
+    /// Control bits of the next level.
+    next_t_bits: Vec<u64>,
+    /// Raw PRF sweep outputs, owned by [`GgmPrg::expand_frontier`].
+    scratch: FrontierScratch,
+    /// Leaf shares of the finished chunk.
+    leaves: Vec<Ring128>,
+}
+
+impl FrontierBuffers {
+    /// Buffers sized so that expanding up to `leaves` leaves never
+    /// reallocates.
+    fn with_leaf_capacity(leaves: usize) -> Self {
+        Self {
+            seeds: Vec::with_capacity(leaves),
+            next_seeds: Vec::with_capacity(leaves),
+            t_bits: Vec::with_capacity(leaves.div_ceil(64)),
+            next_t_bits: Vec::with_capacity(leaves.div_ceil(64)),
+            scratch: FrontierScratch::with_capacity(FRONTIER_TILE.min(leaves)),
+            leaves: Vec::with_capacity(leaves),
+        }
+    }
+}
+
+/// Level-by-level: materialize every node of each level, expanding the whole
+/// frontier per level with two batched PRF sweeps.
 ///
 /// `level_offset` is the absolute tree depth of `root` (0 when expanding from
 /// the real root), needed to pick the right correction words when expanding a
 /// subtree.
+///
+/// The recorder event stream (PRF totals, alloc/release sequence, leaf
+/// arithmetic) is identical to the per-node formulation this replaced; the
+/// parity tests assert that equivalence counter by counter.
 #[allow(clippy::too_many_arguments)]
 fn level_by_level<R, F>(
     prg: &GgmPrg,
@@ -301,36 +368,150 @@ fn level_by_level<R, F>(
     base_index: u64,
     recorder: &R,
     visitor: &mut F,
+    frontier: &mut FrontierBuffers,
 ) where
     R: Recorder,
     F: FnMut(u64, &[Ring128]),
 {
-    let mut current = vec![root];
+    // Buffer lengths are tracked explicitly and the Vecs only ever grow:
+    // every slot in play is overwritten by the fused pass, so per-level
+    // resizing (with its zero-fill on regrowth) would be pure overhead when
+    // the buffers are reused across levels and chunks.
+    grow_blocks(&mut frontier.seeds, 1);
+    frontier.seeds[0] = root.seed;
+    grow_words(&mut frontier.t_bits, 1);
+    frontier.t_bits[0] = root.t as u64;
     recorder.alloc(NODE_STATE_BYTES);
 
+    let mut len = 1usize;
     for level in 0..depth_below {
-        let next_len = current.len() as u64 * 2;
-        recorder.alloc(next_len * NODE_STATE_BYTES);
-        let mut next = Vec::with_capacity(next_len as usize);
-        for state in &current {
-            let (left, right) =
-                descend_both(prg, key, *state, (level_offset + level) as usize, recorder);
-            next.push(left);
-            next.push(right);
+        let next_len = len * 2;
+        recorder.alloc(next_len as u64 * NODE_STATE_BYTES);
+        recorder.prf_calls(2 * len as u64);
+
+        // On the last level the children are the leaves: convert them to ring
+        // shares directly in the fused pass instead of materializing a final
+        // seed level and re-reading it.
+        let is_last = level + 1 == depth_below;
+        if is_last {
+            grow_leaves(&mut frontier.leaves, next_len);
+        } else {
+            grow_blocks(&mut frontier.next_seeds, next_len);
+            grow_words(&mut frontier.next_t_bits, next_len.div_ceil(64));
         }
-        recorder.release(current.len() as u64 * NODE_STATE_BYTES);
-        current = next;
+
+        let cw = &key.levels[(level_offset + level) as usize];
+        // Sweep the level in L1-sized tiles: the raw PRF outputs never leave
+        // cache, and one fused pass applies the feed-forward, splits the
+        // control bits and applies the correction word (branch-free, matching
+        // how GPU lanes mask the correction). Work runs in 32-node subgroups
+        // so each packed output word is composed in a register and parent
+        // bits are read word-at-a-time — the inner loops are pure iterator
+        // zips with no index arithmetic.
+        let mut tile_start = 0usize;
+        while tile_start < len {
+            let tile_len = (len - tile_start).min(FRONTIER_TILE);
+            let tile = &frontier.seeds[tile_start..tile_start + tile_len];
+            let (left, right) = prg.frontier_sweeps(tile, &mut frontier.scratch);
+
+            let mut group_start = 0usize;
+            while group_start < tile_len {
+                let group_len = (tile_len - group_start).min(32);
+                let node_base = tile_start + group_start;
+                // `node_base` is a multiple of 32 (tiles and levels are
+                // power-of-two sized), so the group's parent bits live in one
+                // aligned half-word and its child bits fill one output word.
+                let parent_bits =
+                    (frontier.t_bits[node_base / 64] >> (node_base % 64)) & 0xffff_ffff;
+                let lefts = &left[group_start..group_start + group_len];
+                let rights = &right[group_start..group_start + group_len];
+
+                if is_last {
+                    let leaves = &mut frontier.leaves[2 * node_base..2 * (node_base + group_len)];
+                    for (i, ((l, r), out)) in lefts
+                        .iter()
+                        .zip(rights)
+                        .zip(leaves.chunks_exact_mut(2))
+                        .enumerate()
+                    {
+                        let parent_t = (parent_bits >> i) & 1 == 1;
+                        let l_state = NodeState {
+                            seed: l.with_cleared_lsb().xor_if(parent_t, cw.seed),
+                            t: l.lsb() ^ (parent_t & cw.t_left),
+                        };
+                        let r_state = NodeState {
+                            seed: r.with_cleared_lsb().xor_if(parent_t, cw.seed),
+                            t: r.lsb() ^ (parent_t & cw.t_right),
+                        };
+                        out[0] = leaf_share(key, l_state);
+                        out[1] = leaf_share(key, r_state);
+                    }
+                } else {
+                    let children =
+                        &mut frontier.next_seeds[2 * node_base..2 * (node_base + group_len)];
+                    let mut child_bits = 0u64;
+                    for (i, ((l, r), out)) in lefts
+                        .iter()
+                        .zip(rights)
+                        .zip(children.chunks_exact_mut(2))
+                        .enumerate()
+                    {
+                        let parent_t = (parent_bits >> i) & 1 == 1;
+                        let l_t = l.lsb() ^ (parent_t & cw.t_left);
+                        let r_t = r.lsb() ^ (parent_t & cw.t_right);
+                        child_bits |= ((l_t as u64) | ((r_t as u64) << 1)) << (2 * i);
+                        out[0] = l.with_cleared_lsb().xor_if(parent_t, cw.seed);
+                        out[1] = r.with_cleared_lsb().xor_if(parent_t, cw.seed);
+                    }
+                    frontier.next_t_bits[node_base / 32] = child_bits;
+                }
+                group_start += group_len;
+            }
+            tile_start += tile_len;
+        }
+
+        recorder.release(len as u64 * NODE_STATE_BYTES);
+        if !is_last {
+            std::mem::swap(&mut frontier.seeds, &mut frontier.next_seeds);
+            std::mem::swap(&mut frontier.t_bits, &mut frontier.next_t_bits);
+        }
+        len = next_len;
     }
 
-    recorder.alloc(current.len() as u64 * LEAF_BYTES);
-    let values: Vec<Ring128> = current
-        .iter()
-        .map(|state| leaf_share(key, *state))
-        .collect();
-    recorder.arithmetic(values.len() as u64);
-    visitor(base_index, &values);
-    recorder.release(current.len() as u64 * LEAF_BYTES);
-    recorder.release(current.len() as u64 * NODE_STATE_BYTES);
+    if depth_below == 0 {
+        grow_leaves(&mut frontier.leaves, 1);
+        frontier.leaves[0] = leaf_share(key, root);
+    }
+    let leaf_count = len;
+    recorder.alloc(leaf_count as u64 * LEAF_BYTES);
+    recorder.arithmetic(leaf_count as u64);
+    visitor(base_index, &frontier.leaves[..leaf_count]);
+    recorder.release(leaf_count as u64 * LEAF_BYTES);
+    recorder.release(leaf_count as u64 * NODE_STATE_BYTES);
+}
+
+/// Grow `buf` to at least `n` entries without ever shrinking it.
+#[inline]
+fn grow_blocks(buf: &mut Vec<Block128>, n: usize) {
+    if buf.len() < n {
+        buf.resize(n, Block128::ZERO);
+    }
+}
+
+/// Grow `buf` to at least `n` words without ever shrinking it.
+#[inline]
+fn grow_words(buf: &mut Vec<u64>, n: usize) {
+    if buf.len() < n {
+        buf.resize(n, 0);
+    }
+}
+
+/// Grow `buf` to at least `n` leaves without ever shrinking it.
+#[inline]
+fn grow_leaves(buf: &mut Vec<Ring128>, n: usize) {
+    if buf.len() < n {
+        buf.resize(n, Ring128::ZERO);
+    }
 }
 
 /// Memory-bounded tree traversal: depth-first over `chunk`-leaf subtrees, each
@@ -351,6 +532,9 @@ fn memory_bounded<R, F>(
     F: FnMut(u64, &[Ring128]),
 {
     let chunk_bits = (chunk as u64).trailing_zeros().min(depth_below);
+    // One set of frontier buffers serves every chunk of this traversal: after
+    // the first chunk the hot loop allocates nothing.
+    let mut frontier = FrontierBuffers::with_leaf_capacity(1usize << chunk_bits);
 
     // Recursive depth-first descent; the explicit recursion depth is bounded by
     // 64 levels so the host stack is more than sufficient.
@@ -365,6 +549,7 @@ fn memory_bounded<R, F>(
         base_index: u64,
         recorder: &R,
         visitor: &mut F,
+        frontier: &mut FrontierBuffers,
     ) where
         R: Recorder,
         F: FnMut(u64, &[Ring128]),
@@ -374,7 +559,7 @@ fn memory_bounded<R, F>(
             // Expand this subtree level-by-level (at most `chunk` leaves) and
             // hand the chunk to the consumer.
             level_by_level(
-                prg, key, state, level, remaining, base_index, recorder, visitor,
+                prg, key, state, level, remaining, base_index, recorder, visitor, frontier,
             );
             return;
         }
@@ -391,6 +576,7 @@ fn memory_bounded<R, F>(
             base_index,
             recorder,
             visitor,
+            frontier,
         );
         descend(
             prg,
@@ -402,6 +588,7 @@ fn memory_bounded<R, F>(
             base_index + half,
             recorder,
             visitor,
+            frontier,
         );
         recorder.release(NODE_STATE_BYTES);
     }
@@ -416,6 +603,7 @@ fn memory_bounded<R, F>(
         base_index,
         recorder,
         visitor,
+        &mut frontier,
     );
 }
 

@@ -142,12 +142,14 @@ impl fmt::Binary for Block128 {
 }
 
 impl From<u128> for Block128 {
+    #[inline]
     fn from(value: u128) -> Self {
         Self(value)
     }
 }
 
 impl From<Block128> for u128 {
+    #[inline]
     fn from(value: Block128) -> Self {
         value.0
     }
@@ -161,12 +163,14 @@ impl From<[u8; 16]> for Block128 {
 
 impl BitXor for Block128 {
     type Output = Self;
+    #[inline]
     fn bitxor(self, rhs: Self) -> Self {
         Self(self.0 ^ rhs.0)
     }
 }
 
 impl BitXorAssign for Block128 {
+    #[inline]
     fn bitxor_assign(&mut self, rhs: Self) {
         self.0 ^= rhs.0;
     }
@@ -174,6 +178,7 @@ impl BitXorAssign for Block128 {
 
 impl BitAnd for Block128 {
     type Output = Self;
+    #[inline]
     fn bitand(self, rhs: Self) -> Self {
         Self(self.0 & rhs.0)
     }
@@ -181,6 +186,7 @@ impl BitAnd for Block128 {
 
 impl BitOr for Block128 {
     type Output = Self;
+    #[inline]
     fn bitor(self, rhs: Self) -> Self {
         Self(self.0 | rhs.0)
     }
@@ -188,6 +194,7 @@ impl BitOr for Block128 {
 
 impl Not for Block128 {
     type Output = Self;
+    #[inline]
     fn not(self) -> Self {
         Self(!self.0)
     }

@@ -31,12 +31,14 @@
 #![warn(missing_docs)]
 
 mod block;
+mod lane_rows;
 mod matrix;
 mod ring;
 mod share;
 mod vector;
 
 pub use block::Block128;
+pub use lane_rows::AtomicLaneRows;
 pub use matrix::{matvec_accumulate, matvec_shares, ShareMatrix};
 pub use ring::{Ring128, RingElement};
 pub use share::{reconstruct_lanes, reconstruct_ring, share_lanes, share_ring, AdditiveShare};

@@ -151,8 +151,17 @@ pub fn matvec_accumulate(
         matrix.lanes_per_row(),
         "accumulator width mismatch"
     );
-    for (offset, weight) in weights.iter().enumerate() {
-        acc.add_scaled_assign(weight.to_lane(), matrix.row(base_row + offset));
+    // Walk the chunk's rows as one contiguous slice so the inner
+    // multiply-accumulate loop carries no per-row bounds checks — this is the
+    // innermost loop of the fused DPF-matmul hot path.
+    let lanes = matrix.lanes_per_row;
+    let start = base_row * lanes;
+    let data = &matrix.data[start..start + weights.len() * lanes];
+    for (weight, row) in weights.iter().zip(data.chunks_exact(lanes)) {
+        let scale = weight.to_lane();
+        for (lane, value) in acc.0.iter_mut().zip(row) {
+            *lane = lane.wrapping_add(scale.wrapping_mul(*value));
+        }
     }
 }
 

@@ -94,6 +94,7 @@ impl Ring128 {
 
 /// Convert a seed block into a ring element (the DPF `convert` map).
 impl From<Block128> for Ring128 {
+    #[inline]
     fn from(block: Block128) -> Self {
         Self(block.as_u128())
     }
@@ -125,12 +126,14 @@ impl fmt::Display for Ring128 {
 
 impl Add for Ring128 {
     type Output = Self;
+    #[inline]
     fn add(self, rhs: Self) -> Self {
         self.wrapping_add(rhs)
     }
 }
 
 impl AddAssign for Ring128 {
+    #[inline]
     fn add_assign(&mut self, rhs: Self) {
         *self = *self + rhs;
     }
@@ -138,12 +141,14 @@ impl AddAssign for Ring128 {
 
 impl Sub for Ring128 {
     type Output = Self;
+    #[inline]
     fn sub(self, rhs: Self) -> Self {
         self.wrapping_sub(rhs)
     }
 }
 
 impl SubAssign for Ring128 {
+    #[inline]
     fn sub_assign(&mut self, rhs: Self) {
         *self = *self - rhs;
     }
@@ -151,6 +156,7 @@ impl SubAssign for Ring128 {
 
 impl Mul for Ring128 {
     type Output = Self;
+    #[inline]
     fn mul(self, rhs: Self) -> Self {
         self.wrapping_mul(rhs)
     }
@@ -164,6 +170,7 @@ impl MulAssign for Ring128 {
 
 impl Neg for Ring128 {
     type Output = Self;
+    #[inline]
     fn neg(self) -> Self {
         self.wrapping_neg()
     }

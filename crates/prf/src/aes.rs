@@ -41,7 +41,7 @@ const BLOCK: usize = 16;
 
 /// Multiply a byte by `x` in GF(2^8) (the `xtime` operation from FIPS-197).
 #[inline]
-fn xtime(byte: u8) -> u8 {
+const fn xtime(byte: u8) -> u8 {
     let shifted = byte << 1;
     if byte & 0x80 != 0 {
         shifted ^ 0x1b
@@ -50,10 +50,52 @@ fn xtime(byte: u8) -> u8 {
     }
 }
 
-/// An expanded AES-128 key schedule.
+/// The fused SubBytes+ShiftRows+MixColumns lookup table for byte row 0.
+///
+/// `T0[x]` packs the MixColumns products of `S(x)` into one little-endian
+/// column word: bytes `(2·S(x), S(x), S(x), 3·S(x))`. The tables for byte
+/// rows 1–3 are byte rotations of `T0`, so one round of AES becomes four
+/// table lookups and four XORs per column — the classic 32-bit software AES
+/// formulation, computed once at compile time. The ciphertext is bit-for-bit
+/// identical to the byte-oriented FIPS-197 walkthrough (the FIPS test vector
+/// below checks this).
+const T0: [u32; 256] = build_t0();
+/// `T0` rotated left by one byte (for state byte row 1).
+const T1: [u32; 256] = rotate_table(&T0, 8);
+/// `T0` rotated left by two bytes (for state byte row 2).
+const T2: [u32; 256] = rotate_table(&T0, 16);
+/// `T0` rotated left by three bytes (for state byte row 3).
+const T3: [u32; 256] = rotate_table(&T0, 24);
+
+const fn build_t0() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let s = SBOX[i];
+        let s2 = xtime(s);
+        let s3 = s2 ^ s;
+        table[i] = (s2 as u32) | ((s as u32) << 8) | ((s as u32) << 16) | ((s3 as u32) << 24);
+        i += 1;
+    }
+    table
+}
+
+const fn rotate_table(base: &[u32; 256], bits: u32) -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        table[i] = base[i].rotate_left(bits);
+        i += 1;
+    }
+    table
+}
+
+/// An expanded AES-128 key schedule, stored as little-endian column words —
+/// the form the T-table encryption loop consumes (byte `r` of column word `c`
+/// is the FIPS-197 state byte at row `r`, column `c`).
 #[derive(Clone)]
 pub struct Aes128 {
-    round_keys: [[u8; BLOCK]; ROUNDS + 1],
+    round_key_columns: [[u32; 4]; ROUNDS + 1],
 }
 
 impl Aes128 {
@@ -77,68 +119,76 @@ impl Aes128 {
                 words[i][j] = words[i - 4][j] ^ temp[j];
             }
         }
-        let mut round_keys = [[0u8; BLOCK]; ROUNDS + 1];
-        for (round, round_key) in round_keys.iter_mut().enumerate() {
-            for word in 0..4 {
-                round_key[4 * word..4 * word + 4].copy_from_slice(&words[4 * round + word]);
+        let mut round_key_columns = [[0u32; 4]; ROUNDS + 1];
+        for (round, columns) in round_key_columns.iter_mut().enumerate() {
+            for (word, column) in columns.iter_mut().enumerate() {
+                *column = u32::from_le_bytes(words[4 * round + word]);
             }
         }
-        Self { round_keys }
+        Self { round_key_columns }
     }
 
     /// Encrypt a single 16-byte block.
+    ///
+    /// The state is held as four little-endian column words (byte `r` of
+    /// column `c` is state byte `c*4 + r`, the FIPS-197 column-major layout);
+    /// each middle round is the fused T-table transform, the last round
+    /// applies SubBytes+ShiftRows without MixColumns.
     #[must_use]
     pub fn encrypt_block(&self, plaintext: [u8; BLOCK]) -> [u8; BLOCK] {
-        let mut state = plaintext;
-        add_round_key(&mut state, &self.round_keys[0]);
-        for round in 1..ROUNDS {
-            sub_bytes(&mut state);
-            shift_rows(&mut state);
-            mix_columns(&mut state);
-            add_round_key(&mut state, &self.round_keys[round]);
+        let rk = &self.round_key_columns;
+        let mut c0 = u32::from_le_bytes([plaintext[0], plaintext[1], plaintext[2], plaintext[3]]);
+        let mut c1 = u32::from_le_bytes([plaintext[4], plaintext[5], plaintext[6], plaintext[7]]);
+        let mut c2 = u32::from_le_bytes([plaintext[8], plaintext[9], plaintext[10], plaintext[11]]);
+        let mut c3 =
+            u32::from_le_bytes([plaintext[12], plaintext[13], plaintext[14], plaintext[15]]);
+        c0 ^= rk[0][0];
+        c1 ^= rk[0][1];
+        c2 ^= rk[0][2];
+        c3 ^= rk[0][3];
+
+        for k in rk.iter().take(ROUNDS).skip(1) {
+            let n0 = T0[(c0 & 0xff) as usize]
+                ^ T1[((c1 >> 8) & 0xff) as usize]
+                ^ T2[((c2 >> 16) & 0xff) as usize]
+                ^ T3[(c3 >> 24) as usize]
+                ^ k[0];
+            let n1 = T0[(c1 & 0xff) as usize]
+                ^ T1[((c2 >> 8) & 0xff) as usize]
+                ^ T2[((c3 >> 16) & 0xff) as usize]
+                ^ T3[(c0 >> 24) as usize]
+                ^ k[1];
+            let n2 = T0[(c2 & 0xff) as usize]
+                ^ T1[((c3 >> 8) & 0xff) as usize]
+                ^ T2[((c0 >> 16) & 0xff) as usize]
+                ^ T3[(c1 >> 24) as usize]
+                ^ k[2];
+            let n3 = T0[(c3 & 0xff) as usize]
+                ^ T1[((c0 >> 8) & 0xff) as usize]
+                ^ T2[((c1 >> 16) & 0xff) as usize]
+                ^ T3[(c2 >> 24) as usize]
+                ^ k[3];
+            (c0, c1, c2, c3) = (n0, n1, n2, n3);
         }
-        sub_bytes(&mut state);
-        shift_rows(&mut state);
-        add_round_key(&mut state, &self.round_keys[ROUNDS]);
-        state
-    }
-}
 
-fn add_round_key(state: &mut [u8; BLOCK], round_key: &[u8; BLOCK]) {
-    for (s, k) in state.iter_mut().zip(round_key) {
-        *s ^= k;
-    }
-}
+        let k = &rk[ROUNDS];
+        let last = |a: u32, b: u32, c: u32, d: u32| -> u32 {
+            (SBOX[(a & 0xff) as usize] as u32)
+                | ((SBOX[((b >> 8) & 0xff) as usize] as u32) << 8)
+                | ((SBOX[((c >> 16) & 0xff) as usize] as u32) << 16)
+                | ((SBOX[(d >> 24) as usize] as u32) << 24)
+        };
+        let o0 = last(c0, c1, c2, c3) ^ k[0];
+        let o1 = last(c1, c2, c3, c0) ^ k[1];
+        let o2 = last(c2, c3, c0, c1) ^ k[2];
+        let o3 = last(c3, c0, c1, c2) ^ k[3];
 
-fn sub_bytes(state: &mut [u8; BLOCK]) {
-    for byte in state.iter_mut() {
-        *byte = SBOX[*byte as usize];
-    }
-}
-
-/// State is column-major: byte `state[c*4 + r]` is row `r`, column `c`.
-fn shift_rows(state: &mut [u8; BLOCK]) {
-    let copy = *state;
-    for row in 1..4 {
-        for col in 0..4 {
-            state[col * 4 + row] = copy[((col + row) % 4) * 4 + row];
-        }
-    }
-}
-
-fn mix_columns(state: &mut [u8; BLOCK]) {
-    for col in 0..4 {
-        let a = [
-            state[col * 4],
-            state[col * 4 + 1],
-            state[col * 4 + 2],
-            state[col * 4 + 3],
-        ];
-        let b = [xtime(a[0]), xtime(a[1]), xtime(a[2]), xtime(a[3])];
-        state[col * 4] = b[0] ^ a[1] ^ b[1] ^ a[2] ^ a[3];
-        state[col * 4 + 1] = a[0] ^ b[1] ^ a[2] ^ b[2] ^ a[3];
-        state[col * 4 + 2] = a[0] ^ a[1] ^ b[2] ^ a[3] ^ b[3];
-        state[col * 4 + 3] = a[0] ^ b[0] ^ a[1] ^ a[2] ^ b[3];
+        let mut out = [0u8; BLOCK];
+        out[0..4].copy_from_slice(&o0.to_le_bytes());
+        out[4..8].copy_from_slice(&o1.to_le_bytes());
+        out[8..12].copy_from_slice(&o2.to_le_bytes());
+        out[12..16].copy_from_slice(&o3.to_le_bytes());
+        out
     }
 }
 
@@ -173,9 +223,29 @@ impl Prf for Aes128Prf {
     }
 
     fn eval_block(&self, input: Block128, tweak: u64) -> Block128 {
-        let tweaked = input ^ Block128::from_halves(tweak, tweak.rotate_left(32) ^ 0xa5a5_a5a5);
+        let tweaked = input ^ tweak_block(tweak);
         Block128::from_le_bytes(self.cipher.encrypt_block(tweaked.to_le_bytes()))
     }
+
+    fn eval_blocks(&self, inputs: &[Block128], tweak: u64, out: &mut [Block128]) {
+        assert_eq!(
+            inputs.len(),
+            out.len(),
+            "eval_blocks input/output length mismatch"
+        );
+        let mask = tweak_block(tweak);
+        for (input, slot) in inputs.iter().zip(out.iter_mut()) {
+            *slot =
+                Block128::from_le_bytes(self.cipher.encrypt_block((*input ^ mask).to_le_bytes()));
+        }
+    }
+}
+
+/// The tweak is mixed into the plaintext before encryption (counter-mode
+/// style domain separation).
+#[inline]
+fn tweak_block(tweak: u64) -> Block128 {
+    Block128::from_halves(tweak, tweak.rotate_left(32) ^ 0xa5a5_a5a5)
 }
 
 #[cfg(test)]
@@ -209,21 +279,29 @@ mod tests {
             0x4f, 0x3c,
         ];
         let cipher = Aes128::new(key);
+        let columns = |bytes: [u8; 16]| {
+            [
+                u32::from_le_bytes([bytes[0], bytes[1], bytes[2], bytes[3]]),
+                u32::from_le_bytes([bytes[4], bytes[5], bytes[6], bytes[7]]),
+                u32::from_le_bytes([bytes[8], bytes[9], bytes[10], bytes[11]]),
+                u32::from_le_bytes([bytes[12], bytes[13], bytes[14], bytes[15]]),
+            ]
+        };
         // w[4..8] from the FIPS-197 walkthrough: a0fafe17 88542cb1 23a33939 2a6c7605
         assert_eq!(
-            cipher.round_keys[1],
-            [
+            cipher.round_key_columns[1],
+            columns([
                 0xa0, 0xfa, 0xfe, 0x17, 0x88, 0x54, 0x2c, 0xb1, 0x23, 0xa3, 0x39, 0x39, 0x2a, 0x6c,
                 0x76, 0x05
-            ]
+            ])
         );
         // Final round key w[40..44]: d014f9a8 c9ee2589 e13f0cc8 b6630ca6
         assert_eq!(
-            cipher.round_keys[10],
-            [
+            cipher.round_key_columns[10],
+            columns([
                 0xd0, 0x14, 0xf9, 0xa8, 0xc9, 0xee, 0x25, 0x89, 0xe1, 0x3f, 0x0c, 0xc8, 0xb6, 0x63,
                 0x0c, 0xa6
-            ]
+            ])
         );
     }
 

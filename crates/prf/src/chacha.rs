@@ -73,24 +73,53 @@ impl ChaCha20Prf {
     }
 }
 
+impl ChaCha20Prf {
+    /// Evaluate one block against a prepared key/nonce template; only the
+    /// input-derived key half varies per call.
+    #[inline]
+    fn eval_with_key(&self, input: Block128, key: &mut [u32; 8], nonce: &[u32; 3]) -> Block128 {
+        let (low, high) = input.halves();
+        key[0] = low as u32;
+        key[1] = (low >> 32) as u32;
+        key[2] = high as u32;
+        key[3] = (high >> 32) as u32;
+        let out = chacha20_block(key, 0, nonce);
+        Block128::from_halves(
+            (out[0] as u64) | ((out[1] as u64) << 32),
+            (out[2] as u64) | ((out[3] as u64) << 32),
+        )
+    }
+
+    /// The domain-separation nonce derived from `tweak`.
+    #[inline]
+    fn nonce(tweak: u64) -> [u32; 3] {
+        [tweak as u32, (tweak >> 32) as u32, 0x5049_5221]
+    }
+}
+
 impl Prf for ChaCha20Prf {
     fn kind(&self) -> PrfKind {
         PrfKind::Chacha20
     }
 
     fn eval_block(&self, input: Block128, tweak: u64) -> Block128 {
-        let bytes = input.to_le_bytes();
         let mut key = [0u32; 8];
-        for (i, chunk) in bytes.chunks_exact(4).enumerate() {
-            key[i] = u32::from_le_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]);
-        }
         key[4..8].copy_from_slice(&self.key_high);
-        let nonce = [tweak as u32, (tweak >> 32) as u32, 0x5049_5221];
-        let out = chacha20_block(&key, 0, &nonce);
-        Block128::from_halves(
-            (out[0] as u64) | ((out[1] as u64) << 32),
-            (out[2] as u64) | ((out[3] as u64) << 32),
-        )
+        self.eval_with_key(input, &mut key, &Self::nonce(tweak))
+    }
+
+    fn eval_blocks(&self, inputs: &[Block128], tweak: u64, out: &mut [Block128]) {
+        assert_eq!(
+            inputs.len(),
+            out.len(),
+            "eval_blocks input/output length mismatch"
+        );
+        let nonce = Self::nonce(tweak);
+        let mut key = [0u32; 8];
+        key[4..8].copy_from_slice(&self.key_high);
+        for (input, slot) in inputs.iter().zip(out.iter_mut()) {
+            *slot = self.eval_with_key(*input, &mut key, &nonce);
+        }
     }
 }
 

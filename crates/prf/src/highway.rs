@@ -103,14 +103,34 @@ impl HighwayState {
 
 /// HighwayHash-style keyed PRF with 128-bit output.
 pub struct HighwayPrf {
-    key: [u64; 4],
+    /// The key-derived initial state, computed once; every evaluation starts
+    /// from a copy instead of re-deriving it from the key.
+    base: HighwayState,
 }
 
 impl HighwayPrf {
     /// Build a PRF with an explicit 256-bit key.
     #[must_use]
     pub fn new(key: [u64; 4]) -> Self {
-        Self { key }
+        Self {
+            base: HighwayState::new(&key),
+        }
+    }
+
+    /// The tweak-derived packet lanes shared by every block of a batch.
+    #[inline]
+    fn tweak_lanes(tweak: u64) -> (u64, u64) {
+        (tweak, tweak.rotate_left(29) ^ 0x9e37_79b9_7f4a_7c15)
+    }
+
+    /// One evaluation from the cached base state.
+    #[inline]
+    fn eval_from_base(&self, input: Block128, t2: u64, t3: u64) -> Block128 {
+        let (low, high) = input.halves();
+        let mut state = self.base.clone();
+        state.update(&[low, high, t2, t3]);
+        let (out_low, out_high) = state.finalize128();
+        Block128::from_halves(out_low, out_high)
     }
 
     /// Build a PRF with the crate's fixed public key.
@@ -131,17 +151,20 @@ impl Prf for HighwayPrf {
     }
 
     fn eval_block(&self, input: Block128, tweak: u64) -> Block128 {
-        let (low, high) = input.halves();
-        let packet = [
-            low,
-            high,
-            tweak,
-            tweak.rotate_left(29) ^ 0x9e37_79b9_7f4a_7c15,
-        ];
-        let mut state = HighwayState::new(&self.key);
-        state.update(&packet);
-        let (out_low, out_high) = state.finalize128();
-        Block128::from_halves(out_low, out_high)
+        let (t2, t3) = Self::tweak_lanes(tweak);
+        self.eval_from_base(input, t2, t3)
+    }
+
+    fn eval_blocks(&self, inputs: &[Block128], tweak: u64, out: &mut [Block128]) {
+        assert_eq!(
+            inputs.len(),
+            out.len(),
+            "eval_blocks input/output length mismatch"
+        );
+        let (t2, t3) = Self::tweak_lanes(tweak);
+        for (input, slot) in inputs.iter().zip(out.iter_mut()) {
+            *slot = self.eval_from_base(*input, t2, t3);
+        }
     }
 }
 

@@ -52,9 +52,9 @@ pub use aes::Aes128Prf;
 pub use chacha::ChaCha20Prf;
 pub use counter::CountingPrf;
 pub use highway::HighwayPrf;
-pub use prg::{GgmPrg, PrgExpansion};
+pub use prg::{FrontierScratch, GgmPrg, PrgExpansion};
 pub use sha256::{hmac_sha256, sha256, Sha256Prf};
-pub use siphash::SipHashPrf;
+pub use siphash::{siphash24, SipHashPrf};
 
 /// A pseudorandom function mapping a 128-bit block (plus a 64-bit tweak) to a
 /// 128-bit block.
@@ -67,6 +67,85 @@ pub trait Prf: Send + Sync {
 
     /// Evaluate the PRF on `input` with domain-separation `tweak`.
     fn eval_block(&self, input: Block128, tweak: u64) -> Block128;
+
+    /// Evaluate the PRF on every block of `inputs` under one `tweak`, writing
+    /// `out[i] = PRF(inputs[i], tweak)`.
+    ///
+    /// This is the batched entry point of the frontier expansion engine: a
+    /// level-synchronous GGM expansion hands a whole level of seeds to the
+    /// PRF at once, so implementations can hoist key schedules, round
+    /// constants and state initialization out of the per-block loop and give
+    /// the compiler a single hot loop to pipeline. Implementations must be
+    /// bit-identical to calling [`Prf::eval_block`] once per input.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs` and `out` have different lengths.
+    fn eval_blocks(&self, inputs: &[Block128], tweak: u64, out: &mut [Block128]) {
+        assert_eq!(
+            inputs.len(),
+            out.len(),
+            "eval_blocks input/output length mismatch"
+        );
+        for (input, slot) in inputs.iter().zip(out.iter_mut()) {
+            *slot = self.eval_block(*input, tweak);
+        }
+    }
+
+    /// Evaluate the PRF on every block of `inputs` under two tweaks at once:
+    /// `out_a[i] = PRF(inputs[i], tweak_a)` and `out_b[i] = PRF(inputs[i],
+    /// tweak_b)`.
+    ///
+    /// This is the shape of a GGM node expansion (left and right child derive
+    /// from the same seed under tweaks 0 and 1), so primitives that absorb
+    /// the input before the tweak can share the input-dependent prefix of the
+    /// computation between the two tweaks (see the SipHash implementation).
+    /// The default simply runs two batched sweeps. Counts as `2 *
+    /// inputs.len()` PRF block evaluations; outputs must be bit-identical to
+    /// the scalar path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs`, `out_a` and `out_b` have different lengths.
+    fn eval_blocks_pair(
+        &self,
+        inputs: &[Block128],
+        tweak_a: u64,
+        tweak_b: u64,
+        out_a: &mut [Block128],
+        out_b: &mut [Block128],
+    ) {
+        self.eval_blocks(inputs, tweak_a, out_a);
+        self.eval_blocks(inputs, tweak_b, out_b);
+    }
+
+    /// The GGM expansion sweep: like [`Prf::eval_blocks_pair`] but with the
+    /// Matyas–Meyer–Oseas feed-forward fused in, producing
+    /// `out_a[i] = PRF(inputs[i], tweak_a) ⊕ inputs[i]` (and likewise for
+    /// `b`).
+    ///
+    /// Primitives whose hot loop already holds the input block in registers
+    /// (SipHash) override this to apply the feed-forward for free; the
+    /// default XORs in a separate pass. Counts as `2 * inputs.len()` PRF
+    /// block evaluations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs`, `out_a` and `out_b` have different lengths.
+    fn expand_blocks_mmo(
+        &self,
+        inputs: &[Block128],
+        tweak_a: u64,
+        tweak_b: u64,
+        out_a: &mut [Block128],
+        out_b: &mut [Block128],
+    ) {
+        self.eval_blocks_pair(inputs, tweak_a, tweak_b, out_a, out_b);
+        for ((a, b), input) in out_a.iter_mut().zip(out_b.iter_mut()).zip(inputs) {
+            *a ^= *input;
+            *b ^= *input;
+        }
+    }
 
     /// Number of primitive invocations performed so far, if this PRF counts
     /// them (see [`CountingPrf`]). Plain primitives return `None`.

@@ -76,6 +76,107 @@ impl GgmPrg {
         let out = self.prf.eval_block(seed, tweak) ^ seed;
         (out.with_cleared_lsb(), out.lsb())
     }
+
+    /// Expand a whole frontier of seeds one level down in two batched PRF
+    /// sweeps (one per child tweak).
+    ///
+    /// `seeds[i]`'s children land at `out_seeds[2 * i]` (left) and
+    /// `out_seeds[2 * i + 1]` (right), with their control bits packed into
+    /// `out_t` (bit `j % 64` of word `j / 64` for child index `j`; `out_t` is
+    /// fully overwritten). Each child is bit-identical to the corresponding
+    /// [`GgmPrg::expand`] output, and the call costs exactly
+    /// `2 * seeds.len()` PRF block evaluations — the unit the cost model
+    /// counts is unchanged, only the host-side batching differs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out_seeds` is not exactly twice `seeds` or `out_t` cannot
+    /// hold one bit per child.
+    pub fn expand_frontier(
+        &self,
+        seeds: &[Block128],
+        scratch: &mut FrontierScratch,
+        out_seeds: &mut [Block128],
+        out_t: &mut [u64],
+    ) {
+        let n = seeds.len();
+        assert_eq!(out_seeds.len(), 2 * n, "need two child slots per seed");
+        assert_eq!(
+            out_t.len(),
+            (2 * n).div_ceil(64),
+            "need one packed control bit per child"
+        );
+        let (left, right) = self.frontier_sweeps(seeds, scratch);
+
+        out_t.fill(0);
+        for i in 0..n {
+            let left = left[i];
+            let right = right[i];
+            out_seeds[2 * i] = left.with_cleared_lsb();
+            out_seeds[2 * i + 1] = right.with_cleared_lsb();
+            let bits = (left.lsb() as u64) | ((right.lsb() as u64) << 1);
+            out_t[i / 32] |= bits << (2 * i % 64);
+        }
+    }
+
+    /// Run the two batched child sweeps for a frontier, returning the full
+    /// PRG outputs `G_0(s) = PRF(s, 0) ⊕ s` and `G_1(s) = PRF(s, 1) ⊕ s`
+    /// (feed-forward applied, control bit still embedded in the LSB).
+    ///
+    /// This is the lowest-level building block of the frontier engine:
+    /// callers that also apply correction words fuse the control-bit split
+    /// and the correction into one pass over the returned slices instead of
+    /// paying a separate interleave loop (see the `pir-dpf` strategies).
+    /// Costs exactly `2 * seeds.len()` PRF block evaluations.
+    pub fn frontier_sweeps<'s>(
+        &self,
+        seeds: &[Block128],
+        scratch: &'s mut FrontierScratch,
+    ) -> (&'s [Block128], &'s [Block128]) {
+        let n = seeds.len();
+        // Grow-only: both sweeps overwrite `[..n]` entirely, so shrinking (and
+        // re-zeroing on the next growth) would be pure waste in the hot loop.
+        if scratch.left.len() < n {
+            scratch.left.resize(n, Block128::ZERO);
+            scratch.right.resize(n, Block128::ZERO);
+        }
+        self.prf.expand_blocks_mmo(
+            seeds,
+            LEFT_TWEAK,
+            RIGHT_TWEAK,
+            &mut scratch.left[..n],
+            &mut scratch.right[..n],
+        );
+        (&scratch.left[..n], &scratch.right[..n])
+    }
+}
+
+/// Reusable buffers for [`GgmPrg::expand_frontier`], holding the raw PRF
+/// outputs of the left and right sweeps. Keeping them outside the call lets a
+/// level-synchronous expansion reuse one allocation across every level and
+/// chunk of a job.
+#[derive(Clone, Debug, Default)]
+pub struct FrontierScratch {
+    left: Vec<Block128>,
+    right: Vec<Block128>,
+}
+
+impl FrontierScratch {
+    /// Create empty scratch buffers.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Create scratch buffers that can expand `seeds` seeds without
+    /// reallocating.
+    #[must_use]
+    pub fn with_capacity(seeds: usize) -> Self {
+        Self {
+            left: Vec::with_capacity(seeds),
+            right: Vec::with_capacity(seeds),
+        }
+    }
 }
 
 impl std::fmt::Debug for GgmPrg {
@@ -137,5 +238,57 @@ mod tests {
         assert_eq!(counting.calls(), 2);
         let _ = prg.expand_one(Block128::from_u128(5), true);
         assert_eq!(counting.calls(), 3);
+    }
+
+    /// The batched frontier expansion must agree with per-node `expand` for
+    /// every PRF family, on frontiers that straddle packed-word boundaries.
+    #[test]
+    fn frontier_matches_per_node_expand() {
+        for kind in PrfKind::ALL {
+            let prg = GgmPrg::new(build_prf(kind));
+            for n in [1usize, 2, 31, 32, 33, 65] {
+                let seeds: Vec<Block128> = (0..n as u128)
+                    .map(|i| Block128::from_u128(i * 0x9e37 + 7))
+                    .collect();
+                let mut scratch = FrontierScratch::new();
+                let mut children = vec![Block128::ZERO; 2 * n];
+                let mut t_bits = vec![0u64; (2 * n).div_ceil(64)];
+                prg.expand_frontier(&seeds, &mut scratch, &mut children, &mut t_bits);
+
+                for (i, seed) in seeds.iter().enumerate() {
+                    let expected = prg.expand(*seed);
+                    assert_eq!(children[2 * i], expected.seed_left, "{kind} left {i}");
+                    assert_eq!(children[2 * i + 1], expected.seed_right, "{kind} right {i}");
+                    let t_left = (t_bits[(2 * i) / 64] >> ((2 * i) % 64)) & 1 == 1;
+                    let t_right = (t_bits[(2 * i + 1) / 64] >> ((2 * i + 1) % 64)) & 1 == 1;
+                    assert_eq!(t_left, expected.t_left, "{kind} t_left {i}");
+                    assert_eq!(t_right, expected.t_right, "{kind} t_right {i}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn frontier_counts_two_prf_calls_per_seed() {
+        let counting = crate::build_counting_prf(PrfKind::SipHash);
+        let prg = GgmPrg::new(counting.clone() as Arc<dyn Prf>);
+        let seeds: Vec<Block128> = (0..40u128).map(Block128::from_u128).collect();
+        let mut scratch = FrontierScratch::new();
+        let mut children = vec![Block128::ZERO; 80];
+        let mut t_bits = vec![0u64; 2];
+        prg.expand_frontier(&seeds, &mut scratch, &mut children, &mut t_bits);
+        assert_eq!(counting.calls(), 80);
+    }
+
+    /// Stale packed bits from a previous level must not leak into the output.
+    #[test]
+    fn frontier_overwrites_stale_control_bits() {
+        let prg = GgmPrg::new(build_prf(PrfKind::Chacha20));
+        let seeds = [Block128::from_u128(3)];
+        let mut scratch = FrontierScratch::with_capacity(1);
+        let mut children = vec![Block128::ZERO; 2];
+        let mut t_bits = vec![u64::MAX];
+        prg.expand_frontier(&seeds, &mut scratch, &mut children, &mut t_bits);
+        assert_eq!(t_bits[0] >> 2, 0, "bits beyond the frontier must be zero");
     }
 }

@@ -181,21 +181,86 @@ pub fn hmac_sha256(key: &[u8], message: &[u8]) -> [u8; 32] {
 }
 
 /// HMAC-SHA-256 truncated to 128 bits, used as a PRF.
+///
+/// The PRF message is always exactly 24 bytes (a 16-byte block plus an 8-byte
+/// tweak), so the HMAC schedule collapses: the key-dependent ipad and opad
+/// blocks are each compressed once at construction time and cached as
+/// midstates, leaving two `compress` calls per evaluation (one for the padded
+/// message block, one for the padded inner digest) instead of the four (plus
+/// heap-allocated message assembly) the generic [`hmac_sha256`] performs. The
+/// output is bit-identical to the generic path.
 pub struct Sha256Prf {
-    key: [u8; 32],
+    /// SHA-256 state after compressing `key ⊕ ipad` (one 64-byte block).
+    inner_midstate: [u32; 8],
+    /// SHA-256 state after compressing `key ⊕ opad`.
+    outer_midstate: [u32; 8],
 }
+
+/// Total bytes hashed by the inner SHA-256: the ipad block plus the 24-byte
+/// message.
+const INNER_LEN_BITS: u64 = (64 + 24) * 8;
+/// Total bytes hashed by the outer SHA-256: the opad block plus the 32-byte
+/// inner digest.
+const OUTER_LEN_BITS: u64 = (64 + 32) * 8;
 
 impl Sha256Prf {
     /// Build a PRF with an explicit 256-bit key.
     #[must_use]
     pub fn new(key: [u8; 32]) -> Self {
-        Self { key }
+        let mut key_block = [0u8; 64];
+        key_block[..32].copy_from_slice(&key);
+
+        let mut ipad = [0u8; 64];
+        let mut opad = [0u8; 64];
+        for i in 0..64 {
+            ipad[i] = key_block[i] ^ 0x36;
+            opad[i] = key_block[i] ^ 0x5c;
+        }
+        let mut inner_midstate = H0;
+        compress(&mut inner_midstate, &ipad);
+        let mut outer_midstate = H0;
+        compress(&mut outer_midstate, &opad);
+        Self {
+            inner_midstate,
+            outer_midstate,
+        }
     }
 
     /// Build a PRF with the crate's fixed public key.
     #[must_use]
     pub fn with_fixed_key() -> Self {
         Self::new(*b"gpu-pir-sha256-prf-fixed-key!!!!")
+    }
+
+    /// One HMAC evaluation from the cached midstates: exactly two compressions.
+    #[inline]
+    fn mac_block(&self, input: Block128, tweak: u64) -> Block128 {
+        // Inner hash: the 24-byte message, padding and the total bit length
+        // all fit in one final block.
+        let mut block = [0u8; 64];
+        block[..16].copy_from_slice(&input.to_le_bytes());
+        block[16..24].copy_from_slice(&tweak.to_le_bytes());
+        block[24] = 0x80;
+        block[56..].copy_from_slice(&INNER_LEN_BITS.to_be_bytes());
+        let mut state = self.inner_midstate;
+        compress(&mut state, &block);
+
+        // Outer hash: the 32-byte inner digest, padding and length likewise
+        // fit in one final block.
+        let mut block = [0u8; 64];
+        for (i, word) in state.iter().enumerate() {
+            block[4 * i..4 * i + 4].copy_from_slice(&word.to_be_bytes());
+        }
+        block[32] = 0x80;
+        block[56..].copy_from_slice(&OUTER_LEN_BITS.to_be_bytes());
+        let mut state = self.outer_midstate;
+        compress(&mut state, &block);
+
+        let mut out = [0u8; 16];
+        for (i, word) in state.iter().take(4).enumerate() {
+            out[4 * i..4 * i + 4].copy_from_slice(&word.to_be_bytes());
+        }
+        Block128::from_le_bytes(out)
     }
 }
 
@@ -205,13 +270,18 @@ impl Prf for Sha256Prf {
     }
 
     fn eval_block(&self, input: Block128, tweak: u64) -> Block128 {
-        let mut message = [0u8; 24];
-        message[..16].copy_from_slice(&input.to_le_bytes());
-        message[16..].copy_from_slice(&tweak.to_le_bytes());
-        let mac = hmac_sha256(&self.key, &message);
-        let mut out = [0u8; 16];
-        out.copy_from_slice(&mac[..16]);
-        Block128::from_le_bytes(out)
+        self.mac_block(input, tweak)
+    }
+
+    fn eval_blocks(&self, inputs: &[Block128], tweak: u64, out: &mut [Block128]) {
+        assert_eq!(
+            inputs.len(),
+            out.len(),
+            "eval_blocks input/output length mismatch"
+        );
+        for (input, slot) in inputs.iter().zip(out.iter_mut()) {
+            *slot = self.mac_block(*input, tweak);
+        }
     }
 }
 
@@ -269,5 +339,30 @@ mod tests {
         assert_eq!(prf.eval_block(x, 0), prf.eval_block(x, 0));
         assert_ne!(prf.eval_block(x, 0), prf.eval_block(x, 1));
         assert_eq!(prf.kind(), PrfKind::Sha256);
+    }
+
+    /// The midstate fast path must match the generic byte-oriented HMAC.
+    #[test]
+    fn midstate_path_matches_generic_hmac() {
+        let key = *b"gpu-pir-sha256-prf-fixed-key!!!!";
+        let prf = Sha256Prf::new(key);
+        for (i, tweak) in [
+            (0u128, 0u64),
+            (1, 1),
+            (u128::MAX, 7),
+            (0xdead_beef, u64::MAX),
+        ] {
+            let input = Block128::from_u128(i);
+            let mut message = [0u8; 24];
+            message[..16].copy_from_slice(&input.to_le_bytes());
+            message[16..].copy_from_slice(&tweak.to_le_bytes());
+            let mac = hmac_sha256(&key, &message);
+            let mut expected = [0u8; 16];
+            expected.copy_from_slice(&mac[..16]);
+            assert_eq!(
+                prf.eval_block(input, tweak),
+                Block128::from_le_bytes(expected)
+            );
+        }
     }
 }

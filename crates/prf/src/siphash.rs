@@ -19,7 +19,7 @@ struct SipState {
     v3: u64,
 }
 
-#[inline]
+#[inline(always)]
 fn sip_round(state: &mut SipState) {
     state.v0 = state.v0.wrapping_add(state.v1);
     state.v1 = state.v1.rotate_left(13);
@@ -97,22 +97,311 @@ impl SipHashPrf {
     }
 }
 
+#[inline(always)]
+fn sip_init(k0: u64, k1: u64) -> SipState {
+    SipState {
+        v0: k0 ^ 0x736f_6d65_7073_6575,
+        v1: k1 ^ 0x646f_7261_6e64_6f6d,
+        v2: k0 ^ 0x6c79_6765_6e65_7261,
+        v3: k1 ^ 0x7465_6462_7974_6573,
+    }
+}
+
+/// The padded final message word of a 24-byte message: no remaining bytes,
+/// only the length in the top byte.
+const SIP_FINAL_WORD_24: u64 = 24u64 << 56;
+
+/// SipHash-2-4 over exactly three 8-byte message words, the only message
+/// shape the PRF ever hashes. Bit-identical to [`siphash24`] on the
+/// corresponding 24-byte little-endian buffer, but with no buffer assembly or
+/// chunking — the reference the interleaved production paths are tested
+/// against.
+#[cfg(test)]
+fn siphash24_words(k0: u64, k1: u64, m0: u64, m1: u64, m2: u64) -> u64 {
+    let mut state = sip_init(k0, k1);
+    for m in [m0, m1, m2, SIP_FINAL_WORD_24] {
+        state.v3 ^= m;
+        sip_round(&mut state);
+        sip_round(&mut state);
+        state.v0 ^= m;
+    }
+    state.v2 ^= 0xff;
+    for _ in 0..4 {
+        sip_round(&mut state);
+    }
+    state.v0 ^ state.v1 ^ state.v2 ^ state.v3
+}
+
+/// Two SipHash-2-4 instances over the same three message words under two
+/// different keys, advanced in lockstep.
+///
+/// The PRF's 128-bit output is two independent SipHash chains; computing them
+/// in one interleaved pass exposes the two dependency chains to the CPU
+/// scheduler side by side (each `sip_round` is a serial chain of
+/// add/rotate/xor steps, so a single chain leaves most ALU ports idle).
+/// Bit-identical to two [`siphash24_words`] calls.
+#[inline]
+fn siphash24_words_x2(
+    (k0a, k1a): (u64, u64),
+    (k0b, k1b): (u64, u64),
+    m0: u64,
+    m1: u64,
+    m2: u64,
+) -> (u64, u64) {
+    let mut a = sip_init(k0a, k1a);
+    let mut b = sip_init(k0b, k1b);
+    for m in [m0, m1, m2, SIP_FINAL_WORD_24] {
+        a.v3 ^= m;
+        b.v3 ^= m;
+        sip_round(&mut a);
+        sip_round(&mut b);
+        sip_round(&mut a);
+        sip_round(&mut b);
+        a.v0 ^= m;
+        b.v0 ^= m;
+    }
+    a.v2 ^= 0xff;
+    b.v2 ^= 0xff;
+    for _ in 0..4 {
+        sip_round(&mut a);
+        sip_round(&mut b);
+    }
+    (a.v0 ^ a.v1 ^ a.v2 ^ a.v3, b.v0 ^ b.v1 ^ b.v2 ^ b.v3)
+}
+
+/// The SipHash-2-4 state after absorbing the first two message words
+/// (`m0`, `m1`) of a 24-byte message — everything *before* the tweak word.
+///
+/// A GGM node expansion evaluates the PRF on one seed under two tweaks; the
+/// tweak is the third message word, so this input-dependent prefix (started
+/// from the key-derived `base` state, which batched sweeps hoist out of
+/// their loop) is shared by both children and computed once.
+#[inline(always)]
+fn sip_prefix(base: SipState, m0: u64, m1: u64) -> SipState {
+    let mut state = base;
+    for m in [m0, m1] {
+        state.v3 ^= m;
+        sip_round(&mut state);
+        sip_round(&mut state);
+        state.v0 ^= m;
+    }
+    state
+}
+
+/// Finish four prefix-shared SipHash-2-4 instances in lockstep: the low/high
+/// key prefixes of one seed, each forked for the two child tweaks.
+///
+/// Returns `(low_a, high_a, low_b, high_b)` for tweaks `a` and `b`;
+/// bit-identical to four [`siphash24_words`] calls that re-absorbed the
+/// prefix from scratch.
+#[inline]
+fn sip_fork_x4(
+    prefix_low: SipState,
+    prefix_high: SipState,
+    tweak_a: u64,
+    tweak_b: u64,
+) -> (u64, u64, u64, u64) {
+    let mut s = [prefix_low, prefix_high, prefix_low, prefix_high];
+    let words = [(tweak_a, tweak_b), (SIP_FINAL_WORD_24, SIP_FINAL_WORD_24)];
+    for (wa, wb) in words {
+        s[0].v3 ^= wa;
+        s[1].v3 ^= wa;
+        s[2].v3 ^= wb;
+        s[3].v3 ^= wb;
+        for state in &mut s {
+            sip_round(state);
+        }
+        for state in &mut s {
+            sip_round(state);
+        }
+        s[0].v0 ^= wa;
+        s[1].v0 ^= wa;
+        s[2].v0 ^= wb;
+        s[3].v0 ^= wb;
+    }
+    for state in &mut s {
+        state.v2 ^= 0xff;
+    }
+    for _ in 0..4 {
+        for state in &mut s {
+            sip_round(state);
+        }
+    }
+    (
+        s[0].v0 ^ s[0].v1 ^ s[0].v2 ^ s[0].v3,
+        s[1].v0 ^ s[1].v1 ^ s[1].v2 ^ s[1].v3,
+        s[2].v0 ^ s[2].v1 ^ s[2].v2 ^ s[2].v3,
+        s[3].v0 ^ s[3].v1 ^ s[3].v2 ^ s[3].v3,
+    )
+}
+
+/// Four SipHash-2-4 instances advanced in lockstep: two PRF blocks (messages
+/// `ma`/`mb` plus the shared tweak) times the two output-half keys.
+///
+/// Batched sweeps pair up adjacent seeds so the scheduler sees four
+/// independent add/rotate/xor chains, enough to saturate the ALU ports that
+/// a single chain leaves idle. Returns `(low_a, high_a, low_b, high_b)`;
+/// bit-identical to four [`siphash24_words`] calls.
+#[inline]
+fn siphash24_words_x4(
+    low_key: (u64, u64),
+    high_key: (u64, u64),
+    ma: (u64, u64),
+    mb: (u64, u64),
+    tweak: u64,
+) -> (u64, u64, u64, u64) {
+    let mut s = [
+        sip_init(low_key.0, low_key.1),
+        sip_init(high_key.0, high_key.1),
+        sip_init(low_key.0, low_key.1),
+        sip_init(high_key.0, high_key.1),
+    ];
+    let words = [
+        (ma.0, mb.0),
+        (ma.1, mb.1),
+        (tweak, tweak),
+        (SIP_FINAL_WORD_24, SIP_FINAL_WORD_24),
+    ];
+    for (wa, wb) in words {
+        s[0].v3 ^= wa;
+        s[1].v3 ^= wa;
+        s[2].v3 ^= wb;
+        s[3].v3 ^= wb;
+        for state in &mut s {
+            sip_round(state);
+        }
+        for state in &mut s {
+            sip_round(state);
+        }
+        s[0].v0 ^= wa;
+        s[1].v0 ^= wa;
+        s[2].v0 ^= wb;
+        s[3].v0 ^= wb;
+    }
+    for state in &mut s {
+        state.v2 ^= 0xff;
+    }
+    for _ in 0..4 {
+        for state in &mut s {
+            sip_round(state);
+        }
+    }
+    (
+        s[0].v0 ^ s[0].v1 ^ s[0].v2 ^ s[0].v3,
+        s[1].v0 ^ s[1].v1 ^ s[1].v2 ^ s[1].v3,
+        s[2].v0 ^ s[2].v1 ^ s[2].v2 ^ s[2].v3,
+        s[3].v0 ^ s[3].v1 ^ s[3].v2 ^ s[3].v3,
+    )
+}
+
+impl SipHashPrf {
+    /// The key of the second, domain-separated invocation that produces the
+    /// high output half.
+    #[inline]
+    fn high_key(&self) -> (u64, u64) {
+        (self.k0 ^ 0x6868_6868_6868_6868, self.k1.rotate_left(17))
+    }
+
+    /// The shared body of [`Prf::eval_blocks_pair`] and
+    /// [`Prf::expand_blocks_mmo`]: one prefix-shared, fork-interleaved sweep
+    /// over `inputs` (40 sip rounds per seed instead of 48). When `mmo` is
+    /// set, the Matyas–Meyer–Oseas feed-forward is applied for free — the
+    /// input halves are already in registers.
+    #[inline]
+    fn pair_sweep(
+        &self,
+        inputs: &[Block128],
+        tweak_a: u64,
+        tweak_b: u64,
+        out_a: &mut [Block128],
+        out_b: &mut [Block128],
+        mmo: bool,
+    ) {
+        assert_eq!(
+            inputs.len(),
+            out_a.len(),
+            "paired sweep input/output length mismatch"
+        );
+        assert_eq!(
+            inputs.len(),
+            out_b.len(),
+            "paired sweep input/output length mismatch"
+        );
+        let (hk0, hk1) = self.high_key();
+        let base_low = sip_init(self.k0, self.k1);
+        let base_high = sip_init(hk0, hk1);
+        // `mmo` is constant for the whole sweep; the select below is hoisted.
+        let feed = (mmo as u64).wrapping_neg();
+        for (input, (slot_a, slot_b)) in inputs.iter().zip(out_a.iter_mut().zip(out_b.iter_mut())) {
+            let (m0, m1) = input.halves();
+            let prefix_low = sip_prefix(base_low, m0, m1);
+            let prefix_high = sip_prefix(base_high, m0, m1);
+            let (low_a, high_a, low_b, high_b) =
+                sip_fork_x4(prefix_low, prefix_high, tweak_a, tweak_b);
+            *slot_a = Block128::from_halves(low_a ^ (m0 & feed), high_a ^ (m1 & feed));
+            *slot_b = Block128::from_halves(low_b ^ (m0 & feed), high_b ^ (m1 & feed));
+        }
+    }
+}
+
 impl Prf for SipHashPrf {
     fn kind(&self) -> PrfKind {
         PrfKind::SipHash
     }
 
     fn eval_block(&self, input: Block128, tweak: u64) -> Block128 {
-        let mut message = [0u8; 24];
-        message[..16].copy_from_slice(&input.to_le_bytes());
-        message[16..].copy_from_slice(&tweak.to_le_bytes());
-        let low = siphash24(self.k0, self.k1, &message);
-        let high = siphash24(
-            self.k0 ^ 0x6868_6868_6868_6868,
-            self.k1.rotate_left(17),
-            &message,
-        );
+        let (m0, m1) = input.halves();
+        let (low, high) = siphash24_words_x2((self.k0, self.k1), self.high_key(), m0, m1, tweak);
         Block128::from_halves(low, high)
+    }
+
+    fn eval_blocks(&self, inputs: &[Block128], tweak: u64, out: &mut [Block128]) {
+        assert_eq!(
+            inputs.len(),
+            out.len(),
+            "eval_blocks input/output length mismatch"
+        );
+        let low_key = (self.k0, self.k1);
+        let high_key = self.high_key();
+        let mut input_pairs = inputs.chunks_exact(2);
+        let mut output_pairs = out.chunks_exact_mut(2);
+        for (pair, slots) in input_pairs.by_ref().zip(output_pairs.by_ref()) {
+            let (low_a, high_a, low_b, high_b) =
+                siphash24_words_x4(low_key, high_key, pair[0].halves(), pair[1].halves(), tweak);
+            slots[0] = Block128::from_halves(low_a, high_a);
+            slots[1] = Block128::from_halves(low_b, high_b);
+        }
+        for (input, slot) in input_pairs
+            .remainder()
+            .iter()
+            .zip(output_pairs.into_remainder())
+        {
+            let (m0, m1) = input.halves();
+            let (low, high) = siphash24_words_x2(low_key, high_key, m0, m1, tweak);
+            *slot = Block128::from_halves(low, high);
+        }
+    }
+
+    fn eval_blocks_pair(
+        &self,
+        inputs: &[Block128],
+        tweak_a: u64,
+        tweak_b: u64,
+        out_a: &mut [Block128],
+        out_b: &mut [Block128],
+    ) {
+        self.pair_sweep(inputs, tweak_a, tweak_b, out_a, out_b, false);
+    }
+
+    fn expand_blocks_mmo(
+        &self,
+        inputs: &[Block128],
+        tweak_a: u64,
+        tweak_b: u64,
+        out_a: &mut [Block128],
+        out_b: &mut [Block128],
+    ) {
+        self.pair_sweep(inputs, tweak_a, tweak_b, out_a, out_b, true);
     }
 }
 
@@ -154,6 +443,61 @@ mod tests {
             prf.eval_block(Block128::from_u128(0xfeee), 9)
         );
         assert_eq!(prf.kind(), PrfKind::SipHash);
+    }
+
+    /// The register-only word path must match the byte-oriented reference.
+    #[test]
+    fn word_path_matches_buffer_path() {
+        for (m0, m1, m2) in [
+            (0u64, 0u64, 0u64),
+            (1, 2, 3),
+            (u64::MAX, 0x0123_4567_89ab_cdef, 42),
+        ] {
+            let mut message = [0u8; 24];
+            message[..8].copy_from_slice(&m0.to_le_bytes());
+            message[8..16].copy_from_slice(&m1.to_le_bytes());
+            message[16..].copy_from_slice(&m2.to_le_bytes());
+            assert_eq!(
+                siphash24_words(7, 13, m0, m1, m2),
+                siphash24(7, 13, &message)
+            );
+            let (a, b) = siphash24_words_x2((7, 13), (21, 34), m0, m1, m2);
+            assert_eq!(a, siphash24(7, 13, &message));
+            assert_eq!(b, siphash24(21, 34, &message));
+        }
+    }
+
+    /// Batched evaluation (including the 4-way interleaved pair path and the
+    /// odd-length remainder) must match scalar evaluation bit for bit.
+    #[test]
+    fn eval_blocks_matches_eval_block() {
+        let prf = SipHashPrf::with_fixed_key();
+        for len in [0usize, 1, 2, 3, 7, 8, 33] {
+            let inputs: Vec<Block128> = (0..len as u128)
+                .map(|i| Block128::from_u128(i * 0x1234_5677 + 3))
+                .collect();
+            let mut batched = vec![Block128::ZERO; len];
+            prf.eval_blocks(&inputs, 9, &mut batched);
+            for (input, got) in inputs.iter().zip(&batched) {
+                assert_eq!(*got, prf.eval_block(*input, 9), "len {len}");
+            }
+        }
+    }
+
+    /// The prefix-shared paired-tweak sweep must match two scalar sweeps.
+    #[test]
+    fn eval_blocks_pair_matches_scalar_tweaks() {
+        let prf = SipHashPrf::with_fixed_key();
+        let inputs: Vec<Block128> = (0..21u128)
+            .map(|i| Block128::from_u128(i * 0x9e37 + 11))
+            .collect();
+        let mut left = vec![Block128::ZERO; inputs.len()];
+        let mut right = vec![Block128::ZERO; inputs.len()];
+        prf.eval_blocks_pair(&inputs, 0, 1, &mut left, &mut right);
+        for (i, input) in inputs.iter().enumerate() {
+            assert_eq!(left[i], prf.eval_block(*input, 0), "left {i}");
+            assert_eq!(right[i], prf.eval_block(*input, 1), "right {i}");
+        }
     }
 
     #[test]
