@@ -61,11 +61,14 @@ pub use codesign::{CodesignParams, CodesignPoint, CodesignSearch, CodesignSpace,
 pub use colocation::{ColocatedTable, ColocationMap};
 pub use error::PirError;
 pub use hot_table::{HotTableConfig, HotTablePlan, HotTableSplit};
-pub use message::{PirQuery, PirResponse, ServerQuery};
+pub use message::{
+    PirQuery, PirResponse, ServerQuery, RESPONSE_PREFIX_BYTES, SCHEMA_WIRE_BYTES,
+    SERVER_QUERY_PREFIX_BYTES,
+};
 pub use naive::{NaivePir, NaiveQuery};
 pub use pbr::{BinAssignment, PbrClient, PbrConfig, PbrServer};
 pub use server::{
-    build_replica, shard_split_bits, CpuBatchTiming, CpuPirServer, GpuPirServer, PirServer,
-    ServerMetrics, ShardedGpuServer,
+    build_replica, shard_split_bits, validate_update, CpuBatchTiming, CpuPirServer, GpuPirServer,
+    PirServer, ServerMetrics, ShardedGpuServer,
 };
 pub use table::{PirTable, TableSchema};

@@ -5,6 +5,18 @@ use serde::{Deserialize, Serialize};
 
 use crate::table::TableSchema;
 
+/// Canonical wire size of a [`TableSchema`]: an 8-byte entry count followed
+/// by a 4-byte entry width.
+pub const SCHEMA_WIRE_BYTES: usize = 8 + 4;
+
+/// Canonical wire size of the fixed [`ServerQuery`] prefix: an 8-byte query
+/// id followed by the schema record. The DPF key follows immediately after.
+pub const SERVER_QUERY_PREFIX_BYTES: usize = 8 + SCHEMA_WIRE_BYTES;
+
+/// Canonical wire size of the fixed [`PirResponse`] prefix: an 8-byte query
+/// id, a 1-byte party tag and a 4-byte share-lane count.
+pub const RESPONSE_PREFIX_BYTES: usize = 8 + 1 + 4;
+
 /// A complete PIR query: the pair of DPF keys for the two servers.
 ///
 /// Only [`PirQuery::to_server`] projections ever leave the client; the pair is
@@ -41,11 +53,14 @@ impl PirQuery {
         }
     }
 
-    /// Bytes uploaded to *each* server (the size of one DPF key plus a small
-    /// header). Total client upload is twice this.
+    /// Bytes uploaded to *each* server: the exact encoded length of one
+    /// [`ServerQuery`] record on the wire (query id + schema + one DPF key).
+    /// Total client upload is twice this. The `pir-wire` crate's canonical
+    /// encoder produces exactly this many bytes; a test there asserts the
+    /// two never drift.
     #[must_use]
     pub fn upload_bytes_per_server(&self) -> usize {
-        8 + self.key0.size_bytes()
+        SERVER_QUERY_PREFIX_BYTES + self.key0.size_bytes()
     }
 }
 
@@ -67,10 +82,11 @@ impl ServerQuery {
         self.key.party
     }
 
-    /// Serialized size in bytes.
+    /// Serialized size in bytes: the exact length of the canonical wire
+    /// encoding (8-byte query id, 12-byte schema, then the key).
     #[must_use]
     pub fn size_bytes(&self) -> usize {
-        8 + self.key.size_bytes()
+        SERVER_QUERY_PREFIX_BYTES + self.key.size_bytes()
     }
 }
 
@@ -86,10 +102,12 @@ pub struct PirResponse {
 }
 
 impl PirResponse {
-    /// Serialized size in bytes (the download cost per server).
+    /// Serialized size in bytes (the download cost per server): the exact
+    /// length of the canonical wire encoding (8-byte query id, 1-byte party,
+    /// 4-byte lane count, then the lanes).
     #[must_use]
     pub fn size_bytes(&self) -> usize {
-        8 + 1 + self.share.len() * 4
+        RESPONSE_PREFIX_BYTES + self.share.len() * 4
     }
 }
 
@@ -150,6 +168,6 @@ mod tests {
             party: 0,
             share: vec![0u32; 32],
         };
-        assert_eq!(response.size_bytes(), 8 + 1 + 128);
+        assert_eq!(response.size_bytes(), 8 + 1 + 4 + 128);
     }
 }

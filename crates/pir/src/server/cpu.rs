@@ -12,7 +12,7 @@
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::Instant;
 
-use parking_lot::Mutex;
+use parking_lot::{Mutex, RwLock};
 
 use gpu_sim::{CpuCostModel, CpuSpec};
 use pir_dpf::{fused_eval_matmul, CountingRecorder, EvalStrategy};
@@ -20,7 +20,7 @@ use pir_prf::{build_prf, GgmPrg, PrfKind};
 
 use crate::error::PirError;
 use crate::message::{PirResponse, ServerQuery};
-use crate::server::{check_schema, PirServer, ServerMetrics};
+use crate::server::{check_schema, validate_update, PirServer, ServerMetrics};
 use crate::table::{PirTable, TableSchema};
 
 /// Timing of one CPU batch: measured on the host and modelled on the Xeon.
@@ -36,8 +36,12 @@ pub struct CpuBatchTiming {
 }
 
 /// Multi-threaded CPU PIR server (the baseline the paper compares against).
+///
+/// The table sits behind an `RwLock` so [`PirServer::update_entry`] hot
+/// reloads are atomic with respect to in-flight batches.
 pub struct CpuPirServer {
-    table: PirTable,
+    schema: TableSchema,
+    table: RwLock<PirTable>,
     prg: GgmPrg,
     prf_kind: PrfKind,
     threads: u32,
@@ -57,7 +61,8 @@ impl CpuPirServer {
     pub fn new(table: PirTable, prf_kind: PrfKind, threads: u32) -> Self {
         assert!(threads > 0, "need at least one worker thread");
         Self {
-            table,
+            schema: table.schema(),
+            table: RwLock::new(table),
             prg: GgmPrg::new(build_prf(prf_kind)),
             prf_kind,
             threads,
@@ -83,11 +88,11 @@ impl CpuPirServer {
     /// shape, PRF and thread count (no functional execution).
     #[must_use]
     pub fn modeled_query_time_s(&self) -> f64 {
-        let leaves = self.table.schema().entries.next_power_of_two();
+        let leaves = self.schema.entries.next_power_of_two();
         let prf_calls = 2 * leaves.saturating_sub(1).max(1);
-        let lane_ops = self.table.entries() * self.table.schema().lanes_per_entry() as u64;
+        let lane_ops = self.schema.entries * self.schema.lanes_per_entry() as u64;
         let cycles = prf_calls * self.prf_kind.cpu_cycles_per_block() + 2 * lane_ops;
-        let memory_bytes = self.table.size_bytes();
+        let memory_bytes = self.schema.size_bytes();
         self.cost_model
             .execution_time_s(cycles, memory_bytes, self.threads)
     }
@@ -104,7 +109,7 @@ impl CpuPirServer {
     ) -> Result<(Vec<PirResponse>, CpuBatchTiming), PirError> {
         assert!(!queries.is_empty(), "batch must contain at least one query");
         for query in queries {
-            check_schema(self.table.schema(), query)?;
+            check_schema(self.schema, query)?;
         }
 
         let recorder = CountingRecorder::new();
@@ -114,6 +119,9 @@ impl CpuPirServer {
             (0..queries.len()).map(|_| Mutex::new(None)).collect();
 
         let workers = (self.threads as usize).min(queries.len());
+        // Read lock held across the whole batch: every worker thread of this
+        // batch sees the same table version even under concurrent reloads.
+        let table = self.table.read();
         std::thread::scope(|scope| {
             for _ in 0..workers {
                 scope.spawn(|| loop {
@@ -124,7 +132,7 @@ impl CpuPirServer {
                     let share = fused_eval_matmul(
                         &self.prg,
                         &queries[index].key,
-                        self.table.matrix(),
+                        table.matrix(),
                         EvalStrategy::LevelByLevel,
                         &recorder,
                     );
@@ -132,12 +140,13 @@ impl CpuPirServer {
                 });
             }
         });
+        drop(table);
         let host_wall_s = start.elapsed().as_secs_f64();
 
         let prf_calls = recorder.prf_calls_total();
         let lane_ops = recorder.arithmetic_total();
         let cycles = prf_calls * self.prf_kind.cpu_cycles_per_block() + 2 * lane_ops;
-        let memory_bytes = self.table.size_bytes() * queries.len() as u64;
+        let memory_bytes = self.schema.size_bytes() * queries.len() as u64;
         let modeled_xeon_s = self
             .cost_model
             .execution_time_s(cycles, memory_bytes, self.threads);
@@ -173,7 +182,13 @@ impl CpuPirServer {
 
 impl PirServer for CpuPirServer {
     fn schema(&self) -> TableSchema {
-        self.table.schema()
+        self.schema
+    }
+
+    fn update_entry(&self, index: u64, bytes: &[u8]) -> Result<(), PirError> {
+        validate_update(self.schema, index, bytes)?;
+        self.table.write().update_entry(index, bytes);
+        Ok(())
     }
 
     fn answer(&self, query: &ServerQuery) -> Result<PirResponse, PirError> {
@@ -194,7 +209,7 @@ impl PirServer for CpuPirServer {
 impl std::fmt::Debug for CpuPirServer {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("CpuPirServer")
-            .field("table", &self.table.schema().describe())
+            .field("table", &self.schema.describe())
             .field("prf", &self.prf_kind)
             .field("threads", &self.threads)
             .finish()

@@ -1,6 +1,6 @@
 //! The GPU-accelerated PIR server (the paper's contribution).
 
-use parking_lot::Mutex;
+use parking_lot::{Mutex, RwLock};
 
 use gpu_sim::{DeviceSpec, GpuExecutor, KernelReport};
 use pir_dpf::{BatchEvalJob, Scheduler, SchedulerConfig};
@@ -8,7 +8,9 @@ use pir_prf::{build_prf, GgmPrg, PrfKind};
 
 use crate::error::PirError;
 use crate::message::{PirResponse, ServerQuery};
-use crate::server::{check_schema, responses_from_shares, PirServer, ServerMetrics};
+use crate::server::{
+    check_schema, responses_from_shares, validate_update, PirServer, ServerMetrics,
+};
 use crate::table::{PirTable, TableSchema};
 
 /// A PIR server that evaluates DPFs on the (simulated) GPU.
@@ -16,8 +18,14 @@ use crate::table::{PirTable, TableSchema};
 /// Every batch of queries is planned by the batch/table-size-aware
 /// [`Scheduler`] (§3.2.5), evaluated with the fused memory-bounded kernel
 /// (§3.2.3–§3.2.4), and accounted in the server's [`ServerMetrics`].
+///
+/// The table sits behind an `RwLock` so entries can be hot-reloaded through
+/// [`PirServer::update_entry`] while queries are being served: a batch holds
+/// the read lock for the whole launch, so it sees one consistent table
+/// version.
 pub struct GpuPirServer {
-    table: PirTable,
+    schema: TableSchema,
+    table: RwLock<PirTable>,
     prg: GgmPrg,
     prf_kind: PrfKind,
     executor: GpuExecutor,
@@ -36,7 +44,8 @@ impl GpuPirServer {
         scheduler_config: SchedulerConfig,
     ) -> Self {
         Self {
-            table,
+            schema: table.schema(),
+            table: RwLock::new(table),
             prg: GgmPrg::new(build_prf(prf_kind)),
             prf_kind,
             executor: GpuExecutor::new(device),
@@ -64,10 +73,10 @@ impl GpuPirServer {
         self.prf_kind
     }
 
-    /// The table served by this server.
+    /// A snapshot of the table served by this server.
     #[must_use]
-    pub fn table(&self) -> &PirTable {
-        &self.table
+    pub fn table_snapshot(&self) -> PirTable {
+        self.table.read().clone()
     }
 
     /// The kernel report of the most recent batch (None before any batch).
@@ -88,18 +97,22 @@ impl GpuPirServer {
     ) -> Result<(Vec<PirResponse>, KernelReport), PirError> {
         assert!(!queries.is_empty(), "batch must contain at least one query");
         for query in queries {
-            check_schema(self.table.schema(), query)?;
+            check_schema(self.schema, query)?;
         }
 
         let plan = self.scheduler.plan(
-            self.table.entries(),
-            self.table.entry_bytes() as u64,
+            self.schema.entries,
+            self.schema.entry_bytes as u64,
             queries.len() as u64,
         );
         let keys: Vec<_> = queries.iter().map(|q| q.key.clone()).collect();
-        let job = BatchEvalJob::new(&self.prg, self.prf_kind, &keys, self.table.matrix())
-            .with_plan(&plan);
+        // The read lock brackets the whole launch: a concurrent hot reload
+        // waits, so this batch sees exactly one table version.
+        let table = self.table.read();
+        let job =
+            BatchEvalJob::new(&self.prg, self.prf_kind, &keys, table.matrix()).with_plan(&plan);
         let output = job.run(&self.executor);
+        drop(table);
 
         let responses = responses_from_shares(queries, output.results);
 
@@ -119,7 +132,13 @@ impl GpuPirServer {
 
 impl PirServer for GpuPirServer {
     fn schema(&self) -> TableSchema {
-        self.table.schema()
+        self.schema
+    }
+
+    fn update_entry(&self, index: u64, bytes: &[u8]) -> Result<(), PirError> {
+        validate_update(self.schema, index, bytes)?;
+        self.table.write().update_entry(index, bytes);
+        Ok(())
     }
 
     fn answer(&self, query: &ServerQuery) -> Result<PirResponse, PirError> {
@@ -140,7 +159,7 @@ impl PirServer for GpuPirServer {
 impl std::fmt::Debug for GpuPirServer {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("GpuPirServer")
-            .field("table", &self.table.schema().describe())
+            .field("table", &self.schema.describe())
             .field("prf", &self.prf_kind)
             .field("device", &self.executor.device().name)
             .finish()
@@ -215,6 +234,43 @@ mod tests {
         let query = client.query(3, &mut rng);
         assert!(matches!(
             server.answer(&query.to_server(0)),
+            Err(PirError::SchemaMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn hot_reloaded_entries_are_served_after_update() {
+        let table = table();
+        let client = PirClient::new(table.schema(), PrfKind::SipHash);
+        let s0 = GpuPirServer::with_defaults(table.clone(), PrfKind::SipHash);
+        let s1 = GpuPirServer::with_defaults(table.clone(), PrfKind::SipHash);
+        let mut rng = StdRng::seed_from_u64(74);
+
+        let fresh = vec![0xABu8; 16];
+        s0.update_entry(137, &fresh).unwrap();
+        s1.update_entry(137, &fresh).unwrap();
+
+        let query = client.query(137, &mut rng);
+        let r0 = s0.answer(&query.to_server(0)).unwrap();
+        let r1 = s1.answer(&query.to_server(1)).unwrap();
+        assert_eq!(client.reconstruct(&query, &r0, &r1).unwrap(), fresh);
+
+        // Neighbouring rows are untouched.
+        let query = client.query(136, &mut rng);
+        let r0 = s0.answer(&query.to_server(0)).unwrap();
+        let r1 = s1.answer(&query.to_server(1)).unwrap();
+        assert_eq!(
+            client.reconstruct(&query, &r0, &r1).unwrap(),
+            table.entry(136)
+        );
+
+        // Typed errors, not panics, on bad updates.
+        assert!(matches!(
+            s0.update_entry(300, &fresh),
+            Err(PirError::IndexOutOfRange { index: 300, .. })
+        ));
+        assert!(matches!(
+            s0.update_entry(0, &[1, 2, 3]),
             Err(PirError::SchemaMismatch { .. })
         ));
     }

@@ -82,6 +82,32 @@ pub fn build_replica(
     }
 }
 
+/// Validate an in-place entry update against a table's schema.
+///
+/// Shared by every [`PirServer::update_entry`] implementation so hot-reload
+/// requests fail with typed errors instead of tripping the table's internal
+/// assertions.
+///
+/// # Errors
+///
+/// Returns [`PirError::IndexOutOfRange`] if `index` is outside the table and
+/// [`PirError::SchemaMismatch`] if the payload width differs from the schema.
+pub fn validate_update(schema: TableSchema, index: u64, bytes: &[u8]) -> Result<(), PirError> {
+    if index >= schema.entries {
+        return Err(PirError::IndexOutOfRange {
+            index,
+            table_size: schema.entries,
+        });
+    }
+    if bytes.len() != schema.entry_bytes {
+        return Err(PirError::SchemaMismatch {
+            expected: format!("{} B entries", schema.entry_bytes),
+            actual: format!("{} B update payload", bytes.len()),
+        });
+    }
+    Ok(())
+}
+
 /// Running totals a server keeps about the work it has done.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
 pub struct ServerMetrics {
@@ -149,6 +175,21 @@ pub trait PirServer: Send + Sync {
     fn answer_batch(&self, queries: &[ServerQuery]) -> Result<Vec<PirResponse>, PirError> {
         queries.iter().map(|query| self.answer(query)).collect()
     }
+
+    /// Overwrite one table entry in place (hot reload, §4.2 "Changes to
+    /// Embedding Table": value updates are transparent to clients — no new
+    /// keys are needed).
+    ///
+    /// The update is atomic with respect to [`PirServer::answer_batch`]: a
+    /// batch observes the table either entirely before or entirely after the
+    /// update, never a mix.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PirError::IndexOutOfRange`] if `index` is outside the table
+    /// and [`PirError::SchemaMismatch`] if the payload width differs from
+    /// the schema (see [`validate_update`]).
+    fn update_entry(&self, index: u64, bytes: &[u8]) -> Result<(), PirError>;
 
     /// Metrics accumulated since the server was created.
     fn metrics(&self) -> ServerMetrics;

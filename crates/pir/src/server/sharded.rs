@@ -9,7 +9,7 @@
 //! single-device [`GpuPirServer`](crate::GpuPirServer), and the shard fan-out
 //! and partial-share reduction stay internal.
 
-use parking_lot::Mutex;
+use parking_lot::{Mutex, RwLock};
 
 use gpu_sim::{DeviceSpec, GpuExecutor};
 use pir_dpf::{MultiGpuBatchEvalJob, Scheduler, SchedulerConfig};
@@ -17,12 +17,19 @@ use pir_prf::{build_prf, GgmPrg, PrfKind};
 
 use crate::error::PirError;
 use crate::message::{PirResponse, ServerQuery};
-use crate::server::{check_schema, responses_from_shares, PirServer, ServerMetrics};
+use crate::server::{
+    check_schema, responses_from_shares, validate_update, PirServer, ServerMetrics,
+};
 use crate::table::{PirTable, TableSchema};
 
 /// A GPU PIR server spread across several simulated devices.
+///
+/// Like [`GpuPirServer`](crate::GpuPirServer), the table sits behind an
+/// `RwLock` so [`PirServer::update_entry`] hot reloads are atomic with
+/// respect to in-flight batches.
 pub struct ShardedGpuServer {
-    table: PirTable,
+    schema: TableSchema,
+    table: RwLock<PirTable>,
     prg: GgmPrg,
     prf_kind: PrfKind,
     executors: Vec<GpuExecutor>,
@@ -51,7 +58,8 @@ impl ShardedGpuServer {
             executors: devices.into_iter().map(GpuExecutor::new).collect(),
             scheduler: Scheduler::new(scheduler_config),
             metrics: Mutex::new(ServerMetrics::default()),
-            table,
+            schema: table.schema(),
+            table: RwLock::new(table),
         })
     }
 
@@ -87,16 +95,22 @@ impl ShardedGpuServer {
         self.prf_kind
     }
 
-    /// The table served by this server.
+    /// A snapshot of the table served by this server.
     #[must_use]
-    pub fn table(&self) -> &PirTable {
-        &self.table
+    pub fn table_snapshot(&self) -> PirTable {
+        self.table.read().clone()
     }
 }
 
 impl PirServer for ShardedGpuServer {
     fn schema(&self) -> TableSchema {
-        self.table.schema()
+        self.schema
+    }
+
+    fn update_entry(&self, index: u64, bytes: &[u8]) -> Result<(), PirError> {
+        validate_update(self.schema, index, bytes)?;
+        self.table.write().update_entry(index, bytes);
+        Ok(())
     }
 
     fn answer(&self, query: &ServerQuery) -> Result<PirResponse, PirError> {
@@ -107,22 +121,25 @@ impl PirServer for ShardedGpuServer {
     fn answer_batch(&self, queries: &[ServerQuery]) -> Result<Vec<PirResponse>, PirError> {
         assert!(!queries.is_empty(), "batch must contain at least one query");
         for query in queries {
-            check_schema(self.table.schema(), query)?;
+            check_schema(self.schema, query)?;
         }
 
         // The scheduler's strategy/threads choices apply per shard; the grid
         // mapping is fixed by the shard decomposition itself.
         let plan = self.scheduler.plan(
-            self.table.entries(),
-            self.table.entry_bytes() as u64,
+            self.schema.entries,
+            self.schema.entry_bytes as u64,
             queries.len() as u64,
         );
         let keys: Vec<_> = queries.iter().map(|q| q.key.clone()).collect();
-        let output =
-            MultiGpuBatchEvalJob::new(&self.prg, self.prf_kind, &keys, self.table.matrix())
-                .with_strategy(plan.strategy)
-                .with_threads_per_block(plan.threads_per_block)
-                .run(&self.executors);
+        // Read lock held across the whole multi-device launch: every shard
+        // of this batch sees the same table version.
+        let table = self.table.read();
+        let output = MultiGpuBatchEvalJob::new(&self.prg, self.prf_kind, &keys, table.matrix())
+            .with_strategy(plan.strategy)
+            .with_threads_per_block(plan.threads_per_block)
+            .run(&self.executors);
+        drop(table);
         let prf_calls = output.total_prf_calls();
 
         let responses = responses_from_shares(queries, output.results);
@@ -146,7 +163,7 @@ impl PirServer for ShardedGpuServer {
 impl std::fmt::Debug for ShardedGpuServer {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("ShardedGpuServer")
-            .field("table", &self.table.schema().describe())
+            .field("table", &self.schema.describe())
             .field("prf", &self.prf_kind)
             .field("shards", &self.executors.len())
             .finish()

@@ -18,7 +18,18 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use crate::budget::DeviceBudget;
-use crate::registry::{HostedTable, PendingEntry};
+use crate::error::ServeError;
+use crate::registry::{HostedTable, PendingEntry, QueueItem, UpdateMarker};
+
+/// What one trip through the queue decided to do.
+enum Action {
+    /// Launch a formed batch.
+    Batch(Vec<PendingEntry>),
+    /// Apply a hot-reload barrier to every replica of this party.
+    Apply(UpdateMarker),
+    /// Queue closed and drained: exit.
+    Exit,
+}
 
 /// Run one replica's batch former until its party's queue is closed *and*
 /// drained.
@@ -28,6 +39,16 @@ use crate::registry::{HostedTable, PendingEntry};
 /// batch and answered, preserving the exactly-once answer guarantee.
 /// Canceled entries are skipped at formation time — an abandoned query costs
 /// queue capacity only until the next drain, and device work never.
+///
+/// Hot reloads ride the same queue as [`QueueItem::Update`] barriers.
+/// Whichever replica worker finds a marker at the queue front claims it:
+/// it raises the party's barrier flag (pausing all pops), waits until every
+/// previously-popped batch has finished its launch, applies the update to
+/// every replica of the party, then lowers the barrier. Together with the
+/// atomic pair/marker enqueue ordering this yields the consistency
+/// guarantee: both parties answer any given *pair-enqueued* query from the
+/// same table version (wire-path projections enqueue per party and need
+/// admin-side sequencing instead; see `WireFrontend`).
 pub(crate) fn run_batch_former(
     table: Arc<HostedTable>,
     party: usize,
@@ -39,48 +60,106 @@ pub(crate) fn run_batch_former(
     let slot = &table.pools[party][replica];
 
     loop {
-        // Phase 1: wait for the first arrival (or shutdown).
-        let batch: Vec<PendingEntry> = {
+        let action: Action = {
             let mut state = queue.state.lock();
-            while state.entries.is_empty() && !state.closed {
-                queue.arrived.wait(&mut state);
-            }
-            if state.entries.is_empty() && state.closed {
-                return;
-            }
-
-            // Phase 2: give the batch up to `max_wait` (measured from the
-            // *oldest* entry, so no query waits longer than the policy says)
-            // to reach `max_batch`.
-            let oldest = state.entries.front().expect("non-empty").enqueued_at;
-            let deadline = oldest + policy.max_wait;
-            while state.entries.len() < policy.max_batch && !state.closed {
-                let Some(remaining) = deadline.checked_duration_since(Instant::now()) else {
-                    break;
-                };
-                if queue.arrived.wait_for(&mut state, remaining).timed_out() {
-                    break;
+            loop {
+                // A barrier in progress pauses every pop path.
+                if state.barrier {
+                    queue.arrived.wait(&mut state);
+                    continue;
                 }
-            }
-
-            // Canceled queries are discarded as they are popped — their
-            // responders close (nobody is listening) and they never reach
-            // the device — and they don't count toward `max_batch`, so
-            // heavy cancellation can't make formed batches run undersized.
-            let mut batch = Vec::new();
-            while batch.len() < policy.max_batch {
-                let Some(entry) = state.entries.pop_front() else {
-                    break;
-                };
-                if !entry.is_canceled() {
-                    batch.push(entry);
+                match state.entries.front() {
+                    Some(QueueItem::Update(_)) => {
+                        let Some(QueueItem::Update(marker)) = state.entries.pop_front() else {
+                            unreachable!("front checked above");
+                        };
+                        state.pending_updates -= 1;
+                        state.barrier = true;
+                        // Entries popped before the marker must finish
+                        // reading the old table before the update lands.
+                        while state.inflight_batches > 0 {
+                            queue.arrived.wait(&mut state);
+                        }
+                        break Action::Apply(marker);
+                    }
+                    Some(QueueItem::Query(_)) => {}
+                    None if state.closed => break Action::Exit,
+                    None => {
+                        queue.arrived.wait(&mut state);
+                        continue;
+                    }
                 }
+
+                // Phase 2: give the batch up to `max_wait` (measured from
+                // the *oldest* entry, so no query waits longer than the
+                // policy says) to reach `max_batch`. A queued update ends
+                // accumulation early so the barrier is reached promptly.
+                let oldest = match state.entries.front() {
+                    Some(QueueItem::Query(entry)) => entry.enqueued_at,
+                    _ => unreachable!("front checked above"),
+                };
+                let deadline = oldest + policy.max_wait;
+                while state.entries.len() < policy.max_batch
+                    && state.pending_updates == 0
+                    && !state.closed
+                    && !state.barrier
+                {
+                    let Some(remaining) = deadline.checked_duration_since(Instant::now()) else {
+                        break;
+                    };
+                    if queue.arrived.wait_for(&mut state, remaining).timed_out() {
+                        break;
+                    }
+                }
+                if state.barrier {
+                    continue;
+                }
+
+                // Canceled queries are discarded as they are popped — their
+                // responders close (nobody is listening) and they never
+                // reach the device — and they don't count toward
+                // `max_batch`, so heavy cancellation can't make formed
+                // batches run undersized. Popping stops at an update
+                // marker: entries behind it belong to the new table
+                // version's batches.
+                let mut batch = Vec::new();
+                while batch.len() < policy.max_batch {
+                    match state.entries.front() {
+                        Some(QueueItem::Query(_)) => {
+                            let Some(QueueItem::Query(entry)) = state.entries.pop_front() else {
+                                unreachable!("front checked above");
+                            };
+                            if !entry.is_canceled() {
+                                batch.push(entry);
+                            }
+                        }
+                        _ => break,
+                    }
+                }
+                if batch.is_empty() {
+                    // Everything was canceled (or a marker is at the
+                    // front); go around again.
+                    continue;
+                }
+                state.inflight_batches += 1;
+                break Action::Batch(batch);
             }
-            batch
         };
-        if batch.is_empty() {
-            continue;
-        }
+
+        let batch = match action {
+            Action::Exit => return,
+            Action::Apply(marker) => {
+                let result = apply_update(&table, party, &marker);
+                {
+                    let mut state = queue.state.lock();
+                    state.barrier = false;
+                }
+                queue.arrived.notify_all();
+                marker.responder.send(result);
+                continue;
+            }
+            Action::Batch(batch) => batch,
+        };
 
         // Phase 3: submit the formed batch as one execution plan, off the
         // queue lock so new arrivals keep queueing (and sibling replicas
@@ -112,6 +191,13 @@ pub(crate) fn run_batch_former(
         // The lease covers only the kernel launch: response delivery below
         // must not hold devices that sibling replicas could be using.
         drop(lease);
+        // The launch has read the table; a waiting update barrier may
+        // proceed once every popped batch has reached this point.
+        {
+            let mut state = queue.state.lock();
+            state.inflight_batches -= 1;
+        }
+        queue.arrived.notify_all();
 
         match outcome {
             Ok(responses) => {
@@ -126,6 +212,23 @@ pub(crate) fn run_batch_former(
             }
         }
     }
+}
+
+/// Apply one hot-reload marker to every replica of `party`.
+///
+/// Called with the party's barrier raised and no batches in flight, so no
+/// replica is reading while the rows change.
+fn apply_update(
+    table: &HostedTable,
+    party: usize,
+    marker: &UpdateMarker,
+) -> Result<(), ServeError> {
+    for slot in &table.pools[party] {
+        slot.server
+            .update_entry(marker.index, &marker.bytes)
+            .map_err(ServeError::from)?;
+    }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -181,7 +284,7 @@ mod tests {
             let mut state = hosted.queues[0].state.lock();
             for index in 0..5u64 {
                 let (entry, rx) = pending(&hosted, index, &mut rng, false);
-                state.entries.push_back(entry);
+                state.entries.push_back(QueueItem::Query(entry));
                 receivers.push(rx);
             }
         }
@@ -223,7 +326,7 @@ mod tests {
             let mut state = hosted.queues[0].state.lock();
             for index in 0..6u64 {
                 let (entry, rx) = pending(&hosted, index, &mut rng, index % 2 == 0);
-                state.entries.push_back(entry);
+                state.entries.push_back(QueueItem::Query(entry));
                 if index % 2 != 0 {
                     live.push(rx);
                 }
@@ -261,7 +364,7 @@ mod tests {
             let mut state = hosted.queues[0].state.lock();
             for index in 0..4u64 {
                 let (entry, _rx) = pending(&hosted, index, &mut rng, true);
-                state.entries.push_back(entry);
+                state.entries.push_back(QueueItem::Query(entry));
             }
         }
         hosted.queues[0].close();

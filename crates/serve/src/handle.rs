@@ -8,12 +8,12 @@ use std::sync::Arc;
 use std::task::{Context, Poll};
 use std::time::Instant;
 
-use pir_protocol::{PirQuery, PirResponse};
+use pir_protocol::{PirError, PirQuery, PirResponse, ServerQuery};
 
 use crate::admission::InFlightGuard;
 use crate::error::ServeError;
 use crate::oneshot::{self, Receiver};
-use crate::registry::{HostedTable, PendingEntry};
+use crate::registry::{HostedTable, PendingEntry, UpdateMarker};
 use crate::runtime::RuntimeInner;
 use crate::stats::StatsSnapshot;
 
@@ -45,10 +45,10 @@ impl ServeHandle {
     ///   [`ServeError::ShuttingDown`] — backpressure; retry later.
     pub fn query(&self, table: &str, tenant: &str, index: u64) -> Result<PendingQuery, ServeError> {
         let hosted = self.inner.registry.get(table)?;
-        if index >= hosted.table.entries() {
+        if index >= hosted.schema.entries {
             return Err(ServeError::IndexOutOfRange {
                 index,
-                entries: hosted.table.entries(),
+                entries: hosted.schema.entries,
             });
         }
         // Checked after table resolution so queries shed by a shutdown are
@@ -112,6 +112,132 @@ impl ServeHandle {
             completed: false,
             _guard: guard,
         })
+    }
+
+    /// Submit one *already-generated* server projection at a single party's
+    /// queue (the wire frontend's path: keys arrive from remote clients,
+    /// this runtime never sees the pair).
+    ///
+    /// # Errors
+    ///
+    /// Same backpressure errors as [`Self::query`], plus
+    /// [`ServeError::Protocol`] with a schema mismatch if the query was
+    /// generated for a different table shape.
+    pub(crate) fn submit_server_query(
+        &self,
+        table: &str,
+        tenant: &str,
+        query: ServerQuery,
+    ) -> Result<PendingShare, ServeError> {
+        let hosted = self.inner.registry.get(table)?;
+        if query.schema != hosted.schema || query.key.params.domain_size != hosted.schema.entries {
+            return Err(ServeError::Protocol(PirError::SchemaMismatch {
+                expected: query.schema.describe(),
+                actual: hosted.schema.describe(),
+            }));
+        }
+        let party = usize::from(query.party() & 1);
+        if self.inner.shutting_down.load(Ordering::SeqCst) {
+            hosted.stats.shed.fetch_add(1, Ordering::Relaxed);
+            return Err(ServeError::ShuttingDown);
+        }
+        let guard = match self.inner.admission.admit(tenant) {
+            Ok(guard) => guard,
+            Err(err) => {
+                hosted.stats.shed.fetch_add(1, Ordering::Relaxed);
+                return Err(err);
+            }
+        };
+        let submitted_at = Instant::now();
+        let (tx, rx) = oneshot::channel();
+        // Wire-path telemetry counts per-party projections (each server
+        // process of a networked deployment sees exactly one projection per
+        // client query), mirroring the pair-level accounting of `query`.
+        hosted.stats.submitted.fetch_add(1, Ordering::Relaxed);
+        let enqueued = hosted.enqueue_single(
+            party,
+            self.inner.admission.policy().queue_capacity,
+            PendingEntry {
+                query,
+                enqueued_at: submitted_at,
+                responder: tx,
+                canceled: Arc::new(AtomicBool::new(false)),
+            },
+        );
+        if let Err(err) = enqueued {
+            hosted.stats.submitted.fetch_sub(1, Ordering::Relaxed);
+            hosted.stats.shed.fetch_add(1, Ordering::Relaxed);
+            return Err(err);
+        }
+        Ok(PendingShare {
+            hosted,
+            rx,
+            submitted_at,
+            _guard: guard,
+        })
+    }
+
+    /// Overwrite one entry of a hosted table (hot reload) and block until
+    /// both parties have applied it.
+    ///
+    /// The update travels through the same per-party dispatch queues as the
+    /// queries, as a barrier: every in-flight *embedded* query (admitted by
+    /// [`Self::query`], whose two projections enqueue atomically) is
+    /// answered by both parties from the same table version — queries
+    /// admitted before the update see the old row everywhere, queries
+    /// admitted after see the new row everywhere, and mixed-version share
+    /// pairs (which would reconstruct garbage) cannot occur. Clients need
+    /// no new keys (§4.2: value updates are transparent).
+    ///
+    /// Wire-path queries arrive one projection per connection and get no
+    /// such cross-queue atomicity: when updating a runtime that is serving
+    /// remote traffic, sequence updates against in-flight wire queries (or
+    /// accept that a query straddling the update may fail to reconstruct
+    /// and be retried). Stamping responses with a table version so clients
+    /// can detect the straddle is a noted follow-on.
+    ///
+    /// # Errors
+    ///
+    /// * [`ServeError::UnknownTable`] — no such table.
+    /// * [`ServeError::IndexOutOfRange`] — index outside the table.
+    /// * [`ServeError::Protocol`] — payload width differs from the schema.
+    /// * [`ServeError::ShuttingDown`] — the runtime stopped first.
+    pub fn update_entry(&self, table: &str, index: u64, bytes: &[u8]) -> Result<(), ServeError> {
+        let hosted = self.inner.registry.get(table)?;
+        if index >= hosted.schema.entries {
+            return Err(ServeError::IndexOutOfRange {
+                index,
+                entries: hosted.schema.entries,
+            });
+        }
+        if bytes.len() != hosted.schema.entry_bytes {
+            return Err(ServeError::Protocol(PirError::SchemaMismatch {
+                expected: format!("{} B entries", hosted.schema.entry_bytes),
+                actual: format!("{} B update payload", bytes.len()),
+            }));
+        }
+        let payload = Arc::new(bytes.to_vec());
+        let (tx0, rx0) = oneshot::channel();
+        let (tx1, rx1) = oneshot::channel();
+        hosted.enqueue_update(
+            UpdateMarker {
+                index,
+                bytes: Arc::clone(&payload),
+                responder: tx0,
+            },
+            UpdateMarker {
+                index,
+                bytes: payload,
+                responder: tx1,
+            },
+        )?;
+        for rx in [rx0, rx1] {
+            match oneshot::block_on(rx) {
+                Ok(result) => result?,
+                Err(oneshot::Canceled) => return Err(ServeError::ShuttingDown),
+            }
+        }
+        Ok(())
     }
 
     /// Names of the registered tables.
@@ -253,5 +379,36 @@ impl Future for PendingQuery {
             }
         }
         Poll::Ready(outcome)
+    }
+}
+
+/// A single-party projection admitted through the wire frontend: resolves
+/// to *one server's share*, not a reconstructed row (reconstruction happens
+/// client-side, beyond the trust boundary).
+pub(crate) struct PendingShare {
+    hosted: Arc<HostedTable>,
+    rx: Receiver<Result<PirResponse, ServeError>>,
+    submitted_at: Instant,
+    _guard: InFlightGuard,
+}
+
+impl PendingShare {
+    /// Block until this party's share is computed.
+    pub(crate) fn wait(self) -> Result<PirResponse, ServeError> {
+        let outcome = match oneshot::block_on(self.rx) {
+            Ok(result) => result,
+            Err(oneshot::Canceled) => Err(ServeError::ShuttingDown),
+        };
+        match &outcome {
+            Ok(_) => {
+                self.hosted.stats.answered.fetch_add(1, Ordering::Relaxed);
+                let elapsed_ms = self.submitted_at.elapsed().as_secs_f64() * 1e3;
+                self.hosted.stats.e2e.lock().record_ms(elapsed_ms);
+            }
+            Err(_) => {
+                self.hosted.stats.failed.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        outcome
     }
 }

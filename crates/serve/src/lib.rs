@@ -33,11 +33,19 @@
 //!   [`ServeError`]s instead of letting latency collapse.
 //! * **Telemetry** ([`StatsSnapshot`]) exports queue depth, batch occupancy
 //!   and p50/p99 latency built on [`pir_core::LatencyHistogram`].
-//! * **[`ServeHandle`]** is the clonable client API: `query(table, tenant,
-//!   index)` admits a lookup and returns a [`PendingQuery`] — a plain
+//! * **[`ServeHandle`]** is the clonable *embedded* client API: `query(table,
+//!   tenant, index)` admits a lookup and returns a [`PendingQuery`] — a plain
 //!   [`std::future::Future`] — which either resolves on the caller's
 //!   executor or synchronously via [`PendingQuery::wait`] /
-//!   [`block_on`].
+//!   [`block_on`]. [`ServeHandle::update_entry`] hot-reloads a table row
+//!   through both dispatch queues as an atomic barrier, so every in-flight
+//!   query is answered by both parties from the same table version.
+//! * **[`WireFrontend`]** is the *networked* boundary: it decodes `pir-wire`
+//!   envelopes arriving from untrusted clients, bridges them into the same
+//!   batching machinery for one party only, and encodes replies (including
+//!   quota/queue-full sheds as typed wire errors). Remote clients use
+//!   `pir_wire::PirSession` over two transports and never see this crate's
+//!   types at all.
 //!
 //! # Example
 //!
@@ -72,6 +80,7 @@ mod oneshot;
 mod registry;
 mod runtime;
 pub mod stats;
+mod wire_frontend;
 
 pub use config::{
     AdmissionPolicy, BatchPolicy, ServeConfig, ServeConfigBuilder, TableConfig, TableConfigBuilder,
@@ -81,3 +90,4 @@ pub use handle::{PendingQuery, ServeHandle};
 pub use oneshot::block_on;
 pub use runtime::PirServeRuntime;
 pub use stats::{ReplicaStatsSnapshot, StatsSnapshot, TableStatsSnapshot};
+pub use wire_frontend::WireFrontend;

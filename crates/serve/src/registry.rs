@@ -35,10 +35,46 @@ impl PendingEntry {
     }
 }
 
+/// A hot-reload marker queued *in order* with the queries.
+///
+/// Both parties' markers are enqueued atomically, so every *pair-enqueued*
+/// query (the embedded [`enqueue_pair`](HostedTable::enqueue_pair) path)
+/// sits on the same side of the marker in both queues. The batch former
+/// applies the update when the marker reaches the queue front, after
+/// draining in-flight batches — which makes the update a consistent cut:
+/// every pair-enqueued query is answered by both parties from the same
+/// table version, and mixed-version shares (which would reconstruct
+/// garbage, not stale data) cannot occur.
+///
+/// Wire-path submissions ([`enqueue_single`](HostedTable::enqueue_single))
+/// arrive one projection at a time on independent connections, so no such
+/// cross-queue atomicity exists for them — there the admin must sequence
+/// updates against in-flight traffic (see `WireFrontend`'s docs).
+pub(crate) struct UpdateMarker {
+    pub index: u64,
+    pub bytes: Arc<Vec<u8>>,
+    pub responder: oneshot::Sender<Result<(), ServeError>>,
+}
+
+/// One item in a party's dispatch queue.
+pub(crate) enum QueueItem {
+    /// A query projection awaiting batch formation.
+    Query(PendingEntry),
+    /// A table-update barrier (see [`UpdateMarker`]).
+    Update(UpdateMarker),
+}
+
 #[derive(Default)]
 pub(crate) struct QueueState {
-    pub entries: std::collections::VecDeque<PendingEntry>,
+    pub entries: std::collections::VecDeque<QueueItem>,
     pub closed: bool,
+    /// Update markers currently queued; batch formation stops growing a
+    /// batch early when one is waiting so the barrier is reached promptly.
+    pub pending_updates: usize,
+    /// Batches popped from this queue whose device launch has not finished.
+    pub inflight_batches: usize,
+    /// An update barrier is being applied: all pops pause until cleared.
+    pub barrier: bool,
 }
 
 /// The bounded queue feeding one party's batch formers.
@@ -72,7 +108,10 @@ pub(crate) struct ReplicaSlot {
 pub(crate) struct HostedTable {
     pub name: String,
     pub config: TableConfig,
-    pub table: PirTable,
+    /// The table's (immutable) shape; entry *values* may change through
+    /// hot reloads (each replica server owns its copy behind the
+    /// [`pir_protocol::PirServer`] trait), the shape never does.
+    pub schema: pir_protocol::TableSchema,
     pub client: PirClient,
     /// `pools[party][replica]`: every replica of a party holds the same
     /// table and answers any batch, so formed batches go to whichever
@@ -111,13 +150,13 @@ impl HostedTable {
         };
         Ok(Self {
             name: name.to_string(),
+            schema: table.schema(),
             client: PirClient::new(table.schema(), config.prf_kind),
             pools: [make_pool()?, make_pool()?],
             queues: [BatchQueue::default(), BatchQueue::default()],
             stats: TableStats::default(),
             registered_at: Instant::now(),
             config,
-            table,
         })
     }
 
@@ -144,12 +183,69 @@ impl HostedTable {
                 depth,
             });
         }
-        q0.entries.push_back(to0);
-        q1.entries.push_back(to1);
+        q0.entries.push_back(QueueItem::Query(to0));
+        q1.entries.push_back(QueueItem::Query(to1));
         drop(q0);
         drop(q1);
         self.queues[0].arrived.notify_one();
         self.queues[1].arrived.notify_one();
+        Ok(())
+    }
+
+    /// Enqueue one server projection at a single party's queue, or shed.
+    ///
+    /// This is the wire frontend's submission path: a networked deployment
+    /// runs one frontend per party, and each server process only ever sees
+    /// (and queues) its own projection.
+    pub(crate) fn enqueue_single(
+        &self,
+        party: usize,
+        capacity: usize,
+        entry: PendingEntry,
+    ) -> Result<(), ServeError> {
+        let mut queue = self.queues[party].state.lock();
+        if queue.closed {
+            return Err(ServeError::ShuttingDown);
+        }
+        let depth = queue.entries.len();
+        if depth >= capacity {
+            return Err(ServeError::QueueFull {
+                table: self.name.clone(),
+                depth,
+            });
+        }
+        queue.entries.push_back(QueueItem::Query(entry));
+        drop(queue);
+        self.queues[party].arrived.notify_one();
+        Ok(())
+    }
+
+    /// Atomically enqueue a hot-reload barrier at both parties' queues.
+    ///
+    /// Same locking discipline as [`Self::enqueue_pair`], so every query
+    /// pair is ordered identically relative to the marker in both queues —
+    /// the property the consistency guarantee rests on. Updates are control
+    /// traffic and bypass the data queue's capacity check.
+    pub(crate) fn enqueue_update(
+        &self,
+        to0: UpdateMarker,
+        to1: UpdateMarker,
+    ) -> Result<(), ServeError> {
+        let mut q0 = self.queues[0].state.lock();
+        let mut q1 = self.queues[1].state.lock();
+        if q0.closed || q1.closed {
+            return Err(ServeError::ShuttingDown);
+        }
+        q0.entries.push_back(QueueItem::Update(to0));
+        q0.pending_updates += 1;
+        q1.entries.push_back(QueueItem::Update(to1));
+        q1.pending_updates += 1;
+        drop(q0);
+        drop(q1);
+        // All formers must wake: whichever reaches the marker first becomes
+        // the barrier applier, the rest must re-check the barrier flag.
+        self.queues[0].arrived.notify_all();
+        self.queues[1].arrived.notify_all();
         Ok(())
     }
 }

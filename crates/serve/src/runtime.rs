@@ -199,6 +199,16 @@ impl PirServeRuntime {
         }
     }
 
+    /// Overwrite one entry of a hosted table (hot reload). See
+    /// [`ServeHandle::update_entry`] for the consistency guarantee.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the same errors as [`ServeHandle::update_entry`].
+    pub fn update_entry(&self, table: &str, index: u64, bytes: &[u8]) -> Result<(), ServeError> {
+        self.handle().update_entry(table, index, bytes)
+    }
+
     /// A point-in-time statistics snapshot.
     #[must_use]
     pub fn stats(&self) -> StatsSnapshot {

@@ -1,0 +1,400 @@
+//! [`WireFrontend`]: the server half of the `pir-wire` boundary.
+//!
+//! A frontend decodes envelopes arriving from untrusted clients, bridges
+//! them into the runtime's batching machinery for **one party only**, and
+//! encodes the replies. One frontend per party is the deployment shape: in
+//! the paper's two-server model each non-colluding server process runs its
+//! own runtime and its own frontend, so no code path reachable from a
+//! single connection can ever observe both DPF keys — this type does not
+//! even have a way to *represent* the pair.
+//!
+//! Malformed, truncated or wrong-version frames produce typed
+//! [`ErrorReply`]s (for version mismatches, carrying the supported range
+//! per the reject-with-supported-range rule); backpressure sheds
+//! ([`ServeError::QueueFull`], quota, shutdown) become `shed`-flagged wire
+//! errors rather than panics or dropped connections.
+//!
+//! **Hot reloads vs wire traffic**: wire queries enqueue one projection
+//! per party on independent connections, so the cross-queue update barrier
+//! that protects embedded (pair-enqueued) queries cannot cover a wire
+//! query whose two halves straddle an `UpdateEntry` — in that window the
+//! client's reconstruction fails and should be retried. Admins updating a
+//! live table over the wire should sequence updates against their own
+//! in-flight queries (a single lockstep [`pir_wire::PirSession`] does this
+//! naturally); version-stamped responses are the noted follow-on for
+//! concurrent multi-client admin traffic.
+
+use pir_wire::{
+    decode_message, encode_message, Catalog, CatalogEntry, ErrorCode, ErrorReply, PirTransport,
+    QueryMsg, UpdateAckMsg, UpdateEntryMsg, WireError, WireMessage, PROTOCOL_VERSION,
+};
+
+use crate::error::ServeError;
+use crate::handle::ServeHandle;
+
+/// Longest detail string an error reply carries back to a client.
+///
+/// Error messages can echo client-supplied strings (table and tenant
+/// names), and the canonical encoding caps strings at `u16::MAX` bytes —
+/// bounding the echo here keeps a hostile 64 KiB table name from ever
+/// pushing a reply past what `put_string` can encode (which would panic
+/// the serve thread) and keeps error frames small.
+const MAX_ERROR_DETAIL_BYTES: usize = 512;
+
+/// Truncate an error detail to [`MAX_ERROR_DETAIL_BYTES`] on a char
+/// boundary.
+fn bounded_detail(message: String) -> String {
+    if message.len() <= MAX_ERROR_DETAIL_BYTES {
+        return message;
+    }
+    let mut cut = MAX_ERROR_DETAIL_BYTES;
+    while !message.is_char_boundary(cut) {
+        cut -= 1;
+    }
+    format!("{}... (truncated)", &message[..cut])
+}
+
+/// The wire-facing server endpoint for one party of the runtime.
+pub struct WireFrontend {
+    handle: ServeHandle,
+    party: u8,
+}
+
+impl WireFrontend {
+    /// Create a frontend answering for `party` (0 or 1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `party` is not 0 or 1 (a deployment wiring error).
+    #[must_use]
+    pub fn new(handle: ServeHandle, party: u8) -> Self {
+        assert!(party < 2, "two-server protocol: party must be 0 or 1");
+        Self { handle, party }
+    }
+
+    /// The party this frontend answers for.
+    #[must_use]
+    pub fn party(&self) -> u8 {
+        self.party
+    }
+
+    /// Handle one request frame and produce the reply frame.
+    ///
+    /// Total: every input, including garbage, yields an encoded reply (the
+    /// request/response discipline keeps the connection usable after an
+    /// error).
+    #[must_use]
+    pub fn handle_frame(&self, frame: &[u8]) -> Vec<u8> {
+        let reply = match decode_message(frame) {
+            Ok(message) => self.dispatch(message),
+            Err(WireError::UnsupportedVersion { got, .. }) => {
+                WireMessage::Error(ErrorReply::unsupported_version(got))
+            }
+            Err(err) => WireMessage::Error(ErrorReply {
+                code: ErrorCode::Malformed,
+                shed: false,
+                min_version: 0,
+                max_version: 0,
+                message: bounded_detail(err.to_string()),
+            }),
+        };
+        encode_message(&reply)
+    }
+
+    /// Serve one connection until the peer hangs up.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireError::Transport`] for I/O failures; a clean
+    /// [`WireError::ConnectionClosed`] hang-up returns `Ok(())`.
+    pub fn serve(&self, transport: &mut dyn PirTransport) -> Result<(), WireError> {
+        loop {
+            let frame = match transport.recv() {
+                Ok(frame) => frame,
+                Err(WireError::ConnectionClosed) => return Ok(()),
+                Err(err) => return Err(err),
+            };
+            let reply = self.handle_frame(&frame);
+            match transport.send(&reply) {
+                Ok(()) => {}
+                Err(WireError::ConnectionClosed) => return Ok(()),
+                Err(err) => return Err(err),
+            }
+        }
+    }
+
+    fn dispatch(&self, message: WireMessage) -> WireMessage {
+        match message {
+            WireMessage::CatalogRequest => self.catalog(),
+            WireMessage::Query(query) => self.query(query),
+            WireMessage::UpdateEntry(update) => self.update(update),
+            other => WireMessage::Error(ErrorReply {
+                code: ErrorCode::InvalidRequest,
+                shed: false,
+                min_version: 0,
+                max_version: 0,
+                message: format!("server cannot accept a {} message", other.name()),
+            }),
+        }
+    }
+
+    fn catalog(&self) -> WireMessage {
+        let tables = self
+            .handle
+            .inner
+            .registry
+            .all()
+            .into_iter()
+            .map(|hosted| CatalogEntry {
+                name: hosted.name.clone(),
+                schema: hosted.schema,
+                prf_kind: hosted.config.prf_kind,
+            })
+            .collect();
+        WireMessage::Catalog(Catalog {
+            protocol_version: PROTOCOL_VERSION,
+            party: self.party,
+            tables,
+        })
+    }
+
+    fn query(&self, query: QueryMsg) -> WireMessage {
+        if query.query.party() != self.party {
+            return WireMessage::Error(ErrorReply {
+                code: ErrorCode::InvalidRequest,
+                shed: false,
+                min_version: 0,
+                max_version: 0,
+                message: format!(
+                    "this server answers for party {}, key is for party {}",
+                    self.party,
+                    query.query.party()
+                ),
+            });
+        }
+        let pending = self
+            .handle
+            .submit_server_query(&query.table, &query.tenant, query.query);
+        match pending.and_then(super::handle::PendingShare::wait) {
+            Ok(response) => WireMessage::Response(response),
+            Err(err) => WireMessage::Error(serve_error_reply(&err)),
+        }
+    }
+
+    fn update(&self, update: UpdateEntryMsg) -> WireMessage {
+        match self
+            .handle
+            .update_entry(&update.table, update.index, &update.bytes)
+        {
+            Ok(()) => WireMessage::UpdateAck(UpdateAckMsg {
+                table: update.table,
+                index: update.index,
+            }),
+            Err(err) => WireMessage::Error(serve_error_reply(&err)),
+        }
+    }
+}
+
+impl std::fmt::Debug for WireFrontend {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WireFrontend")
+            .field("party", &self.party)
+            .finish()
+    }
+}
+
+/// Map a runtime error onto the wire's typed error reply.
+fn serve_error_reply(err: &ServeError) -> ErrorReply {
+    let code = match err {
+        ServeError::UnknownTable(_) => ErrorCode::UnknownTable,
+        ServeError::IndexOutOfRange { .. } => ErrorCode::IndexOutOfRange,
+        ServeError::QueueFull { .. }
+        | ServeError::QuotaExceeded { .. }
+        | ServeError::ShuttingDown => ErrorCode::Shed,
+        ServeError::Protocol(_) => ErrorCode::Protocol,
+        ServeError::TableExists(_) | ServeError::InvalidConfig(_) => ErrorCode::InvalidRequest,
+    };
+    ErrorReply {
+        code,
+        shed: err.is_shed(),
+        min_version: 0,
+        max_version: 0,
+        message: bounded_detail(err.to_string()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::TableConfig;
+    use crate::runtime::PirServeRuntime;
+    use crate::ServeConfig;
+    use pir_prf::PrfKind;
+    use pir_protocol::PirTable;
+    use pir_wire::{MsgType, WireEnvelope};
+    use std::time::Duration;
+
+    fn runtime() -> PirServeRuntime {
+        let runtime = PirServeRuntime::new(ServeConfig::builder().seed(7).build().unwrap());
+        let table = PirTable::generate(128, 8, |row, _| row as u8);
+        let config = TableConfig::builder()
+            .prf_kind(PrfKind::SipHash)
+            .max_batch(8)
+            .max_wait(Duration::from_millis(1))
+            .build()
+            .unwrap();
+        runtime.register_table("emb", table, config).unwrap();
+        runtime
+    }
+
+    #[test]
+    fn catalog_identifies_party_and_tables() {
+        let runtime = runtime();
+        let frontend = WireFrontend::new(runtime.handle(), 1);
+        let reply = frontend.handle_frame(&encode_message(&WireMessage::CatalogRequest));
+        match decode_message(&reply).unwrap() {
+            WireMessage::Catalog(catalog) => {
+                assert_eq!(catalog.party, 1);
+                assert_eq!(catalog.protocol_version, PROTOCOL_VERSION);
+                assert_eq!(catalog.tables.len(), 1);
+                assert_eq!(catalog.tables[0].name, "emb");
+                assert_eq!(catalog.tables[0].schema.entries, 128);
+                assert_eq!(catalog.tables[0].prf_kind, PrfKind::SipHash);
+            }
+            other => panic!("expected catalog, got {}", other.name()),
+        }
+    }
+
+    #[test]
+    fn garbage_frames_get_typed_error_replies_not_panics() {
+        let runtime = runtime();
+        let frontend = WireFrontend::new(runtime.handle(), 0);
+        for frame in [
+            &b""[..],
+            &b"XX"[..],
+            &[0x50, 0x57, 1, 0, 3][..],               // truncated header
+            &[0x50, 0x57, 1, 0, 200, 0, 0, 0, 0][..], // unknown msg type
+        ] {
+            let reply = frontend.handle_frame(frame);
+            match decode_message(&reply).unwrap() {
+                WireMessage::Error(error) => assert_eq!(error.code, ErrorCode::Malformed),
+                other => panic!("expected error, got {}", other.name()),
+            }
+        }
+    }
+
+    #[test]
+    fn hostile_64kib_table_names_get_bounded_error_replies_not_panics() {
+        let runtime = runtime();
+        let frontend = WireFrontend::new(runtime.handle(), 0);
+        // A well-formed Query frame whose table/tenant names are as long as
+        // the u16 length prefix allows: the lookup fails, and the error
+        // reply must truncate the echoed name instead of panicking the
+        // serve thread inside the string encoder.
+        let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(8);
+        let client =
+            pir_protocol::PirClient::new(pir_protocol::TableSchema::new(128, 8), PrfKind::SipHash);
+        let query = client.query(5, &mut rng);
+        let frame = encode_message(&WireMessage::Query(pir_wire::QueryMsg {
+            table: "x".repeat(u16::MAX as usize),
+            tenant: "y".repeat(u16::MAX as usize),
+            query: query.to_server(0),
+        }));
+        let reply = frontend.handle_frame(&frame);
+        match decode_message(&reply).unwrap() {
+            WireMessage::Error(error) => {
+                assert_eq!(error.code, ErrorCode::UnknownTable);
+                assert!(error.message.len() <= MAX_ERROR_DETAIL_BYTES + 32);
+                assert!(error.message.ends_with("(truncated)"));
+            }
+            other => panic!("expected error, got {}", other.name()),
+        }
+    }
+
+    #[test]
+    fn version_rejection_carries_the_supported_range() {
+        let runtime = runtime();
+        let frontend = WireFrontend::new(runtime.handle(), 0);
+        let mut frame = encode_message(&WireMessage::CatalogRequest);
+        frame[2] = 42; // future protocol version
+        let reply = frontend.handle_frame(&frame);
+        match decode_message(&reply).unwrap() {
+            WireMessage::Error(error) => {
+                assert_eq!(error.code, ErrorCode::UnsupportedVersion);
+                assert_eq!(error.min_version, pir_wire::MIN_SUPPORTED_VERSION);
+                assert_eq!(error.max_version, pir_wire::MAX_SUPPORTED_VERSION);
+            }
+            other => panic!("expected error, got {}", other.name()),
+        }
+    }
+
+    #[test]
+    fn wrong_party_keys_are_rejected_at_the_boundary() {
+        let runtime = runtime();
+        let frontend = WireFrontend::new(runtime.handle(), 0);
+        // Generate a legitimate query for the *other* party.
+        let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(3);
+        let client =
+            pir_protocol::PirClient::new(pir_protocol::TableSchema::new(128, 8), PrfKind::SipHash);
+        let query = client.query(5, &mut rng);
+        let frame = encode_message(&WireMessage::Query(pir_wire::QueryMsg {
+            table: "emb".into(),
+            tenant: "t".into(),
+            query: query.to_server(1),
+        }));
+        let reply = frontend.handle_frame(&frame);
+        match decode_message(&reply).unwrap() {
+            WireMessage::Error(error) => {
+                assert_eq!(error.code, ErrorCode::InvalidRequest);
+                assert!(error.message.contains("party"));
+            }
+            other => panic!("expected error, got {}", other.name()),
+        }
+    }
+
+    #[test]
+    fn shutdown_sheds_wire_queries_with_the_shed_flag() {
+        let runtime = runtime();
+        let frontend = WireFrontend::new(runtime.handle(), 0);
+        let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(4);
+        let client =
+            pir_protocol::PirClient::new(pir_protocol::TableSchema::new(128, 8), PrfKind::SipHash);
+        let query = client.query(5, &mut rng);
+        runtime.shutdown();
+        let frame = encode_message(&WireMessage::Query(pir_wire::QueryMsg {
+            table: "emb".into(),
+            tenant: "t".into(),
+            query: query.to_server(0),
+        }));
+        let reply = frontend.handle_frame(&frame);
+        match decode_message(&reply).unwrap() {
+            WireMessage::Error(error) => {
+                assert_eq!(error.code, ErrorCode::Shed);
+                assert!(error.shed);
+            }
+            other => panic!("expected error, got {}", other.name()),
+        }
+    }
+
+    #[test]
+    fn servers_reject_server_to_client_message_types() {
+        let runtime = runtime();
+        let frontend = WireFrontend::new(runtime.handle(), 0);
+        let frame = WireEnvelope::new(MsgType::CatalogRequest, Vec::new()).encode();
+        // Sanity: a valid request works...
+        assert!(matches!(
+            decode_message(&frontend.handle_frame(&frame)).unwrap(),
+            WireMessage::Catalog(_)
+        ));
+        // ...but a Response sent *to* a server is an InvalidRequest.
+        let frame = encode_message(&WireMessage::Response(pir_protocol::PirResponse {
+            query_id: 1,
+            party: 0,
+            share: vec![1],
+        }));
+        match decode_message(&frontend.handle_frame(&frame)).unwrap() {
+            WireMessage::Error(error) => assert_eq!(error.code, ErrorCode::InvalidRequest),
+            other => panic!("expected error, got {}", other.name()),
+        }
+    }
+}

@@ -1,13 +1,16 @@
 //! Offline stand-in for `serde`'s derive macros.
 //!
-//! The build environment has no crates.io access, and nothing in this
-//! workspace actually serializes data yet — the `#[derive(Serialize,
-//! Deserialize)]` annotations across the crates only declare intent for a
-//! future wire format. This shim keeps those annotations compiling by
-//! providing derive macros that expand to nothing (and accept, and ignore,
-//! any `#[serde(...)]` helper attributes).
+//! The build environment has no crates.io access. The workspace's *actual*
+//! wire format lives in `pir-wire`, whose encoders are hand-rolled so the
+//! on-wire byte layout is canonical and deterministic (and so reported
+//! communication sizes are exact); the `#[derive(Serialize, Deserialize)]`
+//! annotations across the crates declare intent for interop with generic
+//! serde formats (JSON config dumps, snapshot tooling, ...). This shim
+//! keeps those annotations compiling by providing derive macros that
+//! expand to nothing (and accept, and ignore, any `#[serde(...)]` helper
+//! attributes).
 //!
-//! When a real serialization format lands, replace this crate with the real
+//! If crates.io access ever lands, replace this crate with the real
 //! `serde` + `serde_derive` in the workspace manifest; no source changes to
 //! the other crates should be needed.
 

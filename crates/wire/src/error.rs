@@ -1,0 +1,233 @@
+//! Typed errors of the wire layer.
+//!
+//! Every way a frame can be malformed decodes to a [`WireError`] variant —
+//! never a panic — so a server exposed to untrusted bytes sheds garbage with
+//! a typed reply instead of dying, and a client can distinguish "my peer
+//! speaks a newer protocol" from "the connection dropped".
+
+use std::fmt;
+
+use pir_protocol::PirError;
+
+/// Machine-readable category carried by an on-wire error reply.
+///
+/// The discriminants are part of the wire format (encoded as one byte) and
+/// must never be renumbered within a protocol version.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum ErrorCode {
+    /// The request frame could not be decoded.
+    Malformed = 1,
+    /// The request's protocol version is outside the server's supported
+    /// range (the reply carries the range).
+    UnsupportedVersion = 2,
+    /// No table with the requested name is registered.
+    UnknownTable = 3,
+    /// The request is well-formed but invalid for this server (wrong party,
+    /// schema mismatch, bad update width, unexpected message type).
+    InvalidRequest = 4,
+    /// An update addressed an index outside the table.
+    IndexOutOfRange = 5,
+    /// Backpressure: the query was shed (queue full, quota exceeded or the
+    /// server is shutting down). Retry later.
+    Shed = 6,
+    /// The underlying PIR protocol layer failed.
+    Protocol = 7,
+    /// An unexpected server-side failure.
+    Internal = 8,
+}
+
+impl ErrorCode {
+    /// Decode from the on-wire byte.
+    #[must_use]
+    pub fn from_u8(value: u8) -> Option<Self> {
+        match value {
+            1 => Some(Self::Malformed),
+            2 => Some(Self::UnsupportedVersion),
+            3 => Some(Self::UnknownTable),
+            4 => Some(Self::InvalidRequest),
+            5 => Some(Self::IndexOutOfRange),
+            6 => Some(Self::Shed),
+            7 => Some(Self::Protocol),
+            8 => Some(Self::Internal),
+            _ => None,
+        }
+    }
+}
+
+/// Errors surfaced by encoding, decoding, transports and sessions.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum WireError {
+    /// The frame ended before a field could be read.
+    Truncated {
+        /// Bytes the decoder needed.
+        needed: usize,
+        /// Bytes that were available.
+        available: usize,
+    },
+    /// The frame does not start with the protocol magic.
+    BadMagic([u8; 2]),
+    /// The frame's protocol version is outside the supported range.
+    UnsupportedVersion {
+        /// Version carried by the frame.
+        got: u16,
+        /// Lowest version this implementation accepts.
+        min: u16,
+        /// Highest version this implementation accepts.
+        max: u16,
+    },
+    /// The envelope names a message type this implementation does not know.
+    UnknownMsgType(u8),
+    /// The envelope's declared body length disagrees with the frame.
+    BodyLength {
+        /// Length declared in the envelope header.
+        declared: usize,
+        /// Bytes actually present after the header.
+        actual: usize,
+    },
+    /// Bytes were left over after the message body was fully decoded.
+    TrailingBytes {
+        /// Number of undecoded trailing bytes.
+        remaining: usize,
+    },
+    /// A field held a value the canonical encoding forbids (non-boolean
+    /// flag byte, invalid party, non-UTF-8 string, zero-sized schema, ...).
+    InvalidValue(&'static str),
+    /// A frame exceeded the transport's size limit.
+    FrameTooLarge {
+        /// Length of the offending frame.
+        len: usize,
+        /// The transport's limit.
+        limit: usize,
+    },
+    /// The peer closed the connection.
+    ConnectionClosed,
+    /// An I/O failure below the framing layer.
+    Transport(String),
+    /// The peer replied with an on-wire error.
+    Remote {
+        /// Machine-readable category.
+        code: ErrorCode,
+        /// Whether the error is a load-shedding signal (retry later).
+        shed: bool,
+        /// Human-readable detail from the peer.
+        message: String,
+    },
+    /// The peer sent a well-formed message of the wrong type for the
+    /// current protocol step.
+    UnexpectedMessage {
+        /// What the caller was waiting for.
+        expected: &'static str,
+        /// What arrived instead.
+        got: &'static str,
+    },
+    /// A session request was invalid before anything was sent (unknown
+    /// table, out-of-range index, catalog disagreement between servers).
+    InvalidRequest(String),
+    /// The PIR layer rejected the reconstructed responses.
+    Protocol(PirError),
+}
+
+impl WireError {
+    /// Whether the error is a load-shedding signal: the request was valid
+    /// but the server is overloaded — back off and retry.
+    #[must_use]
+    pub fn is_shed(&self) -> bool {
+        matches!(self, Self::Remote { shed: true, .. })
+    }
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Truncated { needed, available } => {
+                write!(f, "frame truncated: needed {needed} bytes, had {available}")
+            }
+            Self::BadMagic(magic) => write!(f, "bad magic {magic:02x?}"),
+            Self::UnsupportedVersion { got, min, max } => {
+                write!(f, "unsupported version {got} (supported {min}..={max})")
+            }
+            Self::UnknownMsgType(t) => write!(f, "unknown message type {t}"),
+            Self::BodyLength { declared, actual } => {
+                write!(f, "body length mismatch: declared {declared}, got {actual}")
+            }
+            Self::TrailingBytes { remaining } => {
+                write!(f, "{remaining} trailing bytes after message body")
+            }
+            Self::InvalidValue(what) => write!(f, "invalid value: {what}"),
+            Self::FrameTooLarge { len, limit } => {
+                write!(f, "frame of {len} bytes exceeds the {limit}-byte limit")
+            }
+            Self::ConnectionClosed => write!(f, "connection closed by peer"),
+            Self::Transport(message) => write!(f, "transport failure: {message}"),
+            Self::Remote {
+                code,
+                shed,
+                message,
+            } => {
+                write!(f, "peer error ({code:?}, shed={shed}): {message}")
+            }
+            Self::UnexpectedMessage { expected, got } => {
+                write!(f, "expected {expected}, peer sent {got}")
+            }
+            Self::InvalidRequest(message) => write!(f, "invalid request: {message}"),
+            Self::Protocol(err) => write!(f, "protocol error: {err}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Protocol(err) => Some(err),
+            _ => None,
+        }
+    }
+}
+
+impl From<PirError> for WireError {
+    fn from(err: PirError) -> Self {
+        Self::Protocol(err)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_codes_roundtrip_through_bytes() {
+        for code in [
+            ErrorCode::Malformed,
+            ErrorCode::UnsupportedVersion,
+            ErrorCode::UnknownTable,
+            ErrorCode::InvalidRequest,
+            ErrorCode::IndexOutOfRange,
+            ErrorCode::Shed,
+            ErrorCode::Protocol,
+            ErrorCode::Internal,
+        ] {
+            assert_eq!(ErrorCode::from_u8(code as u8), Some(code));
+        }
+        assert_eq!(ErrorCode::from_u8(0), None);
+        assert_eq!(ErrorCode::from_u8(200), None);
+    }
+
+    #[test]
+    fn shed_classification_follows_the_remote_flag() {
+        let shed = WireError::Remote {
+            code: ErrorCode::Shed,
+            shed: true,
+            message: "queue full".into(),
+        };
+        assert!(shed.is_shed());
+        assert!(!WireError::ConnectionClosed.is_shed());
+        assert!(shed.to_string().contains("queue full"));
+    }
+
+    #[test]
+    fn errors_are_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<WireError>();
+    }
+}

@@ -1,0 +1,358 @@
+//! [`PirSession`]: the transport-agnostic client of the two-server PIR
+//! service.
+//!
+//! A session owns **two independent connections** — one per non-colluding
+//! server — and this module is deliberately the only place where the pair
+//! of DPF keys exists: each server's connection carries only that server's
+//! projection, so the trust boundary of the paper's deployment (phone-class
+//! client, two servers that must not collude) is enforced by construction
+//! rather than by convention. Table shapes are *discovered* from the
+//! servers' catalogs instead of being injected by the caller, so a client
+//! needs nothing but two addresses and a tenant name.
+
+use std::collections::BTreeMap;
+
+use pir_protocol::{PirClient, PirResponse, TableSchema};
+use rand::Rng;
+
+use crate::envelope::PROTOCOL_VERSION;
+use crate::error::WireError;
+use crate::messages::{
+    decode_message, encode_message, Catalog, QueryMsg, UpdateAckMsg, UpdateEntryMsg, WireMessage,
+};
+use crate::transport::PirTransport;
+
+/// Per-connection byte accounting, measured on actual encoded frames.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ConnStats {
+    /// Frames sent to this server.
+    pub frames_sent: u64,
+    /// Bytes sent to this server (envelope headers included).
+    pub bytes_sent: u64,
+    /// Frames received from this server.
+    pub frames_received: u64,
+    /// Bytes received from this server.
+    pub bytes_received: u64,
+}
+
+struct Connection {
+    transport: Box<dyn PirTransport>,
+    stats: ConnStats,
+}
+
+impl Connection {
+    fn send(&mut self, message: &WireMessage) -> Result<(), WireError> {
+        let frame = encode_message(message);
+        self.transport.send(&frame)?;
+        self.stats.frames_sent += 1;
+        self.stats.bytes_sent += frame.len() as u64;
+        Ok(())
+    }
+
+    fn recv(&mut self) -> Result<WireMessage, WireError> {
+        let frame = self.transport.recv()?;
+        self.stats.frames_received += 1;
+        self.stats.bytes_received += frame.len() as u64;
+        decode_message(&frame)
+    }
+}
+
+struct SessionTable {
+    client: PirClient,
+    schema: TableSchema,
+}
+
+/// A client session over two independent per-server connections.
+///
+/// See the [module docs](self) for the trust-boundary rationale. All calls
+/// are blocking request/response; a session is `Send` but not `Sync` — use
+/// one session per client thread.
+pub struct PirSession {
+    conns: [Connection; 2],
+    tables: BTreeMap<String, SessionTable>,
+    tenant: String,
+}
+
+impl PirSession {
+    /// Connect over two transports (index = server party) and discover the
+    /// catalog from both servers.
+    ///
+    /// # Errors
+    ///
+    /// Fails if either server speaks an unsupported protocol version, does
+    /// not identify as the expected party, or the two catalogs disagree on
+    /// any table's schema or PRF family (a client must never mix shares
+    /// generated against different table shapes).
+    pub fn connect(
+        server0: Box<dyn PirTransport>,
+        server1: Box<dyn PirTransport>,
+        tenant: impl Into<String>,
+    ) -> Result<Self, WireError> {
+        let mut conns = [
+            Connection {
+                transport: server0,
+                stats: ConnStats::default(),
+            },
+            Connection {
+                transport: server1,
+                stats: ConnStats::default(),
+            },
+        ];
+        let mut catalogs: Vec<Catalog> = Vec::with_capacity(2);
+        for (party, conn) in conns.iter_mut().enumerate() {
+            conn.send(&WireMessage::CatalogRequest)?;
+            let catalog = match conn.recv()? {
+                WireMessage::Catalog(catalog) => catalog,
+                WireMessage::Error(reply) => return Err(reply.into_wire_error()),
+                other => {
+                    return Err(WireError::UnexpectedMessage {
+                        expected: "Catalog",
+                        got: other.name(),
+                    })
+                }
+            };
+            if catalog.protocol_version < PROTOCOL_VERSION {
+                return Err(WireError::UnsupportedVersion {
+                    got: PROTOCOL_VERSION,
+                    min: catalog.protocol_version,
+                    max: catalog.protocol_version,
+                });
+            }
+            if usize::from(catalog.party) != party {
+                return Err(WireError::InvalidRequest(format!(
+                    "server on connection {party} identifies as party {}",
+                    catalog.party
+                )));
+            }
+            catalogs.push(catalog);
+        }
+        let catalog1 = catalogs.pop().expect("two catalogs");
+        let catalog0 = catalogs.pop().expect("two catalogs");
+        if catalog0.tables != catalog1.tables {
+            return Err(WireError::InvalidRequest(
+                "the two servers advertise different catalogs".into(),
+            ));
+        }
+
+        let tables = catalog0
+            .tables
+            .into_iter()
+            .map(|entry| {
+                let table = SessionTable {
+                    client: PirClient::new(entry.schema, entry.prf_kind),
+                    schema: entry.schema,
+                };
+                (entry.name, table)
+            })
+            .collect();
+        Ok(Self {
+            conns,
+            tables,
+            tenant: tenant.into(),
+        })
+    }
+
+    /// Names of the tables both servers advertise, sorted.
+    #[must_use]
+    pub fn table_names(&self) -> Vec<String> {
+        self.tables.keys().cloned().collect()
+    }
+
+    /// The discovered schema of one table, if it exists.
+    #[must_use]
+    pub fn schema(&self, table: &str) -> Option<TableSchema> {
+        self.tables.get(table).map(|t| t.schema)
+    }
+
+    /// Per-connection byte accounting (index = server party), measured on
+    /// the actual encoded frames.
+    #[must_use]
+    pub fn conn_stats(&self) -> [ConnStats; 2] {
+        [self.conns[0].stats, self.conns[1].stats]
+    }
+
+    /// Privately retrieve one row.
+    ///
+    /// Generates the DPF key pair locally, uploads exactly one key to each
+    /// server, and adds the two answer shares. Neither server ever receives
+    /// (or can request) the other's key.
+    ///
+    /// # Errors
+    ///
+    /// * [`WireError::InvalidRequest`] — unknown table or out-of-range
+    ///   index (checked locally; the index is private and never leaves the
+    ///   client in the clear).
+    /// * [`WireError::Remote`] — a server replied with an error; shed
+    ///   replies have [`WireError::is_shed`] set (back off and retry — the
+    ///   session stays usable: both connections' replies are always
+    ///   drained before an error is reported, so the lockstep framing
+    ///   never desynchronizes).
+    /// * [`WireError::Protocol`] — the two shares do not combine.
+    pub fn query<R: Rng + ?Sized>(
+        &mut self,
+        table: &str,
+        index: u64,
+        rng: &mut R,
+    ) -> Result<Vec<u8>, WireError> {
+        let state = self
+            .tables
+            .get(table)
+            .ok_or_else(|| WireError::InvalidRequest(format!("unknown table '{table}'")))?;
+        if index >= state.schema.entries {
+            return Err(WireError::InvalidRequest(format!(
+                "index {index} out of range for table of {} entries",
+                state.schema.entries
+            )));
+        }
+        // The only place the pair exists: immediately projected per party.
+        let query = state.client.query(index, rng);
+        let mut sent = [false; 2];
+        let mut send_failure = None;
+        for party in 0..2u8 {
+            let message = WireMessage::Query(QueryMsg {
+                table: table.to_string(),
+                tenant: self.tenant.clone(),
+                query: query.to_server(party),
+            });
+            match self.conns[usize::from(party)].send(&message) {
+                Ok(()) => sent[usize::from(party)] = true,
+                Err(err) => {
+                    send_failure = Some(err);
+                    break;
+                }
+            }
+        }
+        // Both frames are in flight before either response is awaited, so
+        // the two servers answer concurrently. Crucially, *both* replies
+        // are drained even when the first errors (a one-sided shed is
+        // routine): leaving the sibling's reply queued would shift the
+        // lockstep framing and poison every later call on this session.
+        let outcome0 = if sent[0] {
+            self.recv_response(0, query.query_id)
+        } else {
+            Err(WireError::ConnectionClosed)
+        };
+        let outcome1 = if sent[1] {
+            self.recv_response(1, query.query_id)
+        } else {
+            Err(WireError::ConnectionClosed)
+        };
+        if let Some(err) = send_failure {
+            return Err(err);
+        }
+        let (response0, response1) = (outcome0?, outcome1?);
+        let state = self.tables.get(table).expect("checked above");
+        state
+            .client
+            .reconstruct(&query, &response0, &response1)
+            .map_err(WireError::from)
+    }
+
+    fn recv_response(&mut self, party: usize, query_id: u64) -> Result<PirResponse, WireError> {
+        match self.conns[party].recv()? {
+            WireMessage::Response(response) => {
+                if response.query_id != query_id {
+                    return Err(WireError::InvalidRequest(format!(
+                        "server {party} answered query {} while {query_id} was pending",
+                        response.query_id
+                    )));
+                }
+                if usize::from(response.party) != party {
+                    return Err(WireError::InvalidRequest(format!(
+                        "connection {party} delivered a share from party {}",
+                        response.party
+                    )));
+                }
+                Ok(response)
+            }
+            WireMessage::Error(reply) => Err(reply.into_wire_error()),
+            other => Err(WireError::UnexpectedMessage {
+                expected: "Response",
+                got: other.name(),
+            }),
+        }
+    }
+
+    /// Overwrite one table entry on **both** servers (admin hot reload).
+    ///
+    /// The servers apply the update atomically with respect to in-flight
+    /// batches; this call returns once both have acknowledged. Both
+    /// connections' replies are drained even if the first errors, so the
+    /// session stays usable afterwards — and because one server may have
+    /// applied an update the other rejected, a failed update should be
+    /// *retried* (it overwrites, so the retry is idempotent) to restore
+    /// convergence between the two tables.
+    ///
+    /// # Errors
+    ///
+    /// Local validation failures surface as [`WireError::InvalidRequest`];
+    /// server-side rejections as [`WireError::Remote`].
+    pub fn update_entry(&mut self, table: &str, index: u64, bytes: &[u8]) -> Result<(), WireError> {
+        let state = self
+            .tables
+            .get(table)
+            .ok_or_else(|| WireError::InvalidRequest(format!("unknown table '{table}'")))?;
+        if index >= state.schema.entries {
+            return Err(WireError::InvalidRequest(format!(
+                "index {index} out of range for table of {} entries",
+                state.schema.entries
+            )));
+        }
+        if bytes.len() != state.schema.entry_bytes {
+            return Err(WireError::InvalidRequest(format!(
+                "update payload is {} B, table entries are {} B",
+                bytes.len(),
+                state.schema.entry_bytes
+            )));
+        }
+        let message = WireMessage::UpdateEntry(UpdateEntryMsg {
+            table: table.to_string(),
+            index,
+            bytes: bytes.to_vec(),
+        });
+        let mut sent = [false; 2];
+        let mut send_failure = None;
+        for (party, conn) in self.conns.iter_mut().enumerate() {
+            match conn.send(&message) {
+                Ok(()) => sent[party] = true,
+                Err(err) => {
+                    send_failure = Some(err);
+                    break;
+                }
+            }
+        }
+        // Drain every reply that is owed before reporting any error, so a
+        // one-sided rejection cannot desynchronize the lockstep framing.
+        let mut first_error = send_failure;
+        for (party, conn) in self.conns.iter_mut().enumerate() {
+            if !sent[party] {
+                continue;
+            }
+            let outcome = match conn.recv() {
+                Ok(WireMessage::UpdateAck(UpdateAckMsg { .. })) => Ok(()),
+                Ok(WireMessage::Error(reply)) => Err(reply.into_wire_error()),
+                Ok(other) => Err(WireError::UnexpectedMessage {
+                    expected: "UpdateAck",
+                    got: other.name(),
+                }),
+                Err(err) => Err(err),
+            };
+            if let (Err(err), None) = (outcome, &first_error) {
+                first_error = Some(err);
+            }
+        }
+        match first_error {
+            Some(err) => Err(err),
+            None => Ok(()),
+        }
+    }
+}
+
+impl std::fmt::Debug for PirSession {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PirSession")
+            .field("tenant", &self.tenant)
+            .field("tables", &self.table_names())
+            .finish()
+    }
+}

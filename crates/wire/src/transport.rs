@@ -1,0 +1,310 @@
+//! Transports: framed byte pipes the protocol runs over.
+//!
+//! A transport moves whole frames (already-encoded envelopes) between
+//! exactly two endpoints. Two implementations ship in-tree:
+//!
+//! * [`loopback_pair`] — an in-process duplex channel, for tests and
+//!   benches that want to exercise the full encode→frame→decode path
+//!   without sockets;
+//! * [`TcpTransport`] — length-prefixed frames over a [`TcpStream`], the
+//!   real networked deployment shape.
+
+use std::collections::VecDeque;
+use std::io::{Read, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::sync::Arc;
+
+use parking_lot::{Condvar, Mutex};
+
+use crate::error::WireError;
+
+/// Hard cap on a single frame. Far above any legitimate query (keys are
+/// `O(log L)`), low enough that a corrupt length prefix cannot OOM the
+/// receiver.
+pub const MAX_FRAME_BYTES: usize = 1 << 26; // 64 MiB
+
+/// A blocking, two-endpoint, frame-oriented byte pipe.
+///
+/// Implementations must deliver frames intact and in order. `recv` blocks
+/// until a frame arrives or the peer hangs up.
+pub trait PirTransport: Send {
+    /// Send one frame.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireError::ConnectionClosed`] if the peer hung up,
+    /// [`WireError::FrameTooLarge`] for oversized frames and
+    /// [`WireError::Transport`] for I/O failures.
+    fn send(&mut self, frame: &[u8]) -> Result<(), WireError>;
+
+    /// Receive one frame, blocking until it arrives.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireError::ConnectionClosed`] on clean hang-up and
+    /// [`WireError::Transport`] for I/O failures.
+    fn recv(&mut self) -> Result<Vec<u8>, WireError>;
+}
+
+// ---------------------------------------------------------------------------
+// In-process loopback
+// ---------------------------------------------------------------------------
+
+struct ChannelState {
+    frames: VecDeque<Vec<u8>>,
+    closed: bool,
+}
+
+struct Channel {
+    state: Mutex<ChannelState>,
+    arrived: Condvar,
+}
+
+impl Channel {
+    fn new() -> Arc<Self> {
+        Arc::new(Self {
+            state: Mutex::new(ChannelState {
+                frames: VecDeque::new(),
+                closed: false,
+            }),
+            arrived: Condvar::new(),
+        })
+    }
+
+    fn push(&self, frame: Vec<u8>) -> Result<(), WireError> {
+        let mut state = self.state.lock();
+        if state.closed {
+            return Err(WireError::ConnectionClosed);
+        }
+        state.frames.push_back(frame);
+        drop(state);
+        self.arrived.notify_one();
+        Ok(())
+    }
+
+    fn pop(&self) -> Result<Vec<u8>, WireError> {
+        let mut state = self.state.lock();
+        loop {
+            if let Some(frame) = state.frames.pop_front() {
+                return Ok(frame);
+            }
+            if state.closed {
+                return Err(WireError::ConnectionClosed);
+            }
+            self.arrived.wait(&mut state);
+        }
+    }
+
+    fn close(&self) {
+        self.state.lock().closed = true;
+        self.arrived.notify_all();
+    }
+}
+
+/// One endpoint of an in-process duplex frame channel.
+///
+/// Dropping an endpoint closes both directions: the peer's pending and
+/// future `recv`s drain already-delivered frames and then report
+/// [`WireError::ConnectionClosed`].
+pub struct LoopbackTransport {
+    tx: Arc<Channel>,
+    rx: Arc<Channel>,
+}
+
+/// Create a connected pair of in-process endpoints.
+#[must_use]
+pub fn loopback_pair() -> (LoopbackTransport, LoopbackTransport) {
+    let a_to_b = Channel::new();
+    let b_to_a = Channel::new();
+    (
+        LoopbackTransport {
+            tx: Arc::clone(&a_to_b),
+            rx: Arc::clone(&b_to_a),
+        },
+        LoopbackTransport {
+            tx: b_to_a,
+            rx: a_to_b,
+        },
+    )
+}
+
+impl PirTransport for LoopbackTransport {
+    fn send(&mut self, frame: &[u8]) -> Result<(), WireError> {
+        if frame.len() > MAX_FRAME_BYTES {
+            return Err(WireError::FrameTooLarge {
+                len: frame.len(),
+                limit: MAX_FRAME_BYTES,
+            });
+        }
+        self.tx.push(frame.to_vec())
+    }
+
+    fn recv(&mut self) -> Result<Vec<u8>, WireError> {
+        self.rx.pop()
+    }
+}
+
+impl Drop for LoopbackTransport {
+    fn drop(&mut self) {
+        self.tx.close();
+        self.rx.close();
+    }
+}
+
+impl std::fmt::Debug for LoopbackTransport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LoopbackTransport").finish()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// TCP
+// ---------------------------------------------------------------------------
+
+/// Length-prefixed framing over a [`TcpStream`]: each frame travels as a
+/// 4-byte little-endian length followed by the frame bytes.
+pub struct TcpTransport {
+    stream: TcpStream,
+}
+
+impl TcpTransport {
+    /// Wrap an already-connected stream (e.g. from a listener's `accept`).
+    ///
+    /// Disables Nagle so the two small per-query frames are not coalesced
+    /// behind a delayed-ack timer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireError::Transport`] if socket options cannot be set.
+    pub fn from_stream(stream: TcpStream) -> Result<Self, WireError> {
+        stream.set_nodelay(true).map_err(io_error)?;
+        Ok(Self { stream })
+    }
+
+    /// Connect to a listening server.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireError::Transport`] if the connection fails.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Self, WireError> {
+        let stream = TcpStream::connect(addr).map_err(io_error)?;
+        Self::from_stream(stream)
+    }
+
+    /// The peer's socket address, for diagnostics.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireError::Transport`] if the socket is no longer
+    /// connected.
+    pub fn peer_addr(&self) -> Result<std::net::SocketAddr, WireError> {
+        self.stream.peer_addr().map_err(io_error)
+    }
+}
+
+fn io_error(err: std::io::Error) -> WireError {
+    WireError::Transport(err.to_string())
+}
+
+impl PirTransport for TcpTransport {
+    fn send(&mut self, frame: &[u8]) -> Result<(), WireError> {
+        if frame.len() > MAX_FRAME_BYTES {
+            return Err(WireError::FrameTooLarge {
+                len: frame.len(),
+                limit: MAX_FRAME_BYTES,
+            });
+        }
+        let len = (frame.len() as u32).to_le_bytes();
+        self.stream.write_all(&len).map_err(io_error)?;
+        self.stream.write_all(frame).map_err(io_error)?;
+        self.stream.flush().map_err(io_error)
+    }
+
+    fn recv(&mut self) -> Result<Vec<u8>, WireError> {
+        let mut len_bytes = [0u8; 4];
+        if let Err(err) = self.stream.read_exact(&mut len_bytes) {
+            // A clean shutdown between frames is a hang-up, not a failure.
+            if err.kind() == std::io::ErrorKind::UnexpectedEof {
+                return Err(WireError::ConnectionClosed);
+            }
+            return Err(io_error(err));
+        }
+        let len = u32::from_le_bytes(len_bytes) as usize;
+        if len > MAX_FRAME_BYTES {
+            return Err(WireError::FrameTooLarge {
+                len,
+                limit: MAX_FRAME_BYTES,
+            });
+        }
+        let mut frame = vec![0u8; len];
+        self.stream.read_exact(&mut frame).map_err(|err| {
+            if err.kind() == std::io::ErrorKind::UnexpectedEof {
+                WireError::ConnectionClosed
+            } else {
+                io_error(err)
+            }
+        })?;
+        Ok(frame)
+    }
+}
+
+impl std::fmt::Debug for TcpTransport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TcpTransport")
+            .field("peer", &self.stream.peer_addr().ok())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn loopback_delivers_frames_in_order() {
+        let (mut a, mut b) = loopback_pair();
+        a.send(&[1, 2, 3]).unwrap();
+        a.send(&[4]).unwrap();
+        assert_eq!(b.recv().unwrap(), vec![1, 2, 3]);
+        b.send(&[9, 9]).unwrap();
+        assert_eq!(b.recv().unwrap(), vec![4]);
+        assert_eq!(a.recv().unwrap(), vec![9, 9]);
+    }
+
+    #[test]
+    fn dropping_an_endpoint_closes_the_peer() {
+        let (a, mut b) = loopback_pair();
+        drop(a);
+        assert_eq!(b.recv(), Err(WireError::ConnectionClosed));
+        assert_eq!(b.send(&[1]), Err(WireError::ConnectionClosed));
+    }
+
+    #[test]
+    fn oversized_frames_are_rejected_before_sending() {
+        let (mut a, _b) = loopback_pair();
+        let huge = vec![0u8; MAX_FRAME_BYTES + 1];
+        assert!(matches!(
+            a.send(&huge),
+            Err(WireError::FrameTooLarge { .. })
+        ));
+    }
+
+    #[test]
+    fn tcp_roundtrips_frames() {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = std::thread::spawn(move || {
+            let (stream, _) = listener.accept().unwrap();
+            let mut transport = TcpTransport::from_stream(stream).unwrap();
+            let frame = transport.recv().unwrap();
+            transport.send(&frame).unwrap(); // echo
+            assert_eq!(transport.recv(), Err(WireError::ConnectionClosed));
+        });
+
+        let mut client = TcpTransport::connect(addr).unwrap();
+        client.send(&[7, 6, 5]).unwrap();
+        assert_eq!(client.recv().unwrap(), vec![7, 6, 5]);
+        drop(client);
+        server.join().unwrap();
+    }
+}

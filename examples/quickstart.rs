@@ -9,9 +9,16 @@
 //! key against the embedding table on the simulated GPU, and the client adds
 //! the two answer shares to recover exactly the row it asked for — while
 //! neither server learns which row that was.
+//!
+//! The exchange crosses the versioned `pir-wire` boundary as real bytes:
+//! each server decodes a frame carrying *its* key only (the pair never
+//! leaves the client), and all communication numbers printed below are
+//! measured on the encoded frames. For the full client API — catalog
+//! discovery, sessions over TCP, hot reload — see `examples/wire_tcp.rs`.
 
 use gpu_pir_repro::pir_prf::PrfKind;
 use gpu_pir_repro::pir_protocol::{GpuPirServer, PirClient, PirServer, PirTable};
+use gpu_pir_repro::pir_wire::{decode_message, encode_message, QueryMsg, WireMessage};
 use rand::SeedableRng;
 
 fn main() {
@@ -35,23 +42,49 @@ fn main() {
     let secret_index = 1234u64;
     let mut rng = rand::rngs::StdRng::seed_from_u64(42);
     let query = client.query(secret_index, &mut rng);
+
+    // Each server receives its own key projection as an encoded wire frame;
+    // there is no frame that could carry the pair.
+    let frames: Vec<Vec<u8>> = (0..2u8)
+        .map(|party| {
+            encode_message(&WireMessage::Query(QueryMsg {
+                table: "embeddings".to_string(),
+                tenant: "quickstart".to_string(),
+                query: query.to_server(party),
+            }))
+        })
+        .collect();
     println!(
-        "Client uploads {} B to each server (vs {} KB for the naive linear scheme).",
+        "Client uploads a {} B frame to each server — {} B of that is the query record \
+         (vs {} KB for the naive linear scheme).",
+        frames[0].len(),
         query.upload_bytes_per_server(),
         table.entries() * 16 / 1000
     );
 
-    // Each server answers independently; it only ever sees one DPF key.
-    let response0 = server0
-        .answer(&query.to_server(0))
-        .expect("server 0 answers");
-    let response1 = server1
-        .answer(&query.to_server(1))
-        .expect("server 1 answers");
+    // Server side: decode the frame, answer the single-key query.
+    let answer = |server: &GpuPirServer, frame: &[u8]| {
+        let decoded = decode_message(frame).expect("well-formed frame");
+        let WireMessage::Query(request) = decoded else {
+            panic!("expected a query frame");
+        };
+        let response = server.answer(&request.query).expect("server answers");
+        encode_message(&WireMessage::Response(response))
+    };
+    let reply0 = answer(&server0, &frames[0]);
+    let reply1 = answer(&server1, &frames[1]);
+    println!(
+        "Each server returns a {} B response frame.",
+        reply0.len().max(reply1.len())
+    );
 
-    // The client combines the two additive shares.
+    // The client decodes the two frames and combines the additive shares.
+    let decode_share = |frame: &[u8]| match decode_message(frame).expect("well-formed reply") {
+        WireMessage::Response(response) => response,
+        other => panic!("expected a response frame, got {}", other.name()),
+    };
     let row = client
-        .reconstruct(&query, &response0, &response1)
+        .reconstruct(&query, &decode_share(&reply0), &decode_share(&reply1))
         .expect("shares combine");
     assert_eq!(row, table.entry(secret_index));
     println!(

@@ -13,3 +13,4 @@ pub use pir_ml;
 pub use pir_prf;
 pub use pir_protocol;
 pub use pir_serve;
+pub use pir_wire;
