@@ -94,11 +94,11 @@ fn bench_roundtrip_paths(c: &mut Criterion) {
     let mut workers = Vec::new();
     let mut client_ends = Vec::new();
     for party in 0..2u8 {
-        let (client_end, mut server_end) = loopback_pair();
+        let (client_end, server_end) = loopback_pair();
         client_ends.push(Box::new(client_end));
         let frontend = WireFrontend::new(runtime.handle(), party);
         workers.push(std::thread::spawn(move || {
-            let _ = frontend.serve(&mut server_end);
+            let _ = frontend.serve(Box::new(server_end));
         }));
     }
     let t1 = client_ends.pop().expect("two ends");
@@ -110,6 +110,24 @@ fn bench_roundtrip_paths(c: &mut Criterion) {
         b.iter(|| {
             index = (index + 97) % ENTRIES;
             session.query("bench", index, &mut rng).expect("answered")
+        });
+    });
+    // The same wave pipelined 16-deep: one iteration = 16 lookups, so
+    // comparing per-iteration times against 16 lockstep roundtrips shows
+    // the pipelining win directly.
+    group.bench_function("wire_session_pipelined_wave16", |b| {
+        b.iter(|| {
+            for _ in 0..16 {
+                index = (index + 97) % ENTRIES;
+                session.submit("bench", index, &mut rng).expect("submitted");
+            }
+            while session.in_flight() + session.ready() > 0 {
+                session
+                    .poll()
+                    .expect("completed")
+                    .outcome
+                    .expect("answered");
+            }
         });
     });
     group.finish();

@@ -8,10 +8,11 @@
 //!   (the "conversion" of a leaf seed into a group element).
 //! * `u32` lanes — embedding-table payloads, additively shared in `Z_{2^32}`.
 //!
-//! The crate also provides [`share`] for splitting values into two additive
-//! shares, [`vector`] for share vectors (one-hot indicator shares), and
-//! [`matrix`] for the share-weighted matrix–vector products the PIR servers
-//! compute against the embedding table.
+//! The crate also provides share splitting ([`share_lanes`], [`share_ring`])
+//! for turning values into two additive shares, share vectors
+//! ([`LaneVector`], [`IndicatorShares`] one-hot indicator shares), and the
+//! share-weighted matrix–vector products ([`matvec_accumulate`]) the PIR
+//! servers compute against the embedding table.
 //!
 //! # Example
 //!

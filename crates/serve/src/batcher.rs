@@ -19,7 +19,7 @@ use std::time::Instant;
 
 use crate::budget::DeviceBudget;
 use crate::error::ServeError;
-use crate::registry::{HostedTable, PendingEntry, QueueItem, UpdateMarker};
+use crate::registry::{AnsweredShare, HostedTable, PendingEntry, QueueItem, UpdateMarker};
 
 /// What one trip through the queue decided to do.
 enum Action {
@@ -66,6 +66,23 @@ pub(crate) fn run_batch_former(
                 // A barrier in progress pauses every pop path.
                 if state.barrier {
                     queue.arrived.wait(&mut state);
+                    continue;
+                }
+                // A replica the autoscaler has parked does not pop. It
+                // still exits promptly on shutdown (active replicas drain
+                // whatever is queued) and re-checks on every wake, so a
+                // scale-up activates it without respawning a thread.
+                if replica >= table.active_replicas(party) {
+                    if state.closed {
+                        break Action::Exit;
+                    }
+                    // This worker may have been waiting on `arrived` when
+                    // it was scaled down, in which case it could just have
+                    // consumed a single-wakeup notification meant for an
+                    // active worker — pass the baton before parking on the
+                    // dedicated condvar.
+                    queue.arrived.notify_one();
+                    queue.activated.wait(&mut state);
                     continue;
                 }
                 match state.entries.front() {
@@ -180,6 +197,11 @@ pub(crate) fn run_batch_former(
             .stats
             .in_flight_batches
             .fetch_add(1, Ordering::Relaxed);
+        // Stable for the whole launch: an update barrier waits until every
+        // popped batch has finished (`inflight_batches == 0`) before the
+        // version moves, so every share in this batch reads — and is
+        // stamped with — the same table version.
+        let table_version = table.versions[party].load(Ordering::Acquire);
         let launched_at = Instant::now();
         let outcome = slot.server.answer_batch(&queries);
         slot.stats
@@ -202,7 +224,10 @@ pub(crate) fn run_batch_former(
         match outcome {
             Ok(responses) => {
                 for (entry, response) in batch.into_iter().zip(responses) {
-                    entry.responder.send(Ok(response));
+                    entry.responder.send(Ok(AnsweredShare {
+                        response,
+                        table_version,
+                    }));
                 }
             }
             Err(err) => {
@@ -223,11 +248,16 @@ fn apply_update(
     party: usize,
     marker: &UpdateMarker,
 ) -> Result<(), ServeError> {
+    // Every replica of the pool — active or parked — takes the update, so
+    // a later scale-up activates a replica that is already current.
     for slot in &table.pools[party] {
         slot.server
             .update_entry(marker.index, &marker.bytes)
             .map_err(ServeError::from)?;
     }
+    // Bump the party's stamp only after every replica serves the new
+    // version; batches launched from here on carry it.
+    table.versions[party].fetch_add(1, Ordering::AcqRel);
     Ok(())
 }
 
@@ -250,7 +280,7 @@ mod tests {
         canceled: bool,
     ) -> (
         PendingEntry,
-        oneshot::Receiver<Result<pir_protocol::PirResponse, crate::ServeError>>,
+        oneshot::Receiver<Result<AnsweredShare, crate::ServeError>>,
     ) {
         let query = hosted.client.query(index, rng);
         let (tx, rx) = oneshot::channel();

@@ -32,6 +32,74 @@ impl Default for BatchPolicy {
     }
 }
 
+/// How many interchangeable server replicas a party's pool may run.
+///
+/// The pool is built at `max` size up front (replica construction clones
+/// the table; doing it at scale-up time would stall the hot path), but only
+/// `active` replicas — a number the autoscaler moves inside `min..=max` —
+/// drain the dispatch queue at any instant.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ReplicaRange {
+    /// Replicas always kept active (≥ 1).
+    pub min: usize,
+    /// Ceiling the autoscaler may scale to (≥ `min`).
+    pub max: usize,
+}
+
+impl ReplicaRange {
+    /// A fixed pool: autoscaling disabled, exactly `n` replicas.
+    #[must_use]
+    pub fn fixed(n: usize) -> Self {
+        Self { min: n, max: n }
+    }
+
+    /// Whether the range leaves the autoscaler any room.
+    #[must_use]
+    pub fn is_elastic(&self) -> bool {
+        self.max > self.min
+    }
+}
+
+impl Default for ReplicaRange {
+    fn default() -> Self {
+        Self::fixed(1)
+    }
+}
+
+/// When the per-table autoscale controller grows or shrinks a party's
+/// active replica count (only meaningful when the table's
+/// [`ReplicaRange::is_elastic`]).
+///
+/// The controller samples each party's queue depth every `tick` and applies
+/// *hysteresis*: the depth must stay above `high_depth` (or at/below
+/// `low_depth`) for `sustain_ticks` consecutive samples before a step is
+/// taken, so a single bursty sample cannot flap the pool. Scale-ups are
+/// additionally gated on observed device-budget headroom: a controller
+/// never activates a replica whose `shards` devices could not currently be
+/// leased.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct AutoscalePolicy {
+    /// Queue depth above which sustained load scales the pool up.
+    pub high_depth: usize,
+    /// Queue depth at or below which sustained idleness scales it down.
+    pub low_depth: usize,
+    /// Consecutive ticks a condition must hold before a step.
+    pub sustain_ticks: u32,
+    /// Sampling interval.
+    pub tick: Duration,
+}
+
+impl Default for AutoscalePolicy {
+    fn default() -> Self {
+        Self {
+            high_depth: 64,
+            low_depth: 4,
+            sustain_ticks: 3,
+            tick: Duration::from_millis(2),
+        }
+    }
+}
+
 /// Bounded-queue and per-tenant admission limits.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct AdmissionPolicy {
@@ -60,11 +128,15 @@ pub struct TableConfig {
     /// Number of simulated devices each server replica shards the table
     /// across (1 = single V100).
     pub shards: usize,
-    /// Number of interchangeable server replicas per party. Formed batches
-    /// are load-balanced across idle replicas, so a hot table's burst
-    /// traffic fans out over `replicas * shards` devices instead of
-    /// queueing behind a single kernel launch.
-    pub replicas: usize,
+    /// Range of interchangeable server replicas per party. Formed batches
+    /// are load-balanced across idle active replicas, so a hot table's
+    /// burst traffic fans out over `active * shards` devices instead of
+    /// queueing behind a single kernel launch; when the range is elastic,
+    /// a per-table controller moves the active count with sustained queue
+    /// depth (see [`AutoscalePolicy`]).
+    pub replicas: ReplicaRange,
+    /// When and how fast the active replica count follows queue depth.
+    pub autoscale: AutoscalePolicy,
     /// Scheduler thresholds applied per shard.
     pub scheduler: SchedulerConfig,
     /// Batch-formation policy for this table's two batch formers.
@@ -84,7 +156,8 @@ impl Default for TableConfig {
         Self {
             prf_kind: PrfKind::Chacha20,
             shards: 1,
-            replicas: 1,
+            replicas: ReplicaRange::default(),
+            autoscale: AutoscalePolicy::default(),
             scheduler: SchedulerConfig::default(),
             batch: BatchPolicy::default(),
         }
@@ -113,10 +186,26 @@ impl TableConfigBuilder {
         self
     }
 
-    /// Keep this many interchangeable server replicas per party.
+    /// Keep exactly this many interchangeable server replicas per party
+    /// (a fixed pool; autoscaling disabled).
     #[must_use]
     pub fn replicas(mut self, replicas: usize) -> Self {
-        self.config.replicas = replicas;
+        self.config.replicas = ReplicaRange::fixed(replicas);
+        self
+    }
+
+    /// Let the autoscaler run between `min` and `max` replicas per party,
+    /// following sustained queue depth.
+    #[must_use]
+    pub fn replica_range(mut self, min: usize, max: usize) -> Self {
+        self.config.replicas = ReplicaRange { min, max };
+        self
+    }
+
+    /// Override the autoscale hysteresis knobs.
+    #[must_use]
+    pub fn autoscale(mut self, autoscale: AutoscalePolicy) -> Self {
+        self.config.autoscale = autoscale;
         self
     }
 
@@ -145,17 +234,39 @@ impl TableConfigBuilder {
     ///
     /// # Errors
     ///
-    /// Returns [`ServeError::InvalidConfig`] for zero shards, zero replicas,
-    /// a zero batch size, or a scheduler config the planner would reject.
+    /// Returns [`ServeError::InvalidConfig`] for zero shards, an empty or
+    /// inverted replica range, degenerate autoscale thresholds, a zero
+    /// batch size, or a scheduler config the planner would reject.
     pub fn build(self) -> Result<TableConfig, ServeError> {
         if self.config.shards == 0 {
             return Err(ServeError::InvalidConfig(
                 "shards must be at least 1".into(),
             ));
         }
-        if self.config.replicas == 0 {
+        if self.config.replicas.min == 0 {
             return Err(ServeError::InvalidConfig(
                 "replicas must be at least 1".into(),
+            ));
+        }
+        if self.config.replicas.max < self.config.replicas.min {
+            return Err(ServeError::InvalidConfig(format!(
+                "replica range max {} is below min {}",
+                self.config.replicas.max, self.config.replicas.min
+            )));
+        }
+        if self.config.autoscale.high_depth <= self.config.autoscale.low_depth {
+            return Err(ServeError::InvalidConfig(
+                "autoscale high_depth must exceed low_depth (hysteresis)".into(),
+            ));
+        }
+        if self.config.autoscale.sustain_ticks == 0 {
+            return Err(ServeError::InvalidConfig(
+                "autoscale sustain_ticks must be at least 1".into(),
+            ));
+        }
+        if self.config.autoscale.tick.is_zero() {
+            return Err(ServeError::InvalidConfig(
+                "autoscale tick must be non-zero".into(),
             ));
         }
         if self.config.batch.max_batch == 0 {
@@ -282,10 +393,25 @@ mod tests {
             .unwrap();
         assert_eq!(config.prf_kind, PrfKind::SipHash);
         assert_eq!(config.shards, 4);
-        assert_eq!(config.replicas, 3);
+        assert_eq!(config.replicas, ReplicaRange::fixed(3));
+        assert!(!config.replicas.is_elastic());
         assert_eq!(config.batch.max_batch, 16);
         assert_eq!(config.batch.max_wait, Duration::from_millis(5));
-        assert_eq!(TableConfig::default().replicas, 1);
+        assert_eq!(TableConfig::default().replicas, ReplicaRange::fixed(1));
+
+        let elastic = TableConfig::builder()
+            .replica_range(1, 4)
+            .autoscale(AutoscalePolicy {
+                high_depth: 16,
+                low_depth: 2,
+                sustain_ticks: 2,
+                tick: Duration::from_millis(1),
+            })
+            .build()
+            .unwrap();
+        assert_eq!(elastic.replicas, ReplicaRange { min: 1, max: 4 });
+        assert!(elastic.replicas.is_elastic());
+        assert_eq!(elastic.autoscale.high_depth, 16);
 
         let serve = ServeConfig::builder()
             .queue_capacity(100)
@@ -321,6 +447,38 @@ mod tests {
         ));
         assert!(matches!(
             TableConfig::builder().replicas(0).build(),
+            Err(ServeError::InvalidConfig(_))
+        ));
+        assert!(matches!(
+            TableConfig::builder().replica_range(3, 2).build(),
+            Err(ServeError::InvalidConfig(_))
+        ));
+        assert!(matches!(
+            TableConfig::builder()
+                .autoscale(AutoscalePolicy {
+                    high_depth: 4,
+                    low_depth: 4,
+                    ..AutoscalePolicy::default()
+                })
+                .build(),
+            Err(ServeError::InvalidConfig(_))
+        ));
+        assert!(matches!(
+            TableConfig::builder()
+                .autoscale(AutoscalePolicy {
+                    sustain_ticks: 0,
+                    ..AutoscalePolicy::default()
+                })
+                .build(),
+            Err(ServeError::InvalidConfig(_))
+        ));
+        assert!(matches!(
+            TableConfig::builder()
+                .autoscale(AutoscalePolicy {
+                    tick: Duration::ZERO,
+                    ..AutoscalePolicy::default()
+                })
+                .build(),
             Err(ServeError::InvalidConfig(_))
         ));
         assert!(matches!(

@@ -8,12 +8,12 @@ use std::sync::Arc;
 use std::task::{Context, Poll};
 use std::time::Instant;
 
-use pir_protocol::{PirError, PirQuery, PirResponse, ServerQuery};
+use pir_protocol::{PirError, PirQuery, ServerQuery};
 
 use crate::admission::InFlightGuard;
 use crate::error::ServeError;
 use crate::oneshot::{self, Receiver};
-use crate::registry::{HostedTable, PendingEntry, UpdateMarker};
+use crate::registry::{AnsweredShare, HostedTable, PendingEntry, UpdateMarker};
 use crate::runtime::RuntimeInner;
 use crate::stats::StatsSnapshot;
 
@@ -150,6 +150,7 @@ impl ServeHandle {
         };
         let submitted_at = Instant::now();
         let (tx, rx) = oneshot::channel();
+        let canceled = Arc::new(AtomicBool::new(false));
         // Wire-path telemetry counts per-party projections (each server
         // process of a networked deployment sees exactly one projection per
         // client query), mirroring the pair-level accounting of `query`.
@@ -161,7 +162,7 @@ impl ServeHandle {
                 query,
                 enqueued_at: submitted_at,
                 responder: tx,
-                canceled: Arc::new(AtomicBool::new(false)),
+                canceled: Arc::clone(&canceled),
             },
         );
         if let Err(err) = enqueued {
@@ -173,6 +174,8 @@ impl ServeHandle {
             hosted,
             rx,
             submitted_at,
+            canceled,
+            completed: false,
             _guard: guard,
         })
     }
@@ -262,10 +265,10 @@ impl ServeHandle {
 pub struct PendingQuery {
     hosted: Arc<HostedTable>,
     query: PirQuery,
-    rx0: Option<Receiver<Result<PirResponse, ServeError>>>,
-    rx1: Option<Receiver<Result<PirResponse, ServeError>>>,
-    response0: Option<PirResponse>,
-    response1: Option<PirResponse>,
+    rx0: Option<Receiver<Result<AnsweredShare, ServeError>>>,
+    rx1: Option<Receiver<Result<AnsweredShare, ServeError>>>,
+    response0: Option<AnsweredShare>,
+    response1: Option<AnsweredShare>,
     submitted_at: Instant,
     canceled: Arc<AtomicBool>,
     completed: bool,
@@ -300,8 +303,8 @@ impl PendingQuery {
     }
 
     fn poll_side(
-        rx: &mut Option<Receiver<Result<PirResponse, ServeError>>>,
-        slot: &mut Option<PirResponse>,
+        rx: &mut Option<Receiver<Result<AnsweredShare, ServeError>>>,
+        slot: &mut Option<AnsweredShare>,
         cx: &mut Context<'_>,
     ) -> Result<(), Option<ServeError>> {
         if slot.is_some() {
@@ -361,12 +364,20 @@ impl Future for PendingQuery {
         }
 
         this.completed = true;
-        let response0 = this.response0.take().expect("side 0 resolved");
-        let response1 = this.response1.take().expect("side 1 resolved");
+        let share0 = this.response0.take().expect("side 0 resolved");
+        let share1 = this.response1.take().expect("side 1 resolved");
+        // Pair-enqueued queries are protected by the cross-queue update
+        // barrier: both parties must have answered from the same table
+        // version. The stamp exists for wire clients; here it only guards
+        // the invariant.
+        debug_assert_eq!(
+            share0.table_version, share1.table_version,
+            "update barrier must keep pair-enqueued shares on one version"
+        );
         let outcome = this
             .hosted
             .client
-            .reconstruct(&this.query, &response0, &response1)
+            .reconstruct(&this.query, &share0.response, &share1.response)
             .map_err(ServeError::from);
         match &outcome {
             Ok(_) => {
@@ -382,33 +393,63 @@ impl Future for PendingQuery {
     }
 }
 
-/// A single-party projection admitted through the wire frontend: resolves
-/// to *one server's share*, not a reconstructed row (reconstruction happens
-/// client-side, beyond the trust boundary).
+/// A single-party projection admitted through the wire frontend: a
+/// [`Future`] resolving to *one server's stamped share*, not a
+/// reconstructed row (reconstruction happens client-side, beyond the trust
+/// boundary).
+///
+/// Dropping an unresolved share *cancels* it, exactly like dropping a
+/// [`PendingQuery`]: the queued entry is skipped at batch formation, so a
+/// client that hangs up mid-pipeline costs no device work.
 pub(crate) struct PendingShare {
     hosted: Arc<HostedTable>,
-    rx: Receiver<Result<PirResponse, ServeError>>,
+    rx: Receiver<Result<AnsweredShare, ServeError>>,
     submitted_at: Instant,
+    canceled: Arc<AtomicBool>,
+    completed: bool,
     _guard: InFlightGuard,
 }
 
 impl PendingShare {
     /// Block until this party's share is computed.
-    pub(crate) fn wait(self) -> Result<PirResponse, ServeError> {
-        let outcome = match oneshot::block_on(self.rx) {
-            Ok(result) => result,
-            Err(oneshot::Canceled) => Err(ServeError::ShuttingDown),
+    pub(crate) fn wait(self) -> Result<AnsweredShare, ServeError> {
+        oneshot::block_on(self)
+    }
+}
+
+impl Future for PendingShare {
+    type Output = Result<AnsweredShare, ServeError>;
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+        let this = self.get_mut();
+        let outcome = match Pin::new(&mut this.rx).poll(cx) {
+            Poll::Pending => return Poll::Pending,
+            Poll::Ready(Err(oneshot::Canceled)) => Err(ServeError::ShuttingDown),
+            Poll::Ready(Ok(result)) => result,
         };
+        this.completed = true;
         match &outcome {
             Ok(_) => {
-                self.hosted.stats.answered.fetch_add(1, Ordering::Relaxed);
-                let elapsed_ms = self.submitted_at.elapsed().as_secs_f64() * 1e3;
-                self.hosted.stats.e2e.lock().record_ms(elapsed_ms);
+                this.hosted.stats.answered.fetch_add(1, Ordering::Relaxed);
+                let elapsed_ms = this.submitted_at.elapsed().as_secs_f64() * 1e3;
+                this.hosted.stats.e2e.lock().record_ms(elapsed_ms);
             }
             Err(_) => {
-                self.hosted.stats.failed.fetch_add(1, Ordering::Relaxed);
+                this.hosted.stats.failed.fetch_add(1, Ordering::Relaxed);
             }
         }
-        outcome
+        Poll::Ready(outcome)
+    }
+}
+
+impl Drop for PendingShare {
+    fn drop(&mut self) {
+        if self.completed {
+            return;
+        }
+        // Abandoned before resolution (the wire client hung up): flag the
+        // queued entry so batch formation discards it.
+        self.canceled.store(true, Ordering::Release);
+        self.hosted.stats.canceled.fetch_add(1, Ordering::Relaxed);
     }
 }

@@ -83,7 +83,8 @@ pub mod stats;
 mod wire_frontend;
 
 pub use config::{
-    AdmissionPolicy, BatchPolicy, ServeConfig, ServeConfigBuilder, TableConfig, TableConfigBuilder,
+    AdmissionPolicy, AutoscalePolicy, BatchPolicy, ReplicaRange, ServeConfig, ServeConfigBuilder,
+    TableConfig, TableConfigBuilder,
 };
 pub use error::ServeError;
 pub use handle::{PendingQuery, ServeHandle};

@@ -2,7 +2,7 @@
 //! parameters, per-party replica pools and batch-formation queues.
 
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -17,11 +17,26 @@ use crate::error::ServeError;
 use crate::oneshot;
 use crate::stats::{ReplicaStats, TableStats};
 
+/// One server share, stamped with the table version it was computed
+/// against.
+///
+/// The stamp is what lets a *wire* client detect a query whose two
+/// projections straddled a hot reload (the shares would reconstruct
+/// garbage): both parties count applied updates from 1, so matching stamps
+/// prove both shares read the same table version. Embedded (pair-enqueued)
+/// queries get the same guarantee from the cross-queue update barrier and
+/// only use the stamp as a debug check.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub(crate) struct AnsweredShare {
+    pub response: PirResponse,
+    pub table_version: u64,
+}
+
 /// One query waiting in a batch former's queue.
 pub(crate) struct PendingEntry {
     pub query: ServerQuery,
     pub enqueued_at: Instant,
-    pub responder: oneshot::Sender<Result<PirResponse, ServeError>>,
+    pub responder: oneshot::Sender<Result<AnsweredShare, ServeError>>,
     /// Shared with the submitter's `PendingQuery` (and the sibling entry at
     /// the other party): set when the caller abandons the query, so batch
     /// formation can skip it instead of spending device work on an answer
@@ -82,6 +97,10 @@ pub(crate) struct QueueState {
 pub(crate) struct BatchQueue {
     pub state: Mutex<QueueState>,
     pub arrived: Condvar,
+    /// Parked (autoscaler-inactive) workers wait *here*, not on `arrived`,
+    /// so the per-query enqueue paths keep their single-wakeup
+    /// `notify_one` instead of waking the whole pool per query.
+    pub activated: Condvar,
 }
 
 impl BatchQueue {
@@ -92,6 +111,7 @@ impl BatchQueue {
     pub(crate) fn close(&self) {
         self.state.lock().closed = true;
         self.arrived.notify_all();
+        self.activated.notify_all();
     }
 }
 
@@ -115,9 +135,17 @@ pub(crate) struct HostedTable {
     pub client: PirClient,
     /// `pools[party][replica]`: every replica of a party holds the same
     /// table and answers any batch, so formed batches go to whichever
-    /// replica is idle.
+    /// active replica is idle. Built at the range's `max` size; only the
+    /// first [`Self::active_replicas`] of a party drain the queue.
     pub pools: [Vec<ReplicaSlot>; 2],
     pub queues: [BatchQueue; 2],
+    /// Replicas currently draining each party's queue, moved by the
+    /// autoscale controller inside `config.replicas`.
+    pub active: [AtomicUsize; 2],
+    /// Hot reloads applied per party, plus one (stamps start at 1 so a
+    /// wire client can tell "stamped version 1" from "unstamped v1 frame",
+    /// which decodes as 0).
+    pub versions: [AtomicU64; 2],
     pub stats: TableStats,
     pub registered_at: Instant,
 }
@@ -132,8 +160,10 @@ impl HostedTable {
         // before any replica is constructed; `build_replica` re-checks, but
         // failing early keeps partial pools from ever existing.
         shard_split_bits(table.entries(), config.shards).map_err(invalid_sharding)?;
+        // The pool is built at the range's max: replica construction clones
+        // the table, and paying that at scale-up time would stall serving.
         let make_pool = || -> Result<Vec<ReplicaSlot>, ServeError> {
-            (0..config.replicas)
+            (0..config.replicas.max)
                 .map(|_| {
                     Ok(ReplicaSlot {
                         server: build_replica(
@@ -154,10 +184,33 @@ impl HostedTable {
             client: PirClient::new(table.schema(), config.prf_kind),
             pools: [make_pool()?, make_pool()?],
             queues: [BatchQueue::default(), BatchQueue::default()],
+            active: [
+                AtomicUsize::new(config.replicas.min),
+                AtomicUsize::new(config.replicas.min),
+            ],
+            versions: [AtomicU64::new(1), AtomicU64::new(1)],
             stats: TableStats::default(),
             registered_at: Instant::now(),
             config,
         })
+    }
+
+    /// Replicas currently draining `party`'s queue.
+    pub(crate) fn active_replicas(&self, party: usize) -> usize {
+        self.active[party].load(Ordering::Acquire)
+    }
+
+    /// Move `party`'s active replica count (the autoscale controller's
+    /// write path). Newly-activated replicas are woken off the park
+    /// condvar; on a scale-down the surplus workers park lazily the next
+    /// time they look at the queue.
+    pub(crate) fn set_active_replicas(&self, party: usize, count: usize) {
+        debug_assert!(
+            (self.config.replicas.min..=self.config.replicas.max).contains(&count),
+            "active count {count} outside configured range"
+        );
+        self.active[party].store(count, Ordering::Release);
+        self.queues[party].activated.notify_all();
     }
 
     /// Atomically enqueue the two server projections of one query, or shed.
@@ -187,6 +240,10 @@ impl HostedTable {
         q1.entries.push_back(QueueItem::Query(to1));
         drop(q0);
         drop(q1);
+        // A single wakeup suffices: only *active* workers wait on
+        // `arrived` (parked ones sit on `activated`), and a worker that
+        // discovers it was scaled down mid-wait re-notifies before parking
+        // so the baton cannot be lost.
         self.queues[0].arrived.notify_one();
         self.queues[1].arrived.notify_one();
         Ok(())
@@ -216,6 +273,7 @@ impl HostedTable {
         }
         queue.entries.push_back(QueueItem::Query(entry));
         drop(queue);
+        // Single wakeup; see `enqueue_pair` for why this cannot be lost.
         self.queues[party].arrived.notify_one();
         Ok(())
     }

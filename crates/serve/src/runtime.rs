@@ -5,7 +5,7 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
-use parking_lot::Mutex;
+use parking_lot::{Condvar, Mutex};
 use pir_protocol::PirTable;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -19,6 +19,31 @@ use crate::handle::ServeHandle;
 use crate::registry::{HostedTable, TableRegistry};
 use crate::stats::{ReplicaStatsSnapshot, StatsSnapshot, TableStatsSnapshot};
 
+/// A latch the autoscale controllers park on between sampling ticks, so
+/// shutdown interrupts a sleeping controller immediately instead of
+/// waiting out its tick.
+#[derive(Default)]
+pub(crate) struct ShutdownLatch {
+    fired: Mutex<bool>,
+    bell: Condvar,
+}
+
+impl ShutdownLatch {
+    /// Wait up to `timeout`; returns `true` once shutdown has fired.
+    fn wait(&self, timeout: std::time::Duration) -> bool {
+        let mut fired = self.fired.lock();
+        if !*fired {
+            self.bell.wait_for(&mut fired, timeout);
+        }
+        *fired
+    }
+
+    fn fire(&self) {
+        *self.fired.lock() = true;
+        self.bell.notify_all();
+    }
+}
+
 pub(crate) struct RuntimeInner {
     pub registry: TableRegistry,
     pub admission: Arc<Admission>,
@@ -26,6 +51,7 @@ pub(crate) struct RuntimeInner {
     pub seed: u64,
     pub rng_streams: AtomicU64,
     pub shutting_down: AtomicBool,
+    pub shutdown_latch: ShutdownLatch,
 }
 
 impl RuntimeInner {
@@ -59,16 +85,19 @@ impl RuntimeInner {
                     )
                 };
                 let elapsed_s = hosted.registered_at.elapsed().as_secs_f64().max(1e-9);
+                let active = [hosted.active_replicas(0), hosted.active_replicas(1)];
                 let replicas = hosted
                     .pools
                     .iter()
                     .enumerate()
                     .flat_map(|(party, pool)| {
+                        let active = active[party];
                         pool.iter().enumerate().map(move |(replica, slot)| {
                             let busy_ms = slot.stats.busy_us.load(Ordering::Relaxed) as f64 / 1e3;
                             ReplicaStatsSnapshot {
                                 party,
                                 replica,
+                                active: replica < active,
                                 batches: slot.stats.batches.load(Ordering::Relaxed),
                                 queries: slot.stats.queries.load(Ordering::Relaxed),
                                 busy_ms,
@@ -90,6 +119,13 @@ impl RuntimeInner {
                     max_batch: stats.max_batch.load(Ordering::Relaxed),
                     in_flight_batches: stats.in_flight_batches.load(Ordering::Relaxed),
                     queue_depths: [hosted.queues[0].depth(), hosted.queues[1].depth()],
+                    active_replicas: active,
+                    scale_up_events: stats.scale_ups.load(Ordering::Relaxed),
+                    scale_down_events: stats.scale_downs.load(Ordering::Relaxed),
+                    table_versions: [
+                        hosted.versions[0].load(Ordering::Relaxed),
+                        hosted.versions[1].load(Ordering::Relaxed),
+                    ],
                     replicas,
                     queue_p50_ms: queue_quantiles[0],
                     queue_p99_ms: queue_quantiles[1],
@@ -131,6 +167,7 @@ impl PirServeRuntime {
                 seed: config.seed,
                 rng_streams: AtomicU64::new(0),
                 shutting_down: AtomicBool::new(false),
+                shutdown_latch: ShutdownLatch::default(),
             }),
             workers: Mutex::new(Vec::new()),
         }
@@ -176,8 +213,12 @@ impl PirServeRuntime {
         let hosted = Arc::new(HostedTable::build(name, table, config)?);
         self.inner.registry.insert(Arc::clone(&hosted))?;
 
+        // Every replica of the range gets a worker thread up front; workers
+        // beyond the active count park on the queue condvar until the
+        // autoscale controller raises it, so a scale-up costs one notify,
+        // not a thread spawn plus a table clone.
         for party in 0..2 {
-            for replica in 0..hosted.config.replicas {
+            for replica in 0..hosted.config.replicas.max {
                 let hosted = Arc::clone(&hosted);
                 let budget = Arc::clone(&self.inner.budget);
                 workers.push(
@@ -187,6 +228,15 @@ impl PirServeRuntime {
                         .expect("spawn batch former"),
                 );
             }
+        }
+        if hosted.config.replicas.is_elastic() {
+            let inner = Arc::clone(&self.inner);
+            workers.push(
+                std::thread::Builder::new()
+                    .name(format!("autoscaler-{name}"))
+                    .spawn(move || run_autoscaler(&inner, &hosted))
+                    .expect("spawn autoscaler"),
+            );
         }
         Ok(())
     }
@@ -219,6 +269,7 @@ impl PirServeRuntime {
     /// queued, join the workers. Idempotent.
     pub fn shutdown(&self) {
         self.inner.shutting_down.store(true, Ordering::SeqCst);
+        self.inner.shutdown_latch.fire();
         let workers = {
             // Taken *after* the flag is set: an in-flight register_table
             // either completed under this lock (its queues get closed
@@ -232,6 +283,62 @@ impl PirServeRuntime {
         };
         for worker in workers {
             let _ = worker.join();
+        }
+    }
+}
+
+/// The per-table autoscale controller: one thread per elastic table.
+///
+/// Every `tick` it samples both parties' dispatch-queue depths and applies
+/// the hysteresis policy: `sustain_ticks` consecutive samples above
+/// `high_depth` activate one more replica (if the range and the device
+/// budget's observed headroom allow), `sustain_ticks` consecutive samples
+/// at or below `low_depth` park one (down to the range's floor). Counters
+/// reset after every step so consecutive steps each need fresh evidence —
+/// the pool ramps, it does not jump.
+fn run_autoscaler(inner: &RuntimeInner, table: &HostedTable) {
+    let range = table.config.replicas;
+    let policy = table.config.autoscale;
+    let mut high_ticks = [0u32; 2];
+    let mut low_ticks = [0u32; 2];
+    loop {
+        if inner.shutdown_latch.wait(policy.tick) {
+            return;
+        }
+        for party in 0..2 {
+            let depth = table.queues[party].depth();
+            if depth > policy.high_depth {
+                high_ticks[party] += 1;
+                low_ticks[party] = 0;
+            } else if depth <= policy.low_depth {
+                low_ticks[party] += 1;
+                high_ticks[party] = 0;
+            } else {
+                // Inside the hysteresis band: hold.
+                high_ticks[party] = 0;
+                low_ticks[party] = 0;
+            }
+
+            let active = table.active_replicas(party);
+            if high_ticks[party] >= policy.sustain_ticks && active < range.max {
+                // Opportunistic lease check: activating a replica only
+                // helps if its `shards` devices could currently be leased;
+                // under a saturated budget the extra worker would just park
+                // inside `acquire` and inflate the FIFO queue.
+                let headroom = inner
+                    .budget
+                    .capacity()
+                    .is_none_or(|cap| inner.budget.devices_in_use() + table.config.shards <= cap);
+                if headroom {
+                    table.set_active_replicas(party, active + 1);
+                    table.stats.scale_ups.fetch_add(1, Ordering::Relaxed);
+                    high_ticks[party] = 0;
+                }
+            } else if low_ticks[party] >= policy.sustain_ticks && active > range.min {
+                table.set_active_replicas(party, active - 1);
+                table.stats.scale_downs.fetch_add(1, Ordering::Relaxed);
+                low_ticks[party] = 0;
+            }
         }
     }
 }

@@ -23,6 +23,10 @@ pub(crate) struct TableStats {
     pub batched_queries: AtomicU64,
     pub max_batch: AtomicU64,
     pub in_flight_batches: AtomicU64,
+    /// Autoscale steps that activated a replica (across both parties).
+    pub scale_ups: AtomicU64,
+    /// Autoscale steps that deactivated a replica (across both parties).
+    pub scale_downs: AtomicU64,
     pub queue_wait: Mutex<LatencyHistogram>,
     pub e2e: Mutex<LatencyHistogram>,
 }
@@ -61,6 +65,10 @@ pub struct ReplicaStatsSnapshot {
     pub party: usize,
     /// Index within the party's replica pool.
     pub replica: usize,
+    /// Whether this replica is currently active (draining the dispatch
+    /// queue). Inactive replicas are parked by the autoscaler; their table
+    /// copies still receive hot reloads so activation is instant.
+    pub active: bool,
     /// Device batches this replica answered.
     pub batches: u64,
     /// Queries carried by those batches.
@@ -101,6 +109,17 @@ pub struct TableStatsSnapshot {
     pub in_flight_batches: u64,
     /// Current depth of the two per-party dispatch queues.
     pub queue_depths: [usize; 2],
+    /// Replicas currently active per party (moved by the autoscaler inside
+    /// the table's [`crate::config::ReplicaRange`]).
+    pub active_replicas: [usize; 2],
+    /// Autoscale steps that activated a replica.
+    pub scale_up_events: u64,
+    /// Autoscale steps that deactivated a replica.
+    pub scale_down_events: u64,
+    /// Hot reloads applied per party plus one (responses are stamped with
+    /// this; both parties agree except transiently while an update barrier
+    /// is mid-application).
+    pub table_versions: [u64; 2],
     /// One entry per (party, replica) in the table's pools.
     pub replicas: Vec<ReplicaStatsSnapshot>,
     /// Median time a query waited in the batch former, in milliseconds.

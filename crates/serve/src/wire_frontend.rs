@@ -8,29 +8,47 @@
 //! single connection can ever observe both DPF keys — this type does not
 //! even have a way to *represent* the pair.
 //!
+//! # Pipelined service
+//!
+//! [`WireFrontend::serve`] is a **demux/remux pair**: the transport splits
+//! into halves, the calling thread becomes the *demux* (decode each
+//! arriving frame, enqueue its query into the batcher without waiting) and
+//! a *remux* writer thread drains completed shares **in completion order**
+//! — so a v2 client's later query that lands in a faster batch is answered
+//! before an earlier slow one, and the batcher sees the whole pipeline
+//! window at once instead of one lockstep query at a time. Control frames
+//! (catalogs, errors, update acks) are answered inline. Each reply travels
+//! under the version its request arrived with, so v1 clients (which are
+//! lockstep by construction — they never have more than one frame
+//! outstanding) observe exactly the v1 contract on the same port. Query
+//! responses are stamped with the answering party's table version (v2
+//! frames) and error replies echo the query id they answer, which is what
+//! makes out-of-order delivery and hot-reload detection possible
+//! client-side.
+//!
 //! Malformed, truncated or wrong-version frames produce typed
 //! [`ErrorReply`]s (for version mismatches, carrying the supported range
 //! per the reject-with-supported-range rule); backpressure sheds
 //! ([`ServeError::QueueFull`], quota, shutdown) become `shed`-flagged wire
-//! errors rather than panics or dropped connections.
-//!
-//! **Hot reloads vs wire traffic**: wire queries enqueue one projection
-//! per party on independent connections, so the cross-queue update barrier
-//! that protects embedded (pair-enqueued) queries cannot cover a wire
-//! query whose two halves straddle an `UpdateEntry` — in that window the
-//! client's reconstruction fails and should be retried. Admins updating a
-//! live table over the wire should sequence updates against their own
-//! in-flight queries (a single lockstep [`pir_wire::PirSession`] does this
-//! naturally); version-stamped responses are the noted follow-on for
-//! concurrent multi-client admin traffic.
+//! errors rather than panics or dropped connections. A client that hangs
+//! up with queries still in flight costs no further device work: the
+//! dropped pending shares cancel their queued entries.
 
+use std::collections::VecDeque;
+use std::future::Future;
+use std::pin::Pin;
+use std::sync::Arc;
+use std::task::{Context, Poll, Wake, Waker};
+
+use parking_lot::{Condvar, Mutex};
 use pir_wire::{
-    decode_message, encode_message, Catalog, CatalogEntry, ErrorCode, ErrorReply, PirTransport,
-    QueryMsg, UpdateAckMsg, UpdateEntryMsg, WireError, WireMessage, PROTOCOL_VERSION,
+    decode_message_versioned, encode_message_v, Catalog, CatalogEntry, ErrorCode, ErrorReply,
+    PirTransport, QueryMsg, ResponseMsg, SplitTransport, UpdateAckMsg, UpdateEntryMsg, WireError,
+    WireMessage, MAX_SUPPORTED_VERSION, MIN_SUPPORTED_VERSION, PROTOCOL_V1,
 };
 
 use crate::error::ServeError;
-use crate::handle::ServeHandle;
+use crate::handle::{PendingShare, ServeHandle};
 
 /// Longest detail string an error reply carries back to a client.
 ///
@@ -58,6 +76,18 @@ fn bounded_detail(message: String) -> String {
 pub struct WireFrontend {
     handle: ServeHandle,
     party: u8,
+    /// Highest protocol version this frontend speaks (defaults to the
+    /// library maximum; capped for staged rollouts and fallback tests).
+    max_version: u16,
+}
+
+/// What one decoded frame asks the frontend to do.
+enum FrameAction {
+    /// Answer immediately (catalogs, acks, every kind of error).
+    Reply(WireMessage),
+    /// A query was admitted into the batcher; answer when its share
+    /// completes.
+    Share { query_id: u64, share: PendingShare },
 }
 
 impl WireFrontend {
@@ -68,8 +98,30 @@ impl WireFrontend {
     /// Panics if `party` is not 0 or 1 (a deployment wiring error).
     #[must_use]
     pub fn new(handle: ServeHandle, party: u8) -> Self {
+        Self::with_max_version(handle, party, MAX_SUPPORTED_VERSION)
+    }
+
+    /// Create a frontend capped at `max_version` — a staged-rollout knob
+    /// (and the way tests stand up a "v1-only server"): frames above the
+    /// cap are rejected with the capped range, and the catalog advertises
+    /// the cap, so newer clients cleanly fall back.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `party` is not 0 or 1 or the cap is outside the library's
+    /// supported range (both are deployment wiring errors).
+    #[must_use]
+    pub fn with_max_version(handle: ServeHandle, party: u8, max_version: u16) -> Self {
         assert!(party < 2, "two-server protocol: party must be 0 or 1");
-        Self { handle, party }
+        assert!(
+            (MIN_SUPPORTED_VERSION..=MAX_SUPPORTED_VERSION).contains(&max_version),
+            "version cap {max_version} outside the supported range"
+        );
+        Self {
+            handle,
+            party,
+            max_version,
+        }
     }
 
     /// The party this frontend answers for.
@@ -78,36 +130,93 @@ impl WireFrontend {
         self.party
     }
 
-    /// Handle one request frame and produce the reply frame.
+    /// The highest protocol version this frontend accepts and advertises.
+    #[must_use]
+    pub fn max_version(&self) -> u16 {
+        self.max_version
+    }
+
+    /// Handle one request frame and produce the reply frame, blocking until
+    /// the answer is ready (the lockstep special case of the pipeline; the
+    /// pipelined path is [`Self::serve`]).
     ///
     /// Total: every input, including garbage, yields an encoded reply (the
     /// request/response discipline keeps the connection usable after an
     /// error).
     #[must_use]
     pub fn handle_frame(&self, frame: &[u8]) -> Vec<u8> {
-        let reply = match decode_message(frame) {
-            Ok(message) => self.dispatch(message),
-            Err(WireError::UnsupportedVersion { got, .. }) => {
-                WireMessage::Error(ErrorReply::unsupported_version(got))
-            }
-            Err(err) => WireMessage::Error(ErrorReply {
-                code: ErrorCode::Malformed,
-                shed: false,
-                min_version: 0,
-                max_version: 0,
-                message: bounded_detail(err.to_string()),
-            }),
+        let (version, action) = self.process(frame);
+        let reply = match action {
+            FrameAction::Reply(message) => message,
+            FrameAction::Share { query_id, share } => share_reply(query_id, share.wait()),
         };
-        encode_message(&reply)
+        encode_message_v(&reply, version)
+    }
+
+    /// Decode one frame and decide how to answer it, returning the version
+    /// the reply must be encoded under.
+    fn process(&self, frame: &[u8]) -> (u16, FrameAction) {
+        let (version, message) = match decode_message_versioned(frame) {
+            Ok(decoded) => decoded,
+            Err(WireError::UnsupportedVersion { got, .. }) => {
+                return (
+                    PROTOCOL_V1,
+                    FrameAction::Reply(WireMessage::Error(ErrorReply::unsupported_range(
+                        got,
+                        MIN_SUPPORTED_VERSION,
+                        self.max_version,
+                    ))),
+                )
+            }
+            Err(err) => {
+                return (
+                    PROTOCOL_V1,
+                    FrameAction::Reply(WireMessage::Error(ErrorReply {
+                        code: ErrorCode::Malformed,
+                        shed: false,
+                        min_version: 0,
+                        max_version: 0,
+                        query_id: 0,
+                        message: bounded_detail(err.to_string()),
+                    })),
+                )
+            }
+        };
+        if version > self.max_version {
+            // The library could decode it, but this frontend is capped
+            // below: same reject-with-supported-range rule, answered at the
+            // baseline version so the sender is guaranteed to decode it.
+            return (
+                PROTOCOL_V1,
+                FrameAction::Reply(WireMessage::Error(ErrorReply::unsupported_range(
+                    version,
+                    MIN_SUPPORTED_VERSION,
+                    self.max_version,
+                ))),
+            );
+        }
+        (version, self.dispatch(message))
     }
 
     /// Serve one connection until the peer hangs up.
+    ///
+    /// Splits the transport and runs the demux/remux pair (see the module
+    /// docs above); a transport that cannot split is served lockstep.
     ///
     /// # Errors
     ///
     /// Returns [`WireError::Transport`] for I/O failures; a clean
     /// [`WireError::ConnectionClosed`] hang-up returns `Ok(())`.
-    pub fn serve(&self, transport: &mut dyn PirTransport) -> Result<(), WireError> {
+    pub fn serve(&self, transport: Box<dyn PirTransport>) -> Result<(), WireError> {
+        match transport.split() {
+            SplitTransport::Halves { recv, send } => self.serve_pipelined(recv, send),
+            SplitTransport::Whole(whole) => self.serve_lockstep(whole),
+        }
+    }
+
+    /// The pre-pipelining serve loop: one frame in, one (blocking) frame
+    /// out. Used for unsplittable transports.
+    fn serve_lockstep(&self, mut transport: Box<dyn PirTransport>) -> Result<(), WireError> {
         loop {
             let frame = match transport.recv() {
                 Ok(frame) => frame,
@@ -123,18 +232,77 @@ impl WireFrontend {
         }
     }
 
-    fn dispatch(&self, message: WireMessage) -> WireMessage {
+    /// The demux loop (this thread) plus the remux writer (spawned).
+    fn serve_pipelined(
+        &self,
+        mut recv: Box<dyn PirTransport>,
+        mut send: Box<dyn PirTransport>,
+    ) -> Result<(), WireError> {
+        let remux = Arc::new(Remux::default());
+        let writer = {
+            let remux = Arc::clone(&remux);
+            std::thread::Builder::new()
+                .name(format!("remux-party{}", self.party))
+                .spawn(move || run_remux(&remux, send.as_mut()))
+                .expect("spawn remux writer")
+        };
+        let outcome = loop {
+            let frame = match recv.recv() {
+                Ok(frame) => frame,
+                Err(WireError::ConnectionClosed) => break Ok(()),
+                Err(err) => break Err(err),
+            };
+            // Control handling (including the blocking update barrier)
+            // happens on this thread; only completed shares go through the
+            // writer's completion queue.
+            let (version, action) = self.process(&frame);
+            let mut state = remux.state.lock();
+            if state.closed {
+                // The writer hit a send failure: the connection is dead.
+                break Ok(());
+            }
+            match action {
+                FrameAction::Reply(message) => {
+                    state.frames.push_back(encode_message_v(&message, version));
+                }
+                FrameAction::Share { query_id, share } => {
+                    state.pending.push(PendingReply {
+                        share,
+                        query_id,
+                        version,
+                    });
+                }
+            }
+            drop(state);
+            remux.bell.notify_all();
+        };
+        {
+            // Closing drops whatever is still pending — each dropped share
+            // cancels its queued entry, so a vanished client stops costing
+            // device work immediately.
+            let mut state = remux.state.lock();
+            state.closed = true;
+            state.pending.clear();
+            state.frames.clear();
+        }
+        remux.bell.notify_all();
+        let _ = writer.join();
+        outcome
+    }
+
+    fn dispatch(&self, message: WireMessage) -> FrameAction {
         match message {
-            WireMessage::CatalogRequest => self.catalog(),
+            WireMessage::CatalogRequest => FrameAction::Reply(self.catalog()),
             WireMessage::Query(query) => self.query(query),
-            WireMessage::UpdateEntry(update) => self.update(update),
-            other => WireMessage::Error(ErrorReply {
+            WireMessage::UpdateEntry(update) => FrameAction::Reply(self.update(update)),
+            other => FrameAction::Reply(WireMessage::Error(ErrorReply {
                 code: ErrorCode::InvalidRequest,
                 shed: false,
                 min_version: 0,
                 max_version: 0,
+                query_id: 0,
                 message: format!("server cannot accept a {} message", other.name()),
-            }),
+            })),
         }
     }
 
@@ -152,32 +320,34 @@ impl WireFrontend {
             })
             .collect();
         WireMessage::Catalog(Catalog {
-            protocol_version: PROTOCOL_VERSION,
+            protocol_version: self.max_version,
             party: self.party,
             tables,
         })
     }
 
-    fn query(&self, query: QueryMsg) -> WireMessage {
+    fn query(&self, query: QueryMsg) -> FrameAction {
+        let query_id = query.query.query_id;
         if query.query.party() != self.party {
-            return WireMessage::Error(ErrorReply {
+            return FrameAction::Reply(WireMessage::Error(ErrorReply {
                 code: ErrorCode::InvalidRequest,
                 shed: false,
                 min_version: 0,
                 max_version: 0,
+                query_id,
                 message: format!(
                     "this server answers for party {}, key is for party {}",
                     self.party,
                     query.query.party()
                 ),
-            });
+            }));
         }
-        let pending = self
+        match self
             .handle
-            .submit_server_query(&query.table, &query.tenant, query.query);
-        match pending.and_then(super::handle::PendingShare::wait) {
-            Ok(response) => WireMessage::Response(response),
-            Err(err) => WireMessage::Error(serve_error_reply(&err)),
+            .submit_server_query(&query.table, &query.tenant, query.query)
+        {
+            Ok(share) => FrameAction::Share { query_id, share },
+            Err(err) => FrameAction::Reply(WireMessage::Error(serve_error_reply(&err, query_id))),
         }
     }
 
@@ -190,7 +360,7 @@ impl WireFrontend {
                 table: update.table,
                 index: update.index,
             }),
-            Err(err) => WireMessage::Error(serve_error_reply(&err)),
+            Err(err) => WireMessage::Error(serve_error_reply(&err, 0)),
         }
     }
 }
@@ -199,12 +369,140 @@ impl std::fmt::Debug for WireFrontend {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("WireFrontend")
             .field("party", &self.party)
+            .field("max_version", &self.max_version)
             .finish()
     }
 }
 
-/// Map a runtime error onto the wire's typed error reply.
-fn serve_error_reply(err: &ServeError) -> ErrorReply {
+/// Turn one completed share (or its per-query failure) into the reply
+/// message.
+fn share_reply(
+    query_id: u64,
+    outcome: Result<crate::registry::AnsweredShare, ServeError>,
+) -> WireMessage {
+    match outcome {
+        Ok(answered) => WireMessage::Response(ResponseMsg {
+            response: answered.response,
+            table_version: answered.table_version,
+        }),
+        Err(err) => WireMessage::Error(serve_error_reply(&err, query_id)),
+    }
+}
+
+/// One admitted query awaiting completion in the remux writer.
+struct PendingReply {
+    share: PendingShare,
+    query_id: u64,
+    /// Version the response must be encoded under (the version its request
+    /// arrived with).
+    version: u16,
+}
+
+#[derive(Default)]
+struct RemuxState {
+    /// Encoded control replies, sent ahead of completions.
+    frames: VecDeque<Vec<u8>>,
+    /// Admitted queries whose shares are still computing.
+    pending: Vec<PendingReply>,
+    /// Set by the reader on hang-up and by the writer on send failure.
+    closed: bool,
+    /// A share completed (or work arrived) since the writer last looked.
+    woken: bool,
+}
+
+/// The completion queue between the demux reader and the remux writer.
+#[derive(Default)]
+struct Remux {
+    state: Mutex<RemuxState>,
+    bell: Condvar,
+}
+
+/// Waker handed to every pending share: rings the remux bell.
+struct RemuxWaker(Arc<Remux>);
+
+impl Wake for RemuxWaker {
+    fn wake(self: Arc<Self>) {
+        self.wake_by_ref();
+    }
+
+    fn wake_by_ref(self: &Arc<Self>) {
+        self.0.state.lock().woken = true;
+        self.0.bell.notify_all();
+    }
+}
+
+/// The remux writer loop: drain control frames in arrival order and
+/// completed shares in completion order, encode, send.
+fn run_remux(remux: &Arc<Remux>, send: &mut dyn PirTransport) {
+    let waker = Waker::from(Arc::new(RemuxWaker(Arc::clone(remux))));
+    let mut cx = Context::from_waker(&waker);
+    loop {
+        // Gather everything sendable under the lock, then send without it.
+        let (frames, ready, exit) = {
+            let mut state = remux.state.lock();
+            loop {
+                state.woken = false;
+                let frames: Vec<Vec<u8>> = state.frames.drain(..).collect();
+                let mut ready = Vec::new();
+                let mut index = 0;
+                while index < state.pending.len() {
+                    // Safe to poll while holding the remux lock: a batcher
+                    // delivering a share releases the oneshot's lock
+                    // *before* it calls the waker, so there is no
+                    // lock-order cycle.
+                    match Pin::new(&mut state.pending[index].share).poll(&mut cx) {
+                        Poll::Ready(outcome) => {
+                            let done = state.pending.swap_remove(index);
+                            ready.push((done.query_id, done.version, outcome));
+                        }
+                        Poll::Pending => index += 1,
+                    }
+                }
+                if !frames.is_empty() || !ready.is_empty() {
+                    break (frames, ready, false);
+                }
+                if state.closed && state.pending.is_empty() {
+                    break (frames, ready, true);
+                }
+                if state.woken {
+                    // A completion raced between the drain above and here;
+                    // rescan instead of sleeping through it.
+                    continue;
+                }
+                remux.bell.wait(&mut state);
+            }
+        };
+        for frame in frames {
+            if send.send(&frame).is_err() {
+                close_remux(remux);
+                return;
+            }
+        }
+        for (query_id, version, outcome) in ready {
+            let frame = encode_message_v(&share_reply(query_id, outcome), version);
+            if send.send(&frame).is_err() {
+                close_remux(remux);
+                return;
+            }
+        }
+        if exit {
+            return;
+        }
+    }
+}
+
+/// Mark the connection dead after a send failure so the reader stops
+/// feeding it.
+fn close_remux(remux: &Remux) {
+    let mut state = remux.state.lock();
+    state.closed = true;
+    state.pending.clear();
+    state.frames.clear();
+}
+
+/// Map a runtime error onto the wire's typed error reply, attributed to
+/// the query it answers (0 = connection-level).
+fn serve_error_reply(err: &ServeError, query_id: u64) -> ErrorReply {
     let code = match err {
         ServeError::UnknownTable(_) => ErrorCode::UnknownTable,
         ServeError::IndexOutOfRange { .. } => ErrorCode::IndexOutOfRange,
@@ -219,6 +517,7 @@ fn serve_error_reply(err: &ServeError) -> ErrorReply {
         shed: err.is_shed(),
         min_version: 0,
         max_version: 0,
+        query_id,
         message: bounded_detail(err.to_string()),
     }
 }
@@ -231,7 +530,7 @@ mod tests {
     use crate::ServeConfig;
     use pir_prf::PrfKind;
     use pir_protocol::PirTable;
-    use pir_wire::{MsgType, WireEnvelope};
+    use pir_wire::{decode_message, encode_message, MsgType, WireEnvelope, PROTOCOL_V2};
     use std::time::Duration;
 
     fn runtime() -> PirServeRuntime {
@@ -248,20 +547,89 @@ mod tests {
     }
 
     #[test]
-    fn catalog_identifies_party_and_tables() {
+    fn catalog_identifies_party_tables_and_version_ceiling() {
         let runtime = runtime();
         let frontend = WireFrontend::new(runtime.handle(), 1);
         let reply = frontend.handle_frame(&encode_message(&WireMessage::CatalogRequest));
         match decode_message(&reply).unwrap() {
             WireMessage::Catalog(catalog) => {
                 assert_eq!(catalog.party, 1);
-                assert_eq!(catalog.protocol_version, PROTOCOL_VERSION);
+                assert_eq!(catalog.protocol_version, MAX_SUPPORTED_VERSION);
                 assert_eq!(catalog.tables.len(), 1);
                 assert_eq!(catalog.tables[0].name, "emb");
                 assert_eq!(catalog.tables[0].schema.entries, 128);
                 assert_eq!(catalog.tables[0].prf_kind, PrfKind::SipHash);
             }
             other => panic!("expected catalog, got {}", other.name()),
+        }
+    }
+
+    #[test]
+    fn capped_frontends_advertise_and_enforce_their_ceiling() {
+        let runtime = runtime();
+        let frontend = WireFrontend::with_max_version(runtime.handle(), 0, PROTOCOL_V1);
+        // Catalog advertises the cap...
+        let reply = frontend.handle_frame(&encode_message(&WireMessage::CatalogRequest));
+        match decode_message(&reply).unwrap() {
+            WireMessage::Catalog(catalog) => assert_eq!(catalog.protocol_version, PROTOCOL_V1),
+            other => panic!("expected catalog, got {}", other.name()),
+        }
+        // ...and a v2 frame (which the *library* could decode) is rejected
+        // with the capped range, answered at the baseline version.
+        let frame = encode_message_v(&WireMessage::CatalogRequest, PROTOCOL_V2);
+        let (version, reply) =
+            pir_wire::decode_message_versioned(&frontend.handle_frame(&frame)).unwrap();
+        assert_eq!(version, PROTOCOL_V1);
+        match reply {
+            WireMessage::Error(error) => {
+                assert_eq!(error.code, ErrorCode::UnsupportedVersion);
+                assert_eq!(error.min_version, PROTOCOL_V1);
+                assert_eq!(error.max_version, PROTOCOL_V1);
+            }
+            other => panic!("expected error, got {}", other.name()),
+        }
+    }
+
+    #[test]
+    fn v2_query_replies_are_stamped_and_versioned() {
+        let runtime = runtime();
+        let frontend = WireFrontend::new(runtime.handle(), 0);
+        let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(12);
+        let client =
+            pir_protocol::PirClient::new(pir_protocol::TableSchema::new(128, 8), PrfKind::SipHash);
+        let query = client.query(5, &mut rng);
+        let frame = encode_message_v(
+            &WireMessage::Query(QueryMsg {
+                table: "emb".into(),
+                tenant: "t".into(),
+                query: query.to_server(0),
+            }),
+            PROTOCOL_V2,
+        );
+        let (version, reply) =
+            pir_wire::decode_message_versioned(&frontend.handle_frame(&frame)).unwrap();
+        assert_eq!(version, PROTOCOL_V2, "reply travels in the request version");
+        match reply {
+            WireMessage::Response(msg) => {
+                assert_eq!(msg.response.query_id, query.query_id);
+                assert_eq!(msg.table_version, 1, "fresh table is at version 1");
+            }
+            other => panic!("expected response, got {}", other.name()),
+        }
+        // After a hot reload the stamp moves.
+        runtime.update_entry("emb", 9, &[7u8; 8]).unwrap();
+        let query = client.query(6, &mut rng);
+        let frame = encode_message_v(
+            &WireMessage::Query(QueryMsg {
+                table: "emb".into(),
+                tenant: "t".into(),
+                query: query.to_server(0),
+            }),
+            PROTOCOL_V2,
+        );
+        match decode_message(&frontend.handle_frame(&frame)).unwrap() {
+            WireMessage::Response(msg) => assert_eq!(msg.table_version, 2),
+            other => panic!("expected response, got {}", other.name()),
         }
     }
 
@@ -337,16 +705,21 @@ mod tests {
         let client =
             pir_protocol::PirClient::new(pir_protocol::TableSchema::new(128, 8), PrfKind::SipHash);
         let query = client.query(5, &mut rng);
-        let frame = encode_message(&WireMessage::Query(pir_wire::QueryMsg {
-            table: "emb".into(),
-            tenant: "t".into(),
-            query: query.to_server(1),
-        }));
+        let frame = encode_message_v(
+            &WireMessage::Query(pir_wire::QueryMsg {
+                table: "emb".into(),
+                tenant: "t".into(),
+                query: query.to_server(1),
+            }),
+            PROTOCOL_V2,
+        );
         let reply = frontend.handle_frame(&frame);
         match decode_message(&reply).unwrap() {
             WireMessage::Error(error) => {
                 assert_eq!(error.code, ErrorCode::InvalidRequest);
                 assert!(error.message.contains("party"));
+                // v2 errors are attributed to the query they answer.
+                assert_eq!(error.query_id, query.query_id);
             }
             other => panic!("expected error, got {}", other.name()),
         }
@@ -387,10 +760,13 @@ mod tests {
             WireMessage::Catalog(_)
         ));
         // ...but a Response sent *to* a server is an InvalidRequest.
-        let frame = encode_message(&WireMessage::Response(pir_protocol::PirResponse {
-            query_id: 1,
-            party: 0,
-            share: vec![1],
+        let frame = encode_message(&WireMessage::Response(ResponseMsg {
+            response: pir_protocol::PirResponse {
+                query_id: 1,
+                party: 0,
+                share: vec![1],
+            },
+            table_version: 0,
         }));
         match decode_message(&frontend.handle_frame(&frame)).unwrap() {
             WireMessage::Error(error) => assert_eq!(error.code, ErrorCode::InvalidRequest),

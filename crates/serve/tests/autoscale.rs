@@ -1,0 +1,186 @@
+//! Integration tests of queue-depth autoscaling: a table with an elastic
+//! replica range grows its active pool under sustained backlog and shrinks
+//! back once the queue drains.
+
+use std::time::{Duration, Instant};
+
+use pir_prf::PrfKind;
+use pir_protocol::PirTable;
+use pir_serve::{AutoscalePolicy, PirServeRuntime, ServeConfig, StatsSnapshot, TableConfig};
+
+/// Poll `stats()` until `predicate` holds or `timeout` elapses; returns the
+/// last snapshot either way. The autoscaler is a real-time controller, so
+/// these tests assert *eventual* behavior under generous deadlines instead
+/// of exact tick counts.
+fn wait_for(
+    runtime: &PirServeRuntime,
+    timeout: Duration,
+    predicate: impl Fn(&StatsSnapshot) -> bool,
+) -> StatsSnapshot {
+    let deadline = Instant::now() + timeout;
+    loop {
+        let snapshot = runtime.stats();
+        if predicate(&snapshot) || Instant::now() >= deadline {
+            return snapshot;
+        }
+        std::thread::sleep(Duration::from_millis(2));
+    }
+}
+
+#[test]
+fn sustained_backlog_scales_up_and_idle_scales_down() {
+    let runtime = PirServeRuntime::new(
+        ServeConfig::builder()
+            .queue_capacity(8192)
+            .per_tenant_quota(8192)
+            .seed(5)
+            .build()
+            .unwrap(),
+    );
+    let table = PirTable::generate(1 << 13, 16, |row, offset| {
+        (row as u8).wrapping_mul(11).wrapping_add(offset as u8)
+    });
+    let config = TableConfig::builder()
+        .prf_kind(PrfKind::SipHash)
+        .replica_range(1, 3)
+        .autoscale(AutoscalePolicy {
+            high_depth: 8,
+            low_depth: 1,
+            sustain_ticks: 2,
+            tick: Duration::from_millis(1),
+        })
+        .max_batch(2)
+        .max_wait(Duration::from_micros(200))
+        .build()
+        .unwrap();
+    runtime.register_table("elastic", table, config).unwrap();
+    let handle = runtime.handle();
+
+    // Starts at the range floor.
+    let snapshot = runtime.stats();
+    assert_eq!(snapshot.table("elastic").unwrap().active_replicas, [1, 1]);
+
+    // A burst far above high_depth, submitted before any await: the queue
+    // backlog must trip the controller.
+    let pending: Vec<_> = (0..192u64)
+        .map(|i| {
+            handle
+                .query("elastic", "burst", (i * 31) % (1 << 13))
+                .unwrap()
+        })
+        .collect();
+    let snapshot = wait_for(&runtime, Duration::from_secs(20), |s| {
+        s.table("elastic").unwrap().scale_up_events > 0
+    });
+    let stats = snapshot.table("elastic").unwrap();
+    assert!(
+        stats.scale_up_events > 0,
+        "sustained backlog must activate a replica (depths {:?})",
+        stats.queue_depths
+    );
+    assert!(stats.active_replicas.iter().any(|&a| a > 1));
+    assert!(stats.active_replicas.iter().all(|&a| a <= 3));
+
+    // Every query still answers exactly once, across however many replicas
+    // ended up active.
+    for query in pending {
+        assert!(query.wait().is_ok());
+    }
+
+    // Once drained, sustained idleness parks the extra replicas again.
+    let snapshot = wait_for(&runtime, Duration::from_secs(20), |s| {
+        let t = s.table("elastic").unwrap();
+        t.scale_down_events > 0 && t.active_replicas == [1, 1]
+    });
+    let stats = snapshot.table("elastic").unwrap();
+    assert!(stats.scale_down_events > 0, "idle pool must shrink");
+    assert_eq!(stats.active_replicas, [1, 1], "back to the range floor");
+    assert_eq!(stats.answered, 192);
+
+    // The snapshot's per-replica active flags agree with the counts.
+    for replica in &stats.replicas {
+        assert_eq!(
+            replica.active,
+            replica.replica < stats.active_replicas[replica.party]
+        );
+    }
+    runtime.shutdown();
+}
+
+#[test]
+fn fixed_ranges_never_autoscale() {
+    let runtime = PirServeRuntime::new(ServeConfig::builder().seed(6).build().unwrap());
+    let table = PirTable::generate(256, 8, |row, _| row as u8);
+    let config = TableConfig::builder()
+        .prf_kind(PrfKind::SipHash)
+        .replicas(2)
+        .max_batch(4)
+        .max_wait(Duration::from_millis(1))
+        .build()
+        .unwrap();
+    runtime.register_table("fixed", table, config).unwrap();
+    let handle = runtime.handle();
+    let pending: Vec<_> = (0..64u64)
+        .map(|i| handle.query("fixed", "t", i % 256).unwrap())
+        .collect();
+    for query in pending {
+        assert!(query.wait().is_ok());
+    }
+    let snapshot = runtime.stats();
+    let stats = snapshot.table("fixed").unwrap();
+    assert_eq!(stats.scale_up_events, 0);
+    assert_eq!(stats.scale_down_events, 0);
+    assert_eq!(stats.active_replicas, [2, 2]);
+    assert_eq!(stats.answered, 64);
+    runtime.shutdown();
+}
+
+#[test]
+fn parked_replicas_receive_hot_reloads() {
+    // A reload applied while a replica is parked must be visible the moment
+    // it activates — apply_update walks the whole pool, not just the active
+    // prefix. Force activation by scaling via backlog after the update.
+    let runtime = PirServeRuntime::new(
+        ServeConfig::builder()
+            .queue_capacity(8192)
+            .per_tenant_quota(8192)
+            .seed(7)
+            .build()
+            .unwrap(),
+    );
+    let table = PirTable::generate(512, 8, |row, _| row as u8);
+    let config = TableConfig::builder()
+        .prf_kind(PrfKind::SipHash)
+        .replica_range(1, 2)
+        .autoscale(AutoscalePolicy {
+            high_depth: 4,
+            low_depth: 1,
+            sustain_ticks: 2,
+            tick: Duration::from_millis(1),
+        })
+        .max_batch(2)
+        .max_wait(Duration::from_micros(200))
+        .build()
+        .unwrap();
+    runtime.register_table("reloaded", table, config).unwrap();
+    let handle = runtime.handle();
+
+    // Update row 3 while replica 1 is parked.
+    handle.update_entry("reloaded", 3, &[0xEE; 8]).unwrap();
+
+    // Burst to activate the second replica, then read row 3 repeatedly:
+    // whichever replica answers, the value must be the reloaded one.
+    let burst: Vec<_> = (0..128u64)
+        .map(|i| handle.query("reloaded", "b", i % 512).unwrap())
+        .collect();
+    let reads: Vec<_> = (0..16)
+        .map(|_| handle.query("reloaded", "r", 3).unwrap())
+        .collect();
+    for read in reads {
+        assert_eq!(read.wait().unwrap(), vec![0xEE; 8]);
+    }
+    for query in burst {
+        assert!(query.wait().is_ok());
+    }
+    runtime.shutdown();
+}

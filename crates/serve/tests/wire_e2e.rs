@@ -39,10 +39,20 @@ fn serve_loopback(
     runtime: &Arc<PirServeRuntime>,
     party: u8,
 ) -> (Box<dyn PirTransport>, std::thread::JoinHandle<()>) {
-    let (client_end, mut server_end) = loopback_pair();
-    let frontend = WireFrontend::new(runtime.handle(), party);
+    serve_loopback_capped(runtime, party, pir_wire::MAX_SUPPORTED_VERSION)
+}
+
+/// Like [`serve_loopback`], with the frontend's protocol version capped —
+/// `cap = 1` stands up a "v1-only server" for fallback tests.
+fn serve_loopback_capped(
+    runtime: &Arc<PirServeRuntime>,
+    party: u8,
+    cap: u16,
+) -> (Box<dyn PirTransport>, std::thread::JoinHandle<()>) {
+    let (client_end, server_end) = loopback_pair();
+    let frontend = WireFrontend::with_max_version(runtime.handle(), party, cap);
     let worker = std::thread::spawn(move || {
-        frontend.serve(&mut server_end).unwrap();
+        frontend.serve(Box::new(server_end)).unwrap();
     });
     (Box::new(client_end), worker)
 }
@@ -108,8 +118,8 @@ fn session_reconstructs_rows_over_two_tcp_servers() {
             let runtime = test_runtime(100 + u64::from(party));
             let frontend = WireFrontend::new(runtime.handle(), party);
             let (stream, _) = listener.accept().unwrap();
-            let mut transport = TcpTransport::from_stream(stream).unwrap();
-            frontend.serve(&mut transport).unwrap();
+            let transport = TcpTransport::from_stream(stream).unwrap();
+            frontend.serve(Box::new(transport)).unwrap();
             runtime.shutdown();
         }));
     }
@@ -145,6 +155,11 @@ impl PirTransport for RecordingTransport {
 
     fn recv(&mut self) -> Result<Vec<u8>, WireError> {
         self.inner.recv()
+    }
+
+    fn split(self: Box<Self>) -> pir_wire::SplitTransport {
+        // Client-side audit wrapper; sessions never split their transports.
+        pir_wire::SplitTransport::Whole(self)
     }
 }
 
@@ -286,6 +301,131 @@ fn one_sided_errors_do_not_desynchronize_the_session() {
         "post-update queries still in lockstep: {err}"
     );
 
+    drop(session);
+    w0.join().unwrap();
+    w1.join().unwrap();
+}
+
+#[test]
+fn pipelined_session_reconstructs_across_two_tables() {
+    // Two tables of very different sizes share one v2 session: the pipeline
+    // keeps a window of queries in flight across both, and every completion
+    // must still reconstruct exactly. Interleaving a slow table with a fast
+    // one is also how out-of-order completions arise in practice.
+    let runtime = PirServeRuntime::new(ServeConfig::builder().seed(91).build().unwrap());
+    let slow = PirTable::generate(1 << 12, 32, |row, offset| {
+        (row as u8).wrapping_mul(7).wrapping_add(offset as u8)
+    });
+    let fast = PirTable::generate(64, 8, |row, offset| {
+        (row as u8).wrapping_mul(3).wrapping_add(offset as u8)
+    });
+    for (name, table) in [("slow", slow.clone()), ("fast", fast.clone())] {
+        let config = TableConfig::builder()
+            .prf_kind(PrfKind::SipHash)
+            .max_batch(8)
+            .max_wait(Duration::from_millis(1))
+            .build()
+            .unwrap();
+        runtime.register_table(name, table, config).unwrap();
+    }
+    let runtime = Arc::new(runtime);
+    let (t0, w0) = serve_loopback(&runtime, 0);
+    let (t1, w1) = serve_loopback(&runtime, 1);
+    let mut session = PirSession::connect_with_window(t0, t1, "pipelined", 8).unwrap();
+    assert_eq!(session.negotiated_version(), pir_wire::PROTOCOL_V2);
+    assert_eq!(session.window(), 8);
+
+    let mut rng = StdRng::seed_from_u64(10);
+    let mut expected = std::collections::HashMap::new();
+    for i in 0..24u64 {
+        let (name, reference, entries) = if i % 3 == 0 {
+            ("slow", &slow, 1 << 12)
+        } else {
+            ("fast", &fast, 64)
+        };
+        let index = (i * 37) % entries;
+        let id = session.submit(name, index, &mut rng).unwrap();
+        expected.insert(id, reference.entry(index));
+    }
+    while session.in_flight() + session.ready() > 0 {
+        let done = session.poll().unwrap();
+        let want = expected.remove(&done.query_id).expect("known id");
+        assert_eq!(done.outcome.unwrap(), want, "query {}", done.query_id);
+    }
+    assert!(expected.is_empty(), "every submission completed");
+    let stats = session.pipeline_stats();
+    assert_eq!(stats.submitted, 24);
+    assert_eq!(stats.completed, 24);
+    assert_eq!(stats.version_skew_failures, 0);
+
+    drop(session);
+    w0.join().unwrap();
+    w1.join().unwrap();
+}
+
+#[test]
+fn v2_client_against_v1_only_servers_falls_back_to_lockstep() {
+    let runtime = Arc::new(test_runtime(83));
+    let (t0, w0) = serve_loopback_capped(&runtime, 0, 1);
+    let (t1, w1) = serve_loopback_capped(&runtime, 1, 1);
+    // The client asks for a deep pipeline; the v1 servers cannot provide
+    // one, and the session must clamp instead of failing.
+    let mut session = PirSession::connect_with_window(t0, t1, "legacy", 16).unwrap();
+    assert_eq!(session.negotiated_version(), pir_wire::PROTOCOL_V1);
+    assert_eq!(session.window(), 1, "v1 fallback is lockstep");
+
+    let table = test_table();
+    let mut rng = StdRng::seed_from_u64(11);
+    for index in [1u64, 200, 400] {
+        assert_eq!(
+            session.query("emb", index, &mut rng).unwrap(),
+            table.entry(index)
+        );
+    }
+    // submit/poll still work — they just behave lockstep.
+    let id = session.submit("emb", 42, &mut rng).unwrap();
+    let done = session.poll().unwrap();
+    assert_eq!(done.query_id, id);
+    assert_eq!(done.outcome.unwrap(), table.entry(42));
+    assert!(!done.retried);
+
+    drop(session);
+    w0.join().unwrap();
+    w1.join().unwrap();
+}
+
+#[test]
+fn mixed_version_frontends_reject_nothing_a_v1_client_needs() {
+    // One party still v1-capped, the other already v2: negotiation takes
+    // the min and the session works — the staged-rollout scenario.
+    let runtime = Arc::new(test_runtime(97));
+    let (t0, w0) = serve_loopback_capped(&runtime, 0, 1);
+    let (t1, w1) = serve_loopback(&runtime, 1);
+    let mut session = PirSession::connect(t0, t1, "staged").unwrap();
+    assert_eq!(session.negotiated_version(), pir_wire::PROTOCOL_V1);
+    let table = test_table();
+    let mut rng = StdRng::seed_from_u64(13);
+    assert_eq!(session.query("emb", 77, &mut rng).unwrap(), table.entry(77));
+    drop(session);
+    w0.join().unwrap();
+    w1.join().unwrap();
+}
+
+#[test]
+fn update_entry_requires_a_drained_pipeline() {
+    let runtime = Arc::new(test_runtime(71));
+    let (t0, w0) = serve_loopback(&runtime, 0);
+    let (t1, w1) = serve_loopback(&runtime, 1);
+    let mut session = PirSession::connect_with_window(t0, t1, "admin", 4).unwrap();
+    let mut rng = StdRng::seed_from_u64(14);
+    session.submit("emb", 1, &mut rng).unwrap();
+    let err = session.update_entry("emb", 1, &[0u8; 24]).unwrap_err();
+    assert!(matches!(err, WireError::InvalidRequest(_)));
+    // Drain, then the update goes through.
+    let done = session.poll().unwrap();
+    assert!(done.outcome.is_ok());
+    session.update_entry("emb", 1, &[9u8; 24]).unwrap();
+    assert_eq!(session.query("emb", 1, &mut rng).unwrap(), vec![9u8; 24]);
     drop(session);
     w0.join().unwrap();
     w1.join().unwrap();

@@ -6,16 +6,34 @@
 //! with a simple mean-of-N wall-clock measurement instead of criterion's
 //! statistical machinery. Run with `cargo bench`; each benchmark prints one
 //! line with its mean time per iteration.
+//!
+//! Two environment variables drive CI integration:
+//!
+//! * `BENCH_QUICK=1` — smoke mode: fewer samples and a small per-benchmark
+//!   time budget, so a whole bench binary finishes in seconds.
+//! * `BENCH_JSON=<path>` — append one JSON line per benchmark
+//!   (`{"name":…,"ns_per_iter":…,"iters":…}`) to `<path>`, the artifact
+//!   the CI bench-regression gate (`bench_gate`) consumes.
 
 #![forbid(unsafe_code)]
 
 use std::fmt;
+use std::io::Write;
 use std::time::{Duration, Instant};
 
 pub use std::hint::black_box;
 
 /// Maximum wall-clock time spent measuring one benchmark.
 const TIME_BUDGET: Duration = Duration::from_millis(300);
+
+/// Time budget under `BENCH_QUICK` — enough iterations to be meaningful as
+/// a >2x-regression tripwire, small enough for CI smoke jobs.
+const QUICK_TIME_BUDGET: Duration = Duration::from_millis(40);
+
+/// Whether smoke mode is on.
+fn quick_mode() -> bool {
+    std::env::var("BENCH_QUICK").is_ok_and(|v| !v.is_empty() && v != "0")
+}
 
 /// The benchmark driver.
 #[derive(Clone, Debug)]
@@ -25,7 +43,9 @@ pub struct Criterion {
 
 impl Default for Criterion {
     fn default() -> Self {
-        Self { sample_size: 20 }
+        Self {
+            sample_size: if quick_mode() { 5 } else { 20 },
+        }
     }
 }
 
@@ -126,9 +146,14 @@ impl Bencher {
         // Warm-up (also primes lazily-allocated state).
         black_box(routine());
 
+        let budget = if quick_mode() {
+            QUICK_TIME_BUDGET
+        } else {
+            TIME_BUDGET
+        };
         let mut iters = 0u64;
         let started = Instant::now();
-        while iters < self.sample_size as u64 && started.elapsed() < TIME_BUDGET {
+        while iters < self.sample_size as u64 && started.elapsed() < budget {
             black_box(routine());
             iters += 1;
         }
@@ -150,6 +175,33 @@ fn run_benchmark<F: FnMut(&mut Bencher)>(label: &str, sample_size: usize, mut f:
         "bench {label:<56} {value:>10.3} {unit}/iter ({} iters)",
         bencher.iters
     );
+    if let Ok(path) = std::env::var("BENCH_JSON") {
+        if !path.is_empty() {
+            append_json_line(&path, label, bencher.mean_ns, bencher.iters);
+        }
+    }
+}
+
+/// Append one machine-readable result line (benchmark names are plain
+/// ASCII identifiers; only quote/backslash need escaping).
+fn append_json_line(path: &str, label: &str, mean_ns: f64, iters: u64) {
+    let escaped: String = label
+        .chars()
+        .flat_map(|c| match c {
+            '"' | '\\' => vec!['\\', c],
+            _ => vec![c],
+        })
+        .collect();
+    let line =
+        format!("{{\"name\":\"{escaped}\",\"ns_per_iter\":{mean_ns:.1},\"iters\":{iters}}}\n");
+    let written = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)
+        .and_then(|mut file| file.write_all(line.as_bytes()));
+    if let Err(err) = written {
+        eprintln!("warning: could not append bench result to {path}: {err}");
+    }
 }
 
 fn humanize_ns(ns: f64) -> (f64, &'static str) {

@@ -136,7 +136,7 @@ pub mod collection {
     use rand::Rng;
     use std::ops::{Range, RangeInclusive};
 
-    /// A length distribution for [`vec`].
+    /// A length distribution for [`vec()`].
     #[derive(Clone, Debug)]
     pub struct SizeRange {
         low: usize,
@@ -179,7 +179,7 @@ pub mod collection {
         }
     }
 
-    /// See [`vec`].
+    /// See [`vec()`].
     #[derive(Clone, Debug)]
     pub struct VecStrategy<S> {
         element: S,

@@ -21,14 +21,25 @@ use crate::error::WireError;
 /// First two bytes of every frame.
 pub const WIRE_MAGIC: [u8; 2] = *b"PW";
 
-/// The protocol version this implementation speaks.
-pub const PROTOCOL_VERSION: u16 = 1;
+/// Version 1: lockstep request/response. One frame out, one frame back, in
+/// order, unstamped.
+pub const PROTOCOL_V1: u16 = 1;
+
+/// Version 2: pipelined, multiplexed sessions. Query frames carry
+/// client-assigned ids (as in v1), servers may answer **out of order** as
+/// batches complete, `Response` bodies carry a table-version stamp and
+/// `Error` bodies carry the query id they answer (0 = connection-level).
+pub const PROTOCOL_V2: u16 = 2;
+
+/// The baseline version every implementation speaks; handshake frames
+/// (`CatalogRequest`) travel under it so any peer can decode them.
+pub const PROTOCOL_VERSION: u16 = PROTOCOL_V1;
 
 /// Lowest version this implementation accepts.
-pub const MIN_SUPPORTED_VERSION: u16 = 1;
+pub const MIN_SUPPORTED_VERSION: u16 = PROTOCOL_V1;
 
 /// Highest version this implementation accepts.
-pub const MAX_SUPPORTED_VERSION: u16 = 1;
+pub const MAX_SUPPORTED_VERSION: u16 = PROTOCOL_V2;
 
 /// Bytes of envelope header before the body.
 pub const ENVELOPE_HEADER_BYTES: usize = 2 + 2 + 1 + 4;
@@ -97,11 +108,17 @@ pub struct WireEnvelope {
 }
 
 impl WireEnvelope {
-    /// Wrap a body under [`PROTOCOL_VERSION`].
+    /// Wrap a body under the baseline [`PROTOCOL_V1`].
     #[must_use]
     pub fn new(msg_type: MsgType, body: Vec<u8>) -> Self {
+        Self::with_version(PROTOCOL_V1, msg_type, body)
+    }
+
+    /// Wrap a body under an explicit protocol version.
+    #[must_use]
+    pub fn with_version(version: u16, msg_type: MsgType, body: Vec<u8>) -> Self {
         Self {
-            version: PROTOCOL_VERSION,
+            version,
             msg_type,
             body,
         }
@@ -170,6 +187,15 @@ mod tests {
         let frame = envelope.encode();
         assert_eq!(frame.len(), ENVELOPE_HEADER_BYTES + 3);
         assert_eq!(WireEnvelope::decode(&frame).unwrap(), envelope);
+    }
+
+    #[test]
+    fn v2_envelopes_roundtrip() {
+        let envelope = WireEnvelope::with_version(PROTOCOL_V2, MsgType::Response, vec![9; 5]);
+        let frame = envelope.encode();
+        let decoded = WireEnvelope::decode(&frame).unwrap();
+        assert_eq!(decoded.version, PROTOCOL_V2);
+        assert_eq!(decoded, envelope);
     }
 
     #[test]

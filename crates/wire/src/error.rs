@@ -124,6 +124,16 @@ pub enum WireError {
     /// A session request was invalid before anything was sent (unknown
     /// table, out-of-range index, catalog disagreement between servers).
     InvalidRequest(String),
+    /// The two servers' answer shares carried different table-version
+    /// stamps *again* after the automatic retry: the query straddled a hot
+    /// reload twice, so the shares cannot be combined. Retry later (the
+    /// reload churn has to quiesce for one round trip).
+    VersionSkew {
+        /// The retried query's id.
+        query_id: u64,
+        /// The two parties' table-version stamps.
+        versions: [u64; 2],
+    },
     /// The PIR layer rejected the reconstructed responses.
     Protocol(PirError),
 }
@@ -171,6 +181,11 @@ impl fmt::Display for WireError {
                 write!(f, "expected {expected}, peer sent {got}")
             }
             Self::InvalidRequest(message) => write!(f, "invalid request: {message}"),
+            Self::VersionSkew { query_id, versions } => write!(
+                f,
+                "query {query_id} straddled hot reloads twice (stamps {} vs {})",
+                versions[0], versions[1]
+            ),
             Self::Protocol(err) => write!(f, "protocol error: {err}"),
         }
     }

@@ -42,14 +42,14 @@ pub mod transport;
 
 pub use envelope::{
     MsgType, WireEnvelope, ENVELOPE_HEADER_BYTES, MAX_SUPPORTED_VERSION, MIN_SUPPORTED_VERSION,
-    PROTOCOL_VERSION, WIRE_MAGIC,
+    PROTOCOL_V1, PROTOCOL_V2, PROTOCOL_VERSION, WIRE_MAGIC,
 };
 pub use error::{ErrorCode, WireError};
 pub use messages::{
-    decode_message, encode_message, Catalog, CatalogEntry, ErrorReply, QueryMsg, UpdateAckMsg,
-    UpdateEntryMsg, WireMessage,
+    decode_message, decode_message_versioned, encode_message, encode_message_v, Catalog,
+    CatalogEntry, ErrorReply, QueryMsg, ResponseMsg, UpdateAckMsg, UpdateEntryMsg, WireMessage,
 };
-pub use session::{ConnStats, PirSession};
+pub use session::{CompletedQuery, ConnStats, PipelineStats, PirSession};
 pub use transport::{
-    loopback_pair, LoopbackTransport, PirTransport, TcpTransport, MAX_FRAME_BYTES,
+    loopback_pair, LoopbackTransport, PirTransport, SplitTransport, TcpTransport, MAX_FRAME_BYTES,
 };

@@ -15,7 +15,7 @@ use crate::codec::{
     encode_response, encode_schema, encode_server_query, WireReader, WireWriter,
 };
 use crate::envelope::{
-    MsgType, WireEnvelope, MAX_SUPPORTED_VERSION, MIN_SUPPORTED_VERSION, PROTOCOL_VERSION,
+    MsgType, WireEnvelope, MAX_SUPPORTED_VERSION, MIN_SUPPORTED_VERSION, PROTOCOL_V1, PROTOCOL_V2,
 };
 use crate::error::{ErrorCode, WireError};
 
@@ -53,6 +53,23 @@ pub struct QueryMsg {
     pub query: ServerQuery,
 }
 
+/// One server's answer share, with its table-version stamp.
+///
+/// The stamp is a v2 addition: each party counts the hot reloads it has
+/// applied to the table (starting at 1), and every share is stamped with the
+/// version it was computed against. A client holding two shares whose stamps
+/// differ knows the query straddled a reload — the shares would reconstruct
+/// garbage — and retries instead. Under v1 framing the stamp is not encoded
+/// and decodes as 0 ("unstamped").
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ResponseMsg {
+    /// The answer share (query id, party, lanes).
+    pub response: PirResponse,
+    /// Table version the share was computed against (v2 frames only; 0
+    /// under v1 framing).
+    pub table_version: u64,
+}
+
 /// An admin frame overwriting one table entry (hot reload).
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct UpdateEntryMsg {
@@ -87,6 +104,10 @@ pub struct ErrorReply {
     /// For [`ErrorCode::UnsupportedVersion`]: the highest version the
     /// server accepts. Zero otherwise.
     pub max_version: u16,
+    /// The query this error answers, so a pipelined client can attribute it
+    /// (v2 frames only; 0 = connection-level error, and always 0 under v1
+    /// framing, where attribution is positional).
+    pub query_id: u64,
     /// Human-readable detail.
     pub message: String,
 }
@@ -96,23 +117,34 @@ impl ErrorReply {
     /// supported range (the reject-with-supported-range negotiation rule).
     #[must_use]
     pub fn unsupported_version(got: u16) -> Self {
+        Self::unsupported_range(got, MIN_SUPPORTED_VERSION, MAX_SUPPORTED_VERSION)
+    }
+
+    /// Like [`Self::unsupported_version`], but advertising an explicit
+    /// range — a server capped below [`MAX_SUPPORTED_VERSION`] (staged
+    /// rollout) rejects newer frames with its *own* ceiling.
+    #[must_use]
+    pub fn unsupported_range(got: u16, min: u16, max: u16) -> Self {
         Self {
             code: ErrorCode::UnsupportedVersion,
             shed: false,
-            min_version: MIN_SUPPORTED_VERSION,
-            max_version: MAX_SUPPORTED_VERSION,
+            min_version: min,
+            max_version: max,
+            query_id: 0,
             message: format!("version {got} is not supported"),
         }
     }
 
-    /// Convert into the typed client-side error.
+    /// Convert into the typed client-side error; `spoken` is the protocol
+    /// version this side had used (echoed into
+    /// [`WireError::UnsupportedVersion::got`] for version rejections).
     #[must_use]
-    pub fn into_wire_error(self) -> WireError {
+    pub fn into_wire_error(self, spoken: u16) -> WireError {
         if self.code == ErrorCode::UnsupportedVersion {
             // `got` is the version *we* spoke — the peer rejected it and
             // told us its supported range.
             return WireError::UnsupportedVersion {
-                got: PROTOCOL_VERSION,
+                got: spoken,
                 min: self.min_version,
                 max: self.max_version,
             };
@@ -134,8 +166,8 @@ pub enum WireMessage {
     Catalog(Catalog),
     /// Client → server: one key projection of a query.
     Query(QueryMsg),
-    /// Server → client: one answer share.
-    Response(PirResponse),
+    /// Server → client: one answer share (stamped under v2 framing).
+    Response(ResponseMsg),
     /// Server → client: typed error / backpressure.
     Error(ErrorReply),
     /// Admin → server: overwrite one entry.
@@ -166,9 +198,36 @@ impl WireMessage {
     }
 }
 
-/// Encode a message into a complete frame (envelope header + body).
+/// Encode a message into a complete frame under the baseline
+/// [`PROTOCOL_V1`] framing (no stamps, positional error attribution).
 #[must_use]
 pub fn encode_message(message: &WireMessage) -> Vec<u8> {
+    encode_message_v(message, PROTOCOL_V1)
+}
+
+/// Encode a message into a complete frame under an explicit protocol
+/// version.
+///
+/// The two versions share every body layout except:
+///
+/// * `Response` — v2 appends the 8-byte table-version stamp;
+/// * `Error` — v2 appends the 8-byte query id the error answers.
+///
+/// Encoding a stamped [`ResponseMsg`] under v1 silently drops the stamp
+/// (v1 cannot carry it); decoding it back yields `table_version == 0`.
+///
+/// # Panics
+///
+/// Panics if `version` is outside the supported range: the version here is
+/// chosen by this implementation (negotiated or echoed from a frame that
+/// already passed range validation), so an out-of-range value is a
+/// programming error, not untrusted input.
+#[must_use]
+pub fn encode_message_v(message: &WireMessage, version: u16) -> Vec<u8> {
+    assert!(
+        (MIN_SUPPORTED_VERSION..=MAX_SUPPORTED_VERSION).contains(&version),
+        "cannot encode under unsupported version {version}"
+    );
     let mut body = WireWriter::new();
     match message {
         WireMessage::CatalogRequest => {}
@@ -188,7 +247,10 @@ pub fn encode_message(message: &WireMessage) -> Vec<u8> {
             encode_server_query(&query.query, &mut body);
         }
         WireMessage::Response(response) => {
-            encode_response(response, &mut body);
+            encode_response(&response.response, &mut body);
+            if version >= PROTOCOL_V2 {
+                body.put_u64(response.table_version);
+            }
         }
         WireMessage::Error(error) => {
             body.put_u8(error.code as u8);
@@ -196,6 +258,9 @@ pub fn encode_message(message: &WireMessage) -> Vec<u8> {
             body.put_u16(error.min_version);
             body.put_u16(error.max_version);
             body.put_string(&error.message);
+            if version >= PROTOCOL_V2 {
+                body.put_u64(error.query_id);
+            }
         }
         WireMessage::UpdateEntry(update) => {
             body.put_string(&update.table);
@@ -207,7 +272,7 @@ pub fn encode_message(message: &WireMessage) -> Vec<u8> {
             body.put_u64(ack.index);
         }
     }
-    WireEnvelope::new(message.msg_type(), body.into_bytes()).encode()
+    WireEnvelope::with_version(version, message.msg_type(), body.into_bytes()).encode()
 }
 
 /// Decode a complete frame into a message.
@@ -218,7 +283,21 @@ pub fn encode_message(message: &WireMessage) -> Vec<u8> {
 /// wrong-version or trailing-garbage frame; this function never panics on
 /// untrusted input.
 pub fn decode_message(frame: &[u8]) -> Result<WireMessage, WireError> {
+    decode_message_versioned(frame).map(|(_, message)| message)
+}
+
+/// Decode a complete frame into its protocol version and message.
+///
+/// Body layouts differ by version (see [`encode_message_v`]), and a server
+/// must echo replies in the version the request arrived under — this variant
+/// surfaces it.
+///
+/// # Errors
+///
+/// Same as [`decode_message`].
+pub fn decode_message_versioned(frame: &[u8]) -> Result<(u16, WireMessage), WireError> {
     let envelope = WireEnvelope::decode(frame)?;
+    let version = envelope.version;
     let mut reader = WireReader::new(&envelope.body);
     let message = match envelope.msg_type {
         MsgType::CatalogRequest => WireMessage::CatalogRequest,
@@ -256,7 +335,18 @@ pub fn decode_message(frame: &[u8]) -> Result<WireMessage, WireError> {
                 query,
             })
         }
-        MsgType::Response => WireMessage::Response(decode_response(&mut reader)?),
+        MsgType::Response => {
+            let response = decode_response(&mut reader)?;
+            let table_version = if version >= PROTOCOL_V2 {
+                reader.u64()?
+            } else {
+                0
+            };
+            WireMessage::Response(ResponseMsg {
+                response,
+                table_version,
+            })
+        }
         MsgType::Error => {
             let code_byte = reader.u8()?;
             let code = ErrorCode::from_u8(code_byte)
@@ -265,11 +355,17 @@ pub fn decode_message(frame: &[u8]) -> Result<WireMessage, WireError> {
             let min_version = reader.u16()?;
             let max_version = reader.u16()?;
             let message = reader.string()?;
+            let query_id = if version >= PROTOCOL_V2 {
+                reader.u64()?
+            } else {
+                0
+            };
             WireMessage::Error(ErrorReply {
                 code,
                 shed,
                 min_version,
                 max_version,
+                query_id,
                 message,
             })
         }
@@ -290,7 +386,7 @@ pub fn decode_message(frame: &[u8]) -> Result<WireMessage, WireError> {
         }
     };
     reader.finish()?;
-    Ok(message)
+    Ok((version, message))
 }
 
 #[cfg(test)]
@@ -334,16 +430,20 @@ mod tests {
                     key: key0,
                 },
             }),
-            WireMessage::Response(PirResponse {
-                query_id: 12,
-                party: 0,
-                share: vec![1, 2, 3, 4],
+            WireMessage::Response(ResponseMsg {
+                response: PirResponse {
+                    query_id: 12,
+                    party: 0,
+                    share: vec![1, 2, 3, 4],
+                },
+                table_version: 0,
             }),
             WireMessage::Error(ErrorReply {
                 code: ErrorCode::Shed,
                 shed: true,
                 min_version: 0,
                 max_version: 0,
+                query_id: 0,
                 message: "queue full".into(),
             }),
             WireMessage::UpdateEntry(UpdateEntryMsg {
@@ -368,6 +468,55 @@ mod tests {
     }
 
     #[test]
+    fn every_message_roundtrips_under_v2() {
+        for message in sample_messages() {
+            let frame = encode_message_v(&message, PROTOCOL_V2);
+            let (version, decoded) = decode_message_versioned(&frame).unwrap();
+            assert_eq!(version, PROTOCOL_V2);
+            assert_eq!(decoded, message, "{}", message.name());
+        }
+    }
+
+    #[test]
+    fn stamps_and_error_ids_survive_v2_and_drop_under_v1() {
+        let stamped = WireMessage::Response(ResponseMsg {
+            response: PirResponse {
+                query_id: 99,
+                party: 1,
+                share: vec![5, 6],
+            },
+            table_version: 41,
+        });
+        let v2 = encode_message_v(&stamped, PROTOCOL_V2);
+        assert_eq!(decode_message(&v2).unwrap(), stamped);
+        // v1 framing cannot carry the stamp: it decodes as 0 ("unstamped").
+        let v1 = encode_message_v(&stamped, PROTOCOL_V1);
+        assert_eq!(v1.len() + 8, v2.len(), "stamp is exactly 8 bytes");
+        match decode_message(&v1).unwrap() {
+            WireMessage::Response(msg) => {
+                assert_eq!(msg.table_version, 0);
+                assert_eq!(msg.response.query_id, 99);
+            }
+            other => panic!("expected response, got {}", other.name()),
+        }
+
+        let attributed = WireMessage::Error(ErrorReply {
+            code: ErrorCode::Shed,
+            shed: true,
+            min_version: 0,
+            max_version: 0,
+            query_id: 77,
+            message: "queue full".into(),
+        });
+        let v2 = encode_message_v(&attributed, PROTOCOL_V2);
+        assert_eq!(decode_message(&v2).unwrap(), attributed);
+        match decode_message(&encode_message_v(&attributed, PROTOCOL_V1)).unwrap() {
+            WireMessage::Error(reply) => assert_eq!(reply.query_id, 0),
+            other => panic!("expected error, got {}", other.name()),
+        }
+    }
+
+    #[test]
     fn trailing_bytes_are_rejected() {
         let mut frame = encode_message(&WireMessage::CatalogRequest);
         // Append garbage and fix up the declared body length so the envelope
@@ -387,8 +536,11 @@ mod tests {
         assert_eq!(reply.min_version, MIN_SUPPORTED_VERSION);
         assert_eq!(reply.max_version, MAX_SUPPORTED_VERSION);
         assert!(matches!(
-            reply.into_wire_error(),
-            WireError::UnsupportedVersion { .. }
+            reply.into_wire_error(PROTOCOL_V2),
+            WireError::UnsupportedVersion {
+                got: PROTOCOL_V2,
+                ..
+            }
         ));
     }
 

@@ -9,18 +9,41 @@
 //! rather than by convention. Table shapes are *discovered* from the
 //! servers' catalogs instead of being injected by the caller, so a client
 //! needs nothing but two addresses and a tenant name.
+//!
+//! # Pipelining
+//!
+//! At connect time the session negotiates the protocol version: each server
+//! advertises its highest version in its catalog, and the session speaks
+//! `min(server0, server1, MAX_SUPPORTED_VERSION)` from then on.
+//!
+//! Under **v2** the session is *pipelined*: [`PirSession::submit`] issues a
+//! query without waiting for the answer, keeping up to `window` queries in
+//! flight, and [`PirSession::poll`] returns completions **in the order the
+//! servers finish them** — not submission order. Responses carry
+//! table-version stamps; if a query's two shares straddled a hot reload
+//! (stamps differ, the shares would reconstruct garbage) the session
+//! retries it transparently, exactly once. The classic blocking
+//! [`PirSession::query`] remains as the one-deep special case.
+//!
+//! Under **v1** (an old server on either side) the session cleanly falls
+//! back to lockstep: the window clamps to 1, frames are unstamped, and
+//! every call behaves exactly as the v1 client did.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, VecDeque};
 
-use pir_protocol::{PirClient, PirResponse, TableSchema};
+use pir_protocol::{PirClient, PirQuery, PirResponse, TableSchema};
 use rand::Rng;
 
-use crate::envelope::PROTOCOL_VERSION;
+use crate::envelope::{MAX_SUPPORTED_VERSION, MIN_SUPPORTED_VERSION, PROTOCOL_V2};
 use crate::error::WireError;
 use crate::messages::{
-    decode_message, encode_message, Catalog, QueryMsg, UpdateAckMsg, UpdateEntryMsg, WireMessage,
+    decode_message, encode_message_v, Catalog, QueryMsg, UpdateAckMsg, UpdateEntryMsg, WireMessage,
 };
 use crate::transport::PirTransport;
+
+/// Default pipeline depth of a v2 session (overridable via
+/// [`PirSession::connect_with_window`]).
+pub const DEFAULT_WINDOW: usize = 32;
 
 /// Per-connection byte accounting, measured on actual encoded frames.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -35,14 +58,54 @@ pub struct ConnStats {
     pub bytes_received: u64,
 }
 
+/// Counters of the session's pipelined machinery.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PipelineStats {
+    /// Queries submitted (including the blocking [`PirSession::query`]
+    /// path, which is a one-deep submit).
+    pub submitted: u64,
+    /// Completions emitted.
+    pub completed: u64,
+    /// Completions that finished while an earlier-submitted query was
+    /// still in flight — proof the servers answered out of order.
+    pub out_of_order_completions: u64,
+    /// Queries transparently re-issued because their two shares carried
+    /// different table-version stamps (they straddled a hot reload).
+    pub version_retries: u64,
+    /// Retries that straddled *again* and were failed with
+    /// [`WireError::VersionSkew`].
+    pub version_skew_failures: u64,
+}
+
+/// One finished pipelined query, as returned by [`PirSession::poll`].
+#[derive(Debug)]
+pub struct CompletedQuery {
+    /// The id [`PirSession::submit`] returned for this query. Stable across
+    /// the transparent version-skew retry.
+    pub query_id: u64,
+    /// Table the query read.
+    pub table: String,
+    /// Private index the query read.
+    pub index: u64,
+    /// The reconstructed row, or the per-query failure (a shed, a remote
+    /// error, a double version skew, ...). Per-query failures do not poison
+    /// the session.
+    pub outcome: Result<Vec<u8>, WireError>,
+    /// Whether the transparent version-skew retry was taken.
+    pub retried: bool,
+    /// Whether an earlier-submitted query was still in flight when this one
+    /// completed.
+    pub out_of_order: bool,
+}
+
 struct Connection {
     transport: Box<dyn PirTransport>,
     stats: ConnStats,
 }
 
 impl Connection {
-    fn send(&mut self, message: &WireMessage) -> Result<(), WireError> {
-        let frame = encode_message(message);
+    fn send(&mut self, message: &WireMessage, version: u16) -> Result<(), WireError> {
+        let frame = encode_message_v(message, version);
         self.transport.send(&frame)?;
         self.stats.frames_sent += 1;
         self.stats.bytes_sent += frame.len() as u64;
@@ -62,24 +125,55 @@ struct SessionTable {
     schema: TableSchema,
 }
 
+/// One in-flight pipelined query: the locally-kept key pair plus per-party
+/// outcomes as they arrive.
+struct Inflight {
+    /// Id reported to the caller (stable across the skew retry).
+    public_id: u64,
+    table: String,
+    index: u64,
+    query: PirQuery,
+    /// Submission sequence number, for out-of-order detection.
+    seq: u64,
+    /// Per-party outcome: the share plus its table-version stamp, or an
+    /// attributed per-query error.
+    outcomes: [Option<Result<(PirResponse, u64), WireError>>; 2],
+    retried: bool,
+}
+
 /// A client session over two independent per-server connections.
 ///
-/// See the [module docs](self) for the trust-boundary rationale. All calls
-/// are blocking request/response; a session is `Send` but not `Sync` — use
-/// one session per client thread.
+/// See the [module docs](self) for the trust-boundary rationale and the
+/// pipelining model. A session is `Send` but not `Sync` — use one session
+/// per client thread.
 pub struct PirSession {
     conns: [Connection; 2],
     tables: BTreeMap<String, SessionTable>,
     tenant: String,
+    /// The protocol version both servers agreed to speak.
+    negotiated: u16,
+    /// Maximum in-flight queries (1 under v1 lockstep).
+    window: usize,
+    /// In-flight queries keyed by their *wire* id (session-global, so ids
+    /// never collide across tables on one multiplexed connection).
+    inflight: BTreeMap<u64, Inflight>,
+    /// Completions not yet handed to the caller, in completion order.
+    ready: VecDeque<CompletedQuery>,
+    /// Response frames each connection still owes us.
+    owed: [usize; 2],
+    next_wire_id: u64,
+    next_seq: u64,
+    stats: PipelineStats,
 }
 
 impl PirSession {
-    /// Connect over two transports (index = server party) and discover the
-    /// catalog from both servers.
+    /// Connect over two transports (index = server party), discover the
+    /// catalog from both servers and negotiate the protocol version, with
+    /// the default pipeline window.
     ///
     /// # Errors
     ///
-    /// Fails if either server speaks an unsupported protocol version, does
+    /// Fails if either server speaks no supported protocol version, does
     /// not identify as the expected party, or the two catalogs disagree on
     /// any table's schema or PRF family (a client must never mix shares
     /// generated against different table shapes).
@@ -87,6 +181,24 @@ impl PirSession {
         server0: Box<dyn PirTransport>,
         server1: Box<dyn PirTransport>,
         tenant: impl Into<String>,
+    ) -> Result<Self, WireError> {
+        Self::connect_with_window(server0, server1, tenant, DEFAULT_WINDOW)
+    }
+
+    /// [`Self::connect`] with an explicit in-flight window.
+    ///
+    /// The window only takes effect when both servers speak v2; against a
+    /// v1 server the session clamps it to 1 (lockstep). A window of 0 is
+    /// treated as 1.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Self::connect`].
+    pub fn connect_with_window(
+        server0: Box<dyn PirTransport>,
+        server1: Box<dyn PirTransport>,
+        tenant: impl Into<String>,
+        window: usize,
     ) -> Result<Self, WireError> {
         let mut conns = [
             Connection {
@@ -100,10 +212,15 @@ impl PirSession {
         ];
         let mut catalogs: Vec<Catalog> = Vec::with_capacity(2);
         for (party, conn) in conns.iter_mut().enumerate() {
-            conn.send(&WireMessage::CatalogRequest)?;
+            // The handshake travels at the baseline version so any peer can
+            // decode it; the catalog's advertised version drives everything
+            // after.
+            conn.send(&WireMessage::CatalogRequest, MIN_SUPPORTED_VERSION)?;
             let catalog = match conn.recv()? {
                 WireMessage::Catalog(catalog) => catalog,
-                WireMessage::Error(reply) => return Err(reply.into_wire_error()),
+                WireMessage::Error(reply) => {
+                    return Err(reply.into_wire_error(MIN_SUPPORTED_VERSION))
+                }
                 other => {
                     return Err(WireError::UnexpectedMessage {
                         expected: "Catalog",
@@ -111,9 +228,9 @@ impl PirSession {
                     })
                 }
             };
-            if catalog.protocol_version < PROTOCOL_VERSION {
+            if catalog.protocol_version < MIN_SUPPORTED_VERSION {
                 return Err(WireError::UnsupportedVersion {
-                    got: PROTOCOL_VERSION,
+                    got: MIN_SUPPORTED_VERSION,
                     min: catalog.protocol_version,
                     max: catalog.protocol_version,
                 });
@@ -133,6 +250,16 @@ impl PirSession {
                 "the two servers advertise different catalogs".into(),
             ));
         }
+        // Speak the newest version everyone supports.
+        let negotiated = catalog0
+            .protocol_version
+            .min(catalog1.protocol_version)
+            .min(MAX_SUPPORTED_VERSION);
+        let window = if negotiated >= PROTOCOL_V2 {
+            window.max(1)
+        } else {
+            1 // v1 servers are lockstep: fall back cleanly.
+        };
 
         let tables = catalog0
             .tables
@@ -149,7 +276,45 @@ impl PirSession {
             conns,
             tables,
             tenant: tenant.into(),
+            negotiated,
+            window,
+            inflight: BTreeMap::new(),
+            ready: VecDeque::new(),
+            owed: [0, 0],
+            next_wire_id: 1,
+            next_seq: 0,
+            stats: PipelineStats::default(),
         })
+    }
+
+    /// The protocol version negotiated with both servers.
+    #[must_use]
+    pub fn negotiated_version(&self) -> u16 {
+        self.negotiated
+    }
+
+    /// The effective in-flight window (1 under v1 lockstep).
+    #[must_use]
+    pub fn window(&self) -> usize {
+        self.window
+    }
+
+    /// Queries currently in flight (submitted, not yet completed).
+    #[must_use]
+    pub fn in_flight(&self) -> usize {
+        self.inflight.len()
+    }
+
+    /// Completions waiting to be [`poll`](Self::poll)ed.
+    #[must_use]
+    pub fn ready(&self) -> usize {
+        self.ready.len()
+    }
+
+    /// Counters of the pipelined machinery.
+    #[must_use]
+    pub fn pipeline_stats(&self) -> PipelineStats {
+        self.stats
     }
 
     /// Names of the tables both servers advertise, sorted.
@@ -171,29 +336,28 @@ impl PirSession {
         [self.conns[0].stats, self.conns[1].stats]
     }
 
-    /// Privately retrieve one row.
+    /// Submit one private lookup into the pipeline and return its id
+    /// without waiting for the answer.
     ///
-    /// Generates the DPF key pair locally, uploads exactly one key to each
-    /// server, and adds the two answer shares. Neither server ever receives
-    /// (or can request) the other's key.
+    /// Generates the DPF key pair locally and uploads exactly one key
+    /// projection to each server. If the in-flight window is full, drives
+    /// the pipeline until a slot frees (the displaced completion is
+    /// buffered for a later [`poll`](Self::poll)).
     ///
     /// # Errors
     ///
     /// * [`WireError::InvalidRequest`] — unknown table or out-of-range
     ///   index (checked locally; the index is private and never leaves the
     ///   client in the clear).
-    /// * [`WireError::Remote`] — a server replied with an error; shed
-    ///   replies have [`WireError::is_shed`] set (back off and retry — the
-    ///   session stays usable: both connections' replies are always
-    ///   drained before an error is reported, so the lockstep framing
-    ///   never desynchronizes).
-    /// * [`WireError::Protocol`] — the two shares do not combine.
-    pub fn query<R: Rng + ?Sized>(
+    /// * Transport/protocol failures while sending or while draining a full
+    ///   window; these poison the pipeline (per-query failures do not —
+    ///   they surface in the completion's `outcome`).
+    pub fn submit<R: Rng + ?Sized>(
         &mut self,
         table: &str,
         index: u64,
         rng: &mut R,
-    ) -> Result<Vec<u8>, WireError> {
+    ) -> Result<u64, WireError> {
         let state = self
             .tables
             .get(table)
@@ -204,72 +368,236 @@ impl PirSession {
                 state.schema.entries
             )));
         }
+        while self.inflight.len() >= self.window {
+            self.pump()?;
+        }
+        self.stats.submitted += 1;
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let wire_id = self.issue(table, index, rng)?;
+        let entry = self.inflight.get_mut(&wire_id).expect("just issued");
+        entry.public_id = wire_id;
+        entry.seq = seq;
+        Ok(wire_id)
+    }
+
+    /// Generate keys for (table, index) under a fresh session-global wire
+    /// id, send both projections, and register the in-flight entry.
+    fn issue<R: Rng + ?Sized>(
+        &mut self,
+        table: &str,
+        index: u64,
+        rng: &mut R,
+    ) -> Result<u64, WireError> {
+        let state = self.tables.get(table).expect("validated by caller");
         // The only place the pair exists: immediately projected per party.
-        let query = state.client.query(index, rng);
-        let mut sent = [false; 2];
-        let mut send_failure = None;
+        // The per-table client assigns ids from its own counter; overwrite
+        // with a session-global id so ids never collide across tables on
+        // one multiplexed connection.
+        let mut query = state.client.query(index, rng);
+        let wire_id = self.next_wire_id;
+        self.next_wire_id += 1;
+        query.query_id = wire_id;
         for party in 0..2u8 {
             let message = WireMessage::Query(QueryMsg {
                 table: table.to_string(),
                 tenant: self.tenant.clone(),
                 query: query.to_server(party),
             });
-            match self.conns[usize::from(party)].send(&message) {
-                Ok(()) => sent[usize::from(party)] = true,
-                Err(err) => {
-                    send_failure = Some(err);
-                    break;
-                }
-            }
+            self.conns[usize::from(party)].send(&message, self.negotiated)?;
+            self.owed[usize::from(party)] += 1;
         }
-        // Both frames are in flight before either response is awaited, so
-        // the two servers answer concurrently. Crucially, *both* replies
-        // are drained even when the first errors (a one-sided shed is
-        // routine): leaving the sibling's reply queued would shift the
-        // lockstep framing and poison every later call on this session.
-        let outcome0 = if sent[0] {
-            self.recv_response(0, query.query_id)
-        } else {
-            Err(WireError::ConnectionClosed)
-        };
-        let outcome1 = if sent[1] {
-            self.recv_response(1, query.query_id)
-        } else {
-            Err(WireError::ConnectionClosed)
-        };
-        if let Some(err) = send_failure {
-            return Err(err);
-        }
-        let (response0, response1) = (outcome0?, outcome1?);
-        let state = self.tables.get(table).expect("checked above");
-        state
-            .client
-            .reconstruct(&query, &response0, &response1)
-            .map_err(WireError::from)
+        self.inflight.insert(
+            wire_id,
+            Inflight {
+                public_id: wire_id,
+                table: table.to_string(),
+                index,
+                query,
+                seq: u64::MAX, // patched by the caller (submit / retry)
+                outcomes: [None, None],
+                retried: false,
+            },
+        );
+        Ok(wire_id)
     }
 
-    fn recv_response(&mut self, party: usize, query_id: u64) -> Result<PirResponse, WireError> {
-        match self.conns[party].recv()? {
-            WireMessage::Response(response) => {
-                if response.query_id != query_id {
-                    return Err(WireError::InvalidRequest(format!(
-                        "server {party} answered query {} while {query_id} was pending",
-                        response.query_id
-                    )));
-                }
-                if usize::from(response.party) != party {
+    /// Block until the next query completes (in completion order) and
+    /// return it.
+    ///
+    /// # Errors
+    ///
+    /// * [`WireError::InvalidRequest`] — nothing is in flight.
+    /// * Transport/protocol failures; per-query failures surface in the
+    ///   returned completion's `outcome` instead.
+    pub fn poll(&mut self) -> Result<CompletedQuery, WireError> {
+        loop {
+            if let Some(done) = self.ready.pop_front() {
+                return Ok(done);
+            }
+            if self.inflight.is_empty() {
+                return Err(WireError::InvalidRequest(
+                    "poll with no queries in flight".into(),
+                ));
+            }
+            self.pump()?;
+        }
+    }
+
+    /// Receive and process one frame from whichever connection owes us the
+    /// most responses.
+    fn pump(&mut self) -> Result<(), WireError> {
+        let party = if self.owed[0] >= self.owed[1] { 0 } else { 1 };
+        debug_assert!(self.owed[party] > 0, "pump called with nothing outstanding");
+        let message = self.conns[party].recv()?;
+        match message {
+            WireMessage::Response(msg) => {
+                if usize::from(msg.response.party) != party {
                     return Err(WireError::InvalidRequest(format!(
                         "connection {party} delivered a share from party {}",
-                        response.party
+                        msg.response.party
                     )));
                 }
-                Ok(response)
+                let wire_id = msg.response.query_id;
+                if !self.inflight.contains_key(&wire_id) {
+                    return Err(WireError::InvalidRequest(format!(
+                        "server {party} answered unknown query {wire_id}"
+                    )));
+                }
+                self.owed[party] -= 1;
+                let entry = self.inflight.get_mut(&wire_id).expect("checked above");
+                entry.outcomes[party] = Some(Ok((msg.response, msg.table_version)));
+                self.try_complete(wire_id)
             }
-            WireMessage::Error(reply) => Err(reply.into_wire_error()),
+            WireMessage::Error(reply) => {
+                let wire_id = if self.negotiated >= PROTOCOL_V2 {
+                    reply.query_id
+                } else {
+                    // v1 error frames carry no id: attribution is
+                    // positional — the oldest query this connection has not
+                    // answered yet (under the lockstep window that is the
+                    // only one).
+                    self.inflight
+                        .values()
+                        .filter(|q| q.outcomes[party].is_none())
+                        .map(|q| q.query.query_id)
+                        .next()
+                        .unwrap_or(0)
+                };
+                if wire_id == 0 || !self.inflight.contains_key(&wire_id) {
+                    // Connection-level error (version rejection, malformed
+                    // frame report, ...): poisons the session.
+                    return Err(reply.into_wire_error(self.negotiated));
+                }
+                self.owed[party] -= 1;
+                let err = reply.into_wire_error(self.negotiated);
+                let entry = self.inflight.get_mut(&wire_id).expect("checked above");
+                entry.outcomes[party] = Some(Err(err));
+                self.try_complete(wire_id)
+            }
             other => Err(WireError::UnexpectedMessage {
                 expected: "Response",
                 got: other.name(),
             }),
+        }
+    }
+
+    /// If both parties have answered `wire_id`, resolve it: reconstruct,
+    /// retry on version skew, or fail — and emit the completion.
+    fn try_complete(&mut self, wire_id: u64) -> Result<(), WireError> {
+        let entry = self.inflight.get(&wire_id).expect("caller checked");
+        if entry.outcomes.iter().any(Option::is_none) {
+            return Ok(());
+        }
+        let entry = self.inflight.remove(&wire_id).expect("present");
+        let [outcome0, outcome1] = entry.outcomes;
+        let (outcome0, outcome1) = (
+            outcome0.expect("both present"),
+            outcome1.expect("both present"),
+        );
+        let outcome = match (outcome0, outcome1) {
+            // Party 0's error wins ties, matching the lockstep client.
+            (Err(err), _) => Err(err),
+            (_, Err(err)) => Err(err),
+            (Ok((response0, stamp0)), Ok((response1, stamp1))) => {
+                if self.negotiated >= PROTOCOL_V2 && stamp0 != stamp1 {
+                    if entry.retried {
+                        self.stats.version_skew_failures += 1;
+                        Err(WireError::VersionSkew {
+                            query_id: entry.public_id,
+                            versions: [stamp0, stamp1],
+                        })
+                    } else {
+                        // The two shares straddled a hot reload: they would
+                        // reconstruct garbage. Re-issue once, transparently,
+                        // under the same public id.
+                        self.stats.version_retries += 1;
+                        let (public_id, seq) = (entry.public_id, entry.seq);
+                        let mut rng = retry_rng(wire_id, stamp0, stamp1);
+                        let new_id = self.issue(&entry.table, entry.index, &mut rng)?;
+                        let retry = self.inflight.get_mut(&new_id).expect("just issued");
+                        retry.public_id = public_id;
+                        retry.seq = seq;
+                        retry.retried = true;
+                        return Ok(());
+                    }
+                } else {
+                    let state = self.tables.get(&entry.table).expect("discovered");
+                    state
+                        .client
+                        .reconstruct(&entry.query, &response0, &response1)
+                        .map_err(WireError::from)
+                }
+            }
+        };
+        let out_of_order = self.inflight.values().any(|q| q.seq < entry.seq);
+        self.stats.completed += 1;
+        if out_of_order {
+            self.stats.out_of_order_completions += 1;
+        }
+        self.ready.push_back(CompletedQuery {
+            query_id: entry.public_id,
+            table: entry.table,
+            index: entry.index,
+            outcome,
+            retried: entry.retried,
+            out_of_order,
+        });
+        Ok(())
+    }
+
+    /// Privately retrieve one row — the blocking one-deep special case of
+    /// the pipeline.
+    ///
+    /// Generates the DPF key pair locally, uploads exactly one key to each
+    /// server, and adds the two answer shares. Neither server ever receives
+    /// (or can request) the other's key. Works with other queries in
+    /// flight: their completions stay buffered for later
+    /// [`poll`](Self::poll)s.
+    ///
+    /// # Errors
+    ///
+    /// * [`WireError::InvalidRequest`] — unknown table or out-of-range
+    ///   index (checked locally).
+    /// * [`WireError::Remote`] — a server replied with an error; shed
+    ///   replies have [`WireError::is_shed`] set (back off and retry — the
+    ///   session stays usable: every owed reply is drained before an error
+    ///   is reported, so the framing never desynchronizes).
+    /// * [`WireError::VersionSkew`] — the query straddled hot reloads twice.
+    /// * [`WireError::Protocol`] — the two shares do not combine.
+    pub fn query<R: Rng + ?Sized>(
+        &mut self,
+        table: &str,
+        index: u64,
+        rng: &mut R,
+    ) -> Result<Vec<u8>, WireError> {
+        let id = self.submit(table, index, rng)?;
+        loop {
+            if let Some(position) = self.ready.iter().position(|c| c.query_id == id) {
+                let done = self.ready.remove(position).expect("position valid");
+                return done.outcome;
+            }
+            self.pump()?;
         }
     }
 
@@ -283,11 +611,22 @@ impl PirSession {
     /// *retried* (it overwrites, so the retry is idempotent) to restore
     /// convergence between the two tables.
     ///
+    /// Requires an empty pipeline: drain in-flight queries first (an update
+    /// interleaved with this session's own out-of-order responses would
+    /// make ack attribution ambiguous). *Other* sessions' traffic may race
+    /// this update freely — that is what response version stamps exist for.
+    ///
     /// # Errors
     ///
     /// Local validation failures surface as [`WireError::InvalidRequest`];
     /// server-side rejections as [`WireError::Remote`].
     pub fn update_entry(&mut self, table: &str, index: u64, bytes: &[u8]) -> Result<(), WireError> {
+        if !self.inflight.is_empty() {
+            return Err(WireError::InvalidRequest(format!(
+                "update_entry with {} queries in flight: drain the pipeline first",
+                self.inflight.len()
+            )));
+        }
         let state = self
             .tables
             .get(table)
@@ -313,7 +652,7 @@ impl PirSession {
         let mut sent = [false; 2];
         let mut send_failure = None;
         for (party, conn) in self.conns.iter_mut().enumerate() {
-            match conn.send(&message) {
+            match conn.send(&message, self.negotiated) {
                 Ok(()) => sent[party] = true,
                 Err(err) => {
                     send_failure = Some(err);
@@ -322,7 +661,7 @@ impl PirSession {
             }
         }
         // Drain every reply that is owed before reporting any error, so a
-        // one-sided rejection cannot desynchronize the lockstep framing.
+        // one-sided rejection cannot desynchronize the framing.
         let mut first_error = send_failure;
         for (party, conn) in self.conns.iter_mut().enumerate() {
             if !sent[party] {
@@ -330,7 +669,7 @@ impl PirSession {
             }
             let outcome = match conn.recv() {
                 Ok(WireMessage::UpdateAck(UpdateAckMsg { .. })) => Ok(()),
-                Ok(WireMessage::Error(reply)) => Err(reply.into_wire_error()),
+                Ok(WireMessage::Error(reply)) => Err(reply.into_wire_error(self.negotiated)),
                 Ok(other) => Err(WireError::UnexpectedMessage {
                     expected: "UpdateAck",
                     got: other.name(),
@@ -348,10 +687,28 @@ impl PirSession {
     }
 }
 
+/// The RNG for the transparent skew retry's key regeneration.
+///
+/// The retry happens inside [`PirSession::poll`], where no caller RNG is in
+/// scope; deriving the stream from the failed attempt's (id, stamps) keeps
+/// the retry deterministic for a given failure without threading an RNG
+/// through the completion path. DPF key randomness only hides the queried
+/// index from the servers; any well-distributed stream suffices.
+fn retry_rng(wire_id: u64, stamp0: u64, stamp1: u64) -> rand::rngs::StdRng {
+    use rand::SeedableRng;
+    let seed = wire_id.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        ^ stamp0.rotate_left(17)
+        ^ stamp1.rotate_left(43);
+    rand::rngs::StdRng::seed_from_u64(seed)
+}
+
 impl std::fmt::Debug for PirSession {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("PirSession")
             .field("tenant", &self.tenant)
+            .field("version", &self.negotiated)
+            .field("window", &self.window)
+            .field("in_flight", &self.inflight.len())
             .field("tables", &self.table_names())
             .finish()
     }

@@ -23,6 +23,22 @@ use crate::error::WireError;
 /// receiver.
 pub const MAX_FRAME_BYTES: usize = 1 << 26; // 64 MiB
 
+/// The outcome of [`PirTransport::split`].
+pub enum SplitTransport {
+    /// Two independently-usable handles onto the *same* connection: one for
+    /// the receive direction, one for the send direction. A pipelined
+    /// endpoint runs them on separate threads (demux reader / remux writer).
+    Halves {
+        /// Handle intended for `recv` calls.
+        recv: Box<dyn PirTransport>,
+        /// Handle intended for `send` calls.
+        send: Box<dyn PirTransport>,
+    },
+    /// The transport cannot be split; callers fall back to lockstep
+    /// request/response over the returned whole transport.
+    Whole(Box<dyn PirTransport>),
+}
+
 /// A blocking, two-endpoint, frame-oriented byte pipe.
 ///
 /// Implementations must deliver frames intact and in order. `recv` blocks
@@ -33,8 +49,9 @@ pub trait PirTransport: Send {
     /// # Errors
     ///
     /// Returns [`WireError::ConnectionClosed`] if the peer hung up,
-    /// [`WireError::FrameTooLarge`] for oversized frames and
-    /// [`WireError::Transport`] for I/O failures.
+    /// [`WireError::FrameTooLarge`] for oversized frames (checked *before*
+    /// any byte is written, so an oversized frame never poisons the stream)
+    /// and [`WireError::Transport`] for I/O failures.
     fn send(&mut self, frame: &[u8]) -> Result<(), WireError>;
 
     /// Receive one frame, blocking until it arrives.
@@ -44,6 +61,11 @@ pub trait PirTransport: Send {
     /// Returns [`WireError::ConnectionClosed`] on clean hang-up and
     /// [`WireError::Transport`] for I/O failures.
     fn recv(&mut self) -> Result<Vec<u8>, WireError>;
+
+    /// Split into independently-usable receive/send halves of the same
+    /// connection, enabling full-duplex pipelined service. Transports that
+    /// cannot split return themselves whole and are served lockstep.
+    fn split(self: Box<Self>) -> SplitTransport;
 }
 
 // ---------------------------------------------------------------------------
@@ -141,6 +163,17 @@ impl PirTransport for LoopbackTransport {
 
     fn recv(&mut self) -> Result<Vec<u8>, WireError> {
         self.rx.pop()
+    }
+
+    fn split(self: Box<Self>) -> SplitTransport {
+        // Both halves alias the same pair of channels; as with the whole
+        // endpoint, dropping either half closes the connection in both
+        // directions (half-close is not modeled).
+        let recv = Box::new(LoopbackTransport {
+            tx: Arc::clone(&self.tx),
+            rx: Arc::clone(&self.rx),
+        });
+        SplitTransport::Halves { recv, send: self }
     }
 }
 
@@ -246,6 +279,18 @@ impl PirTransport for TcpTransport {
         })?;
         Ok(frame)
     }
+
+    fn split(self: Box<Self>) -> SplitTransport {
+        // A TCP socket is already full-duplex; the halves are two handles to
+        // the same kernel socket (the OS closes it when both are dropped).
+        match self.stream.try_clone() {
+            Ok(stream) => SplitTransport::Halves {
+                recv: Box::new(TcpTransport { stream }),
+                send: self,
+            },
+            Err(_) => SplitTransport::Whole(self),
+        }
+    }
 }
 
 impl std::fmt::Debug for TcpTransport {
@@ -287,6 +332,67 @@ mod tests {
             a.send(&huge),
             Err(WireError::FrameTooLarge { .. })
         ));
+    }
+
+    #[test]
+    fn tcp_send_cap_is_enforced_before_any_byte_is_written() {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = std::thread::spawn(move || {
+            let (stream, _) = listener.accept().unwrap();
+            let mut transport = TcpTransport::from_stream(stream).unwrap();
+            // The only frame that ever arrives is the small follow-up: the
+            // oversized send wrote nothing, so the stream is not poisoned.
+            assert_eq!(transport.recv().unwrap(), vec![1, 2, 3]);
+            assert_eq!(transport.recv(), Err(WireError::ConnectionClosed));
+        });
+
+        let mut client = TcpTransport::connect(addr).unwrap();
+        let huge = vec![0u8; MAX_FRAME_BYTES + 1];
+        assert_eq!(
+            client.send(&huge),
+            Err(WireError::FrameTooLarge {
+                len: MAX_FRAME_BYTES + 1,
+                limit: MAX_FRAME_BYTES,
+            })
+        );
+        client.send(&[1, 2, 3]).unwrap();
+        drop(client);
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn split_halves_share_the_connection() {
+        let (a, mut b) = loopback_pair();
+        let (mut recv_half, mut send_half) = match Box::new(a).split() {
+            SplitTransport::Halves { recv, send } => (recv, send),
+            SplitTransport::Whole(_) => panic!("loopback must split"),
+        };
+        send_half.send(&[1]).unwrap();
+        assert_eq!(b.recv().unwrap(), vec![1]);
+        b.send(&[2, 2]).unwrap();
+        assert_eq!(recv_half.recv().unwrap(), vec![2, 2]);
+    }
+
+    #[test]
+    fn tcp_splits_into_working_halves() {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = std::thread::spawn(move || {
+            let (stream, _) = listener.accept().unwrap();
+            let transport = Box::new(TcpTransport::from_stream(stream).unwrap());
+            let (mut recv_half, mut send_half) = match transport.split() {
+                SplitTransport::Halves { recv, send } => (recv, send),
+                SplitTransport::Whole(_) => panic!("tcp must split"),
+            };
+            // Echo from a different handle than the one receiving.
+            let frame = recv_half.recv().unwrap();
+            send_half.send(&frame).unwrap();
+        });
+        let mut client = TcpTransport::connect(addr).unwrap();
+        client.send(&[9, 8, 7]).unwrap();
+        assert_eq!(client.recv().unwrap(), vec![9, 8, 7]);
+        server.join().unwrap();
     }
 
     #[test]

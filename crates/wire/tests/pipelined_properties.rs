@@ -1,0 +1,350 @@
+//! Property tests of the v2 pipelined session against *adversarially
+//! scheduled* mock servers:
+//!
+//! (a) whatever completion permutation the two servers pick — independently
+//!     of each other — every pipelined query reconstructs its exact row,
+//! (b) a v2 client against v1-only servers cleanly falls back to lockstep,
+//! (c) a table-version stamp mismatch triggers exactly one transparent
+//!     retry; a second mismatch fails the query with a typed error without
+//!     poisoning the session.
+//!
+//! The mock servers answer real DPF queries (so reconstruction is the
+//! ground truth) but control frame *scheduling* and *stamping* exactly —
+//! the two knobs a real batching runtime cannot pin down deterministically.
+
+use pir_prf::PrfKind;
+use pir_protocol::{GpuPirServer, PirServer, PirTable, TableSchema};
+use pir_wire::{
+    decode_message_versioned, encode_message_v, loopback_pair, Catalog, CatalogEntry, ErrorReply,
+    LoopbackTransport, PirSession, PirTransport, ResponseMsg, WireError, WireMessage, PROTOCOL_V1,
+    PROTOCOL_V2,
+};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const ENTRIES: u64 = 256;
+const ENTRY_BYTES: usize = 8;
+
+fn table() -> PirTable {
+    PirTable::generate(ENTRIES, ENTRY_BYTES, |row, offset| {
+        (row as u8).wrapping_mul(29).wrapping_add(offset as u8)
+    })
+}
+
+/// How a mock server stamps the responses it sends, by answer sequence
+/// number (0-based, counted per server).
+#[derive(Clone, Copy)]
+enum StampRule {
+    /// Always the same version — the steady-state server.
+    Fixed(u64),
+    /// The first `n` answers carry `skewed`, everything after `settled` —
+    /// models a hot reload landing between the two projections.
+    SkewFirst { n: u64, skewed: u64, settled: u64 },
+}
+
+impl StampRule {
+    fn stamp(self, seq: u64) -> u64 {
+        match self {
+            Self::Fixed(version) => version,
+            Self::SkewFirst { n, skewed, settled } => {
+                if seq < n {
+                    skewed
+                } else {
+                    settled
+                }
+            }
+        }
+    }
+}
+
+struct MockConfig {
+    party: u8,
+    /// Version the catalog advertises (1 = "v1-only server").
+    protocol_version: u16,
+    /// Buffer this many queries, then flush them in a permuted order.
+    /// 1 = answer immediately (lockstep-compatible).
+    burst: usize,
+    /// Seed of the permutation RNG.
+    permute_seed: u64,
+    stamp: StampRule,
+}
+
+/// Serve one connection: real DPF answers, scripted scheduling/stamping.
+fn run_mock(mut transport: LoopbackTransport, config: MockConfig) {
+    let server = GpuPirServer::with_defaults(table(), PrfKind::SipHash);
+    let mut rng = StdRng::seed_from_u64(config.permute_seed);
+    let mut buffered: Vec<(u16, ResponseMsg)> = Vec::new();
+    let mut answered = 0u64;
+    loop {
+        let frame = match transport.recv() {
+            Ok(frame) => frame,
+            Err(WireError::ConnectionClosed) => return,
+            Err(err) => panic!("mock transport failed: {err}"),
+        };
+        let (version, message) = decode_message_versioned(&frame).expect("well-formed frame");
+        match message {
+            WireMessage::CatalogRequest => {
+                let reply = WireMessage::Catalog(Catalog {
+                    protocol_version: config.protocol_version,
+                    party: config.party,
+                    tables: vec![CatalogEntry {
+                        name: "t".into(),
+                        schema: TableSchema::new(ENTRIES, ENTRY_BYTES),
+                        prf_kind: PrfKind::SipHash,
+                    }],
+                });
+                transport
+                    .send(&encode_message_v(&reply, version))
+                    .expect("catalog reply");
+            }
+            WireMessage::Query(query) => {
+                if config.protocol_version == PROTOCOL_V1 {
+                    assert_eq!(version, PROTOCOL_V1, "v1-only server saw a v2 frame");
+                }
+                let response = server.answer(&query.query).expect("mock answers");
+                let table_version = config.stamp.stamp(answered);
+                answered += 1;
+                buffered.push((
+                    version,
+                    ResponseMsg {
+                        response,
+                        table_version,
+                    },
+                ));
+                if buffered.len() >= config.burst {
+                    // Fisher–Yates under the scripted seed: THE permutation
+                    // under test.
+                    for i in (1..buffered.len()).rev() {
+                        let j = rng.gen_range(0..=i);
+                        buffered.swap(i, j);
+                    }
+                    for (reply_version, msg) in buffered.drain(..) {
+                        transport
+                            .send(&encode_message_v(
+                                &WireMessage::Response(msg),
+                                reply_version,
+                            ))
+                            .expect("response");
+                    }
+                }
+            }
+            other => {
+                let reply = WireMessage::Error(ErrorReply {
+                    code: pir_wire::ErrorCode::InvalidRequest,
+                    shed: false,
+                    min_version: 0,
+                    max_version: 0,
+                    query_id: 0,
+                    message: format!("mock cannot handle {}", other.name()),
+                });
+                transport
+                    .send(&encode_message_v(&reply, version))
+                    .expect("error reply");
+            }
+        }
+    }
+}
+
+fn spawn_pair(
+    config0: MockConfig,
+    config1: MockConfig,
+) -> ([Box<dyn PirTransport>; 2], [std::thread::JoinHandle<()>; 2]) {
+    let (c0, s0) = loopback_pair();
+    let (c1, s1) = loopback_pair();
+    let w0 = std::thread::spawn(move || run_mock(s0, config0));
+    let w1 = std::thread::spawn(move || run_mock(s1, config1));
+    ([Box::new(c0), Box::new(c1)], [w0, w1])
+}
+
+fn expected_row(index: u64) -> Vec<u8> {
+    table().entry(index)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// (a) Interleaved response ordering: both servers flush each wave in
+    /// their own random permutation, and every query must still
+    /// reconstruct its exact row under its original id.
+    #[test]
+    fn random_completion_permutations_always_reconstruct(
+        seed in any::<u64>(),
+        wave in 2usize..12,
+    ) {
+        let ([t0, t1], [w0, w1]) = spawn_pair(
+            MockConfig {
+                party: 0,
+                protocol_version: PROTOCOL_V2,
+                burst: wave,
+                permute_seed: seed,
+                stamp: StampRule::Fixed(1),
+            },
+            MockConfig {
+                party: 1,
+                protocol_version: PROTOCOL_V2,
+                burst: wave,
+                // A *different* permutation on the second connection.
+                permute_seed: seed.wrapping_add(0x9E37_79B9),
+                stamp: StampRule::Fixed(1),
+            },
+        );
+        let mut session =
+            PirSession::connect_with_window(t0, t1, "prop", wave).expect("connect");
+        prop_assert_eq!(session.negotiated_version(), PROTOCOL_V2);
+
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xABCD);
+        // Two waves back to back: permutations must not leak state across
+        // waves either.
+        for _ in 0..2 {
+            let mut expected = std::collections::HashMap::new();
+            for _ in 0..wave {
+                let index = rng.gen_range(0..ENTRIES);
+                let id = session.submit("t", index, &mut rng).expect("submit");
+                expected.insert(id, expected_row(index));
+            }
+            for _ in 0..wave {
+                let done = session.poll().expect("poll");
+                let want = expected.remove(&done.query_id).expect("known id");
+                prop_assert_eq!(done.outcome.expect("reconstructs"), want);
+                prop_assert!(!done.retried);
+            }
+            prop_assert!(expected.is_empty());
+        }
+        let stats = session.pipeline_stats();
+        prop_assert_eq!(stats.completed, 2 * wave as u64);
+        prop_assert_eq!(stats.version_retries, 0);
+        drop(session);
+        w0.join().unwrap();
+        w1.join().unwrap();
+    }
+
+    /// (b) A v2 client connecting to v1-only servers falls back to
+    /// lockstep: version 1, window 1, unstamped frames — and every query
+    /// still works.
+    #[test]
+    fn v2_client_falls_back_to_lockstep_against_v1_servers(seed in any::<u64>()) {
+        let ([t0, t1], [w0, w1]) = spawn_pair(
+            MockConfig {
+                party: 0,
+                protocol_version: PROTOCOL_V1,
+                burst: 1,
+                permute_seed: seed,
+                stamp: StampRule::Fixed(0),
+            },
+            MockConfig {
+                party: 1,
+                protocol_version: PROTOCOL_V1,
+                burst: 1,
+                permute_seed: seed,
+                stamp: StampRule::Fixed(0),
+            },
+        );
+        let mut session =
+            PirSession::connect_with_window(t0, t1, "prop", 16).expect("connect");
+        prop_assert_eq!(session.negotiated_version(), PROTOCOL_V1);
+        prop_assert_eq!(session.window(), 1);
+
+        let mut rng = StdRng::seed_from_u64(seed);
+        for _ in 0..4 {
+            let index = rng.gen_range(0..ENTRIES);
+            let row = session.query("t", index, &mut rng).expect("answered");
+            prop_assert_eq!(row, expected_row(index));
+        }
+        let stats = session.pipeline_stats();
+        prop_assert_eq!(stats.version_retries, 0);
+        prop_assert_eq!(stats.out_of_order_completions, 0);
+        drop(session);
+        w0.join().unwrap();
+        w1.join().unwrap();
+    }
+
+    /// (c) A stamp mismatch triggers exactly one transparent retry; once
+    /// the reload has settled, the retried query succeeds.
+    #[test]
+    fn version_stamp_mismatch_triggers_exactly_one_retry(seed in any::<u64>()) {
+        let ([t0, t1], [w0, w1]) = spawn_pair(
+            MockConfig {
+                party: 0,
+                protocol_version: PROTOCOL_V2,
+                burst: 1,
+                permute_seed: seed,
+                stamp: StampRule::Fixed(7),
+            },
+            MockConfig {
+                party: 1,
+                protocol_version: PROTOCOL_V2,
+                burst: 1,
+                permute_seed: seed,
+                // First answer straddles the reload (stamp 8 vs 7), the
+                // retry lands after it settled.
+                stamp: StampRule::SkewFirst { n: 1, skewed: 8, settled: 7 },
+            },
+        );
+        let mut session = PirSession::connect(t0, t1, "prop").expect("connect");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let index = rng.gen_range(0..ENTRIES);
+        let id = session.submit("t", index, &mut rng).expect("submit");
+        let done = session.poll().expect("poll");
+        prop_assert_eq!(done.query_id, id);
+        prop_assert!(done.retried);
+        prop_assert_eq!(done.outcome.expect("retry reconstructs"), expected_row(index));
+        let stats = session.pipeline_stats();
+        prop_assert_eq!(stats.version_retries, 1);
+        prop_assert_eq!(stats.version_skew_failures, 0);
+
+        // The session is not poisoned: later queries run clean.
+        let row = session.query("t", index, &mut rng).expect("still usable");
+        prop_assert_eq!(row, expected_row(index));
+        prop_assert_eq!(session.pipeline_stats().version_retries, 1);
+        drop(session);
+        w0.join().unwrap();
+        w1.join().unwrap();
+    }
+
+    /// (c') If the stamps disagree *again* on the retry, the query fails
+    /// with the typed skew error — after exactly one retry, never more —
+    /// and the session survives.
+    #[test]
+    fn persistent_skew_fails_after_exactly_one_retry(seed in any::<u64>()) {
+        let ([t0, t1], [w0, w1]) = spawn_pair(
+            MockConfig {
+                party: 0,
+                protocol_version: PROTOCOL_V2,
+                burst: 1,
+                permute_seed: seed,
+                stamp: StampRule::Fixed(7),
+            },
+            MockConfig {
+                party: 1,
+                protocol_version: PROTOCOL_V2,
+                burst: 1,
+                permute_seed: seed,
+                // Skewed on the first attempt AND the retry; settles after.
+                stamp: StampRule::SkewFirst { n: 2, skewed: 9, settled: 7 },
+            },
+        );
+        let mut session = PirSession::connect(t0, t1, "prop").expect("connect");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let index = rng.gen_range(0..ENTRIES);
+        session.submit("t", index, &mut rng).expect("submit");
+        let done = session.poll().expect("poll");
+        prop_assert!(done.retried);
+        match done.outcome {
+            Err(WireError::VersionSkew { versions, .. }) => {
+                prop_assert_eq!(versions, [7, 9]);
+            }
+            other => prop_assert!(false, "expected VersionSkew, got {other:?}"),
+        }
+        let stats = session.pipeline_stats();
+        prop_assert_eq!(stats.version_retries, 1);
+        prop_assert_eq!(stats.version_skew_failures, 1);
+
+        // Third answer onward is settled: the session keeps working.
+        let row = session.query("t", index, &mut rng).expect("recovered");
+        prop_assert_eq!(row, expected_row(index));
+        drop(session);
+        w0.join().unwrap();
+        w1.join().unwrap();
+    }
+}

@@ -13,7 +13,7 @@ use pir_prf::{build_prf, GgmPrg, PrfKind};
 use pir_protocol::{PirResponse, ServerQuery, TableSchema};
 use pir_wire::{
     decode_message, encode_message, Catalog, CatalogEntry, ErrorCode, ErrorReply, QueryMsg,
-    UpdateAckMsg, UpdateEntryMsg, WireError, WireMessage,
+    ResponseMsg, UpdateAckMsg, UpdateEntryMsg, WireError, WireMessage,
 };
 use proptest::prelude::*;
 use rand::rngs::StdRng;
@@ -58,18 +58,25 @@ fn sample_message(seed: u64) -> WireMessage {
             tenant: format!("tenant-{}", seed % 7),
             query: sample_server_query(seed, entries, entry_bytes),
         }),
-        3 => WireMessage::Response(PirResponse {
-            query_id: seed,
-            party: (seed % 2) as u8,
-            share: (0..rng.gen_range(0u32..128))
-                .map(|i| i ^ seed as u32)
-                .collect(),
+        3 => WireMessage::Response(ResponseMsg {
+            response: PirResponse {
+                query_id: seed,
+                party: (seed % 2) as u8,
+                share: (0..rng.gen_range(0u32..128))
+                    .map(|i| i ^ seed as u32)
+                    .collect(),
+            },
+            // v1 framing cannot carry a stamp: only 0 roundtrips under the
+            // baseline encoding exercised here (v2 stamps are covered by
+            // the pipelined property tests).
+            table_version: 0,
         }),
         4 => WireMessage::Error(ErrorReply {
             code: ErrorCode::from_u8((seed % 8) as u8 + 1).unwrap(),
             shed: seed.is_multiple_of(3),
             min_version: (seed % 5) as u16,
             max_version: (seed % 5) as u16 + 1,
+            query_id: 0,
             message: format!("detail {seed}"),
         }),
         5 => WireMessage::UpdateEntry(UpdateEntryMsg {

@@ -69,7 +69,12 @@ fn main() {
             panic!("expected a query frame");
         };
         let response = server.answer(&request.query).expect("server answers");
-        encode_message(&WireMessage::Response(response))
+        encode_message(&WireMessage::Response(
+            gpu_pir_repro::pir_wire::ResponseMsg {
+                response,
+                table_version: 0, // v1 framing: unstamped
+            },
+        ))
     };
     let reply0 = answer(&server0, &frames[0]);
     let reply1 = answer(&server1, &frames[1]);
@@ -80,7 +85,7 @@ fn main() {
 
     // The client decodes the two frames and combines the additive shares.
     let decode_share = |frame: &[u8]| match decode_message(frame).expect("well-formed reply") {
-        WireMessage::Response(response) => response,
+        WireMessage::Response(msg) => msg.response,
         other => panic!("expected a response frame, got {}", other.name()),
     };
     let row = client

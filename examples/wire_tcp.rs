@@ -22,7 +22,7 @@ use std::time::Duration;
 use gpu_pir_repro::pir_prf::PrfKind;
 use gpu_pir_repro::pir_protocol::PirTable;
 use gpu_pir_repro::pir_serve::{PirServeRuntime, ServeConfig, TableConfig, WireFrontend};
-use gpu_pir_repro::pir_wire::{PirSession, TcpTransport, PROTOCOL_VERSION};
+use gpu_pir_repro::pir_wire::{PirSession, TcpTransport, MAX_SUPPORTED_VERSION};
 use rand::SeedableRng;
 
 const ENTRIES: u64 = 1 << 12;
@@ -58,8 +58,10 @@ fn spawn_server(party: u8) -> (std::net::SocketAddr, std::thread::JoinHandle<()>
         // would spawn a serve thread per connection.
         let (stream, peer) = listener.accept().expect("accept client");
         println!("server {party}: client connected from {peer}");
-        let mut transport = TcpTransport::from_stream(stream).expect("wrap stream");
-        frontend.serve(&mut transport).expect("serve connection");
+        let transport = TcpTransport::from_stream(stream).expect("wrap stream");
+        frontend
+            .serve(Box::new(transport))
+            .expect("serve connection");
         let answered = runtime.stats().answered();
         println!("server {party}: connection closed after {answered} shares");
         runtime.shutdown();
@@ -68,7 +70,7 @@ fn spawn_server(party: u8) -> (std::net::SocketAddr, std::thread::JoinHandle<()>
 }
 
 fn main() {
-    println!("wire protocol v{PROTOCOL_VERSION}: two TCP servers, one session\n");
+    println!("wire protocol (up to v{MAX_SUPPORTED_VERSION}): two TCP servers, one session\n");
     let (addr0, server0) = spawn_server(0);
     let (addr1, server1) = spawn_server(1);
 
@@ -76,6 +78,7 @@ fn main() {
     let t0 = Box::new(TcpTransport::connect(addr0).expect("connect server 0"));
     let t1 = Box::new(TcpTransport::connect(addr1).expect("connect server 1"));
     let mut session = PirSession::connect(t0, t1, "wire-demo").expect("catalog handshake");
+    println!("negotiated protocol v{}", session.negotiated_version());
 
     let schema = session.schema("embeddings").expect("discovered table");
     println!(
