@@ -94,12 +94,30 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
-    let factor: f64 = args
-        .get(2)
-        .cloned()
-        .or_else(|| std::env::var("BENCH_GATE_FACTOR").ok())
-        .and_then(|raw| raw.parse().ok())
-        .unwrap_or(2.0);
+    // An explicitly supplied factor that does not parse must be a usage
+    // error, not a silent fall-back to the default: a maintainer who
+    // tightened the gate has to find out when it did not take effect.
+    let parse_factor = |raw: &str, origin: &str| -> Option<f64> {
+        match raw.parse::<f64>() {
+            Ok(factor) if factor > 0.0 => Some(factor),
+            _ => {
+                eprintln!("bench_gate: invalid regression factor '{raw}' (from {origin})");
+                eprintln!("usage: bench_gate <baseline.json> <current.json> [factor]");
+                None
+            }
+        }
+    };
+    let factor: f64 = match (args.get(2), std::env::var("BENCH_GATE_FACTOR").ok()) {
+        (Some(raw), _) => match parse_factor(raw, "argument") {
+            Some(factor) => factor,
+            None => return ExitCode::from(2),
+        },
+        (None, Some(raw)) => match parse_factor(&raw, "BENCH_GATE_FACTOR") {
+            Some(factor) => factor,
+            None => return ExitCode::from(2),
+        },
+        (None, None) => 2.0,
+    };
 
     let read = |path: &str| match std::fs::read_to_string(path) {
         Ok(text) => Some(text),

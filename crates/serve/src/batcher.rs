@@ -116,7 +116,7 @@ pub(crate) fn run_batch_former(
                     _ => unreachable!("front checked above"),
                 };
                 let deadline = oldest + policy.max_wait;
-                while state.entries.len() < policy.max_batch
+                while live_queries(&mut state, policy.max_batch) < policy.max_batch
                     && state.pending_updates == 0
                     && !state.closed
                     && !state.barrier
@@ -237,6 +237,38 @@ pub(crate) fn run_batch_former(
             }
         }
     }
+}
+
+/// Queries in the queue that are still worth answering, counted up to
+/// `cap` — pruning canceled entries as they are found.
+///
+/// Accumulation counts *these* toward `max_batch`: formation discards
+/// canceled entries, so counting them too would let heavy cancellation end
+/// accumulation early and launch undersized batches before the deadline.
+/// The scan runs under the queue lock on every accumulation wakeup, so it
+/// stops at `cap` live entries, and canceled entries (which formation
+/// would discard anyway) are dropped on sight — each one costs a visit
+/// once ever, not once per wakeup, keeping a canceled-dominated backlog
+/// from turning every wakeup into a full-queue walk.
+fn live_queries(state: &mut crate::registry::QueueState, cap: usize) -> usize {
+    let mut live = 0;
+    let mut index = 0;
+    while live < cap && index < state.entries.len() {
+        match &state.entries[index] {
+            QueueItem::Query(entry) => {
+                if entry.is_canceled() {
+                    drop(state.entries.remove(index));
+                } else {
+                    live += 1;
+                    index += 1;
+                }
+            }
+            // An update marker: leave it in place (the accumulation gate's
+            // `pending_updates` check ends the wait) and skip past it.
+            QueueItem::Update(_) => index += 1,
+        }
+    }
+    live
 }
 
 /// Apply one hot-reload marker to every replica of `party`.
@@ -377,6 +409,55 @@ mod tests {
         for rx in live {
             assert!(oneshot::block_on(rx).unwrap().is_ok());
         }
+    }
+
+    #[test]
+    fn cancellation_does_not_shrink_formed_batches() {
+        // 3 queued entries of which 2 are canceled: with a generous
+        // deadline the former must keep accumulating (canceled entries
+        // don't count toward max_batch) instead of launching an undersized
+        // batch of 1 — the 2 live entries fed in later complete one full
+        // batch of 3.
+        let table = PirTable::generate(64, 8, |row, _| row as u8);
+        let config = TableConfig::builder()
+            .prf_kind(pir_prf::PrfKind::SipHash)
+            .max_batch(3)
+            .max_wait(Duration::from_secs(10))
+            .build()
+            .unwrap();
+        let hosted = Arc::new(HostedTable::build("t", table, config).expect("valid table"));
+        let mut rng = StdRng::seed_from_u64(8);
+        let mut live = Vec::new();
+        {
+            let mut state = hosted.queues[0].state.lock();
+            for index in 0..3u64 {
+                let (entry, rx) = pending(&hosted, index, &mut rng, index < 2);
+                state.entries.push_back(QueueItem::Query(entry));
+                if index >= 2 {
+                    live.push(rx);
+                }
+            }
+        }
+        let worker = {
+            let hosted = Arc::clone(&hosted);
+            let budget = Arc::new(DeviceBudget::new(None));
+            std::thread::spawn(move || run_batch_former(hosted, 0, 0, budget))
+        };
+        // Give a buggy former ample time to launch the undersized batch
+        // before the queue refills.
+        std::thread::sleep(Duration::from_millis(100));
+        for index in 3..5u64 {
+            let (entry, rx) = pending(&hosted, index, &mut rng, false);
+            live.push(rx);
+            hosted.enqueue_single(0, 16, entry).unwrap();
+        }
+        hosted.queues[0].close();
+        worker.join().unwrap();
+        for rx in live {
+            assert!(oneshot::block_on(rx).unwrap().is_ok());
+        }
+        assert_eq!(hosted.stats.batches.load(Ordering::Relaxed), 1);
+        assert_eq!(hosted.stats.max_batch.load(Ordering::Relaxed), 3);
     }
 
     #[test]

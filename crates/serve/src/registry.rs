@@ -209,6 +209,13 @@ impl HostedTable {
             (self.config.replicas.min..=self.config.replicas.max).contains(&count),
             "active count {count} outside configured range"
         );
+        // Publish the count and notify under the queue lock: a parking
+        // worker reads the active count and waits on `activated` while
+        // holding this lock, so doing both inside it leaves no window
+        // between the worker's read and its wait for the notification to
+        // land in — a scaled-up worker cannot stay parked while counted
+        // active.
+        let _state = self.queues[party].state.lock();
         self.active[party].store(count, Ordering::Release);
         self.queues[party].activated.notify_all();
     }

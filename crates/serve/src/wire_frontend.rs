@@ -259,6 +259,8 @@ impl WireFrontend {
             let mut state = remux.state.lock();
             if state.closed {
                 // The writer hit a send failure: the connection is dead.
+                // Its error (if it was a real I/O failure and not a peer
+                // hang-up) is picked up after the join below.
                 break Ok(());
             }
             match action {
@@ -287,7 +289,14 @@ impl WireFrontend {
         }
         remux.bell.notify_all();
         let _ = writer.join();
-        outcome
+        // A writer-side transport failure must reach whoever supervises
+        // `serve` — breaking with a clean `Ok(())` would mask it; the
+        // reader's own error (if any) stays the primary report.
+        let writer_error = remux.state.lock().error.take();
+        match (outcome, writer_error) {
+            (Ok(()), Some(err)) => Err(err),
+            (outcome, _) => outcome,
+        }
     }
 
     fn dispatch(&self, message: WireMessage) -> FrameAction {
@@ -406,6 +415,9 @@ struct RemuxState {
     pending: Vec<PendingReply>,
     /// Set by the reader on hang-up and by the writer on send failure.
     closed: bool,
+    /// The writer's send failure, when it was a real I/O error rather than
+    /// a peer hang-up; `serve_pipelined` surfaces it to its caller.
+    error: Option<WireError>,
     /// A share completed (or work arrived) since the writer last looked.
     woken: bool,
 }
@@ -473,15 +485,15 @@ fn run_remux(remux: &Arc<Remux>, send: &mut dyn PirTransport) {
             }
         };
         for frame in frames {
-            if send.send(&frame).is_err() {
-                close_remux(remux);
+            if let Err(err) = send.send(&frame) {
+                close_remux(remux, err);
                 return;
             }
         }
         for (query_id, version, outcome) in ready {
             let frame = encode_message_v(&share_reply(query_id, outcome), version);
-            if send.send(&frame).is_err() {
-                close_remux(remux);
+            if let Err(err) = send.send(&frame) {
+                close_remux(remux, err);
                 return;
             }
         }
@@ -492,9 +504,14 @@ fn run_remux(remux: &Arc<Remux>, send: &mut dyn PirTransport) {
 }
 
 /// Mark the connection dead after a send failure so the reader stops
-/// feeding it.
-fn close_remux(remux: &Remux) {
+/// feeding it, recording the failure for `serve_pipelined` to surface.
+fn close_remux(remux: &Remux, err: WireError) {
     let mut state = remux.state.lock();
+    // A peer that hangs up mid-send is the same clean close the reader
+    // reports as `Ok`; only real I/O failures are worth surfacing.
+    if !matches!(err, WireError::ConnectionClosed) {
+        state.error = Some(err);
+    }
     state.closed = true;
     state.pending.clear();
     state.frames.clear();

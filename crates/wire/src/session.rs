@@ -32,7 +32,7 @@
 use std::collections::{BTreeMap, VecDeque};
 
 use pir_protocol::{PirClient, PirQuery, PirResponse, TableSchema};
-use rand::Rng;
+use rand::{Rng, RngCore, SeedableRng};
 
 use crate::envelope::{MAX_SUPPORTED_VERSION, MIN_SUPPORTED_VERSION, PROTOCOL_V2};
 use crate::error::WireError;
@@ -163,6 +163,16 @@ pub struct PirSession {
     owed: [usize; 2],
     next_wire_id: u64,
     next_seq: u64,
+    /// CSPRNG backing the transparent version-skew retry, reseeded from the
+    /// caller's RNG on every [`Self::submit`]. The retry regenerates a DPF
+    /// key pair inside [`Self::poll`], where no caller RNG is in scope —
+    /// and that key randomness must be *unpredictable to the servers*: a
+    /// seed derived from on-wire values (ids, version stamps) would let a
+    /// malicious server force a retry, regenerate candidate key pairs for
+    /// every index, and match the projection it received — recovering the
+    /// private index. `None` only until the first submit; every retry is of
+    /// a submitted query, so it is always seeded by the time it is used.
+    retry_rng: Option<rand::rngs::StdRng>,
     stats: PipelineStats,
 }
 
@@ -283,6 +293,7 @@ impl PirSession {
             owed: [0, 0],
             next_wire_id: 1,
             next_seq: 0,
+            retry_rng: None,
             stats: PipelineStats::default(),
         })
     }
@@ -368,6 +379,11 @@ impl PirSession {
                 state.schema.entries
             )));
         }
+        // Bank fresh caller entropy for the transparent skew retry before
+        // draining the window (the drain itself can trigger a retry).
+        let mut seed = <rand::rngs::StdRng as SeedableRng>::Seed::default();
+        rng.fill_bytes(seed.as_mut());
+        self.retry_rng = Some(rand::rngs::StdRng::from_seed(seed));
         while self.inflight.len() >= self.window {
             self.pump()?;
         }
@@ -459,13 +475,21 @@ impl PirSession {
                     )));
                 }
                 let wire_id = msg.response.query_id;
-                if !self.inflight.contains_key(&wire_id) {
+                let Some(entry) = self.inflight.get_mut(&wire_id) else {
                     return Err(WireError::InvalidRequest(format!(
                         "server {party} answered unknown query {wire_id}"
                     )));
+                };
+                // A duplicate answer for a slot already filled would
+                // corrupt the owed accounting (underflowing it once the
+                // sibling query's answer arrives): reject it like any other
+                // server misbehavior.
+                if entry.outcomes[party].is_some() {
+                    return Err(WireError::InvalidRequest(format!(
+                        "server {party} answered query {wire_id} twice"
+                    )));
                 }
                 self.owed[party] -= 1;
-                let entry = self.inflight.get_mut(&wire_id).expect("checked above");
                 entry.outcomes[party] = Some(Ok((msg.response, msg.table_version)));
                 self.try_complete(wire_id)
             }
@@ -489,9 +513,15 @@ impl PirSession {
                     // frame report, ...): poisons the session.
                     return Err(reply.into_wire_error(self.negotiated));
                 }
+                let entry = self.inflight.get_mut(&wire_id).expect("checked above");
+                if entry.outcomes[party].is_some() {
+                    // Same duplicate-answer guard as the Response arm.
+                    return Err(WireError::InvalidRequest(format!(
+                        "server {party} answered query {wire_id} twice"
+                    )));
+                }
                 self.owed[party] -= 1;
                 let err = reply.into_wire_error(self.negotiated);
-                let entry = self.inflight.get_mut(&wire_id).expect("checked above");
                 entry.outcomes[party] = Some(Err(err));
                 self.try_complete(wire_id)
             }
@@ -533,7 +563,15 @@ impl PirSession {
                         // under the same public id.
                         self.stats.version_retries += 1;
                         let (public_id, seq) = (entry.public_id, entry.seq);
-                        let mut rng = retry_rng(wire_id, stamp0, stamp1);
+                        // Derive the retry's key randomness from the caller
+                        // entropy banked at submit time — never from on-wire
+                        // values, which the servers know (see `retry_rng`).
+                        let mut seed = <rand::rngs::StdRng as SeedableRng>::Seed::default();
+                        self.retry_rng
+                            .as_mut()
+                            .expect("retries are of submitted queries")
+                            .fill_bytes(seed.as_mut());
+                        let mut rng = rand::rngs::StdRng::from_seed(seed);
                         let new_id = self.issue(&entry.table, entry.index, &mut rng)?;
                         let retry = self.inflight.get_mut(&new_id).expect("just issued");
                         retry.public_id = public_id;
@@ -685,21 +723,6 @@ impl PirSession {
             None => Ok(()),
         }
     }
-}
-
-/// The RNG for the transparent skew retry's key regeneration.
-///
-/// The retry happens inside [`PirSession::poll`], where no caller RNG is in
-/// scope; deriving the stream from the failed attempt's (id, stamps) keeps
-/// the retry deterministic for a given failure without threading an RNG
-/// through the completion path. DPF key randomness only hides the queried
-/// index from the servers; any well-distributed stream suffices.
-fn retry_rng(wire_id: u64, stamp0: u64, stamp1: u64) -> rand::rngs::StdRng {
-    use rand::SeedableRng;
-    let seed = wire_id.wrapping_mul(0x9E37_79B9_7F4A_7C15)
-        ^ stamp0.rotate_left(17)
-        ^ stamp1.rotate_left(43);
-    rand::rngs::StdRng::seed_from_u64(seed)
 }
 
 impl std::fmt::Debug for PirSession {

@@ -348,3 +348,80 @@ proptest! {
         w1.join().unwrap();
     }
 }
+
+/// A misbehaving server that answers the same in-flight query twice must
+/// get a typed error, not corrupt the session's owed-frame accounting
+/// (pre-fix, the duplicate decremented `owed` a second time, underflowing
+/// it when the sibling query's answer arrived — panicking in debug, or
+/// hanging the client on an idle connection in release).
+#[test]
+fn duplicate_answers_are_rejected_not_miscounted() {
+    use pir_protocol::PirResponse;
+    use pir_wire::SplitTransport;
+
+    /// Replays a pre-scripted frame sequence; swallows sends.
+    struct Scripted {
+        incoming: std::collections::VecDeque<Vec<u8>>,
+    }
+    impl PirTransport for Scripted {
+        fn send(&mut self, _frame: &[u8]) -> Result<(), WireError> {
+            Ok(())
+        }
+        fn recv(&mut self) -> Result<Vec<u8>, WireError> {
+            self.incoming.pop_front().ok_or(WireError::ConnectionClosed)
+        }
+        fn split(self: Box<Self>) -> SplitTransport {
+            SplitTransport::Whole(self)
+        }
+    }
+
+    let catalog = |party: u8| {
+        encode_message_v(
+            &WireMessage::Catalog(Catalog {
+                protocol_version: PROTOCOL_V2,
+                party,
+                tables: vec![CatalogEntry {
+                    name: "t".into(),
+                    schema: TableSchema::new(ENTRIES, ENTRY_BYTES),
+                    prf_kind: PrfKind::SipHash,
+                }],
+            }),
+            PROTOCOL_V2,
+        )
+    };
+    let response = |query_id: u64, party: u8| {
+        encode_message_v(
+            &WireMessage::Response(ResponseMsg {
+                response: PirResponse {
+                    query_id,
+                    party,
+                    share: vec![0; ENTRY_BYTES],
+                },
+                table_version: 1,
+            }),
+            PROTOCOL_V2,
+        )
+    };
+    // The session assigns wire ids 1, 2, ... — script party 0 to answer
+    // query 1 twice while party 1 (which answers only query 2) still owes
+    // query 1's sibling share, so query 1 is in flight when the duplicate
+    // lands. The owed-count pump order makes the interleaving
+    // deterministic: party 0, party 1, party 0 (the duplicate).
+    let server0 = Box::new(Scripted {
+        incoming: [catalog(0), response(1, 0), response(1, 0)].into(),
+    });
+    let server1 = Box::new(Scripted {
+        incoming: [catalog(1), response(2, 1)].into(),
+    });
+
+    let mut session = PirSession::connect_with_window(server0, server1, "t", 2).expect("connect");
+    let mut rng = StdRng::seed_from_u64(11);
+    session.submit("t", 0, &mut rng).expect("submit 1");
+    session.submit("t", 1, &mut rng).expect("submit 2");
+    match session.poll() {
+        Err(WireError::InvalidRequest(message)) => {
+            assert!(message.contains("twice"), "got: {message}");
+        }
+        other => panic!("expected InvalidRequest for the duplicate, got {other:?}"),
+    }
+}
