@@ -1,0 +1,61 @@
+//! `pir-cluster` — multi-node sharded PIR serving.
+//!
+//! One GPU server per party stops scaling when the table outgrows a box.
+//! This crate adds the cluster tier: each party's rows are partitioned
+//! across *shard-owner* processes (each running the unmodified serving
+//! runtime and wire frontend), and a per-party [`ClusterRouter`] owns the
+//! client-facing endpoint, fanning every query out over the v2 wire
+//! protocol as back-haul and summing the returned share vectors so the
+//! cluster answers as one giant server.
+//!
+//! # Why summing works
+//!
+//! The answer share is a linear reduction — `Σ_r dpf(r) · t(r)` over
+//! wrapping `u32` lanes — so zeroed rows contribute nothing. Each shard is
+//! provisioned with the **full-shape** table with every non-owned row
+//! zeroed ([`ShardMap::mask_table`]); its ordinary answer to the client's
+//! ordinary key projection is therefore an additive partial share, and the
+//! lane-wise wrapping sum over shards is bit-identical to the unsharded
+//! answer. No shard-aware client, key-splitting, or runtime change exists
+//! anywhere: a single-process deployment is just the 1-shard instance.
+//!
+//! The partition reuses the multi-GPU split rule
+//! ([`shard_split_bits`](pir_protocol::shard_split_bits)): contiguous DPF
+//! subtrees striped over shards, clamped to the real table
+//! ([`shard_owned_ranges`](pir_protocol::shard_owned_ranges)).
+//!
+//! # What the tier guarantees
+//!
+//! * **Privacy unchanged** — one router per party sees only that party's
+//!   key projection; nothing in this crate can represent a key pair.
+//! * **Health-checked failover** — each shard has a replica list; a dead
+//!   replica is redialed around mid-call (each replica at most once per
+//!   call), a background prober keeps connections warm, and only a shard
+//!   with *no* live replica degrades to the typed
+//!   [`ClusterError::ShardUnavailable`], surfaced to clients as a
+//!   shed-flagged (retry-later) error.
+//! * **Reload fence** — `update_entry` is two-phase (stage on every
+//!   replica of the owning shard, then flip the per-table fence); a shard
+//!   whose v2 response stamp lags the fence is re-asked exactly once, and
+//!   every aggregate is stamped with a position-dependent digest of the
+//!   per-shard version vector, so the client's existing cross-party stamp
+//!   comparison detects — and transparently retries — any reconstruction
+//!   that would mix table versions (see [`ClusterRouter`]).
+//! * **Telemetry** — [`ClusterRouter::stats`] snapshots per-shard
+//!   in-flight/latency/failover counters and per-table fence state.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod backhaul;
+pub mod config;
+pub mod error;
+pub mod map;
+pub mod router;
+pub mod stats;
+
+pub use config::{ClusterConfig, ClusterMembership, ShardEndpoints};
+pub use error::ClusterError;
+pub use map::ShardMap;
+pub use router::ClusterRouter;
+pub use stats::{RouterStatsSnapshot, ShardStatsSnapshot, TableFenceSnapshot};

@@ -1,0 +1,193 @@
+//! The shard map: which shard-owner serves which index-bit ranges, and the
+//! masked table views the owners are provisioned with.
+
+use std::ops::Range;
+
+use pir_protocol::{shard_owned_ranges, shard_split_bits, PirTable};
+
+use crate::error::ClusterError;
+
+/// The static decomposition of one table across shard-owners.
+///
+/// Derived from `shard_split_bits`, the same rule the in-process multi-GPU
+/// engine uses for devices: the padded power-of-two DPF domain is cut into
+/// `1 << split_bits` contiguous subtrees and subtree `t` belongs to shard
+/// `t % shards`. Because the reduction is linear, a shard-owner hosting the
+/// full-shape table with every non-owned row zeroed computes an *additive
+/// partial share*; the router sums the shards' answers lane-wise (wrapping)
+/// and the total equals the unsharded answer bit-exactly.
+#[derive(Clone, Debug)]
+pub struct ShardMap {
+    entries: u64,
+    shards: usize,
+    split_bits: u32,
+    domain_bits: u32,
+    ranges: Vec<Vec<Range<u64>>>,
+}
+
+impl ShardMap {
+    /// Build the map for a table of `entries` rows over `shards` owners.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClusterError::Config`] when the split rule rejects the
+    /// pair (zero shards, or a domain too shallow for that many subtrees).
+    pub fn new(entries: u64, shards: usize) -> Result<Self, ClusterError> {
+        let split_bits = shard_split_bits(entries, shards)
+            .map_err(|err| ClusterError::Config(err.to_string()))?;
+        let ranges = shard_owned_ranges(entries, shards)
+            .map_err(|err| ClusterError::Config(err.to_string()))?;
+        let domain_bits = if entries <= 1 {
+            0
+        } else {
+            64 - (entries - 1).leading_zeros()
+        };
+        Ok(Self {
+            entries,
+            shards,
+            split_bits,
+            domain_bits,
+            ranges,
+        })
+    }
+
+    /// Number of rows in the (unpadded) table.
+    #[must_use]
+    pub fn entries(&self) -> u64 {
+        self.entries
+    }
+
+    /// Number of shard-owners.
+    #[must_use]
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// Prefix bits the DPF domain is split on.
+    #[must_use]
+    pub fn split_bits(&self) -> u32 {
+        self.split_bits
+    }
+
+    /// The row ranges `shard` owns (clamped to the real table).
+    #[must_use]
+    pub fn owned_ranges(&self, shard: usize) -> &[Range<u64>] {
+        &self.ranges[shard]
+    }
+
+    /// The shard that owns row `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is outside the table (callers validate against the
+    /// schema first).
+    #[must_use]
+    pub fn owner_of(&self, index: u64) -> usize {
+        assert!(index < self.entries, "row {index} outside the table");
+        if self.split_bits == 0 {
+            return 0;
+        }
+        let subtree = index >> (self.domain_bits - self.split_bits);
+        subtree as usize % self.shards
+    }
+
+    /// Whether `shard` owns row `index`.
+    #[must_use]
+    pub fn owns(&self, shard: usize, index: u64) -> bool {
+        self.ranges[shard]
+            .iter()
+            .any(|range| range.contains(&index))
+    }
+
+    /// The view `shard` is provisioned with: the full-shape table with
+    /// every row outside the shard's owned ranges zeroed. Serving it
+    /// through an *unmodified* runtime yields the shard's additive partial
+    /// share for any full-domain query key.
+    #[must_use]
+    pub fn mask_table(&self, table: &PirTable, shard: usize) -> PirTable {
+        assert_eq!(
+            table.entries(),
+            self.entries,
+            "table shape disagrees with the shard map"
+        );
+        let owned = &self.ranges[shard];
+        let mut cached_row = u64::MAX;
+        let mut cache: Vec<u8> = Vec::new();
+        PirTable::generate(table.entries(), table.entry_bytes(), |row, offset| {
+            if !owned.iter().any(|range| range.contains(&row)) {
+                return 0;
+            }
+            if row != cached_row {
+                cache = table.entry(row);
+                cached_row = row;
+            }
+            cache[offset]
+        })
+    }
+
+    /// All shards' masked views, in shard order (the provisioning helper).
+    #[must_use]
+    pub fn provision(&self, table: &PirTable) -> Vec<PirTable> {
+        (0..self.shards)
+            .map(|shard| self.mask_table(table, shard))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fill(row: u64, offset: usize) -> u8 {
+        (row as u8).wrapping_mul(11).wrapping_add(offset as u8)
+    }
+
+    #[test]
+    fn owner_of_agrees_with_owned_ranges() {
+        for shards in [1usize, 2, 3, 5] {
+            let map = ShardMap::new(100, shards).unwrap();
+            for row in 0..100u64 {
+                let owner = map.owner_of(row);
+                assert!(map.owns(owner, row), "row {row} shards {shards}");
+                for other in (0..shards).filter(|&s| s != owner) {
+                    assert!(!map.owns(other, row));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn masked_views_cover_the_table_without_overlap() {
+        let table = PirTable::generate(37, 6, fill);
+        let map = ShardMap::new(37, 3).unwrap();
+        let views = map.provision(&table);
+        assert_eq!(views.len(), 3);
+        for row in 0..37u64 {
+            let mut holders = 0;
+            for (shard, view) in views.iter().enumerate() {
+                let value = view.entry(row);
+                if map.owns(shard, row) {
+                    assert_eq!(value, table.entry(row));
+                    holders += 1;
+                } else {
+                    assert!(value.iter().all(|&b| b == 0), "row {row} shard {shard}");
+                }
+            }
+            assert_eq!(holders, 1);
+        }
+    }
+
+    #[test]
+    fn singleton_shard_is_the_whole_table() {
+        let table = PirTable::generate(16, 4, fill);
+        let map = ShardMap::new(16, 1).unwrap();
+        assert_eq!(map.mask_table(&table, 0), table);
+        assert_eq!(map.owner_of(15), 0);
+    }
+
+    #[test]
+    fn invalid_splits_are_config_errors() {
+        assert!(matches!(ShardMap::new(4, 64), Err(ClusterError::Config(_))));
+        assert!(matches!(ShardMap::new(16, 0), Err(ClusterError::Config(_))));
+    }
+}

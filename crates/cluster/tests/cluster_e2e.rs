@@ -1,0 +1,428 @@
+//! End-to-end cluster tests: routers over real per-shard serving runtimes.
+//!
+//! Deployment shape under test = the real one: one runtime per
+//! (shard, party) — each party's shard-owners are separate processes with
+//! their own masked table copy — and one router per party fronting them.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use pir_cluster::{ClusterConfig, ClusterError, ClusterMembership, ClusterRouter, ShardEndpoints};
+use pir_prf::PrfKind;
+use pir_protocol::PirTable;
+use pir_serve::{PirServeRuntime, ServeConfig, TableConfig, WireFrontend};
+use pir_wire::{loopback_pair, Dialer, PirSession, PirTransport, WireError};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const ENTRIES: u64 = 100;
+const ENTRY_BYTES: usize = 8;
+
+fn fill(row: u64, offset: usize) -> u8 {
+    (row as u8).wrapping_mul(29).wrapping_add(offset as u8)
+}
+
+fn base_table() -> PirTable {
+    PirTable::generate(ENTRIES, ENTRY_BYTES, fill)
+}
+
+fn shard_runtime(view: PirTable, seed: u64) -> Arc<PirServeRuntime> {
+    let runtime = PirServeRuntime::new(ServeConfig::builder().seed(seed).build().unwrap());
+    let config = TableConfig::builder()
+        .prf_kind(PrfKind::SipHash)
+        .max_batch(8)
+        .max_wait(Duration::from_millis(1))
+        .build()
+        .unwrap();
+    runtime.register_table("emb", view, config).unwrap();
+    Arc::new(runtime)
+}
+
+/// A replica endpoint over loopback: every dial spawns a lockstep serve
+/// thread against the replica's runtime. `dead` simulates the process
+/// disappearing (dials refused); `serve_limit` simulates it dying mid-run
+/// (the connection drops when asked to serve one more frame).
+struct ReplicaDialer {
+    runtime: Arc<PirServeRuntime>,
+    party: u8,
+    dead: Arc<AtomicBool>,
+    serve_limit: Option<usize>,
+}
+
+impl ReplicaDialer {
+    fn live(runtime: &Arc<PirServeRuntime>, party: u8) -> Arc<dyn Dialer> {
+        Arc::new(Self {
+            runtime: Arc::clone(runtime),
+            party,
+            dead: Arc::new(AtomicBool::new(false)),
+            serve_limit: None,
+        })
+    }
+}
+
+impl Dialer for ReplicaDialer {
+    fn dial(&self) -> Result<Box<dyn PirTransport>, WireError> {
+        if self.dead.load(Ordering::SeqCst) {
+            return Err(WireError::Transport("replica is down".into()));
+        }
+        let (client, mut server) = loopback_pair();
+        let frontend = WireFrontend::new(self.runtime.handle(), self.party);
+        let limit = self.serve_limit;
+        std::thread::spawn(move || {
+            let mut served = 0usize;
+            while let Ok(frame) = server.recv() {
+                if limit.is_some_and(|n| served >= n) {
+                    return; // drops the connection mid-call
+                }
+                let reply = frontend.handle_frame(&frame);
+                if server.send(&reply).is_err() {
+                    return;
+                }
+                served += 1;
+            }
+        });
+        Ok(Box::new(client))
+    }
+
+    fn describe(&self) -> String {
+        format!("loopback-party{}", self.party)
+    }
+}
+
+/// Routers for both parties over single-replica shards, from one base
+/// table. Returns the per-(shard, party) runtimes alongside.
+fn two_party_cluster(
+    table: &PirTable,
+    shards: usize,
+) -> ([Arc<ClusterRouter>; 2], Vec<Arc<PirServeRuntime>>) {
+    let map = pir_cluster::ShardMap::new(table.entries(), shards).unwrap();
+    let views = map.provision(table);
+    let config = ClusterConfig {
+        probe_interval: None,
+    };
+    let mut runtimes = Vec::new();
+    let mut routers = Vec::new();
+    for party in 0..2u8 {
+        let mut endpoints = Vec::new();
+        for (shard, view) in views.iter().enumerate() {
+            let runtime = shard_runtime(view.clone(), 100 * u64::from(party) + shard as u64);
+            endpoints.push(ShardEndpoints::single(ReplicaDialer::live(&runtime, party)));
+            runtimes.push(runtime);
+        }
+        let membership = ClusterMembership::new(endpoints);
+        routers.push(Arc::new(
+            ClusterRouter::connect(&membership, &config, party).unwrap(),
+        ));
+    }
+    let router1 = routers.pop().unwrap();
+    let router0 = routers.pop().unwrap();
+    ([router0, router1], runtimes)
+}
+
+/// Connect a client session to the two routers over loopback.
+fn connect_session(routers: &[Arc<ClusterRouter>; 2], tenant: &str) -> PirSession {
+    let mut ends: Vec<Box<dyn PirTransport>> = Vec::new();
+    for router in routers {
+        let (client, server) = loopback_pair();
+        let router = Arc::clone(router);
+        std::thread::spawn(move || {
+            router.serve(Box::new(server)).expect("router serve");
+        });
+        ends.push(Box::new(client));
+    }
+    let t1 = ends.pop().unwrap();
+    let t0 = ends.pop().unwrap();
+    PirSession::connect(t0, t1, tenant).expect("session connect")
+}
+
+#[test]
+fn sharded_cluster_answers_are_bit_identical_to_the_table() {
+    let table = base_table();
+    let (routers, _runtimes) = two_party_cluster(&table, 3);
+    let mut session = connect_session(&routers, "t");
+    let mut rng = StdRng::seed_from_u64(7);
+    // Subtree boundaries for 100 rows over 3 shards (span 32), plus strays.
+    let mut indices = vec![0, 31, 32, 63, 64, 95, 96, 99];
+    indices.extend((0..8).map(|_| rng.gen_range(0..ENTRIES)));
+    for index in indices {
+        let row = session.query("emb", index, &mut rng).expect("answered");
+        assert_eq!(row, table.entry(index), "row {index}");
+    }
+    for router in &routers {
+        let stats = router.stats();
+        assert_eq!(stats.fence_lagged, 0);
+        assert_eq!(stats.fences.len(), 1);
+        assert_eq!(stats.fences[0].cluster_version, 1);
+        // The first answers pinned every shard's fence slot.
+        assert_eq!(stats.fences[0].shard_versions, vec![Some(1); 3]);
+        assert!(stats.shards.iter().all(|s| s.in_flight == 0));
+    }
+}
+
+#[test]
+fn updates_route_to_the_owning_shard_and_flip_the_fence() {
+    let table = base_table();
+    let (routers, _runtimes) = two_party_cluster(&table, 3);
+    let map = routers[0].shard_map("emb").unwrap().clone();
+    let mut session = connect_session(&routers, "t");
+    let mut rng = StdRng::seed_from_u64(8);
+    // One update per shard, then read the rows back through the cluster.
+    let targets: Vec<u64> = vec![5, 40, 70];
+    for (round, &index) in targets.iter().enumerate() {
+        let value = vec![0xE0 + round as u8; ENTRY_BYTES];
+        session.update_entry("emb", index, &value).expect("update");
+        let row = session.query("emb", index, &mut rng).expect("answered");
+        assert_eq!(row, value, "row {index} after reload");
+    }
+    // Untouched rows still read exactly.
+    let row = session.query("emb", 99, &mut rng).expect("answered");
+    assert_eq!(row, table.entry(99));
+    for router in &routers {
+        let stats = router.stats();
+        assert_eq!(stats.updates_staged, 3);
+        assert_eq!(stats.updates_flipped, 3, "every staged update flipped");
+        assert_eq!(stats.fence_lagged, 0);
+        let fence = &stats.fences[0];
+        assert_eq!(fence.cluster_version, 1 + 3);
+        for shard in 0..3 {
+            let owned_updates = targets
+                .iter()
+                .filter(|&&index| map.owner_of(index) == shard)
+                .count() as u64;
+            assert_eq!(
+                fence.shard_versions[shard],
+                Some(1 + owned_updates),
+                "shard {shard} fence tracks its own reload count"
+            );
+        }
+    }
+}
+
+#[test]
+fn reload_churn_never_reconstructs_mixed_version_rows() {
+    let table = base_table();
+    let (routers, _runtimes) = two_party_cluster(&table, 2);
+    // Rows on both shards (2 shards over 100 rows: split at subtree 64).
+    const CHURNED: [u64; 2] = [3, 80];
+    const FILLS: [u8; 3] = [0xA1, 0xB2, 0xC3];
+    let stop = Arc::new(AtomicBool::new(false));
+    let churn = {
+        let mut admin = connect_session(&routers, "admin");
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            let mut round = 0usize;
+            let mut updates = 0u64;
+            while !stop.load(Ordering::Acquire) {
+                let row = CHURNED[round % CHURNED.len()];
+                let fill = FILLS[round % FILLS.len()];
+                admin
+                    .update_entry("emb", row, &[fill; ENTRY_BYTES])
+                    .expect("reload");
+                updates += 1;
+                round += 1;
+                std::thread::sleep(Duration::from_micros(200));
+            }
+            updates
+        })
+    };
+    let mut session = connect_session(&routers, "t");
+    let mut rng = StdRng::seed_from_u64(9);
+    for round in 0..60u64 {
+        let index = if round % 3 == 0 {
+            CHURNED[(round as usize / 3) % CHURNED.len()]
+        } else {
+            rng.gen_range(0..ENTRIES)
+        };
+        // A query may legitimately fail typed under brutal churn (cross-
+        // party skew after the one transparent retry, or a fence
+        // rejection): re-issue it. What must never happen is a garbage row.
+        let mut attempts = 0;
+        let row = loop {
+            match session.query("emb", index, &mut rng) {
+                Ok(row) => break row,
+                Err(WireError::VersionSkew { .. }) | Err(WireError::Remote { shed: true, .. }) => {
+                    attempts += 1;
+                    assert!(attempts < 50, "typed retries runaway on row {index}");
+                }
+                Err(err) => panic!("query for row {index} failed hard: {err}"),
+            }
+        };
+        let pristine: Vec<u8> = (0..ENTRY_BYTES).map(|o| fill(index, o)).collect();
+        let ok = row == pristine
+            || (CHURNED.contains(&index) && FILLS.iter().any(|&f| row.iter().all(|&b| b == f)));
+        assert!(
+            ok,
+            "row {index} reconstructed to garbage under churn: {row:02x?}"
+        );
+    }
+    stop.store(true, Ordering::Release);
+    let updates = churn.join().expect("churn thread");
+    assert!(updates > 0, "churn must have run");
+    for router in &routers {
+        let stats = router.stats();
+        assert_eq!(
+            stats.updates_staged, stats.updates_flipped,
+            "no update left half-applied (staged without flipping)"
+        );
+        assert_eq!(stats.updates_flipped, updates);
+        assert_eq!(stats.fences[0].cluster_version, 1 + updates);
+    }
+}
+
+#[test]
+fn dying_replica_fails_over_without_losing_queries() {
+    let table = base_table();
+    let map = pir_cluster::ShardMap::new(ENTRIES, 2).unwrap();
+    let views = map.provision(&table);
+    let config = ClusterConfig {
+        probe_interval: None,
+    };
+    let mut routers = Vec::new();
+    let mut keep = Vec::new();
+    for party in 0..2u8 {
+        // Shard 0: first replica serves the handshake plus one call, then
+        // drops every connection; second replica is healthy. Shard 1:
+        // healthy single replica. Both replicas of shard 0 host the same
+        // masked copy, as a real deployment would.
+        let dying_runtime = shard_runtime(views[0].clone(), 40 + u64::from(party));
+        let dying: Arc<dyn Dialer> = Arc::new(ReplicaDialer {
+            runtime: Arc::clone(&dying_runtime),
+            party,
+            dead: Arc::new(AtomicBool::new(false)),
+            serve_limit: Some(2),
+        });
+        let healthy_runtime = shard_runtime(views[0].clone(), 50 + u64::from(party));
+        let shard1_runtime = shard_runtime(views[1].clone(), 60 + u64::from(party));
+        let membership = ClusterMembership::new(vec![
+            ShardEndpoints::new(vec![dying, ReplicaDialer::live(&healthy_runtime, party)]),
+            ShardEndpoints::single(ReplicaDialer::live(&shard1_runtime, party)),
+        ]);
+        routers.push(Arc::new(
+            ClusterRouter::connect(&membership, &config, party).unwrap(),
+        ));
+        keep.push((dying_runtime, healthy_runtime, shard1_runtime));
+    }
+    let router1 = routers.pop().unwrap();
+    let router0 = routers.pop().unwrap();
+    let routers = [router0, router1];
+    let mut session = connect_session(&routers, "t");
+    let mut rng = StdRng::seed_from_u64(11);
+    // Query 1 consumes the dying replica's last serve; query 2 hits the
+    // dropped connection mid-call and must fail over, not fail.
+    for index in [10u64, 20, 30, 70, 15] {
+        let row = session.query("emb", index, &mut rng).expect("answered");
+        assert_eq!(row, table.entry(index), "row {index}");
+    }
+    for router in &routers {
+        let stats = router.stats();
+        assert!(
+            stats.shards[0].failovers >= 1,
+            "shard 0 must have failed over: {stats:?}"
+        );
+        assert_eq!(stats.shards[1].failovers, 0);
+        assert_eq!(stats.fence_lagged, 0);
+    }
+}
+
+#[test]
+fn losing_every_replica_degrades_to_a_typed_shed_error() {
+    let table = base_table();
+    let views = pir_cluster::ShardMap::new(ENTRIES, 1)
+        .unwrap()
+        .provision(&table);
+    let config = ClusterConfig {
+        probe_interval: None,
+    };
+    let mut routers = Vec::new();
+    let mut switches = Vec::new();
+    let mut keep = Vec::new();
+    for party in 0..2u8 {
+        let runtime = shard_runtime(views[0].clone(), 70 + u64::from(party));
+        let dead = Arc::new(AtomicBool::new(false));
+        let replica: Arc<dyn Dialer> = Arc::new(ReplicaDialer {
+            runtime: Arc::clone(&runtime),
+            party,
+            dead: Arc::clone(&dead),
+            // Serves only the connect handshake; afterwards the live
+            // connection is gone and redials are refused once `dead` flips.
+            serve_limit: Some(1),
+        });
+        let membership = ClusterMembership::new(vec![ShardEndpoints::single(replica)]);
+        routers.push(Arc::new(
+            ClusterRouter::connect(&membership, &config, party).unwrap(),
+        ));
+        switches.push(dead);
+        keep.push(runtime);
+    }
+    let router1 = routers.pop().unwrap();
+    let router0 = routers.pop().unwrap();
+    let routers = [router0, router1];
+    let mut session = connect_session(&routers, "t");
+    for dead in &switches {
+        dead.store(true, Ordering::SeqCst);
+    }
+    let mut rng = StdRng::seed_from_u64(12);
+    match session.query("emb", 5, &mut rng) {
+        Err(WireError::Remote { shed, message, .. }) => {
+            assert!(
+                shed,
+                "ShardUnavailable must surface as a shed (retry-later) error"
+            );
+            assert!(message.contains("no live replica"), "{message}");
+        }
+        other => panic!("expected a shed error, got {other:?}"),
+    }
+}
+
+#[test]
+fn misprovisioned_clusters_are_rejected_at_connect() {
+    let table = base_table();
+    let config = ClusterConfig {
+        probe_interval: None,
+    };
+    // Catalog disagreement: shard 1 hosts a differently-shaped table.
+    let runtime0 = shard_runtime(table.clone(), 1);
+    let runtime1 = shard_runtime(PirTable::generate(64, 8, fill), 2);
+    let membership = ClusterMembership::new(vec![
+        ShardEndpoints::single(ReplicaDialer::live(&runtime0, 0)),
+        ShardEndpoints::single(ReplicaDialer::live(&runtime1, 0)),
+    ]);
+    match ClusterRouter::connect(&membership, &config, 0) {
+        Err(ClusterError::CatalogMismatch { shard: 1, .. }) => {}
+        other => panic!("expected catalog mismatch, got {other:?}"),
+    }
+    // Party disagreement: shards answer for party 1, router fronts party 0.
+    let membership = ClusterMembership::new(vec![ShardEndpoints::single(ReplicaDialer::live(
+        &runtime0, 1,
+    ))]);
+    match ClusterRouter::connect(&membership, &config, 0) {
+        Err(ClusterError::Config(detail)) => assert!(detail.contains("party"), "{detail}"),
+        other => panic!("expected config error, got {other:?}"),
+    }
+}
+
+#[test]
+fn probing_keeps_connections_warm() {
+    let table = base_table();
+    let views = pir_cluster::ShardMap::new(ENTRIES, 1)
+        .unwrap()
+        .provision(&table);
+    let runtime = shard_runtime(views[0].clone(), 90);
+    let membership = ClusterMembership::new(vec![ShardEndpoints::single(ReplicaDialer::live(
+        &runtime, 0,
+    ))]);
+    let config = ClusterConfig {
+        probe_interval: Some(Duration::from_millis(5)),
+    };
+    let router = ClusterRouter::connect(&membership, &config, 0).unwrap();
+    std::thread::sleep(Duration::from_millis(40));
+    let stats = router.stats();
+    assert_eq!(stats.shards[0].probe_failures, 0);
+    assert!(
+        stats.shards[0].calls >= 2,
+        "prober must have pinged the shard: {stats:?}"
+    );
+    assert_eq!(stats.shards[0].connected_replica, Some(0));
+    router.shutdown();
+}

@@ -46,6 +46,47 @@ pub fn shard_split_bits(entries: u64, devices: usize) -> Result<u32, PirError> {
     Ok(split_bits)
 }
 
+/// The row ranges each of `shards` shard-owners serves, derived from the
+/// same split rule as [`shard_split_bits`].
+///
+/// The padded power-of-two DPF domain is cut into `1 << split_bits`
+/// contiguous subtrees; subtree `t` is owned by shard `t % shards` (the
+/// same striping the multi-GPU engine uses for devices, so non-power-of-two
+/// shard counts give the low-index shards one extra subtree each). Ranges
+/// are clamped to the real table, padded-only subtrees are dropped, and
+/// every row lands in exactly one shard's range.
+///
+/// This is the shard *plan* a scale-out router needs: a shard-owner hosts
+/// the full-shape table with every row outside its ranges zeroed, so —
+/// the reduction being linear — per-shard answer shares sum (lane-wise,
+/// wrapping) to exactly the unsharded answer share.
+///
+/// # Errors
+///
+/// Returns [`PirError::InvalidSharding`] under the same conditions as
+/// [`shard_split_bits`].
+pub fn shard_owned_ranges(
+    entries: u64,
+    shards: usize,
+) -> Result<Vec<Vec<std::ops::Range<u64>>>, PirError> {
+    let split_bits = shard_split_bits(entries, shards)?;
+    let domain_bits = if entries <= 1 {
+        0
+    } else {
+        64 - (entries - 1).leading_zeros()
+    };
+    let subtree_span = 1u64 << (domain_bits - split_bits);
+    let mut ranges = vec![Vec::new(); shards];
+    for subtree in 0..(1u64 << split_bits) {
+        let start = subtree * subtree_span;
+        let end = ((subtree + 1) * subtree_span).min(entries);
+        if start < end {
+            ranges[subtree as usize % shards].push(start..end);
+        }
+    }
+    Ok(ranges)
+}
+
 /// Build one interchangeable GPU server replica for `table`: a single-device
 /// [`GpuPirServer`] when `shards == 1`, a [`ShardedGpuServer`] over `shards`
 /// V100s otherwise.
@@ -272,6 +313,47 @@ mod tests {
         assert!(shard_split_bits(1, 1).is_ok());
         assert!(shard_split_bits(1, 2).is_err());
         assert!(shard_split_bits(16, 0).is_err());
+    }
+
+    #[test]
+    fn shard_owned_ranges_partition_every_row_exactly_once() {
+        for (entries, shards) in [
+            (1u64, 1usize),
+            (5, 3),
+            (1 << 10, 1),
+            (1 << 10, 3),
+            (100, 7),
+            (257, 4),
+        ] {
+            let ranges = shard_owned_ranges(entries, shards).unwrap();
+            assert_eq!(ranges.len(), shards);
+            let mut owners = vec![0usize; entries as usize];
+            for owned in &ranges {
+                for range in owned {
+                    for row in range.clone() {
+                        owners[row as usize] += 1;
+                    }
+                }
+            }
+            assert!(
+                owners.iter().all(|&n| n == 1),
+                "{entries} rows x {shards} shards must partition: {owners:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn shard_owned_ranges_follow_subtree_striping() {
+        // 5 entries, 3 shards -> 2 split bits -> 4 subtrees of span 2 over
+        // the padded 8-row domain. Shard 0 also owns subtree 3, which clamps
+        // to nothing (rows 6..8 are padding).
+        let ranges = shard_owned_ranges(5, 3).unwrap();
+        assert_eq!(ranges[0], vec![0..2]);
+        assert_eq!(ranges[1], vec![2..4]);
+        assert_eq!(ranges[2], vec![4..5]);
+        // Same validation surface as shard_split_bits.
+        assert!(shard_owned_ranges(4, 64).is_err());
+        assert!(shard_owned_ranges(16, 0).is_err());
     }
 
     #[test]

@@ -1,0 +1,119 @@
+//! The algebraic fact a scale-out router tier relies on: the reduction is
+//! linear, so per-shard answers computed against zero-masked copies of the
+//! table sum — lane-wise, wrapping — to exactly the unsharded answer share.
+//!
+//! `shard_owned_ranges` is the plan under test: for every shard count the
+//! split rule admits (non-powers of two and singleton shards included), a
+//! shard-owner hosting the full-shape table with every row outside its
+//! ranges zeroed contributes an additive partial share, and summing the
+//! shards reproduces the single-server share bit-exactly.
+
+use std::ops::Range;
+
+use pir_prf::PrfKind;
+use pir_protocol::{shard_owned_ranges, CpuPirServer, PirClient, PirResponse, PirServer, PirTable};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn fill(row: u64, offset: usize) -> u8 {
+    (row as u8)
+        .wrapping_mul(37)
+        .wrapping_add(offset as u8)
+        .wrapping_add(5)
+}
+
+/// The shard-owner's view: the full-shape table with every row outside the
+/// owned ranges zeroed.
+fn masked(table: &PirTable, ranges: &[Range<u64>]) -> PirTable {
+    let mut cached_row = u64::MAX;
+    let mut cache: Vec<u8> = Vec::new();
+    PirTable::generate(table.entries(), table.entry_bytes(), |row, offset| {
+        if !ranges.iter().any(|r| r.contains(&row)) {
+            return 0;
+        }
+        if row != cached_row {
+            cache = table.entry(row);
+            cached_row = row;
+        }
+        cache[offset]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn per_shard_answers_sum_to_the_unsharded_answer(
+        entries in 2u64..200,
+        entry_bytes in 1usize..16,
+        shards in 1usize..6,
+        seed in any::<u64>(),
+    ) {
+        // Skip pairs the split rule rejects (domain too shallow for that
+        // many subtrees) — the plan and the validation share one rule.
+        if shard_owned_ranges(entries, shards).is_err() {
+            return Ok(());
+        }
+        let table = PirTable::generate(entries, entry_bytes, fill);
+        let ranges = shard_owned_ranges(entries, shards).unwrap();
+
+        let whole_server = CpuPirServer::new(table.clone(), PrfKind::SipHash, 1);
+        let shard_servers: Vec<CpuPirServer> = ranges
+            .iter()
+            .map(|owned| CpuPirServer::new(masked(&table, owned), PrfKind::SipHash, 1))
+            .collect();
+
+        let client = PirClient::new(table.schema(), PrfKind::SipHash);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let index = seed % entries;
+        let query = client.query(index, &mut rng);
+
+        let mut summed_responses = Vec::new();
+        for party in 0..2u8 {
+            let projection = query.to_server(party);
+            let whole = whole_server.answer(&projection).unwrap();
+            let mut summed = vec![0u32; whole.share.len()];
+            for server in &shard_servers {
+                let part = server.answer(&projection).unwrap();
+                prop_assert_eq!(part.share.len(), summed.len());
+                for (acc, lane) in summed.iter_mut().zip(part.share.iter()) {
+                    *acc = acc.wrapping_add(*lane);
+                }
+            }
+            // Bit-exact equality, not just "reconstructs": wrapping u32
+            // addition is associative and commutative, so the shard
+            // decomposition reorders the same sum.
+            prop_assert_eq!(&summed, &whole.share);
+            summed_responses.push(PirResponse {
+                query_id: query.query_id,
+                party,
+                share: summed,
+            });
+        }
+
+        // And the summed pair still reconstructs the true row.
+        let row = client
+            .reconstruct(&query, &summed_responses[0], &summed_responses[1])
+            .unwrap();
+        prop_assert_eq!(row, table.entry(index));
+    }
+}
+
+#[test]
+fn singleton_table_admits_exactly_one_trivial_shard() {
+    // A 1-entry table has a depth-0 tree: one shard, whose masked view is
+    // the table itself.
+    let table = PirTable::generate(1, 8, fill);
+    let ranges = shard_owned_ranges(1, 1).unwrap();
+    assert_eq!(ranges, vec![vec![0..1]]);
+    assert_eq!(masked(&table, &ranges[0]), table);
+    assert!(shard_owned_ranges(1, 2).is_err());
+}
+
+#[test]
+fn singleton_shard_masks_nothing() {
+    let table = PirTable::generate(77, 5, fill);
+    let ranges = shard_owned_ranges(77, 1).unwrap();
+    assert_eq!(masked(&table, &ranges[0]), table);
+}

@@ -249,6 +249,25 @@ impl ServeHandle {
         self.inner.registry.names()
     }
 
+    /// The per-party table-version stamps of a hosted table.
+    ///
+    /// Each party's counter starts at 1 and increments once per applied
+    /// update; every v2 wire response is stamped with the version its share
+    /// was computed against. A cluster tier staging an update across shard
+    /// owners reads this to verify the staged flip landed (the stamp is the
+    /// fence: a shard answering with an unexpected version is mid-reload).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::UnknownTable`] if no such table is registered.
+    pub fn table_versions(&self, table: &str) -> Result<[u64; 2], ServeError> {
+        let hosted = self.inner.registry.get(table)?;
+        Ok([
+            hosted.versions[0].load(Ordering::SeqCst),
+            hosted.versions[1].load(Ordering::SeqCst),
+        ])
+    }
+
     /// A point-in-time statistics snapshot across all tables.
     #[must_use]
     pub fn stats(&self) -> StatsSnapshot {

@@ -102,6 +102,12 @@ pub enum WireError {
     },
     /// The peer closed the connection.
     ConnectionClosed,
+    /// A transport deadline elapsed before the peer produced (or accepted)
+    /// a frame. Only transports with I/O timeouts configured (see
+    /// `TcpTransport::set_io_timeouts`) report this; the connection may be
+    /// mid-frame and MUST be discarded, not reused — the failover layer
+    /// redials instead.
+    TimedOut,
     /// An I/O failure below the framing layer.
     Transport(String),
     /// The peer replied with an on-wire error.
@@ -169,6 +175,7 @@ impl fmt::Display for WireError {
                 write!(f, "frame of {len} bytes exceeds the {limit}-byte limit")
             }
             Self::ConnectionClosed => write!(f, "connection closed by peer"),
+            Self::TimedOut => write!(f, "transport deadline elapsed waiting on the peer"),
             Self::Transport(message) => write!(f, "transport failure: {message}"),
             Self::Remote {
                 code,

@@ -51,5 +51,6 @@ pub use messages::{
 };
 pub use session::{CompletedQuery, ConnStats, PipelineStats, PirSession};
 pub use transport::{
-    loopback_pair, LoopbackTransport, PirTransport, SplitTransport, TcpTransport, MAX_FRAME_BYTES,
+    loopback_pair, Dialer, LoopbackTransport, PirTransport, SplitTransport, TcpDialer,
+    TcpTransport, MAX_FRAME_BYTES,
 };

@@ -11,8 +11,9 @@
 
 use std::collections::VecDeque;
 use std::io::{Read, Write};
-use std::net::{TcpStream, ToSocketAddrs};
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
 use std::sync::Arc;
+use std::time::Duration;
 
 use parking_lot::{Condvar, Mutex};
 
@@ -224,6 +225,51 @@ impl TcpTransport {
         Self::from_stream(stream)
     }
 
+    /// Connect to a listening server, giving up after `timeout`.
+    ///
+    /// `addr` may resolve to several endpoints; each is tried with the full
+    /// timeout until one connects.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireError::TimedOut`] if the deadline elapsed and
+    /// [`WireError::Transport`] for other connection failures.
+    pub fn connect_timeout(addr: impl ToSocketAddrs, timeout: Duration) -> Result<Self, WireError> {
+        let mut last_err = None;
+        for candidate in addr.to_socket_addrs().map_err(io_error)? {
+            match TcpStream::connect_timeout(&candidate, timeout) {
+                Ok(stream) => return Self::from_stream(stream),
+                Err(err) => last_err = Some(err),
+            }
+        }
+        Err(last_err.map_or(
+            WireError::Transport("address resolved to no endpoints".into()),
+            io_error,
+        ))
+    }
+
+    /// Bound every subsequent `recv` / `send` by the given deadlines
+    /// (`None` restores blocking forever). Without this, a dead-but-open
+    /// peer hangs a blocking `recv` indefinitely — which is what makes
+    /// router failover impossible to bound.
+    ///
+    /// A call that fails with [`WireError::TimedOut`] may have moved a
+    /// partial frame: the stream is desynchronized and the transport must
+    /// be discarded (redial), never reused.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireError::Transport`] if the socket options cannot be
+    /// set (e.g. a zero duration, which the OS rejects).
+    pub fn set_io_timeouts(
+        &self,
+        read: Option<Duration>,
+        write: Option<Duration>,
+    ) -> Result<(), WireError> {
+        self.stream.set_read_timeout(read).map_err(io_error)?;
+        self.stream.set_write_timeout(write).map_err(io_error)
+    }
+
     /// The peer's socket address, for diagnostics.
     ///
     /// # Errors
@@ -236,7 +282,12 @@ impl TcpTransport {
 }
 
 fn io_error(err: std::io::Error) -> WireError {
-    WireError::Transport(err.to_string())
+    // Unix reports an elapsed socket deadline as `WouldBlock`, Windows as
+    // `TimedOut`; both mean the same thing to callers.
+    match err.kind() {
+        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut => WireError::TimedOut,
+        _ => WireError::Transport(err.to_string()),
+    }
 }
 
 impl PirTransport for TcpTransport {
@@ -298,6 +349,98 @@ impl std::fmt::Debug for TcpTransport {
         f.debug_struct("TcpTransport")
             .field("peer", &self.stream.peer_addr().ok())
             .finish()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Redial
+// ---------------------------------------------------------------------------
+
+/// A factory for fresh connections to one endpoint.
+///
+/// Connections die (peer restarts, deadlines elapse, frames desynchronize);
+/// a transport that failed mid-frame can never be reused. `Dialer` is the
+/// redial seam: a failover layer holds a list of dialers per shard and asks
+/// the next one for a *new* transport instead of poking at a corpse.
+///
+/// Any `Fn() -> Result<Box<dyn PirTransport>, WireError>` closure is a
+/// dialer, so tests wire up in-process [`loopback_pair`] endpoints with the
+/// same machinery production uses for [`TcpDialer`].
+pub trait Dialer: Send + Sync {
+    /// Open a fresh connection to the endpoint.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying transport error when the endpoint cannot be
+    /// reached ([`WireError::TimedOut`] when a connect deadline elapsed).
+    fn dial(&self) -> Result<Box<dyn PirTransport>, WireError>;
+
+    /// Human-readable endpoint description for diagnostics.
+    fn describe(&self) -> String {
+        "endpoint".to_string()
+    }
+}
+
+impl<F> Dialer for F
+where
+    F: Fn() -> Result<Box<dyn PirTransport>, WireError> + Send + Sync,
+{
+    fn dial(&self) -> Result<Box<dyn PirTransport>, WireError> {
+        self()
+    }
+}
+
+/// Dials a TCP endpoint, applying connect and I/O deadlines to every
+/// connection it produces.
+#[derive(Clone, Debug)]
+pub struct TcpDialer {
+    addr: SocketAddr,
+    connect_timeout: Option<Duration>,
+    io_timeout: Option<Duration>,
+}
+
+impl TcpDialer {
+    /// A dialer with no deadlines (blocking connect, blocking I/O).
+    #[must_use]
+    pub fn new(addr: SocketAddr) -> Self {
+        Self {
+            addr,
+            connect_timeout: None,
+            io_timeout: None,
+        }
+    }
+
+    /// A dialer whose connections give up after `connect` when dialing and
+    /// after `io` on every subsequent frame — the shape a failover layer
+    /// needs so a dead peer costs a bounded delay, not a hang.
+    #[must_use]
+    pub fn with_timeouts(addr: SocketAddr, connect: Duration, io: Duration) -> Self {
+        Self {
+            addr,
+            connect_timeout: Some(connect),
+            io_timeout: Some(io),
+        }
+    }
+
+    /// The endpoint this dialer connects to.
+    #[must_use]
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+}
+
+impl Dialer for TcpDialer {
+    fn dial(&self) -> Result<Box<dyn PirTransport>, WireError> {
+        let transport = match self.connect_timeout {
+            Some(deadline) => TcpTransport::connect_timeout(self.addr, deadline)?,
+            None => TcpTransport::connect(self.addr)?,
+        };
+        transport.set_io_timeouts(self.io_timeout, self.io_timeout)?;
+        Ok(Box::new(transport))
+    }
+
+    fn describe(&self) -> String {
+        self.addr.to_string()
     }
 }
 
@@ -393,6 +536,62 @@ mod tests {
         client.send(&[9, 8, 7]).unwrap();
         assert_eq!(client.recv().unwrap(), vec![9, 8, 7]);
         server.join().unwrap();
+    }
+
+    #[test]
+    fn read_deadline_surfaces_as_timed_out() {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        // The server accepts but never sends: without a deadline the
+        // client's recv would hang forever.
+        let server = std::thread::spawn(move || {
+            let (stream, _) = listener.accept().unwrap();
+            // Hold the socket open until the client has timed out.
+            std::thread::sleep(Duration::from_millis(300));
+            drop(stream);
+        });
+        let client = TcpTransport::connect_timeout(addr, Duration::from_secs(5)).unwrap();
+        client
+            .set_io_timeouts(Some(Duration::from_millis(30)), None)
+            .unwrap();
+        let mut client = client;
+        assert_eq!(client.recv(), Err(WireError::TimedOut));
+        drop(client);
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn tcp_dialer_redials_fresh_connections() {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = std::thread::spawn(move || {
+            for _ in 0..2 {
+                let (stream, _) = listener.accept().unwrap();
+                let mut transport = TcpTransport::from_stream(stream).unwrap();
+                let frame = transport.recv().unwrap();
+                transport.send(&frame).unwrap();
+            }
+        });
+        let dialer = TcpDialer::with_timeouts(addr, Duration::from_secs(5), Duration::from_secs(5));
+        assert_eq!(dialer.describe(), addr.to_string());
+        for payload in [vec![1u8], vec![2, 3]] {
+            let mut conn = dialer.dial().unwrap();
+            conn.send(&payload).unwrap();
+            assert_eq!(conn.recv().unwrap(), payload);
+        }
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn closures_are_dialers() {
+        let dialer = || {
+            let (a, _b) = loopback_pair();
+            // Leak the peer end deliberately: the test only needs a dial.
+            std::mem::forget(_b);
+            Ok(Box::new(a) as Box<dyn PirTransport>)
+        };
+        let conn = Dialer::dial(&dialer);
+        assert!(conn.is_ok());
     }
 
     #[test]

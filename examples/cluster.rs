@@ -1,0 +1,415 @@
+//! Multi-node sharded serving, end to end over real sockets: per party, two
+//! shard-owner processes (threads here) × two replicas each behind TCP
+//! listeners, fronted by a [`ClusterRouter`] that owns the client-facing
+//! endpoint. The client is an ordinary [`PirSession`] — it cannot tell the
+//! cluster from one giant server.
+//!
+//! ```text
+//! cargo run --example cluster --release
+//! ```
+//!
+//! Three claims are demonstrated, in order:
+//!
+//! 1. **Bit-identical answers** — the sharded cluster's rows equal both the
+//!    reference table and a real single-process deployment, row for row.
+//! 2. **Failover without loss** — one replica of shard 1 is killed on both
+//!    parties mid-run (sockets reset, listener closed, runtime shut down);
+//!    the routers redial the surviving replica and every in-flight and
+//!    subsequent query still completes.
+//! 3. **Reload fence under churn** — a writer hot-reloads rows on both
+//!    shards throughout; every reconstructed row is either the old or the
+//!    new value, never a mix, and `staged == flipped` proves no update was
+//!    left half-applied.
+
+use std::collections::VecDeque;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use gpu_pir_repro::pir_cluster::{
+    ClusterConfig, ClusterMembership, ClusterRouter, ShardEndpoints, ShardMap,
+};
+use gpu_pir_repro::pir_prf::PrfKind;
+use gpu_pir_repro::pir_protocol::PirTable;
+use gpu_pir_repro::pir_serve::{PirServeRuntime, ServeConfig, TableConfig, WireFrontend};
+use gpu_pir_repro::pir_wire::{PirSession, PirTransport, TcpDialer, TcpTransport, WireError};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const ENTRIES: u64 = 1 << 12;
+const ENTRY_BYTES: usize = 32;
+const SHARDS: usize = 2;
+const QUERIES: usize = 240;
+const WINDOW: usize = 8;
+/// Rows the churn writer flips (one per shard for 2 shards over 4096 rows).
+const CHURNED: [u64; 2] = [100, 3000];
+const FILLS: [u8; 3] = [0xA1, 0xB2, 0xC3];
+
+fn reference_table() -> PirTable {
+    PirTable::generate(ENTRIES, ENTRY_BYTES, |row, offset| {
+        (row as u8).wrapping_mul(31).wrapping_add(offset as u8)
+    })
+}
+
+fn runtime_for(view: PirTable, seed: u64) -> Arc<PirServeRuntime> {
+    let runtime = PirServeRuntime::new(ServeConfig::builder().seed(seed).build().unwrap());
+    let config = TableConfig::builder()
+        .prf_kind(PrfKind::SipHash)
+        .max_batch(8)
+        .max_wait(Duration::from_micros(50))
+        .build()
+        .unwrap();
+    runtime.register_table("emb", view, config).unwrap();
+    Arc::new(runtime)
+}
+
+/// A TCP endpoint whose accept loop hands every connection to `serve`, and
+/// that can be killed abruptly: listener closed, every live socket reset.
+struct TcpEndpoint {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accepted: Arc<Mutex<Vec<TcpStream>>>,
+    workers: Arc<Mutex<Vec<JoinHandle<()>>>>,
+    accept: Option<JoinHandle<()>>,
+}
+
+impl TcpEndpoint {
+    fn spawn<F>(serve: F) -> Self
+    where
+        F: Fn(Box<dyn PirTransport>) + Send + Sync + 'static,
+    {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind listener");
+        let addr = listener.local_addr().expect("local addr");
+        let stop = Arc::new(AtomicBool::new(false));
+        let accepted: Arc<Mutex<Vec<TcpStream>>> = Arc::new(Mutex::new(Vec::new()));
+        let workers: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+        let serve = Arc::new(serve);
+        let accept = {
+            let (stop, accepted, workers) = (stop.clone(), accepted.clone(), workers.clone());
+            std::thread::spawn(move || {
+                while let Ok((stream, _)) = listener.accept() {
+                    if stop.load(Ordering::SeqCst) {
+                        return; // the unblocking dummy connection
+                    }
+                    accepted
+                        .lock()
+                        .unwrap()
+                        .push(stream.try_clone().expect("clone stream"));
+                    let serve = Arc::clone(&serve);
+                    workers.lock().unwrap().push(std::thread::spawn(move || {
+                        let transport = TcpTransport::from_stream(stream).expect("wrap stream");
+                        serve(Box::new(transport));
+                    }));
+                }
+            })
+        };
+        Self {
+            addr,
+            stop,
+            accepted,
+            workers,
+            accept: Some(accept),
+        }
+    }
+
+    /// Tear the endpoint down the unfriendly way a crashed process would:
+    /// reset every live connection and stop accepting new ones.
+    fn kill(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        for stream in self.accepted.lock().unwrap().drain(..) {
+            let _ = stream.shutdown(std::net::Shutdown::Both);
+        }
+        // Unblock the accept loop so it observes the stop flag and drops
+        // the listener (subsequent dials are then refused, not hung).
+        let _ = TcpStream::connect(self.addr);
+        if let Some(accept) = self.accept.take() {
+            accept.join().expect("accept loop exits");
+        }
+        for worker in self.workers.lock().unwrap().drain(..) {
+            worker.join().expect("serve thread exits");
+        }
+    }
+}
+
+/// One shard replica: its own runtime over its masked view, behind TCP.
+struct Replica {
+    endpoint: TcpEndpoint,
+    runtime: Arc<PirServeRuntime>,
+}
+
+impl Replica {
+    fn spawn(view: PirTable, party: u8, seed: u64) -> Self {
+        let runtime = runtime_for(view, seed);
+        let handle = runtime.handle();
+        let endpoint = TcpEndpoint::spawn(move |transport| {
+            // Per-frame errors end the connection; the replica lives on.
+            let _ = WireFrontend::new(handle.clone(), party).serve(transport);
+        });
+        Self { endpoint, runtime }
+    }
+
+    fn kill(&mut self) {
+        self.endpoint.kill();
+        self.runtime.shutdown();
+    }
+}
+
+fn check_row(index: u64, row: &[u8], reference: &PirTable) {
+    if CHURNED.contains(&index) {
+        let original = reference.entry(index);
+        let ok = row == original.as_slice()
+            || FILLS
+                .iter()
+                .any(|&fill| row.len() == ENTRY_BYTES && row.iter().all(|&byte| byte == fill));
+        assert!(
+            ok,
+            "row {index} reconstructed as a mixed-version value: {row:02x?}"
+        );
+    } else {
+        assert_eq!(row, reference.entry(index).as_slice(), "row {index}");
+    }
+}
+
+/// A real single-process deployment (full table per party over loopback),
+/// the baseline the cluster must be indistinguishable from.
+fn single_process_session(table: &PirTable) -> PirSession {
+    let mut ends: Vec<Box<dyn PirTransport>> = Vec::new();
+    for party in 0..2u8 {
+        let runtime = runtime_for(table.clone(), 0x51_000 + u64::from(party));
+        let handle = runtime.handle();
+        let (client, server) = gpu_pir_repro::pir_wire::loopback_pair();
+        std::thread::spawn(move || {
+            let _ = WireFrontend::new(handle, party).serve(Box::new(server));
+            runtime.shutdown();
+        });
+        ends.push(Box::new(client));
+    }
+    let t1 = ends.pop().unwrap();
+    let t0 = ends.pop().unwrap();
+    PirSession::connect(t0, t1, "baseline").expect("baseline session")
+}
+
+fn main() {
+    println!("pir-cluster: {SHARDS} shards x 2 replicas x 2 parties over TCP\n");
+    let table = reference_table();
+    let map = ShardMap::new(ENTRIES, SHARDS).expect("shard map");
+    let views = map.provision(&table);
+
+    // 8 replica processes: one runtime per (shard, party, replica). The
+    // replicas of a shard hold identical masked views but deliberately
+    // different seeds — answer shares are a deterministic linear reduction,
+    // so a failover mid-query cannot change the reconstructed row.
+    let mut replicas: Vec<Vec<Vec<Replica>>> = Vec::new(); // [party][shard][replica]
+    let mut routers: Vec<Arc<ClusterRouter>> = Vec::new();
+    for party in 0..2u8 {
+        let mut party_replicas = Vec::new();
+        let mut endpoints = Vec::new();
+        for (shard, view) in views.iter().enumerate() {
+            let pair: Vec<Replica> = (0..2)
+                .map(|replica| {
+                    let seed =
+                        0xEE_0000 + 0x100 * u64::from(party) + 0x10 * shard as u64 + replica as u64;
+                    Replica::spawn(view.clone(), party, seed)
+                })
+                .collect();
+            endpoints.push(ShardEndpoints::new(
+                pair.iter()
+                    .map(|replica| {
+                        Arc::new(TcpDialer::with_timeouts(
+                            replica.endpoint.addr,
+                            Duration::from_millis(200),
+                            Duration::from_secs(2),
+                        )) as Arc<dyn gpu_pir_repro::pir_wire::Dialer>
+                    })
+                    .collect(),
+            ));
+            party_replicas.push(pair);
+        }
+        replicas.push(party_replicas);
+        let config = ClusterConfig {
+            probe_interval: Some(Duration::from_millis(50)),
+        };
+        let membership = ClusterMembership::new(endpoints);
+        routers.push(Arc::new(
+            ClusterRouter::connect(&membership, &config, party).expect("router connect"),
+        ));
+        println!("router party {party}: connected to {SHARDS} shards, fence calibrated");
+    }
+
+    // Each router's client-facing endpoint is itself TCP.
+    let mut router_endpoints: Vec<TcpEndpoint> = routers
+        .iter()
+        .map(|router| {
+            let router = Arc::clone(router);
+            TcpEndpoint::spawn(move |transport| {
+                let _ = router.serve(transport);
+            })
+        })
+        .collect();
+    let connect_session = |tenant: &str, window: usize| -> PirSession {
+        let t0 = Box::new(TcpTransport::connect(router_endpoints[0].addr).expect("dial router 0"));
+        let t1 = Box::new(TcpTransport::connect(router_endpoints[1].addr).expect("dial router 1"));
+        PirSession::connect_with_window(t0, t1, tenant, window).expect("session connect")
+    };
+
+    // ---- Phase 1: bit-identical to the single-process deployment --------
+    let mut session = connect_session("cluster-demo", 1);
+    let mut baseline = single_process_session(&table);
+    let mut rng = StdRng::seed_from_u64(17);
+    let mut indices = vec![0, 2047, 2048, ENTRIES - 1]; // subtree boundary rows
+    indices.extend((0..8).map(|_| rng.gen_range(0..ENTRIES)));
+    let mut cluster_time = Duration::ZERO;
+    let mut baseline_time = Duration::ZERO;
+    for &index in &indices {
+        let started = std::time::Instant::now();
+        let clustered = session.query("emb", index, &mut rng).expect("cluster row");
+        cluster_time += started.elapsed();
+        let started = std::time::Instant::now();
+        let single = baseline
+            .query("emb", index, &mut rng)
+            .expect("baseline row");
+        baseline_time += started.elapsed();
+        assert_eq!(clustered, single, "row {index} differs from single-process");
+        assert_eq!(
+            clustered,
+            table.entry(index),
+            "row {index} differs from table"
+        );
+    }
+    drop(baseline);
+    println!(
+        "phase 1: {} rows bit-identical to the single-process server \
+         (cluster avg {:?}, single-process avg {:?})\n",
+        indices.len(),
+        cluster_time / indices.len() as u32,
+        baseline_time / indices.len() as u32
+    );
+
+    // ---- Phase 2: pipelined load + reload churn + a mid-run crash -------
+    let stop_churn = Arc::new(AtomicBool::new(false));
+    let churn = {
+        let stop = Arc::clone(&stop_churn);
+        let mut admin = connect_session("cluster-admin", 1);
+        std::thread::spawn(move || {
+            let mut updates = 0u64;
+            while !stop.load(Ordering::SeqCst) {
+                for &index in &CHURNED {
+                    let fill = FILLS[updates as usize % FILLS.len()];
+                    admin
+                        .update_entry("emb", index, &[fill; ENTRY_BYTES])
+                        .expect("hot reload");
+                    updates += 1;
+                }
+                std::thread::sleep(Duration::from_millis(10));
+            }
+            updates
+        })
+    };
+
+    let mut load = connect_session("cluster-load", WINDOW);
+    let mut remaining: VecDeque<u64> = (0..QUERIES)
+        .map(|i| match i % 4 {
+            0 => CHURNED[i % CHURNED.len()],
+            _ => rng.gen_range(0..ENTRIES),
+        })
+        .collect();
+    let (mut completed, mut in_flight, mut resubmits, mut killed) = (0usize, 0usize, 0usize, false);
+    while completed < QUERIES {
+        while in_flight < WINDOW {
+            let Some(index) = remaining.pop_front() else {
+                break;
+            };
+            load.submit("emb", index, &mut rng).expect("submit");
+            in_flight += 1;
+        }
+        let done = load.poll().expect("session healthy");
+        in_flight -= 1;
+        match done.outcome {
+            Ok(row) => {
+                check_row(done.index, &row, &table);
+                completed += 1;
+            }
+            // A double version straddle or a briefly replica-less shard:
+            // typed, retryable, and the row is *not* handed over garbled.
+            Err(err @ WireError::VersionSkew { .. })
+            | Err(err @ WireError::Remote { shed: true, .. }) => {
+                resubmits += 1;
+                assert!(resubmits < QUERIES * 20, "resubmit budget exhausted: {err}");
+                remaining.push_back(done.index);
+            }
+            Err(err) => panic!("query {} failed hard: {err}", done.index),
+        }
+        if !killed && completed >= QUERIES / 2 {
+            // Crash one replica of shard 1 on BOTH parties, mid-pipeline.
+            for party_replicas in &mut replicas {
+                party_replicas[1][0].kill();
+            }
+            killed = true;
+            println!("killed shard 1 replica 0 on both parties at {completed} completions");
+        }
+    }
+    stop_churn.store(true, Ordering::SeqCst);
+    let updates = churn.join().expect("churn writer exits");
+    assert!(killed, "the crash must happen mid-run");
+    println!(
+        "phase 2: {QUERIES} queries completed ({resubmits} typed resubmits), {updates} hot reloads"
+    );
+
+    // ---- The ledger: failover taken, no update left half-applied --------
+    for router in &routers {
+        let stats = router.stats();
+        assert!(
+            stats.shards[1].failovers >= 1,
+            "party {}: shard 1 must have failed over: {stats:?}",
+            stats.party
+        );
+        assert_eq!(
+            stats.updates_staged, updates,
+            "party {}: every reload staged",
+            stats.party
+        );
+        assert_eq!(
+            stats.updates_flipped, updates,
+            "party {}: every staged reload flipped",
+            stats.party
+        );
+        assert_eq!(stats.fences[0].cluster_version, 1 + updates);
+        assert_eq!(
+            stats.shards[1].stale_replicas, 1,
+            "party {}: the dead replica is excluded from failover",
+            stats.party
+        );
+        assert!(stats.shards.iter().all(|shard| shard.in_flight == 0));
+        println!(
+            "party {}: shard-1 failovers {}, fence retries {}, lagged {}, staged/flipped {}/{}",
+            stats.party,
+            stats.shards[1].failovers,
+            stats.fence_retries,
+            stats.fence_lagged,
+            stats.updates_staged,
+            stats.updates_flipped,
+        );
+    }
+
+    // Clean teardown: sessions first, then routers, then replicas.
+    drop(session);
+    drop(load);
+    for router in &routers {
+        router.shutdown();
+    }
+    for endpoint in &mut router_endpoints {
+        endpoint.kill();
+    }
+    for party_replicas in &mut replicas {
+        for (shard, shard_replicas) in party_replicas.iter_mut().enumerate() {
+            for (index, replica) in shard_replicas.iter_mut().enumerate() {
+                if !(shard == 1 && index == 0) {
+                    replica.kill(); // (1, 0) already died mid-run
+                }
+            }
+        }
+    }
+    println!("\ncluster example finished: bit-identical, crash-tolerant, reload-safe");
+}

@@ -6,6 +6,7 @@
 //! depend on the individual crates (`pir-core`, `pir-dpf`, ...) directly.
 
 pub use gpu_sim;
+pub use pir_cluster;
 pub use pir_core;
 pub use pir_dpf;
 pub use pir_field;
