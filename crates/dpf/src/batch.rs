@@ -1,6 +1,9 @@
 //! Batched DPF execution on the simulated GPU (§3.2.1, §3.2.5).
 
-use gpu_sim::{BlockContext, GpuExecutor, KernelReport, LaunchConfig};
+use gpu_sim::{
+    BlockContext, DeviceBackend, GpuExecutor, KernelReport, LaunchConfig, ResidentAllocation,
+    TransferSrc,
+};
 use pir_field::{AtomicLaneRows, LaneVector, ShareMatrix};
 use pir_prf::{GgmPrg, PrfKind};
 use serde::{Deserialize, Serialize};
@@ -144,33 +147,102 @@ impl<'a> BatchEvalJob<'a> {
 
     /// Run the batch on the simulated GPU.
     ///
+    /// Equivalent to [`BatchEvalJob::run_on`] with the executor's analytical
+    /// backend; kept for callers that hold a concrete [`GpuExecutor`].
+    ///
     /// # Panics
     ///
     /// Panics if the batch is empty or any key addresses a domain larger than
     /// the table.
     pub fn run(&self, executor: &GpuExecutor) -> BatchEvalOutput {
+        self.run_on(executor)
+    }
+
+    /// Run the batch through the full [`DeviceBackend`] lifecycle with the
+    /// table streamed for this batch: allocate and upload the table, run,
+    /// free it again.
+    ///
+    /// Servers whose memory plan keeps the table resident should hold the
+    /// table allocation themselves and call [`BatchEvalJob::run_resident`]
+    /// instead — this entry point re-pays the table upload every call.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the batch is empty or any key addresses a domain larger than
+    /// the table.
+    pub fn run_on(&self, backend: &dyn DeviceBackend) -> BatchEvalOutput {
+        let table_alloc = backend.alloc(self.table.size_bytes() as u64);
+        backend.upload_table(&table_alloc, table_payload(backend, self.table));
+        let output = self.run_resident(backend, &table_alloc);
+        backend.free(table_alloc);
+        output
+    }
+
+    /// Run the batch against a table that is *already resident* on the
+    /// backend (uploaded into `table_alloc` by the caller's memory plan).
+    /// Only the per-batch keys and outputs are allocated, transferred and
+    /// freed here.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the batch is empty, or `table_alloc` does not match the
+    /// job's table size (a stale residency — the caller's plan is out of
+    /// sync with the table).
+    pub fn run_resident(
+        &self,
+        backend: &dyn DeviceBackend,
+        table_alloc: &ResidentAllocation,
+    ) -> BatchEvalOutput {
         assert!(!self.keys.is_empty(), "batch must contain at least one key");
+        assert_eq!(
+            table_alloc.bytes(),
+            self.table.size_bytes() as u64,
+            "resident table allocation does not match the job's table"
+        );
         match self.mapping {
-            GridMapping::BlockPerQuery => self.run_block_per_query(executor),
-            GridMapping::Cooperative { split_bits } => self.run_cooperative(executor, split_bits),
+            GridMapping::BlockPerQuery => self.run_block_per_query(backend, table_alloc),
+            GridMapping::Cooperative { split_bits } => {
+                self.run_cooperative(backend, table_alloc, split_bits)
+            }
         }
     }
 
-    fn run_block_per_query(&self, executor: &GpuExecutor) -> BatchEvalOutput {
+    /// Allocate and upload this job's keys, returning the allocation.
+    fn upload_keys(&self, backend: &dyn DeviceBackend) -> ResidentAllocation {
+        let key_bytes: u64 = self.keys.iter().map(|k| k.size_bytes() as u64).sum();
+        let keys_alloc = backend.alloc(key_bytes);
+        if backend.stores_payloads() {
+            let staged: Vec<u8> = self.keys.iter().flat_map(DpfKey::to_bytes).collect();
+            backend.upload_keys(&keys_alloc, TransferSrc::Bytes(&staged));
+        } else {
+            backend.upload_keys(&keys_alloc, TransferSrc::Opaque(key_bytes));
+        }
+        keys_alloc
+    }
+
+    fn run_block_per_query(
+        &self,
+        backend: &dyn DeviceBackend,
+        table_alloc: &ResidentAllocation,
+    ) -> BatchEvalOutput {
         let batch = self.keys.len();
+        let lanes = self.table.lanes_per_row();
         let config = LaunchConfig::linear(batch as u32, self.threads_per_block);
         // Each block owns one preallocated output row; no result locking on
         // the dispatch path.
-        let rows = AtomicLaneRows::new(batch, self.table.lanes_per_row());
+        let rows = AtomicLaneRows::new(batch, lanes);
         let cycles = self.prf_kind.gpu_cycles_per_block();
         // The kernel name is composed once per job, not per launch.
         let kernel_name = format!("dpf_batch[{}]", self.strategy.label());
 
-        let report = executor.launch_with_resident_memory(
+        let keys_alloc = self.upload_keys(backend);
+        let out_alloc = backend.alloc(batch as u64 * lanes as u64 * 4);
+
+        let report = backend.launch(
             &kernel_name,
             config,
-            self.resident_bytes(),
-            |block: &BlockContext<'_>| {
+            &[table_alloc, &keys_alloc, &out_alloc],
+            &|block: &BlockContext<'_>| {
                 let index = block.block_index() as usize;
                 if index >= batch {
                     return;
@@ -201,19 +273,30 @@ impl<'a> BatchEvalJob<'a> {
             },
         );
 
-        BatchEvalOutput {
-            results: rows.into_lane_vectors(),
-            report,
-        }
+        let results = download_rows(backend, &out_alloc, rows.into_lane_vectors());
+        backend.free(out_alloc);
+        backend.free(keys_alloc);
+
+        BatchEvalOutput { results, report }
     }
 
-    fn run_cooperative(&self, executor: &GpuExecutor, split_bits: u32) -> BatchEvalOutput {
+    fn run_cooperative(
+        &self,
+        backend: &dyn DeviceBackend,
+        table_alloc: &ResidentAllocation,
+        split_bits: u32,
+    ) -> BatchEvalOutput {
         let cycles = self.prf_kind.gpu_cycles_per_block();
         let lanes = self.table.lanes_per_row();
         let mut results = Vec::with_capacity(self.keys.len());
         let mut merged: Option<KernelReport> = None;
         // One launch per key, all sharing one kernel name built up front.
         let kernel_name = format!("dpf_coop[{}]", self.strategy.label());
+
+        // Keys and outputs for the whole batch are allocated once; the
+        // per-key launches all run against the same three allocations.
+        let keys_alloc = self.upload_keys(backend);
+        let out_alloc = backend.alloc(self.keys.len() as u64 * lanes as u64 * 4);
 
         // Cooperative groups dedicate the whole device to one query at a time;
         // a batch is processed as a sequence of cooperative launches.
@@ -226,11 +309,11 @@ impl<'a> BatchEvalJob<'a> {
             // One disjoint partial row per cooperating block.
             let partials = AtomicLaneRows::new(subtrees.len(), lanes);
 
-            let report = executor.launch_with_resident_memory(
+            let report = backend.launch(
                 &kernel_name,
                 config,
-                self.resident_bytes(),
-                |block: &BlockContext<'_>| {
+                &[table_alloc, &keys_alloc, &out_alloc],
+                &|block: &BlockContext<'_>| {
                     let index = block.block_index() as usize;
                     if index >= subtrees.len() {
                         return;
@@ -254,9 +337,12 @@ impl<'a> BatchEvalJob<'a> {
                 },
             );
 
+            // The cross-block partial sum is the backend's reduction
+            // primitive, so both in-tree backends count (and perform) the
+            // same lane-wise wrapping adds.
             let mut answer = LaneVector::zeroed(lanes);
             for partial in partials.into_lane_vectors() {
-                answer.add_assign_wrapping(&partial);
+                backend.reduce(&mut answer.0, &partial.0);
             }
             results.push(answer);
             merged = Some(match merged {
@@ -265,9 +351,54 @@ impl<'a> BatchEvalJob<'a> {
             });
         }
 
+        let results = download_rows(backend, &out_alloc, results);
+        backend.free(out_alloc);
+        backend.free(keys_alloc);
+
         BatchEvalOutput {
             results,
             report: merged.expect("batch is non-empty"),
+        }
+    }
+}
+
+/// The upload payload for a table: the real lane buffer for backends that
+/// store payloads, an accounted byte count otherwise.
+pub(crate) fn table_payload<'a>(
+    backend: &dyn DeviceBackend,
+    table: &'a ShareMatrix,
+) -> TransferSrc<'a> {
+    if backend.stores_payloads() {
+        TransferSrc::Lanes(table.lanes())
+    } else {
+        TransferSrc::Opaque(table.size_bytes() as u64)
+    }
+}
+
+/// Download `rows` out of `alloc`. A payload-storing backend round-trips the
+/// lanes through its staging buffer and the *downloaded* bytes are decoded
+/// into the returned rows — proving the copies are honest end to end. An
+/// accounting-only backend records the transfer and returns `rows` as-is.
+pub(crate) fn download_rows(
+    backend: &dyn DeviceBackend,
+    alloc: &ResidentAllocation,
+    rows: Vec<LaneVector>,
+) -> Vec<LaneVector> {
+    let flattened: Vec<u32> = rows.iter().flat_map(|row| row.0.iter().copied()).collect();
+    match backend.download(alloc, TransferSrc::Lanes(&flattened)) {
+        None => rows,
+        Some(bytes) => {
+            let mut decoded = Vec::with_capacity(rows.len());
+            let mut chunks = bytes.chunks_exact(4);
+            for row in &rows {
+                let lanes: Vec<u32> = chunks
+                    .by_ref()
+                    .take(row.0.len())
+                    .map(|chunk| u32::from_le_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]))
+                    .collect();
+                decoded.push(LaneVector(lanes));
+            }
+            decoded
         }
     }
 }

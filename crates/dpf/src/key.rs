@@ -52,6 +52,14 @@ impl DpfParams {
     pub fn padded_size(&self) -> u64 {
         1u64 << self.domain_bits
     }
+
+    /// Serialized size of any key generated for these parameters, in bytes
+    /// (see [`DpfKey::size_bytes`]). Memory planning uses this to size key
+    /// uploads before any key of the batch exists.
+    #[must_use]
+    pub fn key_size_bytes(&self) -> u64 {
+        1 + 16 + u64::from(self.domain_bits) * 17 + 16
+    }
 }
 
 /// One party's DPF key.
@@ -97,6 +105,25 @@ impl DpfKey {
     pub fn depth(&self) -> u32 {
         self.params.domain_bits
     }
+
+    /// Serialize the key into the wire layout [`DpfKey::size_bytes`]
+    /// describes: party byte, 16-byte root seed, 17 bytes per level (seed
+    /// correction + control-bit byte), 16-byte final correction word.
+    ///
+    /// This is the payload a device backend physically copies when keys are
+    /// uploaded for a batch.
+    #[must_use]
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.size_bytes());
+        out.push(self.party);
+        out.extend_from_slice(&u128::from(self.root_seed).to_le_bytes());
+        for level in &self.levels {
+            out.extend_from_slice(&u128::from(level.seed).to_le_bytes());
+            out.push(u8::from(level.t_left) | (u8::from(level.t_right) << 1));
+        }
+        out.extend_from_slice(&u128::from(self.final_cw).to_le_bytes());
+        out
+    }
 }
 
 #[cfg(test)]
@@ -126,6 +153,31 @@ mod tests {
     #[should_panic(expected = "at least one entry")]
     fn zero_domain_rejected() {
         let _ = DpfParams::for_domain(0);
+    }
+
+    #[test]
+    fn serialization_matches_declared_size() {
+        for bits in [0u32, 1, 7, 20] {
+            let params = DpfParams::for_domain(1u64 << bits);
+            let key = DpfKey {
+                party: 1,
+                params,
+                root_seed: Block128::from(7u128),
+                levels: vec![
+                    CorrectionWord {
+                        seed: Block128::from(9u128),
+                        t_left: true,
+                        t_right: false,
+                    };
+                    bits as usize
+                ],
+                final_cw: Ring128::from(3u128),
+            };
+            let bytes = key.to_bytes();
+            assert_eq!(bytes.len(), key.size_bytes());
+            assert_eq!(bytes.len() as u64, params.key_size_bytes());
+            assert_eq!(bytes[0], 1);
+        }
     }
 
     #[test]

@@ -18,6 +18,8 @@
 //! * [`batch`] — batched execution of many DPFs on the simulated GPU,
 //!   including the cooperative-groups single-query mode (§3.2.5),
 //! * [`scheduler`] — batch/table-size-aware strategy selection (§3.2.5),
+//! * [`plan`] — batch-resident device memory plans: exact per-device byte
+//!   footprints, table-residency decisions and transfer schedules,
 //! * [`multi_gpu`] — sharding one DPF across several devices (§3.2.7).
 //!
 //! # Example
@@ -52,6 +54,7 @@ pub mod key;
 pub mod multi_gpu;
 #[cfg(test)]
 mod parity_tests;
+pub mod plan;
 pub mod recorder;
 pub mod scheduler;
 pub mod strategy;
@@ -63,6 +66,9 @@ pub use fusion::{fused_eval_matmul, unfused_eval_matmul};
 pub use gen::generate_keys;
 pub use key::{CorrectionWord, DpfKey, DpfParams};
 pub use multi_gpu::{MultiGpuBatchEvalJob, MultiGpuBatchOutput, MultiGpuEvalJob, MultiGpuOutput};
+pub use plan::{
+    DevicePlan, MemoryPlan, PlanCache, PlanKey, PlanLedger, TableResidency, TransferStep,
+};
 pub use recorder::{CountingRecorder, KernelRecorder, NullRecorder, Recorder};
 pub use scheduler::{ExecutionPlan, Scheduler, SchedulerConfig, SchedulerConfigError};
 pub use strategy::{

@@ -303,10 +303,12 @@ fn reference_fused_eval_matmul<R: Recorder>(
 mod tests {
     use super::*;
     use crate::batch::BatchEvalJob;
+    use crate::multi_gpu::MultiGpuBatchEvalJob;
     use crate::recorder::{CountingRecorder, NullRecorder};
+    use crate::scheduler::{Scheduler, SchedulerConfig};
     use crate::strategy::eval_full_domain;
-    use crate::{eval_point, generate_keys, DpfParams};
-    use gpu_sim::{DeviceSpec, GpuExecutor};
+    use crate::{eval_point, generate_keys, DpfParams, TableResidency};
+    use gpu_sim::{CostModel, DeviceBackend, DeviceSpec, GpuExecutor, HostBackend};
     use pir_prf::{build_prf, PrfKind};
     use rand::rngs::StdRng;
     use rand::{Rng, SeedableRng};
@@ -472,6 +474,194 @@ mod tests {
                 "{what}: report peak memory"
             );
         }
+    }
+
+    /// The host backend (real memcpys, wall-clock timing, no cost model) and
+    /// the simulated backend (analytical roofline) must be *functionally
+    /// indistinguishable*: for every PRF family and every strategy the same
+    /// [`BatchEvalJob`] yields bit-identical answer shares, an exactly-equal
+    /// [`gpu_sim::CounterSnapshot`], the same peak device memory, and the
+    /// same transfer/allocation ledger. Only the time attribution may differ.
+    #[test]
+    fn host_backend_matches_simulated_backend() {
+        for kind in PrfKind::ALL {
+            let prg = GgmPrg::new(build_prf(kind));
+            let mut rng = StdRng::seed_from_u64(0xBAC0 ^ kind as u64);
+            let rows = 300usize;
+            let lanes = 6usize;
+            let data: Vec<u32> = (0..rows * lanes).map(|_| rng.gen()).collect();
+            let table = ShareMatrix::from_rows(rows, lanes, data);
+            let params = DpfParams::for_domain(rows as u64);
+            let keys: Vec<DpfKey> = (0..3)
+                .map(|_| {
+                    let alpha = rng.gen_range(0..rows as u64);
+                    generate_keys(&prg, &params, alpha, Ring128::ONE, &mut rng).0
+                })
+                .collect();
+
+            for strategy in STRATEGIES {
+                let simulated = GpuExecutor::with_host_threads(DeviceSpec::v100(), 1);
+                let host = HostBackend::with_host_threads(DeviceSpec::v100(), 1);
+                let job = BatchEvalJob::new(&prg, kind, &keys, &table).with_strategy(strategy);
+                let sim_out = job.run_on(&simulated);
+                let host_out = job.run_on(&host);
+
+                let what = format!("{kind} {strategy:?}");
+                assert_eq!(sim_out.results, host_out.results, "{what}: answer shares");
+                assert_eq!(
+                    sim_out.report.counters, host_out.report.counters,
+                    "{what}: kernel counters"
+                );
+                assert_eq!(
+                    sim_out.report.peak_memory_bytes, host_out.report.peak_memory_bytes,
+                    "{what}: peak device memory"
+                );
+                assert_eq!(
+                    sim_out.report.occupancy, host_out.report.occupancy,
+                    "{what}: occupancy"
+                );
+
+                let sim_stats = DeviceBackend::stats(&simulated);
+                let host_stats = DeviceBackend::stats(&host);
+                assert_eq!(sim_stats, host_stats, "{what}: backend transfer ledger");
+                assert_eq!(
+                    sim_stats.live_allocations(),
+                    0,
+                    "{what}: leaked allocations"
+                );
+            }
+        }
+    }
+
+    /// Multi-device sharding over the backend seam gets the same guarantee,
+    /// on a non-power-of-two device count (3 devices over 4 subtrees).
+    #[test]
+    fn host_backend_matches_simulated_backend_multi_device() {
+        let prg = GgmPrg::new(build_prf(PrfKind::SipHash));
+        let mut rng = StdRng::seed_from_u64(0x3B);
+        let rows = 1usize << 9;
+        let lanes = 4usize;
+        let data: Vec<u32> = (0..rows * lanes).map(|_| rng.gen()).collect();
+        let table = ShareMatrix::from_rows(rows, lanes, data);
+        let params = DpfParams::for_domain(rows as u64);
+        let keys: Vec<DpfKey> = (0..2)
+            .map(|_| {
+                let alpha = rng.gen_range(0..rows as u64);
+                generate_keys(&prg, &params, alpha, Ring128::ONE, &mut rng).0
+            })
+            .collect();
+
+        let simulated: Vec<GpuExecutor> = (0..3)
+            .map(|_| GpuExecutor::with_host_threads(DeviceSpec::v100(), 1))
+            .collect();
+        let hosts: Vec<HostBackend> = (0..3)
+            .map(|_| HostBackend::with_host_threads(DeviceSpec::v100(), 1))
+            .collect();
+        let sim_refs: Vec<&dyn DeviceBackend> =
+            simulated.iter().map(|e| e as &dyn DeviceBackend).collect();
+        let host_refs: Vec<&dyn DeviceBackend> =
+            hosts.iter().map(|h| h as &dyn DeviceBackend).collect();
+
+        let job = MultiGpuBatchEvalJob::new(&prg, PrfKind::SipHash, &keys, &table);
+        let sim_out = job.run_on(&sim_refs);
+        let host_out = job.run_on(&host_refs);
+
+        assert_eq!(sim_out.results, host_out.results, "answer shares");
+        assert_eq!(sim_out.per_device.len(), host_out.per_device.len());
+        for (sim, host) in sim_out.per_device.iter().zip(&host_out.per_device) {
+            assert_eq!(sim.counters, host.counters, "{}: kernel counters", sim.name);
+            assert_eq!(
+                sim.peak_memory_bytes, host.peak_memory_bytes,
+                "{}: peak device memory",
+                sim.name
+            );
+        }
+        for (sim, host) in sim_refs.iter().zip(&host_refs) {
+            assert_eq!(sim.stats(), host.stats(), "backend transfer ledger");
+            assert_eq!(sim.stats().live_allocations(), 0, "leaked allocations");
+        }
+    }
+
+    /// For autoscaler-realistic batch sizes the memory plan's transfer
+    /// schedule is *optimal* against the device cost model: no alternative
+    /// residency assignment that fits the budget moves fewer steady-state
+    /// bytes (or less steady-state transfer time) per batch. Covers a
+    /// non-power-of-two device count.
+    #[test]
+    fn memory_plan_transfer_schedule_is_cost_model_optimal() {
+        let cost = CostModel::new(DeviceSpec::v100());
+        let scheduler = Scheduler::new(SchedulerConfig {
+            // Small enough that large batches on many-row tables overflow and
+            // force streaming, so both residency outcomes are exercised.
+            memory_budget_bytes: 8 * 1024 * 1024,
+            ..SchedulerConfig::default()
+        });
+        // (rows, lanes, devices): autoscaler-formed shapes, including the
+        // non-power-of-two 3-device split.
+        let shapes = [
+            (1u64 << 12, 8usize, 1usize),
+            (1 << 16, 16, 3),
+            (1 << 18, 32, 4),
+        ];
+        // Queue-depth autoscaler batch sizes observed in serving: shallow,
+        // mid, and saturated queues.
+        let batches = [4u64, 37, 256];
+
+        let mut resident_seen = false;
+        let mut streamed_seen = false;
+        for (rows, lanes, devices) in shapes {
+            let row_bytes = lanes as u64 * 4;
+            let key_bytes = DpfParams::for_domain(rows).key_size_bytes();
+            for batch in batches {
+                let plan = scheduler.memory_plan(rows, row_bytes, key_bytes, batch, devices);
+                assert!(plan.fits_budget(), "chosen plan must fit the budget");
+                match plan.residency {
+                    TableResidency::Resident => resident_seen = true,
+                    TableResidency::Streamed => streamed_seen = true,
+                }
+
+                // Enumerate every residency candidate the planner could have
+                // picked; the chosen schedule must minimize steady-state
+                // transfer bytes and cost-model transfer time among those
+                // that fit.
+                let what = format!(
+                    "rows=2^{} devices={devices} batch={batch}",
+                    rows.trailing_zeros()
+                );
+                for candidate in [TableResidency::Resident, TableResidency::Streamed] {
+                    let alternative = plan.with_residency(candidate);
+                    if !alternative.fits_budget() {
+                        continue;
+                    }
+                    assert!(
+                        plan.steady_batch_transfer_bytes()
+                            <= alternative.steady_batch_transfer_bytes(),
+                        "{what}: candidate {candidate:?} moves fewer steady-state bytes"
+                    );
+                    assert!(
+                        plan.steady_batch_transfer_time_s(&cost)
+                            <= alternative.steady_batch_transfer_time_s(&cost),
+                        "{what}: candidate {candidate:?} is faster on the cost model"
+                    );
+                }
+
+                // The schedule's arithmetic must be self-consistent: first
+                // batch = steady state + whatever the plan keeps resident.
+                assert_eq!(
+                    plan.first_batch_transfer_bytes(),
+                    plan.steady_batch_transfer_bytes() + plan.resident_bytes(),
+                    "{what}: schedule bytes"
+                );
+                // And per-batch savings are exactly the resident table bytes.
+                assert_eq!(
+                    plan.avoided_transfer_bytes_per_batch(),
+                    plan.resident_bytes(),
+                    "{what}: avoided bytes"
+                );
+            }
+        }
+        assert!(resident_seen, "sweep never produced a resident plan");
+        assert!(streamed_seen, "sweep never produced a streamed plan");
     }
 
     /// The frontier result also reconstructs the point function (end-to-end

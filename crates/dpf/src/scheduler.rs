@@ -6,6 +6,7 @@ use serde::{Deserialize, Serialize};
 
 use crate::analysis::StrategyProfile;
 use crate::batch::GridMapping;
+use crate::plan::MemoryPlan;
 use crate::strategy::EvalStrategy;
 
 /// A [`SchedulerConfig`] that cannot produce a valid execution plan.
@@ -233,6 +234,45 @@ impl Scheduler {
                 max_batch.min(requested_batch.max(1))
             },
         }
+    }
+
+    /// Build the batch-resident [`MemoryPlan`] that goes with
+    /// [`Scheduler::plan`] for the same workload: same strategy choice, same
+    /// memory budget, batch capped at the execution plan's `max_batch`.
+    ///
+    /// `row_bytes` is the in-memory row width (`lanes_per_row × 4`), which
+    /// may exceed the logical entry width by padding; `key_bytes` is the
+    /// serialized size of one key
+    /// ([`DpfParams::key_size_bytes`](crate::DpfParams::key_size_bytes)).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `table_rows`, `row_bytes` or `devices` is zero.
+    #[must_use]
+    pub fn memory_plan(
+        &self,
+        table_rows: u64,
+        row_bytes: u64,
+        key_bytes: u64,
+        requested_batch: u64,
+        devices: usize,
+    ) -> MemoryPlan {
+        let execution = self.plan(table_rows, row_bytes, requested_batch);
+        let domain_bits = if table_rows <= 1 {
+            0
+        } else {
+            64 - (table_rows - 1).leading_zeros()
+        };
+        MemoryPlan::build(
+            self.config.memory_budget_bytes,
+            execution.strategy,
+            domain_bits,
+            table_rows,
+            row_bytes,
+            key_bytes,
+            execution.max_batch.max(1),
+            devices,
+        )
     }
 }
 

@@ -64,6 +64,13 @@ impl ShareMatrix {
         self.data.len() * 4
     }
 
+    /// Borrow the whole table as one row-major lane slice — the exact buffer
+    /// a device backend uploads when the table is made resident.
+    #[must_use]
+    pub fn lanes(&self) -> &[u32] {
+        &self.data
+    }
+
     /// Borrow one row as a lane slice.
     ///
     /// # Panics

@@ -93,6 +93,16 @@ impl CostModel {
     pub fn is_compute_bound(time: &TimeBreakdown) -> bool {
         time.compute_s >= time.memory_s
     }
+
+    /// Seconds to move `bytes` across the host↔device link (one direction).
+    ///
+    /// This is the cost a batch-resident memory plan optimizes: every byte a
+    /// plan keeps resident across launches is a byte that never pays this
+    /// (much slower than HBM) PCIe-class rate again.
+    #[must_use]
+    pub fn transfer_time_s(&self, bytes: u64) -> f64 {
+        bytes as f64 / self.device.host_link_bytes_per_second()
+    }
 }
 
 impl Default for CostModel {
@@ -230,5 +240,14 @@ mod tests {
         // 140 GB of traffic at 140 GB/s = 1 s regardless of threads.
         let t = model.execution_time_s(0, 140_000_000_000, 28);
         assert!((t - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn transfer_time_uses_the_host_link() {
+        let model = CostModel::default();
+        // 16 GB over a 16 GB/s link = 1 s.
+        let t = model.transfer_time_s(16_000_000_000);
+        assert!((t - 1.0).abs() < 1e-9);
+        assert_eq!(model.transfer_time_s(0), 0.0);
     }
 }

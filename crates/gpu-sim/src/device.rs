@@ -33,6 +33,11 @@ pub struct DeviceSpec {
     /// Instruction issue efficiency (fraction of peak sustained by real
     /// integer-heavy kernels; captures dual-issue limits, bank conflicts etc.).
     pub issue_efficiency: f64,
+    /// Host↔device interconnect bandwidth in GB/s (PCIe for the paper's
+    /// V100). This is the term that makes table re-uploads expensive and
+    /// batch-resident memory plans worthwhile: at 16 GB/s a 16 GB table
+    /// costs a full second to move, ~60x its one-pass HBM read.
+    pub host_link_gbps: f64,
 }
 
 impl DeviceSpec {
@@ -52,6 +57,7 @@ impl DeviceSpec {
             warp_size: 32,
             launch_overhead_us: 10.0,
             issue_efficiency: 0.55,
+            host_link_gbps: 16.0,
         }
     }
 
@@ -72,6 +78,7 @@ impl DeviceSpec {
             warp_size: 32,
             launch_overhead_us: 10.0,
             issue_efficiency: 0.55,
+            host_link_gbps: 25.0,
         }
     }
 
@@ -91,6 +98,12 @@ impl DeviceSpec {
     #[must_use]
     pub fn bandwidth_bytes_per_second(&self) -> f64 {
         self.memory_bandwidth_gbps * 1e9
+    }
+
+    /// Host↔device interconnect bandwidth in bytes/second.
+    #[must_use]
+    pub fn host_link_bytes_per_second(&self) -> f64 {
+        self.host_link_gbps * 1e9
     }
 }
 
@@ -179,6 +192,14 @@ mod tests {
         let (a, v) = (DeviceSpec::a100(), DeviceSpec::v100());
         assert!(a.total_cores() > v.total_cores());
         assert!(a.memory_bandwidth_gbps > v.memory_bandwidth_gbps);
+        assert!(a.host_link_gbps > v.host_link_gbps);
+    }
+
+    #[test]
+    fn host_link_is_much_slower_than_hbm() {
+        let v100 = DeviceSpec::v100();
+        assert!((v100.host_link_bytes_per_second() - 16e9).abs() < 1.0);
+        assert!(v100.host_link_bytes_per_second() * 10.0 < v100.bandwidth_bytes_per_second());
     }
 
     #[test]

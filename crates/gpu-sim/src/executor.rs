@@ -8,6 +8,42 @@ use crate::{
     MemoryTracker, OccupancyEstimate,
 };
 
+/// Run every block of `config` over a pool of `host_threads` workers with a
+/// work-stealing index, recording into the shared `counters`/`memory`.
+///
+/// Returns the host wall-clock seconds the sweep took. Both device backends
+/// share this exact loop — the analytical [`GpuExecutor`] and the measured
+/// [`crate::HostBackend`] — so their functional execution (and therefore
+/// every counter a kernel records) is identical by construction; only the
+/// time attribution differs.
+pub(crate) fn run_blocks(
+    config: LaunchConfig,
+    host_threads: usize,
+    counters: &KernelCounters,
+    memory: &MemoryTracker,
+    kernel: &dyn Kernel,
+) -> f64 {
+    let total_blocks = config.total_blocks();
+    let next_block = AtomicU64::new(0);
+    let start = Instant::now();
+
+    let workers = host_threads.min(total_blocks.max(1) as usize);
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let block_index = next_block.fetch_add(1, Ordering::Relaxed);
+                if block_index >= total_blocks {
+                    break;
+                }
+                let ctx = BlockContext::new(block_index, config, counters, memory);
+                kernel.execute_block(&ctx);
+            });
+        }
+    });
+
+    start.elapsed().as_secs_f64()
+}
+
 /// Executes simulated kernels and produces [`KernelReport`]s.
 ///
 /// Blocks of a launch are distributed over host worker threads with a simple
@@ -18,6 +54,10 @@ pub struct GpuExecutor {
     device: DeviceSpec,
     cost_model: CostModel,
     host_threads: usize,
+    /// Allocation/transfer ledger backing the [`crate::DeviceBackend`]
+    /// implementation; launches made through the plain inherent methods do
+    /// not touch it.
+    pub(crate) ledger: crate::backend::BackendLedger,
 }
 
 impl GpuExecutor {
@@ -45,7 +85,14 @@ impl GpuExecutor {
             device,
             cost_model,
             host_threads,
+            ledger: crate::backend::BackendLedger::default(),
         }
+    }
+
+    /// Host worker threads used for the functional simulation.
+    #[must_use]
+    pub fn host_threads(&self) -> usize {
+        self.host_threads
     }
 
     /// The simulated device.
@@ -92,25 +139,7 @@ impl GpuExecutor {
         let memory = MemoryTracker::new();
         memory.set_resident(resident_bytes);
 
-        let total_blocks = config.total_blocks();
-        let next_block = AtomicU64::new(0);
-        let start = Instant::now();
-
-        let workers = self.host_threads.min(total_blocks.max(1) as usize);
-        std::thread::scope(|scope| {
-            for _ in 0..workers {
-                scope.spawn(|| loop {
-                    let block_index = next_block.fetch_add(1, Ordering::Relaxed);
-                    if block_index >= total_blocks {
-                        break;
-                    }
-                    let ctx = BlockContext::new(block_index, config, &counters, &memory);
-                    kernel.execute_block(&ctx);
-                });
-            }
-        });
-
-        let host_wall_time_s = start.elapsed().as_secs_f64();
+        let host_wall_time_s = run_blocks(config, self.host_threads, &counters, &memory, &kernel);
         let snapshot = counters.snapshot();
         let time = self.cost_model.kernel_time(&snapshot, &occupancy);
 

@@ -38,6 +38,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod backend;
 pub mod cost;
 pub mod counters;
 pub mod device;
@@ -48,6 +49,10 @@ pub mod memory;
 pub mod occupancy;
 pub mod report;
 
+pub use backend::{
+    BackendKind, BackendStats, DeviceBackend, HostBackend, ResidentAllocation, TransferKind,
+    TransferSrc,
+};
 pub use cost::{CostModel, CpuCostModel, TimeBreakdown};
 pub use counters::{CounterSnapshot, KernelCounters};
 pub use device::{CpuSpec, DeviceSpec};

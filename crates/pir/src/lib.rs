@@ -68,7 +68,8 @@ pub use message::{
 pub use naive::{NaivePir, NaiveQuery};
 pub use pbr::{BinAssignment, PbrClient, PbrConfig, PbrServer};
 pub use server::{
-    build_replica, shard_owned_ranges, shard_split_bits, validate_update, CpuBatchTiming,
-    CpuPirServer, GpuPirServer, PirServer, ServerMetrics, ShardedGpuServer,
+    build_replica, build_replica_with_backend, shard_owned_ranges, shard_split_bits,
+    validate_update, CpuBatchTiming, CpuPirServer, GpuPirServer, PirServer, ServerMetrics,
+    ShardedGpuServer,
 };
 pub use table::{PirTable, TableSchema};

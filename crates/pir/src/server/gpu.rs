@@ -1,9 +1,16 @@
 //! The GPU-accelerated PIR server (the paper's contribution).
 
+use std::sync::atomic::{AtomicU64, Ordering};
+
 use parking_lot::{Mutex, RwLock};
 
-use gpu_sim::{DeviceSpec, GpuExecutor, KernelReport};
-use pir_dpf::{BatchEvalJob, Scheduler, SchedulerConfig};
+use gpu_sim::{
+    BackendKind, DeviceBackend, DeviceSpec, KernelReport, ResidentAllocation, TransferSrc,
+};
+use pir_dpf::{
+    BatchEvalJob, DpfParams, PlanCache, PlanKey, PlanLedger, Scheduler, SchedulerConfig,
+    TableResidency,
+};
 use pir_prf::{build_prf, GgmPrg, PrfKind};
 
 use crate::error::PirError;
@@ -13,11 +20,26 @@ use crate::server::{
 };
 use crate::table::{PirTable, TableSchema};
 
-/// A PIR server that evaluates DPFs on the (simulated) GPU.
+/// The table allocation a memory plan decided to keep on the device, tagged
+/// with the table version it was uploaded from so hot reloads invalidate it.
+struct ResidentTable {
+    alloc: ResidentAllocation,
+    generation: u64,
+}
+
+/// A PIR server that evaluates DPFs on a [`DeviceBackend`] (the analytical
+/// simulated GPU by default).
 ///
 /// Every batch of queries is planned by the batch/table-size-aware
 /// [`Scheduler`] (§3.2.5), evaluated with the fused memory-bounded kernel
 /// (§3.2.3–§3.2.4), and accounted in the server's [`ServerMetrics`].
+///
+/// Per batch shape the server also builds (and caches) a
+/// [`MemoryPlan`](pir_dpf::MemoryPlan): when the plan keeps the table
+/// resident, the table is uploaded once and re-used across batches — the
+/// upload is re-issued only after a hot reload bumps the table generation —
+/// and the avoided transfers are reported through
+/// [`PirServer::plan_ledger`].
 ///
 /// The table sits behind an `RwLock` so entries can be hot-reloaded through
 /// [`PirServer::update_entry`] while queries are being served: a batch holds
@@ -28,14 +50,20 @@ pub struct GpuPirServer {
     table: RwLock<PirTable>,
     prg: GgmPrg,
     prf_kind: PrfKind,
-    executor: GpuExecutor,
+    backend: Box<dyn DeviceBackend>,
     scheduler: Scheduler,
     metrics: Mutex<ServerMetrics>,
     last_report: Mutex<Option<KernelReport>>,
+    plan_cache: PlanCache,
+    resident: Mutex<Option<ResidentTable>>,
+    table_generation: AtomicU64,
+    transfers_issued: AtomicU64,
+    transfers_avoided: AtomicU64,
 }
 
 impl GpuPirServer {
-    /// Create a server on a specific device with a specific scheduler.
+    /// Create a server on a specific device with a specific scheduler,
+    /// evaluating on the analytical simulated backend.
     #[must_use]
     pub fn new(
         table: PirTable,
@@ -43,15 +71,38 @@ impl GpuPirServer {
         device: DeviceSpec,
         scheduler_config: SchedulerConfig,
     ) -> Self {
+        Self::with_backend_kind(
+            table,
+            prf_kind,
+            device,
+            scheduler_config,
+            BackendKind::Simulated,
+        )
+    }
+
+    /// Create a server evaluating on an explicit [`BackendKind`].
+    #[must_use]
+    pub fn with_backend_kind(
+        table: PirTable,
+        prf_kind: PrfKind,
+        device: DeviceSpec,
+        scheduler_config: SchedulerConfig,
+        backend: BackendKind,
+    ) -> Self {
         Self {
             schema: table.schema(),
             table: RwLock::new(table),
             prg: GgmPrg::new(build_prf(prf_kind)),
             prf_kind,
-            executor: GpuExecutor::new(device),
+            backend: backend.build(device),
             scheduler: Scheduler::new(scheduler_config),
             metrics: Mutex::new(ServerMetrics::default()),
             last_report: Mutex::new(None),
+            plan_cache: PlanCache::new(),
+            resident: Mutex::new(None),
+            table_generation: AtomicU64::new(0),
+            transfers_issued: AtomicU64::new(0),
+            transfers_avoided: AtomicU64::new(0),
         }
     }
 
@@ -85,6 +136,29 @@ impl GpuPirServer {
         self.last_report.lock().clone()
     }
 
+    /// The backend this server evaluates on (`"simulated"` or `"host"`).
+    #[must_use]
+    pub fn backend_name(&self) -> &str {
+        self.backend.name()
+    }
+
+    /// Build (or fetch from the plan cache) the memory plan for a batch of
+    /// `batch` queries against the current table shape.
+    fn memory_plan(&self, batch: u64) -> std::sync::Arc<pir_dpf::MemoryPlan> {
+        let row_bytes = self.table.read().matrix().lanes_per_row() as u64 * 4;
+        let key = PlanKey {
+            table_rows: self.schema.entries,
+            row_bytes,
+            key_bytes: DpfParams::for_domain(self.schema.entries).key_size_bytes(),
+            batch: batch.max(1),
+            devices: 1,
+        };
+        self.plan_cache.get_or_build(key, || {
+            self.scheduler
+                .memory_plan(key.table_rows, key.row_bytes, key.key_bytes, key.batch, 1)
+        })
+    }
+
     /// Answer a batch and also return the kernel report for benchmarking.
     ///
     /// # Errors
@@ -105,13 +179,47 @@ impl GpuPirServer {
             self.schema.entry_bytes as u64,
             queries.len() as u64,
         );
+        let memory_plan = self.memory_plan(queries.len() as u64);
         let keys: Vec<_> = queries.iter().map(|q| q.key.clone()).collect();
         // The read lock brackets the whole launch: a concurrent hot reload
         // waits, so this batch sees exactly one table version.
         let table = self.table.read();
-        let job =
-            BatchEvalJob::new(&self.prg, self.prf_kind, &keys, table.matrix()).with_plan(&plan);
-        let output = job.run(&self.executor);
+        let generation = self.table_generation.load(Ordering::Acquire);
+        let matrix = table.matrix();
+        let job = BatchEvalJob::new(&self.prg, self.prf_kind, &keys, matrix).with_plan(&plan);
+        let backend = self.backend.as_ref();
+        let output = if memory_plan.residency == TableResidency::Resident {
+            // Held across the launch so a concurrent batch cannot free or
+            // replace the allocation mid-flight.
+            let mut resident = self.resident.lock();
+            let current = matches!(&*resident, Some(r) if r.generation == generation);
+            if current {
+                self.transfers_avoided.fetch_add(1, Ordering::Relaxed);
+            } else {
+                if let Some(stale) = resident.take() {
+                    backend.free(stale.alloc);
+                }
+                let alloc = backend.alloc(matrix.size_bytes() as u64);
+                let src = if backend.stores_payloads() {
+                    TransferSrc::Lanes(matrix.lanes())
+                } else {
+                    TransferSrc::Opaque(matrix.size_bytes() as u64)
+                };
+                backend.upload_table(&alloc, src);
+                self.transfers_issued.fetch_add(1, Ordering::Relaxed);
+                *resident = Some(ResidentTable { alloc, generation });
+            }
+            let held = resident.as_ref().expect("resident table just ensured");
+            job.run_resident(backend, &held.alloc)
+        } else {
+            // The plan says this batch's working set does not fit alongside a
+            // resident table; release any stale residency and stream.
+            if let Some(stale) = self.resident.lock().take() {
+                backend.free(stale.alloc);
+            }
+            self.transfers_issued.fetch_add(1, Ordering::Relaxed);
+            job.run_on(backend)
+        };
         drop(table);
 
         let responses = responses_from_shares(queries, output.results);
@@ -137,7 +245,11 @@ impl PirServer for GpuPirServer {
 
     fn update_entry(&self, index: u64, bytes: &[u8]) -> Result<(), PirError> {
         validate_update(self.schema, index, bytes)?;
-        self.table.write().update_entry(index, bytes);
+        let mut table = self.table.write();
+        table.update_entry(index, bytes);
+        // Bumped while the write lock is held, so every batch that reads the
+        // new table also sees the new generation and re-uploads residency.
+        self.table_generation.fetch_add(1, Ordering::Release);
         Ok(())
     }
 
@@ -154,6 +266,20 @@ impl PirServer for GpuPirServer {
     fn metrics(&self) -> ServerMetrics {
         *self.metrics.lock()
     }
+
+    fn planned_resident_bytes(&self, batch: usize) -> u64 {
+        self.memory_plan(batch as u64).resident_bytes()
+    }
+
+    fn plan_ledger(&self) -> PlanLedger {
+        PlanLedger {
+            resident_bytes: self.backend.stats().resident_bytes,
+            transfers_issued: self.transfers_issued.load(Ordering::Relaxed),
+            transfers_avoided: self.transfers_avoided.load(Ordering::Relaxed),
+            plan_cache_hits: self.plan_cache.hits(),
+            plan_cache_misses: self.plan_cache.misses(),
+        }
+    }
 }
 
 impl std::fmt::Debug for GpuPirServer {
@@ -161,7 +287,8 @@ impl std::fmt::Debug for GpuPirServer {
         f.debug_struct("GpuPirServer")
             .field("table", &self.schema.describe())
             .field("prf", &self.prf_kind)
-            .field("device", &self.executor.device().name)
+            .field("backend", &self.backend.name())
+            .field("device", &self.backend.device().name)
             .finish()
     }
 }
@@ -281,5 +408,69 @@ mod tests {
         let server: Box<dyn PirServer> =
             Box::new(GpuPirServer::with_defaults(table.clone(), PrfKind::SipHash));
         assert_eq!(server.schema(), table.schema());
+    }
+
+    #[test]
+    fn host_backend_server_matches_simulated_server() {
+        let table = table();
+        let client = PirClient::new(table.schema(), PrfKind::SipHash);
+        let simulated = GpuPirServer::with_defaults(table.clone(), PrfKind::SipHash);
+        let host = GpuPirServer::with_backend_kind(
+            table.clone(),
+            PrfKind::SipHash,
+            DeviceSpec::v100(),
+            SchedulerConfig::default(),
+            gpu_sim::BackendKind::Host,
+        );
+        assert_eq!(host.backend_name(), "host");
+        assert_eq!(simulated.backend_name(), "simulated");
+        let mut rng = StdRng::seed_from_u64(75);
+
+        let indices = [0u64, 137, 299];
+        let queries: Vec<_> = indices.iter().map(|i| client.query(*i, &mut rng)).collect();
+        let to0: Vec<_> = queries.iter().map(|q| q.to_server(0)).collect();
+        let from_sim = simulated.answer_batch(&to0).unwrap();
+        let from_host = host.answer_batch(&to0).unwrap();
+        for (sim, host) in from_sim.iter().zip(&from_host) {
+            assert_eq!(sim.share, host.share, "shares must be backend-independent");
+        }
+    }
+
+    #[test]
+    fn resident_plan_avoids_repeat_uploads_until_hot_reload() {
+        let table = table();
+        let client = PirClient::new(table.schema(), PrfKind::SipHash);
+        let server = GpuPirServer::with_defaults(table.clone(), PrfKind::SipHash);
+        let mut rng = StdRng::seed_from_u64(76);
+
+        // The default 16 GiB budget keeps this table resident, so the first
+        // batch uploads it and the second re-uses the allocation.
+        assert!(server.planned_resident_bytes(1) > 0);
+        for _ in 0..2 {
+            let query = client.query(5, &mut rng);
+            server.answer(&query.to_server(0)).unwrap();
+        }
+        let ledger = server.plan_ledger();
+        assert_eq!(ledger.transfers_issued, 1, "one upload for two batches");
+        assert_eq!(ledger.transfers_avoided, 1);
+        assert_eq!(ledger.plan_cache_misses, 1);
+        assert!(ledger.plan_cache_hits >= 1);
+        assert_eq!(
+            ledger.resident_bytes,
+            server.table_snapshot().matrix().size_bytes() as u64,
+            "between batches only the table stays on the device"
+        );
+
+        // A hot reload bumps the table generation: the next batch re-uploads
+        // (and still serves the fresh value).
+        let fresh = vec![0x5Au8; 16];
+        server.update_entry(5, &fresh).unwrap();
+        let other = GpuPirServer::with_defaults(table, PrfKind::SipHash);
+        other.update_entry(5, &fresh).unwrap();
+        let query = client.query(5, &mut rng);
+        let r0 = server.answer(&query.to_server(0)).unwrap();
+        let r1 = other.answer(&query.to_server(1)).unwrap();
+        assert_eq!(client.reconstruct(&query, &r0, &r1).unwrap(), fresh);
+        assert_eq!(server.plan_ledger().transfers_issued, 2);
     }
 }

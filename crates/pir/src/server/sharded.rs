@@ -9,36 +9,71 @@
 //! single-device [`GpuPirServer`](crate::GpuPirServer), and the shard fan-out
 //! and partial-share reduction stay internal.
 
+use std::sync::atomic::{AtomicU64, Ordering};
+
 use parking_lot::{Mutex, RwLock};
 
-use gpu_sim::{DeviceSpec, GpuExecutor};
-use pir_dpf::{MultiGpuBatchEvalJob, Scheduler, SchedulerConfig};
+use gpu_sim::{BackendKind, DeviceBackend, DeviceSpec, ResidentAllocation, TransferSrc};
+use pir_dpf::{
+    DpfParams, MultiGpuBatchEvalJob, PlanCache, PlanKey, PlanLedger, Scheduler, SchedulerConfig,
+    TableResidency,
+};
+use pir_field::ShareMatrix;
 use pir_prf::{build_prf, GgmPrg, PrfKind};
 
 use crate::error::PirError;
 use crate::message::{PirResponse, ServerQuery};
 use crate::server::{
-    check_schema, responses_from_shares, validate_update, PirServer, ServerMetrics,
+    check_schema, responses_from_shares, shard_owned_ranges, validate_update, PirServer,
+    ServerMetrics,
 };
 use crate::table::{PirTable, TableSchema};
 
-/// A GPU PIR server spread across several simulated devices.
+/// The per-device table-slice allocations a memory plan decided to keep
+/// resident, tagged with the table version they were uploaded from.
+struct ResidentShards {
+    allocs: Vec<ResidentAllocation>,
+    generation: u64,
+}
+
+/// A GPU PIR server spread across several devices (one [`DeviceBackend`]
+/// per shard).
 ///
 /// Like [`GpuPirServer`](crate::GpuPirServer), the table sits behind an
 /// `RwLock` so [`PirServer::update_entry`] hot reloads are atomic with
-/// respect to in-flight batches.
+/// respect to in-flight batches; when the per-batch
+/// [`MemoryPlan`](pir_dpf::MemoryPlan) keeps the shard slices resident they
+/// are uploaded once per table generation and re-used across batches.
 pub struct ShardedGpuServer {
     schema: TableSchema,
     table: RwLock<PirTable>,
     prg: GgmPrg,
     prf_kind: PrfKind,
-    executors: Vec<GpuExecutor>,
+    backends: Vec<Box<dyn DeviceBackend>>,
     scheduler: Scheduler,
     metrics: Mutex<ServerMetrics>,
+    plan_cache: PlanCache,
+    resident: Mutex<Option<ResidentShards>>,
+    table_generation: AtomicU64,
+    transfers_issued: AtomicU64,
+    transfers_avoided: AtomicU64,
+}
+
+/// Gather the lanes of the rows a shard owns, in subtree order — the upload
+/// payload for that shard's table slice.
+fn shard_slice_lanes(matrix: &ShareMatrix, ranges: &[std::ops::Range<u64>]) -> Vec<u32> {
+    let mut lanes = Vec::new();
+    for range in ranges {
+        for row in range.clone() {
+            lanes.extend_from_slice(matrix.row(row as usize));
+        }
+    }
+    lanes
 }
 
 impl ShardedGpuServer {
-    /// Create a server over an explicit list of devices.
+    /// Create a server over an explicit list of devices, evaluating on the
+    /// analytical simulated backend.
     ///
     /// # Errors
     ///
@@ -51,15 +86,43 @@ impl ShardedGpuServer {
         devices: Vec<DeviceSpec>,
         scheduler_config: SchedulerConfig,
     ) -> Result<Self, PirError> {
+        Self::with_backend_kind(
+            table,
+            prf_kind,
+            devices,
+            scheduler_config,
+            BackendKind::Simulated,
+        )
+    }
+
+    /// Create a server over an explicit list of devices with an explicit
+    /// [`BackendKind`] for every shard.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PirError::InvalidSharding`] under the same conditions as
+    /// [`ShardedGpuServer::new`].
+    pub fn with_backend_kind(
+        table: PirTable,
+        prf_kind: PrfKind,
+        devices: Vec<DeviceSpec>,
+        scheduler_config: SchedulerConfig,
+        backend: BackendKind,
+    ) -> Result<Self, PirError> {
         crate::server::shard_split_bits(table.entries(), devices.len())?;
         Ok(Self {
             prg: GgmPrg::new(build_prf(prf_kind)),
             prf_kind,
-            executors: devices.into_iter().map(GpuExecutor::new).collect(),
+            backends: devices.into_iter().map(|d| backend.build(d)).collect(),
             scheduler: Scheduler::new(scheduler_config),
             metrics: Mutex::new(ServerMetrics::default()),
             schema: table.schema(),
             table: RwLock::new(table),
+            plan_cache: PlanCache::new(),
+            resident: Mutex::new(None),
+            table_generation: AtomicU64::new(0),
+            transfers_issued: AtomicU64::new(0),
+            transfers_avoided: AtomicU64::new(0),
         })
     }
 
@@ -86,7 +149,55 @@ impl ShardedGpuServer {
     /// The number of devices the table is sharded over.
     #[must_use]
     pub fn shard_count(&self) -> usize {
-        self.executors.len()
+        self.backends.len()
+    }
+
+    /// Build (or fetch from the plan cache) the memory plan for a batch of
+    /// `batch` queries against the current table shape.
+    fn memory_plan(&self, batch: u64) -> std::sync::Arc<pir_dpf::MemoryPlan> {
+        let row_bytes = self.table.read().matrix().lanes_per_row() as u64 * 4;
+        let key = PlanKey {
+            table_rows: self.schema.entries,
+            row_bytes,
+            key_bytes: DpfParams::for_domain(self.schema.entries).key_size_bytes(),
+            batch: batch.max(1),
+            devices: self.backends.len(),
+        };
+        self.plan_cache.get_or_build(key, || {
+            self.scheduler.memory_plan(
+                key.table_rows,
+                key.row_bytes,
+                key.key_bytes,
+                key.batch,
+                key.devices,
+            )
+        })
+    }
+
+    /// Allocate and upload one resident table slice per shard, sized exactly
+    /// as the memory plan (and the batch job) expect.
+    fn upload_resident_slices(
+        &self,
+        matrix: &ShareMatrix,
+        plan: &pir_dpf::MemoryPlan,
+    ) -> Vec<ResidentAllocation> {
+        let ranges = shard_owned_ranges(self.schema.entries, self.backends.len())
+            .expect("sharding was validated at construction");
+        self.backends
+            .iter()
+            .zip(&plan.devices)
+            .zip(&ranges)
+            .map(|((backend, device_plan), owned)| {
+                let alloc = backend.alloc(device_plan.table_bytes);
+                if backend.stores_payloads() {
+                    let lanes = shard_slice_lanes(matrix, owned);
+                    backend.upload_table(&alloc, TransferSrc::Lanes(&lanes));
+                } else {
+                    backend.upload_table(&alloc, TransferSrc::Opaque(device_plan.table_bytes));
+                }
+                alloc
+            })
+            .collect()
     }
 
     /// The PRF family this server evaluates.
@@ -109,7 +220,11 @@ impl PirServer for ShardedGpuServer {
 
     fn update_entry(&self, index: u64, bytes: &[u8]) -> Result<(), PirError> {
         validate_update(self.schema, index, bytes)?;
-        self.table.write().update_entry(index, bytes);
+        let mut table = self.table.write();
+        table.update_entry(index, bytes);
+        // Bumped while the write lock is held, so every batch that reads the
+        // new table also sees the new generation and re-uploads residency.
+        self.table_generation.fetch_add(1, Ordering::Release);
         Ok(())
     }
 
@@ -131,14 +246,50 @@ impl PirServer for ShardedGpuServer {
             self.schema.entry_bytes as u64,
             queries.len() as u64,
         );
+        let memory_plan = self.memory_plan(queries.len() as u64);
         let keys: Vec<_> = queries.iter().map(|q| q.key.clone()).collect();
         // Read lock held across the whole multi-device launch: every shard
         // of this batch sees the same table version.
         let table = self.table.read();
-        let output = MultiGpuBatchEvalJob::new(&self.prg, self.prf_kind, &keys, table.matrix())
+        let generation = self.table_generation.load(Ordering::Acquire);
+        let matrix = table.matrix();
+        let job = MultiGpuBatchEvalJob::new(&self.prg, self.prf_kind, &keys, matrix)
             .with_strategy(plan.strategy)
-            .with_threads_per_block(plan.threads_per_block)
-            .run(&self.executors);
+            .with_threads_per_block(plan.threads_per_block);
+        let backend_refs: Vec<&dyn DeviceBackend> =
+            self.backends.iter().map(AsRef::as_ref).collect();
+        let shards = self.backends.len() as u64;
+        let output = if memory_plan.residency == TableResidency::Resident {
+            // Held across the launch so a concurrent batch cannot free or
+            // replace the slices mid-flight.
+            let mut resident = self.resident.lock();
+            let current = matches!(&*resident, Some(r) if r.generation == generation);
+            if current {
+                self.transfers_avoided.fetch_add(shards, Ordering::Relaxed);
+            } else {
+                if let Some(stale) = resident.take() {
+                    for (backend, alloc) in self.backends.iter().zip(stale.allocs) {
+                        backend.free(alloc);
+                    }
+                }
+                let allocs = self.upload_resident_slices(matrix, &memory_plan);
+                self.transfers_issued.fetch_add(shards, Ordering::Relaxed);
+                *resident = Some(ResidentShards { allocs, generation });
+            }
+            let held = resident.as_ref().expect("resident slices just ensured");
+            let slice_refs: Vec<&ResidentAllocation> = held.allocs.iter().collect();
+            job.run_resident(&backend_refs, &slice_refs)
+        } else {
+            // The plan says this batch's working set does not fit alongside
+            // resident slices; release any stale residency and stream.
+            if let Some(stale) = self.resident.lock().take() {
+                for (backend, alloc) in self.backends.iter().zip(stale.allocs) {
+                    backend.free(alloc);
+                }
+            }
+            self.transfers_issued.fetch_add(shards, Ordering::Relaxed);
+            job.run_on(&backend_refs)
+        };
         drop(table);
         let prf_calls = output.total_prf_calls();
 
@@ -158,6 +309,24 @@ impl PirServer for ShardedGpuServer {
     fn metrics(&self) -> ServerMetrics {
         *self.metrics.lock()
     }
+
+    fn planned_resident_bytes(&self, batch: usize) -> u64 {
+        self.memory_plan(batch as u64).resident_bytes()
+    }
+
+    fn plan_ledger(&self) -> PlanLedger {
+        PlanLedger {
+            resident_bytes: self
+                .backends
+                .iter()
+                .map(|backend| backend.stats().resident_bytes)
+                .sum(),
+            transfers_issued: self.transfers_issued.load(Ordering::Relaxed),
+            transfers_avoided: self.transfers_avoided.load(Ordering::Relaxed),
+            plan_cache_hits: self.plan_cache.hits(),
+            plan_cache_misses: self.plan_cache.misses(),
+        }
+    }
 }
 
 impl std::fmt::Debug for ShardedGpuServer {
@@ -165,7 +334,7 @@ impl std::fmt::Debug for ShardedGpuServer {
         f.debug_struct("ShardedGpuServer")
             .field("table", &self.schema.describe())
             .field("prf", &self.prf_kind)
-            .field("shards", &self.executors.len())
+            .field("shards", &self.backends.len())
             .finish()
     }
 }
@@ -253,6 +422,67 @@ mod tests {
             ),
             Err(PirError::InvalidSharding { devices: 0, .. })
         ));
+    }
+
+    #[test]
+    fn host_backend_sharded_server_matches_simulated() {
+        let table = table();
+        let client = PirClient::new(table.schema(), PrfKind::SipHash);
+        let simulated =
+            ShardedGpuServer::with_v100_shards(table.clone(), PrfKind::SipHash, 3).unwrap();
+        let host = ShardedGpuServer::with_backend_kind(
+            table.clone(),
+            PrfKind::SipHash,
+            vec![DeviceSpec::v100(); 3],
+            SchedulerConfig::default(),
+            BackendKind::Host,
+        )
+        .unwrap();
+        let mut rng = StdRng::seed_from_u64(95);
+
+        let indices = [0u64, 77, 511];
+        let queries: Vec<_> = indices.iter().map(|i| client.query(*i, &mut rng)).collect();
+        let to0: Vec<_> = queries.iter().map(|q| q.to_server(0)).collect();
+        let from_sim = simulated.answer_batch(&to0).unwrap();
+        let from_host = host.answer_batch(&to0).unwrap();
+        for (sim, host) in from_sim.iter().zip(&from_host) {
+            assert_eq!(sim.share, host.share, "shares must be backend-independent");
+        }
+    }
+
+    #[test]
+    fn resident_shard_slices_survive_across_batches() {
+        let table = table();
+        let client = PirClient::new(table.schema(), PrfKind::SipHash);
+        let server =
+            ShardedGpuServer::with_v100_shards(table.clone(), PrfKind::SipHash, 4).unwrap();
+        let mut rng = StdRng::seed_from_u64(96);
+
+        assert!(server.planned_resident_bytes(1) > 0);
+        for _ in 0..2 {
+            let query = client.query(100, &mut rng);
+            server.answer(&query.to_server(0)).unwrap();
+        }
+        let ledger = server.plan_ledger();
+        assert_eq!(ledger.transfers_issued, 4, "one upload per shard");
+        assert_eq!(
+            ledger.transfers_avoided, 4,
+            "second batch re-uses all slices"
+        );
+        // The four resident slices exactly cover the table.
+        assert_eq!(
+            ledger.resident_bytes,
+            server.table_snapshot().matrix().size_bytes() as u64
+        );
+
+        server.update_entry(100, &[0x77u8; 20]).unwrap();
+        let query = client.query(100, &mut rng);
+        server.answer(&query.to_server(0)).unwrap();
+        assert_eq!(
+            server.plan_ledger().transfers_issued,
+            8,
+            "reload re-uploads"
+        );
     }
 
     #[test]

@@ -192,7 +192,12 @@ pub(crate) fn run_batch_former(
             }
         }
 
-        let lease = budget.acquire(table.config.shards);
+        // The lease carries the memory plan's backend-reported resident
+        // footprint for this batch size — the plan (not the serve layer)
+        // decides what stays on-device, so telemetry reflects what the
+        // backend will actually hold.
+        let planned_bytes = slot.server.planned_resident_bytes(queries.len());
+        let lease = budget.acquire(table.config.shards, planned_bytes);
         table
             .stats
             .in_flight_batches

@@ -15,6 +15,12 @@ use parking_lot::{Condvar, Mutex};
 #[derive(Debug, Default)]
 struct BudgetState {
     in_use: usize,
+    /// Backend-reported resident table bytes held by in-flight leases. This
+    /// is the figure the memory plan computed (and the backend's ledger
+    /// verifies) — the serve layer never re-derives table sizes itself.
+    resident_bytes_in_use: u64,
+    /// High-water mark of `resident_bytes_in_use` since the runtime started.
+    peak_resident_bytes: u64,
     /// Next ticket to hand out / lowest ticket not yet granted: acquires are
     /// granted strictly in ticket order.
     next_ticket: u64,
@@ -56,13 +62,25 @@ impl DeviceBudget {
         self.state.lock().in_use
     }
 
+    /// Backend-reported resident bytes held by in-flight leases.
+    pub(crate) fn resident_bytes_in_use(&self) -> u64 {
+        self.state.lock().resident_bytes_in_use
+    }
+
+    /// High-water mark of resident bytes held at once since startup.
+    pub(crate) fn peak_resident_bytes(&self) -> u64 {
+        self.state.lock().peak_resident_bytes
+    }
+
     /// Block until `devices` tokens are free *and* every older waiter has
-    /// been served, then lease them.
+    /// been served, then lease them along with `resident_bytes` — the
+    /// memory plan's backend-reported resident footprint for the batch
+    /// (tracked for telemetry, not gated on).
     ///
     /// The runtime validates at registration time that no single batch needs
     /// more devices than the whole budget, so with FIFO granting every
     /// acquire eventually succeeds once in-flight batches drain.
-    pub(crate) fn acquire(self: &Arc<Self>, devices: usize) -> DeviceLease {
+    pub(crate) fn acquire(self: &Arc<Self>, devices: usize, resident_bytes: u64) -> DeviceLease {
         let mut state = self.state.lock();
         if let Some(capacity) = self.capacity {
             debug_assert!(
@@ -77,12 +95,15 @@ impl DeviceBudget {
             state.now_serving += 1;
         }
         state.in_use += devices;
+        state.resident_bytes_in_use += resident_bytes;
+        state.peak_resident_bytes = state.peak_resident_bytes.max(state.resident_bytes_in_use);
         drop(state);
         // The next ticket in line may already fit alongside this lease.
         self.freed.notify_all();
         DeviceLease {
             budget: Arc::clone(self),
             devices,
+            resident_bytes,
         }
     }
 }
@@ -92,12 +113,16 @@ impl DeviceBudget {
 pub(crate) struct DeviceLease {
     budget: Arc<DeviceBudget>,
     devices: usize,
+    resident_bytes: u64,
 }
 
 impl Drop for DeviceLease {
     fn drop(&mut self) {
         let mut state = self.budget.state.lock();
         state.in_use = state.in_use.saturating_sub(self.devices);
+        state.resident_bytes_in_use = state
+            .resident_bytes_in_use
+            .saturating_sub(self.resident_bytes);
         drop(state);
         self.budget.freed.notify_all();
     }
@@ -111,26 +136,35 @@ mod tests {
     #[test]
     fn unbounded_budget_tracks_without_blocking() {
         let budget = Arc::new(DeviceBudget::new(None));
-        let a = budget.acquire(4);
-        let b = budget.acquire(1000);
+        let a = budget.acquire(4, 4096);
+        let b = budget.acquire(1000, 1024);
         assert_eq!(budget.devices_in_use(), 1004);
+        assert_eq!(budget.resident_bytes_in_use(), 5120);
+        assert_eq!(budget.peak_resident_bytes(), 5120);
         drop(a);
         assert_eq!(budget.devices_in_use(), 1000);
+        assert_eq!(budget.resident_bytes_in_use(), 1024);
         drop(b);
         assert_eq!(budget.devices_in_use(), 0);
+        assert_eq!(budget.resident_bytes_in_use(), 0);
+        assert_eq!(
+            budget.peak_resident_bytes(),
+            5120,
+            "high-water mark persists"
+        );
     }
 
     #[test]
     fn bounded_budget_blocks_until_freed() {
         let budget = Arc::new(DeviceBudget::new(Some(4)));
-        let first = budget.acquire(3);
+        let first = budget.acquire(3, 0);
         assert_eq!(budget.devices_in_use(), 3);
 
         // A 2-device acquire must wait for the 3-device lease to drop.
         let waiter = {
             let budget = Arc::clone(&budget);
             std::thread::spawn(move || {
-                let lease = budget.acquire(2);
+                let lease = budget.acquire(2, 0);
                 let seen = budget.devices_in_use();
                 drop(lease);
                 seen
@@ -151,13 +185,13 @@ mod tests {
         // stream of narrow leases could starve the wide one forever.
         let budget = Arc::new(DeviceBudget::new(Some(2)));
         let order = Arc::new(parking_lot::Mutex::new(Vec::new()));
-        let held = budget.acquire(1);
+        let held = budget.acquire(1, 0);
 
         let wide = {
             let budget = Arc::clone(&budget);
             let order = Arc::clone(&order);
             std::thread::spawn(move || {
-                let lease = budget.acquire(2);
+                let lease = budget.acquire(2, 0);
                 order.lock().push("wide");
                 drop(lease);
             })
@@ -167,7 +201,7 @@ mod tests {
             let budget = Arc::clone(&budget);
             let order = Arc::clone(&order);
             std::thread::spawn(move || {
-                let lease = budget.acquire(1);
+                let lease = budget.acquire(1, 0);
                 order.lock().push("narrow");
                 drop(lease);
             })

@@ -90,5 +90,5 @@ pub use error::ServeError;
 pub use handle::{PendingQuery, ServeHandle};
 pub use oneshot::block_on;
 pub use runtime::PirServeRuntime;
-pub use stats::{ReplicaStatsSnapshot, StatsSnapshot, TableStatsSnapshot};
+pub use stats::{PlanTelemetry, ReplicaStatsSnapshot, StatsSnapshot, TableStatsSnapshot};
 pub use wire_frontend::WireFrontend;

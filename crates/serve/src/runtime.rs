@@ -17,7 +17,7 @@ use crate::config::{ServeConfig, TableConfig};
 use crate::error::ServeError;
 use crate::handle::ServeHandle;
 use crate::registry::{HostedTable, TableRegistry};
-use crate::stats::{ReplicaStatsSnapshot, StatsSnapshot, TableStatsSnapshot};
+use crate::stats::{PlanTelemetry, ReplicaStatsSnapshot, StatsSnapshot, TableStatsSnapshot};
 
 /// A latch the autoscale controllers park on between sampling ticks, so
 /// shutdown interrupts a sleeping controller immediately instead of
@@ -107,6 +107,24 @@ impl RuntimeInner {
                         })
                     })
                     .collect();
+                // Memory-plan telemetry: sum each replica's backend-reported
+                // ledger — residency and transfer counts come from the
+                // device layer, not from serve-side size math.
+                let plan = hosted
+                    .pools
+                    .iter()
+                    .flatten()
+                    .map(|slot| slot.server.plan_ledger())
+                    .fold(pir_dpf::PlanLedger::default(), |acc, ledger| {
+                        acc.merged_with(&ledger)
+                    });
+                let plan = PlanTelemetry {
+                    resident_bytes: plan.resident_bytes,
+                    transfers_issued: plan.transfers_issued,
+                    transfers_avoided: plan.transfers_avoided,
+                    plan_cache_hits: plan.plan_cache_hits,
+                    plan_cache_misses: plan.plan_cache_misses,
+                };
                 TableStatsSnapshot {
                     table: hosted.name.clone(),
                     submitted: stats.submitted.load(Ordering::Relaxed),
@@ -127,6 +145,7 @@ impl RuntimeInner {
                         hosted.versions[1].load(Ordering::Relaxed),
                     ],
                     replicas,
+                    plan,
                     queue_p50_ms: queue_quantiles[0],
                     queue_p99_ms: queue_quantiles[1],
                     e2e_p50_ms: e2e_quantiles[0],
@@ -139,6 +158,8 @@ impl RuntimeInner {
             tables,
             devices_in_use: self.budget.devices_in_use(),
             device_budget: self.budget.capacity(),
+            resident_bytes_in_use: self.budget.resident_bytes_in_use(),
+            peak_resident_bytes: self.budget.peak_resident_bytes(),
         }
     }
 }
@@ -633,6 +654,53 @@ mod tests {
         assert_eq!(snapshot.batched_queries, 2);
         let device_queries: u64 = snapshot.replicas.iter().map(|r| r.queries).sum();
         assert_eq!(device_queries, 2);
+        runtime.shutdown();
+    }
+
+    #[test]
+    fn host_backend_tables_serve_and_report_plan_telemetry() {
+        let runtime = PirServeRuntime::new(ServeConfig::builder().seed(23).build().unwrap());
+        let table = PirTable::generate(128, 8, |row, _| (row as u8).wrapping_add(7));
+        let config = TableConfig::builder()
+            .prf_kind(PrfKind::SipHash)
+            .backend(gpu_sim::BackendKind::Host)
+            .max_batch(4)
+            .max_wait(Duration::from_millis(1))
+            .build()
+            .unwrap();
+        runtime.register_table("emb", table, config).unwrap();
+        let handle = runtime.handle();
+
+        for round in 0..2 {
+            let pending: Vec<_> = (0..8u64)
+                .map(|i| (i * 3 % 128, handle.query("emb", "t", i * 3 % 128).unwrap()))
+                .collect();
+            for (index, query) in pending {
+                let row = query.wait().unwrap();
+                assert_eq!(row[0], (index as u8).wrapping_add(7), "round {round}");
+            }
+        }
+
+        let stats = runtime.stats();
+        let snapshot = stats.table("emb").unwrap();
+        assert_eq!(snapshot.answered, 16);
+        // The 128×8 table fits the default budget, so the plan keeps it
+        // resident: bytes are held on-device, and repeat batches on the same
+        // replica avoid re-uploads while every first batch issues one.
+        let plan = snapshot.plan;
+        assert!(plan.resident_bytes > 0, "table should be plan-resident");
+        assert!(
+            plan.transfers_issued >= 2,
+            "each party uploads at least once"
+        );
+        assert!(
+            plan.plan_cache_hits + plan.plan_cache_misses >= plan.transfers_issued,
+            "every launch consults the plan cache"
+        );
+        // Leases returned their resident bytes, but the high-water mark
+        // proves the batcher leased the plan's figure while launching.
+        assert_eq!(stats.resident_bytes_in_use, 0);
+        assert!(stats.peak_resident_bytes > 0);
         runtime.shutdown();
     }
 

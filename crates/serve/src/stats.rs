@@ -83,6 +83,26 @@ pub struct ReplicaStatsSnapshot {
     pub utilization: f64,
 }
 
+/// Memory-plan telemetry for one hosted table, aggregated over every
+/// replica of both parties' pools.
+///
+/// These figures come straight from each replica's backend ledger and plan
+/// counters ([`pir_protocol::PirServer::plan_ledger`]) — the serve layer
+/// reports what the device layer measured, it never re-derives sizes.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PlanTelemetry {
+    /// Table bytes currently resident on the replicas' devices.
+    pub resident_bytes: u64,
+    /// Table-upload transfer events issued (cold starts + hot reloads).
+    pub transfers_issued: u64,
+    /// Table-upload transfer events avoided by plan-directed residency.
+    pub transfers_avoided: u64,
+    /// Memory-plan lookups served from the per-replica plan caches.
+    pub plan_cache_hits: u64,
+    /// Memory-plan lookups that had to build a fresh plan.
+    pub plan_cache_misses: u64,
+}
+
 /// Point-in-time statistics of one hosted table.
 #[derive(Clone, Debug, Default, PartialEq)]
 pub struct TableStatsSnapshot {
@@ -122,6 +142,8 @@ pub struct TableStatsSnapshot {
     pub table_versions: [u64; 2],
     /// One entry per (party, replica) in the table's pools.
     pub replicas: Vec<ReplicaStatsSnapshot>,
+    /// Memory-plan telemetry summed over every replica of both pools.
+    pub plan: PlanTelemetry,
     /// Median time a query waited in the batch former, in milliseconds.
     pub queue_p50_ms: Option<f64>,
     /// 99th-percentile batch-former wait, in milliseconds.
@@ -167,6 +189,10 @@ pub struct StatsSnapshot {
     pub devices_in_use: usize,
     /// The runtime's device budget (`None` = unbounded fleet).
     pub device_budget: Option<usize>,
+    /// Backend-reported resident bytes held by in-flight device leases.
+    pub resident_bytes_in_use: u64,
+    /// High-water mark of resident bytes leased at once since startup.
+    pub peak_resident_bytes: u64,
 }
 
 impl StatsSnapshot {
