@@ -102,7 +102,12 @@ fn bench_full_domain(c: &mut Criterion) {
     let table = random_table(&mut rng, 1 << bits, 8);
 
     let mut group = c.benchmark_group("full_domain_2^16");
-    for kind in [PrfKind::SipHash, PrfKind::Aes128] {
+    for kind in [
+        PrfKind::SipHash,
+        PrfKind::Aes128,
+        PrfKind::Chacha20,
+        PrfKind::HighwayHash,
+    ] {
         let prg = GgmPrg::new(build_prf(kind));
         let (key, _) = generate_keys(&prg, &params, 1234, Ring128::ONE, &mut rng);
         for strategy in [

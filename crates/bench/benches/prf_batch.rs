@@ -9,7 +9,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use pir_field::Block128;
-use pir_prf::{build_prf, FrontierScratch, GgmPrg, PrfKind};
+use pir_prf::{build_prf, build_prf_with_backend, FrontierScratch, GgmPrg, PrfKind, SimdBackend};
 
 /// Number of blocks per measured sweep (one mid-size GGM level).
 const BATCH: usize = 1024;
@@ -46,6 +46,71 @@ fn bench_scalar_vs_batched(c: &mut Criterion) {
     }
 }
 
+/// Forced-scalar vs vectorized `eval_blocks`, per primitive.
+///
+/// The "simd" parameter runs the best backend this host supports (AVX2 on
+/// x86_64, NEON on aarch64) and degrades to scalar where there is none, so
+/// the benchmark names — which the CI gate keys on — are host-stable.
+fn bench_backend_dispatch(c: &mut Criterion) {
+    let inputs = inputs();
+    for kind in PrfKind::ALL {
+        let mut group = c.benchmark_group(format!("prf_backend/{kind:?}"));
+        for (param, backend) in [
+            ("scalar", SimdBackend::Scalar),
+            ("simd", SimdBackend::detect()),
+        ] {
+            let prf = build_prf_with_backend(kind, backend);
+            group.bench_function(BenchmarkId::from_parameter(param), |b| {
+                let mut out = vec![Block128::ZERO; BATCH];
+                b.iter(|| {
+                    prf.eval_blocks(&inputs, 0, &mut out);
+                    std::hint::black_box(out.last().copied())
+                });
+            });
+        }
+        group.finish();
+    }
+}
+
+/// The MMO double-expansion sweep — the frontier engine's actual hot call —
+/// forced-scalar vs vectorized, per primitive.
+fn bench_backend_expand(c: &mut Criterion) {
+    let inputs = inputs();
+    for kind in PrfKind::ALL {
+        let mut group = c.benchmark_group(format!("prf_expand/{kind:?}"));
+        for (param, backend) in [
+            ("scalar", SimdBackend::Scalar),
+            ("simd", SimdBackend::detect()),
+        ] {
+            let prf = build_prf_with_backend(kind, backend);
+            group.bench_function(BenchmarkId::from_parameter(param), |b| {
+                let mut out_a = vec![Block128::ZERO; BATCH];
+                let mut out_b = vec![Block128::ZERO; BATCH];
+                b.iter(|| {
+                    prf.expand_blocks_mmo(&inputs, 0, 1, &mut out_a, &mut out_b);
+                    std::hint::black_box((out_a.last().copied(), out_b.last().copied()))
+                });
+            });
+        }
+        group.finish();
+    }
+}
+
+/// Cost of one frontier-tile autotune probe (paid once per
+/// `(PrfKind, backend)` per process; see `pir_dpf::tile`).
+fn bench_tile_probe(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tile_autotune");
+    group.bench_function(BenchmarkId::from_parameter("probe"), |b| {
+        b.iter(|| {
+            std::hint::black_box(pir_dpf::tile::probe_frontier_tile(
+                PrfKind::SipHash,
+                SimdBackend::detect(),
+            ))
+        });
+    });
+    group.finish();
+}
+
 /// Per-node GGM expansion vs one frontier sweep over the same seeds.
 fn bench_frontier_expansion(c: &mut Criterion) {
     let seeds = inputs();
@@ -78,6 +143,7 @@ fn bench_frontier_expansion(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(20);
-    targets = bench_scalar_vs_batched, bench_frontier_expansion
+    targets = bench_scalar_vs_batched, bench_backend_dispatch, bench_backend_expand,
+        bench_tile_probe, bench_frontier_expansion
 }
 criterion_main!(benches);

@@ -232,13 +232,15 @@ impl<'a> BatchEvalJob<'a> {
         // the dispatch path.
         let rows = AtomicLaneRows::new(batch, lanes);
         let cycles = self.prf_kind.gpu_cycles_per_block();
-        // The kernel name is composed once per job, not per launch.
-        let kernel_name = format!("dpf_batch[{}]", self.strategy.label());
+        // The kernel name is composed once per job, not per launch; it names
+        // the host SIMD backend that executes the PRF sweeps.
+        let prf_backend = self.prg.prf().backend_label();
+        let kernel_name = format!("dpf_batch[{}|{prf_backend}]", self.strategy.label());
 
         let keys_alloc = self.upload_keys(backend);
         let out_alloc = backend.alloc(batch as u64 * lanes as u64 * 4);
 
-        let report = backend.launch(
+        let mut report = backend.launch(
             &kernel_name,
             config,
             &[table_alloc, &keys_alloc, &out_alloc],
@@ -277,6 +279,7 @@ impl<'a> BatchEvalJob<'a> {
         backend.free(out_alloc);
         backend.free(keys_alloc);
 
+        self.tag_report(&mut report, prf_backend);
         BatchEvalOutput { results, report }
     }
 
@@ -291,7 +294,8 @@ impl<'a> BatchEvalJob<'a> {
         let mut results = Vec::with_capacity(self.keys.len());
         let mut merged: Option<KernelReport> = None;
         // One launch per key, all sharing one kernel name built up front.
-        let kernel_name = format!("dpf_coop[{}]", self.strategy.label());
+        let prf_backend = self.prg.prf().backend_label();
+        let kernel_name = format!("dpf_coop[{}|{prf_backend}]", self.strategy.label());
 
         // Keys and outputs for the whole batch are allocated once; the
         // per-key launches all run against the same three allocations.
@@ -355,10 +359,18 @@ impl<'a> BatchEvalJob<'a> {
         backend.free(out_alloc);
         backend.free(keys_alloc);
 
-        BatchEvalOutput {
-            results,
-            report: merged.expect("batch is non-empty"),
-        }
+        let mut report = merged.expect("batch is non-empty");
+        self.tag_report(&mut report, prf_backend);
+        BatchEvalOutput { results, report }
+    }
+
+    /// Stamp the host SIMD provenance onto a launch report: the PRF backend
+    /// label and — when the frontier engine ran and probed — the autotuned
+    /// tile it used.
+    fn tag_report(&self, report: &mut KernelReport, prf_backend: &'static str) {
+        report.prf_backend = prf_backend.to_string();
+        report.frontier_tile =
+            crate::tile::reported_frontier_tile(self.prg.prf().kind(), prf_backend);
     }
 }
 

@@ -58,6 +58,7 @@ pub mod plan;
 pub mod recorder;
 pub mod scheduler;
 pub mod strategy;
+pub mod tile;
 
 pub use analysis::StrategyProfile;
 pub use batch::{BatchEvalJob, BatchEvalOutput, GridMapping};
@@ -73,4 +74,8 @@ pub use recorder::{CountingRecorder, KernelRecorder, NullRecorder, Recorder};
 pub use scheduler::{ExecutionPlan, Scheduler, SchedulerConfig, SchedulerConfigError};
 pub use strategy::{
     eval_full_domain, eval_full_domain_with, eval_subtree_with, EvalStrategy, Subtree,
+};
+pub use tile::{
+    frontier_tile, frontier_tile_for, reported_frontier_tile, DEFAULT_FRONTIER_TILE,
+    FRONTIER_TILE_CANDIDATES,
 };

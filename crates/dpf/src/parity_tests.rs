@@ -664,6 +664,60 @@ mod tests {
         assert!(streamed_seen, "sweep never produced a streamed plan");
     }
 
+    /// For every PRF family × strategy, every SIMD backend this host supports
+    /// produces bit-identical shares *and* exactly-equal counters to the
+    /// forced-scalar backend on the same build: the vector paths change
+    /// nothing observable except wall-clock time. PRF evaluation counts are
+    /// checked through [`pir_prf::CountingPrf`] so the paper's "number of
+    /// PRFs" metric is also proven backend-invariant.
+    #[test]
+    fn simd_backends_match_scalar_shares_and_counters() {
+        use pir_prf::{build_prf_with_backend, CountingPrf, SimdBackend};
+        use std::sync::Arc;
+
+        for kind in PrfKind::ALL {
+            // Keys are generated once, under the scalar backend; every
+            // backend then expands the same keys.
+            let scalar_counting = Arc::new(CountingPrf::new(build_prf_with_backend(
+                kind,
+                SimdBackend::Scalar,
+            )));
+            let scalar_prg = GgmPrg::new(scalar_counting.clone());
+            let mut rng = StdRng::seed_from_u64(0x51D ^ kind as u64);
+            for domain in DOMAINS {
+                let params = DpfParams::for_domain(domain);
+                let alpha = rng.gen_range(0..domain);
+                let (key_a, key_b) =
+                    generate_keys(&scalar_prg, &params, alpha, Ring128::new(3), &mut rng);
+                for strategy in STRATEGIES {
+                    for key in [&key_a, &key_b] {
+                        scalar_counting.reset();
+                        let scalar_recorder = CountingRecorder::new();
+                        let want = eval_full_domain(&scalar_prg, key, strategy, &scalar_recorder);
+                        let want_prf_calls = scalar_counting.calls();
+
+                        for backend in SimdBackend::candidates() {
+                            let counting =
+                                Arc::new(CountingPrf::new(build_prf_with_backend(kind, *backend)));
+                            let prg = GgmPrg::new(counting.clone());
+                            let recorder = CountingRecorder::new();
+                            let got = eval_full_domain(&prg, key, strategy, &recorder);
+
+                            let what = format!(
+                                "{kind} {strategy:?} domain={domain} party={} backend={}",
+                                key.party,
+                                backend.label()
+                            );
+                            assert_eq!(got, want, "{what}: shares");
+                            assert_eq!(counting.calls(), want_prf_calls, "{what}: prf calls");
+                            assert_counters_equal(&recorder, &scalar_recorder, &what);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
     /// The frontier result also reconstructs the point function (end-to-end
     /// sanity on top of the parity proofs), for every PRF family.
     #[test]

@@ -183,7 +183,7 @@ pub fn eval_subtree_with<R, F>(
             );
         }
         EvalStrategy::LevelByLevel => {
-            let mut frontier = FrontierBuffers::with_leaf_capacity(1usize << depth_below);
+            let mut frontier = FrontierBuffers::for_job(prg, 1usize << depth_below);
             level_by_level(
                 prg,
                 key,
@@ -304,12 +304,6 @@ fn branch_parallel<R, F>(
     recorder.release(chunk_len as u64 * LEAF_BYTES);
 }
 
-/// Nodes expanded per PRF sweep inside one level: large enough to amortize
-/// per-sweep setup (key schedules, dispatch), small enough that the two raw
-/// sweep outputs (2 × 16 B per node) stay resident in L1 while the fused
-/// pass consumes them.
-const FRONTIER_TILE: usize = 256;
-
 /// Reusable buffers backing the frontier engine: ping-pong seed levels with
 /// packed control bits, the PRF scratch, and the materialized leaf chunk
 /// handed to the visitor.
@@ -317,8 +311,13 @@ const FRONTIER_TILE: usize = 256;
 /// One instance serves a whole expansion job — `MemoryBounded` reuses it
 /// across every chunk of a `fused_eval_matmul` call, so the hot loop performs
 /// no allocation after the first chunk.
-#[derive(Default)]
 struct FrontierBuffers {
+    /// Nodes expanded per PRF sweep inside one level: large enough to
+    /// amortize per-sweep setup (key schedules, dispatch), small enough that
+    /// the two raw sweep outputs (2 × 16 B per node) stay resident in L1
+    /// while the fused pass consumes them. Autotuned per
+    /// `(PrfKind, backend)` — see [`crate::tile`].
+    tile: usize,
     /// Seeds of the current level (the frontier).
     seeds: Vec<Block128>,
     /// Seeds of the next level (swap target).
@@ -335,14 +334,17 @@ struct FrontierBuffers {
 
 impl FrontierBuffers {
     /// Buffers sized so that expanding up to `leaves` leaves never
-    /// reallocates.
-    fn with_leaf_capacity(leaves: usize) -> Self {
+    /// reallocates, sweeping in tiles of the autotuned size for `prg`'s
+    /// PRF and backend.
+    fn for_job(prg: &GgmPrg, leaves: usize) -> Self {
+        let tile = crate::tile::frontier_tile(prg);
         Self {
+            tile,
             seeds: Vec::with_capacity(leaves),
             next_seeds: Vec::with_capacity(leaves),
             t_bits: Vec::with_capacity(leaves.div_ceil(64)),
             next_t_bits: Vec::with_capacity(leaves.div_ceil(64)),
-            scratch: FrontierScratch::with_capacity(FRONTIER_TILE.min(leaves)),
+            scratch: FrontierScratch::with_capacity(tile.min(leaves)),
             leaves: Vec::with_capacity(leaves),
         }
     }
@@ -410,7 +412,7 @@ fn level_by_level<R, F>(
         // zips with no index arithmetic.
         let mut tile_start = 0usize;
         while tile_start < len {
-            let tile_len = (len - tile_start).min(FRONTIER_TILE);
+            let tile_len = (len - tile_start).min(frontier.tile);
             let tile = &frontier.seeds[tile_start..tile_start + tile_len];
             let (left, right) = prg.frontier_sweeps(tile, &mut frontier.scratch);
 
@@ -534,7 +536,7 @@ fn memory_bounded<R, F>(
     let chunk_bits = (chunk as u64).trailing_zeros().min(depth_below);
     // One set of frontier buffers serves every chunk of this traversal: after
     // the first chunk the hot loop allocates nothing.
-    let mut frontier = FrontierBuffers::with_leaf_capacity(1usize << chunk_bits);
+    let mut frontier = FrontierBuffers::for_job(prg, 1usize << chunk_bits);
 
     // Recursive depth-first descent; the explicit recursion depth is bounded by
     // 64 levels so the host stack is more than sufficient.

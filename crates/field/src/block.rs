@@ -12,6 +12,7 @@ use serde::{Deserialize, Serialize};
 /// (XOR for applying correction words, masking for extracting control bits)
 /// and conversion to [`crate::Ring128`] for the final output layer.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Default, PartialOrd, Ord, Serialize, Deserialize)]
+#[repr(transparent)] // SIMD sweeps reinterpret &[Block128] as raw 16-byte lanes
 pub struct Block128(u128);
 
 impl Block128 {

@@ -28,7 +28,10 @@
 //! assert_eq!((x + y).value(), 0); // wraps mod 2^128
 //! ```
 
-#![forbid(unsafe_code)]
+// Unsafe code is denied crate-wide; the only opt-outs are the per-arch SIMD
+// modules in `simd.rs`, which are reachable solely through runtime feature
+// detection.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 mod block;
@@ -36,6 +39,7 @@ mod lane_rows;
 mod matrix;
 mod ring;
 mod share;
+pub mod simd;
 mod vector;
 
 pub use block::Block128;
@@ -43,6 +47,7 @@ pub use lane_rows::AtomicLaneRows;
 pub use matrix::{matvec_accumulate, matvec_shares, ShareMatrix};
 pub use ring::{Ring128, RingElement};
 pub use share::{reconstruct_lanes, reconstruct_ring, share_lanes, share_ring, AdditiveShare};
+pub use simd::SimdBackend;
 pub use vector::{IndicatorShares, LaneVector};
 
 /// Number of bytes in a 128-bit block.

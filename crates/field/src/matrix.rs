@@ -165,10 +165,7 @@ pub fn matvec_accumulate(
     let start = base_row * lanes;
     let data = &matrix.data[start..start + weights.len() * lanes];
     for (weight, row) in weights.iter().zip(data.chunks_exact(lanes)) {
-        let scale = weight.to_lane();
-        for (lane, value) in acc.0.iter_mut().zip(row) {
-            *lane = lane.wrapping_add(scale.wrapping_mul(*value));
-        }
+        crate::simd::accumulate_scaled(&mut acc.0, weight.to_lane(), row);
     }
 }
 

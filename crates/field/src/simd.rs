@@ -1,0 +1,453 @@
+//! Runtime-dispatched SIMD backend for the field hot loops.
+//!
+//! This module is the dispatch root of the host-side vectorization layer
+//! (modeled on Expander's dual-backend field pattern: one portable entry
+//! point, per-arch implementations behind it). [`SimdBackend`] names a lane
+//! implementation; [`SimdBackend::active`] resolves the best one supported by
+//! the running CPU exactly once per process, honoring the `PIR_PRF_BACKEND`
+//! environment override. Every helper here has an always-compiled scalar
+//! implementation that is the semantic reference — the vector paths must be
+//! (and are, by tests) bit-identical to it for every input length, including
+//! lengths that are not a multiple of the vector width.
+//!
+//! The same backend value also selects the vectorized PRF sweeps in
+//! `pir-prf`; keeping the enum here (the bottom crate of the stack) lets
+//! field, prf, dpf and serve all report one consistent backend label.
+
+use std::sync::OnceLock;
+
+use crate::Block128;
+
+/// Environment variable that overrides SIMD backend auto-detection.
+///
+/// Recognised values: `scalar` (force the portable implementation), `avx2`,
+/// `neon` (use that backend if the host supports it, otherwise fall back to
+/// scalar), and `auto`/empty (detect). Unknown values fall back to `auto`.
+pub const BACKEND_ENV: &str = "PIR_PRF_BACKEND";
+
+/// A host SIMD implementation for the PRF/field hot loops.
+///
+/// Backends that are not supported by the current host degrade to
+/// [`SimdBackend::Scalar`] at construction time (see
+/// [`SimdBackend::supported_or_scalar`]), so holding a backend value is a
+/// proof that its code paths are safe to execute.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum SimdBackend {
+    /// Portable scalar implementation, always available on every target.
+    Scalar,
+    /// x86_64 AVX2 (plus AES-NI for the AES-128 PRF).
+    Avx2,
+    /// aarch64 NEON.
+    Neon,
+}
+
+impl SimdBackend {
+    /// Short lowercase label used in kernel names, telemetry and benches.
+    #[must_use]
+    pub const fn label(self) -> &'static str {
+        match self {
+            SimdBackend::Scalar => "scalar",
+            SimdBackend::Avx2 => "avx2",
+            SimdBackend::Neon => "neon",
+        }
+    }
+
+    /// Parse a [`SimdBackend::label`] back into the backend value.
+    #[must_use]
+    pub fn from_label(label: &str) -> Option<Self> {
+        match label {
+            "scalar" => Some(SimdBackend::Scalar),
+            "avx2" => Some(SimdBackend::Avx2),
+            "neon" => Some(SimdBackend::Neon),
+            _ => None,
+        }
+    }
+
+    /// Whether the running CPU can execute this backend.
+    #[must_use]
+    pub fn is_supported(self) -> bool {
+        match self {
+            SimdBackend::Scalar => true,
+            SimdBackend::Avx2 => {
+                #[cfg(target_arch = "x86_64")]
+                {
+                    // The PRF sweeps additionally use AES-NI (AES-128) and
+                    // SSSE3 byte shuffles; require the full set so one
+                    // backend value covers every primitive.
+                    std::arch::is_x86_feature_detected!("avx2")
+                        && std::arch::is_x86_feature_detected!("aes")
+                        && std::arch::is_x86_feature_detected!("ssse3")
+                }
+                #[cfg(not(target_arch = "x86_64"))]
+                {
+                    false
+                }
+            }
+            SimdBackend::Neon => cfg!(target_arch = "aarch64"),
+        }
+    }
+
+    /// This backend if the host supports it, otherwise [`SimdBackend::Scalar`].
+    #[must_use]
+    pub fn supported_or_scalar(self) -> Self {
+        if self.is_supported() {
+            self
+        } else {
+            SimdBackend::Scalar
+        }
+    }
+
+    /// The best backend the running CPU supports, ignoring the environment.
+    #[must_use]
+    pub fn detect() -> Self {
+        if SimdBackend::Avx2.is_supported() {
+            SimdBackend::Avx2
+        } else if SimdBackend::Neon.is_supported() {
+            SimdBackend::Neon
+        } else {
+            SimdBackend::Scalar
+        }
+    }
+
+    /// The process-wide active backend: [`SimdBackend::detect`] filtered
+    /// through the [`BACKEND_ENV`] override, resolved once and cached.
+    #[must_use]
+    pub fn active() -> Self {
+        static ACTIVE: OnceLock<SimdBackend> = OnceLock::new();
+        *ACTIVE.get_or_init(|| {
+            match std::env::var(BACKEND_ENV) {
+                Ok(value) => match value.trim().to_ascii_lowercase().as_str() {
+                    "scalar" => SimdBackend::Scalar,
+                    "avx2" => SimdBackend::Avx2.supported_or_scalar(),
+                    "neon" => SimdBackend::Neon.supported_or_scalar(),
+                    // "auto", empty, and unknown values all auto-detect.
+                    _ => SimdBackend::detect(),
+                },
+                Err(_) => SimdBackend::detect(),
+            }
+        })
+    }
+
+    /// The distinct backends exercisable on this host: always
+    /// [`SimdBackend::Scalar`], plus the detected native backend when it is
+    /// not scalar. Parity tests iterate this to cover both dispatch paths in
+    /// one build.
+    #[must_use]
+    pub fn candidates() -> &'static [SimdBackend] {
+        static CANDIDATES: OnceLock<Vec<SimdBackend>> = OnceLock::new();
+        CANDIDATES.get_or_init(|| {
+            let mut list = vec![SimdBackend::Scalar];
+            let native = SimdBackend::detect();
+            if native != SimdBackend::Scalar {
+                list.push(native);
+            }
+            list
+        })
+    }
+}
+
+/// `acc[i] = acc[i].wrapping_add(scale.wrapping_mul(row[i]))` for every lane,
+/// under the process-wide active backend.
+///
+/// This is the innermost multiply-accumulate of the fused DPF-matmul.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+#[inline]
+pub fn accumulate_scaled(acc: &mut [u32], scale: u32, row: &[u32]) {
+    accumulate_scaled_with(SimdBackend::active(), acc, scale, row);
+}
+
+/// [`accumulate_scaled`] with an explicit backend (tests and benches).
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+#[inline]
+pub fn accumulate_scaled_with(backend: SimdBackend, acc: &mut [u32], scale: u32, row: &[u32]) {
+    assert_eq!(acc.len(), row.len(), "lane slices must match");
+    match backend.supported_or_scalar() {
+        #[cfg(target_arch = "x86_64")]
+        SimdBackend::Avx2 => avx2::accumulate_scaled(acc, scale, row),
+        _ => accumulate_scaled_scalar(acc, scale, row),
+    }
+}
+
+#[inline]
+fn accumulate_scaled_scalar(acc: &mut [u32], scale: u32, row: &[u32]) {
+    for (lane, value) in acc.iter_mut().zip(row) {
+        *lane = lane.wrapping_add(scale.wrapping_mul(*value));
+    }
+}
+
+/// `acc[i] = acc[i].wrapping_add(row[i])` for every lane, under the
+/// process-wide active backend (the replica/aggregator row-add).
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+#[inline]
+pub fn add_wrapping(acc: &mut [u32], row: &[u32]) {
+    add_wrapping_with(SimdBackend::active(), acc, row);
+}
+
+/// [`add_wrapping`] with an explicit backend (tests and benches).
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+#[inline]
+pub fn add_wrapping_with(backend: SimdBackend, acc: &mut [u32], row: &[u32]) {
+    assert_eq!(acc.len(), row.len(), "lane slices must match");
+    match backend.supported_or_scalar() {
+        #[cfg(target_arch = "x86_64")]
+        SimdBackend::Avx2 => avx2::add_wrapping(acc, row),
+        _ => add_wrapping_scalar(acc, row),
+    }
+}
+
+#[inline]
+fn add_wrapping_scalar(acc: &mut [u32], row: &[u32]) {
+    for (lane, value) in acc.iter_mut().zip(row) {
+        *lane = lane.wrapping_add(*value);
+    }
+}
+
+/// `out[i] ^= inputs[i]` for every block, under the process-wide active
+/// backend — the Matyas–Meyer–Oseas feed-forward / correction-word pass.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+#[inline]
+pub fn xor_blocks_inplace(out: &mut [Block128], inputs: &[Block128]) {
+    xor_blocks_inplace_with(SimdBackend::active(), out, inputs);
+}
+
+/// [`xor_blocks_inplace`] with an explicit backend (tests and benches).
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+#[inline]
+pub fn xor_blocks_inplace_with(backend: SimdBackend, out: &mut [Block128], inputs: &[Block128]) {
+    assert_eq!(out.len(), inputs.len(), "block slices must match");
+    match backend.supported_or_scalar() {
+        #[cfg(target_arch = "x86_64")]
+        SimdBackend::Avx2 => avx2::xor_blocks_inplace(out, inputs),
+        _ => xor_blocks_inplace_scalar(out, inputs),
+    }
+}
+
+#[inline]
+fn xor_blocks_inplace_scalar(out: &mut [Block128], inputs: &[Block128]) {
+    for (slot, input) in out.iter_mut().zip(inputs) {
+        *slot ^= *input;
+    }
+}
+
+/// AVX2 implementations of the lane kernels.
+///
+/// Safety: every function in this module is compiled with
+/// `#[target_feature(enable = "avx2")]` and must only be reached through a
+/// [`SimdBackend::Avx2`] value, which (via `supported_or_scalar`) exists only
+/// on hosts where AVX2 was detected at runtime.
+#[cfg(target_arch = "x86_64")]
+#[allow(unsafe_code)]
+mod avx2 {
+    use core::arch::x86_64::{
+        __m256i, _mm256_add_epi32, _mm256_loadu_si256, _mm256_mullo_epi32, _mm256_set1_epi32,
+        _mm256_storeu_si256, _mm256_xor_si256,
+    };
+
+    use crate::Block128;
+
+    #[inline]
+    pub(super) fn accumulate_scaled(acc: &mut [u32], scale: u32, row: &[u32]) {
+        // SAFETY: reached only via a supported Avx2 backend value.
+        unsafe { accumulate_scaled_impl(acc, scale, row) }
+    }
+
+    #[target_feature(enable = "avx2")]
+    unsafe fn accumulate_scaled_impl(acc: &mut [u32], scale: u32, row: &[u32]) {
+        let lanes = acc.len();
+        let chunks = lanes / 8;
+        let scale_v = _mm256_set1_epi32(scale as i32);
+        let acc_ptr = acc.as_mut_ptr();
+        let row_ptr = row.as_ptr();
+        for i in 0..chunks {
+            // SAFETY: i * 8 + 8 <= lanes == row.len(); unaligned loads/stores.
+            let a = _mm256_loadu_si256(acc_ptr.add(i * 8).cast::<__m256i>());
+            let r = _mm256_loadu_si256(row_ptr.add(i * 8).cast::<__m256i>());
+            // _mm256_mullo_epi32 keeps the low 32 bits of each product —
+            // exactly `wrapping_mul` — and _mm256_add_epi32 is wrapping_add.
+            let sum = _mm256_add_epi32(a, _mm256_mullo_epi32(r, scale_v));
+            _mm256_storeu_si256(acc_ptr.add(i * 8).cast::<__m256i>(), sum);
+        }
+        for i in chunks * 8..lanes {
+            acc[i] = acc[i].wrapping_add(scale.wrapping_mul(row[i]));
+        }
+    }
+
+    #[inline]
+    pub(super) fn add_wrapping(acc: &mut [u32], row: &[u32]) {
+        // SAFETY: reached only via a supported Avx2 backend value.
+        unsafe { add_wrapping_impl(acc, row) }
+    }
+
+    #[target_feature(enable = "avx2")]
+    unsafe fn add_wrapping_impl(acc: &mut [u32], row: &[u32]) {
+        let lanes = acc.len();
+        let chunks = lanes / 8;
+        let acc_ptr = acc.as_mut_ptr();
+        let row_ptr = row.as_ptr();
+        for i in 0..chunks {
+            // SAFETY: i * 8 + 8 <= lanes == row.len(); unaligned loads/stores.
+            let a = _mm256_loadu_si256(acc_ptr.add(i * 8).cast::<__m256i>());
+            let r = _mm256_loadu_si256(row_ptr.add(i * 8).cast::<__m256i>());
+            _mm256_storeu_si256(acc_ptr.add(i * 8).cast::<__m256i>(), _mm256_add_epi32(a, r));
+        }
+        for i in chunks * 8..lanes {
+            acc[i] = acc[i].wrapping_add(row[i]);
+        }
+    }
+
+    #[inline]
+    pub(super) fn xor_blocks_inplace(out: &mut [Block128], inputs: &[Block128]) {
+        // SAFETY: reached only via a supported Avx2 backend value.
+        unsafe { xor_blocks_impl(out, inputs) }
+    }
+
+    #[target_feature(enable = "avx2")]
+    unsafe fn xor_blocks_impl(out: &mut [Block128], inputs: &[Block128]) {
+        // Block128 is #[repr(transparent)] over u128, so a pair of blocks is
+        // 32 contiguous bytes — one 256-bit lane.
+        let pairs = out.len() / 2;
+        let out_ptr = out.as_mut_ptr().cast::<__m256i>();
+        let in_ptr = inputs.as_ptr().cast::<__m256i>();
+        for i in 0..pairs {
+            // SAFETY: i * 2 + 2 <= out.len() == inputs.len(); unaligned ops.
+            let a = _mm256_loadu_si256(out_ptr.add(i));
+            let b = _mm256_loadu_si256(in_ptr.add(i));
+            _mm256_storeu_si256(out_ptr.add(i), _mm256_xor_si256(a, b));
+        }
+        if out.len() % 2 == 1 {
+            let last = out.len() - 1;
+            out[last] ^= inputs[last];
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn labels_are_distinct() {
+        assert_eq!(SimdBackend::Scalar.label(), "scalar");
+        assert_eq!(SimdBackend::Avx2.label(), "avx2");
+        assert_eq!(SimdBackend::Neon.label(), "neon");
+    }
+
+    #[test]
+    fn scalar_is_always_supported() {
+        assert!(SimdBackend::Scalar.is_supported());
+        assert_eq!(
+            SimdBackend::Scalar.supported_or_scalar(),
+            SimdBackend::Scalar
+        );
+    }
+
+    #[test]
+    fn active_backend_is_supported() {
+        assert!(SimdBackend::active().is_supported());
+        assert!(SimdBackend::detect().is_supported());
+    }
+
+    #[test]
+    fn candidates_start_with_scalar_and_are_distinct() {
+        let candidates = SimdBackend::candidates();
+        assert_eq!(candidates[0], SimdBackend::Scalar);
+        assert!(candidates.len() <= 2);
+        for backend in candidates {
+            assert!(backend.is_supported());
+        }
+    }
+
+    // Lengths that stress the vector tails: empty, sub-lane, exactly one
+    // lane, lane-1 / lane+1 remainders and a long odd length.
+    const TAIL_LENGTHS: [usize; 9] = [0, 1, 3, 7, 8, 9, 15, 64, 201];
+
+    #[test]
+    fn lane_kernels_match_scalar_on_tail_lengths() {
+        let mut rng = StdRng::seed_from_u64(0x51AD);
+        for backend in SimdBackend::candidates() {
+            for len in TAIL_LENGTHS {
+                let row: Vec<u32> = (0..len).map(|_| rng.gen()).collect();
+                let base: Vec<u32> = (0..len).map(|_| rng.gen()).collect();
+                let scale: u32 = rng.gen();
+
+                let mut want = base.clone();
+                accumulate_scaled_scalar(&mut want, scale, &row);
+                let mut got = base.clone();
+                accumulate_scaled_with(*backend, &mut got, scale, &row);
+                assert_eq!(want, got, "accumulate_scaled {backend:?} len={len}");
+
+                let mut want = base.clone();
+                add_wrapping_scalar(&mut want, &row);
+                let mut got = base.clone();
+                add_wrapping_with(*backend, &mut got, &row);
+                assert_eq!(want, got, "add_wrapping {backend:?} len={len}");
+
+                let blocks: Vec<Block128> = (0..len).map(|_| Block128::random(&mut rng)).collect();
+                let out_base: Vec<Block128> =
+                    (0..len).map(|_| Block128::random(&mut rng)).collect();
+                let mut want = out_base.clone();
+                xor_blocks_inplace_scalar(&mut want, &blocks);
+                let mut got = out_base.clone();
+                xor_blocks_inplace_with(*backend, &mut got, &blocks);
+                assert_eq!(want, got, "xor_blocks {backend:?} len={len}");
+            }
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn accumulate_scaled_matches_scalar(
+            seed in any::<u64>(),
+            len in 0usize..100,
+            scale in any::<u32>(),
+        ) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let row: Vec<u32> = (0..len).map(|_| rng.gen()).collect();
+            let base: Vec<u32> = (0..len).map(|_| rng.gen()).collect();
+            for backend in SimdBackend::candidates() {
+                let mut want = base.clone();
+                accumulate_scaled_scalar(&mut want, scale, &row);
+                let mut got = base.clone();
+                accumulate_scaled_with(*backend, &mut got, scale, &row);
+                prop_assert_eq!(&want, &got);
+            }
+        }
+
+        #[test]
+        fn xor_blocks_matches_scalar(seed in any::<u64>(), len in 0usize..64) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let inputs: Vec<Block128> =
+                (0..len).map(|_| Block128::random(&mut rng)).collect();
+            let base: Vec<Block128> =
+                (0..len).map(|_| Block128::random(&mut rng)).collect();
+            for backend in SimdBackend::candidates() {
+                let mut want = base.clone();
+                xor_blocks_inplace_scalar(&mut want, &inputs);
+                let mut got = base.clone();
+                xor_blocks_inplace_with(*backend, &mut got, &inputs);
+                prop_assert_eq!(&want, &got);
+            }
+        }
+    }
+}

@@ -114,9 +114,7 @@ impl LaneVector {
     /// Panics if the vectors have different lengths.
     pub fn add_assign_wrapping(&mut self, other: &Self) {
         assert_eq!(self.0.len(), other.0.len(), "lane vectors must match");
-        for (a, b) in self.0.iter_mut().zip(&other.0) {
-            *a = a.wrapping_add(*b);
-        }
+        crate::simd::add_wrapping(&mut self.0, &other.0);
     }
 
     /// Accumulate `scale * other` element-wise (wrapping), the core of the
@@ -127,9 +125,7 @@ impl LaneVector {
     /// Panics if the vectors have different lengths.
     pub fn add_scaled_assign(&mut self, scale: u32, other: &[u32]) {
         assert_eq!(self.0.len(), other.len(), "lane vectors must match");
-        for (a, b) in self.0.iter_mut().zip(other) {
-            *a = a.wrapping_add(scale.wrapping_mul(*b));
-        }
+        crate::simd::accumulate_scaled(&mut self.0, scale, other);
     }
 }
 

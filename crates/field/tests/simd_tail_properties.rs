@@ -1,0 +1,68 @@
+//! Tail-correctness proofs for the vectorized field helpers.
+//!
+//! The row-add, scaled-accumulate and block-XOR kernels process a
+//! vector-width-aligned prefix with SIMD and the remainder with scalar code;
+//! these properties pin every supported backend to the scalar result
+//! byte for byte on lengths straddling the seam (0, 1, lane−1 and random
+//! non-multiples).
+
+use pir_field::simd::{
+    accumulate_scaled_with, add_wrapping_with, xor_blocks_inplace_with, SimdBackend,
+};
+use pir_field::Block128;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Lanes per AVX2 vector for the u32 kernels; brackets every backend's split.
+const LANE: usize = 8;
+
+const EDGE_LENGTHS: [usize; 8] = [0, 1, 2, LANE - 1, LANE, LANE + 1, 2 * LANE - 1, 33];
+
+fn assert_backend_matches_scalar(backend: SimdBackend, len: usize, seed: u64) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let row: Vec<u32> = (0..len).map(|_| rng.gen()).collect();
+    let acc0: Vec<u32> = (0..len).map(|_| rng.gen()).collect();
+    let scale: u32 = rng.gen();
+    let what = format!("backend={} len={len}", backend.label());
+
+    let mut want = acc0.clone();
+    let mut got = acc0.clone();
+    accumulate_scaled_with(SimdBackend::Scalar, &mut want, scale, &row);
+    accumulate_scaled_with(backend, &mut got, scale, &row);
+    assert_eq!(got, want, "{what}: accumulate_scaled");
+
+    let mut want = acc0.clone();
+    let mut got = acc0;
+    add_wrapping_with(SimdBackend::Scalar, &mut want, &row);
+    add_wrapping_with(backend, &mut got, &row);
+    assert_eq!(got, want, "{what}: add_wrapping");
+
+    let blocks: Vec<Block128> = (0..len).map(|_| Block128::from_u128(rng.gen())).collect();
+    let out0: Vec<Block128> = (0..len).map(|_| Block128::from_u128(rng.gen())).collect();
+    let mut want = out0.clone();
+    let mut got = out0;
+    xor_blocks_inplace_with(SimdBackend::Scalar, &mut want, &blocks);
+    xor_blocks_inplace_with(backend, &mut got, &blocks);
+    assert_eq!(got, want, "{what}: xor_blocks_inplace");
+}
+
+#[test]
+fn edge_lengths_match_scalar_for_every_backend() {
+    for backend in SimdBackend::candidates() {
+        for len in EDGE_LENGTHS {
+            assert_backend_matches_scalar(*backend, len, 0xF1E1D ^ len as u64);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn random_lengths_match_scalar(len in 0usize..300, seed in any::<u64>()) {
+        for backend in SimdBackend::candidates() {
+            assert_backend_matches_scalar(*backend, len, seed);
+        }
+    }
+}

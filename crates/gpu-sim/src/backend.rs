@@ -534,6 +534,8 @@ impl DeviceBackend for HostBackend {
             estimated_time_s: wall_s,
             peak_memory_bytes: memory.peak(),
             host_wall_time_s: wall_s,
+            prf_backend: String::new(),
+            frontier_tile: None,
         }
     }
 

@@ -152,6 +152,8 @@ impl GpuExecutor {
             estimated_time_s: time.total_s,
             peak_memory_bytes: memory.peak(),
             host_wall_time_s,
+            prf_backend: String::new(),
+            frontier_tile: None,
         }
     }
 }

@@ -26,6 +26,14 @@ pub struct KernelReport {
     /// Wall-clock seconds the functional simulation took on the host (useful
     /// for judging simulation cost, not part of the model).
     pub host_wall_time_s: f64,
+    /// Host SIMD backend that executed the PRF sweeps (`"scalar"`, `"avx2"`
+    /// or `"neon"`); empty when the launch did not involve PRF work.
+    #[serde(default)]
+    pub prf_backend: String,
+    /// Autotuned frontier tile the sweep used, if the frontier engine ran
+    /// (see `pir_dpf::tile`).
+    #[serde(default)]
+    pub frontier_tile: Option<usize>,
 }
 
 impl KernelReport {
@@ -71,6 +79,12 @@ impl KernelReport {
             estimated_time_s: time.total_s,
             peak_memory_bytes: self.peak_memory_bytes.max(other.peak_memory_bytes),
             host_wall_time_s: self.host_wall_time_s + other.host_wall_time_s,
+            prf_backend: if self.prf_backend.is_empty() {
+                other.prf_backend.clone()
+            } else {
+                self.prf_backend.clone()
+            },
+            frontier_tile: self.frontier_tile.or(other.frontier_tile),
         }
     }
 }
@@ -98,6 +112,8 @@ mod tests {
             estimated_time_s: total_s,
             peak_memory_bytes: peak,
             host_wall_time_s: 0.0,
+            prf_backend: String::new(),
+            frontier_tile: None,
         }
     }
 

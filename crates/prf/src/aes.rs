@@ -9,7 +9,7 @@
 //! ([`crate::PrfKind::gpu_cycles_per_block`]), while this code provides the
 //! *functional* behaviour.
 
-use pir_field::Block128;
+use pir_field::{Block128, SimdBackend};
 
 use crate::{Prf, PrfKind};
 
@@ -199,6 +199,7 @@ impl Aes128 {
 /// DPF implementations.
 pub struct Aes128Prf {
     cipher: Aes128,
+    backend: SimdBackend,
 }
 
 impl Aes128Prf {
@@ -207,6 +208,7 @@ impl Aes128Prf {
     pub fn new(key: [u8; BLOCK]) -> Self {
         Self {
             cipher: Aes128::new(key),
+            backend: SimdBackend::Scalar,
         }
     }
 
@@ -214,6 +216,18 @@ impl Aes128Prf {
     #[must_use]
     pub fn with_fixed_key() -> Self {
         Self::new(*b"gpu-pir-aes-key!")
+    }
+
+    /// Pin the batched sweeps to a SIMD backend (unsupported requests fall
+    /// back to scalar). Only the x86_64 backend accelerates AES (via AES-NI);
+    /// NEON hosts use the scalar path.
+    #[must_use]
+    pub fn with_backend(mut self, backend: SimdBackend) -> Self {
+        self.backend = match backend.supported_or_scalar() {
+            SimdBackend::Avx2 => SimdBackend::Avx2,
+            _ => SimdBackend::Scalar,
+        };
+        self
     }
 }
 
@@ -234,10 +248,74 @@ impl Prf for Aes128Prf {
             "eval_blocks input/output length mismatch"
         );
         let mask = tweak_block(tweak);
+        #[cfg(target_arch = "x86_64")]
+        if self.backend == SimdBackend::Avx2 {
+            crate::simd::aes_x86::eval_blocks(&self.cipher.round_key_columns, mask, inputs, out);
+            return;
+        }
         for (input, slot) in inputs.iter().zip(out.iter_mut()) {
             *slot =
                 Block128::from_le_bytes(self.cipher.encrypt_block((*input ^ mask).to_le_bytes()));
         }
+    }
+
+    fn eval_blocks_pair(
+        &self,
+        inputs: &[Block128],
+        tweak_a: u64,
+        tweak_b: u64,
+        out_a: &mut [Block128],
+        out_b: &mut [Block128],
+    ) {
+        #[cfg(target_arch = "x86_64")]
+        if self.backend == SimdBackend::Avx2 {
+            assert_eq!(inputs.len(), out_a.len());
+            assert_eq!(inputs.len(), out_b.len());
+            crate::simd::aes_x86::pair_sweep(
+                &self.cipher.round_key_columns,
+                tweak_block(tweak_a),
+                tweak_block(tweak_b),
+                inputs,
+                out_a,
+                out_b,
+                false,
+            );
+            return;
+        }
+        self.eval_blocks(inputs, tweak_a, out_a);
+        self.eval_blocks(inputs, tweak_b, out_b);
+    }
+
+    fn expand_blocks_mmo(
+        &self,
+        inputs: &[Block128],
+        tweak_a: u64,
+        tweak_b: u64,
+        out_a: &mut [Block128],
+        out_b: &mut [Block128],
+    ) {
+        #[cfg(target_arch = "x86_64")]
+        if self.backend == SimdBackend::Avx2 {
+            assert_eq!(inputs.len(), out_a.len());
+            assert_eq!(inputs.len(), out_b.len());
+            crate::simd::aes_x86::pair_sweep(
+                &self.cipher.round_key_columns,
+                tweak_block(tweak_a),
+                tweak_block(tweak_b),
+                inputs,
+                out_a,
+                out_b,
+                true,
+            );
+            return;
+        }
+        self.eval_blocks_pair(inputs, tweak_a, tweak_b, out_a, out_b);
+        pir_field::simd::xor_blocks_inplace(out_a, inputs);
+        pir_field::simd::xor_blocks_inplace(out_b, inputs);
+    }
+
+    fn backend_label(&self) -> &'static str {
+        self.backend.label()
     }
 }
 

@@ -100,6 +100,10 @@ impl Prf for CountingPrf {
     fn call_count(&self) -> Option<u64> {
         Some(self.calls())
     }
+
+    fn backend_label(&self) -> &'static str {
+        self.inner.backend_label()
+    }
 }
 
 impl std::fmt::Debug for CountingPrf {

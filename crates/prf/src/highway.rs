@@ -11,7 +11,7 @@
 //! the performance model needs, while its output stream is specific to this
 //! crate. This substitution is recorded in `DESIGN.md`.
 
-use pir_field::Block128;
+use pir_field::{Block128, SimdBackend};
 
 use crate::{Prf, PrfKind};
 
@@ -106,6 +106,7 @@ pub struct HighwayPrf {
     /// The key-derived initial state, computed once; every evaluation starts
     /// from a copy instead of re-deriving it from the key.
     base: HighwayState,
+    backend: SimdBackend,
 }
 
 impl HighwayPrf {
@@ -114,7 +115,20 @@ impl HighwayPrf {
     pub fn new(key: [u64; 4]) -> Self {
         Self {
             base: HighwayState::new(&key),
+            backend: SimdBackend::Scalar,
         }
+    }
+
+    /// Pin the batched sweeps to a SIMD backend (unsupported requests fall
+    /// back to scalar). Only the x86_64 backend vectorizes the lane update;
+    /// NEON hosts use the scalar path.
+    #[must_use]
+    pub fn with_backend(mut self, backend: SimdBackend) -> Self {
+        self.backend = match backend.supported_or_scalar() {
+            SimdBackend::Avx2 => SimdBackend::Avx2,
+            _ => SimdBackend::Scalar,
+        };
+        self
     }
 
     /// The tweak-derived packet lanes shared by every block of a batch.
@@ -162,9 +176,24 @@ impl Prf for HighwayPrf {
             "eval_blocks input/output length mismatch"
         );
         let (t2, t3) = Self::tweak_lanes(tweak);
+        #[cfg(target_arch = "x86_64")]
+        if self.backend == SimdBackend::Avx2 {
+            let base = crate::simd::highway_x86::BaseState {
+                v0: self.base.v0,
+                v1: self.base.v1,
+                mul0: self.base.mul0,
+                mul1: self.base.mul1,
+            };
+            crate::simd::highway_x86::eval_blocks(&base, t2, t3, inputs, out);
+            return;
+        }
         for (input, slot) in inputs.iter().zip(out.iter_mut()) {
             *slot = self.eval_from_base(*input, t2, t3);
         }
+    }
+
+    fn backend_label(&self) -> &'static str {
+        self.backend.label()
     }
 }
 

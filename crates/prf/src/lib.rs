@@ -31,7 +31,10 @@
 //! assert_eq!(expansion, prg.expand(Block128::from_u128(42)));
 //! ```
 
-#![forbid(unsafe_code)]
+// Unsafe code is denied crate-wide and re-allowed only inside `simd`, whose
+// per-architecture modules need `core::arch` intrinsics. Everything else in
+// this crate remains `unsafe`-free.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 mod aes;
@@ -40,6 +43,7 @@ mod counter;
 mod highway;
 mod prg;
 mod sha256;
+mod simd;
 mod siphash;
 
 use std::fmt;
@@ -52,6 +56,7 @@ pub use aes::Aes128Prf;
 pub use chacha::ChaCha20Prf;
 pub use counter::CountingPrf;
 pub use highway::HighwayPrf;
+pub use pir_field::SimdBackend;
 pub use prg::{FrontierScratch, GgmPrg, PrgExpansion};
 pub use sha256::{hmac_sha256, sha256, Sha256Prf};
 pub use siphash::{siphash24, SipHashPrf};
@@ -141,16 +146,22 @@ pub trait Prf: Send + Sync {
         out_b: &mut [Block128],
     ) {
         self.eval_blocks_pair(inputs, tweak_a, tweak_b, out_a, out_b);
-        for ((a, b), input) in out_a.iter_mut().zip(out_b.iter_mut()).zip(inputs) {
-            *a ^= *input;
-            *b ^= *input;
-        }
+        pir_field::simd::xor_blocks_inplace(out_a, inputs);
+        pir_field::simd::xor_blocks_inplace(out_b, inputs);
     }
 
     /// Number of primitive invocations performed so far, if this PRF counts
     /// them (see [`CountingPrf`]). Plain primitives return `None`.
     fn call_count(&self) -> Option<u64> {
         None
+    }
+
+    /// Label of the code path the batched sweeps of this instance execute
+    /// (`"scalar"`, `"avx2"` or `"neon"`), for kernel reports and serve
+    /// telemetry. Primitives without a vector implementation for the active
+    /// backend report `"scalar"` regardless of what was requested.
+    fn backend_label(&self) -> &'static str {
+        "scalar"
     }
 }
 
@@ -249,14 +260,28 @@ impl fmt::Display for PrfKind {
 
 /// Construct a boxed PRF of the requested kind with a fixed, publicly known
 /// key (DPF security rests on the secrecy of the seeds, not the PRF key).
+///
+/// The instance uses the process-wide active SIMD backend
+/// ([`SimdBackend::active`], which honors the `PIR_PRF_BACKEND` environment
+/// override); outputs are bit-identical across backends.
 #[must_use]
 pub fn build_prf(kind: PrfKind) -> Arc<dyn Prf> {
+    build_prf_with_backend(kind, SimdBackend::active())
+}
+
+/// Construct a boxed PRF of the requested kind pinned to a specific SIMD
+/// backend (falling back to scalar if `backend` is unsupported on this host).
+///
+/// The parity suite uses this to run the same primitive under every available
+/// backend in one process and compare outputs byte for byte.
+#[must_use]
+pub fn build_prf_with_backend(kind: PrfKind, backend: SimdBackend) -> Arc<dyn Prf> {
     match kind {
-        PrfKind::Aes128 => Arc::new(Aes128Prf::with_fixed_key()),
-        PrfKind::Sha256 => Arc::new(Sha256Prf::with_fixed_key()),
-        PrfKind::Chacha20 => Arc::new(ChaCha20Prf::with_fixed_key()),
-        PrfKind::SipHash => Arc::new(SipHashPrf::with_fixed_key()),
-        PrfKind::HighwayHash => Arc::new(HighwayPrf::with_fixed_key()),
+        PrfKind::Aes128 => Arc::new(Aes128Prf::with_fixed_key().with_backend(backend)),
+        PrfKind::Sha256 => Arc::new(Sha256Prf::with_fixed_key().with_backend(backend)),
+        PrfKind::Chacha20 => Arc::new(ChaCha20Prf::with_fixed_key().with_backend(backend)),
+        PrfKind::SipHash => Arc::new(SipHashPrf::with_fixed_key().with_backend(backend)),
+        PrfKind::HighwayHash => Arc::new(HighwayPrf::with_fixed_key().with_backend(backend)),
     }
 }
 

@@ -4,7 +4,7 @@
 //! frequently ship SHA extensions; GPUs evaluate it in software, which makes
 //! it roughly as expensive as software AES.
 
-use pir_field::Block128;
+use pir_field::{Block128, SimdBackend};
 
 use crate::{Prf, PrfKind};
 
@@ -19,7 +19,7 @@ const H0: [u32; 8] = [
     0x5be0_cd19,
 ];
 
-const K: [u32; 64] = [
+pub(crate) const K: [u32; 64] = [
     0x428a_2f98,
     0x7137_4491,
     0xb5c0_fbcf,
@@ -194,14 +194,15 @@ pub struct Sha256Prf {
     inner_midstate: [u32; 8],
     /// SHA-256 state after compressing `key ⊕ opad`.
     outer_midstate: [u32; 8],
+    backend: SimdBackend,
 }
 
 /// Total bytes hashed by the inner SHA-256: the ipad block plus the 24-byte
 /// message.
-const INNER_LEN_BITS: u64 = (64 + 24) * 8;
+pub(crate) const INNER_LEN_BITS: u64 = (64 + 24) * 8;
 /// Total bytes hashed by the outer SHA-256: the opad block plus the 32-byte
 /// inner digest.
-const OUTER_LEN_BITS: u64 = (64 + 32) * 8;
+pub(crate) const OUTER_LEN_BITS: u64 = (64 + 32) * 8;
 
 impl Sha256Prf {
     /// Build a PRF with an explicit 256-bit key.
@@ -223,6 +224,7 @@ impl Sha256Prf {
         Self {
             inner_midstate,
             outer_midstate,
+            backend: SimdBackend::Scalar,
         }
     }
 
@@ -230,6 +232,18 @@ impl Sha256Prf {
     #[must_use]
     pub fn with_fixed_key() -> Self {
         Self::new(*b"gpu-pir-sha256-prf-fixed-key!!!!")
+    }
+
+    /// Pin the batched sweeps to a SIMD backend (unsupported requests fall
+    /// back to scalar). Only the x86_64 backend vectorizes the 8-way
+    /// multi-buffer HMAC; NEON hosts use the scalar path.
+    #[must_use]
+    pub fn with_backend(mut self, backend: SimdBackend) -> Self {
+        self.backend = match backend.supported_or_scalar() {
+            SimdBackend::Avx2 => SimdBackend::Avx2,
+            _ => SimdBackend::Scalar,
+        };
+        self
     }
 
     /// One HMAC evaluation from the cached midstates: exactly two compressions.
@@ -279,9 +293,29 @@ impl Prf for Sha256Prf {
             out.len(),
             "eval_blocks input/output length mismatch"
         );
-        for (input, slot) in inputs.iter().zip(out.iter_mut()) {
+        #[cfg_attr(not(target_arch = "x86_64"), allow(unused_mut))]
+        let mut vector_len = 0;
+        #[cfg(target_arch = "x86_64")]
+        if self.backend == SimdBackend::Avx2 {
+            vector_len = inputs.len() - inputs.len() % crate::simd::sha256_x86::WIDTH;
+            crate::simd::sha256_x86::eval_blocks(
+                &self.inner_midstate,
+                &self.outer_midstate,
+                &inputs[..vector_len],
+                tweak,
+                &mut out[..vector_len],
+            );
+        }
+        for (input, slot) in inputs[vector_len..]
+            .iter()
+            .zip(out[vector_len..].iter_mut())
+        {
             *slot = self.mac_block(*input, tweak);
         }
+    }
+
+    fn backend_label(&self) -> &'static str {
+        self.backend.label()
     }
 }
 

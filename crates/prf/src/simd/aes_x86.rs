@@ -1,0 +1,197 @@
+//! AES-NI sweeps for the AES-128 PRF.
+//!
+//! The scalar path computes standard FIPS-197 AES-128 with fused T-tables;
+//! `AESENC`/`AESENCLAST` compute exactly one round of the same cipher on the
+//! same little-endian column-major state layout, so the hardware path is
+//! bit-identical by construction (and checked by the parity tests). The
+//! expanded key schedule is already stored as little-endian column words,
+//! whose memory image is precisely the 16 round-key bytes each `AESENC`
+//! round expects — the keys are loaded directly, with no reshuffling.
+//!
+//! Eight blocks are kept in flight per loop iteration to cover the `AESENC`
+//! latency (the instruction pipelines one block per cycle but takes several
+//! cycles to retire, so a single dependent chain would idle the unit).
+
+#![allow(unsafe_code)]
+
+use core::arch::x86_64::{
+    __m128i, _mm_aesenc_si128, _mm_aesenclast_si128, _mm_loadu_si128, _mm_storeu_si128,
+    _mm_xor_si128,
+};
+
+use pir_field::Block128;
+
+const ROUNDS: usize = 10;
+const PIPELINE: usize = 8;
+
+type RoundKeys = [__m128i; ROUNDS + 1];
+
+#[target_feature(enable = "aes")]
+unsafe fn load_round_keys(columns: &[[u32; 4]; ROUNDS + 1]) -> RoundKeys {
+    let mut keys = [core::mem::zeroed(); ROUNDS + 1];
+    for (key, column) in keys.iter_mut().zip(columns) {
+        // SAFETY: [u32; 4] is 16 readable bytes; unaligned load.
+        *key = _mm_loadu_si128(column.as_ptr().cast::<__m128i>());
+    }
+    keys
+}
+
+/// Encrypt one loaded state (already XORed with the tweak mask).
+#[inline]
+#[target_feature(enable = "aes")]
+unsafe fn encrypt(keys: &RoundKeys, mut state: __m128i) -> __m128i {
+    state = _mm_xor_si128(state, keys[0]);
+    for key in keys.iter().take(ROUNDS).skip(1) {
+        state = _mm_aesenc_si128(state, *key);
+    }
+    _mm_aesenclast_si128(state, keys[ROUNDS])
+}
+
+/// `out[i] = AES_k(inputs[i] ^ mask)` for every block.
+///
+/// Must only be called when the Avx2 backend (which requires AES-NI) passed
+/// runtime detection.
+pub(crate) fn eval_blocks(
+    columns: &[[u32; 4]; ROUNDS + 1],
+    mask: Block128,
+    inputs: &[Block128],
+    out: &mut [Block128],
+) {
+    debug_assert_eq!(inputs.len(), out.len());
+    // SAFETY: caller contract — AES-NI detected at runtime.
+    unsafe { eval_blocks_impl(columns, mask, inputs, out) }
+}
+
+#[target_feature(enable = "aes")]
+unsafe fn eval_blocks_impl(
+    columns: &[[u32; 4]; ROUNDS + 1],
+    mask: Block128,
+    inputs: &[Block128],
+    out: &mut [Block128],
+) {
+    let keys = load_round_keys(columns);
+    let mask_bytes = mask.to_le_bytes();
+    // SAFETY: 16 readable bytes.
+    let mask_v = _mm_loadu_si128(mask_bytes.as_ptr().cast::<__m128i>());
+
+    let len = inputs.len();
+    // SAFETY: Block128 is #[repr(transparent)] over u128 — 16 raw LE bytes.
+    let in_ptr = inputs.as_ptr().cast::<__m128i>();
+    let out_ptr = out.as_mut_ptr().cast::<__m128i>();
+
+    let full = len / PIPELINE * PIPELINE;
+    let mut i = 0;
+    while i < full {
+        let mut states = [core::mem::zeroed::<__m128i>(); PIPELINE];
+        for (j, state) in states.iter_mut().enumerate() {
+            // SAFETY: i + j < len; unaligned load.
+            *state = _mm_xor_si128(_mm_loadu_si128(in_ptr.add(i + j)), mask_v);
+        }
+        for state in &mut states {
+            *state = encrypt(&keys, *state);
+        }
+        for (j, state) in states.iter().enumerate() {
+            // SAFETY: i + j < len == out.len(); unaligned store.
+            _mm_storeu_si128(out_ptr.add(i + j), *state);
+        }
+        i += PIPELINE;
+    }
+    while i < len {
+        // SAFETY: i < len; unaligned load/store.
+        let state = _mm_xor_si128(_mm_loadu_si128(in_ptr.add(i)), mask_v);
+        _mm_storeu_si128(out_ptr.add(i), encrypt(&keys, state));
+        i += 1;
+    }
+}
+
+/// The paired-tweak GGM sweep: `out_a[i] = AES_k(inputs[i] ^ mask_a)` and
+/// likewise for `b`, with the Matyas–Meyer–Oseas feed-forward
+/// (`^ inputs[i]`) fused in when `mmo` is set.
+///
+/// Loading each input once and encrypting it under both tweak masks halves
+/// the memory traffic of two separate sweeps; the two states per input also
+/// provide the instruction-level parallelism `AESENC` wants.
+///
+/// Must only be called when the Avx2 backend passed runtime detection.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn pair_sweep(
+    columns: &[[u32; 4]; ROUNDS + 1],
+    mask_a: Block128,
+    mask_b: Block128,
+    inputs: &[Block128],
+    out_a: &mut [Block128],
+    out_b: &mut [Block128],
+    mmo: bool,
+) {
+    debug_assert_eq!(inputs.len(), out_a.len());
+    debug_assert_eq!(inputs.len(), out_b.len());
+    // SAFETY: caller contract — AES-NI detected at runtime.
+    unsafe { pair_sweep_impl(columns, mask_a, mask_b, inputs, out_a, out_b, mmo) }
+}
+
+#[target_feature(enable = "aes")]
+#[allow(clippy::too_many_arguments)]
+unsafe fn pair_sweep_impl(
+    columns: &[[u32; 4]; ROUNDS + 1],
+    mask_a: Block128,
+    mask_b: Block128,
+    inputs: &[Block128],
+    out_a: &mut [Block128],
+    out_b: &mut [Block128],
+    mmo: bool,
+) {
+    let keys = load_round_keys(columns);
+    let mask_a_bytes = mask_a.to_le_bytes();
+    let mask_b_bytes = mask_b.to_le_bytes();
+    // SAFETY: 16 readable bytes each.
+    let mask_a_v = _mm_loadu_si128(mask_a_bytes.as_ptr().cast::<__m128i>());
+    let mask_b_v = _mm_loadu_si128(mask_b_bytes.as_ptr().cast::<__m128i>());
+
+    let len = inputs.len();
+    // SAFETY: Block128 is #[repr(transparent)] over u128.
+    let in_ptr = inputs.as_ptr().cast::<__m128i>();
+    let a_ptr = out_a.as_mut_ptr().cast::<__m128i>();
+    let b_ptr = out_b.as_mut_ptr().cast::<__m128i>();
+
+    const PAIRS: usize = PIPELINE / 2;
+    let full = len / PAIRS * PAIRS;
+    let mut i = 0;
+    while i < full {
+        let mut loaded = [core::mem::zeroed::<__m128i>(); PAIRS];
+        let mut states_a = [core::mem::zeroed::<__m128i>(); PAIRS];
+        let mut states_b = [core::mem::zeroed::<__m128i>(); PAIRS];
+        for j in 0..PAIRS {
+            // SAFETY: i + j < len; unaligned load.
+            loaded[j] = _mm_loadu_si128(in_ptr.add(i + j));
+            states_a[j] = _mm_xor_si128(loaded[j], mask_a_v);
+            states_b[j] = _mm_xor_si128(loaded[j], mask_b_v);
+        }
+        for j in 0..PAIRS {
+            states_a[j] = encrypt(&keys, states_a[j]);
+            states_b[j] = encrypt(&keys, states_b[j]);
+        }
+        for j in 0..PAIRS {
+            if mmo {
+                states_a[j] = _mm_xor_si128(states_a[j], loaded[j]);
+                states_b[j] = _mm_xor_si128(states_b[j], loaded[j]);
+            }
+            // SAFETY: i + j < len == out_{a,b}.len(); unaligned stores.
+            _mm_storeu_si128(a_ptr.add(i + j), states_a[j]);
+            _mm_storeu_si128(b_ptr.add(i + j), states_b[j]);
+        }
+        i += PAIRS;
+    }
+    while i < len {
+        // SAFETY: i < len; unaligned load/stores.
+        let input = _mm_loadu_si128(in_ptr.add(i));
+        let mut ca = encrypt(&keys, _mm_xor_si128(input, mask_a_v));
+        let mut cb = encrypt(&keys, _mm_xor_si128(input, mask_b_v));
+        if mmo {
+            ca = _mm_xor_si128(ca, input);
+            cb = _mm_xor_si128(cb, input);
+        }
+        _mm_storeu_si128(a_ptr.add(i), ca);
+        _mm_storeu_si128(b_ptr.add(i), cb);
+        i += 1;
+    }
+}

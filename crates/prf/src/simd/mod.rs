@@ -1,0 +1,28 @@
+//! Per-architecture vectorized PRF sweeps.
+//!
+//! Each submodule implements the batched entry points of one primitive for
+//! one instruction set, bit-identical to the portable scalar code in the
+//! primitive's own module (which remains the semantic reference and the only
+//! implementation of `Prf::eval_block`). The submodules expose *safe*
+//! wrapper functions; their contract is that they are only reached through a
+//! [`pir_field::SimdBackend`] value that passed runtime feature detection
+//! (`SimdBackend::supported_or_scalar` enforces this at PRF construction),
+//! so the `#[target_feature]` internals cannot execute on a host lacking the
+//! instructions.
+//!
+//! Layout mirrors Expander's dual-backend field pattern: one portable entry
+//! point per primitive, `*_x86` (AVX2 / AES-NI) and `*_neon` implementations
+//! selected behind it at runtime.
+
+#[cfg(target_arch = "x86_64")]
+pub(crate) mod aes_x86;
+#[cfg(target_arch = "aarch64")]
+pub(crate) mod chacha_neon;
+#[cfg(target_arch = "x86_64")]
+pub(crate) mod chacha_x86;
+#[cfg(target_arch = "x86_64")]
+pub(crate) mod highway_x86;
+#[cfg(target_arch = "x86_64")]
+pub(crate) mod sha256_x86;
+#[cfg(target_arch = "x86_64")]
+pub(crate) mod siphash_x86;

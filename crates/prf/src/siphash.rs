@@ -6,7 +6,7 @@
 //! PRF, so its security margin for PIR is weaker. The 128-bit PRF output here
 //! is produced by two domain-separated SipHash-2-4 invocations.
 
-use pir_field::Block128;
+use pir_field::{Block128, SimdBackend};
 
 use crate::{Prf, PrfKind};
 
@@ -81,19 +81,36 @@ pub fn siphash24(k0: u64, k1: u64, message: &[u8]) -> u64 {
 pub struct SipHashPrf {
     k0: u64,
     k1: u64,
+    backend: SimdBackend,
 }
 
 impl SipHashPrf {
     /// Build a PRF with an explicit 128-bit key split into two 64-bit halves.
     #[must_use]
     pub fn new(k0: u64, k1: u64) -> Self {
-        Self { k0, k1 }
+        Self {
+            k0,
+            k1,
+            backend: SimdBackend::Scalar,
+        }
     }
 
     /// Build a PRF with the crate's fixed public key.
     #[must_use]
     pub fn with_fixed_key() -> Self {
         Self::new(0x6770_7570_6972_5f73, 0x6970_6861_7368_5f6b)
+    }
+
+    /// Pin the batched sweeps to a SIMD backend (unsupported requests fall
+    /// back to scalar). Only the x86_64 backend vectorizes SipHash; NEON
+    /// hosts use the scalar interleaved path.
+    #[must_use]
+    pub fn with_backend(mut self, backend: SimdBackend) -> Self {
+        self.backend = match backend.supported_or_scalar() {
+            SimdBackend::Avx2 => SimdBackend::Avx2,
+            _ => SimdBackend::Scalar,
+        };
+        self
     }
 }
 
@@ -328,11 +345,33 @@ impl SipHashPrf {
             "paired sweep input/output length mismatch"
         );
         let (hk0, hk1) = self.high_key();
+
+        #[cfg_attr(not(target_arch = "x86_64"), allow(unused_mut))]
+        let mut vector_len = 0;
+        #[cfg(target_arch = "x86_64")]
+        if self.backend == SimdBackend::Avx2 {
+            vector_len = inputs.len() & !1;
+            crate::simd::siphash_x86::pair_sweep(
+                (self.k0, self.k1),
+                (hk0, hk1),
+                &inputs[..vector_len],
+                tweak_a,
+                tweak_b,
+                &mut out_a[..vector_len],
+                &mut out_b[..vector_len],
+                mmo,
+            );
+        }
+
         let base_low = sip_init(self.k0, self.k1);
         let base_high = sip_init(hk0, hk1);
         // `mmo` is constant for the whole sweep; the select below is hoisted.
         let feed = (mmo as u64).wrapping_neg();
-        for (input, (slot_a, slot_b)) in inputs.iter().zip(out_a.iter_mut().zip(out_b.iter_mut())) {
+        for (input, (slot_a, slot_b)) in inputs[vector_len..].iter().zip(
+            out_a[vector_len..]
+                .iter_mut()
+                .zip(out_b[vector_len..].iter_mut()),
+        ) {
             let (m0, m1) = input.halves();
             let prefix_low = sip_prefix(base_low, m0, m1);
             let prefix_high = sip_prefix(base_high, m0, m1);
@@ -363,6 +402,28 @@ impl Prf for SipHashPrf {
         );
         let low_key = (self.k0, self.k1);
         let high_key = self.high_key();
+
+        #[cfg(target_arch = "x86_64")]
+        if self.backend == SimdBackend::Avx2 {
+            let vector_len = inputs.len() & !1;
+            crate::simd::siphash_x86::eval_blocks(
+                low_key,
+                high_key,
+                &inputs[..vector_len],
+                tweak,
+                &mut out[..vector_len],
+            );
+            for (input, slot) in inputs[vector_len..]
+                .iter()
+                .zip(out[vector_len..].iter_mut())
+            {
+                let (m0, m1) = input.halves();
+                let (low, high) = siphash24_words_x2(low_key, high_key, m0, m1, tweak);
+                *slot = Block128::from_halves(low, high);
+            }
+            return;
+        }
+
         let mut input_pairs = inputs.chunks_exact(2);
         let mut output_pairs = out.chunks_exact_mut(2);
         for (pair, slots) in input_pairs.by_ref().zip(output_pairs.by_ref()) {
@@ -402,6 +463,10 @@ impl Prf for SipHashPrf {
         out_b: &mut [Block128],
     ) {
         self.pair_sweep(inputs, tweak_a, tweak_b, out_a, out_b, true);
+    }
+
+    fn backend_label(&self) -> &'static str {
+        self.backend.label()
     }
 }
 

@@ -144,6 +144,13 @@ pub struct TableStatsSnapshot {
     pub replicas: Vec<ReplicaStatsSnapshot>,
     /// Memory-plan telemetry summed over every replica of both pools.
     pub plan: PlanTelemetry,
+    /// Host SIMD backend executing this table's PRF sweeps (`"scalar"`,
+    /// `"avx2"` or `"neon"` — runtime-detected, overridable with the
+    /// `PIR_PRF_BACKEND` environment variable).
+    pub prf_backend: &'static str,
+    /// Autotuned frontier tile for this table's `(PrfKind, backend)` pair,
+    /// once the first batch has probed it (see `pir_dpf::tile`).
+    pub frontier_tile: Option<usize>,
     /// Median time a query waited in the batch former, in milliseconds.
     pub queue_p50_ms: Option<f64>,
     /// 99th-percentile batch-former wait, in milliseconds.

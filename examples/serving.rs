@@ -132,12 +132,21 @@ fn main() {
     );
     println!("{shed_retries} submissions were shed and retried");
     println!(
-        "\n{:<8} {:>9} {:>7} {:>9} {:>11} {:>10} {:>10} {:>10}",
-        "table", "answered", "shed", "batches", "occupancy", "max batch", "p50 (ms)", "p99 (ms)"
+        "\n{:<8} {:>9} {:>7} {:>9} {:>11} {:>10} {:>10} {:>10} {:>8} {:>5}",
+        "table",
+        "answered",
+        "shed",
+        "batches",
+        "occupancy",
+        "max batch",
+        "p50 (ms)",
+        "p99 (ms)",
+        "backend",
+        "tile"
     );
     for table in &stats.tables {
         println!(
-            "{:<8} {:>9} {:>7} {:>9} {:>11.2} {:>10} {:>10.2} {:>10.2}",
+            "{:<8} {:>9} {:>7} {:>9} {:>11.2} {:>10} {:>10.2} {:>10.2} {:>8} {:>5}",
             table.table,
             table.answered,
             table.shed,
@@ -146,6 +155,10 @@ fn main() {
             table.max_batch,
             table.e2e_p50_ms.unwrap_or(f64::NAN),
             table.e2e_p99_ms.unwrap_or(f64::NAN),
+            table.prf_backend,
+            table
+                .frontier_tile
+                .map_or_else(|| "-".to_string(), |t| t.to_string()),
         );
     }
 
