@@ -1,0 +1,386 @@
+//! The ratchet baseline: a committed JSON file of known findings.
+//!
+//! Semantics (enforced by the driver in `main.rs`):
+//!
+//! - a current finding whose key is **in** the baseline passes (it is known
+//!   debt, carried with a reason);
+//! - a current finding **not** in the baseline fails CI — new debt is barred;
+//! - a baseline entry with **no** matching current finding fails CI too: the
+//!   debt was paid, so the entry must be deleted. The baseline can only
+//!   shrink; `--update-baseline` performs exactly that deletion and nothing
+//!   else (it never adds entries).
+//!
+//! The JSON subset read here is what `write` emits plus arbitrary field
+//! order and whitespace; a minimal hand-rolled parser keeps the crate
+//! dependency-free.
+
+use std::fmt;
+
+/// One baseline entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Entry {
+    /// Content-addressed finding key (see `findings`).
+    pub key: String,
+    /// Why this debt is allowed to persist.
+    pub reason: String,
+}
+
+/// A parsed baseline file.
+#[derive(Debug, Default, Clone)]
+pub struct Baseline {
+    pub entries: Vec<Entry>,
+}
+
+#[derive(Debug)]
+pub struct BaselineError(pub String);
+
+impl fmt::Display for BaselineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "baseline: {}", self.0)
+    }
+}
+
+impl Baseline {
+    pub fn contains(&self, key: &str) -> bool {
+        self.entries.iter().any(|e| e.key == key)
+    }
+
+    /// Serialize deterministically (sorted by key) for stable diffs.
+    pub fn write(&self) -> String {
+        let mut entries = self.entries.clone();
+        entries.sort_by(|a, b| a.key.cmp(&b.key));
+        let mut out = String::from("{\n  \"version\": 1,\n  \"entries\": [");
+        for (i, e) in entries.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("\n    {\"key\": ");
+            write_json_string(&mut out, &e.key);
+            out.push_str(", \"reason\": ");
+            write_json_string(&mut out, &e.reason);
+            out.push('}');
+        }
+        if !entries.is_empty() {
+            out.push('\n');
+            out.push_str("  ");
+        }
+        out.push_str("]\n}\n");
+        out
+    }
+
+    /// Parse a baseline file.
+    pub fn parse(text: &str) -> Result<Baseline, BaselineError> {
+        let value = Json::parse(text)?;
+        let Json::Object(fields) = value else {
+            return Err(BaselineError("top level must be an object".into()));
+        };
+        let version = fields
+            .iter()
+            .find(|(k, _)| k == "version")
+            .map(|(_, v)| v)
+            .ok_or_else(|| BaselineError("missing \"version\"".into()))?;
+        match version {
+            Json::Number(n) if *n == 1.0 => {}
+            _ => return Err(BaselineError("unsupported baseline version".into())),
+        }
+        let entries = fields
+            .iter()
+            .find(|(k, _)| k == "entries")
+            .map(|(_, v)| v)
+            .ok_or_else(|| BaselineError("missing \"entries\"".into()))?;
+        let Json::Array(items) = entries else {
+            return Err(BaselineError("\"entries\" must be an array".into()));
+        };
+        let mut out = Vec::new();
+        for item in items {
+            let Json::Object(fields) = item else {
+                return Err(BaselineError("entry must be an object".into()));
+            };
+            let get_str = |name: &str| -> Result<String, BaselineError> {
+                match fields.iter().find(|(k, _)| k == name).map(|(_, v)| v) {
+                    Some(Json::String(s)) => Ok(s.clone()),
+                    _ => Err(BaselineError(format!("entry missing string \"{name}\""))),
+                }
+            };
+            let entry = Entry {
+                key: get_str("key")?,
+                reason: get_str("reason")?,
+            };
+            if entry.reason.trim().is_empty() {
+                return Err(BaselineError(format!(
+                    "entry `{}` has an empty reason; baseline debt must be justified",
+                    entry.key
+                )));
+            }
+            if out.iter().any(|e: &Entry| e.key == entry.key) {
+                return Err(BaselineError(format!("duplicate key `{}`", entry.key)));
+            }
+            out.push(entry);
+        }
+        Ok(Baseline { entries: out })
+    }
+}
+
+fn write_json_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// A minimal JSON value — just enough to read baselines (and reject anything
+/// malformed with a useful message).
+enum Json {
+    Object(Vec<(String, Json)>),
+    Array(Vec<Json>),
+    String(String),
+    Number(f64),
+    Bool(#[allow(dead_code)] bool),
+    Null,
+}
+
+impl Json {
+    fn parse(text: &str) -> Result<Json, BaselineError> {
+        let bytes = text.as_bytes();
+        let mut pos = 0usize;
+        let value = parse_value(bytes, &mut pos)?;
+        skip_ws(bytes, &mut pos);
+        if pos != bytes.len() {
+            return Err(BaselineError("trailing data after JSON value".into()));
+        }
+        Ok(value)
+    }
+}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && b[*pos].is_ascii_whitespace() {
+        *pos += 1;
+    }
+}
+
+fn expect(b: &[u8], pos: &mut usize, ch: u8) -> Result<(), BaselineError> {
+    if b.get(*pos) == Some(&ch) {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(BaselineError(format!(
+            "expected `{}` at byte {}",
+            ch as char, *pos
+        )))
+    }
+}
+
+fn parse_value(b: &[u8], pos: &mut usize) -> Result<Json, BaselineError> {
+    skip_ws(b, pos);
+    match b.get(*pos) {
+        Some(b'{') => {
+            *pos += 1;
+            let mut fields = Vec::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(Json::Object(fields));
+            }
+            loop {
+                skip_ws(b, pos);
+                let key = parse_string(b, pos)?;
+                skip_ws(b, pos);
+                expect(b, pos, b':')?;
+                let value = parse_value(b, pos)?;
+                fields.push((key, value));
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(Json::Object(fields));
+                    }
+                    _ => {
+                        return Err(BaselineError(format!(
+                            "expected `,` or `}}` at byte {pos}",
+                            pos = *pos
+                        )))
+                    }
+                }
+            }
+        }
+        Some(b'[') => {
+            *pos += 1;
+            let mut items = Vec::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(Json::Array(items));
+            }
+            loop {
+                items.push(parse_value(b, pos)?);
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(Json::Array(items));
+                    }
+                    _ => {
+                        return Err(BaselineError(format!(
+                            "expected `,` or `]` at byte {pos}",
+                            pos = *pos
+                        )))
+                    }
+                }
+            }
+        }
+        Some(b'"') => Ok(Json::String(parse_string(b, pos)?)),
+        Some(b't') if b[*pos..].starts_with(b"true") => {
+            *pos += 4;
+            Ok(Json::Bool(true))
+        }
+        Some(b'f') if b[*pos..].starts_with(b"false") => {
+            *pos += 5;
+            Ok(Json::Bool(false))
+        }
+        Some(b'n') if b[*pos..].starts_with(b"null") => {
+            *pos += 4;
+            Ok(Json::Null)
+        }
+        Some(c) if c.is_ascii_digit() || *c == b'-' => {
+            let start = *pos;
+            *pos += 1;
+            while *pos < b.len()
+                && (b[*pos].is_ascii_digit()
+                    || b[*pos] == b'.'
+                    || b[*pos] == b'e'
+                    || b[*pos] == b'E'
+                    || b[*pos] == b'+'
+                    || b[*pos] == b'-')
+            {
+                *pos += 1;
+            }
+            let text = std::str::from_utf8(&b[start..*pos])
+                .map_err(|_| BaselineError("invalid number".into()))?;
+            text.parse::<f64>()
+                .map(Json::Number)
+                .map_err(|_| BaselineError(format!("invalid number `{text}`")))
+        }
+        _ => Err(BaselineError(format!(
+            "unexpected byte at {pos}",
+            pos = *pos
+        ))),
+    }
+}
+
+fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, BaselineError> {
+    expect(b, pos, b'"')?;
+    let mut out = String::new();
+    loop {
+        match b.get(*pos) {
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                match b.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b'b') => out.push('\u{8}'),
+                    Some(b'f') => out.push('\u{c}'),
+                    Some(b'u') => {
+                        let hex = b
+                            .get(*pos + 1..*pos + 5)
+                            .ok_or_else(|| BaselineError("truncated \\u escape".into()))?;
+                        let hex = std::str::from_utf8(hex)
+                            .map_err(|_| BaselineError("invalid \\u escape".into()))?;
+                        let code = u32::from_str_radix(hex, 16)
+                            .map_err(|_| BaselineError("invalid \\u escape".into()))?;
+                        out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        *pos += 4;
+                    }
+                    _ => return Err(BaselineError("invalid escape".into())),
+                }
+                *pos += 1;
+            }
+            Some(_) => {
+                // Copy one UTF-8 scalar (multi-byte safe).
+                let s = std::str::from_utf8(&b[*pos..])
+                    .map_err(|_| BaselineError("invalid UTF-8 in string".into()))?;
+                let c = s.chars().next().expect("non-empty by construction");
+                out.push(c);
+                *pos += c.len_utf8();
+            }
+            None => return Err(BaselineError("unterminated string".into())),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_is_stable_and_sorted() {
+        let b = Baseline {
+            entries: vec![
+                Entry {
+                    key: "z:file.rs:00ff:0".into(),
+                    reason: "second".into(),
+                },
+                Entry {
+                    key: "a:file.rs:00aa:0".into(),
+                    reason: "first \"quoted\"".into(),
+                },
+            ],
+        };
+        let text = b.write();
+        let parsed = Baseline::parse(&text).unwrap();
+        assert_eq!(parsed.entries.len(), 2);
+        assert_eq!(parsed.entries[0].key, "a:file.rs:00aa:0");
+        assert_eq!(parsed.entries[0].reason, "first \"quoted\"");
+        // Re-serialize: byte-identical.
+        assert_eq!(parsed.write(), text);
+    }
+
+    #[test]
+    fn empty_baseline_roundtrips() {
+        let text = Baseline::default().write();
+        let parsed = Baseline::parse(&text).unwrap();
+        assert!(parsed.entries.is_empty());
+    }
+
+    #[test]
+    fn rejects_empty_reasons_and_duplicates() {
+        let no_reason = r#"{"version": 1, "entries": [{"key": "k", "reason": "  "}]}"#;
+        assert!(Baseline::parse(no_reason).is_err());
+        let dup = r#"{"version": 1, "entries": [
+            {"key": "k", "reason": "a"}, {"key": "k", "reason": "b"}]}"#;
+        assert!(Baseline::parse(dup).is_err());
+    }
+
+    #[test]
+    fn rejects_malformed_json() {
+        for bad in [
+            "",
+            "{",
+            "[]",
+            r#"{"version": 2, "entries": []}"#,
+            r#"{"entries": []}"#,
+            r#"{"version": 1}"#,
+            r#"{"version": 1, "entries": [{}]} trailing"#,
+        ] {
+            assert!(Baseline::parse(bad).is_err(), "{bad}");
+        }
+    }
+}

@@ -1,0 +1,217 @@
+//! Pass 3: no panicking constructs in runtime code of the serving tower.
+//!
+//! Flags, outside test regions:
+//!
+//! - `.unwrap()` / `.expect(…)` method calls (`unwrap_or*` and friends are
+//!   distinct identifiers and do not match);
+//! - `panic!`, `todo!`, `unimplemented!` macro invocations;
+//! - plain slice/array indexing `x[i]` — only in the paths the policy names
+//!   in `slice_index_paths` (the wire codec, where the input is untrusted
+//!   bytes and an out-of-range index is a remote panic vector). Elsewhere
+//!   indexing is the bread and butter of the kernel hot loops, where bounds
+//!   are established by construction and a blanket rule would drown the
+//!   signal in annotations.
+//!
+//! `unreachable!` and `assert!` are deliberately not flagged: they assert
+//! impossibility rather than handle absence, and converting them to errors
+//! would trade a loud invariant violation for silent corruption.
+
+use super::{next_code, prev_code, FileContext};
+use crate::findings::Finding;
+
+pub fn run(ctx: &FileContext<'_>, flag_slice_index: bool) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for (i, tok) in ctx.toks.iter().enumerate() {
+        if ctx.regions.is_test_line(tok.line) {
+            continue;
+        }
+
+        // `.unwrap()` / `.expect(`.
+        if tok.is_ident("unwrap") || tok.is_ident("expect") {
+            let after_dot = prev_code(ctx.toks, i)
+                .map(|p| ctx.toks[p].is_punct('.'))
+                .unwrap_or(false);
+            let called = next_code(ctx.toks, i)
+                .map(|n| ctx.toks[n].is_punct('('))
+                .unwrap_or(false);
+            if after_dot && called {
+                findings.push(ctx.finding(
+                    "panic-path",
+                    tok.line,
+                    format!(
+                        "`.{}()` in runtime path: return a typed error or annotate the invariant",
+                        tok.text
+                    ),
+                ));
+            }
+            continue;
+        }
+
+        // `panic!` / `todo!` / `unimplemented!`.
+        if tok.is_ident("panic") || tok.is_ident("todo") || tok.is_ident("unimplemented") {
+            let is_macro = next_code(ctx.toks, i)
+                .map(|n| ctx.toks[n].is_punct('!'))
+                .unwrap_or(false);
+            // `!=` is Punct('!') followed by Punct('='): not a macro bang.
+            let really_macro = is_macro
+                && next_code(ctx.toks, i)
+                    .and_then(|n| next_code(ctx.toks, n))
+                    .map(|n2| !ctx.toks[n2].is_punct('='))
+                    .unwrap_or(true);
+            if really_macro {
+                findings.push(ctx.finding(
+                    "panic-path",
+                    tok.line,
+                    format!("`{}!` in runtime path", tok.text),
+                ));
+            }
+            continue;
+        }
+
+        // Slice indexing, where the policy asks for it.
+        if flag_slice_index && tok.is_punct('[') {
+            let indexes_a_value = prev_code(ctx.toks, i)
+                .map(|p| {
+                    let prev = &ctx.toks[p];
+                    matches!(prev.kind, crate::lexer::TokKind::Ident if !is_keyword(&prev.text))
+                        || prev.is_punct(')')
+                        || prev.is_punct(']')
+                })
+                .unwrap_or(false);
+            if indexes_a_value {
+                findings.push(ctx.finding(
+                    "panic-path",
+                    tok.line,
+                    "slice indexing in untrusted-input path: use `get`/`take` with a typed error"
+                        .to_string(),
+                ));
+            }
+        }
+    }
+    findings
+}
+
+/// Keywords that can directly precede `[` without forming an index
+/// expression (`return [..]`, `break [..]`, `in [..]`, …).
+pub(crate) fn is_keyword(word: &str) -> bool {
+    matches!(
+        word,
+        "return"
+            | "break"
+            | "in"
+            | "if"
+            | "else"
+            | "match"
+            | "where"
+            | "mut"
+            | "ref"
+            | "move"
+            | "static"
+            | "const"
+            | "let"
+            | "as"
+            | "dyn"
+            | "impl"
+            | "for"
+            | "while"
+            | "loop"
+            | "unsafe"
+            | "fn"
+            | "use"
+            | "pub"
+            | "crate"
+            | "self"
+            | "super"
+            | "type"
+            | "struct"
+            | "enum"
+            | "trait"
+            | "mod"
+            | "extern"
+            | "box"
+            | "await"
+            | "async"
+            | "yield"
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+    use crate::regions::find_regions;
+
+    fn run_on(src: &str, slice: bool) -> Vec<Finding> {
+        let toks = lex(src).unwrap();
+        let regions = find_regions(&toks);
+        run(
+            &FileContext {
+                path: "x.rs",
+                src,
+                toks: &toks,
+                regions: &regions,
+            },
+            slice,
+        )
+    }
+
+    #[test]
+    fn unwrap_and_expect_calls_are_flagged() {
+        let f = run_on("fn f() { x.unwrap(); y.expect(\"msg\"); }\n", false);
+        assert_eq!(f.len(), 2);
+    }
+
+    #[test]
+    fn unwrap_or_variants_are_not_flagged() {
+        let src = "fn f() { x.unwrap_or(0); x.unwrap_or_else(|| 0); x.unwrap_or_default(); x.expect_err(\"e\"); }\n";
+        assert!(run_on(src, false).is_empty());
+    }
+
+    #[test]
+    fn panic_macros_are_flagged_but_neq_is_not() {
+        let f = run_on(
+            "fn f() { if a != b { panic!(\"boom\"); } todo!() }\n",
+            false,
+        );
+        assert_eq!(f.len(), 2);
+    }
+
+    #[test]
+    fn test_regions_are_exempt() {
+        let src =
+            "#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() { x.unwrap(); panic!(); }\n}\n";
+        assert!(run_on(src, false).is_empty());
+    }
+
+    #[test]
+    fn unwrap_in_comment_or_string_is_not_flagged() {
+        let src = "fn f() {\n    // calls x.unwrap() eventually\n    let s = \"a.unwrap()\";\n}\n";
+        assert!(run_on(src, false).is_empty());
+    }
+
+    #[test]
+    fn slice_indexing_only_when_asked() {
+        let src = "fn f(b: &[u8]) -> u8 { b[0] }\n";
+        assert!(run_on(src, false).is_empty());
+        assert_eq!(run_on(src, true).len(), 1);
+    }
+
+    #[test]
+    fn array_literals_types_attrs_and_macros_are_not_indexing() {
+        let src = "#[derive(Debug)]\nfn f() { let a: [u8; 2] = [1, 2]; let v = vec![3]; let [x, y] = a; }\n";
+        assert!(run_on(src, true).is_empty());
+    }
+
+    #[test]
+    fn chained_and_call_result_indexing_is_flagged() {
+        let src = "fn f() { g()[0]; m[1][2]; }\n";
+        // g()[0], m[1], [2] after `]`.
+        assert_eq!(run_on(src, true).len(), 3);
+    }
+
+    #[test]
+    fn method_named_expect_definition_is_not_flagged() {
+        let src = "impl X { fn expect(&self) {} fn unwrap(self) {} }\n";
+        assert!(run_on(src, false).is_empty());
+    }
+}

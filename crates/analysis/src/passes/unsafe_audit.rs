@@ -1,0 +1,159 @@
+//! Pass 1: every `unsafe` occurrence must carry an adjacent justification.
+//!
+//! Accepted justifications, in the idiom the codebase already uses:
+//!
+//! - a `// SAFETY: …` (or `/* SAFETY: … */`) comment ending within the six
+//!   lines above the `unsafe` token (attributes like `#[target_feature]` may
+//!   sit between, which is why the window is lines rather than adjacency in
+//!   the token stream);
+//! - for `unsafe fn`/`unsafe impl` items, a doc comment containing a
+//!   `# Safety` section ending within twelve lines above (doc blocks are
+//!   longer, hence the wider window).
+//!
+//! Test regions are exempt: a test poking at an unsafe helper documents
+//! itself. The companion policy checks (crates declared unsafe-free must
+//! carry `#![forbid(unsafe_code)]`; crates allowed unsafe must carry
+//! `#![deny(unsafe_op_in_unsafe_fn)]`) are crate-level, not file-level, and
+//! live in the driver (`check_crate_roots`).
+
+use super::FileContext;
+use crate::findings::Finding;
+use crate::lexer::TokKind;
+
+/// How many lines above an `unsafe` token a `SAFETY:` comment may end.
+const SAFETY_WINDOW: u32 = 6;
+/// Window for `# Safety` doc sections on `unsafe fn`/`unsafe impl` items.
+const DOC_WINDOW: u32 = 12;
+
+pub fn run(ctx: &FileContext<'_>) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for (i, tok) in ctx.toks.iter().enumerate() {
+        if !tok.is_ident("unsafe") || ctx.regions.is_test_line(tok.line) {
+            continue;
+        }
+        let line = tok.line;
+        let has_safety_comment = ctx.toks.iter().any(|t| {
+            t.is_comment()
+                && t.text.contains("SAFETY:")
+                && t.end_line <= line
+                && t.end_line + SAFETY_WINDOW >= line
+        });
+        if has_safety_comment {
+            continue;
+        }
+        // `unsafe fn` / `unsafe impl` may be justified by a `# Safety` doc
+        // section instead (that is the std convention for unsafe APIs).
+        let is_item = super::next_code(ctx.toks, i)
+            .map(|j| {
+                ctx.toks[j].is_ident("fn")
+                    || ctx.toks[j].is_ident("impl")
+                    || ctx.toks[j].is_ident("trait")
+            })
+            .unwrap_or(false);
+        if is_item {
+            let has_doc_safety = ctx.toks.iter().any(|t| {
+                matches!(t.kind, TokKind::Comment { doc: true, .. })
+                    && t.text.contains("# Safety")
+                    && t.end_line <= line
+                    && t.end_line + DOC_WINDOW >= line
+            });
+            if has_doc_safety {
+                continue;
+            }
+        }
+        let what = if is_item {
+            "unsafe item without an adjacent `// SAFETY:` comment or `# Safety` doc section"
+        } else {
+            "unsafe block without an adjacent `// SAFETY:` comment"
+        };
+        findings.push(ctx.finding("unsafe-audit", line, what.to_string()));
+    }
+    findings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+    use crate::regions::find_regions;
+
+    fn run_on(src: &str) -> Vec<Finding> {
+        let toks = lex(src).unwrap();
+        let regions = find_regions(&toks);
+        run(&FileContext {
+            path: "x.rs",
+            src,
+            toks: &toks,
+            regions: &regions,
+        })
+    }
+
+    #[test]
+    fn bare_unsafe_block_is_flagged() {
+        let f = run_on("fn f() {\n    unsafe { danger() };\n}\n");
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].line, 2);
+    }
+
+    #[test]
+    fn safety_comment_above_satisfies() {
+        let f =
+            run_on("fn f() {\n    // SAFETY: len checked above.\n    unsafe { danger() };\n}\n");
+        assert!(f.is_empty());
+    }
+
+    #[test]
+    fn safety_comment_on_same_line_satisfies() {
+        let f = run_on("fn f() {\n    unsafe { danger() }; // SAFETY: checked.\n}\n");
+        assert!(f.is_empty());
+    }
+
+    #[test]
+    fn attributes_between_comment_and_fn_are_fine() {
+        let src = "// SAFETY: caller guarantees AES-NI.\n#[target_feature(enable = \"aes\")]\n#[allow(clippy::too_many_arguments)]\nunsafe fn kernel() {}\n";
+        assert!(run_on(src).is_empty());
+    }
+
+    #[test]
+    fn doc_safety_section_satisfies_items_but_not_blocks() {
+        let item =
+            "/// Does a thing.\n///\n/// # Safety\n/// Caller must uphold X.\nunsafe fn f() {}\n";
+        assert!(run_on(item).is_empty());
+        let block = "/// # Safety\n/// irrelevant for blocks\nfn f() {\n\n\n\n\n\n\n\n\n    unsafe { x() }\n}\n";
+        assert_eq!(run_on(block).len(), 1);
+    }
+
+    #[test]
+    fn stale_comment_far_above_does_not_satisfy() {
+        let mut src = String::from("// SAFETY: way up here.\n");
+        src.push_str(&"\n".repeat(10));
+        src.push_str("fn f() { unsafe { x() } }\n");
+        assert_eq!(run_on(&src).len(), 1);
+    }
+
+    #[test]
+    fn safety_comment_below_does_not_satisfy() {
+        let f = run_on("fn f() { unsafe { x() } }\n// SAFETY: too late.\n");
+        assert_eq!(f.len(), 1);
+    }
+
+    #[test]
+    fn unsafe_in_tests_is_exempt() {
+        let src = "#[cfg(test)]\nmod tests {\n    fn t() { unsafe { x() } }\n}\n";
+        assert!(run_on(src).is_empty());
+    }
+
+    #[test]
+    fn unsafe_impl_needs_justification() {
+        assert_eq!(run_on("unsafe impl Send for X {}\n").len(), 1);
+        assert!(
+            run_on("// SAFETY: X owns no thread-bound state.\nunsafe impl Send for X {}\n")
+                .is_empty()
+        );
+    }
+
+    #[test]
+    fn string_containing_unsafe_is_not_flagged() {
+        assert!(run_on("fn f() { let s = \"unsafe { }\"; }\n").is_empty());
+    }
+}

@@ -1,0 +1,311 @@
+//! End-to-end tests for the `pir-lint` binary: seeded violations must fail,
+//! the committed workspace must pass, and the baseline must ratchet.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+/// A throwaway workspace under the system temp dir, removed on drop.
+struct TempTree {
+    root: PathBuf,
+}
+
+impl TempTree {
+    fn new(tag: &str) -> Self {
+        let root = std::env::temp_dir().join(format!("pir-lint-e2e-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&root);
+        std::fs::create_dir_all(&root).unwrap();
+        Self { root }
+    }
+
+    fn write(&self, rel: &str, content: &str) {
+        let path = self.root.join(rel);
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(path, content).unwrap();
+    }
+
+    fn path(&self, rel: &str) -> String {
+        self.root.join(rel).to_string_lossy().into_owned()
+    }
+
+    fn root(&self) -> String {
+        self.root.to_string_lossy().into_owned()
+    }
+}
+
+impl Drop for TempTree {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.root);
+    }
+}
+
+/// Run the built `pir-lint` binary; return (exit code, stdout, stderr).
+fn run_lint(args: &[&str]) -> (i32, String, String) {
+    let out = Command::new(env!("CARGO_BIN_EXE_pir-lint"))
+        .args(args)
+        .output()
+        .unwrap();
+    (
+        out.status.code().unwrap_or(-1),
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+    )
+}
+
+const POLICY: &str = r#"
+[workspace]
+scan_roots = crates
+
+[unsafe-audit]
+allow_unsafe = crates/simd
+
+[secret-flow]
+paths = crates/app/src
+secret_stems = seed, key
+
+[panic-path]
+paths = crates/app/src
+slice_index_paths = crates/app/src/codec.rs
+
+[condvar]
+paths = crates
+"#;
+
+/// One violation per pass, plus a crate-root attribute violation.
+fn seed_violations(tree: &TempTree) {
+    tree.write("ci/lint_policy.cfg", POLICY);
+    // Missing #![forbid(unsafe_code)] -> unsafe-audit crate finding.
+    tree.write("crates/app/Cargo.toml", "[package]\nname = \"app\"\n");
+    tree.write(
+        "crates/app/src/lib.rs",
+        r#"pub fn branch_on_secret(seed: u64, table: &[u8]) -> u8 {
+    if seed & 1 == 1 {
+        table[0]
+    } else {
+        0
+    }
+}
+
+pub fn first(v: &[u64]) -> u64 {
+    v.first().copied().unwrap()
+}
+
+pub fn wake(cv: &std::sync::Condvar) {
+    cv.notify_one();
+}
+"#,
+    );
+    tree.write("crates/simd/Cargo.toml", "[package]\nname = \"simd\"\n");
+    // Unsafe block with no adjacent SAFETY comment -> unsafe-audit finding.
+    tree.write(
+        "crates/simd/src/lib.rs",
+        r#"#![deny(unsafe_op_in_unsafe_fn)]
+
+pub fn read_first(v: &[u8]) -> u8 {
+    assert!(!v.is_empty());
+    unsafe { *v.as_ptr() }
+}
+"#,
+    );
+}
+
+#[test]
+fn seeded_violations_trip_every_pass() {
+    let tree = TempTree::new("seeded");
+    seed_violations(&tree);
+    let (code, stdout, stderr) = run_lint(&[
+        "--root",
+        &tree.root(),
+        "--policy",
+        &tree.path("ci/lint_policy.cfg"),
+    ]);
+    assert_eq!(code, 1, "stdout:\n{stdout}\nstderr:\n{stderr}");
+    for pass in [
+        "[unsafe-audit]",
+        "[secret-flow]",
+        "[panic-path]",
+        "[notify-one]",
+    ] {
+        assert!(stdout.contains(pass), "missing {pass} in:\n{stdout}");
+    }
+    assert!(
+        stdout.contains("lacks `#![forbid(unsafe_code)]`"),
+        "missing crate-root finding in:\n{stdout}"
+    );
+}
+
+#[test]
+fn clean_tree_passes() {
+    let tree = TempTree::new("clean");
+    tree.write("ci/lint_policy.cfg", POLICY);
+    tree.write("crates/app/Cargo.toml", "[package]\nname = \"app\"\n");
+    tree.write(
+        "crates/app/src/lib.rs",
+        r#"#![forbid(unsafe_code)]
+
+pub fn lookup(position: usize, table: &[u8]) -> Option<u8> {
+    table.get(position).copied()
+}
+"#,
+    );
+    let (code, stdout, stderr) = run_lint(&[
+        "--root",
+        &tree.root(),
+        "--policy",
+        &tree.path("ci/lint_policy.cfg"),
+    ]);
+    assert_eq!(code, 0, "stdout:\n{stdout}\nstderr:\n{stderr}");
+    assert!(stdout.contains("0 findings"), "{stdout}");
+}
+
+#[test]
+fn annotations_suppress_findings() {
+    let tree = TempTree::new("annotated");
+    tree.write("ci/lint_policy.cfg", POLICY);
+    tree.write("crates/app/Cargo.toml", "[package]\nname = \"app\"\n");
+    tree.write(
+        "crates/app/src/lib.rs",
+        r#"#![forbid(unsafe_code)]
+
+pub fn first(v: &[u64]) -> u64 {
+    // pir-lint: allow(panic-path, "callers validate non-empty input")
+    v.first().copied().unwrap()
+}
+"#,
+    );
+    let (code, stdout, _) = run_lint(&[
+        "--root",
+        &tree.root(),
+        "--policy",
+        &tree.path("ci/lint_policy.cfg"),
+    ]);
+    assert_eq!(code, 0, "{stdout}");
+}
+
+#[test]
+fn baseline_ratchets() {
+    let tree = TempTree::new("ratchet");
+    seed_violations(&tree);
+    let root = tree.root();
+    let policy = tree.path("ci/lint_policy.cfg");
+    let baseline = tree.path("ci/lint_baseline.json");
+
+    // Bootstrap: write all current findings to the baseline.
+    let (code, stdout, stderr) = run_lint(&[
+        "--root",
+        &root,
+        "--policy",
+        &policy,
+        "--baseline",
+        &baseline,
+        "--write-baseline",
+    ]);
+    assert_eq!(code, 0, "stdout:\n{stdout}\nstderr:\n{stderr}");
+
+    // Same tree, baselined: known debt passes the gate.
+    let (code, stdout, _) = run_lint(&[
+        "--root",
+        &root,
+        "--policy",
+        &policy,
+        "--baseline",
+        &baseline,
+    ]);
+    assert_eq!(code, 0, "{stdout}");
+    assert!(stdout.contains("0 new"), "{stdout}");
+
+    // New debt is barred even with every old finding baselined.
+    tree.write(
+        "crates/app/src/extra.rs",
+        "pub fn boom(v: &[u64]) -> u64 {\n    v.last().copied().unwrap()\n}\n",
+    );
+    let (code, stdout, _) = run_lint(&[
+        "--root",
+        &root,
+        "--policy",
+        &policy,
+        "--baseline",
+        &baseline,
+    ]);
+    assert_eq!(code, 1, "{stdout}");
+    assert!(stdout.contains("1 new"), "{stdout}");
+
+    // Pay off the new debt plus one old finding: the stale entry now
+    // blocks until --update-baseline deletes it.
+    std::fs::remove_file(tree.root.join("crates/app/src/extra.rs")).unwrap();
+    tree.write(
+        "crates/simd/src/lib.rs",
+        r#"#![deny(unsafe_op_in_unsafe_fn)]
+
+pub fn read_first(v: &[u8]) -> u8 {
+    assert!(!v.is_empty());
+    // SAFETY: the assert above guarantees at least one readable byte.
+    unsafe { *v.as_ptr() }
+}
+"#,
+    );
+    let (code, stdout, _) = run_lint(&[
+        "--root",
+        &root,
+        "--policy",
+        &policy,
+        "--baseline",
+        &baseline,
+    ]);
+    assert_eq!(code, 1, "{stdout}");
+    assert!(stdout.contains("stale baseline entry"), "{stdout}");
+
+    let (code, stdout, _) = run_lint(&[
+        "--root",
+        &root,
+        "--policy",
+        &policy,
+        "--baseline",
+        &baseline,
+        "--update-baseline",
+    ]);
+    assert_eq!(code, 0, "{stdout}");
+    assert!(stdout.contains("ratchet tightened"), "{stdout}");
+
+    // The tightened baseline is the new floor.
+    let (code, stdout, _) = run_lint(&[
+        "--root",
+        &root,
+        "--policy",
+        &policy,
+        "--baseline",
+        &baseline,
+    ]);
+    assert_eq!(code, 0, "{stdout}");
+
+    // Bootstrapping over a non-empty baseline is refused: it may only shrink.
+    let (code, _, stderr) = run_lint(&[
+        "--root",
+        &root,
+        "--policy",
+        &policy,
+        "--baseline",
+        &baseline,
+        "--write-baseline",
+    ]);
+    assert_eq!(code, 2, "{stderr}");
+    assert!(stderr.contains("refusing"), "{stderr}");
+}
+
+/// The committed workspace, policy, and baseline must pass the gate — this
+/// is exactly what the CI lint job runs.
+#[test]
+fn committed_workspace_is_clean() {
+    let repo_root = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .unwrap();
+    let (code, stdout, stderr) = run_lint(&[
+        "--root",
+        &repo_root.to_string_lossy(),
+        "--policy",
+        &repo_root.join("ci/lint_policy.cfg").to_string_lossy(),
+        "--baseline",
+        &repo_root.join("ci/lint_baseline.json").to_string_lossy(),
+    ]);
+    assert_eq!(code, 0, "stdout:\n{stdout}\nstderr:\n{stderr}");
+}

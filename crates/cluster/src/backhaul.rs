@@ -136,6 +136,7 @@ impl ShardConn {
                     }
                 }
             }
+            // pir-lint: allow(panic-path, "the redial match above returned ShardUnavailable on failure, so the connection is Some here")
             let transport = state.transport.as_mut().expect("dialed above");
             match exchange(transport.as_mut(), frame, expect_query_id) {
                 Ok(reply) => return Ok(reply),
@@ -230,10 +231,12 @@ impl ShardConn {
                 }
             }
             let transport: &mut dyn PirTransport = if via_query_conn {
+                // pir-lint: allow(panic-path, "via_query_conn is set only after the query transport was found live above")
                 state.transport.as_mut().expect("checked above").as_mut()
             } else {
                 state.admin[replica]
                     .as_mut()
+                    // pir-lint: allow(panic-path, "the admin dial above continued to the next replica on failure")
                     .expect("dialed above")
                     .as_mut()
             };
@@ -300,6 +303,7 @@ impl ShardConn {
         }
         let frame = encode_message_v(&WireMessage::CatalogRequest, PROTOCOL_V1);
         let started = Instant::now();
+        // pir-lint: allow(panic-path, "the dial check at the top of the probe returned early when no connection could be made")
         let transport = state.transport.as_mut().expect("dialed above");
         let alive = matches!(
             exchange(transport.as_mut(), &frame, None),

@@ -349,6 +349,7 @@ impl<'a> BatchEvalJob<'a> {
                 backend.reduce(&mut answer.0, &partial.0);
             }
             results.push(answer);
+            // pir-lint: allow(secret-flow, "matches the report accumulator's Some/None state, which tracks the public batch position, not key bits")
             merged = Some(match merged {
                 None => report,
                 Some(previous) => previous.merged_with(&report),
@@ -359,6 +360,7 @@ impl<'a> BatchEvalJob<'a> {
         backend.free(out_alloc);
         backend.free(keys_alloc);
 
+        // pir-lint: allow(panic-path, "the eval loop above set it for every key; empty batches never reach eval")
         let mut report = merged.expect("batch is non-empty");
         self.tag_report(&mut report, prf_backend);
         BatchEvalOutput { results, report }

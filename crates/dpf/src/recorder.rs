@@ -108,6 +108,7 @@ impl Recorder for CountingRecorder {
                 std::sync::atomic::Ordering::Relaxed,
                 |cur| Some(cur.saturating_sub(bytes)),
             )
+            // pir-lint: allow(panic-path, "the closure always returns Some, so fetch_update cannot fail")
             .expect("fetch_update with Some never fails");
     }
 

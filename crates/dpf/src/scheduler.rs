@@ -160,6 +160,7 @@ impl Scheduler {
     /// the error instead.
     #[must_use]
     pub fn new(config: SchedulerConfig) -> Self {
+        // pir-lint: allow(panic-path, "documented panicking constructor; try_new is the fallible form")
         Self::try_new(config).expect("invalid scheduler config")
     }
 

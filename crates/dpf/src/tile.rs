@@ -61,11 +61,18 @@ pub fn frontier_tile_for(kind: PrfKind, backend: &'static str) -> usize {
     let Some(backend_value) = SimdBackend::from_label(backend) else {
         return DEFAULT_FRONTIER_TILE;
     };
-    if let Some(&tile) = cache().lock().unwrap().get(&(kind, backend)) {
+    if let Some(&tile) = cache()
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+        .get(&(kind, backend))
+    {
         return tile;
     }
     let tile = probe_frontier_tile(kind, backend_value);
-    cache().lock().unwrap().insert((kind, backend), tile);
+    cache()
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+        .insert((kind, backend), tile);
     tile
 }
 
@@ -73,8 +80,13 @@ pub fn frontier_tile_for(kind: PrfKind, backend: &'static str) -> usize {
 /// already run — the report/telemetry read path (never triggers a probe).
 #[must_use]
 pub fn reported_frontier_tile(kind: PrfKind, backend: &str) -> Option<usize> {
-    SimdBackend::from_label(backend)
-        .and_then(|b| cache().lock().unwrap().get(&(kind, b.label())).copied())
+    SimdBackend::from_label(backend).and_then(|b| {
+        cache()
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .get(&(kind, b.label()))
+            .copied()
+    })
 }
 
 /// Time the candidate tile sizes against a synthetic frontier workload and
@@ -88,7 +100,9 @@ pub fn probe_frontier_tile(kind: PrfKind, backend: SimdBackend) -> usize {
     let seeds: Vec<Block128> = (0..PROBE_SEEDS as u128)
         .map(|i| Block128::from_u128(i.wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ 0x0050_4952))
         .collect();
-    let mut scratch = FrontierScratch::with_capacity(*FRONTIER_TILE_CANDIDATES.last().unwrap());
+    let mut scratch = FrontierScratch::with_capacity(
+        FRONTIER_TILE_CANDIDATES[FRONTIER_TILE_CANDIDATES.len() - 1],
+    );
 
     let mut best = (DEFAULT_FRONTIER_TILE, f64::INFINITY);
     for candidate in FRONTIER_TILE_CANDIDATES {

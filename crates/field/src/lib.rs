@@ -32,6 +32,10 @@
 // modules in `simd.rs`, which are reachable solely through runtime feature
 // detection.
 #![deny(unsafe_code)]
+// Where unsafe is re-allowed, every unsafe operation inside an `unsafe fn`
+// must still sit in an explicit `unsafe {}` block with its own SAFETY
+// justification.
+#![deny(unsafe_op_in_unsafe_fn)]
 #![warn(missing_docs)]
 
 mod block;

@@ -269,24 +269,28 @@ mod avx2 {
         unsafe { accumulate_scaled_impl(acc, scale, row) }
     }
 
+    // SAFETY: caller must ensure AVX2 is available (`#[target_feature]`).
     #[target_feature(enable = "avx2")]
     unsafe fn accumulate_scaled_impl(acc: &mut [u32], scale: u32, row: &[u32]) {
-        let lanes = acc.len();
-        let chunks = lanes / 8;
-        let scale_v = _mm256_set1_epi32(scale as i32);
-        let acc_ptr = acc.as_mut_ptr();
-        let row_ptr = row.as_ptr();
-        for i in 0..chunks {
-            // SAFETY: i * 8 + 8 <= lanes == row.len(); unaligned loads/stores.
-            let a = _mm256_loadu_si256(acc_ptr.add(i * 8).cast::<__m256i>());
-            let r = _mm256_loadu_si256(row_ptr.add(i * 8).cast::<__m256i>());
-            // _mm256_mullo_epi32 keeps the low 32 bits of each product —
-            // exactly `wrapping_mul` — and _mm256_add_epi32 is wrapping_add.
-            let sum = _mm256_add_epi32(a, _mm256_mullo_epi32(r, scale_v));
-            _mm256_storeu_si256(acc_ptr.add(i * 8).cast::<__m256i>(), sum);
-        }
-        for i in chunks * 8..lanes {
-            acc[i] = acc[i].wrapping_add(scale.wrapping_mul(row[i]));
+        // SAFETY: i * 8 + 8 <= lanes == row.len(), so the unaligned
+        // loads/stores stay inside the slices.
+        unsafe {
+            let lanes = acc.len();
+            let chunks = lanes / 8;
+            let scale_v = _mm256_set1_epi32(scale as i32);
+            let acc_ptr = acc.as_mut_ptr();
+            let row_ptr = row.as_ptr();
+            for i in 0..chunks {
+                let a = _mm256_loadu_si256(acc_ptr.add(i * 8).cast::<__m256i>());
+                let r = _mm256_loadu_si256(row_ptr.add(i * 8).cast::<__m256i>());
+                // _mm256_mullo_epi32 keeps the low 32 bits of each product —
+                // exactly `wrapping_mul` — and _mm256_add_epi32 is wrapping_add.
+                let sum = _mm256_add_epi32(a, _mm256_mullo_epi32(r, scale_v));
+                _mm256_storeu_si256(acc_ptr.add(i * 8).cast::<__m256i>(), sum);
+            }
+            for i in chunks * 8..lanes {
+                acc[i] = acc[i].wrapping_add(scale.wrapping_mul(row[i]));
+            }
         }
     }
 
@@ -296,20 +300,24 @@ mod avx2 {
         unsafe { add_wrapping_impl(acc, row) }
     }
 
+    // SAFETY: caller must ensure AVX2 is available (`#[target_feature]`).
     #[target_feature(enable = "avx2")]
     unsafe fn add_wrapping_impl(acc: &mut [u32], row: &[u32]) {
-        let lanes = acc.len();
-        let chunks = lanes / 8;
-        let acc_ptr = acc.as_mut_ptr();
-        let row_ptr = row.as_ptr();
-        for i in 0..chunks {
-            // SAFETY: i * 8 + 8 <= lanes == row.len(); unaligned loads/stores.
-            let a = _mm256_loadu_si256(acc_ptr.add(i * 8).cast::<__m256i>());
-            let r = _mm256_loadu_si256(row_ptr.add(i * 8).cast::<__m256i>());
-            _mm256_storeu_si256(acc_ptr.add(i * 8).cast::<__m256i>(), _mm256_add_epi32(a, r));
-        }
-        for i in chunks * 8..lanes {
-            acc[i] = acc[i].wrapping_add(row[i]);
+        // SAFETY: i * 8 + 8 <= lanes == row.len(), so the unaligned
+        // loads/stores stay inside the slices.
+        unsafe {
+            let lanes = acc.len();
+            let chunks = lanes / 8;
+            let acc_ptr = acc.as_mut_ptr();
+            let row_ptr = row.as_ptr();
+            for i in 0..chunks {
+                let a = _mm256_loadu_si256(acc_ptr.add(i * 8).cast::<__m256i>());
+                let r = _mm256_loadu_si256(row_ptr.add(i * 8).cast::<__m256i>());
+                _mm256_storeu_si256(acc_ptr.add(i * 8).cast::<__m256i>(), _mm256_add_epi32(a, r));
+            }
+            for i in chunks * 8..lanes {
+                acc[i] = acc[i].wrapping_add(row[i]);
+            }
         }
     }
 
@@ -319,22 +327,26 @@ mod avx2 {
         unsafe { xor_blocks_impl(out, inputs) }
     }
 
+    // SAFETY: caller must ensure AVX2 is available (`#[target_feature]`).
     #[target_feature(enable = "avx2")]
     unsafe fn xor_blocks_impl(out: &mut [Block128], inputs: &[Block128]) {
         // Block128 is #[repr(transparent)] over u128, so a pair of blocks is
         // 32 contiguous bytes — one 256-bit lane.
-        let pairs = out.len() / 2;
-        let out_ptr = out.as_mut_ptr().cast::<__m256i>();
-        let in_ptr = inputs.as_ptr().cast::<__m256i>();
-        for i in 0..pairs {
-            // SAFETY: i * 2 + 2 <= out.len() == inputs.len(); unaligned ops.
-            let a = _mm256_loadu_si256(out_ptr.add(i));
-            let b = _mm256_loadu_si256(in_ptr.add(i));
-            _mm256_storeu_si256(out_ptr.add(i), _mm256_xor_si256(a, b));
-        }
-        if out.len() % 2 == 1 {
-            let last = out.len() - 1;
-            out[last] ^= inputs[last];
+        // SAFETY: i * 2 + 2 <= out.len() == inputs.len(), so the unaligned
+        // loads/stores stay inside the slices.
+        unsafe {
+            let pairs = out.len() / 2;
+            let out_ptr = out.as_mut_ptr().cast::<__m256i>();
+            let in_ptr = inputs.as_ptr().cast::<__m256i>();
+            for i in 0..pairs {
+                let a = _mm256_loadu_si256(out_ptr.add(i));
+                let b = _mm256_loadu_si256(in_ptr.add(i));
+                _mm256_storeu_si256(out_ptr.add(i), _mm256_xor_si256(a, b));
+            }
+            if out.len() % 2 == 1 {
+                let last = out.len() - 1;
+                out[last] ^= inputs[last];
+            }
         }
     }
 }

@@ -35,6 +35,10 @@
 // per-architecture modules need `core::arch` intrinsics. Everything else in
 // this crate remains `unsafe`-free.
 #![deny(unsafe_code)]
+// Where unsafe is re-allowed, every unsafe operation inside an `unsafe fn`
+// must still sit in an explicit `unsafe {}` block with its own SAFETY
+// justification.
+#![deny(unsafe_op_in_unsafe_fn)]
 #![warn(missing_docs)]
 
 mod aes;

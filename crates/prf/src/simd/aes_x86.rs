@@ -26,17 +26,22 @@ const PIPELINE: usize = 8;
 
 type RoundKeys = [__m128i; ROUNDS + 1];
 
+// SAFETY: caller must ensure AES-NI is available (`#[target_feature]`).
 #[target_feature(enable = "aes")]
 unsafe fn load_round_keys(columns: &[[u32; 4]; ROUNDS + 1]) -> RoundKeys {
-    let mut keys = [core::mem::zeroed(); ROUNDS + 1];
-    for (key, column) in keys.iter_mut().zip(columns) {
-        // SAFETY: [u32; 4] is 16 readable bytes; unaligned load.
-        *key = _mm_loadu_si128(column.as_ptr().cast::<__m128i>());
+    // SAFETY: an all-zero __m128i is a valid value; each [u32; 4] column is
+    // 16 readable bytes and the loads are unaligned.
+    unsafe {
+        let mut keys = [core::mem::zeroed(); ROUNDS + 1];
+        for (key, column) in keys.iter_mut().zip(columns) {
+            *key = _mm_loadu_si128(column.as_ptr().cast::<__m128i>());
+        }
+        keys
     }
-    keys
 }
 
 /// Encrypt one loaded state (already XORed with the tweak mask).
+// SAFETY: caller must ensure AES-NI is available (`#[target_feature]`).
 #[inline]
 #[target_feature(enable = "aes")]
 unsafe fn encrypt(keys: &RoundKeys, mut state: __m128i) -> __m128i {
@@ -69,38 +74,38 @@ unsafe fn eval_blocks_impl(
     inputs: &[Block128],
     out: &mut [Block128],
 ) {
-    let keys = load_round_keys(columns);
-    let mask_bytes = mask.to_le_bytes();
-    // SAFETY: 16 readable bytes.
-    let mask_v = _mm_loadu_si128(mask_bytes.as_ptr().cast::<__m128i>());
+    // SAFETY: Block128 is #[repr(transparent)] over u128 — 16 raw LE bytes —
+    // so the unaligned loads/stores at offsets < len stay in bounds of the
+    // equal-length `inputs`/`out` slices; AES-NI is enabled by the caller.
+    unsafe {
+        let keys = load_round_keys(columns);
+        let mask_bytes = mask.to_le_bytes();
+        let mask_v = _mm_loadu_si128(mask_bytes.as_ptr().cast::<__m128i>());
 
-    let len = inputs.len();
-    // SAFETY: Block128 is #[repr(transparent)] over u128 — 16 raw LE bytes.
-    let in_ptr = inputs.as_ptr().cast::<__m128i>();
-    let out_ptr = out.as_mut_ptr().cast::<__m128i>();
+        let len = inputs.len();
+        let in_ptr = inputs.as_ptr().cast::<__m128i>();
+        let out_ptr = out.as_mut_ptr().cast::<__m128i>();
 
-    let full = len / PIPELINE * PIPELINE;
-    let mut i = 0;
-    while i < full {
-        let mut states = [core::mem::zeroed::<__m128i>(); PIPELINE];
-        for (j, state) in states.iter_mut().enumerate() {
-            // SAFETY: i + j < len; unaligned load.
-            *state = _mm_xor_si128(_mm_loadu_si128(in_ptr.add(i + j)), mask_v);
+        let full = len / PIPELINE * PIPELINE;
+        let mut i = 0;
+        while i < full {
+            let mut states = [core::mem::zeroed::<__m128i>(); PIPELINE];
+            for (j, state) in states.iter_mut().enumerate() {
+                *state = _mm_xor_si128(_mm_loadu_si128(in_ptr.add(i + j)), mask_v);
+            }
+            for state in &mut states {
+                *state = encrypt(&keys, *state);
+            }
+            for (j, state) in states.iter().enumerate() {
+                _mm_storeu_si128(out_ptr.add(i + j), *state);
+            }
+            i += PIPELINE;
         }
-        for state in &mut states {
-            *state = encrypt(&keys, *state);
+        while i < len {
+            let state = _mm_xor_si128(_mm_loadu_si128(in_ptr.add(i)), mask_v);
+            _mm_storeu_si128(out_ptr.add(i), encrypt(&keys, state));
+            i += 1;
         }
-        for (j, state) in states.iter().enumerate() {
-            // SAFETY: i + j < len == out.len(); unaligned store.
-            _mm_storeu_si128(out_ptr.add(i + j), *state);
-        }
-        i += PIPELINE;
-    }
-    while i < len {
-        // SAFETY: i < len; unaligned load/store.
-        let state = _mm_xor_si128(_mm_loadu_si128(in_ptr.add(i)), mask_v);
-        _mm_storeu_si128(out_ptr.add(i), encrypt(&keys, state));
-        i += 1;
     }
 }
 
@@ -140,58 +145,58 @@ unsafe fn pair_sweep_impl(
     out_b: &mut [Block128],
     mmo: bool,
 ) {
-    let keys = load_round_keys(columns);
-    let mask_a_bytes = mask_a.to_le_bytes();
-    let mask_b_bytes = mask_b.to_le_bytes();
-    // SAFETY: 16 readable bytes each.
-    let mask_a_v = _mm_loadu_si128(mask_a_bytes.as_ptr().cast::<__m128i>());
-    let mask_b_v = _mm_loadu_si128(mask_b_bytes.as_ptr().cast::<__m128i>());
+    // SAFETY: Block128 is #[repr(transparent)] over u128, so the unaligned
+    // loads/stores at offsets < len stay in bounds of the equal-length
+    // `inputs`/`out_a`/`out_b` slices; AES-NI is enabled by the caller.
+    unsafe {
+        let keys = load_round_keys(columns);
+        let mask_a_bytes = mask_a.to_le_bytes();
+        let mask_b_bytes = mask_b.to_le_bytes();
+        let mask_a_v = _mm_loadu_si128(mask_a_bytes.as_ptr().cast::<__m128i>());
+        let mask_b_v = _mm_loadu_si128(mask_b_bytes.as_ptr().cast::<__m128i>());
 
-    let len = inputs.len();
-    // SAFETY: Block128 is #[repr(transparent)] over u128.
-    let in_ptr = inputs.as_ptr().cast::<__m128i>();
-    let a_ptr = out_a.as_mut_ptr().cast::<__m128i>();
-    let b_ptr = out_b.as_mut_ptr().cast::<__m128i>();
+        let len = inputs.len();
+        let in_ptr = inputs.as_ptr().cast::<__m128i>();
+        let a_ptr = out_a.as_mut_ptr().cast::<__m128i>();
+        let b_ptr = out_b.as_mut_ptr().cast::<__m128i>();
 
-    const PAIRS: usize = PIPELINE / 2;
-    let full = len / PAIRS * PAIRS;
-    let mut i = 0;
-    while i < full {
-        let mut loaded = [core::mem::zeroed::<__m128i>(); PAIRS];
-        let mut states_a = [core::mem::zeroed::<__m128i>(); PAIRS];
-        let mut states_b = [core::mem::zeroed::<__m128i>(); PAIRS];
-        for j in 0..PAIRS {
-            // SAFETY: i + j < len; unaligned load.
-            loaded[j] = _mm_loadu_si128(in_ptr.add(i + j));
-            states_a[j] = _mm_xor_si128(loaded[j], mask_a_v);
-            states_b[j] = _mm_xor_si128(loaded[j], mask_b_v);
-        }
-        for j in 0..PAIRS {
-            states_a[j] = encrypt(&keys, states_a[j]);
-            states_b[j] = encrypt(&keys, states_b[j]);
-        }
-        for j in 0..PAIRS {
-            if mmo {
-                states_a[j] = _mm_xor_si128(states_a[j], loaded[j]);
-                states_b[j] = _mm_xor_si128(states_b[j], loaded[j]);
+        const PAIRS: usize = PIPELINE / 2;
+        let full = len / PAIRS * PAIRS;
+        let mut i = 0;
+        while i < full {
+            let mut loaded = [core::mem::zeroed::<__m128i>(); PAIRS];
+            let mut states_a = [core::mem::zeroed::<__m128i>(); PAIRS];
+            let mut states_b = [core::mem::zeroed::<__m128i>(); PAIRS];
+            for j in 0..PAIRS {
+                loaded[j] = _mm_loadu_si128(in_ptr.add(i + j));
+                states_a[j] = _mm_xor_si128(loaded[j], mask_a_v);
+                states_b[j] = _mm_xor_si128(loaded[j], mask_b_v);
             }
-            // SAFETY: i + j < len == out_{a,b}.len(); unaligned stores.
-            _mm_storeu_si128(a_ptr.add(i + j), states_a[j]);
-            _mm_storeu_si128(b_ptr.add(i + j), states_b[j]);
+            for j in 0..PAIRS {
+                states_a[j] = encrypt(&keys, states_a[j]);
+                states_b[j] = encrypt(&keys, states_b[j]);
+            }
+            for j in 0..PAIRS {
+                if mmo {
+                    states_a[j] = _mm_xor_si128(states_a[j], loaded[j]);
+                    states_b[j] = _mm_xor_si128(states_b[j], loaded[j]);
+                }
+                _mm_storeu_si128(a_ptr.add(i + j), states_a[j]);
+                _mm_storeu_si128(b_ptr.add(i + j), states_b[j]);
+            }
+            i += PAIRS;
         }
-        i += PAIRS;
-    }
-    while i < len {
-        // SAFETY: i < len; unaligned load/stores.
-        let input = _mm_loadu_si128(in_ptr.add(i));
-        let mut ca = encrypt(&keys, _mm_xor_si128(input, mask_a_v));
-        let mut cb = encrypt(&keys, _mm_xor_si128(input, mask_b_v));
-        if mmo {
-            ca = _mm_xor_si128(ca, input);
-            cb = _mm_xor_si128(cb, input);
+        while i < len {
+            let input = _mm_loadu_si128(in_ptr.add(i));
+            let mut ca = encrypt(&keys, _mm_xor_si128(input, mask_a_v));
+            let mut cb = encrypt(&keys, _mm_xor_si128(input, mask_b_v));
+            if mmo {
+                ca = _mm_xor_si128(ca, input);
+                cb = _mm_xor_si128(cb, input);
+            }
+            _mm_storeu_si128(a_ptr.add(i), ca);
+            _mm_storeu_si128(b_ptr.add(i), cb);
+            i += 1;
         }
-        _mm_storeu_si128(a_ptr.add(i), ca);
-        _mm_storeu_si128(b_ptr.add(i), cb);
-        i += 1;
     }
 }

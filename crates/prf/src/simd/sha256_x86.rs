@@ -31,6 +31,7 @@ macro_rules! rotr {
     };
 }
 
+// SAFETY: caller must ensure AVX2 is available (`#[target_feature]`).
 #[inline]
 #[target_feature(enable = "avx2")]
 unsafe fn bswap32(x: __m256i) -> __m256i {
@@ -44,6 +45,7 @@ unsafe fn bswap32(x: __m256i) -> __m256i {
 /// One SHA-256 compression over eight lanes: `state` is the eight working
 /// variables (one vector per variable), `w[0..16]` the prefilled message
 /// words; the remaining schedule is expanded in place.
+// SAFETY: caller must ensure AVX2 is available (`#[target_feature]`).
 #[target_feature(enable = "avx2")]
 unsafe fn compress8(state: &mut [__m256i; 8], w: &mut [__m256i; 64]) {
     for i in 16..64 {
@@ -102,6 +104,7 @@ unsafe fn compress8(state: &mut [__m256i; 8], w: &mut [__m256i; 64]) {
     state[7] = _mm256_add_epi32(state[7], h);
 }
 
+// SAFETY: caller must ensure AVX2 is available (`#[target_feature]`).
 #[inline]
 #[target_feature(enable = "avx2")]
 unsafe fn broadcast_state(words: &[u32; 8]) -> [__m256i; 8] {
@@ -138,74 +141,78 @@ unsafe fn eval_blocks_impl(
     tweak: u64,
     out: &mut [Block128],
 ) {
-    let zero = _mm256_set1_epi32(0);
-    let pad_word = _mm256_set1_epi32(0x8000_0000_u32 as i32);
-    // Message words 4–5 (the tweak) and 14–15 (the bit length) are the same
-    // for every block; as big-endian words they are byte-swapped u32s.
-    let w4 = _mm256_set1_epi32((tweak as u32).swap_bytes() as i32);
-    let w5 = _mm256_set1_epi32(((tweak >> 32) as u32).swap_bytes() as i32);
-    let inner_len_hi = _mm256_set1_epi32(((INNER_LEN_BITS >> 32) as u32) as i32);
-    let inner_len_lo = _mm256_set1_epi32((INNER_LEN_BITS as u32) as i32);
-    let outer_len_hi = _mm256_set1_epi32(((OUTER_LEN_BITS >> 32) as u32) as i32);
-    let outer_len_lo = _mm256_set1_epi32((OUTER_LEN_BITS as u32) as i32);
+    // SAFETY: AVX2 is enabled by the caller; Block128 is #[repr(transparent)]
+    // over u128, so the word reads at base + 28 + j stay inside `inputs`, and
+    // the only stores target local [u32; 8] arrays.
+    unsafe {
+        let zero = _mm256_set1_epi32(0);
+        let pad_word = _mm256_set1_epi32(0x8000_0000_u32 as i32);
+        // Message words 4–5 (the tweak) and 14–15 (the bit length) are the same
+        // for every block; as big-endian words they are byte-swapped u32s.
+        let w4 = _mm256_set1_epi32((tweak as u32).swap_bytes() as i32);
+        let w5 = _mm256_set1_epi32(((tweak >> 32) as u32).swap_bytes() as i32);
+        let inner_len_hi = _mm256_set1_epi32(((INNER_LEN_BITS >> 32) as u32) as i32);
+        let inner_len_lo = _mm256_set1_epi32((INNER_LEN_BITS as u32) as i32);
+        let outer_len_hi = _mm256_set1_epi32(((OUTER_LEN_BITS >> 32) as u32) as i32);
+        let outer_len_lo = _mm256_set1_epi32((OUTER_LEN_BITS as u32) as i32);
 
-    // SAFETY: Block128 is #[repr(transparent)] over u128 — each block is
-    // four contiguous little-endian u32 words.
-    let words = inputs.as_ptr().cast::<u32>();
+        // Block128 is #[repr(transparent)] over u128 — each block is four
+        // contiguous little-endian u32 words.
+        let words = inputs.as_ptr().cast::<u32>();
 
-    for (chunk, out_chunk) in (0..inputs.len() / WIDTH).zip(out.chunks_exact_mut(WIDTH)) {
-        let base = chunk * WIDTH * 4;
-        let mut w = [zero; 64];
-        // Words 0–3: the input block's bytes read big-endian — a transpose
-        // of the little-endian u32 words followed by a byte swap.
-        #[allow(clippy::needless_range_loop)] // j offsets `words` too, not just `w`
-        for j in 0..4 {
-            // SAFETY: base + 7 * 4 + j < inputs.len() * 4.
-            let gathered = _mm256_setr_epi32(
-                *words.add(base + j) as i32,
-                *words.add(base + 4 + j) as i32,
-                *words.add(base + 8 + j) as i32,
-                *words.add(base + 12 + j) as i32,
-                *words.add(base + 16 + j) as i32,
-                *words.add(base + 20 + j) as i32,
-                *words.add(base + 24 + j) as i32,
-                *words.add(base + 28 + j) as i32,
-            );
-            w[j] = bswap32(gathered);
-        }
-        w[4] = w4;
-        w[5] = w5;
-        w[6] = pad_word; // 0x80 directly after the 24-byte message
-        w[14] = inner_len_hi;
-        w[15] = inner_len_lo;
+        for (chunk, out_chunk) in (0..inputs.len() / WIDTH).zip(out.chunks_exact_mut(WIDTH)) {
+            let base = chunk * WIDTH * 4;
+            let mut w = [zero; 64];
+            // Words 0–3: the input block's bytes read big-endian — a transpose
+            // of the little-endian u32 words followed by a byte swap
+            // (base + 7 * 4 + j < inputs.len() * 4).
+            #[allow(clippy::needless_range_loop)] // j offsets `words` too, not just `w`
+            for j in 0..4 {
+                let gathered = _mm256_setr_epi32(
+                    *words.add(base + j) as i32,
+                    *words.add(base + 4 + j) as i32,
+                    *words.add(base + 8 + j) as i32,
+                    *words.add(base + 12 + j) as i32,
+                    *words.add(base + 16 + j) as i32,
+                    *words.add(base + 20 + j) as i32,
+                    *words.add(base + 24 + j) as i32,
+                    *words.add(base + 28 + j) as i32,
+                );
+                w[j] = bswap32(gathered);
+            }
+            w[4] = w4;
+            w[5] = w5;
+            w[6] = pad_word; // 0x80 directly after the 24-byte message
+            w[14] = inner_len_hi;
+            w[15] = inner_len_lo;
 
-        let mut state = broadcast_state(inner_midstate);
-        compress8(&mut state, &mut w);
+            let mut state = broadcast_state(inner_midstate);
+            compress8(&mut state, &mut w);
 
-        // Outer block: the 32-byte inner digest is written big-endian and
-        // re-read big-endian, so its words carry over untouched.
-        let mut w = [zero; 64];
-        w[..8].copy_from_slice(&state);
-        w[8] = pad_word;
-        w[14] = outer_len_hi;
-        w[15] = outer_len_lo;
+            // Outer block: the 32-byte inner digest is written big-endian and
+            // re-read big-endian, so its words carry over untouched.
+            let mut w = [zero; 64];
+            w[..8].copy_from_slice(&state);
+            w[8] = pad_word;
+            w[14] = outer_len_hi;
+            w[15] = outer_len_lo;
 
-        let mut state = broadcast_state(outer_midstate);
-        compress8(&mut state, &mut w);
+            let mut state = broadcast_state(outer_midstate);
+            compress8(&mut state, &mut w);
 
-        // The PRF output is the first four state words serialized big-endian
-        // then reinterpreted as a little-endian u128: byte-swap each word
-        // and transpose back per block.
-        let mut lanes = [[0u32; WIDTH]; 4];
-        for (slot, vector) in lanes.iter_mut().zip(state.iter().take(4)) {
-            // SAFETY: [u32; 8] is 32 writable bytes; unaligned store.
-            _mm256_storeu_si256(slot.as_mut_ptr().cast::<__m256i>(), bswap32(*vector));
-        }
-        for (j, slot) in out_chunk.iter_mut().enumerate() {
-            *slot = Block128::from_halves(
-                (lanes[0][j] as u64) | ((lanes[1][j] as u64) << 32),
-                (lanes[2][j] as u64) | ((lanes[3][j] as u64) << 32),
-            );
+            // The PRF output is the first four state words serialized big-endian
+            // then reinterpreted as a little-endian u128: byte-swap each word
+            // and transpose back per block.
+            let mut lanes = [[0u32; WIDTH]; 4];
+            for (slot, vector) in lanes.iter_mut().zip(state.iter().take(4)) {
+                _mm256_storeu_si256(slot.as_mut_ptr().cast::<__m256i>(), bswap32(*vector));
+            }
+            for (j, slot) in out_chunk.iter_mut().enumerate() {
+                *slot = Block128::from_halves(
+                    (lanes[0][j] as u64) | ((lanes[1][j] as u64) << 32),
+                    (lanes[2][j] as u64) | ((lanes[3][j] as u64) << 32),
+                );
+            }
         }
     }
 }

@@ -329,6 +329,7 @@ impl PendingQuery {
         if slot.is_some() {
             return Ok(());
         }
+        // pir-lint: allow(panic-path, "rx is taken only when its slot fills, checked just above")
         let receiver = rx.as_mut().expect("receiver live until slot filled");
         match Pin::new(receiver).poll(cx) {
             Poll::Pending => Err(None),
@@ -383,6 +384,7 @@ impl Future for PendingQuery {
         }
 
         this.completed = true;
+        // pir-lint: allow(panic-path, "both poll_side calls above returned Ok, which fills the slots")
         let share0 = this.response0.take().expect("side 0 resolved");
         let share1 = this.response1.take().expect("side 1 resolved");
         // Pair-enqueued queries are protected by the cross-queue update

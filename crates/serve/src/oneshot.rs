@@ -116,6 +116,7 @@ impl<T> Future for Receiver<T> {
                 };
                 Poll::Pending
             }
+            // pir-lint: allow(panic-path, "Future contract violation: poll after Ready, mirroring std channel semantics")
             State::Taken => panic!("oneshot polled after completion"),
         }
     }

@@ -251,6 +251,7 @@ impl PirServeRuntime {
                     std::thread::Builder::new()
                         .name(format!("batcher-{name}-{party}-{replica}"))
                         .spawn(move || run_batch_former(hosted, party, replica, budget))
+                        // pir-lint: allow(panic-path, "OS thread spawn fails only on resource exhaustion; no recovery path at table admission")
                         .expect("spawn batch former"),
                 );
             }
@@ -261,6 +262,7 @@ impl PirServeRuntime {
                 std::thread::Builder::new()
                     .name(format!("autoscaler-{name}"))
                     .spawn(move || run_autoscaler(&inner, &hosted))
+                    // pir-lint: allow(panic-path, "OS thread spawn fails only on resource exhaustion; no recovery path at table admission")
                     .expect("spawn autoscaler"),
             );
         }

@@ -244,6 +244,7 @@ impl WireFrontend {
             std::thread::Builder::new()
                 .name(format!("remux-party{}", self.party))
                 .spawn(move || run_remux(&remux, send.as_mut()))
+                // pir-lint: allow(panic-path, "OS thread spawn fails only on resource exhaustion; the connection cannot proceed without its writer")
                 .expect("spawn remux writer")
         };
         let outcome = loop {

@@ -14,6 +14,8 @@
 //! `serde` + `serde_derive` in the workspace manifest; no source changes to
 //! the other crates should be needed.
 
+#![forbid(unsafe_code)]
+
 use proc_macro::TokenStream;
 
 /// No-op replacement for `serde::Serialize`.

@@ -138,15 +138,27 @@ impl<'a> WireReader<'a> {
     ///
     /// Returns [`WireError::Truncated`] if fewer than `len` bytes remain.
     pub fn take(&mut self, len: usize) -> Result<&'a [u8], WireError> {
-        if self.remaining() < len {
-            return Err(WireError::Truncated {
+        let slice = self
+            .bytes
+            .get(self.pos..self.pos.saturating_add(len))
+            .ok_or(WireError::Truncated {
                 needed: len,
                 available: self.remaining(),
-            });
-        }
-        let slice = &self.bytes[self.pos..self.pos + len];
+            })?;
         self.pos += len;
         Ok(slice)
+    }
+
+    /// Take exactly `N` bytes as a fixed-size array.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireError::Truncated`] if fewer than `N` bytes remain.
+    pub fn take_array<const N: usize>(&mut self) -> Result<[u8; N], WireError> {
+        self.take(N)?.try_into().map_err(|_| WireError::Truncated {
+            needed: N,
+            available: 0,
+        })
     }
 
     /// Read one byte.
@@ -164,9 +176,7 @@ impl<'a> WireReader<'a> {
     ///
     /// Returns [`WireError::Truncated`] at end of frame.
     pub fn u16(&mut self) -> Result<u16, WireError> {
-        Ok(u16::from_le_bytes(
-            self.take(2)?.try_into().expect("2 bytes"),
-        ))
+        Ok(u16::from_le_bytes(self.take_array()?))
     }
 
     /// Read a little-endian `u32`.
@@ -175,9 +185,7 @@ impl<'a> WireReader<'a> {
     ///
     /// Returns [`WireError::Truncated`] at end of frame.
     pub fn u32(&mut self) -> Result<u32, WireError> {
-        Ok(u32::from_le_bytes(
-            self.take(4)?.try_into().expect("4 bytes"),
-        ))
+        Ok(u32::from_le_bytes(self.take_array()?))
     }
 
     /// Read a little-endian `u64`.
@@ -186,9 +194,7 @@ impl<'a> WireReader<'a> {
     ///
     /// Returns [`WireError::Truncated`] at end of frame.
     pub fn u64(&mut self) -> Result<u64, WireError> {
-        Ok(u64::from_le_bytes(
-            self.take(8)?.try_into().expect("8 bytes"),
-        ))
+        Ok(u64::from_le_bytes(self.take_array()?))
     }
 
     /// Read a little-endian `u128`.
@@ -197,9 +203,7 @@ impl<'a> WireReader<'a> {
     ///
     /// Returns [`WireError::Truncated`] at end of frame.
     pub fn u128(&mut self) -> Result<u128, WireError> {
-        Ok(u128::from_le_bytes(
-            self.take(16)?.try_into().expect("16 bytes"),
-        ))
+        Ok(u128::from_le_bytes(self.take_array()?))
     }
 
     /// Read a strict boolean byte (`0` or `1`).

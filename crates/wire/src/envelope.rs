@@ -149,7 +149,7 @@ impl WireEnvelope {
     /// * [`WireError::BodyLength`] — declared length disagrees with frame.
     pub fn decode(frame: &[u8]) -> Result<Self, WireError> {
         let mut reader = WireReader::new(frame);
-        let magic: [u8; 2] = reader.take(2)?.try_into().expect("2 bytes");
+        let magic: [u8; 2] = reader.take_array()?;
         if magic != WIRE_MAGIC {
             return Err(WireError::BadMagic(magic));
         }

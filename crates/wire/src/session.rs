@@ -253,8 +253,9 @@ impl PirSession {
             }
             catalogs.push(catalog);
         }
-        let catalog1 = catalogs.pop().expect("two catalogs");
-        let catalog0 = catalogs.pop().expect("two catalogs");
+        let Ok([catalog0, catalog1]) = <[Catalog; 2]>::try_from(catalogs) else {
+            unreachable!("one catalog pushed per connection");
+        };
         if catalog0.tables != catalog1.tables {
             return Err(WireError::InvalidRequest(
                 "the two servers advertise different catalogs".into(),
@@ -390,22 +391,27 @@ impl PirSession {
         self.stats.submitted += 1;
         let seq = self.next_seq;
         self.next_seq += 1;
-        let wire_id = self.issue(table, index, rng)?;
-        let entry = self.inflight.get_mut(&wire_id).expect("just issued");
-        entry.public_id = wire_id;
-        entry.seq = seq;
-        Ok(wire_id)
+        self.issue(table, index, seq, None, rng)
     }
 
     /// Generate keys for (table, index) under a fresh session-global wire
     /// id, send both projections, and register the in-flight entry.
+    ///
+    /// `retry_of` carries the public id of the query being transparently
+    /// re-issued after version skew; `None` marks a first submission (whose
+    /// public id is the fresh wire id itself).
     fn issue<R: Rng + ?Sized>(
         &mut self,
         table: &str,
         index: u64,
+        seq: u64,
+        retry_of: Option<u64>,
         rng: &mut R,
     ) -> Result<u64, WireError> {
-        let state = self.tables.get(table).expect("validated by caller");
+        let state = self
+            .tables
+            .get(table)
+            .ok_or_else(|| WireError::InvalidRequest(format!("unknown table '{table}'")))?;
         // The only place the pair exists: immediately projected per party.
         // The per-table client assigns ids from its own counter; overwrite
         // with a session-global id so ids never collide across tables on
@@ -426,13 +432,13 @@ impl PirSession {
         self.inflight.insert(
             wire_id,
             Inflight {
-                public_id: wire_id,
+                public_id: retry_of.unwrap_or(wire_id),
                 table: table.to_string(),
                 index,
                 query,
-                seq: u64::MAX, // patched by the caller (submit / retry)
+                seq,
                 outcomes: [None, None],
-                retried: false,
+                retried: retry_of.is_some(),
             },
         );
         Ok(wire_id)
@@ -508,12 +514,16 @@ impl PirSession {
                         .next()
                         .unwrap_or(0)
                 };
-                if wire_id == 0 || !self.inflight.contains_key(&wire_id) {
+                if wire_id == 0 {
                     // Connection-level error (version rejection, malformed
                     // frame report, ...): poisons the session.
                     return Err(reply.into_wire_error(self.negotiated));
                 }
-                let entry = self.inflight.get_mut(&wire_id).expect("checked above");
+                let Some(entry) = self.inflight.get_mut(&wire_id) else {
+                    // Same connection-level treatment for an error frame
+                    // attributed to a query we never issued.
+                    return Err(reply.into_wire_error(self.negotiated));
+                };
                 if entry.outcomes[party].is_some() {
                     // Same duplicate-answer guard as the Response arm.
                     return Err(WireError::InvalidRequest(format!(
@@ -535,16 +545,18 @@ impl PirSession {
     /// If both parties have answered `wire_id`, resolve it: reconstruct,
     /// retry on version skew, or fail — and emit the completion.
     fn try_complete(&mut self, wire_id: u64) -> Result<(), WireError> {
-        let entry = self.inflight.get(&wire_id).expect("caller checked");
+        let Some(entry) = self.inflight.get(&wire_id) else {
+            return Ok(()); // already resolved: nothing to complete
+        };
         if entry.outcomes.iter().any(Option::is_none) {
             return Ok(());
         }
-        let entry = self.inflight.remove(&wire_id).expect("present");
-        let [outcome0, outcome1] = entry.outcomes;
-        let (outcome0, outcome1) = (
-            outcome0.expect("both present"),
-            outcome1.expect("both present"),
-        );
+        let Some(entry) = self.inflight.remove(&wire_id) else {
+            return Ok(());
+        };
+        let [Some(outcome0), Some(outcome1)] = entry.outcomes else {
+            unreachable!("completeness checked before removal");
+        };
         let outcome = match (outcome0, outcome1) {
             // Party 0's error wins ties, matching the lockstep client.
             (Err(err), _) => Err(err),
@@ -569,18 +581,17 @@ impl PirSession {
                         let mut seed = <rand::rngs::StdRng as SeedableRng>::Seed::default();
                         self.retry_rng
                             .as_mut()
+                            // pir-lint: allow(panic-path, "banked at every submit; completions only exist for submitted queries")
                             .expect("retries are of submitted queries")
                             .fill_bytes(seed.as_mut());
                         let mut rng = rand::rngs::StdRng::from_seed(seed);
-                        let new_id = self.issue(&entry.table, entry.index, &mut rng)?;
-                        let retry = self.inflight.get_mut(&new_id).expect("just issued");
-                        retry.public_id = public_id;
-                        retry.seq = seq;
-                        retry.retried = true;
+                        self.issue(&entry.table, entry.index, seq, Some(public_id), &mut rng)?;
                         return Ok(());
                     }
                 } else {
-                    let state = self.tables.get(&entry.table).expect("discovered");
+                    let state = self.tables.get(&entry.table).ok_or_else(|| {
+                        WireError::InvalidRequest(format!("unknown table '{}'", entry.table))
+                    })?;
                     state
                         .client
                         .reconstruct(&entry.query, &response0, &response1)
@@ -631,8 +642,12 @@ impl PirSession {
     ) -> Result<Vec<u8>, WireError> {
         let id = self.submit(table, index, rng)?;
         loop {
-            if let Some(position) = self.ready.iter().position(|c| c.query_id == id) {
-                let done = self.ready.remove(position).expect("position valid");
+            if let Some(done) = self
+                .ready
+                .iter()
+                .position(|c| c.query_id == id)
+                .and_then(|position| self.ready.remove(position))
+            {
                 return done.outcome;
             }
             self.pump()?;

@@ -5,6 +5,8 @@
 //! `tests/` can use a single, convenient namespace. Library users should
 //! depend on the individual crates (`pir-core`, `pir-dpf`, ...) directly.
 
+#![forbid(unsafe_code)]
+
 pub use gpu_sim;
 pub use pir_cluster;
 pub use pir_core;
