@@ -75,6 +75,41 @@ fn extract_number(line: &str, key: &str) -> Option<f64> {
     rest[..end].parse().ok()
 }
 
+/// Escape a benchmark name for embedding in the JSON summary line.
+fn escape(name: &str) -> String {
+    let mut out = String::with_capacity(name.len());
+    for c in name.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// One machine-readable line summarizing observed-vs-baseline factors, so CI
+/// logs (and anything scraping them) get the whole gate verdict without
+/// parsing the human-oriented table. Missing benchmarks report `null`.
+fn summary_line(factor: f64, ratios: &BTreeMap<String, Option<f64>>, failed: bool) -> String {
+    let mut line = format!(
+        "{{\"gate\":\"bench\",\"allowed_factor\":{factor:.2},\"status\":\"{}\",\"factors\":{{",
+        if failed { "fail" } else { "ok" }
+    );
+    for (index, (name, ratio)) in ratios.iter().enumerate() {
+        if index > 0 {
+            line.push(',');
+        }
+        match ratio {
+            Some(ratio) => line.push_str(&format!("\"{}\":{ratio:.3}", escape(name))),
+            None => line.push_str(&format!("\"{}\":null", escape(name))),
+        }
+    }
+    line.push_str("}}");
+    line
+}
+
 fn human(ns: f64) -> String {
     if ns >= 1e6 {
         format!("{:.2} ms", ns / 1e6)
@@ -140,6 +175,7 @@ fn main() -> ExitCode {
     }
 
     let mut failed = false;
+    let mut ratios: BTreeMap<String, Option<f64>> = BTreeMap::new();
     println!("bench_gate: allowed regression factor {factor:.2}x");
     for (name, base) in &baseline {
         match current.get(name) {
@@ -147,6 +183,7 @@ fn main() -> ExitCode {
                 // A gated benchmark that no longer reports is itself a
                 // regression (renamed or silently dropped).
                 println!("  MISSING  {name} (baseline {})", human(base.ns_per_iter));
+                ratios.insert(name.clone(), None);
                 failed = true;
             }
             Some(sample) => {
@@ -157,12 +194,14 @@ fn main() -> ExitCode {
                     human(sample.ns_per_iter),
                     human(base.ns_per_iter),
                 );
+                ratios.insert(name.clone(), Some(ratio));
                 if ratio > factor {
                     failed = true;
                 }
             }
         }
     }
+    println!("{}", summary_line(factor, &ratios, failed));
     if failed {
         eprintln!("bench_gate: regression gate FAILED");
         return ExitCode::FAILURE;
@@ -194,5 +233,26 @@ mod tests {
         let samples = parse_lines(text);
         assert_eq!(samples.len(), 1);
         assert!(samples.contains_key("group\\x/\"odd\""));
+    }
+
+    #[test]
+    fn summary_line_is_one_json_object_with_per_bench_factors() {
+        let mut ratios = BTreeMap::new();
+        ratios.insert("trace_gen/2s_600rps".to_string(), Some(0.8130));
+        ratios.insert("gone/bench".to_string(), None);
+        ratios.insert("odd\"name".to_string(), Some(2.5));
+        let line = summary_line(2.0, &ratios, true);
+        assert!(!line.contains('\n'), "summary must stay one line");
+        assert!(line.starts_with("{\"gate\":\"bench\""));
+        assert!(line.contains("\"allowed_factor\":2.00"));
+        assert!(line.contains("\"status\":\"fail\""));
+        assert!(line.contains("\"trace_gen/2s_600rps\":0.813"));
+        assert!(line.contains("\"gone/bench\":null"));
+        assert!(line.contains("\"odd\\\"name\":2.500"));
+        // Balanced braces: the factors object closes and so does the root.
+        assert_eq!(line.matches('{').count(), line.matches('}').count());
+        let ok = summary_line(2.0, &BTreeMap::new(), false);
+        assert!(ok.contains("\"status\":\"ok\""));
+        assert!(ok.ends_with("\"factors\":{}}"));
     }
 }

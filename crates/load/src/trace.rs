@@ -1,0 +1,553 @@
+//! Deterministic request-schedule generation.
+//!
+//! A trace is the *entire* offered load, decided up front from a seed: which
+//! tenant issues a lookup, when, and for which table index. Replaying the
+//! same trace against two server builds therefore compares them under
+//! byte-identical demand — the property every regression claim in the soak
+//! harness rests on.
+//!
+//! Rates compose multiplicatively per tenant and per tick:
+//!
+//! ```text
+//! rate(tenant, t) = base_rps · weight_share(tenant)
+//!                 · diurnal(t)                  // 1 + a·sin(2πt/period)
+//!                 · flash(tenant, t)            // multiplier inside window
+//! ```
+//!
+//! Arrival counts come from a per-tenant *fractional accumulator* (the
+//! carry-the-remainder trick): each tick adds `rate · tick` to the
+//! accumulator and emits `floor(acc)` requests, keeping the fraction for the
+//! next tick. No randomness in arrival *times* — only the looked-up indices
+//! are sampled (Zipf, from the trace seed) — so expected and generated
+//! request counts agree to within one request per tenant.
+
+use std::fmt;
+use std::time::Duration;
+
+use pir_ml::ZipfSampler;
+use rand::SeedableRng;
+
+/// One tenant's share of the offered load.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TenantSpec {
+    /// Tenant name, as presented to the serving layer for admission.
+    pub name: String,
+    /// SLO tier this tenant is assigned to (a `pir_serve::SloClass` name).
+    pub tier: String,
+    /// Relative share of the base rate (normalized over all tenants).
+    pub weight: f64,
+    /// Rate multiplier applied inside the flash-crowd window (1.0 = the
+    /// tenant does not participate in the flash).
+    pub flash_multiplier: f64,
+}
+
+impl TenantSpec {
+    /// A tenant with no flash participation.
+    #[must_use]
+    pub fn steady(name: impl Into<String>, tier: impl Into<String>, weight: f64) -> Self {
+        Self {
+            name: name.into(),
+            tier: tier.into(),
+            weight,
+            flash_multiplier: 1.0,
+        }
+    }
+
+    /// A tenant whose rate multiplies by `flash_multiplier` during the flash
+    /// window.
+    #[must_use]
+    pub fn flashy(
+        name: impl Into<String>,
+        tier: impl Into<String>,
+        weight: f64,
+        flash_multiplier: f64,
+    ) -> Self {
+        Self {
+            name: name.into(),
+            tier: tier.into(),
+            weight,
+            flash_multiplier,
+        }
+    }
+}
+
+/// Smooth daily rate variation: `1 + amplitude · sin(2πt / period)`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Diurnal {
+    /// Length of one full cycle.
+    pub period: Duration,
+    /// Peak deviation from the base rate, in `[0, 1)`.
+    pub amplitude: f64,
+}
+
+/// A step surge: participating tenants multiply their rate by their
+/// `flash_multiplier` for the window `[start, start + duration)`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct FlashCrowd {
+    /// Offset of the surge from trace start.
+    pub start: Duration,
+    /// How long the surge lasts.
+    pub duration: Duration,
+}
+
+impl FlashCrowd {
+    /// Whether `at` falls inside the surge window.
+    #[must_use]
+    pub fn contains(&self, at: Duration) -> bool {
+        at >= self.start && at < self.start + self.duration
+    }
+}
+
+/// Everything needed to generate a trace deterministically.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TraceConfig {
+    /// Entries in the table the trace queries (index domain).
+    pub entries: u64,
+    /// Zipf skew of the looked-up indices (0 = uniform).
+    pub zipf_exponent: f64,
+    /// Total trace length.
+    pub duration: Duration,
+    /// Aggregate request rate across all tenants, before modulation.
+    pub base_rps: f64,
+    /// Scheduling quantum: rates are integrated per tick and arrivals spread
+    /// evenly inside it.
+    pub tick: Duration,
+    /// Optional smooth rate modulation.
+    pub diurnal: Option<Diurnal>,
+    /// Optional step surge.
+    pub flash: Option<FlashCrowd>,
+    /// The tenants sharing the load. Must be non-empty.
+    pub tenants: Vec<TenantSpec>,
+    /// Seed for index sampling (the only randomness in a trace).
+    pub seed: u64,
+}
+
+impl Default for TraceConfig {
+    fn default() -> Self {
+        Self {
+            entries: 1 << 10,
+            zipf_exponent: 1.0,
+            duration: Duration::from_secs(10),
+            base_rps: 100.0,
+            tick: Duration::from_millis(100),
+            diurnal: None,
+            flash: None,
+            tenants: vec![TenantSpec::steady("tenant-0", "default", 1.0)],
+            seed: 0,
+        }
+    }
+}
+
+/// A structurally invalid [`TraceConfig`].
+#[derive(Clone, Debug, PartialEq)]
+pub enum TraceError {
+    /// No tenants were configured.
+    NoTenants,
+    /// `tick` or `duration` was zero, or `tick` exceeds `duration`.
+    BadTiming {
+        /// Human-readable description of the violated constraint.
+        detail: String,
+    },
+    /// `entries` was zero or an exponent/rate/amplitude was out of range.
+    BadParameter {
+        /// Which parameter, and why.
+        detail: String,
+    },
+    /// A tenant's weight or flash multiplier was non-positive or non-finite.
+    BadTenant {
+        /// The offending tenant.
+        tenant: String,
+        /// Which field, and why.
+        detail: String,
+    },
+}
+
+impl fmt::Display for TraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::NoTenants => write!(f, "trace needs at least one tenant"),
+            Self::BadTiming { detail } => write!(f, "bad trace timing: {detail}"),
+            Self::BadParameter { detail } => write!(f, "bad trace parameter: {detail}"),
+            Self::BadTenant { tenant, detail } => {
+                write!(f, "bad tenant '{tenant}': {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TraceError {}
+
+/// One scheduled lookup.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TraceRequest {
+    /// Offset from trace start at which the request is issued.
+    pub at: Duration,
+    /// Index into [`Trace::tenants`].
+    pub tenant: usize,
+    /// The table index to look up.
+    pub index: u64,
+}
+
+/// Which part of the trace a request falls in, relative to the flash window.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Phase {
+    /// Before the flash crowd (or the whole trace if there is none).
+    Steady,
+    /// Inside the flash window.
+    Flash,
+    /// After the flash window closed.
+    Recovery,
+}
+
+impl Phase {
+    /// Stable lowercase label for reports.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            Self::Steady => "steady",
+            Self::Flash => "flash",
+            Self::Recovery => "recovery",
+        }
+    }
+}
+
+/// A fully materialized request schedule.
+#[derive(Clone, Debug)]
+pub struct Trace {
+    /// The tenants, in the order [`TraceRequest::tenant`] indexes.
+    pub tenants: Vec<TenantSpec>,
+    /// All requests, sorted by issue time.
+    pub requests: Vec<TraceRequest>,
+    /// The flash window the schedule was generated with, if any.
+    pub flash: Option<FlashCrowd>,
+    /// Total trace length.
+    pub duration: Duration,
+}
+
+impl Trace {
+    /// Number of scheduled requests.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.requests.len()
+    }
+
+    /// Whether the schedule is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.requests.is_empty()
+    }
+
+    /// Classify an issue time against the flash window.
+    #[must_use]
+    pub fn phase_of(&self, at: Duration) -> Phase {
+        match self.flash {
+            Some(flash) if flash.contains(at) => Phase::Flash,
+            Some(flash) if at >= flash.start + flash.duration => Phase::Recovery,
+            _ => Phase::Steady,
+        }
+    }
+
+    /// Peak offered rate over any single tick, in requests per second.
+    #[must_use]
+    pub fn peak_tick_rps(&self, tick: Duration) -> f64 {
+        let tick_s = tick.as_secs_f64();
+        if tick_s <= 0.0 || self.requests.is_empty() {
+            return 0.0;
+        }
+        let mut counts: Vec<u64> = Vec::new();
+        for request in &self.requests {
+            let slot = (request.at.as_secs_f64() / tick_s) as usize;
+            if counts.len() <= slot {
+                counts.resize(slot + 1, 0);
+            }
+            counts[slot] += 1;
+        }
+        counts.iter().copied().max().unwrap_or(0) as f64 / tick_s
+    }
+}
+
+impl TraceConfig {
+    fn validate(&self) -> Result<(), TraceError> {
+        if self.tenants.is_empty() {
+            return Err(TraceError::NoTenants);
+        }
+        if self.tick.is_zero() || self.duration.is_zero() {
+            return Err(TraceError::BadTiming {
+                detail: "tick and duration must be positive".into(),
+            });
+        }
+        if self.tick > self.duration {
+            return Err(TraceError::BadTiming {
+                detail: format!(
+                    "tick {:?} exceeds trace duration {:?}",
+                    self.tick, self.duration
+                ),
+            });
+        }
+        if self.entries == 0 {
+            return Err(TraceError::BadParameter {
+                detail: "table must have at least one entry".into(),
+            });
+        }
+        if !self.zipf_exponent.is_finite() || self.zipf_exponent < 0.0 {
+            return Err(TraceError::BadParameter {
+                detail: format!(
+                    "zipf exponent {} must be finite and >= 0",
+                    self.zipf_exponent
+                ),
+            });
+        }
+        if !self.base_rps.is_finite() || self.base_rps <= 0.0 {
+            return Err(TraceError::BadParameter {
+                detail: format!(
+                    "base rate {} rps must be finite and positive",
+                    self.base_rps
+                ),
+            });
+        }
+        if let Some(diurnal) = &self.diurnal {
+            if diurnal.period.is_zero() {
+                return Err(TraceError::BadParameter {
+                    detail: "diurnal period must be positive".into(),
+                });
+            }
+            if !diurnal.amplitude.is_finite() || !(0.0..1.0).contains(&diurnal.amplitude) {
+                return Err(TraceError::BadParameter {
+                    detail: format!(
+                        "diurnal amplitude {} must be in [0, 1) so rates stay positive",
+                        diurnal.amplitude
+                    ),
+                });
+            }
+        }
+        if let Some(flash) = &self.flash {
+            if flash.duration.is_zero() {
+                return Err(TraceError::BadParameter {
+                    detail: "flash window must have positive duration".into(),
+                });
+            }
+        }
+        for tenant in &self.tenants {
+            if !tenant.weight.is_finite() || tenant.weight <= 0.0 {
+                return Err(TraceError::BadTenant {
+                    tenant: tenant.name.clone(),
+                    detail: format!("weight {} must be finite and positive", tenant.weight),
+                });
+            }
+            if !tenant.flash_multiplier.is_finite() || tenant.flash_multiplier < 1.0 {
+                return Err(TraceError::BadTenant {
+                    tenant: tenant.name.clone(),
+                    detail: format!(
+                        "flash multiplier {} must be finite and >= 1",
+                        tenant.flash_multiplier
+                    ),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Generate the full request schedule.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`TraceError`] describing the first structural problem with
+    /// the configuration; a valid configuration cannot fail.
+    pub fn generate(&self) -> Result<Trace, TraceError> {
+        self.validate()?;
+        let sampler = ZipfSampler::new(self.entries, self.zipf_exponent);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(self.seed);
+        let total_weight: f64 = self.tenants.iter().map(|t| t.weight).sum();
+        let tick_s = self.tick.as_secs_f64();
+        let ticks = (self.duration.as_secs_f64() / tick_s).ceil() as u64;
+        let mut accumulators = vec![0.0f64; self.tenants.len()];
+        let mut requests = Vec::new();
+        for tick in 0..ticks {
+            let tick_start = self.tick * (tick as u32);
+            let mid = tick_start + self.tick / 2;
+            let diurnal = match &self.diurnal {
+                Some(d) => {
+                    let angle = std::f64::consts::TAU * mid.as_secs_f64() / d.period.as_secs_f64();
+                    1.0 + d.amplitude * angle.sin()
+                }
+                None => 1.0,
+            };
+            let in_flash = self.flash.as_ref().is_some_and(|f| f.contains(mid));
+            for (slot, tenant) in self.tenants.iter().enumerate() {
+                let flash = if in_flash {
+                    tenant.flash_multiplier
+                } else {
+                    1.0
+                };
+                let rate = self.base_rps * (tenant.weight / total_weight) * diurnal * flash;
+                accumulators[slot] += rate * tick_s;
+                let count = accumulators[slot].floor() as u64;
+                accumulators[slot] -= count as f64;
+                // Spread the tick's arrivals evenly across its span so a
+                // whole tick's worth never lands on one instant.
+                for k in 0..count {
+                    let offset = self.tick.mul_f64((k as f64 + 0.5) / count as f64);
+                    requests.push(TraceRequest {
+                        at: tick_start + offset,
+                        tenant: slot,
+                        index: sampler.sample(&mut rng),
+                    });
+                }
+            }
+        }
+        requests.sort_by_key(|r| (r.at, r.tenant));
+        Ok(Trace {
+            tenants: self.tenants.clone(),
+            requests,
+            flash: self.flash,
+            duration: self.duration,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base_config() -> TraceConfig {
+        TraceConfig {
+            entries: 256,
+            zipf_exponent: 1.0,
+            duration: Duration::from_secs(4),
+            base_rps: 50.0,
+            tick: Duration::from_millis(100),
+            diurnal: None,
+            flash: None,
+            tenants: vec![
+                TenantSpec::flashy("interactive", "urgent", 1.0, 10.0),
+                TenantSpec::steady("batch", "background", 1.0),
+            ],
+            seed: 42,
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let config = base_config();
+        let a = config.generate().unwrap();
+        let b = config.generate().unwrap();
+        assert_eq!(a.requests, b.requests);
+        assert!(!a.is_empty());
+    }
+
+    #[test]
+    fn steady_rate_matches_expectation() {
+        let trace = base_config().generate().unwrap();
+        // 50 rps x 4 s = 200 requests, ± one per tenant from the accumulator.
+        let n = trace.len() as i64;
+        assert!((n - 200).abs() <= 2, "got {n} requests");
+        // Requests are sorted by time and within the duration.
+        assert!(trace.requests.windows(2).all(|w| w[0].at <= w[1].at));
+        assert!(trace.requests.iter().all(|r| r.at < trace.duration));
+    }
+
+    #[test]
+    fn flash_crowd_multiplies_participating_tenants_only() {
+        let mut config = base_config();
+        config.flash = Some(FlashCrowd {
+            start: Duration::from_secs(1),
+            duration: Duration::from_secs(1),
+        });
+        let trace = config.generate().unwrap();
+        let in_flash = |r: &&TraceRequest| trace.phase_of(r.at) == Phase::Flash;
+        let flash_interactive = trace
+            .requests
+            .iter()
+            .filter(in_flash)
+            .filter(|r| r.tenant == 0)
+            .count() as f64;
+        let flash_batch = trace
+            .requests
+            .iter()
+            .filter(in_flash)
+            .filter(|r| r.tenant == 1)
+            .count() as f64;
+        // Tenant 0 multiplies 10x, tenant 1 stays flat: the ratio inside the
+        // window reflects that.
+        assert!(flash_interactive > 5.0 * flash_batch);
+        // And the peak tick rate clearly exceeds the steady 50 rps.
+        assert!(trace.peak_tick_rps(Duration::from_millis(100)) > 100.0);
+    }
+
+    #[test]
+    fn diurnal_modulation_moves_load_within_a_period() {
+        let mut config = base_config();
+        config.duration = Duration::from_secs(8);
+        config.diurnal = Some(Diurnal {
+            period: Duration::from_secs(8),
+            amplitude: 0.8,
+        });
+        let trace = config.generate().unwrap();
+        // First half-period rides the sine peak, second half the trough.
+        let half = Duration::from_secs(4);
+        let first = trace.requests.iter().filter(|r| r.at < half).count();
+        let second = trace.len() - first;
+        assert!(first > second + second / 2, "first {first} second {second}");
+    }
+
+    #[test]
+    fn phases_classify_against_the_flash_window() {
+        let mut config = base_config();
+        config.flash = Some(FlashCrowd {
+            start: Duration::from_secs(1),
+            duration: Duration::from_secs(1),
+        });
+        let trace = config.generate().unwrap();
+        assert_eq!(trace.phase_of(Duration::from_millis(500)), Phase::Steady);
+        assert_eq!(trace.phase_of(Duration::from_millis(1500)), Phase::Flash);
+        assert_eq!(trace.phase_of(Duration::from_millis(2500)), Phase::Recovery);
+    }
+
+    #[test]
+    fn invalid_configs_are_typed_errors() {
+        let mut config = base_config();
+        config.tenants.clear();
+        assert_eq!(config.generate().unwrap_err(), TraceError::NoTenants);
+
+        let mut config = base_config();
+        config.tick = Duration::ZERO;
+        assert!(matches!(
+            config.generate().unwrap_err(),
+            TraceError::BadTiming { .. }
+        ));
+
+        let mut config = base_config();
+        config.base_rps = 0.0;
+        assert!(matches!(
+            config.generate().unwrap_err(),
+            TraceError::BadParameter { .. }
+        ));
+
+        let mut config = base_config();
+        config.tenants[0].weight = -1.0;
+        assert!(matches!(
+            config.generate().unwrap_err(),
+            TraceError::BadTenant { .. }
+        ));
+
+        let mut config = base_config();
+        config.diurnal = Some(Diurnal {
+            period: Duration::from_secs(1),
+            amplitude: 1.5,
+        });
+        assert!(matches!(
+            config.generate().unwrap_err(),
+            TraceError::BadParameter { .. }
+        ));
+    }
+
+    #[test]
+    fn indices_stay_in_range_and_skew_to_the_head() {
+        let trace = base_config().generate().unwrap();
+        assert!(trace.requests.iter().all(|r| r.index < 256));
+        let head_hits = trace.requests.iter().filter(|r| r.index < 16).count();
+        // Zipf(1.0) over 256 entries puts far more than 16/256 of mass on
+        // the first 16 indices.
+        assert!(head_hits * 4 > trace.len());
+    }
+}

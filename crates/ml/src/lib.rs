@@ -40,4 +40,4 @@ pub use metrics::{accuracy, log_loss, perplexity, roc_auc};
 pub use mlp::{MlpConfig, MlpModel};
 pub use quality::{QualityMetric, QualityModel};
 pub use tensor::Matrix;
-pub use workload::AccessWorkload;
+pub use workload::{AccessWorkload, ZipfSampler};

@@ -2,6 +2,7 @@
 //! serve, and the statistics (frequencies, co-occurrence, skew) the co-design
 //! exploits.
 
+use rand::Rng;
 use serde::{Deserialize, Serialize};
 
 /// A collection of per-inference embedding accesses against one table.
@@ -33,6 +34,47 @@ impl AccessWorkload {
             table_entries,
             sessions,
         }
+    }
+
+    /// Generate a synthetic Zipf-distributed workload: `sessions` inferences
+    /// of `queries_per_session` lookups each, with index popularity following
+    /// a power law of the given `exponent` (1.0 ≈ classic Zipf; larger is
+    /// more skewed; 0.0 is uniform).
+    ///
+    /// Sampling uses inverse-CDF over the exact finite Zipf mass function, so
+    /// the same RNG stream always yields the same workload — the trace
+    /// harness replays these deterministically.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `table_entries` is zero or `exponent` is negative/non-finite.
+    #[must_use]
+    pub fn zipf<R: Rng + ?Sized>(
+        table_entries: u64,
+        sessions: usize,
+        queries_per_session: usize,
+        exponent: f64,
+        rng: &mut R,
+    ) -> Self {
+        let sampler = ZipfSampler::new(table_entries, exponent);
+        let sessions = (0..sessions)
+            .map(|_| {
+                (0..queries_per_session)
+                    .map(|_| sampler.sample(rng))
+                    .collect()
+            })
+            .collect();
+        Self {
+            table_entries,
+            sessions,
+        }
+    }
+
+    /// Flatten the per-inference sessions into one lookup stream, in session
+    /// order — the request sequence a trace harness replays.
+    #[must_use]
+    pub fn lookup_stream(&self) -> Vec<u64> {
+        self.sessions.iter().flatten().copied().collect()
     }
 
     /// Number of inferences in the workload.
@@ -111,6 +153,52 @@ impl AccessWorkload {
     }
 }
 
+/// Inverse-CDF sampler over the finite Zipf distribution
+/// `P(i) ∝ 1 / (i + 1)^s` for `i` in `0..n`.
+///
+/// The CDF table costs `O(n)` to build and each sample is one binary search,
+/// which keeps trace generation cheap even for skew sweeps. Public so the
+/// load harness can sample lookups one at a time without materializing whole
+/// sessions.
+#[derive(Clone, Debug)]
+pub struct ZipfSampler {
+    cdf: Vec<f64>,
+}
+
+impl ZipfSampler {
+    /// Build a sampler over `n` indices with skew `exponent`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero or `exponent` is negative or non-finite.
+    #[must_use]
+    pub fn new(n: u64, exponent: f64) -> Self {
+        assert!(n > 0, "Zipf needs at least one index");
+        assert!(
+            exponent.is_finite() && exponent >= 0.0,
+            "Zipf exponent must be finite and non-negative"
+        );
+        let mut cdf = Vec::with_capacity(n as usize);
+        let mut total = 0.0;
+        for i in 0..n {
+            total += 1.0 / ((i + 1) as f64).powf(exponent);
+            cdf.push(total);
+        }
+        for mass in &mut cdf {
+            *mass /= total;
+        }
+        Self { cdf }
+    }
+
+    /// Draw one index in `0..n`.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        let unit: f64 = rng.gen_range(0.0..1.0);
+        // partition_point: first index whose cumulative mass covers `unit`.
+        let index = self.cdf.partition_point(|&mass| mass < unit);
+        index.min(self.cdf.len() - 1) as u64
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -150,6 +238,42 @@ mod tests {
         assert_eq!(train.len() + test.len(), w.len());
         assert_eq!(train.table_entries, 10);
         assert!(!train.is_empty() && !test.is_empty());
+    }
+
+    #[test]
+    fn zipf_workload_is_deterministic_and_skewed() {
+        use rand::SeedableRng;
+        let mut rng_a = rand::rngs::StdRng::seed_from_u64(7);
+        let mut rng_b = rand::rngs::StdRng::seed_from_u64(7);
+        let a = AccessWorkload::zipf(1024, 200, 4, 1.1, &mut rng_a);
+        let b = AccessWorkload::zipf(1024, 200, 4, 1.1, &mut rng_b);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 200);
+        assert_eq!(a.lookup_stream().len(), 800);
+        assert!(a.lookup_stream().iter().all(|&i| i < 1024));
+        // Zipf 1.1 concentrates far more than uniform on the head.
+        assert!(a.coverage_of_top(16) > 0.3);
+        let mut rng_c = rand::rngs::StdRng::seed_from_u64(7);
+        let uniform = AccessWorkload::zipf(1024, 200, 4, 0.0, &mut rng_c);
+        assert!(uniform.coverage_of_top(16) < a.coverage_of_top(16));
+    }
+
+    #[test]
+    fn zipf_sampler_covers_the_range() {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let sampler = ZipfSampler::new(4, 1.0);
+        let mut seen = [false; 4];
+        for _ in 0..500 {
+            seen[sampler.sample(&mut rng) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one index")]
+    fn zipf_rejects_empty_table() {
+        let _ = ZipfSampler::new(0, 1.0);
     }
 
     #[test]

@@ -48,6 +48,7 @@ pub mod client;
 pub mod codesign;
 pub mod colocation;
 pub mod error;
+pub mod hot_cache;
 pub mod hot_table;
 pub mod message;
 pub mod naive;
@@ -60,6 +61,7 @@ pub use client::{PirClient, QueryHandle};
 pub use codesign::{CodesignParams, CodesignPoint, CodesignSearch, CodesignSpace, FullTableMode};
 pub use colocation::{ColocatedTable, ColocationMap};
 pub use error::PirError;
+pub use hot_cache::{HotCacheStats, HotEntryCache};
 pub use hot_table::{HotTableConfig, HotTablePlan, HotTableSplit};
 pub use message::{
     PirQuery, PirResponse, ServerQuery, RESPONSE_PREFIX_BYTES, SCHEMA_WIRE_BYTES,

@@ -20,6 +20,7 @@ use std::time::Instant;
 use crate::budget::DeviceBudget;
 use crate::error::ServeError;
 use crate::registry::{AnsweredShare, HostedTable, PendingEntry, QueueItem, UpdateMarker};
+use crate::tier::{formation_order, BatchCandidate};
 
 /// What one trip through the queue decided to do.
 enum Action {
@@ -108,21 +109,29 @@ pub(crate) fn run_batch_former(
                     }
                 }
 
-                // Phase 2: give the batch up to `max_wait` (measured from
-                // the *oldest* entry, so no query waits longer than the
-                // policy says) to reach `max_batch`. A queued update ends
+                // Phase 2: accumulate until the *earliest queued deadline*
+                // (each entry's `enqueued_at + its SLO class's deadline`) —
+                // so an urgent arrival ends a background batch's
+                // accumulation at its own, tighter deadline, and with a
+                // single tier this degenerates to the classic
+                // `oldest + max_wait` rule. Re-scanned on every wakeup
+                // because a new arrival can carry an *earlier* deadline
+                // than everything already queued. A queued update ends
                 // accumulation early so the barrier is reached promptly.
-                let oldest = match state.entries.front() {
-                    Some(QueueItem::Query(entry)) => entry.enqueued_at,
-                    _ => unreachable!("front checked above"),
-                };
-                let deadline = oldest + policy.max_wait;
-                while live_queries(&mut state, policy.max_batch) < policy.max_batch
-                    && state.pending_updates == 0
-                    && !state.closed
-                    && !state.barrier
-                {
-                    let Some(remaining) = deadline.checked_duration_since(Instant::now()) else {
+                loop {
+                    let (live, earliest) = scan_live(&mut state, policy.max_batch);
+                    if live >= policy.max_batch
+                        || state.pending_updates > 0
+                        || state.closed
+                        || state.barrier
+                    {
+                        break;
+                    }
+                    let Some(earliest) = earliest else {
+                        // Everything queued was canceled and pruned.
+                        break;
+                    };
+                    let Some(remaining) = earliest.checked_duration_since(Instant::now()) else {
                         break;
                     };
                     if queue.arrived.wait_for(&mut state, remaining).timed_out() {
@@ -133,27 +142,58 @@ pub(crate) fn run_batch_former(
                     continue;
                 }
 
-                // Canceled queries are discarded as they are popped — their
-                // responders close (nobody is listening) and they never
-                // reach the device — and they don't count toward
-                // `max_batch`, so heavy cancellation can't make formed
-                // batches run undersized. Popping stops at an update
-                // marker: entries behind it belong to the new table
-                // version's batches.
-                let mut batch = Vec::new();
-                while batch.len() < policy.max_batch {
-                    match state.entries.front() {
-                        Some(QueueItem::Query(_)) => {
-                            let Some(QueueItem::Query(entry)) = state.entries.pop_front() else {
-                                unreachable!("front checked above");
-                            };
-                            if !entry.is_canceled() {
-                                batch.push(entry);
+                // Formation: rank the live prefix (everything ahead of the
+                // first update marker — entries behind it belong to the new
+                // table version's batches) with the tier ordering: expired
+                // deadlines first (age promotion: an overdue background
+                // entry cannot be starved by a stream of urgent arrivals),
+                // then priority, then FIFO. Urgent entries take the batch,
+                // background entries fill whatever residue `max_batch`
+                // leaves. Canceled queries are discarded as they are found —
+                // their responders close (nobody is listening) and they
+                // never reach the device — and they don't occupy batch
+                // slots, so heavy cancellation can't make formed batches
+                // run undersized.
+                let mut positions = Vec::new();
+                let mut candidates = Vec::new();
+                let mut index = 0;
+                while index < state.entries.len() {
+                    match &state.entries[index] {
+                        QueueItem::Query(entry) => {
+                            if entry.is_canceled() {
+                                drop(state.entries.remove(index));
+                            } else {
+                                positions.push(index);
+                                candidates.push(BatchCandidate {
+                                    deadline: entry.deadline,
+                                    priority: entry.priority,
+                                });
+                                index += 1;
                             }
                         }
-                        _ => break,
+                        QueueItem::Update(_) => break,
                     }
                 }
+                let order = formation_order(Instant::now(), &candidates);
+                // Map ranks to queue positions, then pull highest positions
+                // first so earlier removals don't shift later ones.
+                let mut picks: Vec<(usize, usize)> = order
+                    .iter()
+                    .take(policy.max_batch)
+                    .enumerate()
+                    .filter_map(|(rank, &candidate)| {
+                        positions.get(candidate).map(|&position| (position, rank))
+                    })
+                    .collect();
+                picks.sort_unstable_by_key(|pick| std::cmp::Reverse(pick.0));
+                let mut ranked = Vec::with_capacity(picks.len());
+                for (position, rank) in picks {
+                    if let Some(QueueItem::Query(entry)) = state.entries.remove(position) {
+                        ranked.push((rank, entry));
+                    }
+                }
+                ranked.sort_unstable_by_key(|(rank, _)| *rank);
+                let batch: Vec<PendingEntry> = ranked.into_iter().map(|(_, entry)| entry).collect();
                 if batch.is_empty() {
                     // Everything was canceled (or a marker is at the
                     // front); go around again.
@@ -246,7 +286,8 @@ pub(crate) fn run_batch_former(
 }
 
 /// Queries in the queue that are still worth answering, counted up to
-/// `cap` — pruning canceled entries as they are found.
+/// `cap` — pruning canceled entries as they are found — together with the
+/// earliest SLO deadline among them.
 ///
 /// Accumulation counts *these* toward `max_batch`: formation discards
 /// canceled entries, so counting them too would let heavy cancellation end
@@ -256,8 +297,9 @@ pub(crate) fn run_batch_former(
 /// would discard anyway) are dropped on sight — each one costs a visit
 /// once ever, not once per wakeup, keeping a canceled-dominated backlog
 /// from turning every wakeup into a full-queue walk.
-fn live_queries(state: &mut crate::registry::QueueState, cap: usize) -> usize {
+fn scan_live(state: &mut crate::registry::QueueState, cap: usize) -> (usize, Option<Instant>) {
     let mut live = 0;
+    let mut earliest: Option<Instant> = None;
     let mut index = 0;
     while live < cap && index < state.entries.len() {
         match &state.entries[index] {
@@ -266,6 +308,10 @@ fn live_queries(state: &mut crate::registry::QueueState, cap: usize) -> usize {
                     drop(state.entries.remove(index));
                 } else {
                     live += 1;
+                    earliest = Some(match earliest {
+                        Some(current) => current.min(entry.deadline),
+                        None => entry.deadline,
+                    });
                     index += 1;
                 }
             }
@@ -274,7 +320,7 @@ fn live_queries(state: &mut crate::registry::QueueState, cap: usize) -> usize {
             QueueItem::Update(_) => index += 1,
         }
     }
-    live
+    (live, earliest)
 }
 
 /// Apply one hot-reload marker to every replica of `party`.
@@ -322,10 +368,15 @@ mod tests {
     ) {
         let query = hosted.client.query(index, rng);
         let (tx, rx) = oneshot::channel();
+        let class = hosted.config.tiers.class(0);
+        let now = Instant::now();
         (
             PendingEntry {
                 query: query.to_server(0),
-                enqueued_at: Instant::now(),
+                enqueued_at: now,
+                deadline: now + class.deadline,
+                tier: 0,
+                priority: class.priority,
                 responder: tx,
                 canceled: Arc::new(AtomicBool::new(canceled)),
             },

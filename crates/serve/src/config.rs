@@ -12,6 +12,7 @@ use pir_dpf::SchedulerConfig;
 use pir_prf::PrfKind;
 
 use crate::error::ServeError;
+use crate::tier::{SloClass, SloTiers};
 
 /// When a forming batch is submitted to the device (§3.2.5's premise: the
 /// GPU only pays off when kernel launches are amortized over many queries).
@@ -147,6 +148,12 @@ pub struct TableConfig {
     pub backend: BackendKind,
     /// Batch-formation policy for this table's two batch formers.
     pub batch: BatchPolicy,
+    /// SLO priority tiers: per-tenant service classes whose deadlines drive
+    /// batch formation (urgent tenants close batches early, background
+    /// tenants fill residue and absorb displacement shedding). Defaults to
+    /// a single class whose deadline is `batch.max_wait`, which reproduces
+    /// classic max-batch/max-wait formation exactly.
+    pub tiers: SloTiers,
 }
 
 impl TableConfig {
@@ -167,6 +174,7 @@ impl Default for TableConfig {
             scheduler: SchedulerConfig::default(),
             backend: BackendKind::default(),
             batch: BatchPolicy::default(),
+            tiers: SloTiers::default(),
         }
     }
 }
@@ -175,6 +183,14 @@ impl Default for TableConfig {
 #[derive(Clone, Debug, Default)]
 pub struct TableConfigBuilder {
     config: TableConfig,
+    /// Declared tier classes; validated and resolved into
+    /// [`TableConfig::tiers`] at build time.
+    classes: Vec<SloClass>,
+    /// `(tenant, tier-name)` assignments, resolved at build time.
+    assignments: Vec<(String, String)>,
+    /// Tier unassigned tenants fall into; defaults to the least urgent
+    /// declared class.
+    default_tier: Option<String>,
 }
 
 impl TableConfigBuilder {
@@ -244,14 +260,42 @@ impl TableConfigBuilder {
         self
     }
 
+    /// Declare one SLO tier class. Declare at least two for tiering to do
+    /// anything; with none declared the table runs a single class whose
+    /// deadline is the batch policy's `max_wait`.
+    #[must_use]
+    pub fn tier(mut self, name: &str, deadline: Duration, priority: u8) -> Self {
+        self.classes.push(SloClass::new(name, deadline, priority));
+        self
+    }
+
+    /// Serve `tenant` under the named tier (tenants without an assignment
+    /// get the default tier).
+    #[must_use]
+    pub fn assign_tenant(mut self, tenant: &str, tier: &str) -> Self {
+        self.assignments
+            .push((tenant.to_string(), tier.to_string()));
+        self
+    }
+
+    /// Tier that unassigned tenants are served under (defaults to the
+    /// least urgent declared class).
+    #[must_use]
+    pub fn default_tier(mut self, tier: &str) -> Self {
+        self.default_tier = Some(tier.to_string());
+        self
+    }
+
     /// Validate and produce the config.
     ///
     /// # Errors
     ///
     /// Returns [`ServeError::InvalidConfig`] for zero shards, an empty or
     /// inverted replica range, degenerate autoscale thresholds, a zero
-    /// batch size, or a scheduler config the planner would reject.
-    pub fn build(self) -> Result<TableConfig, ServeError> {
+    /// batch size, a malformed tier set, or a scheduler config the planner
+    /// would reject; [`ServeError::TierInversion`] if a more urgent tier
+    /// declares a longer deadline than a less urgent one.
+    pub fn build(mut self) -> Result<TableConfig, ServeError> {
         if self.config.shards == 0 {
             return Err(ServeError::InvalidConfig(
                 "shards must be at least 1".into(),
@@ -292,6 +336,27 @@ impl TableConfigBuilder {
             .scheduler
             .validate()
             .map_err(|err| ServeError::InvalidConfig(err.to_string()))?;
+        self.config.tiers = if self.classes.is_empty() {
+            if !self.assignments.is_empty() || self.default_tier.is_some() {
+                return Err(ServeError::InvalidConfig(
+                    "tenant/default tier references declared without any tier classes".into(),
+                ));
+            }
+            SloTiers::single(self.config.batch.max_wait)
+        } else {
+            let fallback = self
+                .default_tier
+                .or_else(|| {
+                    // Least urgent class: unassigned tenants should absorb
+                    // shedding, not compete with interactive traffic.
+                    self.classes
+                        .iter()
+                        .max_by_key(|class| class.priority)
+                        .map(|class| class.name.clone())
+                })
+                .unwrap_or_default();
+            SloTiers::new(self.classes, &self.assignments, &fallback)?
+        };
         Ok(self.config)
     }
 }
@@ -447,6 +512,63 @@ mod tests {
         assert_eq!(serve.device_budget, Some(12));
         assert_eq!(serve.seed, 7);
         assert_eq!(ServeConfig::default().device_budget, None);
+    }
+
+    #[test]
+    fn tier_builder_materializes_and_validates() {
+        // No tiers declared: a single default class at the batch deadline,
+        // so classic formation is reproduced exactly.
+        let plain = TableConfig::builder()
+            .max_wait(Duration::from_millis(7))
+            .build()
+            .unwrap();
+        assert_eq!(plain.tiers.len(), 1);
+        assert_eq!(plain.tiers.class(0).deadline, Duration::from_millis(7));
+
+        // Declared tiers sort by priority; unassigned tenants fall to the
+        // least urgent class unless a default is named.
+        let tiered = TableConfig::builder()
+            .tier("bulk", Duration::from_millis(20), 3)
+            .tier("urgent", Duration::from_millis(1), 0)
+            .assign_tenant("vip", "urgent")
+            .build()
+            .unwrap();
+        assert_eq!(
+            tiered.tiers.class(tiered.tiers.tier_of("vip")).name,
+            "urgent"
+        );
+        assert_eq!(
+            tiered.tiers.class(tiered.tiers.tier_of("anon")).name,
+            "bulk"
+        );
+
+        // A more urgent tier with a *longer* deadline is an inversion:
+        // typed error, not a panic.
+        let inverted = TableConfig::builder()
+            .tier("urgent", Duration::from_millis(50), 0)
+            .tier("bulk", Duration::from_millis(5), 3)
+            .build();
+        assert!(matches!(inverted, Err(ServeError::TierInversion { .. })));
+
+        // Assignments to undeclared tiers, and assignments without any
+        // declared classes, are both rejected.
+        assert!(matches!(
+            TableConfig::builder()
+                .tier("urgent", Duration::from_millis(1), 0)
+                .assign_tenant("vip", "nope")
+                .build(),
+            Err(ServeError::InvalidConfig(_))
+        ));
+        assert!(matches!(
+            TableConfig::builder()
+                .assign_tenant("vip", "urgent")
+                .build(),
+            Err(ServeError::InvalidConfig(_))
+        ));
+        assert!(matches!(
+            TableConfig::builder().default_tier("urgent").build(),
+            Err(ServeError::InvalidConfig(_))
+        ));
     }
 
     #[test]

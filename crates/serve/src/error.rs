@@ -1,6 +1,7 @@
 //! Typed errors of the serving runtime.
 
 use std::fmt;
+use std::time::Duration;
 
 use pir_protocol::PirError;
 
@@ -40,11 +41,35 @@ pub enum ServeError {
         /// Number of entries in the table.
         entries: u64,
     },
+    /// The query was admitted but then evicted from a full dispatch queue
+    /// by a higher-priority arrival (SLO tier displacement). A shed signal
+    /// like [`ServeError::QueueFull`]: the background tier absorbs the
+    /// overload so urgent tenants keep their deadline.
+    Displaced {
+        /// The table whose queue displaced the query.
+        table: String,
+        /// Name of the displaced query's SLO tier.
+        tier: String,
+    },
     /// The runtime is shutting down; no new queries are admitted and queued
     /// queries may be drained with this error.
     ShuttingDown,
     /// A configuration was rejected at build time.
     InvalidConfig(String),
+    /// An SLO tier set declared a *more urgent* class (lower priority
+    /// number) with a *longer* deadline than a less urgent one — deadlines
+    /// must be non-decreasing with priority, or the deadline-aware batch
+    /// ranking would invert the tiers' meaning.
+    TierInversion {
+        /// The class whose deadline regressed.
+        tier: String,
+        /// Its declared deadline.
+        deadline: Duration,
+        /// The more urgent class it undercuts.
+        previous_tier: String,
+        /// That class's deadline.
+        previous_deadline: Duration,
+    },
     /// The underlying PIR protocol layer failed (indicates a bug or a
     /// misconfigured deployment rather than load).
     Protocol(PirError),
@@ -75,8 +100,23 @@ impl fmt::Display for ServeError {
                     "index {index} out of range for table of {entries} entries"
                 )
             }
+            Self::Displaced { table, tier } => {
+                write!(
+                    f,
+                    "query displaced from table '{table}' queue by a higher-priority arrival (tier '{tier}'); shed"
+                )
+            }
             Self::ShuttingDown => write!(f, "runtime is shutting down"),
             Self::InvalidConfig(message) => write!(f, "invalid config: {message}"),
+            Self::TierInversion {
+                tier,
+                deadline,
+                previous_tier,
+                previous_deadline,
+            } => write!(
+                f,
+                "tier deadline inversion: '{tier}' ({deadline:?}) is less urgent than '{previous_tier}' ({previous_deadline:?}) but declares a shorter deadline; deadlines must be non-decreasing with priority"
+            ),
             Self::Protocol(err) => write!(f, "protocol error: {err}"),
         }
     }
@@ -104,7 +144,10 @@ impl ServeError {
     pub fn is_shed(&self) -> bool {
         matches!(
             self,
-            Self::QueueFull { .. } | Self::QuotaExceeded { .. } | Self::ShuttingDown
+            Self::QueueFull { .. }
+                | Self::QuotaExceeded { .. }
+                | Self::Displaced { .. }
+                | Self::ShuttingDown
         )
     }
 }
@@ -127,7 +170,19 @@ mod tests {
         }
         .is_shed());
         assert!(ServeError::ShuttingDown.is_shed());
+        assert!(ServeError::Displaced {
+            table: "t".into(),
+            tier: "background".into()
+        }
+        .is_shed());
         assert!(!ServeError::UnknownTable("x".into()).is_shed());
+        assert!(!ServeError::TierInversion {
+            tier: "bg".into(),
+            deadline: std::time::Duration::from_millis(1),
+            previous_tier: "fg".into(),
+            previous_deadline: std::time::Duration::from_millis(2),
+        }
+        .is_shed());
         assert!(!ServeError::Protocol(PirError::ResponseMismatch("m".into())).is_shed());
     }
 

@@ -51,10 +51,19 @@ impl ServeHandle {
                 entries: hosted.schema.entries,
             });
         }
+        // Resolved up front so every shed below is tier-attributed.
+        let tier = hosted.config.tiers.tier_of(tenant);
+        let class = hosted.config.tiers.class(tier);
+        let shed_tier = |amount: u64| {
+            if let Some(stats) = hosted.stats.tier(tier) {
+                stats.shed.fetch_add(amount, Ordering::Relaxed);
+            }
+        };
         // Checked after table resolution so queries shed by a shutdown are
         // attributed to their table's telemetry instead of vanishing.
         if self.inner.shutting_down.load(Ordering::SeqCst) {
             hosted.stats.shed.fetch_add(1, Ordering::Relaxed);
+            shed_tier(1);
             return Err(ServeError::ShuttingDown);
         }
 
@@ -62,6 +71,7 @@ impl ServeHandle {
             Ok(guard) => guard,
             Err(err) => {
                 hosted.stats.shed.fetch_add(1, Ordering::Relaxed);
+                shed_tier(1);
                 return Err(err);
             }
         };
@@ -72,6 +82,8 @@ impl ServeHandle {
         let mut rng = self.inner.query_rng();
         let query = hosted.client.query(index, &mut rng);
         let submitted_at = Instant::now();
+        let deadline = submitted_at + class.deadline;
+        let priority = class.priority;
         let canceled = Arc::new(AtomicBool::new(false));
         let (tx0, rx0) = oneshot::channel();
         let (tx1, rx1) = oneshot::channel();
@@ -79,17 +91,26 @@ impl ServeHandle {
         // a worker can answer within the enqueue call itself, and a stats
         // snapshot must never transiently observe answered > submitted.
         hosted.stats.submitted.fetch_add(1, Ordering::Relaxed);
+        if let Some(stats) = hosted.stats.tier(tier) {
+            stats.submitted.fetch_add(1, Ordering::Relaxed);
+        }
         let enqueued = hosted.enqueue_pair(
             self.inner.admission.policy().queue_capacity,
             PendingEntry {
                 query: query.to_server(0),
                 enqueued_at: submitted_at,
+                deadline,
+                tier,
+                priority,
                 responder: tx0,
                 canceled: Arc::clone(&canceled),
             },
             PendingEntry {
                 query: query.to_server(1),
                 enqueued_at: submitted_at,
+                deadline,
+                tier,
+                priority,
                 responder: tx1,
                 canceled: Arc::clone(&canceled),
             },
@@ -97,12 +118,17 @@ impl ServeHandle {
         if let Err(err) = enqueued {
             hosted.stats.submitted.fetch_sub(1, Ordering::Relaxed);
             hosted.stats.shed.fetch_add(1, Ordering::Relaxed);
+            if let Some(stats) = hosted.stats.tier(tier) {
+                stats.submitted.fetch_sub(1, Ordering::Relaxed);
+            }
+            shed_tier(1);
             return Err(err);
         }
 
         Ok(PendingQuery {
             hosted,
             query,
+            tier,
             rx0: Some(rx0),
             rx1: Some(rx1),
             response0: None,
@@ -137,30 +163,47 @@ impl ServeHandle {
             }));
         }
         let party = usize::from(query.party() & 1);
+        let tier = hosted.config.tiers.tier_of(tenant);
+        let class = hosted.config.tiers.class(tier);
+        let shed_tier = |amount: u64| {
+            if let Some(stats) = hosted.stats.tier(tier) {
+                stats.shed.fetch_add(amount, Ordering::Relaxed);
+            }
+        };
         if self.inner.shutting_down.load(Ordering::SeqCst) {
             hosted.stats.shed.fetch_add(1, Ordering::Relaxed);
+            shed_tier(1);
             return Err(ServeError::ShuttingDown);
         }
         let guard = match self.inner.admission.admit(tenant) {
             Ok(guard) => guard,
             Err(err) => {
                 hosted.stats.shed.fetch_add(1, Ordering::Relaxed);
+                shed_tier(1);
                 return Err(err);
             }
         };
         let submitted_at = Instant::now();
+        let deadline = submitted_at + class.deadline;
+        let priority = class.priority;
         let (tx, rx) = oneshot::channel();
         let canceled = Arc::new(AtomicBool::new(false));
         // Wire-path telemetry counts per-party projections (each server
         // process of a networked deployment sees exactly one projection per
         // client query), mirroring the pair-level accounting of `query`.
         hosted.stats.submitted.fetch_add(1, Ordering::Relaxed);
+        if let Some(stats) = hosted.stats.tier(tier) {
+            stats.submitted.fetch_add(1, Ordering::Relaxed);
+        }
         let enqueued = hosted.enqueue_single(
             party,
             self.inner.admission.policy().queue_capacity,
             PendingEntry {
                 query,
                 enqueued_at: submitted_at,
+                deadline,
+                tier,
+                priority,
                 responder: tx,
                 canceled: Arc::clone(&canceled),
             },
@@ -168,10 +211,15 @@ impl ServeHandle {
         if let Err(err) = enqueued {
             hosted.stats.submitted.fetch_sub(1, Ordering::Relaxed);
             hosted.stats.shed.fetch_add(1, Ordering::Relaxed);
+            if let Some(stats) = hosted.stats.tier(tier) {
+                stats.submitted.fetch_sub(1, Ordering::Relaxed);
+            }
+            shed_tier(1);
             return Err(err);
         }
         Ok(PendingShare {
             hosted,
+            tier,
             rx,
             submitted_at,
             canceled,
@@ -284,6 +332,7 @@ impl ServeHandle {
 pub struct PendingQuery {
     hosted: Arc<HostedTable>,
     query: PirQuery,
+    tier: usize,
     rx0: Option<Receiver<Result<AnsweredShare, ServeError>>>,
     rx1: Option<Receiver<Result<AnsweredShare, ServeError>>>,
     response0: Option<AnsweredShare>,
@@ -319,6 +368,29 @@ impl PendingQuery {
     /// Propagates the same errors as polling the future.
     pub fn wait(self) -> Result<Vec<u8>, ServeError> {
         oneshot::block_on(self)
+    }
+
+    /// Block until the row is reconstructed, returning it together with the
+    /// *table version* both shares were computed against.
+    ///
+    /// The version is the generation key a client-side hot-entry cache
+    /// (`pir_protocol::hot_cache`) needs: cached rows admitted under version `g`
+    /// stay bit-identical to served answers exactly until a hot reload
+    /// bumps the table to `g + 1`, at which point the generation mismatch
+    /// invalidates them.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the same errors as polling the future.
+    pub fn wait_versioned(self) -> Result<(Vec<u8>, u64), ServeError> {
+        struct Versioned(PendingQuery);
+        impl Future for Versioned {
+            type Output = Result<(Vec<u8>, u64), ServeError>;
+            fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+                self.get_mut().0.poll_inner(cx)
+            }
+        }
+        oneshot::block_on(Versioned(self))
     }
 
     fn poll_side(
@@ -358,24 +430,34 @@ impl Drop for PendingQuery {
     }
 }
 
-impl Future for PendingQuery {
-    type Output = Result<Vec<u8>, ServeError>;
-
-    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
-        let this = self.get_mut();
-
+impl PendingQuery {
+    /// The shared completion path: resolves to the reconstructed row plus
+    /// the table version both shares were stamped with.
+    fn poll_inner(&mut self, cx: &mut Context<'_>) -> Poll<Result<(Vec<u8>, u64), ServeError>> {
         // Poll *both* sides even if the first is pending, so each registers
         // its waker and either server can wake this future.
-        let side0 = Self::poll_side(&mut this.rx0, &mut this.response0, cx);
-        let side1 = Self::poll_side(&mut this.rx1, &mut this.response1, cx);
+        let side0 = Self::poll_side(&mut self.rx0, &mut self.response0, cx);
+        let side1 = Self::poll_side(&mut self.rx1, &mut self.response1, cx);
         for side in [&side0, &side1] {
             if let Err(Some(err)) = side {
-                this.completed = true;
+                self.completed = true;
                 // The sibling party's entry may still be queued; flag it so
                 // batch formation skips it instead of spending device work
                 // on a share this future will never combine.
-                this.canceled.store(true, Ordering::Release);
-                this.hosted.stats.failed.fetch_add(1, Ordering::Relaxed);
+                self.canceled.store(true, Ordering::Release);
+                // Tier displacement surfaces here as a typed shed, not a
+                // protocol failure; keep the two ledgers apart.
+                if err.is_shed() {
+                    self.hosted.stats.shed.fetch_add(1, Ordering::Relaxed);
+                    if let Some(tier) = self.hosted.stats.tier(self.tier) {
+                        tier.shed.fetch_add(1, Ordering::Relaxed);
+                    }
+                } else {
+                    self.hosted.stats.failed.fetch_add(1, Ordering::Relaxed);
+                    if let Some(tier) = self.hosted.stats.tier(self.tier) {
+                        tier.failed.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
                 return Poll::Ready(Err(err.clone()));
             }
         }
@@ -383,10 +465,10 @@ impl Future for PendingQuery {
             return Poll::Pending;
         }
 
-        this.completed = true;
+        self.completed = true;
         // pir-lint: allow(panic-path, "both poll_side calls above returned Ok, which fills the slots")
-        let share0 = this.response0.take().expect("side 0 resolved");
-        let share1 = this.response1.take().expect("side 1 resolved");
+        let share0 = self.response0.take().expect("side 0 resolved");
+        let share1 = self.response1.take().expect("side 1 resolved");
         // Pair-enqueued queries are protected by the cross-queue update
         // barrier: both parties must have answered from the same table
         // version. The stamp exists for wire clients; here it only guards
@@ -395,22 +477,40 @@ impl Future for PendingQuery {
             share0.table_version, share1.table_version,
             "update barrier must keep pair-enqueued shares on one version"
         );
-        let outcome = this
+        let table_version = share0.table_version;
+        let outcome = self
             .hosted
             .client
-            .reconstruct(&this.query, &share0.response, &share1.response)
+            .reconstruct(&self.query, &share0.response, &share1.response)
             .map_err(ServeError::from);
         match &outcome {
             Ok(_) => {
-                this.hosted.stats.answered.fetch_add(1, Ordering::Relaxed);
-                let elapsed_ms = this.submitted_at.elapsed().as_secs_f64() * 1e3;
-                this.hosted.stats.e2e.lock().record_ms(elapsed_ms);
+                self.hosted.stats.answered.fetch_add(1, Ordering::Relaxed);
+                let elapsed_ms = self.submitted_at.elapsed().as_secs_f64() * 1e3;
+                self.hosted.stats.e2e.lock().record_ms(elapsed_ms);
+                if let Some(tier) = self.hosted.stats.tier(self.tier) {
+                    tier.answered.fetch_add(1, Ordering::Relaxed);
+                    tier.e2e.lock().record_ms(elapsed_ms);
+                }
             }
             Err(_) => {
-                this.hosted.stats.failed.fetch_add(1, Ordering::Relaxed);
+                self.hosted.stats.failed.fetch_add(1, Ordering::Relaxed);
+                if let Some(tier) = self.hosted.stats.tier(self.tier) {
+                    tier.failed.fetch_add(1, Ordering::Relaxed);
+                }
             }
         }
-        Poll::Ready(outcome)
+        Poll::Ready(outcome.map(|row| (row, table_version)))
+    }
+}
+
+impl Future for PendingQuery {
+    type Output = Result<Vec<u8>, ServeError>;
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+        self.get_mut()
+            .poll_inner(cx)
+            .map(|outcome| outcome.map(|(row, _version)| row))
     }
 }
 
@@ -424,6 +524,7 @@ impl Future for PendingQuery {
 /// client that hangs up mid-pipeline costs no device work.
 pub(crate) struct PendingShare {
     hosted: Arc<HostedTable>,
+    tier: usize,
     rx: Receiver<Result<AnsweredShare, ServeError>>,
     submitted_at: Instant,
     canceled: Arc<AtomicBool>,
@@ -454,9 +555,24 @@ impl Future for PendingShare {
                 this.hosted.stats.answered.fetch_add(1, Ordering::Relaxed);
                 let elapsed_ms = this.submitted_at.elapsed().as_secs_f64() * 1e3;
                 this.hosted.stats.e2e.lock().record_ms(elapsed_ms);
+                if let Some(tier) = this.hosted.stats.tier(this.tier) {
+                    tier.answered.fetch_add(1, Ordering::Relaxed);
+                    tier.e2e.lock().record_ms(elapsed_ms);
+                }
+            }
+            Err(err) if err.is_shed() => {
+                // Displacement by a higher-priority arrival: a typed shed,
+                // not a failure.
+                this.hosted.stats.shed.fetch_add(1, Ordering::Relaxed);
+                if let Some(tier) = this.hosted.stats.tier(this.tier) {
+                    tier.shed.fetch_add(1, Ordering::Relaxed);
+                }
             }
             Err(_) => {
                 this.hosted.stats.failed.fetch_add(1, Ordering::Relaxed);
+                if let Some(tier) = this.hosted.stats.tier(this.tier) {
+                    tier.failed.fetch_add(1, Ordering::Relaxed);
+                }
             }
         }
         Poll::Ready(outcome)

@@ -80,6 +80,7 @@ mod oneshot;
 mod registry;
 mod runtime;
 pub mod stats;
+pub mod tier;
 mod wire_frontend;
 
 pub use config::{
@@ -90,5 +91,8 @@ pub use error::ServeError;
 pub use handle::{PendingQuery, ServeHandle};
 pub use oneshot::block_on;
 pub use runtime::PirServeRuntime;
-pub use stats::{PlanTelemetry, ReplicaStatsSnapshot, StatsSnapshot, TableStatsSnapshot};
+pub use stats::{
+    PlanTelemetry, ReplicaStatsSnapshot, StatsSnapshot, TableStatsSnapshot, TierStatsSnapshot,
+};
+pub use tier::{formation_order, BatchCandidate, SloClass, SloTiers};
 pub use wire_frontend::WireFrontend;

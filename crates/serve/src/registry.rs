@@ -36,6 +36,16 @@ pub(crate) struct AnsweredShare {
 pub(crate) struct PendingEntry {
     pub query: ServerQuery,
     pub enqueued_at: Instant,
+    /// Absolute batch-formation deadline: `enqueued_at` plus the tenant's
+    /// SLO-class deadline. Accumulation closes the forming batch at the
+    /// earliest queued deadline, and an expired deadline promotes the entry
+    /// to the front of formation (see [`crate::tier::formation_order`]).
+    pub deadline: Instant,
+    /// Index of the tenant's SLO class in the table's tier set.
+    pub tier: usize,
+    /// The class's priority (0 = most urgent), denormalized so queue
+    /// operations never consult the config.
+    pub priority: u8,
     pub responder: oneshot::Sender<Result<AnsweredShare, ServeError>>,
     /// Shared with the submitter's `PendingQuery` (and the sibling entry at
     /// the other party): set when the caller abandons the query, so batch
@@ -190,7 +200,7 @@ impl HostedTable {
                 AtomicUsize::new(config.replicas.min),
             ],
             versions: [AtomicU64::new(1), AtomicU64::new(1)],
-            stats: TableStats::default(),
+            stats: TableStats::with_tiers(config.tiers.len()),
             registered_at: Instant::now(),
             config,
         })
@@ -224,30 +234,46 @@ impl HostedTable {
     /// Atomically enqueue the two server projections of one query, or shed.
     ///
     /// Both queue locks are taken in a fixed order so concurrent enqueuers
-    /// cannot deadlock, and capacity is checked on both before either push —
-    /// a query is either fully admitted or not admitted at all.
+    /// cannot deadlock, and admissibility is decided on both queues before
+    /// either push — a query is either fully admitted or not admitted at
+    /// all. A full queue does not immediately shed the *arrival*: if a
+    /// strictly lower-priority entry is queued, that entry is displaced
+    /// instead (shed with [`ServeError::Displaced`]) — the background tier
+    /// absorbs overload so urgent tenants keep their deadline.
     pub(crate) fn enqueue_pair(
         &self,
         capacity: usize,
         to0: PendingEntry,
         to1: PendingEntry,
     ) -> Result<(), ServeError> {
-        let mut q0 = self.queues[0].state.lock();
-        let mut q1 = self.queues[1].state.lock();
-        if q0.closed || q1.closed {
-            return Err(ServeError::ShuttingDown);
-        }
-        let depth = q0.entries.len().max(q1.entries.len());
-        if depth >= capacity {
-            return Err(ServeError::QueueFull {
-                table: self.name.clone(),
-                depth,
-            });
-        }
-        q0.entries.push_back(QueueItem::Query(to0));
-        q1.entries.push_back(QueueItem::Query(to1));
-        drop(q0);
-        drop(q1);
+        let displaced = {
+            let mut q0 = self.queues[0].state.lock();
+            let mut q1 = self.queues[1].state.lock();
+            if q0.closed || q1.closed {
+                return Err(ServeError::ShuttingDown);
+            }
+            // Plan both slots before mutating either: admission stays
+            // all-or-nothing.
+            let plan0 = plan_slot(&q0, capacity, to0.priority);
+            let plan1 = plan_slot(&q1, capacity, to1.priority);
+            let (Some(plan0), Some(plan1)) = (plan0, plan1) else {
+                return Err(ServeError::QueueFull {
+                    table: self.name.clone(),
+                    depth: q0.entries.len().max(q1.entries.len()),
+                });
+            };
+            let mut displaced = Vec::new();
+            if let Some(victim) = execute_slot_plan(&mut q0, plan0) {
+                displaced.push(victim);
+            }
+            if let Some(victim) = execute_slot_plan(&mut q1, plan1) {
+                displaced.push(victim);
+            }
+            q0.entries.push_back(QueueItem::Query(to0));
+            q1.entries.push_back(QueueItem::Query(to1));
+            displaced
+        };
+        self.settle_displaced(displaced);
         // A single wakeup suffices: only *active* workers wait on
         // `arrived` (parked ones sit on `activated`), and a worker that
         // discovers it was scaled down mid-wait re-notifies before parking
@@ -262,30 +288,63 @@ impl HostedTable {
     ///
     /// This is the wire frontend's submission path: a networked deployment
     /// runs one frontend per party, and each server process only ever sees
-    /// (and queues) its own projection.
+    /// (and queues) its own projection. Applies the same displacement rule
+    /// as [`Self::enqueue_pair`], per queue.
     pub(crate) fn enqueue_single(
         &self,
         party: usize,
         capacity: usize,
         entry: PendingEntry,
     ) -> Result<(), ServeError> {
-        let mut queue = self.queues[party].state.lock();
-        if queue.closed {
-            return Err(ServeError::ShuttingDown);
-        }
-        let depth = queue.entries.len();
-        if depth >= capacity {
-            return Err(ServeError::QueueFull {
-                table: self.name.clone(),
-                depth,
-            });
-        }
-        queue.entries.push_back(QueueItem::Query(entry));
-        drop(queue);
+        let displaced = {
+            let mut queue = self.queues[party].state.lock();
+            if queue.closed {
+                return Err(ServeError::ShuttingDown);
+            }
+            let Some(plan) = plan_slot(&queue, capacity, entry.priority) else {
+                return Err(ServeError::QueueFull {
+                    table: self.name.clone(),
+                    depth: queue.entries.len(),
+                });
+            };
+            let victim = execute_slot_plan(&mut queue, plan);
+            queue.entries.push_back(QueueItem::Query(entry));
+            victim.into_iter().collect::<Vec<_>>()
+        };
+        self.settle_displaced(displaced);
         // Single wakeup; see `enqueue_pair` for why this cannot be lost.
         // pir-lint: allow(notify-one, "one item, one wakeup; same baton/notify_all discipline as enqueue_pair")
         self.queues[party].arrived.notify_one();
         Ok(())
+    }
+
+    /// Deliver [`ServeError::Displaced`] to evicted entries and account the
+    /// eviction.
+    ///
+    /// Called *off* the queue locks: responder delivery runs an arbitrary
+    /// waker (thread unpark, remux poke), which must never execute under a
+    /// dispatch-queue lock.
+    fn settle_displaced(&self, displaced: Vec<PendingEntry>) {
+        for victim in displaced {
+            // Flag the shared cancellation so the sibling projection at the
+            // other party (which may not have been displaced) is skipped at
+            // formation instead of computing a share nobody will combine.
+            // `swap` also dedupes accounting when *both* parties displaced
+            // the same query's projections in one planning pass: the query
+            // was displaced once, not twice.
+            if victim.canceled.swap(true, Ordering::AcqRel) {
+                continue;
+            }
+            self.stats.displaced.fetch_add(1, Ordering::Relaxed);
+            if let Some(tier) = self.stats.tier(victim.tier) {
+                tier.displaced.fetch_add(1, Ordering::Relaxed);
+            }
+            let tier = self.config.tiers.class(victim.tier).name.clone();
+            victim.responder.send(Err(ServeError::Displaced {
+                table: self.name.clone(),
+                tier,
+            }));
+        }
     }
 
     /// Atomically enqueue a hot-reload barrier at both parties' queues.
@@ -320,6 +379,75 @@ impl HostedTable {
 
 fn invalid_sharding(err: PirError) -> ServeError {
     ServeError::InvalidConfig(err.to_string())
+}
+
+/// How one queue can make room for an arriving entry.
+#[derive(Clone, Copy, Debug)]
+pub(crate) enum SlotPlan {
+    /// The queue has capacity; just push.
+    Room,
+    /// Remove the (already dead) entry at this position first.
+    PruneCanceled(usize),
+    /// Evict the live, strictly lower-priority entry at this position.
+    Displace(usize),
+}
+
+/// Decide how `state`'s queue admits an arrival of `priority`, or `None`
+/// if it cannot (full, and every queued entry is at least as urgent).
+///
+/// Preference order when full: free a canceled entry (costs nobody
+/// anything), else displace the *youngest, least urgent* queued entry whose
+/// priority number is strictly greater than the arrival's. Strictness
+/// matters twice: same-priority traffic can never displace itself (so the
+/// single-tier degenerate case keeps exact classic `QueueFull` semantics),
+/// and an arrival never displaces an equally urgent peer that got there
+/// first.
+fn plan_slot(state: &QueueState, capacity: usize, priority: u8) -> Option<SlotPlan> {
+    if state.entries.len() < capacity {
+        return Some(SlotPlan::Room);
+    }
+    let mut victim: Option<(usize, u8)> = None;
+    for (position, item) in state.entries.iter().enumerate() {
+        let QueueItem::Query(entry) = item else {
+            continue;
+        };
+        if entry.is_canceled() {
+            return Some(SlotPlan::PruneCanceled(position));
+        }
+        if entry.priority > priority {
+            // `>=` keeps the youngest among equals as the scan runs
+            // front-to-back: a later (younger) entry of the same lowest
+            // priority replaces an older one, so FIFO fairness is preserved
+            // among the doomed.
+            let beats = victim.is_none_or(|(_, best)| entry.priority >= best);
+            if beats {
+                victim = Some((position, entry.priority));
+            }
+        }
+    }
+    victim.map(|(position, _)| SlotPlan::Displace(position))
+}
+
+/// Apply a [`SlotPlan`], returning the displaced entry if there is one.
+fn execute_slot_plan(state: &mut QueueState, plan: SlotPlan) -> Option<PendingEntry> {
+    match plan {
+        SlotPlan::Room => None,
+        SlotPlan::PruneCanceled(position) => {
+            drop(state.entries.remove(position));
+            None
+        }
+        SlotPlan::Displace(position) => match state.entries.remove(position) {
+            Some(QueueItem::Query(entry)) => Some(entry),
+            // Unreachable: the plan was made under the same lock.
+            Some(other) => {
+                state
+                    .entries
+                    .insert(position.min(state.entries.len()), other);
+                None
+            }
+            None => None,
+        },
+    }
 }
 
 /// The runtime's collection of hosted tables.
@@ -424,9 +552,13 @@ mod tests {
         let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(1);
         let query = hosted.client.query(3, &mut rng);
         let (tx, _rx) = oneshot::channel();
+        let now = Instant::now();
         PendingEntry {
             query: query.to_server(party),
-            enqueued_at: Instant::now(),
+            enqueued_at: now,
+            deadline: now + std::time::Duration::from_millis(2),
+            tier: 0,
+            priority: 0,
             responder: tx,
             canceled: Arc::new(AtomicBool::new(false)),
         }

@@ -17,7 +17,9 @@ use crate::config::{ServeConfig, TableConfig};
 use crate::error::ServeError;
 use crate::handle::ServeHandle;
 use crate::registry::{HostedTable, TableRegistry};
-use crate::stats::{PlanTelemetry, ReplicaStatsSnapshot, StatsSnapshot, TableStatsSnapshot};
+use crate::stats::{
+    PlanTelemetry, ReplicaStatsSnapshot, StatsSnapshot, TableStatsSnapshot, TierStatsSnapshot,
+};
 
 /// A latch the autoscale controllers park on between sampling ticks, so
 /// shutdown interrupts a sleeping controller immediately instead of
@@ -125,11 +127,43 @@ impl RuntimeInner {
                     plan_cache_hits: plan.plan_cache_hits,
                     plan_cache_misses: plan.plan_cache_misses,
                 };
+                // Per-tier telemetry: class identity comes from the config,
+                // counters and latency quantiles from the matching
+                // `TierStats` slot.
+                let tiers = hosted
+                    .config
+                    .tiers
+                    .classes()
+                    .iter()
+                    .enumerate()
+                    .map(|(index, class)| {
+                        let tier = hosted.stats.tier(index);
+                        let load = |get: fn(&crate::stats::TierStats) -> u64| {
+                            tier.map(get).unwrap_or_default()
+                        };
+                        let e2e = tier
+                            .map(|t| t.e2e.lock().quantiles_ms(&[0.50, 0.99]))
+                            .unwrap_or_else(|| vec![None, None]);
+                        TierStatsSnapshot {
+                            tier: class.name.clone(),
+                            priority: class.priority,
+                            deadline_ms: class.deadline.as_secs_f64() * 1e3,
+                            submitted: load(|t| t.submitted.load(Ordering::Relaxed)),
+                            answered: load(|t| t.answered.load(Ordering::Relaxed)),
+                            shed: load(|t| t.shed.load(Ordering::Relaxed)),
+                            displaced: load(|t| t.displaced.load(Ordering::Relaxed)),
+                            failed: load(|t| t.failed.load(Ordering::Relaxed)),
+                            e2e_p50_ms: e2e[0],
+                            e2e_p99_ms: e2e[1],
+                        }
+                    })
+                    .collect();
                 TableStatsSnapshot {
                     table: hosted.name.clone(),
                     submitted: stats.submitted.load(Ordering::Relaxed),
                     answered: stats.answered.load(Ordering::Relaxed),
                     shed: stats.shed.load(Ordering::Relaxed),
+                    displaced: stats.displaced.load(Ordering::Relaxed),
                     failed: stats.failed.load(Ordering::Relaxed),
                     canceled: stats.canceled.load(Ordering::Relaxed),
                     batches: stats.batches.load(Ordering::Relaxed),
@@ -144,6 +178,7 @@ impl RuntimeInner {
                         hosted.versions[0].load(Ordering::Relaxed),
                         hosted.versions[1].load(Ordering::Relaxed),
                     ],
+                    tiers,
                     replicas,
                     plan,
                     prf_backend: pir_prf::SimdBackend::active().label(),

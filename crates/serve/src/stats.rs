@@ -19,6 +19,9 @@ pub(crate) struct TableStats {
     pub shed: AtomicU64,
     pub failed: AtomicU64,
     pub canceled: AtomicU64,
+    /// Queries evicted from a full queue by a higher-priority arrival
+    /// (a subset of `shed`).
+    pub displaced: AtomicU64,
     pub batches: AtomicU64,
     pub batched_queries: AtomicU64,
     pub max_batch: AtomicU64,
@@ -29,15 +32,44 @@ pub(crate) struct TableStats {
     pub scale_downs: AtomicU64,
     pub queue_wait: Mutex<LatencyHistogram>,
     pub e2e: Mutex<LatencyHistogram>,
+    /// One slot per SLO tier class, index-aligned with the table's
+    /// `SloTiers::classes()`.
+    pub tiers: Vec<TierStats>,
 }
 
 impl TableStats {
+    /// Stats block sized for a table with `tier_count` SLO classes.
+    pub(crate) fn with_tiers(tier_count: usize) -> Self {
+        Self {
+            tiers: (0..tier_count).map(|_| TierStats::default()).collect(),
+            ..Self::default()
+        }
+    }
+
     pub(crate) fn record_batch(&self, size: usize) {
         self.batches.fetch_add(1, Ordering::Relaxed);
         self.batched_queries
             .fetch_add(size as u64, Ordering::Relaxed);
         self.max_batch.fetch_max(size as u64, Ordering::Relaxed);
     }
+
+    /// The counter slot for `tier`, if the table declared that many tiers.
+    pub(crate) fn tier(&self, tier: usize) -> Option<&TierStats> {
+        self.tiers.get(tier)
+    }
+}
+
+/// Internal, shared per-SLO-tier statistics.
+#[derive(Debug, Default)]
+pub(crate) struct TierStats {
+    pub submitted: AtomicU64,
+    pub answered: AtomicU64,
+    pub shed: AtomicU64,
+    /// Evictions from a full queue by a higher-priority arrival (also
+    /// counted in `shed`).
+    pub displaced: AtomicU64,
+    pub failed: AtomicU64,
+    pub e2e: Mutex<LatencyHistogram>,
 }
 
 /// Internal, shared per-replica dispatch statistics.
@@ -103,6 +135,32 @@ pub struct PlanTelemetry {
     pub plan_cache_misses: u64,
 }
 
+/// Point-in-time statistics of one SLO tier of a hosted table.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct TierStatsSnapshot {
+    /// Tier (class) name.
+    pub tier: String,
+    /// Scheduling rank (0 = most urgent).
+    pub priority: u8,
+    /// The class's batch-formation deadline, in milliseconds.
+    pub deadline_ms: f64,
+    /// Queries admitted under this tier.
+    pub submitted: u64,
+    /// Queries fully answered.
+    pub answered: u64,
+    /// Queries shed (backpressure or displacement).
+    pub shed: u64,
+    /// Queries evicted from a full queue by a higher-priority arrival
+    /// (subset of `shed`).
+    pub displaced: u64,
+    /// Queries failed by the protocol layer.
+    pub failed: u64,
+    /// Median end-to-end latency, in milliseconds.
+    pub e2e_p50_ms: Option<f64>,
+    /// 99th-percentile end-to-end latency, in milliseconds.
+    pub e2e_p99_ms: Option<f64>,
+}
+
 /// Point-in-time statistics of one hosted table.
 #[derive(Clone, Debug, Default, PartialEq)]
 pub struct TableStatsSnapshot {
@@ -119,6 +177,9 @@ pub struct TableStatsSnapshot {
     /// Queries canceled by their submitter before completion (their queued
     /// entries are skipped at batch formation and cost no device work).
     pub canceled: u64,
+    /// Queries evicted from a full queue by a higher-priority arrival
+    /// (subset of `shed`).
+    pub displaced: u64,
     /// Device batches submitted across both parties' replica pools.
     pub batches: u64,
     /// Queries carried by those batches.
@@ -161,6 +222,8 @@ pub struct TableStatsSnapshot {
     pub e2e_p99_ms: Option<f64>,
     /// Mean end-to-end latency, in milliseconds.
     pub e2e_mean_ms: Option<f64>,
+    /// Per-SLO-tier telemetry, most urgent class first.
+    pub tiers: Vec<TierStatsSnapshot>,
 }
 
 impl TableStatsSnapshot {
@@ -230,6 +293,14 @@ impl StatsSnapshot {
     #[must_use]
     pub fn table(&self, name: &str) -> Option<&TableStatsSnapshot> {
         self.tables.iter().find(|t| t.table == name)
+    }
+}
+
+impl TableStatsSnapshot {
+    /// Look up one tier's snapshot by class name.
+    #[must_use]
+    pub fn tier(&self, name: &str) -> Option<&TierStatsSnapshot> {
+        self.tiers.iter().find(|t| t.tier == name)
     }
 }
 

@@ -526,9 +526,12 @@ fn serve_error_reply(err: &ServeError, query_id: u64) -> ErrorReply {
         ServeError::IndexOutOfRange { .. } => ErrorCode::IndexOutOfRange,
         ServeError::QueueFull { .. }
         | ServeError::QuotaExceeded { .. }
+        | ServeError::Displaced { .. }
         | ServeError::ShuttingDown => ErrorCode::Shed,
         ServeError::Protocol(_) => ErrorCode::Protocol,
-        ServeError::TableExists(_) | ServeError::InvalidConfig(_) => ErrorCode::InvalidRequest,
+        ServeError::TableExists(_)
+        | ServeError::InvalidConfig(_)
+        | ServeError::TierInversion { .. } => ErrorCode::InvalidRequest,
     };
     ErrorReply {
         code,

@@ -91,6 +91,11 @@ pub struct CompletedQuery {
     /// error, a double version skew, ...). Per-query failures do not poison
     /// the session.
     pub outcome: Result<Vec<u8>, WireError>,
+    /// The table version both answer shares were stamped with when the
+    /// outcome is a row (0 on failure, or when the negotiated protocol
+    /// predates version stamps). Clients use this as the generation key for
+    /// hot-entry caching: a bump means the table was hot-reloaded.
+    pub table_version: u64,
     /// Whether the transparent version-skew retry was taken.
     pub retried: bool,
     /// Whether an earlier-submitted query was still in flight when this one
@@ -557,6 +562,7 @@ impl PirSession {
         let [Some(outcome0), Some(outcome1)] = entry.outcomes else {
             unreachable!("completeness checked before removal");
         };
+        let mut table_version = 0;
         let outcome = match (outcome0, outcome1) {
             // Party 0's error wins ties, matching the lockstep client.
             (Err(err), _) => Err(err),
@@ -592,6 +598,7 @@ impl PirSession {
                     let state = self.tables.get(&entry.table).ok_or_else(|| {
                         WireError::InvalidRequest(format!("unknown table '{}'", entry.table))
                     })?;
+                    table_version = stamp0;
                     state
                         .client
                         .reconstruct(&entry.query, &response0, &response1)
@@ -609,6 +616,7 @@ impl PirSession {
             table: entry.table,
             index: entry.index,
             outcome,
+            table_version,
             retried: entry.retried,
             out_of_order,
         });

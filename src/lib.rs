@@ -12,6 +12,7 @@ pub use pir_cluster;
 pub use pir_core;
 pub use pir_dpf;
 pub use pir_field;
+pub use pir_load;
 pub use pir_ml;
 pub use pir_prf;
 pub use pir_protocol;
